@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks for the hot paths of the simulator itself
+//! (host-side costs, not modelled filer time).
+
+use criterion::criterion_group;
+use criterion::criterion_main;
+use criterion::BatchSize;
+use criterion::Criterion;
+use std::hint::black_box;
+
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Raid4Group;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::fluid::FluidSim;
+use simkit::fluid::Stage;
+use simkit::fluid::Stream;
+use wafl::blkmap::BlkMap;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn bench_blkmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blkmap");
+    g.bench_function("snap_create_1M_blocks", |b| {
+        b.iter_batched(
+            || {
+                let mut m = BlkMap::new(1_000_000);
+                for i in (0..1_000_000).step_by(3) {
+                    m.set_active(i);
+                }
+                m
+            },
+            |mut m| {
+                black_box(m.snap_create(1));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("iter_diff_1M_blocks", |b| {
+        let mut m = BlkMap::new(1_000_000);
+        for i in (0..1_000_000).step_by(3) {
+            m.set_active(i);
+        }
+        m.snap_create(1);
+        for i in (0..1_000_000).step_by(7) {
+            m.set_active(i);
+        }
+        m.snap_create(2);
+        b.iter(|| black_box(m.iter_diff(2, 1).count()))
+    });
+    g.finish();
+}
+
+fn bench_block_algebra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block");
+    let a = Block::Synthetic(1);
+    let b2 = Block::Synthetic(2);
+    g.bench_function("xor_synthetic", |b| b.iter(|| black_box(a.xor(&b2))));
+    g.bench_function("materialize_synthetic", |b| {
+        b.iter(|| black_box(Block::Synthetic(7).materialize()))
+    });
+    let bytes = Block::from_bytes(&[7u8; 4096]);
+    g.bench_function("xor_literal", |b| b.iter(|| black_box(a.xor(&bytes))));
+    g.finish();
+}
+
+fn bench_raid_write(c: &mut Criterion) {
+    c.bench_function("raid4_write_stripe", |b| {
+        b.iter_batched(
+            || Raid4Group::new(8, 1024, DiskPerf::ideal()),
+            |mut g| {
+                for bno in 0..64u64 {
+                    g.write(bno, Block::Synthetic(bno)).unwrap();
+                }
+                g.flush().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wafl_write_path(c: &mut Criterion) {
+    c.bench_function("wafl_write_256_blocks", |b| {
+        b.iter_batched(
+            || {
+                let vol = Volume::new(VolumeGeometry::uniform(1, 4, 8192, DiskPerf::ideal()));
+                let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+                let ino = fs
+                    .create(INO_ROOT, "bench", FileType::File, Attrs::default())
+                    .unwrap();
+                (fs, ino)
+            },
+            |(mut fs, ino)| {
+                for fbn in 0..256u64 {
+                    fs.write_fbn(ino, fbn, Block::Synthetic(fbn)).unwrap();
+                }
+                fs.cp().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fluid_solver(c: &mut Criterion) {
+    c.bench_function("fluid_16_streams_3_stages", |b| {
+        b.iter(|| {
+            let mut sim = FluidSim::new();
+            let cpu = sim.add_resource("cpu", 1.0);
+            let disk = sim.add_resource("disk", 31.0);
+            for i in 0..16 {
+                let tape = sim.add_resource(format!("t{i}"), 1.0);
+                sim.add_stream(Stream {
+                    name: format!("s{i}"),
+                    start_at: i as f64 * 0.1,
+                    stages: vec![
+                        Stage::new("a", 100.0, vec![(cpu, 0.002), (disk, 0.01)]),
+                        Stage::new("b", 500.0, vec![(tape, 0.01), (cpu, 0.0005)]),
+                        Stage::new("c", 50.0, vec![(disk, 0.02)]),
+                    ],
+                });
+            }
+            black_box(sim.run().unwrap())
+        })
+    });
+}
+
+fn bench_dump_format(c: &mut Criterion) {
+    use backup_core::logical::format::DumpRecord;
+    let rec = DumpRecord::Data {
+        ino: 42,
+        fbns: (0..16).collect(),
+        blocks: (0..16).map(Block::Synthetic).collect(),
+    };
+    c.bench_function("dump_record_roundtrip", |b| {
+        b.iter(|| {
+            let r = rec.to_record();
+            black_box(DumpRecord::parse(&r).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_blkmap,
+    bench_block_algebra,
+    bench_raid_write,
+    bench_wafl_write_path,
+    bench_fluid_solver,
+    bench_dump_format
+);
+criterion_main!(benches);

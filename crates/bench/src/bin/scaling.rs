@@ -1,0 +1,16 @@
+//! Regenerates the §5.3 scaling comparison: backup throughput vs. number
+//! of tape drives for both strategies.
+//!
+//! Usage: `scaling [--scale F] [--seed N]`.
+
+use bench::calibrate::FilerModel;
+use bench::experiments::prepare;
+use bench::experiments::run_scaling;
+use bench::tables::print_scaling;
+
+fn main() {
+    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
+    let (mut home, runs) = prepare(scale, seed);
+    let points = run_scaling(&mut home, &runs, &FilerModel::f630());
+    print_scaling(&points);
+}

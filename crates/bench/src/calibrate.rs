@@ -1,0 +1,421 @@
+//! The F630 device/CPU model and the conversion from measured stage
+//! profiles to fluid-solver stages.
+//!
+//! Calibration philosophy: the *functional* layer measures what work a
+//! stage did (bytes by access class, CPU events); this module holds the
+//! handful of hardware rates that turn work into time. Each constant is
+//! anchored to a paper measurement, cited below; everything else —
+//! ratios, crossovers, scaling behaviour — must *emerge* from the solver.
+
+use backup_core::report::StageProfile;
+use simkit::fluid::ResourceId;
+use simkit::fluid::Stage;
+
+/// Bytes per MiB.
+const MIB: f64 = 1024.0 * 1024.0;
+/// Bytes per 4 KiB block.
+const BLOCK: f64 = 4096.0;
+
+/// The filer hardware model (defaults = the paper's eliot).
+#[derive(Debug, Clone, Copy)]
+pub struct FilerModel {
+    /// Sequential transfer per disk arm, bytes/s. ~6 MB/s media rate for
+    /// the 9 GB FC drives of 1998.
+    pub disk_seq_rate: f64,
+    /// Random 4 KiB operations per arm per second: the nominal
+    /// 1/(seek + rotate) ≈ 78/s of the era's drives. With the aged
+    /// volume's measured ~30 % random-read fraction this puts the
+    /// 31-arm array's ceiling for logical dump's file pass right where
+    /// §5.3 found it (~21 MB/s, "the bottleneck must be the disks").
+    pub disk_rand_io_s: f64,
+    /// DLT-7000 streaming rate with compression, bytes/s. Calibrated to
+    /// the paper's 6.2-hour physical dump of 188 GB ⇒ ~8.7 MB/s.
+    pub tape_rate: f64,
+    /// Streaming efficiency of a *logical* dump stream: per-file headers
+    /// and read stalls keep the drive slightly off streaming speed
+    /// (Table 2 shows logical backup ~20 % slower than physical on the
+    /// same drive; most of that is the disk/CPU side, this factor covers
+    /// the residual start/stop loss).
+    pub logical_tape_eff: f64,
+    /// Extra CPU per concurrent stream (context switching, cache
+    /// pressure): multiplier `1 + x·(n−1)`. Calibrated from Table 5's
+    /// physical dump (4 streams at 30 % CPU vs 4 × 5 % single-stream).
+    pub cpu_overhead_per_stream: f64,
+    /// Restore's file-creation pipeline is latency-bound (synchronous
+    /// create chain), not bandwidth-bound: cap in files/s per stream.
+    /// Calibrated from Table 3's "creating files: 2 hours" for the ~2 M
+    /// file home volume ⇒ ~280 creates/s.
+    pub create_rate_cap: f64,
+    /// Dump's mapping walk (phases I+II) is a serial chain of dependent
+    /// inode/directory reads: cap in inodes/s per stream. Calibrated from
+    /// Table 3's "mapping: 20 minutes" over ~2.4 M inodes ⇒ ~2000/s.
+    pub map_rate_cap: f64,
+    /// Phase III writes directories in inode order, one scattered
+    /// directory at a time: cap in dirs/s per stream. Calibrated from
+    /// Table 3's "dumping directories: 20 minutes" over ~95 K directories
+    /// ⇒ ~80/s.
+    pub dir_rate_cap: f64,
+    /// Shared metadata-update pipeline (NVRAM commits, consistency-point
+    /// serialization) that all concurrent restores contend on, in
+    /// creates/second. Calibrated from Table 5's "creating files: 45
+    /// minutes" across 4 streams ⇒ ~900/s system-wide.
+    pub create_pipeline_cap: f64,
+    /// Throughput lost per extra drive when striping one physical stream
+    /// over several tapes (coordination/imbalance). The paper's physical
+    /// dump scales 30.3 → 27.6 GB/h/tape from 1 to 4 drives ⇒ ~3 % per
+    /// added drive.
+    pub stripe_loss_per_drive: f64,
+    /// Snapshot creation wall time (paper: "30 seconds", Table 3).
+    pub snap_create_secs: f64,
+    /// Snapshot deletion wall time (paper: "35 seconds", Table 3).
+    pub snap_delete_secs: f64,
+    /// CPU fraction during snapshot create/delete (paper: 50 %).
+    pub snap_cpu: f64,
+}
+
+impl Default for FilerModel {
+    fn default() -> Self {
+        FilerModel::f630()
+    }
+}
+
+impl FilerModel {
+    /// The paper's testbed.
+    pub fn f630() -> FilerModel {
+        FilerModel {
+            disk_seq_rate: 6.0 * MIB,
+            disk_rand_io_s: 78.0,
+            tape_rate: 8.7 * MIB,
+            logical_tape_eff: 0.92,
+            cpu_overhead_per_stream: 0.15,
+            create_rate_cap: 280.0,
+            map_rate_cap: 2000.0,
+            dir_rate_cap: 80.0,
+            create_pipeline_cap: 900.0,
+            stripe_loss_per_drive: 0.03,
+            snap_create_secs: 30.0,
+            snap_delete_secs: 35.0,
+            snap_cpu: 0.5,
+        }
+    }
+
+    /// CPU inflation for `n` concurrent streams.
+    pub fn cpu_overhead(&self, n: usize) -> f64 {
+        1.0 + self.cpu_overhead_per_stream * (n.saturating_sub(1)) as f64
+    }
+
+    /// Disk arm-seconds one stage's traffic costs.
+    pub fn disk_arm_secs(&self, p: &StageProfile) -> f64 {
+        let seq = (p.disk_seq_read + p.disk_seq_write) as f64 / self.disk_seq_rate;
+        let rand_ios = (p.disk_rand_read + p.disk_rand_write) as f64 / BLOCK;
+        seq + rand_ios / self.disk_rand_io_s
+    }
+
+    /// Tape-seconds one stage's transfer costs for the given operation
+    /// kind and stream count.
+    pub fn tape_secs(&self, p: &StageProfile, kind: OpKind, nstreams: usize) -> f64 {
+        let eff = match kind {
+            // Per-file headers and read stalls keep a logical dump stream
+            // slightly off streaming speed.
+            OpKind::LogicalDump => self.logical_tape_eff,
+            // Striping one physical stream across several drives loses a
+            // little coordination bandwidth per added drive.
+            OpKind::PhysicalDump | OpKind::PhysicalRestore => {
+                1.0 - self.stripe_loss_per_drive * nstreams.saturating_sub(1) as f64
+            }
+            OpKind::LogicalRestore => 1.0,
+        };
+        p.tape_bytes as f64 / (self.tape_rate * eff.max(0.5))
+    }
+}
+
+/// Which of the four operations a stream belongs to (selects tape
+/// efficiency and overhead rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// BSD-style dump.
+    LogicalDump,
+    /// BSD-style restore.
+    LogicalRestore,
+    /// Image dump.
+    PhysicalDump,
+    /// Image restore.
+    PhysicalRestore,
+}
+
+/// Resource handles for one operation's fluid simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceIds {
+    /// The single CPU.
+    pub cpu: ResourceId,
+    /// The volume's disk arms (capacity = arm count).
+    pub disk: ResourceId,
+    /// The tape drive dedicated to this stream.
+    pub tape: ResourceId,
+    /// The shared metadata pipeline (creates/s).
+    pub meta: ResourceId,
+}
+
+/// Converts one measured (and already paper-scaled) stage profile into a
+/// fluid stage.
+///
+/// `nstreams` is the number of concurrent streams in the experiment (for
+/// the CPU-overhead multiplier); `logical` selects the tape streaming
+/// efficiency.
+pub fn stage_to_fluid(
+    p: &StageProfile,
+    model: &FilerModel,
+    ids: &ResourceIds,
+    nstreams: usize,
+    kind: OpKind,
+) -> Stage {
+    let ovh = model.cpu_overhead(nstreams);
+    match p.name.as_str() {
+        // The paper reports snapshot create/delete as fixed-cost
+        // operations; the dominant term (whole-bitmap rewrite) does not
+        // scale with our functional run size, so these are modelled as
+        // the measured constants.
+        "creating snapshot" => Stage::fixed(
+            p.name.clone(),
+            model.snap_create_secs,
+            vec![(ids.cpu, model.snap_cpu)],
+        ),
+        "deleting snapshot" => Stage::fixed(
+            p.name.clone(),
+            model.snap_delete_secs,
+            vec![(ids.cpu, model.snap_cpu)],
+        ),
+        // Restore's create phase: a latency-bound chain of synchronous
+        // creates per stream, all contending on the shared metadata
+        // pipeline. Work is counted in files. No cross-stream CPU
+        // inflation: the serialization is captured by the pipeline
+        // resource instead.
+        "creating files" => {
+            let files = p.files.max(1) as f64;
+            Stage::new(
+                p.name.clone(),
+                files,
+                vec![
+                    (ids.cpu, p.cpu_secs / files),
+                    (ids.disk, model.disk_arm_secs(p) / files),
+                    (ids.tape, model.tape_secs(p, kind, nstreams) / files),
+                    (ids.meta, 1.0 / model.create_pipeline_cap),
+                ],
+            )
+            .with_rate_cap(model.create_rate_cap)
+        }
+        // Dump's mapping walk: serial chain of dependent reads, one inode
+        // at a time. Work is counted in inodes mapped. Read-only with a
+        // small working set, so no concurrency CPU inflation.
+        "mapping files and directories" => {
+            let inodes = p.blocks.max(p.files + p.dirs).max(1) as f64;
+            Stage::new(
+                p.name.clone(),
+                inodes,
+                vec![
+                    (ids.cpu, p.cpu_secs / inodes),
+                    (ids.disk, model.disk_arm_secs(p) / inodes),
+                ],
+            )
+            .with_rate_cap(model.map_rate_cap)
+        }
+        // Phase III: scattered directories written one at a time.
+        "dumping directories" => {
+            let dirs = p.dirs.max(1) as f64;
+            Stage::new(
+                p.name.clone(),
+                dirs,
+                vec![
+                    (ids.cpu, p.cpu_secs * ovh / dirs),
+                    (ids.disk, model.disk_arm_secs(p) / dirs),
+                    (ids.tape, model.tape_secs(p, kind, nstreams) / dirs),
+                ],
+            )
+            .with_rate_cap(model.dir_rate_cap)
+        }
+        // Bandwidth-bound stages: normalized work of 1.0, total demands.
+        _ => Stage::new(
+            p.name.clone(),
+            1.0,
+            vec![
+                (ids.cpu, p.cpu_secs * ovh),
+                (ids.disk, model.disk_arm_secs(p)),
+                (ids.tape, model.tape_secs(p, kind, nstreams)),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::fluid::FluidSim;
+    use simkit::fluid::Stream;
+
+    /// Standard single-stream resource setup for these tests.
+    fn ids(sim: &mut FluidSim, arms: f64) -> ResourceIds {
+        ResourceIds {
+            cpu: sim.add_resource("cpu", 1.0),
+            disk: sim.add_resource("disk", arms),
+            tape: sim.add_resource("tape", 1.0),
+            meta: sim.add_resource("meta", 1.0),
+        }
+    }
+
+    fn files_stage(bytes: u64, rand_fraction: f64, cpu_per_block: f64) -> StageProfile {
+        let rand = (bytes as f64 * rand_fraction) as u64;
+        StageProfile {
+            name: "dumping files".into(),
+            cpu_secs: bytes as f64 / BLOCK * cpu_per_block,
+            disk_rand_read: rand,
+            disk_seq_read: bytes - rand,
+            tape_bytes: bytes,
+            blocks: bytes / 4096,
+            ..StageProfile::default()
+        }
+    }
+
+    #[test]
+    fn single_drive_logical_dump_is_tape_bound_near_paper_rate() {
+        // 188 GiB, 35 % random reads, 105 µs CPU per block — roughly what
+        // the functional layer measures on an aged home volume.
+        let model = FilerModel::f630();
+        let p = files_stage(188 * (1 << 30), 0.35, 105e-6);
+        let mut sim = FluidSim::new();
+        let ids = ids(&mut sim, 31.0);
+        let s = sim.add_stream(Stream {
+            name: "dump".into(),
+            start_at: 0.0,
+            stages: vec![stage_to_fluid(&p, &model, &ids, 1, OpKind::LogicalDump)],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "dumping files").unwrap();
+        let hours = rec.elapsed() / 3600.0;
+        // Paper Table 3: 6.75 hours.
+        assert!((5.8..7.8).contains(&hours), "hours = {hours}");
+        let cpu = trace.utilization(ids.cpu, rec.t0, rec.t1);
+        assert!((0.15..0.35).contains(&cpu), "cpu = {cpu}");
+    }
+
+    #[test]
+    fn four_parallel_logical_dumps_saturate_disks_not_tapes() {
+        let model = FilerModel::f630();
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let disk = sim.add_resource("disk", 31.0);
+        let meta = sim.add_resource("meta", 1.0);
+        let quarter = 188u64 * (1 << 30) / 4;
+        let mut streams = Vec::new();
+        for i in 0..4 {
+            let tape = sim.add_resource(format!("tape{i}"), 1.0);
+            let ids = ResourceIds { cpu, disk, tape, meta };
+            let p = files_stage(quarter, 0.35, 110e-6);
+            streams.push((
+                sim.add_stream(Stream {
+                    name: format!("dump{i}"),
+                    start_at: 0.0,
+                    stages: vec![stage_to_fluid(&p, &model, &ids, 4, OpKind::LogicalDump)],
+                }),
+                tape,
+            ));
+        }
+        let trace = sim.run().unwrap();
+        let (s0, t0) = streams[0];
+        let rec = trace.stage(s0, "dumping files").unwrap();
+        let hours = rec.elapsed() / 3600.0;
+        // Paper Table 5: 2.5 hours, CPU 90 %, tape under 70 %.
+        assert!((2.0..3.3).contains(&hours), "hours = {hours}");
+        let cpu_util = trace.utilization(cpu, rec.t0, rec.t1);
+        assert!(cpu_util > 0.75, "cpu = {cpu_util}");
+        let tape_util = trace.utilization(t0, rec.t0, rec.t1);
+        assert!(tape_util < 0.85, "tape = {tape_util}");
+    }
+
+    #[test]
+    fn physical_dump_scales_nearly_linearly() {
+        let model = FilerModel::f630();
+        let total = 188u64 * (1 << 30);
+        let elapsed_for = |n: usize| {
+            let mut sim = FluidSim::new();
+            let cpu = sim.add_resource("cpu", 1.0);
+            let disk = sim.add_resource("disk", 31.0);
+            let meta = sim.add_resource("meta", 1.0);
+            let mut last = None;
+            for i in 0..n {
+                let tape = sim.add_resource(format!("tape{i}"), 1.0);
+                let ids = ResourceIds { cpu, disk, tape, meta };
+                let p = StageProfile {
+                    name: "dumping blocks".into(),
+                    cpu_secs: total as f64 / n as f64 / BLOCK * 20e-6,
+                    disk_seq_read: total / n as u64,
+                    tape_bytes: total / n as u64,
+                    ..StageProfile::default()
+                };
+                last = Some(sim.add_stream(Stream {
+                    name: format!("img{i}"),
+                    start_at: 0.0,
+                    stages: vec![stage_to_fluid(&p, &model, &ids, n, OpKind::PhysicalDump)],
+                }));
+            }
+            let trace = sim.run().unwrap();
+            trace.stream_span(last.unwrap()).unwrap().1
+        };
+        let one = elapsed_for(1);
+        let four = elapsed_for(4);
+        // Paper: 6.2 h → 1.7 h (3.6x).
+        assert!((5.8..6.8).contains(&(one / 3600.0)), "one = {}", one / 3600.0);
+        let speedup = one / four;
+        assert!((3.3..4.05).contains(&speedup), "speedup = {speedup}");
+    }
+
+    #[test]
+    fn snapshot_stages_are_fixed() {
+        let model = FilerModel::f630();
+        let mut sim = FluidSim::new();
+        let ids = ids(&mut sim, 31.0);
+        let p = StageProfile {
+            name: "creating snapshot".into(),
+            ..StageProfile::default()
+        };
+        let s = sim.add_stream(Stream {
+            name: "snap".into(),
+            start_at: 0.0,
+            stages: vec![stage_to_fluid(&p, &model, &ids, 1, OpKind::LogicalDump)],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "creating snapshot").unwrap();
+        assert!((rec.elapsed() - 30.0).abs() < 1e-6);
+        assert!((trace.utilization(ids.cpu, rec.t0, rec.t1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn create_stage_is_rate_capped() {
+        let model = FilerModel::f630();
+        let mut sim = FluidSim::new();
+        let ids = ids(&mut sim, 31.0);
+        // 2M files with tiny per-file demands: the cap must dominate.
+        let p = StageProfile {
+            name: "creating files".into(),
+            files: 2_000_000,
+            cpu_secs: 2_000_000.0 * 0.7e-3,
+            ..StageProfile::default()
+        };
+        let s = sim.add_stream(Stream {
+            name: "restore".into(),
+            start_at: 0.0,
+            stages: vec![stage_to_fluid(&p, &model, &ids, 1, OpKind::LogicalRestore)],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "creating files").unwrap();
+        let hours = rec.elapsed() / 3600.0;
+        // Paper Table 3: 2 hours.
+        assert!((1.7..2.3).contains(&hours), "hours = {hours}");
+    }
+
+    #[test]
+    fn overhead_multiplier_grows_with_streams() {
+        let m = FilerModel::f630();
+        assert_eq!(m.cpu_overhead(1), 1.0);
+        assert!((m.cpu_overhead(4) - 1.45).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,650 @@
+//! The experiment runners behind each table binary.
+//!
+//! Each runner executes the real backup engines against a built volume,
+//! re-scales the measured stage profiles to paper size, solves the fluid
+//! model for the requested drive configuration, and returns rows shaped
+//! like the paper's tables.
+
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::restore::restore;
+use backup_core::physical::dump::image_dump_full;
+use backup_core::physical::restore::image_restore;
+use backup_core::report::StageProfile;
+use raid::Volume;
+use simkit::fluid::FluidSim;
+use simkit::fluid::Stream;
+use simkit::units::MIB;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+use crate::build::build_home;
+use crate::build::BuiltVolume;
+use crate::calibrate::stage_to_fluid;
+use crate::calibrate::FilerModel;
+use crate::calibrate::OpKind;
+use crate::calibrate::ResourceIds;
+
+/// One row of a stage-detail table (Tables 3–5).
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Operation group ("Logical Dump", "Physical Restore", ...).
+    pub op: &'static str,
+    /// Stage label.
+    pub stage: String,
+    /// Elapsed seconds (window over all streams).
+    pub elapsed: f64,
+    /// Mean CPU utilization over the window.
+    pub cpu_util: f64,
+    /// Aggregate disk throughput over the window, MB/s.
+    pub disk_mb_s: f64,
+    /// Aggregate tape throughput over the window, MB/s.
+    pub tape_mb_s: f64,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct OpSummary {
+    /// Operation name.
+    pub name: &'static str,
+    /// Total elapsed seconds.
+    pub elapsed: f64,
+    /// Data moved / elapsed, MB/s.
+    pub mb_s: f64,
+    /// Data moved / elapsed, GB/hour.
+    pub gb_h: f64,
+}
+
+/// Results for the single-drive experiments (Tables 2 and 3).
+#[derive(Debug)]
+pub struct BasicResults {
+    /// Table 2 rows.
+    pub table2: Vec<OpSummary>,
+    /// Table 3 rows.
+    pub table3: Vec<StageRow>,
+    /// Logical data bytes at paper scale.
+    pub logical_bytes: u64,
+    /// Physical (image) bytes at paper scale.
+    pub physical_bytes: u64,
+    /// File count at paper scale.
+    pub files: u64,
+    /// Fragmentation of the source volume.
+    pub frag: f64,
+}
+
+/// Result of simulating one operation (one or more concurrent streams).
+#[derive(Debug)]
+pub struct SimOp {
+    /// Aggregated per-stage rows.
+    pub rows: Vec<StageRow>,
+    /// Makespan in seconds.
+    pub elapsed: f64,
+}
+
+/// Solves the fluid model for one operation.
+///
+/// `streams` holds, per concurrent stream, the paper-scaled stage
+/// profiles. Every stream gets a dedicated tape drive; all share the CPU
+/// and the volume's `arms` disk arms.
+pub fn simulate_op(
+    op: &'static str,
+    streams: &[Vec<StageProfile>],
+    arms: f64,
+    kind: OpKind,
+    model: &FilerModel,
+) -> SimOp {
+    let n = streams.len();
+    if std::env::var("BENCH_DEBUG").is_ok() {
+        for (i, s) in streams.iter().enumerate() {
+            for p in s {
+                eprintln!(
+                    "[debug] {op} #{i} {:<30} cpu={:.1}s files={} dirs={} blocks={} tape={}MiB rr={}MiB sr={}MiB rw={}MiB sw={}MiB",
+                    p.name,
+                    p.cpu_secs,
+                    p.files,
+                    p.dirs,
+                    p.blocks,
+                    p.tape_bytes >> 20,
+                    p.disk_rand_read >> 20,
+                    p.disk_seq_read >> 20,
+                    p.disk_rand_write >> 20,
+                    p.disk_seq_write >> 20,
+                );
+            }
+        }
+    }
+    let mut sim = FluidSim::new();
+    let cpu = sim.add_resource("cpu", 1.0);
+    let disk = sim.add_resource("disk", arms);
+    let meta = sim.add_resource("meta", 1.0);
+    let mut ids_per_stream = Vec::new();
+    let mut handles = Vec::new();
+    for (i, stages) in streams.iter().enumerate() {
+        let tape = sim.add_resource(format!("tape{i}"), 1.0);
+        let ids = ResourceIds { cpu, disk, tape, meta };
+        ids_per_stream.push(ids);
+        let fluid_stages = stages
+            .iter()
+            .map(|p| stage_to_fluid(p, model, &ids, n, kind))
+            .collect();
+        handles.push(sim.add_stream(Stream {
+            name: format!("{op} #{i}"),
+            start_at: 0.0,
+            stages: fluid_stages,
+        }));
+    }
+    let trace = sim.run().expect("fluid model solvable");
+
+    // Aggregate per stage name, preserving first-appearance order.
+    let mut order: Vec<String> = Vec::new();
+    for s in streams.iter().flatten() {
+        if !order.contains(&s.name) {
+            order.push(s.name.clone());
+        }
+    }
+    let mut rows = Vec::new();
+    for name in order {
+        let recs: Vec<_> = trace.stages.iter().filter(|r| r.name == name).collect();
+        if recs.is_empty() {
+            continue;
+        }
+        let t0 = recs.iter().map(|r| r.t0).fold(f64::INFINITY, f64::min);
+        let t1 = recs.iter().map(|r| r.t1).fold(0.0, f64::max);
+        let disk_bytes: u64 = streams
+            .iter()
+            .flatten()
+            .filter(|p| p.name == name)
+            .map(|p| p.disk_bytes())
+            .sum();
+        let tape_bytes: u64 = streams
+            .iter()
+            .flatten()
+            .filter(|p| p.name == name)
+            .map(|p| p.tape_bytes)
+            .sum();
+        let window = (t1 - t0).max(1e-9);
+        rows.push(StageRow {
+            op,
+            stage: name,
+            elapsed: t1 - t0,
+            cpu_util: trace.utilization(cpu, t0, t1),
+            disk_mb_s: disk_bytes as f64 / MIB as f64 / window,
+            tape_mb_s: tape_bytes as f64 / MIB as f64 / window,
+        });
+    }
+    SimOp {
+        rows,
+        elapsed: trace.makespan(),
+    }
+}
+
+/// Scales a profiler's stages to paper size.
+fn scaled_stages(stages: &[StageProfile], factor: f64) -> Vec<StageProfile> {
+    stages.iter().map(|p| p.scaled(factor)).collect()
+}
+
+/// Everything measured from one functional pass over a built volume.
+pub struct FunctionalRuns {
+    /// Whole-volume logical dump stages.
+    pub logical_dump: Vec<StageProfile>,
+    /// Whole-volume logical restore stages.
+    pub logical_restore: Vec<StageProfile>,
+    /// Image dump stages.
+    pub image_dump: Vec<StageProfile>,
+    /// Image restore stages.
+    pub image_restore: Vec<StageProfile>,
+    /// Per-qtree logical dump stages (for the parallel experiments).
+    pub qtree_dumps: Vec<Vec<StageProfile>>,
+    /// Per-qtree logical restore stages.
+    pub qtree_restores: Vec<Vec<StageProfile>>,
+    /// Data blocks in the logical dump.
+    pub logical_blocks: u64,
+    /// Blocks in the image dump.
+    pub image_blocks: u64,
+    /// Files dumped.
+    pub files: u64,
+}
+
+/// Runs every functional backup/restore pass the tables need.
+pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
+    let geometry = home.profile.geometry.clone();
+    let mut catalog = DumpCatalog::new();
+    let tape_blank = 64 * (1u64 << 30);
+
+    eprintln!("[run] logical dump (whole volume)...");
+    let mut tape_l = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
+    let ld = dump(
+        &mut home.fs,
+        &mut tape_l,
+        &mut catalog,
+        &DumpOptions {
+            volume_name: home.profile.name.clone(),
+            ..DumpOptions::default()
+        },
+    )
+    .expect("logical dump");
+
+    eprintln!("[run] logical restore (whole volume)...");
+    let mut fresh = Wafl::format_with(
+        Volume::new(geometry.clone()),
+        WaflConfig::default(),
+        home.fs.meter(),
+        CostModel::f630(),
+    )
+    .expect("format restore target");
+    let lr = restore(&mut fresh, &mut tape_l, "/").expect("logical restore");
+    drop(fresh);
+    drop(tape_l);
+
+    eprintln!("[run] image dump...");
+    let mut tape_p = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
+    let pd = image_dump_full(&mut home.fs, &mut tape_p, "image.base").expect("image dump");
+
+    eprintln!("[run] image restore...");
+    let mut fresh_vol = Volume::new(geometry.clone());
+    let meter = home.fs.meter();
+    let pr = image_restore(&mut tape_p, &mut fresh_vol, &meter, &CostModel::f630())
+        .expect("image restore");
+    drop(fresh_vol);
+    drop(tape_p);
+
+    // Per-qtree passes for the parallel tables.
+    let mut qtree_dumps = Vec::new();
+    let mut qtree_restores = Vec::new();
+    if !home.outcome.qtree_paths.is_empty() {
+        let mut target = Wafl::format_with(
+            Volume::new(geometry),
+            WaflConfig::default(),
+            home.fs.meter(),
+            CostModel::f630(),
+        )
+        .expect("format qtree restore target");
+        for (i, q) in home.outcome.qtree_paths.clone().iter().enumerate() {
+            eprintln!("[run] logical dump + restore of {q}...");
+            let mut tape = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
+            let out = dump(
+                &mut home.fs,
+                &mut tape,
+                &mut catalog,
+                &DumpOptions {
+                    subtree: q.clone(),
+                    volume_name: home.profile.name.clone(),
+                    ..DumpOptions::default()
+                },
+            )
+            .expect("qtree dump");
+            let scratch = format!("q{i}");
+            target
+                .create(INO_ROOT, &scratch, FileType::Dir, Attrs::default())
+                .expect("scratch dir");
+            let rout = restore(&mut target, &mut tape, &scratch).expect("qtree restore");
+            qtree_dumps.push(out.profiler.stages);
+            qtree_restores.push(rout.profiler.stages);
+        }
+    }
+
+    FunctionalRuns {
+        logical_dump: ld.profiler.stages,
+        logical_restore: lr.profiler.stages,
+        image_dump: pd.profiler.stages,
+        image_restore: pr.profiler.stages,
+        qtree_dumps,
+        qtree_restores,
+        logical_blocks: ld.data_blocks,
+        image_blocks: pd.blocks,
+        files: ld.files,
+    }
+}
+
+/// Runs the single-drive experiments (Tables 2 and 3).
+pub fn run_basic(home: &mut BuiltVolume, runs: &FunctionalRuns, model: &FilerModel) -> BasicResults {
+    let factor = home.paper_factor();
+    let arms = home.profile.geometry.total_disks() as f64;
+
+    let ld = simulate_op(
+        "Logical Dump",
+        &[scaled_stages(&runs.logical_dump, factor)],
+        arms,
+        OpKind::LogicalDump,
+        model,
+    );
+    // Restore reads the tape continuously, so it does not pay the dump
+    // stream's start/stop efficiency loss.
+    let lr = simulate_op(
+        "Logical Restore",
+        &[scaled_stages(&runs.logical_restore, factor)],
+        arms,
+        OpKind::LogicalRestore,
+        model,
+    );
+    let pd = simulate_op(
+        "Physical Dump",
+        &[scaled_stages(&runs.image_dump, factor)],
+        arms,
+        OpKind::PhysicalDump,
+        model,
+    );
+    let pr = simulate_op(
+        "Physical Restore",
+        &[scaled_stages(&runs.image_restore, factor)],
+        arms,
+        OpKind::PhysicalRestore,
+        model,
+    );
+
+    let logical_bytes = (runs.logical_blocks as f64 * 4096.0 * factor) as u64;
+    let physical_bytes = (runs.image_blocks as f64 * 4096.0 * factor) as u64;
+    let summary = |name, elapsed, bytes: u64| OpSummary {
+        name,
+        elapsed,
+        mb_s: simkit::units::mib_per_sec(bytes, elapsed),
+        gb_h: simkit::units::gib_per_hour(bytes, elapsed),
+    };
+    let table2 = vec![
+        summary("Logical Backup", ld.elapsed, logical_bytes),
+        summary("Logical Restore", lr.elapsed, logical_bytes),
+        summary("Physical Backup", pd.elapsed, physical_bytes),
+        summary("Physical Restore", pr.elapsed, physical_bytes),
+    ];
+    let mut table3 = Vec::new();
+    table3.extend(ld.rows);
+    table3.extend(lr.rows);
+    table3.extend(pd.rows);
+    table3.extend(pr.rows);
+
+    BasicResults {
+        table2,
+        table3,
+        logical_bytes,
+        physical_bytes,
+        files: (runs.files as f64 * factor) as u64,
+        frag: home.frag,
+    }
+}
+
+/// Results for a parallel experiment (Tables 4 and 5).
+#[derive(Debug)]
+pub struct ParallelResults {
+    /// Tape drives used.
+    pub n_drives: usize,
+    /// Stage rows across all four operations.
+    pub rows: Vec<StageRow>,
+    /// Logical backup throughput, GB/h.
+    pub logical_gb_h: f64,
+    /// Physical backup throughput, GB/h.
+    pub physical_gb_h: f64,
+    /// Logical restore makespan, seconds.
+    pub logical_restore_elapsed: f64,
+    /// Physical restore makespan, seconds.
+    pub physical_restore_elapsed: f64,
+}
+
+/// Distributes `parts` (per-qtree stage lists) over `n` streams, merging
+/// the qtrees assigned to one drive into a single combined dump (the
+/// operator makes "n equal sized independent pieces": with 2 drives each
+/// piece is two qtrees dumped as one stream).
+fn merge_into_streams(parts: &[Vec<StageProfile>], n: usize, factor: f64) -> Vec<Vec<StageProfile>> {
+    let mut streams: Vec<Vec<StageProfile>> = vec![Vec::new(); n];
+    for (i, part) in parts.iter().enumerate() {
+        let target = &mut streams[i % n];
+        for p in scaled_stages(part, factor) {
+            if let Some(existing) = target.iter_mut().find(|e| e.name == p.name) {
+                existing.cpu_secs += p.cpu_secs;
+                existing.disk_seq_read += p.disk_seq_read;
+                existing.disk_rand_read += p.disk_rand_read;
+                existing.disk_seq_write += p.disk_seq_write;
+                existing.disk_rand_write += p.disk_rand_write;
+                existing.tape_bytes += p.tape_bytes;
+                existing.files += p.files;
+                existing.dirs += p.dirs;
+                existing.blocks += p.blocks;
+            } else {
+                target.push(p);
+            }
+        }
+    }
+    streams
+}
+
+/// Runs a parallel experiment with `n` tape drives.
+///
+/// Logical work is the volume's qtrees distributed over the drives (the
+/// paper's "4 equal sized independent pieces"); physical work is the image
+/// stream striped evenly.
+pub fn run_parallel(
+    home: &mut BuiltVolume,
+    runs: &FunctionalRuns,
+    model: &FilerModel,
+    n: usize,
+) -> ParallelResults {
+    assert!(n >= 1);
+    let factor = home.paper_factor();
+    let arms = home.profile.geometry.total_disks() as f64;
+
+    // Logical: chain qtree dumps/restores onto n drives, dropping the
+    // per-dump snapshot rows (the paper's parallel tables omit them too).
+    let strip_snapshots = |stages: Vec<Vec<StageProfile>>| -> Vec<Vec<StageProfile>> {
+        stages
+            .into_iter()
+            .map(|s| {
+                s.into_iter()
+                    .filter(|p| !p.name.contains("snapshot"))
+                    .collect()
+            })
+            .collect()
+    };
+    let ld_streams = strip_snapshots(merge_into_streams(&runs.qtree_dumps, n, factor));
+    let lr_streams = strip_snapshots(merge_into_streams(&runs.qtree_restores, n, factor));
+    let ld = simulate_op("Logical Backup", &ld_streams, arms, OpKind::LogicalDump, model);
+    let lr = simulate_op("Logical Restore", &lr_streams, arms, OpKind::LogicalRestore, model);
+
+    // Physical: stripe the image evenly across drives.
+    let stripe = |stages: &[StageProfile]| -> Vec<Vec<StageProfile>> {
+        (0..n)
+            .map(|_| {
+                stages
+                    .iter()
+                    .filter(|p| !p.name.contains("snapshot"))
+                    .map(|p| p.scaled(factor / n as f64))
+                    .collect()
+            })
+            .collect()
+    };
+    let pd = simulate_op(
+        "Physical Backup",
+        &stripe(&runs.image_dump),
+        arms,
+        OpKind::PhysicalDump,
+        model,
+    );
+    let pr = simulate_op(
+        "Physical Restore",
+        &stripe(&runs.image_restore),
+        arms,
+        OpKind::PhysicalRestore,
+        model,
+    );
+
+    let logical_bytes = (runs.logical_blocks as f64 * 4096.0 * factor) as u64;
+    let physical_bytes = (runs.image_blocks as f64 * 4096.0 * factor) as u64;
+    let mut rows = Vec::new();
+    let logical_gb_h = simkit::units::gib_per_hour(logical_bytes, ld.elapsed);
+    let physical_gb_h = simkit::units::gib_per_hour(physical_bytes, pd.elapsed);
+    let lr_elapsed = lr.elapsed;
+    let pr_elapsed = pr.elapsed;
+    rows.extend(ld.rows);
+    rows.extend(lr.rows);
+    rows.extend(pd.rows);
+    rows.extend(pr.rows);
+
+    ParallelResults {
+        n_drives: n,
+        rows,
+        logical_gb_h,
+        physical_gb_h,
+        logical_restore_elapsed: lr_elapsed,
+        physical_restore_elapsed: pr_elapsed,
+    }
+}
+
+/// One point of the scaling study (§5.3 summary).
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Tape drives.
+    pub drives: usize,
+    /// Backup throughput, GB/h.
+    pub gb_h: f64,
+    /// Per-drive throughput, GB/h.
+    pub per_tape: f64,
+}
+
+/// Sweeps drive counts for both strategies.
+pub fn run_scaling(
+    home: &mut BuiltVolume,
+    runs: &FunctionalRuns,
+    model: &FilerModel,
+) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for n in [1usize, 2, 4] {
+        let r = run_parallel(home, runs, model, n);
+        points.push(ScalePoint {
+            strategy: "logical",
+            drives: n,
+            gb_h: r.logical_gb_h,
+            per_tape: r.logical_gb_h / n as f64,
+        });
+    }
+    for n in 1..=6usize {
+        let r = run_parallel(home, runs, model, n);
+        points.push(ScalePoint {
+            strategy: "physical",
+            drives: n,
+            gb_h: r.physical_gb_h,
+            per_tape: r.physical_gb_h / n as f64,
+        });
+    }
+    points
+}
+
+/// Convenience: build `home` and run everything the single-volume tables
+/// need.
+pub fn prepare(scale: f64, seed: u64) -> (BuiltVolume, FunctionalRuns) {
+    let mut home = build_home(scale, seed);
+    let runs = functional_runs(&mut home);
+    (home, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared tiny prepared volume for the shape tests (building it is
+    /// the expensive part).
+    fn prepared() -> (BuiltVolume, FunctionalRuns) {
+        prepare(1.0 / 1024.0, 7)
+    }
+
+    #[test]
+    fn paper_shape_holds_end_to_end() {
+        let (mut home, runs) = prepared();
+        let model = FilerModel::f630();
+        let basic = run_basic(&mut home, &runs, &model);
+
+        let get = |name: &str| {
+            basic
+                .table2
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .clone()
+        };
+        let lb = get("Logical Backup");
+        let lr = get("Logical Restore");
+        let pb = get("Physical Backup");
+        let pr = get("Physical Restore");
+
+        // Table 2 shape: physical backup beats logical by roughly 20 %;
+        // physical restore clearly beats logical restore.
+        let backup_ratio = pb.mb_s / lb.mb_s;
+        assert!(
+            (1.05..1.6).contains(&backup_ratio),
+            "backup ratio = {backup_ratio:.2}"
+        );
+        assert!(
+            pr.mb_s > lr.mb_s * 1.2,
+            "physical restore {:.2} must beat logical {:.2}",
+            pr.mb_s,
+            lr.mb_s
+        );
+
+        // Table 3 shape: CPU ratios. Logical dump's file pass uses several
+        // times the CPU of physical dump's block pass.
+        let stage = |op: &str, st: &str| {
+            basic
+                .table3
+                .iter()
+                .find(|r| r.op == op && r.stage == st)
+                .unwrap_or_else(|| panic!("{op}/{st} missing"))
+                .clone()
+        };
+        let files = stage("Logical Dump", "dumping files");
+        let blocks = stage("Physical Dump", "dumping blocks");
+        let cpu_ratio = files.cpu_util / blocks.cpu_util;
+        assert!((3.0..8.0).contains(&cpu_ratio), "cpu ratio = {cpu_ratio:.2}");
+        let fill = stage("Logical Restore", "filling in data");
+        let rblocks = stage("Physical Restore", "restoring blocks");
+        let restore_cpu_ratio = fill.cpu_util / rblocks.cpu_util;
+        assert!(
+            (2.0..6.0).contains(&restore_cpu_ratio),
+            "restore cpu ratio = {restore_cpu_ratio:.2}"
+        );
+
+        // Both single-drive backups are tape-bound: tape throughput near
+        // the drive's streaming rate.
+        assert!(blocks.tape_mb_s > 7.5, "physical tape MB/s = {}", blocks.tape_mb_s);
+        assert!(files.tape_mb_s > 6.0, "logical tape MB/s = {}", files.tape_mb_s);
+    }
+
+    #[test]
+    fn parallel_scaling_matches_the_paper() {
+        let (mut home, runs) = prepared();
+        let model = FilerModel::f630();
+        let one = run_parallel(&mut home, &runs, &model, 1);
+        let four = run_parallel(&mut home, &runs, &model, 4);
+
+        // Physical scales nearly linearly; logical saturates.
+        let phys_speedup = four.physical_gb_h / one.physical_gb_h;
+        assert!((3.2..4.05).contains(&phys_speedup), "physical x{phys_speedup:.2}");
+        let log_speedup = four.logical_gb_h / one.logical_gb_h;
+        assert!(
+            log_speedup < phys_speedup - 0.4,
+            "logical x{log_speedup:.2} should trail physical x{phys_speedup:.2}"
+        );
+
+        // §5.3: at 4 drives physical per-tape beats logical per-tape by
+        // ~1.6x (27.6 vs 17.4 GB/h/tape).
+        let ratio = four.physical_gb_h / four.logical_gb_h;
+        assert!((1.25..2.2).contains(&ratio), "4-drive ratio = {ratio:.2}");
+
+        // The 4-drive logical file pass: high CPU, tape well under
+        // streaming speed — "the bottleneck in this case must be the
+        // disks".
+        let files = four
+            .rows
+            .iter()
+            .find(|r| r.op == "Logical Backup" && r.stage == "dumping files")
+            .expect("files row");
+        assert!(files.cpu_util > 0.6, "cpu = {:.2}", files.cpu_util);
+        let per_tape = files.tape_mb_s / 4.0;
+        assert!(per_tape < 7.5, "per-tape MB/s = {per_tape:.2}");
+    }
+}

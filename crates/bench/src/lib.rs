@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The benchmark harness: regenerates every table in the paper's §5.
+//!
+//! How a number is produced (the full pipeline):
+//!
+//! 1. [`build`] constructs a scaled `home` (or `rlse`) volume: real WAFL on
+//!    simulated RAID-4, populated and *aged* so the free space — and hence
+//!    every file — is scattered like the paper's mature data sets.
+//! 2. The real backup engines run against it; every stage records the CPU
+//!    seconds and classified device traffic it generated
+//!    ([`backup_core::report::StageProfile`]).
+//! 3. [`calibrate`] converts those measured demands (linearly re-scaled to
+//!    the paper's 188 GB) into fluid-solver stages against the F630 device
+//!    model: one 500 MHz CPU, per-arm disk rates, DLT-7000 drives.
+//! 4. [`simkit::fluid`] computes elapsed time and utilization under
+//!    contention — including the paper's parallel configurations — and
+//!    [`tables`] prints rows in the paper's format next to the paper's own
+//!    numbers.
+//!
+//! Binaries: `table1` … `table5`, `scaling`, `concurrent_volumes`, `all`.
+
+pub mod build;
+pub mod calibrate;
+pub mod experiments;
+pub mod tables;
+
+pub use build::BuiltVolume;
+pub use calibrate::FilerModel;

@@ -1,0 +1,384 @@
+//! The 4 KiB block and its payload representations.
+
+/// Size of every block in the system, matching WAFL's 4 KB blocks with no
+/// fragments.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A block number. Meaning depends on context: disk-relative for
+/// [`crate::SimDisk`], volume-relative above the RAID layer.
+pub type Bno = u64;
+
+/// A block payload.
+///
+/// `Synthetic` is the trick that makes paper-scale volumes simulable: the
+/// payload is a deterministic pseudo-random expansion of an 8-byte seed, so
+/// a block costs 16 bytes of host memory instead of 4 KiB while remaining a
+/// *real*, reproducible payload ([`Block::materialize`] produces it on
+/// demand, and [`Block::content_digest`] is computed over those exact
+/// bytes).
+///
+/// `Xor` exists for RAID parity: the byte-wise XOR of synthetic blocks is
+/// not itself a seed expansion, but it *is* exactly represented by the
+/// multiset of contributing seeds (pairs cancel) plus a literal residue for
+/// any `Bytes` contributions. [`Block::xor`] computes in that compressed
+/// algebra; materializing an `Xor` block XORs the seed expansions and the
+/// residue, so the representation is faithful, not an approximation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Block {
+    /// All zeroes (also the state of never-written blocks).
+    Zero,
+    /// Deterministic 4 KiB expansion of the seed.
+    Synthetic(u64),
+    /// Literal bytes.
+    Bytes(Box<[u8; BLOCK_SIZE]>),
+    /// XOR of the expansions of `seeds` (each appearing an odd number of
+    /// times) and the optional literal residue. Kept canonical: see
+    /// [`XorRep`].
+    Xor(Box<XorRep>),
+}
+
+/// Canonical XOR representation: `seeds` sorted and containing only seeds
+/// that appear an odd number of times; `literal` absent when all-zero. A
+/// canonical `XorRep` never degenerates to a simpler variant (that case is
+/// normalized away by [`Block::xor`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorRep {
+    /// Seeds whose expansions participate in the XOR.
+    pub seeds: Vec<u64>,
+    /// Literal byte residue, XORed on top of the seed expansions.
+    pub literal: Option<Box<[u8; BLOCK_SIZE]>>,
+}
+
+/// 64-bit FNV-1a, the digest used throughout the workspace (local
+/// implementation to avoid a hashing dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 step, used to expand synthetic seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Block {
+    /// Builds a `Bytes` block from a slice, zero-padding to 4 KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than [`BLOCK_SIZE`].
+    pub fn from_bytes(data: &[u8]) -> Block {
+        assert!(data.len() <= BLOCK_SIZE, "payload exceeds block size");
+        let mut buf = Box::new([0u8; BLOCK_SIZE]);
+        buf[..data.len()].copy_from_slice(data);
+        Block::Bytes(buf)
+    }
+
+    /// Expands the payload to its full 4 KiB of bytes.
+    pub fn materialize(&self) -> Box<[u8; BLOCK_SIZE]> {
+        match self {
+            Block::Zero => Box::new([0u8; BLOCK_SIZE]),
+            Block::Synthetic(seed) => {
+                let mut buf = Box::new([0u8; BLOCK_SIZE]);
+                let mut state = *seed;
+                for chunk in buf.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+                }
+                buf
+            }
+            Block::Bytes(b) => b.clone(),
+            Block::Xor(rep) => {
+                let mut buf = Box::new([0u8; BLOCK_SIZE]);
+                for &seed in &rep.seeds {
+                    let expansion = Block::Synthetic(seed).materialize();
+                    for (dst, src) in buf.iter_mut().zip(expansion.iter()) {
+                        *dst ^= src;
+                    }
+                }
+                if let Some(lit) = &rep.literal {
+                    for (dst, src) in buf.iter_mut().zip(lit.iter()) {
+                        *dst ^= src;
+                    }
+                }
+                buf
+            }
+        }
+    }
+
+    /// Byte-wise XOR of two blocks, computed in the compressed algebra.
+    ///
+    /// The result's [`Block::materialize`] equals the byte-wise XOR of the
+    /// operands' materializations. Synthetic contributions cancel in pairs
+    /// (so `a.xor(&a)` is [`Block::Zero`] without touching bytes); literal
+    /// contributions accumulate into the residue.
+    pub fn xor(&self, other: &Block) -> Block {
+        let (mut seeds, lit_a) = self.decompose();
+        let (seeds_b, lit_b) = other.decompose();
+        seeds.extend(seeds_b);
+        seeds.sort_unstable();
+        // Keep seeds that appear an odd number of times.
+        let mut odd: Vec<u64> = Vec::with_capacity(seeds.len());
+        let mut i = 0;
+        while i < seeds.len() {
+            let mut j = i;
+            while j < seeds.len() && seeds[j] == seeds[i] {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                odd.push(seeds[i]);
+            }
+            i = j;
+        }
+        let literal = match (lit_a, lit_b) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(mut a), Some(b)) => {
+                for (dst, src) in a.iter_mut().zip(b.iter()) {
+                    *dst ^= src;
+                }
+                Some(a)
+            }
+        };
+        let literal = literal.filter(|l| l.iter().any(|&x| x != 0));
+        match (odd.len(), literal) {
+            (0, None) => Block::Zero,
+            (1, None) => Block::Synthetic(odd[0]),
+            (0, Some(l)) => Block::Bytes(l),
+            (_, literal) => Block::Xor(Box::new(XorRep {
+                seeds: odd,
+                literal,
+            })),
+        }
+    }
+
+    /// Splits a block into (seed multiset, literal residue).
+    fn decompose(&self) -> (Vec<u64>, Option<Box<[u8; BLOCK_SIZE]>>) {
+        match self {
+            Block::Zero => (Vec::new(), None),
+            Block::Synthetic(seed) => (vec![*seed], None),
+            Block::Bytes(b) => (Vec::new(), Some(b.clone())),
+            Block::Xor(rep) => (rep.seeds.clone(), rep.literal.clone()),
+        }
+    }
+
+    /// FNV-1a digest of the materialized content.
+    ///
+    /// Expensive for `Synthetic`/`Zero` (forces materialization); use
+    /// [`Block::same_content`] for comparisons and this only where an actual
+    /// digest must be recorded (e.g. stream trailers in full fidelity).
+    pub fn content_digest(&self) -> u64 {
+        fnv1a(&self.materialize()[..])
+    }
+
+    /// Exact content equality without unnecessary materialization.
+    ///
+    /// Identical representations compare directly; mixed representations
+    /// fall back to comparing materialized bytes, so the result always
+    /// agrees with comparing [`Block::materialize`] outputs.
+    pub fn same_content(&self, other: &Block) -> bool {
+        match (self, other) {
+            (Block::Zero, Block::Zero) => true,
+            (Block::Synthetic(a), Block::Synthetic(b)) => a == b,
+            (Block::Bytes(a), Block::Bytes(b)) => a == b,
+            // Canonical XOR reps are equal exactly when built from the same
+            // contributions; different reps still get an exact byte check.
+            (Block::Xor(a), Block::Xor(b)) if a == b => true,
+            _ => self.materialize() == other.materialize(),
+        }
+    }
+
+    /// True if the payload is all zeroes.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Block::Zero => true,
+            Block::Bytes(b) => b.iter().all(|&x| x == 0),
+            // Seed expansions and canonical XOR residues are never all-zero
+            // in practice, but answer exactly anyway.
+            Block::Synthetic(_) | Block::Xor(_) => self.materialize().iter().all(|&x| x == 0),
+        }
+    }
+
+    /// A cheap representation-level fingerprint (not content-stable across
+    /// representations; used only for hash-map style bookkeeping).
+    pub fn repr_fingerprint(&self) -> u64 {
+        match self {
+            Block::Zero => 0,
+            Block::Synthetic(seed) => {
+                let mut s = *seed;
+                splitmix64(&mut s) | 1
+            }
+            Block::Bytes(b) => fnv1a(&b[..]) | 1,
+            Block::Xor(rep) => {
+                let mut h = 0x5851_f42d_4c95_7f2d;
+                for &s in &rep.seeds {
+                    h ^= s;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                if let Some(lit) = &rep.literal {
+                    h ^= fnv1a(&lit[..]);
+                }
+                h | 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_block_materializes_to_zeroes() {
+        let b = Block::Zero.materialize();
+        assert!(b.iter().all(|&x| x == 0));
+        assert!(Block::Zero.is_zero());
+    }
+
+    #[test]
+    fn synthetic_expansion_is_deterministic() {
+        let a = Block::Synthetic(42).materialize();
+        let b = Block::Synthetic(42).materialize();
+        assert_eq!(a, b);
+        assert_ne!(a, Block::Synthetic(43).materialize());
+    }
+
+    #[test]
+    fn synthetic_is_not_zero() {
+        assert!(!Block::Synthetic(7).is_zero());
+    }
+
+    #[test]
+    fn from_bytes_pads_with_zeroes() {
+        let b = Block::from_bytes(&[1, 2, 3]);
+        let m = b.materialize();
+        assert_eq!(&m[..3], &[1, 2, 3]);
+        assert!(m[3..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block size")]
+    fn oversized_payload_panics() {
+        Block::from_bytes(&[0u8; BLOCK_SIZE + 1]);
+    }
+
+    #[test]
+    fn same_content_across_representations() {
+        let syn = Block::Synthetic(5);
+        let bytes = Block::Bytes(syn.materialize());
+        assert!(syn.same_content(&bytes));
+        assert!(bytes.same_content(&syn));
+        assert!(!syn.same_content(&Block::Synthetic(6)));
+        let zero_bytes = Block::from_bytes(&[]);
+        assert!(zero_bytes.same_content(&Block::Zero));
+    }
+
+    #[test]
+    fn content_digest_matches_materialized_fnv() {
+        let b = Block::Synthetic(99);
+        assert_eq!(b.content_digest(), fnv1a(&b.materialize()[..]));
+        // And it is representation independent.
+        let bytes = Block::Bytes(b.materialize());
+        assert_eq!(b.content_digest(), bytes.content_digest());
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // And of "a" is a published constant.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn block_is_compact() {
+        // The whole point of Synthetic payloads: a block handle must stay
+        // pointer-sized-ish so paper-scale volumes fit in memory.
+        assert!(std::mem::size_of::<Block>() <= 16);
+    }
+
+    /// XOR of materialized buffers, the ground truth the algebra must match.
+    fn xor_bytes(a: &Block, b: &Block) -> Box<[u8; BLOCK_SIZE]> {
+        let mut buf = a.materialize();
+        for (dst, src) in buf.iter_mut().zip(b.materialize().iter()) {
+            *dst ^= src;
+        }
+        buf
+    }
+
+    #[test]
+    fn xor_matches_bytewise_ground_truth() {
+        let cases = [
+            (Block::Synthetic(1), Block::Synthetic(2)),
+            (Block::Synthetic(1), Block::Zero),
+            (Block::from_bytes(&[1, 2, 3]), Block::Synthetic(9)),
+            (Block::from_bytes(&[0xff; 64]), Block::from_bytes(&[0x0f; 64])),
+        ];
+        for (a, b) in cases {
+            let via_algebra = a.xor(&b).materialize();
+            assert_eq!(via_algebra, xor_bytes(&a, &b), "mismatch for {a:?} ^ {b:?}");
+        }
+    }
+
+    #[test]
+    fn xor_self_cancels_to_zero() {
+        let a = Block::Synthetic(42);
+        assert_eq!(a.xor(&a), Block::Zero);
+        let b = Block::from_bytes(&[5, 6, 7]);
+        assert_eq!(b.xor(&b), Block::Zero);
+        let x = a.xor(&b);
+        assert_eq!(x.xor(&x), Block::Zero);
+    }
+
+    #[test]
+    fn xor_normalizes_simple_forms() {
+        // zero ^ synthetic -> synthetic, not an Xor wrapper.
+        assert_eq!(Block::Zero.xor(&Block::Synthetic(3)), Block::Synthetic(3));
+        // (a ^ b) ^ b -> a.
+        let a = Block::Synthetic(10);
+        let b = Block::Synthetic(11);
+        assert_eq!(a.xor(&b).xor(&b), a);
+        // bytes ^ zero stays plain bytes.
+        let lit = Block::from_bytes(&[9]);
+        assert_eq!(lit.xor(&Block::Zero), lit);
+    }
+
+    #[test]
+    fn xor_is_associative_and_commutative_in_effect() {
+        let a = Block::Synthetic(1);
+        let b = Block::Synthetic(2);
+        let c = Block::from_bytes(&[7; 32]);
+        let left = a.xor(&b).xor(&c);
+        let right = c.xor(&b).xor(&a);
+        assert!(left.same_content(&right));
+    }
+
+    #[test]
+    fn parity_reconstruction_recovers_member() {
+        // Parity of three "disks"; losing d1 must be recoverable.
+        let d0 = Block::Synthetic(100);
+        let d1 = Block::Synthetic(200);
+        let d2 = Block::from_bytes(&[3, 1, 4]);
+        let parity = d0.xor(&d1).xor(&d2);
+        let recovered = parity.xor(&d0).xor(&d2);
+        assert!(recovered.same_content(&d1));
+        assert_eq!(recovered, d1);
+    }
+
+    #[test]
+    fn xor_same_content_fallback_is_exact() {
+        let a = Block::Synthetic(1).xor(&Block::Synthetic(2));
+        let b = Block::Bytes(a.materialize());
+        assert!(a.same_content(&b));
+        let c = Block::Synthetic(1).xor(&Block::Synthetic(3));
+        assert!(!a.same_content(&c));
+    }
+}

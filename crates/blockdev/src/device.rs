@@ -1,0 +1,42 @@
+//! The block device trait.
+
+use crate::block::Block;
+use crate::block::Bno;
+use crate::error::DevError;
+use crate::stats::DeviceStats;
+
+/// A 4 KiB-block random-access device.
+///
+/// Methods take `&mut self`: a device has mutable mechanical state (head
+/// position) and accounting state even on reads, and the single-threaded
+/// simulation has no need for internal locking.
+pub trait BlockDevice {
+    /// Device capacity in blocks.
+    fn nblocks(&self) -> u64;
+
+    /// Reads one block.
+    fn read(&mut self, bno: Bno) -> Result<Block, DevError>;
+
+    /// Writes one block.
+    fn write(&mut self, bno: Bno, block: Block) -> Result<(), DevError>;
+
+    /// Access counters accumulated so far.
+    fn stats(&self) -> DeviceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskPerf;
+    use crate::disk::SimDisk;
+
+    // Exercise the trait through a trait object to keep it object-safe.
+    #[test]
+    fn trait_is_object_safe() {
+        let mut disk: Box<dyn BlockDevice> = Box::new(SimDisk::new(16, DiskPerf::ideal()));
+        disk.write(3, Block::Synthetic(1)).unwrap();
+        assert!(disk.read(3).unwrap().same_content(&Block::Synthetic(1)));
+        assert_eq!(disk.nblocks(), 16);
+        assert_eq!(disk.stats().writes().ops, 1);
+    }
+}

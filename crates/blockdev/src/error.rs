@@ -1,0 +1,50 @@
+//! Device error types.
+
+use crate::block::Bno;
+
+/// Errors returned by block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Access beyond the end of the device.
+    OutOfRange {
+        /// The offending block number.
+        bno: Bno,
+        /// The device size in blocks.
+        nblocks: u64,
+    },
+    /// An unrecoverable medium error at the given block (injected fault or
+    /// failed disk).
+    Io {
+        /// The failing block number.
+        bno: Bno,
+    },
+    /// The whole device has failed (simulated disk death).
+    Offline,
+}
+
+impl std::fmt::Display for DevError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DevError::OutOfRange { bno, nblocks } => {
+                write!(f, "block {bno} out of range (device has {nblocks} blocks)")
+            }
+            DevError::Io { bno } => write!(f, "I/O error at block {bno}"),
+            DevError::Offline => write!(f, "device offline"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = DevError::OutOfRange { bno: 9, nblocks: 4 };
+        assert!(e.to_string().contains("block 9"));
+        assert!(DevError::Io { bno: 3 }.to_string().contains("3"));
+        assert_eq!(DevError::Offline.to_string(), "device offline");
+    }
+}

@@ -1,0 +1,113 @@
+//! Fault injection for robustness experiments.
+//!
+//! The paper argues (§3/§4) that logical backup tolerates localized media
+//! corruption while physical backup does not; the integration tests inject
+//! faults here and on tape records to demonstrate exactly that asymmetry.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::block::Block;
+use crate::block::Bno;
+
+/// Programmed faults for one device.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    read_errors: HashSet<Bno>,
+    write_errors: HashSet<Bno>,
+    corruptions: HashMap<Bno, u64>,
+}
+
+impl FaultPlan {
+    /// Makes every future read of `bno` fail with an I/O error.
+    pub fn fail_read(&mut self, bno: Bno) {
+        self.read_errors.insert(bno);
+    }
+
+    /// Makes every future write of `bno` fail with an I/O error.
+    pub fn fail_write(&mut self, bno: Bno) {
+        self.write_errors.insert(bno);
+    }
+
+    /// Makes future reads of `bno` return silently corrupted data (the
+    /// payload is replaced by a synthetic block derived from `salt`).
+    pub fn corrupt(&mut self, bno: Bno, salt: u64) {
+        self.corruptions.insert(bno, salt);
+    }
+
+    /// Clears all programmed faults.
+    pub fn clear(&mut self) {
+        self.read_errors.clear();
+        self.write_errors.clear();
+        self.corruptions.clear();
+    }
+
+    /// Whether a read of `bno` should fail.
+    pub fn read_fails(&self, bno: Bno) -> bool {
+        self.read_errors.contains(&bno)
+    }
+
+    /// Whether a write of `bno` should fail.
+    pub fn write_fails(&self, bno: Bno) -> bool {
+        self.write_errors.contains(&bno)
+    }
+
+    /// Applies silent corruption to a block being returned from `bno`.
+    pub fn maybe_corrupt(&self, bno: Bno, block: Block) -> Block {
+        match self.corruptions.get(&bno) {
+            Some(&salt) => Block::Synthetic(salt ^ 0xdead_beef_dead_beef),
+            None => block,
+        }
+    }
+
+    /// True if no faults are programmed.
+    pub fn is_empty(&self) -> bool {
+        self.read_errors.is_empty() && self.write_errors.is_empty() && self.corruptions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BlockDevice;
+    use crate::disk::DiskPerf;
+    use crate::disk::SimDisk;
+    use crate::error::DevError;
+
+    #[test]
+    fn read_fault_surfaces_as_io_error() {
+        let mut d = SimDisk::new(4, DiskPerf::ideal());
+        d.faults_mut().fail_read(2);
+        assert_eq!(d.read(2), Err(DevError::Io { bno: 2 }));
+        assert!(d.read(1).is_ok());
+    }
+
+    #[test]
+    fn write_fault_surfaces_as_io_error() {
+        let mut d = SimDisk::new(4, DiskPerf::ideal());
+        d.faults_mut().fail_write(3);
+        assert_eq!(d.write(3, Block::Zero), Err(DevError::Io { bno: 3 }));
+        assert!(d.write(0, Block::Zero).is_ok());
+    }
+
+    #[test]
+    fn silent_corruption_changes_content() {
+        let mut d = SimDisk::new(4, DiskPerf::ideal());
+        d.write(1, Block::Synthetic(10)).unwrap();
+        d.faults_mut().corrupt(1, 999);
+        let got = d.read(1).unwrap();
+        assert!(!got.same_content(&Block::Synthetic(10)));
+    }
+
+    #[test]
+    fn clear_removes_all_faults() {
+        let mut plan = FaultPlan::default();
+        plan.fail_read(1);
+        plan.fail_write(2);
+        plan.corrupt(3, 4);
+        assert!(!plan.is_empty());
+        plan.clear();
+        assert!(plan.is_empty());
+        assert!(!plan.read_fails(1));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Simulated block devices.
+//!
+//! Everything above this crate (RAID, WAFL, the backup engines) moves data
+//! in 4 KiB blocks through the [`BlockDevice`] trait. The main
+//! implementation, [`SimDisk`], stores block payloads in memory and keeps a
+//! calibrated service-time model plus sequential/random access counters —
+//! the raw material the benchmark harness feeds into the fluid solver.
+//!
+//! Block payloads come in three representations (see [`Block`]): all-zero,
+//! *synthetic* (an 8-byte seed that deterministically expands to 4 KiB), and
+//! literal bytes. Synthetic payloads let a 188 GB volume fit in RAM while
+//! still making backup/restore verification meaningful: two blocks have
+//! equal content if and only if their representations expand to the same
+//! bytes, which [`Block::same_content`] checks exactly.
+
+pub mod block;
+pub mod device;
+pub mod disk;
+pub mod error;
+pub mod faults;
+pub mod stats;
+
+pub use block::Block;
+pub use block::Bno;
+pub use block::BLOCK_SIZE;
+pub use device::BlockDevice;
+pub use disk::DiskPerf;
+pub use disk::SimDisk;
+pub use error::DevError;
+pub use stats::DeviceStats;

@@ -1,0 +1,100 @@
+//! Per-device access accounting.
+
+use simkit::stats::Counter;
+
+/// Counters a device maintains about its own traffic.
+///
+/// Reads and writes are classified as *sequential* (block number within a
+/// short forward window of the previous access) or *random*; the benchmark
+/// harness converts these into fluid-solver demands, because the two classes
+/// have service times that differ by an order of magnitude on late-90s
+/// disks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeviceStats {
+    /// Sequential reads.
+    pub seq_reads: Counter,
+    /// Random reads (require a seek).
+    pub rand_reads: Counter,
+    /// Sequential writes.
+    pub seq_writes: Counter,
+    /// Random writes.
+    pub rand_writes: Counter,
+    /// Modelled device-busy seconds accumulated by the service-time model.
+    pub busy_secs: f64,
+}
+
+impl DeviceStats {
+    /// Total reads regardless of class.
+    pub fn reads(&self) -> Counter {
+        let mut c = self.seq_reads;
+        c.merge(self.rand_reads);
+        c
+    }
+
+    /// Total writes regardless of class.
+    pub fn writes(&self) -> Counter {
+        let mut c = self.seq_writes;
+        c.merge(self.rand_writes);
+        c
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.reads().bytes + self.writes().bytes
+    }
+
+    /// Adds another device's counters into this one (for per-volume
+    /// aggregation).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.seq_reads.merge(other.seq_reads);
+        self.rand_reads.merge(other.rand_reads);
+        self.seq_writes.merge(other.seq_writes);
+        self.rand_writes.merge(other.rand_writes);
+        self.busy_secs += other.busy_secs;
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            seq_reads: self.seq_reads.since(earlier.seq_reads),
+            rand_reads: self.rand_reads.since(earlier.rand_reads),
+            seq_writes: self.seq_writes.since(earlier.seq_writes),
+            rand_writes: self.rand_writes.since(earlier.rand_writes),
+            busy_secs: self.busy_secs - earlier.busy_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_classes() {
+        let mut s = DeviceStats::default();
+        s.seq_reads.record(4096);
+        s.rand_reads.record(4096);
+        s.seq_writes.record(4096);
+        assert_eq!(s.reads().ops, 2);
+        assert_eq!(s.writes().ops, 1);
+        assert_eq!(s.total_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse() {
+        let mut a = DeviceStats::default();
+        a.seq_reads.record(100);
+        a.busy_secs = 1.0;
+        let snap = a;
+        a.rand_writes.record(50);
+        a.busy_secs = 2.5;
+        let delta = a.since(&snap);
+        assert_eq!(delta.rand_writes.bytes, 50);
+        assert_eq!(delta.seq_reads.ops, 0);
+        assert!((delta.busy_secs - 1.5).abs() < 1e-12);
+        let mut back = snap;
+        back.merge(&delta);
+        assert_eq!(back.total_bytes(), a.total_bytes());
+        assert!((back.busy_secs - a.busy_secs).abs() < 1e-12);
+    }
+}

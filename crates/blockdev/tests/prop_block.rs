@@ -1,0 +1,68 @@
+//! Property tests for the block XOR algebra: every law is checked against
+//! byte-wise ground truth on materialized payloads.
+
+use blockdev::Block;
+use blockdev::BLOCK_SIZE;
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary block payload.
+fn arb_block() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        Just(Block::Zero),
+        any::<u64>().prop_map(Block::Synthetic),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Block::from_bytes(&v)),
+        // Composites: xor of two synthetics.
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(a, b)| Block::Synthetic(a).xor(&Block::Synthetic(b))),
+    ]
+}
+
+fn xor_bytes(a: &Block, b: &Block) -> Box<[u8; BLOCK_SIZE]> {
+    let mut buf = a.materialize();
+    for (dst, src) in buf.iter_mut().zip(b.materialize().iter()) {
+        *dst ^= src;
+    }
+    buf
+}
+
+proptest! {
+    #[test]
+    fn xor_matches_ground_truth(a in arb_block(), b in arb_block()) {
+        prop_assert_eq!(a.xor(&b).materialize(), xor_bytes(&a, &b));
+    }
+
+    #[test]
+    fn xor_is_commutative(a in arb_block(), b in arb_block()) {
+        prop_assert!(a.xor(&b).same_content(&b.xor(&a)));
+    }
+
+    #[test]
+    fn xor_is_associative(a in arb_block(), b in arb_block(), c in arb_block()) {
+        let left = a.xor(&b).xor(&c);
+        let right = a.xor(&b.xor(&c));
+        prop_assert!(left.same_content(&right));
+    }
+
+    #[test]
+    fn xor_self_inverse(a in arb_block(), b in arb_block()) {
+        // (a ^ b) ^ b == a — the parity-reconstruction identity.
+        prop_assert!(a.xor(&b).xor(&b).same_content(&a));
+    }
+
+    #[test]
+    fn zero_is_identity(a in arb_block()) {
+        prop_assert!(a.xor(&Block::Zero).same_content(&a));
+    }
+
+    #[test]
+    fn same_content_agrees_with_materialize(a in arb_block(), b in arb_block()) {
+        let expected = a.materialize() == b.materialize();
+        prop_assert_eq!(a.same_content(&b), expected);
+    }
+
+    #[test]
+    fn content_digest_is_representation_independent(a in arb_block()) {
+        let literal = Block::Bytes(a.materialize());
+        prop_assert_eq!(a.content_digest(), literal.content_digest());
+    }
+}

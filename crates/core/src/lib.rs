@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The paper's primary contribution: *logical* (file-based) and *physical*
+//! (block-based) backup and restore for the WAFL file system, built with
+//! comparable completeness so the two strategies can be compared fairly
+//! (the paper's stated reason WAFL is "an intriguing test-bed").
+//!
+//! - [`logical`] — a BSD-style, kernel-integrated `dump`/`restore`:
+//!   four-phase inode-ordered dump, self-contained archival stream format,
+//!   incremental levels 0–9 with a dumpdates catalog, full restore with
+//!   "desiccated" directory handling, single-file (stupidity) recovery, and
+//!   cross-platform restore onto a foreign file system.
+//! - [`physical`] — WAFL image dump/restore: streams allocated blocks in
+//!   physical order through the RAID bypass, incremental dumps from
+//!   snapshot bit-plane arithmetic (`B − A`, Table 1), restores that
+//!   reproduce the volume *including all snapshots*, and the §6
+//!   extension: incremental volume mirroring.
+//! - [`report`] — stage profiles: each backup/restore stage records the CPU
+//!   seconds and device traffic it generated, which the benchmark harness
+//!   feeds to the fluid solver to produce the paper's tables.
+//! - [`verify`] — end-to-end verification: tree/content comparison between
+//!   live file systems and block-level comparison between volumes.
+
+pub mod logical;
+pub mod physical;
+pub mod report;
+pub mod verify;
+
+pub use report::StageProfile;

@@ -1,0 +1,108 @@
+//! The `dumpdates` catalog: which dump of which subtree happened when.
+//!
+//! An incremental dump at level `n` backs up files changed since its
+//! *base*: the most recent dump of the same subtree at any level below `n`
+//! (the standard BSD scheme, levels 0–9).
+
+/// One recorded dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Subtree that was dumped ("/" for the whole volume).
+    pub path: String,
+    /// Dump level 0–9.
+    pub level: u8,
+    /// Dump date in file system ticks.
+    pub date: u64,
+}
+
+/// The dumpdates database.
+#[derive(Debug, Clone, Default)]
+pub struct DumpCatalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl DumpCatalog {
+    /// An empty catalog.
+    pub fn new() -> DumpCatalog {
+        DumpCatalog::default()
+    }
+
+    /// Records a completed dump, replacing any previous entry for the same
+    /// path and level (exactly how `/etc/dumpdates` behaves).
+    pub fn record(&mut self, path: &str, level: u8, date: u64) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.path == path && e.level == level)
+        {
+            e.date = date;
+        } else {
+            self.entries.push(CatalogEntry {
+                path: path.into(),
+                level,
+                date,
+            });
+        }
+    }
+
+    /// The base for a level-`level` dump of `path`: the newest recorded
+    /// dump of the same path at a strictly lower level. `None` means "dump
+    /// everything" (date 0).
+    pub fn base_for(&self, path: &str, level: u8) -> Option<&CatalogEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.path == path && e.level < level)
+            .max_by_key(|e| e.date)
+    }
+
+    /// All entries (for display).
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level0_has_no_base() {
+        let mut c = DumpCatalog::new();
+        c.record("/", 0, 100);
+        assert_eq!(c.base_for("/", 0), None);
+    }
+
+    #[test]
+    fn base_is_newest_lower_level() {
+        let mut c = DumpCatalog::new();
+        c.record("/", 0, 100);
+        c.record("/", 1, 200);
+        c.record("/", 2, 300);
+        // A level-2 dump after these should base on the level-1 at 200...
+        // unless a newer level-1 appears.
+        assert_eq!(c.base_for("/", 2).unwrap().date, 200);
+        c.record("/", 1, 400);
+        assert_eq!(c.base_for("/", 2).unwrap().date, 400);
+        // Level 1 bases on the full.
+        assert_eq!(c.base_for("/", 1).unwrap().date, 100);
+    }
+
+    #[test]
+    fn paths_are_independent() {
+        let mut c = DumpCatalog::new();
+        c.record("/qtree0", 0, 10);
+        c.record("/qtree1", 0, 20);
+        assert_eq!(c.base_for("/qtree0", 1).unwrap().date, 10);
+        assert_eq!(c.base_for("/qtree1", 1).unwrap().date, 20);
+        assert_eq!(c.base_for("/qtree2", 1), None);
+    }
+
+    #[test]
+    fn rerecording_replaces() {
+        let mut c = DumpCatalog::new();
+        c.record("/", 0, 10);
+        c.record("/", 0, 50);
+        assert_eq!(c.entries().len(), 1);
+        assert_eq!(c.base_for("/", 5).unwrap().date, 50);
+    }
+}

@@ -1,0 +1,36 @@
+//! Logical (file-based) backup: a BSD-style `dump`/`restore` integrated
+//! with WAFL the way the paper's §3 describes Network Appliance's version:
+//!
+//! - dumps from a snapshot, so the stream is a self-consistent image of an
+//!   active file system;
+//! - runs "in the kernel": it reads through the file system's own
+//!   structures with its own read-ahead, no user/kernel copies;
+//! - restore creates file handles straight from inode numbers and sets
+//!   directory permissions at creation time (no final fix-up pass);
+//! - the format carries the multiprotocol extras (DOS names/bits/times, NT
+//!   ACLs) as compatible extensions.
+//!
+//! The stream layout follows classic BSD dump: a tape header, the two inode
+//! bitmaps ("which inodes were in use" and "which have been written to the
+//! backup"), *all directories before all files*, both in ascending inode
+//! order, then an end record.
+
+pub mod catalog;
+pub mod dump;
+pub mod format;
+pub mod portability;
+pub mod restore;
+pub mod single;
+pub mod toc;
+
+pub use catalog::DumpCatalog;
+pub use dump::dump;
+pub use dump::DumpOptions;
+pub use dump::DumpOutcome;
+pub use format::DumpError;
+pub use restore::restore;
+pub use restore::RestoreOutcome;
+pub use single::restore_single;
+pub use single::restore_subtree;
+pub use toc::list_contents;
+pub use toc::verify_stream;

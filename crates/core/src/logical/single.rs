@@ -1,0 +1,188 @@
+//! Single-file and subtree restore — "stupidity recovery".
+//!
+//! "If a user accidentally deletes a file, a logical restore can locate the
+//! file on tape, and restore only that file" (§3). The desiccated
+//! directory table from the stream head is enough to run `namei` without
+//! touching the target file system; only the selected inodes' records are
+//! then extracted from the data section.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use tape::TapeDrive;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::Ino;
+use wafl::Wafl;
+
+use crate::logical::format::DumpError;
+use crate::logical::format::DumpRecord;
+use crate::logical::restore::next_record;
+use crate::logical::restore::read_stream_head;
+use crate::logical::restore::StreamHead;
+
+/// Outcome of a selective restore.
+#[derive(Debug)]
+pub struct SingleRestoreOutcome {
+    /// Files recreated.
+    pub files: u64,
+    /// Directories recreated.
+    pub dirs: u64,
+    /// Data blocks written.
+    pub data_blocks: u64,
+    /// Non-fatal problems.
+    pub warnings: Vec<String>,
+}
+
+/// Resolves `path` inside the dump's directory table.
+fn dump_namei(head: &StreamHead, path: &str) -> Result<Ino, DumpError> {
+    let mut ino = head.root_ino;
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        let (_, entries) = head.dirs.get(&ino).ok_or_else(|| DumpError::NotInDump {
+            path: path.to_string(),
+        })?;
+        ino = entries
+            .iter()
+            .find(|e| e.name == comp)
+            .map(|e| e.ino)
+            .ok_or_else(|| DumpError::NotInDump {
+                path: path.to_string(),
+            })?;
+    }
+    Ok(ino)
+}
+
+/// Restores the single file at `dump_path` (a path within the dump) into
+/// the existing directory `target_dir`, keeping its base name.
+pub fn restore_single(
+    fs: &mut Wafl,
+    drive: &mut TapeDrive,
+    dump_path: &str,
+    target_dir: &str,
+) -> Result<SingleRestoreOutcome, DumpError> {
+    restore_subtree(fs, drive, dump_path, target_dir)
+}
+
+/// Restores the file **or subtree** at `dump_path` into `target_dir`.
+pub fn restore_subtree(
+    fs: &mut Wafl,
+    drive: &mut TapeDrive,
+    dump_path: &str,
+    target_dir: &str,
+) -> Result<SingleRestoreOutcome, DumpError> {
+    let head = read_stream_head(drive)?;
+    let mut warnings = head.warnings.clone();
+    let selected_root = dump_namei(&head, dump_path)?;
+    let base_name = dump_path
+        .split('/')
+        .rfind(|c| !c.is_empty())
+        .ok_or_else(|| DumpError::NotInDump {
+            path: dump_path.to_string(),
+        })?;
+    let target_parent = fs.namei(target_dir)?;
+
+    // Collect the wanted inode set and create the directory skeleton.
+    let mut wanted_files: HashSet<Ino> = HashSet::new();
+    let mut ino_map: HashMap<Ino, Ino> = HashMap::new();
+    let mut dirs = 0u64;
+    let mut files = 0u64;
+
+    if head.dirs.contains_key(&selected_root) {
+        // A subtree: recreate its directories under the target.
+        let (attrs, _) = head.dirs.get(&selected_root).expect("checked").clone();
+        let new_root = fs.create(target_parent, base_name, FileType::Dir, attrs)?;
+        dirs += 1;
+        ino_map.insert(selected_root, new_root);
+        let mut stack = vec![(selected_root, new_root)];
+        while let Some((old_dir, new_dir)) = stack.pop() {
+            let Some((_, entries)) = head.dirs.get(&old_dir) else {
+                continue;
+            };
+            for entry in entries.clone() {
+                let (name, old_child) = (entry.name, entry.ino);
+                if let Some((attrs, _)) = head.dirs.get(&old_child).cloned() {
+                    let new_child = fs.create(new_dir, &name, FileType::Dir, attrs)?;
+                    dirs += 1;
+                    ino_map.insert(old_child, new_child);
+                    stack.push((old_child, new_child));
+                } else if head.dumped.get(old_child) {
+                    if let Some(&linked) = ino_map.get(&old_child) {
+                        // Another name for a file already recreated in this
+                        // subtree: restore the hard link.
+                        fs.link(new_dir, &name, linked)?;
+                        continue;
+                    }
+                    let new_child = match entry.kind {
+                        FileType::Symlink => {
+                            fs.create_symlink(new_dir, &name, "", Attrs::default())?
+                        }
+                        _ => fs.create(new_dir, &name, FileType::File, Attrs::default())?,
+                    };
+                    files += 1;
+                    ino_map.insert(old_child, new_child);
+                    wanted_files.insert(old_child);
+                }
+            }
+        }
+    } else {
+        // A single file.
+        if !head.dumped.get(selected_root) {
+            return Err(DumpError::NotInDump {
+                path: dump_path.to_string(),
+            });
+        }
+        let new_ino = fs.create(target_parent, base_name, FileType::File, Attrs::default())?;
+        files += 1;
+        ino_map.insert(selected_root, new_ino);
+        wanted_files.insert(selected_root);
+    }
+
+    // Scan the data section, extracting only the wanted inodes.
+    let mut data_blocks = 0u64;
+    let mut pending: Option<(Ino, u64)> = None;
+    let mut rec = head.pending.clone();
+    loop {
+        let record = match rec.take() {
+            Some(r) => r,
+            None => match next_record(drive, &mut warnings)? {
+                Some(r) => r,
+                None => break,
+            },
+        };
+        match record {
+            DumpRecord::Inode {
+                ino, size, attrs, ..
+            } => {
+                if let Some((prev, sz)) = pending.take() {
+                    fs.set_size(prev, sz)?;
+                }
+                if wanted_files.contains(&ino) {
+                    let new_ino = ino_map[&ino];
+                    fs.set_attrs(new_ino, attrs)?;
+                    pending = Some((new_ino, size));
+                }
+            }
+            DumpRecord::Data { ino, fbns, blocks } => {
+                if wanted_files.contains(&ino) {
+                    let new_ino = ino_map[&ino];
+                    for (fbn, block) in fbns.into_iter().zip(blocks) {
+                        fs.write_fbn(new_ino, fbn, block)?;
+                        data_blocks += 1;
+                    }
+                }
+            }
+            DumpRecord::End { .. } => break,
+            other => warnings.push(format!("unexpected record: {other:?}")),
+        }
+    }
+    if let Some((prev, sz)) = pending.take() {
+        fs.set_size(prev, sz)?;
+    }
+    fs.cp()?;
+    Ok(SingleRestoreOutcome {
+        files,
+        dirs,
+        data_blocks,
+        warnings,
+    })
+}

@@ -1,0 +1,330 @@
+//! The image stream format.
+//!
+//! In deliberate contrast to the logical format, an image stream is *not*
+//! portable: it records raw `(volume block number, payload)` pairs plus the
+//! volume geometry, and can only recreate a file system on a volume of the
+//! same size — the paper's fundamental limitation of physical backup,
+//! which [`crate::physical::restore::image_restore`] enforces.
+
+use blockdev::Block;
+use tape::Chunk;
+use tape::Record;
+
+use crate::logical::format::block_to_chunk;
+use crate::logical::format::chunk_to_block;
+
+/// Magic prefix of every image record ("WIMG").
+pub const IMAGE_MAGIC: u32 = 0x5749_4d47;
+/// Format version.
+pub const IMAGE_VERSION: u8 = 1;
+/// Blocks per `ImgBlocks` record (a 64 KiB transfer unit: the fire hose
+/// runs in big sequential gulps).
+pub const BLOCK_RUN: usize = 16;
+
+/// Errors from image dump/restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImageError {
+    /// A record failed to parse.
+    BadRecord {
+        /// Why.
+        reason: String,
+    },
+    /// Records out of order / missing trailer.
+    BadStream {
+        /// What was expected.
+        reason: String,
+    },
+    /// The target volume does not match the recorded geometry.
+    GeometryMismatch {
+        /// Blocks recorded in the stream header.
+        expected: u64,
+        /// Blocks on the target volume.
+        actual: u64,
+    },
+    /// Media failure — fatal for physical restore (unlike logical).
+    Media(tape::TapeError),
+    /// File system error while anchoring the dump snapshot.
+    Fs(wafl::WaflError),
+    /// RAID/device error on the bypass path.
+    Raid(raid::RaidError),
+    /// The named base snapshot does not exist (incremental dump).
+    NoSuchBase {
+        /// The missing snapshot name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::BadRecord { reason } => write!(f, "bad image record: {reason}"),
+            ImageError::BadStream { reason } => write!(f, "bad image stream: {reason}"),
+            ImageError::GeometryMismatch { expected, actual } => write!(
+                f,
+                "volume geometry mismatch: stream has {expected} blocks, target {actual}"
+            ),
+            ImageError::Media(e) => write!(f, "media error: {e}"),
+            ImageError::Fs(e) => write!(f, "file system error: {e}"),
+            ImageError::Raid(e) => write!(f, "raid error: {e}"),
+            ImageError::NoSuchBase { name } => write!(f, "no such base snapshot: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<wafl::WaflError> for ImageError {
+    fn from(e: wafl::WaflError) -> Self {
+        ImageError::Fs(e)
+    }
+}
+
+impl From<raid::RaidError> for ImageError {
+    fn from(e: raid::RaidError) -> Self {
+        ImageError::Raid(e)
+    }
+}
+
+impl From<tape::TapeError> for ImageError {
+    fn from(e: tape::TapeError) -> Self {
+        ImageError::Media(e)
+    }
+}
+
+const T_HEADER: u8 = 1;
+const T_BLOCKS: u8 = 2;
+const T_END: u8 = 3;
+
+/// A parsed image record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImageRecord {
+    /// Stream header.
+    Header {
+        /// 0 = full, 1 = incremental.
+        incremental: bool,
+        /// Volume capacity in blocks (geometry contract).
+        nblocks: u64,
+        /// Snapshot this image is anchored to.
+        snapshot: String,
+        /// Base snapshot for incrementals (empty for full).
+        base: String,
+        /// Blocks that will follow.
+        block_count: u64,
+    },
+    /// A run of raw blocks.
+    Blocks {
+        /// Volume block number of each payload chunk.
+        bnos: Vec<u64>,
+        /// The payloads.
+        blocks: Vec<Block>,
+    },
+    /// Trailer.
+    End {
+        /// Blocks actually written.
+        blocks_written: u64,
+    },
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ImageError::BadRecord {
+                reason: "truncated header".into(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> Result<String, ImageError> {
+        let n = self.u16()? as usize;
+        Ok(String::from_utf8_lossy(self.take(n)?).into_owned())
+    }
+}
+
+fn header(rec_type: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, IMAGE_MAGIC);
+    buf.push(IMAGE_VERSION);
+    buf.push(rec_type);
+    buf
+}
+
+impl ImageRecord {
+    /// Serializes into a tape record.
+    pub fn to_record(&self) -> Record {
+        match self {
+            ImageRecord::Header {
+                incremental,
+                nblocks,
+                snapshot,
+                base,
+                block_count,
+            } => {
+                let mut h = header(T_HEADER);
+                h.push(u8::from(*incremental));
+                put_u64(&mut h, *nblocks);
+                put_name(&mut h, snapshot);
+                put_name(&mut h, base);
+                put_u64(&mut h, *block_count);
+                Record::from_bytes(h)
+            }
+            ImageRecord::Blocks { bnos, blocks } => {
+                let mut h = header(T_BLOCKS);
+                put_u32(&mut h, bnos.len() as u32);
+                for &bno in bnos {
+                    put_u64(&mut h, bno);
+                }
+                let mut rec = Record::from_bytes(h);
+                for b in blocks {
+                    rec.push(block_to_chunk(b));
+                }
+                rec
+            }
+            ImageRecord::End { blocks_written } => {
+                let mut h = header(T_END);
+                put_u64(&mut h, *blocks_written);
+                Record::from_bytes(h)
+            }
+        }
+    }
+
+    /// Parses a tape record.
+    pub fn parse(rec: &Record) -> Result<ImageRecord, ImageError> {
+        let chunks = rec.chunks();
+        let head = match chunks.first() {
+            Some(Chunk::Bytes(b)) => b,
+            _ => {
+                return Err(ImageError::BadRecord {
+                    reason: "missing header chunk".into(),
+                })
+            }
+        };
+        let mut r = Reader { buf: head, pos: 0 };
+        if r.u32()? != IMAGE_MAGIC {
+            return Err(ImageError::BadRecord {
+                reason: "bad magic".into(),
+            });
+        }
+        if r.u8()? != IMAGE_VERSION {
+            return Err(ImageError::BadRecord {
+                reason: "unsupported version".into(),
+            });
+        }
+        match r.u8()? {
+            T_HEADER => Ok(ImageRecord::Header {
+                incremental: r.u8()? != 0,
+                nblocks: r.u64()?,
+                snapshot: r.name()?,
+                base: r.name()?,
+                block_count: r.u64()?,
+            }),
+            T_BLOCKS => {
+                let n = r.u32()? as usize;
+                let mut bnos = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bnos.push(r.u64()?);
+                }
+                if chunks.len() != n + 1 {
+                    return Err(ImageError::BadRecord {
+                        reason: "payload count mismatch".into(),
+                    });
+                }
+                let mut blocks = Vec::with_capacity(n);
+                for c in &chunks[1..] {
+                    blocks.push(chunk_to_block(c).map_err(|e| ImageError::BadRecord {
+                        reason: e.to_string(),
+                    })?);
+                }
+                Ok(ImageRecord::Blocks { bnos, blocks })
+            }
+            T_END => Ok(ImageRecord::End {
+                blocks_written: r.u64()?,
+            }),
+            t => Err(ImageError::BadRecord {
+                reason: format!("unknown record type {t}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let rec = ImageRecord::Header {
+            incremental: true,
+            nblocks: 100_000,
+            snapshot: "weekly.1".into(),
+            base: "weekly.0".into(),
+            block_count: 4242,
+        };
+        assert_eq!(ImageRecord::parse(&rec.to_record()).unwrap(), rec);
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let rec = ImageRecord::Blocks {
+            bnos: vec![10, 11, 999],
+            blocks: vec![
+                Block::Synthetic(5),
+                Block::Zero,
+                Block::from_bytes(&[7; 100]),
+            ],
+        };
+        let back = ImageRecord::parse(&rec.to_record()).unwrap();
+        match back {
+            ImageRecord::Blocks { bnos, blocks } => {
+                assert_eq!(bnos, vec![10, 11, 999]);
+                assert!(blocks[0].same_content(&Block::Synthetic(5)));
+                assert!(blocks[1].same_content(&Block::Zero));
+                assert!(blocks[2].same_content(&Block::from_bytes(&[7; 100])));
+            }
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_round_trips_and_garbage_fails() {
+        let rec = ImageRecord::End { blocks_written: 7 };
+        assert_eq!(ImageRecord::parse(&rec.to_record()).unwrap(), rec);
+        assert!(ImageRecord::parse(&Record::from_bytes(vec![1, 2, 3])).is_err());
+    }
+}

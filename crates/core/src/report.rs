@@ -1,0 +1,193 @@
+//! Stage profiling: what each backup/restore stage consumed.
+//!
+//! The functional layer runs for real; a [`Profiler`] brackets each stage
+//! (snapshot creation, mapping, dumping directories, dumping files, ...)
+//! and records the deltas of the CPU meter, the volume's device counters
+//! and the tape drive's counters. The benchmark harness turns these deltas
+//! into fluid-solver demand vectors — this is the seam between function and
+//! time.
+
+use simkit::meter::Meter;
+use simkit::meter::MeterSnapshot;
+
+use blockdev::DeviceStats;
+use tape::TapeStats;
+
+/// Resource demands one stage generated.
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    /// Stage label ("dumping files").
+    pub name: String,
+    /// Modelled CPU seconds charged during the stage.
+    pub cpu_secs: f64,
+    /// Bytes read from disk sequentially.
+    pub disk_seq_read: u64,
+    /// Bytes read from disk randomly (seek-bound).
+    pub disk_rand_read: u64,
+    /// Bytes written to disk sequentially.
+    pub disk_seq_write: u64,
+    /// Bytes written to disk randomly.
+    pub disk_rand_write: u64,
+    /// Bytes moved to/from tape.
+    pub tape_bytes: u64,
+    /// Files processed (for per-file extrapolation).
+    pub files: u64,
+    /// Directories processed.
+    pub dirs: u64,
+    /// Data blocks moved.
+    pub blocks: u64,
+}
+
+impl StageProfile {
+    /// All disk bytes regardless of class.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_seq_read + self.disk_rand_read + self.disk_seq_write + self.disk_rand_write
+    }
+
+    /// Scales every demand by `factor` (extrapolation to a larger volume).
+    pub fn scaled(&self, factor: f64) -> StageProfile {
+        let s = |v: u64| (v as f64 * factor) as u64;
+        StageProfile {
+            name: self.name.clone(),
+            cpu_secs: self.cpu_secs * factor,
+            disk_seq_read: s(self.disk_seq_read),
+            disk_rand_read: s(self.disk_rand_read),
+            disk_seq_write: s(self.disk_seq_write),
+            disk_rand_write: s(self.disk_rand_write),
+            tape_bytes: s(self.tape_bytes),
+            files: s(self.files),
+            dirs: s(self.dirs),
+            blocks: s(self.blocks),
+        }
+    }
+}
+
+/// Snapshot of all counters at a stage boundary.
+#[derive(Debug, Clone)]
+pub struct ProfilerMark {
+    meter: MeterSnapshot,
+    disk: DeviceStats,
+    tape: TapeStats,
+}
+
+/// Brackets stages and emits [`StageProfile`]s.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    /// Completed stage profiles in order.
+    pub stages: Vec<StageProfile>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Marks a stage boundary: snapshot the current counters.
+    pub fn mark(meter: &Meter, disk: DeviceStats, tape: TapeStats) -> ProfilerMark {
+        ProfilerMark {
+            meter: meter.snapshot(),
+            disk,
+            tape,
+        }
+    }
+
+    /// Closes a stage that began at `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_stage(
+        &mut self,
+        name: impl Into<String>,
+        start: &ProfilerMark,
+        meter: &Meter,
+        disk: DeviceStats,
+        tape: TapeStats,
+        files: u64,
+        dirs: u64,
+        blocks: u64,
+    ) {
+        let cpu = meter.since(&start.meter).cpu_secs;
+        let d = disk.since(&start.disk);
+        let tape_bytes = (tape.written.bytes + tape.read.bytes)
+            - (start.tape.written.bytes + start.tape.read.bytes);
+        self.stages.push(StageProfile {
+            name: name.into(),
+            cpu_secs: cpu,
+            disk_seq_read: d.seq_reads.bytes,
+            disk_rand_read: d.rand_reads.bytes,
+            disk_seq_write: d.seq_writes.bytes,
+            disk_rand_write: d.rand_writes.bytes,
+            tape_bytes,
+            files,
+            dirs,
+            blocks,
+        });
+    }
+
+    /// Finds a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of a quantity over all stages.
+    pub fn total_tape_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.tape_bytes).sum()
+    }
+
+    /// Total modelled CPU seconds over all stages.
+    pub fn total_cpu_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.cpu_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_scaling_is_linear() {
+        let p = StageProfile {
+            name: "files".into(),
+            cpu_secs: 2.0,
+            disk_rand_read: 1000,
+            tape_bytes: 4000,
+            files: 10,
+            ..StageProfile::default()
+        };
+        let s = p.scaled(3.0);
+        assert_eq!(s.cpu_secs, 6.0);
+        assert_eq!(s.disk_rand_read, 3000);
+        assert_eq!(s.tape_bytes, 12000);
+        assert_eq!(s.files, 30);
+        assert_eq!(s.name, "files");
+    }
+
+    #[test]
+    fn profiler_captures_deltas() {
+        let meter = Meter::new_shared();
+        let mut disk = DeviceStats::default();
+        let mut tape = TapeStats::default();
+        let mark = Profiler::mark(&meter, disk, tape);
+
+        meter.charge_cpu(1.5);
+        disk.rand_reads.record(4096);
+        disk.seq_writes.record(8192);
+        tape.written.record(10_000);
+
+        let mut prof = Profiler::new();
+        prof.finish_stage("stage1", &mark, &meter, disk, tape, 3, 1, 2);
+        let s = prof.stage("stage1").unwrap();
+        assert!((s.cpu_secs - 1.5).abs() < 1e-12);
+        assert_eq!(s.disk_rand_read, 4096);
+        assert_eq!(s.disk_seq_write, 8192);
+        assert_eq!(s.tape_bytes, 10_000);
+        assert_eq!(s.disk_bytes(), 4096 + 8192);
+        assert_eq!((s.files, s.dirs, s.blocks), (3, 1, 2));
+        assert_eq!(prof.total_tape_bytes(), 10_000);
+        assert!((prof.total_cpu_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_stage_is_none() {
+        assert!(Profiler::new().stage("nope").is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Hard links and symbolic links through both backup strategies — the
+//! inode-based format's home turf ("the dump format is inode based, which
+//! is the fundamental difference between dump and tar or cpio").
+
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::portability::restore_to_foreign;
+use backup_core::logical::restore::restore;
+use backup_core::logical::single::restore_subtree;
+use backup_core::physical::dump::image_dump_full;
+use backup_core::physical::restore::image_restore;
+use backup_core::verify::compare_trees;
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::meter::Meter;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn geometry() -> VolumeGeometry {
+    VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal())
+}
+
+/// A tree with a hard-linked file (two names, one in a subdir) and two
+/// symlinks (one dangling).
+fn populated() -> Wafl {
+    let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+    let shared = fs.create(INO_ROOT, "shared", FileType::File, Attrs::default()).unwrap();
+    for b in 0..6 {
+        fs.write_fbn(shared, b, Block::Synthetic(500 + b)).unwrap();
+    }
+    fs.link(d, "alias", shared).unwrap();
+    fs.create_symlink(INO_ROOT, "ptr", "/d/alias", Attrs::default()).unwrap();
+    fs.create_symlink(d, "dangling", "/nowhere", Attrs::default()).unwrap();
+    fs.cp().unwrap();
+    fs
+}
+
+#[test]
+fn wafl_link_semantics() {
+    let mut fs = populated();
+    let shared = fs.namei("/shared").unwrap();
+    let alias = fs.namei("/d/alias").unwrap();
+    assert_eq!(shared, alias, "two names, one inode");
+    assert_eq!(fs.stat(shared).unwrap().nlink, 2);
+
+    // Writes through one name are visible through the other.
+    fs.write_fbn(alias, 0, Block::Synthetic(9999)).unwrap();
+    assert!(fs.read_fbn(shared, 0).unwrap().same_content(&Block::Synthetic(9999)));
+
+    // Removing one name keeps the data; removing the last frees it.
+    let free_before = fs.free_blocks();
+    fs.remove(INO_ROOT, "shared").unwrap();
+    fs.cp().unwrap();
+    assert_eq!(fs.stat(alias).unwrap().nlink, 1);
+    assert!(fs.read_fbn(alias, 1).unwrap().same_content(&Block::Synthetic(501)));
+    let d = fs.namei("/d").unwrap();
+    fs.remove(d, "alias").unwrap();
+    fs.cp().unwrap();
+    assert!(fs.free_blocks() > free_before, "last unlink frees the blocks");
+
+    // Consistency holds throughout.
+    let report = wafl::check::check(&fs).unwrap();
+    assert!(report.is_clean(), "{:?}", report.problems);
+}
+
+#[test]
+fn wafl_symlink_semantics() {
+    let mut fs = populated();
+    let ptr = fs.namei("/ptr").unwrap();
+    assert_eq!(fs.stat(ptr).unwrap().ftype, FileType::Symlink);
+    assert_eq!(fs.readlink(ptr).unwrap(), "/d/alias");
+    // readlink on a non-symlink is a type error.
+    let shared = fs.namei("/shared").unwrap();
+    assert!(fs.readlink(shared).is_err());
+    // Symlinks survive a crash.
+    let (vol, nv) = fs.crash();
+    let mut fs = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+    let ptr = fs.namei("/ptr").unwrap();
+    assert_eq!(fs.readlink(ptr).unwrap(), "/d/alias");
+}
+
+#[test]
+fn logical_round_trip_preserves_links_and_symlinks() {
+    let mut src = populated();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut catalog = DumpCatalog::new();
+    let out = dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+    // The hard-linked file is dumped once; symlinks are dumped as inodes.
+    assert_eq!(out.files, 3, "shared (once) + 2 symlinks");
+
+    let mut dst = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let res = restore(&mut dst, &mut tape, "/").unwrap();
+    assert!(res.warnings.is_empty(), "{:?}", res.warnings);
+
+    let diffs = compare_trees(&mut src, &mut dst).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+    // The link identity (not just content) is preserved.
+    assert_eq!(dst.namei("/shared").unwrap(), dst.namei("/d/alias").unwrap());
+    let ptr = dst.namei("/ptr").unwrap();
+    assert_eq!(dst.readlink(ptr).unwrap(), "/d/alias");
+    let dang = dst.namei("/d/dangling").unwrap();
+    assert_eq!(dst.readlink(dang).unwrap(), "/nowhere");
+}
+
+#[test]
+fn physical_round_trip_preserves_links_and_symlinks() {
+    let mut src = populated();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    image_dump_full(&mut src, &mut tape, "snap").unwrap();
+    let meter = Meter::new_shared();
+    let mut raw = Volume::new(geometry());
+    image_restore(&mut tape, &mut raw, &meter, &CostModel::zero()).unwrap();
+    let mut dst = Wafl::mount(
+        raw,
+        nvram::NvramLog::new(32 << 20),
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+    assert_eq!(dst.namei("/shared").unwrap(), dst.namei("/d/alias").unwrap());
+    let ptr = dst.namei("/ptr").unwrap();
+    assert_eq!(dst.readlink(ptr).unwrap(), "/d/alias");
+    let diffs = compare_trees(&mut src, &mut dst).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+}
+
+#[test]
+fn subtree_restore_relinks_within_scope() {
+    let mut src = populated();
+    // Add a second link *inside* /d so the subtree carries both names.
+    let d = src.namei("/d").unwrap();
+    let alias = src.namei("/d/alias").unwrap();
+    src.link(d, "alias2", alias).unwrap();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut catalog = DumpCatalog::new();
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+
+    let root = INO_ROOT;
+    src.create(root, "rescue", FileType::Dir, Attrs::default()).unwrap();
+    restore_subtree(&mut src, &mut tape, "/d", "/rescue").unwrap();
+    let a = src.namei("/rescue/d/alias").unwrap();
+    let b = src.namei("/rescue/d/alias2").unwrap();
+    assert_eq!(a, b, "links inside the subtree are reconnected");
+    let dang = src.namei("/rescue/d/dangling").unwrap();
+    assert_eq!(src.readlink(dang).unwrap(), "/nowhere");
+}
+
+#[test]
+fn foreign_restore_flattens_links_with_warning() {
+    let mut src = populated();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut catalog = DumpCatalog::new();
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+    let foreign = restore_to_foreign(&mut tape).unwrap();
+    assert!(
+        foreign.warnings.iter().any(|w| w.contains("hard links")),
+        "{:?}",
+        foreign.warnings
+    );
+    // Both names exist as (independent) files with the same content.
+    assert!(foreign.root.resolve("shared").is_some());
+    assert!(foreign.root.resolve("d/alias").is_some());
+}
+
+#[test]
+fn incremental_dump_carries_new_links() {
+    let mut src = populated();
+    let mut tape0 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut catalog = DumpCatalog::new();
+    dump(&mut src, &mut tape0, &mut catalog, &DumpOptions::default()).unwrap();
+
+    // A new link to an unchanged file: the inode's ctime bumps, so the
+    // file is re-dumped and the new name appears.
+    let shared = src.namei("/shared").unwrap();
+    src.link(INO_ROOT, "third-name", shared).unwrap();
+    let mut tape1 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    dump(
+        &mut src,
+        &mut tape1,
+        &mut catalog,
+        &DumpOptions {
+            level: 1,
+            ..DumpOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut dst = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    restore(&mut dst, &mut tape0, "/").unwrap();
+    restore(&mut dst, &mut tape1, "/").unwrap();
+    let diffs = compare_trees(&mut src, &mut dst).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+    assert_eq!(dst.namei("/third-name").unwrap(), dst.namei("/shared").unwrap());
+}
+
+#[test]
+fn link_restrictions_are_enforced() {
+    let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+    // No hard links to directories.
+    assert!(fs.link(INO_ROOT, "dirlink", d).is_err());
+    // No cross-qtree links.
+    let q = fs.create_qtree("q", 0).unwrap();
+    let _ = q;
+    let qroot = fs.namei("/q").unwrap();
+    let f = fs.create(INO_ROOT, "plain", FileType::File, Attrs::default()).unwrap();
+    assert!(fs.link(qroot, "cross", f).is_err());
+    // Symlink targets are capped at a block.
+    let long = "x".repeat(5000);
+    assert!(fs.create_symlink(INO_ROOT, "toolong", &long, Attrs::default()).is_err());
+}

@@ -1,0 +1,171 @@
+//! Property tests: the dump format round-trips arbitrary records, and —
+//! the strongest property in the suite — a dump/restore cycle of an
+//! arbitrary random file tree reproduces it exactly.
+
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::format::DumpRecord;
+use backup_core::logical::format::WhichMap;
+use backup_core::logical::restore::restore;
+use backup_core::verify::compare_subtrees;
+use blockdev::Block;
+use blockdev::DiskPerf;
+use proptest::prelude::*;
+use raid::Volume;
+use raid::VolumeGeometry;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn arb_attrs() -> impl Strategy<Value = Attrs> {
+    (any::<u16>(), any::<u32>(), proptest::option::of("[A-Z~.]{1,8}"))
+        .prop_map(|(perm, uid, dos_name)| Attrs {
+            perm,
+            uid,
+            dos_name,
+            ..Attrs::default()
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = DumpRecord> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>(), any::<u64>(), "[a-z]{1,10}", 2u32..1000, 3u32..5000).prop_map(
+            |(level, dump_date, base_date, volume, root_ino, max_ino)| DumpRecord::Tape {
+                level: level % 10,
+                dump_date,
+                base_date,
+                volume,
+                root_ino,
+                max_ino,
+            }
+        ),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|bits| DumpRecord::Bits {
+            which: WhichMap::Used,
+            bits,
+        }),
+        (
+            2u32..1000,
+            arb_attrs(),
+            proptest::collection::vec(("[a-z]{1,20}", 3u32..10000, 0u8..3), 0..30),
+        )
+            .prop_map(|(ino, attrs, raw)| DumpRecord::Dir {
+                ino,
+                attrs,
+                entries: raw
+                    .into_iter()
+                    .map(|(name, child, k)| backup_core::logical::format::DirEntry {
+                        name,
+                        ino: child,
+                        kind: match k {
+                            0 => FileType::File,
+                            1 => FileType::Dir,
+                            _ => FileType::Symlink,
+                        },
+                    })
+                    .collect(),
+            }),
+        (3u32..10000, any::<u64>(), 0u64..100, arb_attrs(), any::<bool>()).prop_map(
+            |(ino, size, nblocks, attrs, symlink)| DumpRecord::Inode {
+                ino,
+                size,
+                nblocks,
+                kind: if symlink { FileType::Symlink } else { FileType::File },
+                attrs,
+            }
+        ),
+        (3u32..10000, proptest::collection::vec((0u64..5000, any::<u64>()), 1..16)).prop_map(
+            |(ino, pairs)| {
+                let (fbns, seeds): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
+                DumpRecord::Data {
+                    ino,
+                    fbns,
+                    blocks: seeds.into_iter().map(Block::Synthetic).collect(),
+                }
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(files, dirs, data_blocks)| {
+            DumpRecord::End {
+                files,
+                dirs,
+                data_blocks,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn any_record_round_trips(rec in arb_record()) {
+        let parsed = DumpRecord::parse(&rec.to_record()).expect("parse");
+        prop_assert_eq!(parsed, rec);
+    }
+}
+
+/// A recipe for one file in the random tree: (directory path index, blocks
+/// with seeds, trailing-size slack).
+type FileSpec = (u8, Vec<(u8, u64)>, u8);
+
+fn build_tree(fs: &mut Wafl, dirs: &[String], files: &[FileSpec]) -> u64 {
+    let mut dir_inos = vec![INO_ROOT];
+    for name in dirs {
+        let parent = dir_inos[dir_inos.len() / 2];
+        if let Ok(ino) = fs.create(parent, name, FileType::Dir, Attrs::default()) {
+            dir_inos.push(ino);
+        }
+    }
+    let mut created = 0;
+    for (i, (dir_sel, blocks, slack)) in files.iter().enumerate() {
+        let parent = dir_inos[*dir_sel as usize % dir_inos.len()];
+        let name = format!("file{i}");
+        let Ok(ino) = fs.create(parent, &name, FileType::File, Attrs::default()) else {
+            continue;
+        };
+        created += 1;
+        let mut max_fbn = 0;
+        for (fbn, seed) in blocks {
+            let fbn = *fbn as u64;
+            fs.write_fbn(ino, fbn, Block::Synthetic(*seed)).unwrap();
+            max_fbn = max_fbn.max(fbn);
+        }
+        if !blocks.is_empty() && *slack > 0 {
+            // Exact size somewhere in the final block.
+            let size = max_fbn * 4096 + 1 + (*slack as u64 * 15);
+            let size = size.min((max_fbn + 1) * 4096);
+            fs.set_size(ino, size).unwrap();
+        }
+    }
+    created
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Dump → restore of an arbitrary random tree is an identity.
+    #[test]
+    fn dump_restore_is_identity_on_random_trees(
+        dirs in proptest::collection::vec("[a-z]{1,12}", 0..8),
+        files in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec((0u8..40, any::<u64>()), 0..6), any::<u8>()),
+            0..25,
+        ),
+    ) {
+        let geo = VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal());
+        let mut src = Wafl::format(Volume::new(geo.clone()), WaflConfig::default()).unwrap();
+        build_tree(&mut src, &dirs, &files);
+
+        let mut tape = TapeDrive::new(TapePerf::ideal(), 1 << 30);
+        let mut catalog = DumpCatalog::new();
+        dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+
+        let mut dst = Wafl::format(Volume::new(geo), WaflConfig::default()).unwrap();
+        let out = restore(&mut dst, &mut tape, "/").unwrap();
+        prop_assert!(out.warnings.is_empty(), "warnings: {:?}", out.warnings);
+
+        let diffs = compare_subtrees(&mut src, "/", &mut dst, "/").unwrap();
+        prop_assert!(diffs.is_empty(), "diffs: {diffs:?}");
+    }
+}

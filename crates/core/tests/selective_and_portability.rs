@@ -1,0 +1,163 @@
+//! Single-file ("stupidity recovery") and cross-platform restore tests.
+
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::format::DumpError;
+use backup_core::logical::portability::restore_to_foreign;
+use backup_core::logical::portability::ForeignNode;
+use backup_core::logical::single::restore_single;
+use backup_core::logical::single::restore_subtree;
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Volume;
+use raid::VolumeGeometry;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn fs() -> Wafl {
+    let vol = Volume::new(VolumeGeometry::uniform(2, 4, 4096, DiskPerf::ideal()));
+    Wafl::format(vol, WaflConfig::default()).unwrap()
+}
+
+fn drive() -> TapeDrive {
+    TapeDrive::new(TapePerf::ideal(), 1 << 30)
+}
+
+fn dumped_fs() -> (Wafl, TapeDrive) {
+    let mut src = fs();
+    let home = src.create(INO_ROOT, "home", FileType::Dir, Attrs::default()).unwrap();
+    let alice = src.create(home, "alice", FileType::Dir, Attrs::default()).unwrap();
+    let bob = src.create(home, "bob", FileType::Dir, Attrs::default()).unwrap();
+    let thesis = src.create(alice, "thesis.tex", FileType::File, Attrs::default()).unwrap();
+    for i in 0..8 {
+        src.write_fbn(thesis, i, Block::Synthetic(100 + i)).unwrap();
+    }
+    src.set_attrs(
+        thesis,
+        Attrs {
+            perm: 0o644,
+            uid: 1001,
+            dos_name: Some("THESIS~1.TEX".into()),
+            nt_acl: Some(vec![5, 5]),
+            ..Attrs::default()
+        },
+    )
+    .unwrap();
+    let notes = src.create(alice, "notes.md", FileType::File, Attrs::default()).unwrap();
+    src.write_fbn(notes, 0, Block::Synthetic(55)).unwrap();
+    let code = src.create(bob, "main.rs", FileType::File, Attrs::default()).unwrap();
+    src.write_fbn(code, 0, Block::Synthetic(66)).unwrap();
+
+    let mut tape = drive();
+    let mut catalog = DumpCatalog::new();
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+    (src, tape)
+}
+
+#[test]
+fn single_file_restore_recovers_exactly_one_file() {
+    let (mut src, mut tape) = dumped_fs();
+    // The "accidental deletion".
+    let alice = src.namei("/home/alice").unwrap();
+    src.remove(alice, "thesis.tex").unwrap();
+    assert!(src.namei("/home/alice/thesis.tex").is_err());
+
+    let out = restore_single(&mut src, &mut tape, "/home/alice/thesis.tex", "/home/alice").unwrap();
+    assert_eq!(out.files, 1);
+    assert_eq!(out.dirs, 0);
+    assert_eq!(out.data_blocks, 8);
+
+    let ino = src.namei("/home/alice/thesis.tex").unwrap();
+    let st = src.stat(ino).unwrap();
+    assert_eq!(st.attrs.uid, 1001);
+    assert_eq!(st.attrs.dos_name.as_deref(), Some("THESIS~1.TEX"));
+    for i in 0..8 {
+        assert!(src
+            .read_fbn(ino, i)
+            .unwrap()
+            .same_content(&Block::Synthetic(100 + i)));
+    }
+    // Nothing else was touched.
+    assert!(src.namei("/home/bob/main.rs").is_ok());
+}
+
+#[test]
+fn subtree_restore_recovers_a_directory() {
+    let (mut src, mut tape) = dumped_fs();
+    let root = INO_ROOT;
+    src.create(root, "rescue", FileType::Dir, Attrs::default()).unwrap();
+
+    let out = restore_subtree(&mut src, &mut tape, "/home/alice", "/rescue").unwrap();
+    assert_eq!(out.dirs, 1);
+    assert_eq!(out.files, 2);
+
+    let ino = src.namei("/rescue/alice/thesis.tex").unwrap();
+    assert!(src.read_fbn(ino, 0).unwrap().same_content(&Block::Synthetic(100)));
+    assert!(src.namei("/rescue/alice/notes.md").is_ok());
+    assert!(src.namei("/rescue/bob").is_err(), "only the subtree");
+}
+
+#[test]
+fn missing_path_is_reported() {
+    let (mut src, mut tape) = dumped_fs();
+    let err = restore_single(&mut src, &mut tape, "/home/carol/nothing", "/home").unwrap_err();
+    assert!(matches!(err, DumpError::NotInDump { .. }));
+}
+
+#[test]
+fn cross_restore_preserves_data_drops_foreign_attrs() {
+    let (_src, mut tape) = dumped_fs();
+    let foreign = restore_to_foreign(&mut tape).unwrap();
+    assert_eq!(foreign.files, 3);
+    assert_eq!(foreign.root.count_files(), 3);
+
+    // Data integrity across platforms.
+    match foreign.root.resolve("home/alice/thesis.tex") {
+        Some(ForeignNode::File {
+            size,
+            blocks,
+            perm,
+            uid,
+            ..
+        }) => {
+            assert_eq!(*size, 8 * 4096);
+            assert_eq!(*perm, 0o644);
+            assert_eq!(*uid, 1001);
+            for i in 0..8u64 {
+                assert!(blocks
+                    .get(&i)
+                    .expect("block present")
+                    .same_content(&Block::Synthetic(100 + i)));
+            }
+        }
+        other => panic!("thesis.tex missing or wrong: {other:?}"),
+    }
+
+    // The portability caveat: multiprotocol attributes are dropped loudly.
+    assert!(
+        foreign
+            .warnings
+            .iter()
+            .any(|w| w.contains("thesis.tex") && w.contains("DOS/NT")),
+        "warnings: {:?}",
+        foreign.warnings
+    );
+}
+
+#[test]
+fn foreign_tree_resolves_paths() {
+    let (_src, mut tape) = dumped_fs();
+    let foreign = restore_to_foreign(&mut tape).unwrap();
+    assert!(foreign.root.resolve("home/bob/main.rs").is_some());
+    assert!(foreign.root.resolve("home/carol").is_none());
+    assert!(matches!(
+        foreign.root.resolve("home"),
+        Some(ForeignNode::Dir { .. })
+    ));
+}

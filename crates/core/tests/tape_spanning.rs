@@ -1,0 +1,98 @@
+//! Dumps that span multiple cartridges: the stacker magazine in action.
+//!
+//! The paper's drives had Breece-Hill stackers because a 188 GB dump does
+//! not fit one DLT cartridge. These tests force cartridge changes with
+//! tiny blanks and verify both formats restore across the spans.
+
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::restore::restore;
+use backup_core::physical::dump::image_dump_full;
+use backup_core::physical::restore::image_restore;
+use backup_core::verify::compare_trees;
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::meter::Meter;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn geometry() -> VolumeGeometry {
+    VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal())
+}
+
+fn populated() -> Wafl {
+    let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let d = fs.create(INO_ROOT, "data", FileType::Dir, Attrs::default()).unwrap();
+    for i in 0..25u64 {
+        let f = fs
+            .create(d, &format!("f{i}"), FileType::File, Attrs::default())
+            .unwrap();
+        for b in 0..16 {
+            fs.write_fbn(f, b, Block::Synthetic(i * 64 + b)).unwrap();
+        }
+    }
+    fs.cp().unwrap();
+    fs
+}
+
+#[test]
+fn logical_dump_spans_many_cartridges() {
+    let mut src = populated();
+    // 256 KiB blanks: a 25-file dump needs dozens of cartridges.
+    let mut tape = TapeDrive::new(TapePerf::ideal(), 256 * 1024);
+    let mut catalog = DumpCatalog::new();
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+    assert!(
+        tape.cartridges() > 5,
+        "expected a spanning dump, got {} cartridges",
+        tape.cartridges()
+    );
+    assert!(tape.stats().media_changes > 4);
+
+    let mut dst = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let res = restore(&mut dst, &mut tape, "/").unwrap();
+    assert!(res.warnings.is_empty(), "{:?}", res.warnings);
+    let diffs = compare_trees(&mut src, &mut dst).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+}
+
+#[test]
+fn image_dump_spans_many_cartridges() {
+    let mut src = populated();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), 256 * 1024);
+    image_dump_full(&mut src, &mut tape, "span").unwrap();
+    assert!(tape.cartridges() > 5, "got {} cartridges", tape.cartridges());
+
+    let meter = Meter::new_shared();
+    let mut raw = Volume::new(geometry());
+    image_restore(&mut tape, &mut raw, &meter, &CostModel::zero()).unwrap();
+    let mut restored = Wafl::mount(
+        raw,
+        nvram::NvramLog::new(32 << 20),
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+    let diffs = compare_trees(&mut src, &mut restored).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+}
+
+#[test]
+fn oversized_record_still_fails_cleanly() {
+    // A record larger than a whole cartridge can never be written.
+    let mut src = populated();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), 2 * 1024);
+    let mut catalog = DumpCatalog::new();
+    let err = dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default());
+    assert!(err.is_err(), "a 4 KiB data record cannot fit a 2 KiB cartridge");
+}

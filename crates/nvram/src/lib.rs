@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! The filer's non-volatile RAM operation log.
+//!
+//! WAFL uses NVRAM to log *operations* (not disk blocks): between
+//! consistency points the on-disk file system is a complete, self-consistent
+//! snapshot of the past, and the NVRAM log holds the requests that have not
+//! reached disk yet. After a crash the log is replayed against the most
+//! recent consistency point; if NVRAM dies the file system is merely a few
+//! seconds stale, never inconsistent (paper §2.2).
+//!
+//! The log is generic over the operation type so the file system layer
+//! defines its own entries; this crate provides the mechanics: a byte
+//! budget, the half-full watermark that triggers a consistency point, a
+//! survive-crash drain, and the bypass switch that image restore uses.
+
+use std::collections::VecDeque;
+
+/// Sizing for logged operations (how much NVRAM an entry consumes).
+pub trait NvSized {
+    /// Bytes of NVRAM the entry occupies.
+    fn nv_bytes(&self) -> u64;
+}
+
+/// Errors from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvramError {
+    /// The entry does not fit in the remaining NVRAM; the caller must take
+    /// a consistency point first.
+    Full,
+    /// The log is disabled (bypass mode); nothing may be appended.
+    Disabled,
+}
+
+impl std::fmt::Display for NvramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NvramError::Full => write!(f, "nvram full: consistency point required"),
+            NvramError::Disabled => write!(f, "nvram disabled"),
+        }
+    }
+}
+
+impl std::error::Error for NvramError {}
+
+/// Cumulative counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NvramStats {
+    /// Operations appended over the log's lifetime.
+    pub appends: u64,
+    /// Bytes appended over the log's lifetime.
+    pub bytes: u64,
+    /// Times the half-full watermark was crossed by an append.
+    pub watermark_crossings: u64,
+}
+
+/// The operation log.
+#[derive(Debug)]
+pub struct NvramLog<Op> {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: VecDeque<Op>,
+    enabled: bool,
+    stats: NvramStats,
+}
+
+impl<Op: NvSized> NvramLog<Op> {
+    /// A log with the given capacity (the paper's filer had 32 MB).
+    pub fn new(capacity_bytes: u64) -> NvramLog<Op> {
+        NvramLog {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: VecDeque::new(),
+            enabled: true,
+            stats: NvramStats::default(),
+        }
+    }
+
+    /// Appends an operation.
+    ///
+    /// Returns [`NvramError::Full`] when the entry does not fit — the
+    /// caller must run a consistency point (which clears the log) and
+    /// retry.
+    pub fn append(&mut self, op: Op) -> Result<(), NvramError> {
+        if !self.enabled {
+            return Err(NvramError::Disabled);
+        }
+        let sz = op.nv_bytes();
+        if self.used_bytes + sz > self.capacity_bytes {
+            return Err(NvramError::Full);
+        }
+        let was_below = !self.is_half_full();
+        self.used_bytes += sz;
+        self.entries.push_back(op);
+        self.stats.appends += 1;
+        self.stats.bytes += sz;
+        if was_below && self.is_half_full() {
+            self.stats.watermark_crossings += 1;
+        }
+        Ok(())
+    }
+
+    /// True when at least half the NVRAM is consumed — WAFL's trigger for
+    /// scheduling a consistency point early.
+    pub fn is_half_full(&self) -> bool {
+        self.used_bytes * 2 >= self.capacity_bytes
+    }
+
+    /// Clears the log (a consistency point made everything durable).
+    pub fn commit(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Takes all logged operations for crash replay, emptying the log.
+    pub fn drain_for_replay(&mut self) -> Vec<Op> {
+        self.used_bytes = 0;
+        self.entries.drain(..).collect()
+    }
+
+    /// Disables logging (physical restore bypasses NVRAM, paper §4.1).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables logging.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether the log accepts appends.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Entries currently logged.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently consumed.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> NvramStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct FakeOp(u64);
+
+    impl NvSized for FakeOp {
+        fn nv_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn append_until_full_then_commit() {
+        let mut log = NvramLog::new(100);
+        log.append(FakeOp(60)).unwrap();
+        assert_eq!(log.append(FakeOp(60)), Err(NvramError::Full));
+        log.commit();
+        assert!(log.is_empty());
+        log.append(FakeOp(60)).unwrap();
+        assert_eq!(log.used_bytes(), 60);
+    }
+
+    #[test]
+    fn half_full_watermark_triggers_once_per_crossing() {
+        let mut log = NvramLog::new(100);
+        log.append(FakeOp(30)).unwrap();
+        assert!(!log.is_half_full());
+        log.append(FakeOp(30)).unwrap();
+        assert!(log.is_half_full());
+        assert_eq!(log.stats().watermark_crossings, 1);
+        log.append(FakeOp(10)).unwrap();
+        assert_eq!(log.stats().watermark_crossings, 1);
+        log.commit();
+        log.append(FakeOp(50)).unwrap();
+        assert_eq!(log.stats().watermark_crossings, 2);
+    }
+
+    #[test]
+    fn drain_returns_ops_in_order() {
+        let mut log = NvramLog::new(100);
+        log.append(FakeOp(1)).unwrap();
+        log.append(FakeOp(2)).unwrap();
+        log.append(FakeOp(3)).unwrap();
+        let ops = log.drain_for_replay();
+        assert_eq!(ops, vec![FakeOp(1), FakeOp(2), FakeOp(3)]);
+        assert!(log.is_empty());
+        assert_eq!(log.used_bytes(), 0);
+    }
+
+    #[test]
+    fn disabled_log_rejects_appends() {
+        let mut log = NvramLog::new(100);
+        log.disable();
+        assert!(!log.is_enabled());
+        assert_eq!(log.append(FakeOp(1)), Err(NvramError::Disabled));
+        log.enable();
+        assert!(log.append(FakeOp(1)).is_ok());
+    }
+
+    #[test]
+    fn stats_accumulate_across_commits() {
+        let mut log = NvramLog::new(100);
+        log.append(FakeOp(10)).unwrap();
+        log.commit();
+        log.append(FakeOp(20)).unwrap();
+        let s = log.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.bytes, 30);
+    }
+}

@@ -1,0 +1,73 @@
+//! RAID layer errors.
+
+use blockdev::DevError;
+
+/// Errors surfaced by the RAID layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaidError {
+    /// Access beyond the end of the group/volume.
+    OutOfRange {
+        /// Offending logical block number.
+        bno: u64,
+        /// Capacity in blocks.
+        capacity: u64,
+    },
+    /// More members failed than parity can cover.
+    TooManyFailures {
+        /// Index of the group that cannot serve the request.
+        group: usize,
+    },
+    /// An underlying device error that parity could not mask.
+    Dev(DevError),
+    /// A disk index that does not exist in the group.
+    NoSuchDisk {
+        /// Requested member index (data disks, then parity).
+        disk: usize,
+    },
+}
+
+impl std::fmt::Display for RaidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaidError::OutOfRange { bno, capacity } => {
+                write!(f, "block {bno} out of range (capacity {capacity})")
+            }
+            RaidError::TooManyFailures { group } => {
+                write!(f, "raid group {group}: multiple failures, data lost")
+            }
+            RaidError::Dev(e) => write!(f, "device error: {e}"),
+            RaidError::NoSuchDisk { disk } => write!(f, "no such disk {disk}"),
+        }
+    }
+}
+
+impl std::error::Error for RaidError {}
+
+impl From<DevError> for RaidError {
+    fn from(e: DevError) -> Self {
+        RaidError::Dev(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = RaidError::OutOfRange {
+            bno: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(RaidError::TooManyFailures { group: 2 }
+            .to_string()
+            .contains("group 2"));
+    }
+
+    #[test]
+    fn dev_errors_convert() {
+        let e: RaidError = DevError::Offline.into();
+        assert_eq!(e, RaidError::Dev(DevError::Offline));
+    }
+}

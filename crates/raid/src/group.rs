@@ -1,0 +1,443 @@
+//! A RAID-4 group: N data spindles plus one dedicated parity spindle.
+
+use blockdev::Block;
+use blockdev::BlockDevice;
+use blockdev::DevError;
+use blockdev::DiskPerf;
+use blockdev::DeviceStats;
+use blockdev::SimDisk;
+
+use crate::error::RaidError;
+
+/// Parity block cached for the stripe currently being written.
+#[derive(Debug)]
+struct PendingParity {
+    stripe: u64,
+    parity: Block,
+}
+
+/// A RAID-4 group.
+///
+/// Logical blocks are striped across the data disks (`disk = bno % ndata`,
+/// `offset = bno / ndata`), so sequential logical runs engage every spindle
+/// — this is what lets physical dump run the disks at media speed.
+pub struct Raid4Group {
+    data: Vec<SimDisk>,
+    parity: SimDisk,
+    blocks_per_disk: u64,
+    pending: Option<PendingParity>,
+    /// Index of the failed member (`ndata` = parity disk), if any.
+    failed: Option<usize>,
+    /// True after a second failure: data is unrecoverable.
+    lost: bool,
+}
+
+impl Raid4Group {
+    /// Creates a group of `ndata` data disks plus parity, each of
+    /// `blocks_per_disk` blocks with the given performance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndata` is zero.
+    pub fn new(ndata: usize, blocks_per_disk: u64, perf: DiskPerf) -> Raid4Group {
+        assert!(ndata > 0, "a raid group needs at least one data disk");
+        Raid4Group {
+            data: (0..ndata)
+                .map(|_| SimDisk::new(blocks_per_disk, perf))
+                .collect(),
+            parity: SimDisk::new(blocks_per_disk, perf),
+            blocks_per_disk,
+            pending: None,
+            failed: None,
+            lost: false,
+        }
+    }
+
+    /// Usable capacity in blocks (parity excluded).
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64 * self.blocks_per_disk
+    }
+
+    /// Number of data disks.
+    pub fn ndata(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total member count including parity.
+    pub fn ndisks(&self) -> usize {
+        self.data.len() + 1
+    }
+
+    /// The index used to address the parity disk in
+    /// [`Raid4Group::fail_disk`].
+    pub fn parity_index(&self) -> usize {
+        self.data.len()
+    }
+
+    fn locate(&self, bno: u64) -> Result<(usize, u64), RaidError> {
+        if bno >= self.capacity() {
+            return Err(RaidError::OutOfRange {
+                bno,
+                capacity: self.capacity(),
+            });
+        }
+        Ok(((bno % self.data.len() as u64) as usize, bno / self.data.len() as u64))
+    }
+
+    /// Reads one logical block, reconstructing from parity when the owning
+    /// disk has failed.
+    pub fn read(&mut self, bno: u64) -> Result<Block, RaidError> {
+        if self.lost {
+            return Err(RaidError::TooManyFailures { group: 0 });
+        }
+        let (disk, offset) = self.locate(bno)?;
+        match self.data[disk].read(offset) {
+            Ok(b) => Ok(b),
+            Err(DevError::Offline) => self.reconstruct_block(disk, offset),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes one logical block, maintaining parity by subtraction.
+    pub fn write(&mut self, bno: u64, block: Block) -> Result<(), RaidError> {
+        if self.lost {
+            return Err(RaidError::TooManyFailures { group: 0 });
+        }
+        let (disk, offset) = self.locate(bno)?;
+
+        // Old data: direct read, or reconstruction if this member is down.
+        let old = match self.data[disk].read(offset) {
+            Ok(b) => b,
+            Err(DevError::Offline) => self.reconstruct_block(disk, offset)?,
+            Err(e) => return Err(e.into()),
+        };
+
+        // Bring the right stripe's parity into the write-back slot.
+        if self
+            .pending
+            .as_ref()
+            .map(|p| p.stripe != offset)
+            .unwrap_or(false)
+        {
+            self.flush()?;
+        }
+        if self.pending.is_none() {
+            let parity = match self.parity.read(offset) {
+                Ok(b) => b,
+                // Parity disk down: nothing to maintain until reconstruct.
+                Err(DevError::Offline) => Block::Zero,
+                Err(e) => return Err(e.into()),
+            };
+            self.pending = Some(PendingParity {
+                stripe: offset,
+                parity,
+            });
+        }
+        if let Some(p) = self.pending.as_mut() {
+            p.parity = p.parity.xor(&old).xor(&block);
+        }
+
+        match self.data[disk].write(offset, block) {
+            Ok(()) | Err(DevError::Offline) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Flushes the cached parity block to the parity spindle.
+    pub fn flush(&mut self) -> Result<(), RaidError> {
+        if let Some(p) = self.pending.take() {
+            match self.parity.write(p.stripe, p.parity) {
+                Ok(()) | Err(DevError::Offline) => Ok(()),
+                Err(e) => Err(e.into()),
+            }
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reconstructs the content of (`disk`, `offset`) from parity and the
+    /// surviving members.
+    fn reconstruct_block(&mut self, disk: usize, offset: u64) -> Result<Block, RaidError> {
+        // The cached parity must be on the spindle before we trust it.
+        if self
+            .pending
+            .as_ref()
+            .map(|p| p.stripe == offset)
+            .unwrap_or(false)
+        {
+            self.flush()?;
+        }
+        let mut acc = match self.parity.read(offset) {
+            Ok(b) => b,
+            Err(DevError::Offline) => return Err(RaidError::TooManyFailures { group: 0 }),
+            Err(e) => return Err(e.into()),
+        };
+        for (i, d) in self.data.iter_mut().enumerate() {
+            if i == disk {
+                continue;
+            }
+            let b = match d.read(offset) {
+                Ok(b) => b,
+                Err(DevError::Offline) => return Err(RaidError::TooManyFailures { group: 0 }),
+                Err(e) => return Err(e.into()),
+            };
+            acc = acc.xor(&b);
+        }
+        Ok(acc)
+    }
+
+    /// Fails a member. `disk` counts data disks first; `ndata` is the
+    /// parity spindle. A second concurrent failure marks the group lost.
+    pub fn fail_disk(&mut self, disk: usize) -> Result<(), RaidError> {
+        if disk > self.data.len() {
+            return Err(RaidError::NoSuchDisk { disk });
+        }
+        if let Some(already) = self.failed {
+            if already != disk {
+                self.lost = true;
+            }
+        }
+        self.failed = Some(disk);
+        if disk == self.data.len() {
+            // Cached parity would be written to a dead spindle anyway.
+            self.pending = None;
+            self.parity.fail();
+        } else {
+            self.data[disk].fail();
+        }
+        Ok(())
+    }
+
+    /// Replaces the failed member with a fresh spindle and rebuilds its
+    /// contents from the survivors.
+    pub fn reconstruct(&mut self) -> Result<(), RaidError> {
+        if self.lost {
+            return Err(RaidError::TooManyFailures { group: 0 });
+        }
+        let Some(disk) = self.failed else {
+            return Ok(());
+        };
+        self.flush()?;
+        if disk == self.data.len() {
+            self.parity.replace();
+            for offset in 0..self.blocks_per_disk {
+                let mut acc = Block::Zero;
+                for d in self.data.iter_mut() {
+                    acc = acc.xor(&d.read(offset)?);
+                }
+                self.parity.write(offset, acc)?;
+            }
+        } else {
+            self.data[disk].replace();
+            for offset in 0..self.blocks_per_disk {
+                let content = self.reconstruct_block(disk, offset)?;
+                self.data[disk].write(offset, content)?;
+            }
+        }
+        self.failed = None;
+        Ok(())
+    }
+
+    /// Verifies parity for every stripe; returns the number of bad stripes.
+    pub fn scrub(&mut self) -> Result<u64, RaidError> {
+        self.flush()?;
+        let mut bad = 0;
+        for offset in 0..self.blocks_per_disk {
+            let mut acc = self.parity.read(offset)?;
+            for d in self.data.iter_mut() {
+                acc = acc.xor(&d.read(offset)?);
+            }
+            if !acc.is_zero() {
+                bad += 1;
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Whether the group is running without a failed member.
+    pub fn is_healthy(&self) -> bool {
+        self.failed.is_none() && !self.lost
+    }
+
+    /// Aggregate traffic counters over all members (parity included).
+    pub fn stats(&self) -> DeviceStats {
+        let mut s = DeviceStats::default();
+        for d in &self.data {
+            s.merge(&d.stats());
+        }
+        s.merge(&self.parity.stats());
+        s
+    }
+
+    /// Traffic counters for the data spindles only.
+    pub fn data_stats(&self) -> DeviceStats {
+        let mut s = DeviceStats::default();
+        for d in &self.data {
+            s.merge(&d.stats());
+        }
+        s
+    }
+
+    /// Fault-injection access to a member (data disks first, parity last).
+    pub fn disk_mut(&mut self, disk: usize) -> Result<&mut SimDisk, RaidError> {
+        if disk < self.data.len() {
+            Ok(&mut self.data[disk])
+        } else if disk == self.data.len() {
+            Ok(&mut self.parity)
+        } else {
+            Err(RaidError::NoSuchDisk { disk })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> Raid4Group {
+        Raid4Group::new(4, 32, DiskPerf::ideal())
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno + 1000)).unwrap();
+        }
+        for bno in 0..g.capacity() {
+            assert!(g.read(bno).unwrap().same_content(&Block::Synthetic(bno + 1000)));
+        }
+    }
+
+    #[test]
+    fn capacity_excludes_parity() {
+        let g = group();
+        assert_eq!(g.capacity(), 4 * 32);
+        assert_eq!(g.ndisks(), 5);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = group();
+        assert!(matches!(
+            g.read(g.capacity()),
+            Err(RaidError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn scrub_is_clean_after_writes() {
+        let mut g = group();
+        for bno in 0..64 {
+            g.write(bno, Block::Synthetic(bno)).unwrap();
+        }
+        assert_eq!(g.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_data() {
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno * 7)).unwrap();
+        }
+        g.flush().unwrap();
+        g.fail_disk(1).unwrap();
+        for bno in 0..g.capacity() {
+            assert!(
+                g.read(bno).unwrap().same_content(&Block::Synthetic(bno * 7)),
+                "bno {bno} wrong after disk failure"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_write_remains_recoverable() {
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno)).unwrap();
+        }
+        g.fail_disk(2).unwrap();
+        // Overwrite blocks that live on the dead disk.
+        g.write(2, Block::Synthetic(999)).unwrap();
+        g.write(6, Block::Synthetic(998)).unwrap();
+        assert!(g.read(2).unwrap().same_content(&Block::Synthetic(999)));
+        assert!(g.read(6).unwrap().same_content(&Block::Synthetic(998)));
+    }
+
+    #[test]
+    fn reconstruct_rebuilds_failed_data_disk() {
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno + 5)).unwrap();
+        }
+        g.fail_disk(0).unwrap();
+        g.write(0, Block::Synthetic(12345)).unwrap();
+        g.reconstruct().unwrap();
+        assert!(g.is_healthy());
+        assert_eq!(g.scrub().unwrap(), 0);
+        assert!(g.read(0).unwrap().same_content(&Block::Synthetic(12345)));
+        assert!(g.read(4).unwrap().same_content(&Block::Synthetic(9)));
+    }
+
+    #[test]
+    fn reconstruct_rebuilds_parity_disk() {
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno)).unwrap();
+        }
+        let parity_idx = g.parity_index();
+        g.fail_disk(parity_idx).unwrap();
+        g.write(3, Block::Synthetic(777)).unwrap();
+        g.reconstruct().unwrap();
+        assert_eq!(g.scrub().unwrap(), 0);
+        assert!(g.read(3).unwrap().same_content(&Block::Synthetic(777)));
+    }
+
+    #[test]
+    fn double_failure_loses_data() {
+        let mut g = group();
+        g.write(0, Block::Synthetic(1)).unwrap();
+        g.fail_disk(0).unwrap();
+        g.fail_disk(1).unwrap();
+        assert!(matches!(g.read(0), Err(RaidError::TooManyFailures { .. })));
+        assert!(matches!(
+            g.reconstruct(),
+            Err(RaidError::TooManyFailures { .. })
+        ));
+    }
+
+    #[test]
+    fn scrub_detects_silent_corruption() {
+        let mut g = group();
+        for bno in 0..16 {
+            g.write(bno, Block::Synthetic(bno)).unwrap();
+        }
+        g.flush().unwrap();
+        g.disk_mut(1).unwrap().faults_mut().corrupt(0, 0xbad);
+        assert!(g.scrub().unwrap() > 0);
+    }
+
+    #[test]
+    fn stripe_cache_amortizes_parity_writes() {
+        let mut g = group();
+        // One full stripe = 4 sequential logical blocks sharing offset 0.
+        for bno in 0..4 {
+            g.write(bno, Block::Synthetic(bno)).unwrap();
+        }
+        g.flush().unwrap();
+        // Parity spindle should have seen exactly one write for the stripe.
+        let parity_writes = {
+            let idx = g.parity_index();
+            g.disk_mut(idx).unwrap().stats().writes().ops
+        };
+        assert_eq!(parity_writes, 1);
+        assert_eq!(g.scrub().unwrap(), 0);
+    }
+
+    #[test]
+    fn no_such_disk_is_reported() {
+        let mut g = group();
+        assert!(matches!(g.fail_disk(9), Err(RaidError::NoSuchDisk { .. })));
+        assert!(matches!(g.disk_mut(9), Err(RaidError::NoSuchDisk { .. })));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Software RAID-4, the layer WAFL sits on and image dump/restore bypasses
+//! the file system to reach.
+//!
+//! A [`Raid4Group`] is N data spindles plus one dedicated parity spindle
+//! (NetApp's layout of the era). A [`Volume`] concatenates groups into a
+//! flat block address space — the paper's `home` volume is 3 groups over 31
+//! disks, `rlse` 2 groups over 22.
+//!
+//! Parity is maintained by subtraction (`new_parity = old_parity ^ old_data
+//! ^ new_data`) with a one-stripe write-back cache so that WAFL's long
+//! sequential write chains cost one parity write per stripe instead of one
+//! per block, matching full-stripe write behaviour. Degraded reads
+//! reconstruct from the surviving members; [`Raid4Group::reconstruct`]
+//! rebuilds a replaced spindle; [`Raid4Group::scrub`] verifies parity.
+
+pub mod error;
+pub mod group;
+pub mod volume;
+
+pub use error::RaidError;
+pub use group::Raid4Group;
+pub use volume::Volume;
+pub use volume::VolumeGeometry;

@@ -1,0 +1,265 @@
+//! A volume: the flat block address space over one or more RAID-4 groups.
+
+use blockdev::Block;
+use blockdev::BlockDevice;
+use blockdev::DevError;
+use blockdev::DiskPerf;
+use blockdev::DeviceStats;
+
+use crate::error::RaidError;
+use crate::group::Raid4Group;
+
+/// Shape of a volume: one entry per RAID group.
+#[derive(Debug, Clone)]
+pub struct VolumeGeometry {
+    /// `(data disks, blocks per disk)` per group.
+    pub groups: Vec<(usize, u64)>,
+    /// Spindle performance model shared by all members.
+    pub perf: DiskPerf,
+}
+
+impl VolumeGeometry {
+    /// A geometry of `ngroups` identical groups.
+    pub fn uniform(ngroups: usize, ndata: usize, blocks_per_disk: u64, perf: DiskPerf) -> Self {
+        VolumeGeometry {
+            groups: vec![(ndata, blocks_per_disk); ngroups],
+            perf,
+        }
+    }
+
+    /// Usable capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        self.groups.iter().map(|&(n, b)| n as u64 * b).sum()
+    }
+
+    /// Total spindle count including parity disks.
+    pub fn total_disks(&self) -> usize {
+        self.groups.iter().map(|&(n, _)| n + 1).sum()
+    }
+
+    /// Data spindle count.
+    pub fn data_disks(&self) -> usize {
+        self.groups.iter().map(|&(n, _)| n).sum()
+    }
+}
+
+/// A multi-group volume. Image dump and restore address it directly; WAFL
+/// lives on top of it.
+pub struct Volume {
+    groups: Vec<Raid4Group>,
+    /// Cumulative capacity boundaries for group lookup.
+    bounds: Vec<u64>,
+    geometry: VolumeGeometry,
+}
+
+impl Volume {
+    /// Builds a volume from a geometry.
+    pub fn new(geometry: VolumeGeometry) -> Volume {
+        let groups: Vec<Raid4Group> = geometry
+            .groups
+            .iter()
+            .map(|&(ndata, bpd)| Raid4Group::new(ndata, bpd, geometry.perf))
+            .collect();
+        let mut bounds = Vec::with_capacity(groups.len());
+        let mut acc = 0;
+        for g in &groups {
+            acc += g.capacity();
+            bounds.push(acc);
+        }
+        Volume {
+            groups,
+            bounds,
+            geometry,
+        }
+    }
+
+    /// The geometry this volume was built from.
+    pub fn geometry(&self) -> &VolumeGeometry {
+        &self.geometry
+    }
+
+    /// Usable capacity in blocks.
+    pub fn capacity(&self) -> u64 {
+        *self.bounds.last().unwrap_or(&0)
+    }
+
+    fn locate(&self, bno: u64) -> Result<(usize, u64), RaidError> {
+        if bno >= self.capacity() {
+            return Err(RaidError::OutOfRange {
+                bno,
+                capacity: self.capacity(),
+            });
+        }
+        let gi = self.bounds.partition_point(|&b| b <= bno);
+        let base = if gi == 0 { 0 } else { self.bounds[gi - 1] };
+        Ok((gi, bno - base))
+    }
+
+    /// Reads one volume block.
+    pub fn read_block(&mut self, bno: u64) -> Result<Block, RaidError> {
+        let (gi, rel) = self.locate(bno)?;
+        self.groups[gi].read(rel)
+    }
+
+    /// Writes one volume block.
+    pub fn write_block(&mut self, bno: u64, block: Block) -> Result<(), RaidError> {
+        let (gi, rel) = self.locate(bno)?;
+        self.groups[gi].write(rel, block)
+    }
+
+    /// Flushes cached parity in every group.
+    pub fn sync(&mut self) -> Result<(), RaidError> {
+        for g in &mut self.groups {
+            g.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Number of RAID groups.
+    pub fn ngroups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Mutable access to a group (failure injection, scrub, reconstruct).
+    pub fn group_mut(&mut self, group: usize) -> Option<&mut Raid4Group> {
+        self.groups.get_mut(group)
+    }
+
+    /// Aggregate traffic over all spindles including parity.
+    pub fn all_stats(&self) -> DeviceStats {
+        let mut s = DeviceStats::default();
+        for g in &self.groups {
+            s.merge(&g.stats());
+        }
+        s
+    }
+
+    /// Aggregate traffic over data spindles only.
+    pub fn data_stats(&self) -> DeviceStats {
+        let mut s = DeviceStats::default();
+        for g in &self.groups {
+            s.merge(&g.data_stats());
+        }
+        s
+    }
+
+    /// True when every group has all members online.
+    pub fn is_healthy(&self) -> bool {
+        self.groups.iter().all(|g| g.is_healthy())
+    }
+}
+
+impl BlockDevice for Volume {
+    fn nblocks(&self) -> u64 {
+        self.capacity()
+    }
+
+    fn read(&mut self, bno: u64) -> Result<Block, DevError> {
+        self.read_block(bno).map_err(|e| match e {
+            RaidError::Dev(d) => d,
+            RaidError::OutOfRange { bno, capacity } => DevError::OutOfRange {
+                bno,
+                nblocks: capacity,
+            },
+            _ => DevError::Io { bno },
+        })
+    }
+
+    fn write(&mut self, bno: u64, block: Block) -> Result<(), DevError> {
+        self.write_block(bno, block).map_err(|e| match e {
+            RaidError::Dev(d) => d,
+            RaidError::OutOfRange { bno, capacity } => DevError::OutOfRange {
+                bno,
+                nblocks: capacity,
+            },
+            _ => DevError::Io { bno },
+        })
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.all_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volume() -> Volume {
+        // Two asymmetric groups: 2x16 and 3x16 data blocks.
+        Volume::new(VolumeGeometry {
+            groups: vec![(2, 16), (3, 16)],
+            perf: DiskPerf::ideal(),
+        })
+    }
+
+    #[test]
+    fn geometry_arithmetic() {
+        let geo = VolumeGeometry::uniform(3, 10, 100, DiskPerf::ideal());
+        assert_eq!(geo.capacity(), 3000);
+        assert_eq!(geo.total_disks(), 33);
+        assert_eq!(geo.data_disks(), 30);
+    }
+
+    #[test]
+    fn blocks_span_group_boundary() {
+        let mut v = volume();
+        assert_eq!(v.capacity(), 2 * 16 + 3 * 16);
+        for bno in 0..v.capacity() {
+            v.write_block(bno, Block::Synthetic(bno + 1)).unwrap();
+        }
+        for bno in 0..v.capacity() {
+            assert!(v.read_block(bno).unwrap().same_content(&Block::Synthetic(bno + 1)));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut v = volume();
+        let cap = v.capacity();
+        assert!(matches!(
+            v.read_block(cap),
+            Err(RaidError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn group_failure_is_masked() {
+        let mut v = volume();
+        for bno in 0..v.capacity() {
+            v.write_block(bno, Block::Synthetic(bno)).unwrap();
+        }
+        v.sync().unwrap();
+        v.group_mut(1).unwrap().fail_disk(0).unwrap();
+        assert!(!v.is_healthy());
+        for bno in 0..v.capacity() {
+            assert!(v.read_block(bno).unwrap().same_content(&Block::Synthetic(bno)));
+        }
+        v.group_mut(1).unwrap().reconstruct().unwrap();
+        assert!(v.is_healthy());
+    }
+
+    #[test]
+    fn device_trait_adapts_errors() {
+        let mut v = volume();
+        let cap = v.capacity();
+        let err = BlockDevice::read(&mut v, cap).unwrap_err();
+        assert!(matches!(err, DevError::OutOfRange { .. }));
+        BlockDevice::write(&mut v, 0, Block::Synthetic(5)).unwrap();
+        assert!(BlockDevice::read(&mut v, 0)
+            .unwrap()
+            .same_content(&Block::Synthetic(5)));
+    }
+
+    #[test]
+    fn stats_aggregate_members() {
+        let mut v = volume();
+        v.write_block(0, Block::Synthetic(1)).unwrap();
+        v.sync().unwrap();
+        let all = v.all_stats();
+        let data = v.data_stats();
+        // The parity spindle adds traffic beyond the data disks.
+        assert!(all.total_bytes() > data.total_bytes());
+        assert!(data.writes().ops >= 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: a RAID-4 group must behave exactly like a plain array
+//! of blocks under any schedule of writes, single-member failures,
+//! reconstructions and scrubs.
+
+use blockdev::Block;
+use blockdev::DiskPerf;
+use proptest::prelude::*;
+use raid::Raid4Group;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { bno: u16, seed: u64 },
+    FailDisk { member: u8 },
+    Reconstruct,
+    Scrub,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u64>()).prop_map(|(bno, seed)| Op::Write { bno, seed }),
+        1 => any::<u8>().prop_map(|member| Op::FailDisk { member }),
+        2 => Just(Op::Reconstruct),
+        1 => Just(Op::Scrub),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn raid_mirrors_a_plain_block_array(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let ndata = 4usize;
+        let blocks_per_disk = 32u64;
+        let capacity = ndata as u64 * blocks_per_disk;
+        let mut group = Raid4Group::new(ndata, blocks_per_disk, DiskPerf::ideal());
+        let mut model: Vec<Block> = vec![Block::Zero; capacity as usize];
+        let mut failed: Option<usize> = None;
+
+        for op in ops {
+            match op {
+                Op::Write { bno, seed } => {
+                    let bno = bno as u64 % capacity;
+                    group.write(bno, Block::Synthetic(seed)).unwrap();
+                    model[bno as usize] = Block::Synthetic(seed);
+                }
+                Op::FailDisk { member } => {
+                    // At most one failure outstanding (RAID-4's contract).
+                    if failed.is_none() {
+                        let member = member as usize % (ndata + 1);
+                        group.fail_disk(member).unwrap();
+                        failed = Some(member);
+                    }
+                }
+                Op::Reconstruct => {
+                    group.reconstruct().unwrap();
+                    failed = None;
+                }
+                Op::Scrub => {
+                    if failed.is_none() {
+                        prop_assert_eq!(group.scrub().unwrap(), 0);
+                    }
+                }
+            }
+            // Reads must match the model at all times — healthy or
+            // degraded.
+            for probe in [0u64, capacity / 2, capacity - 1] {
+                let got = group.read(probe).unwrap();
+                prop_assert!(
+                    got.same_content(&model[probe as usize]),
+                    "bno {probe} diverged (failed member: {failed:?})"
+                );
+            }
+        }
+
+        // Final full sweep after repairing any outstanding failure.
+        group.reconstruct().unwrap();
+        prop_assert_eq!(group.scrub().unwrap(), 0);
+        for bno in 0..capacity {
+            prop_assert!(group.read(bno).unwrap().same_content(&model[bno as usize]));
+        }
+    }
+}

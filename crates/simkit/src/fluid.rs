@@ -1,0 +1,883 @@
+//! Max-min fair fluid-flow simulation of concurrent jobs over shared
+//! resources.
+//!
+//! Backup and restore jobs are modelled as *streams* that progress through
+//! *stages* (e.g. "mapping files", "dumping blocks"). A stage carries an
+//! amount of abstract work (bytes, files, or plain seconds) and a *demand
+//! vector*: how many service-seconds of each resource one unit of work
+//! consumes. Resources (the CPU, a volume's disk arms, each tape drive) have
+//! a fixed capacity in service-seconds per second.
+//!
+//! At every instant the solver hands out work rates using progressive
+//! filling over *dominant resource shares* (dominant-resource fairness):
+//! all active streams ramp their dominant share up together until some
+//! resource saturates; streams bottlenecked there freeze and the rest
+//! continue. Fairness on dominant shares rather than raw rates matters
+//! because concurrent stages use different work units (files/s next to
+//! normalized byte stages) — a fair scheduler equalizes how much of the
+//! contended resource each stream gets, not their unit-less rates. For
+//! homogeneous streams this reduces to classic max-min. The simulation
+//! advances to the next stage-completion or stream-arrival event. The
+//! output is a full timeline: per-stage elapsed times and per-resource
+//! utilization over any window — exactly the quantities the paper's
+//! Tables 2–5 report.
+
+use crate::stats::Summary;
+
+/// Identifies a resource registered with [`FluidSim::add_resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+/// Identifies a stream registered with [`FluidSim::add_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+/// A shared resource with a fixed service capacity.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name ("cpu", "tape0", "disk:home").
+    pub name: String,
+    /// Capacity in service-seconds per second (1.0 for one CPU; `n` for an
+    /// array of `n` identical disk arms).
+    pub capacity: f64,
+}
+
+/// One sequential phase of a stream.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label, used to look results up in the [`Trace`].
+    pub name: String,
+    /// Total work in abstract units (bytes, files, seconds, ...).
+    pub work: f64,
+    /// Service-seconds of each resource consumed per unit of work.
+    pub demands: Vec<(ResourceId, f64)>,
+    /// Optional upper bound on the work rate in units/second, independent of
+    /// resource availability (used for fixed-latency stages).
+    pub rate_cap: Option<f64>,
+}
+
+impl Stage {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, work: f64, demands: Vec<(ResourceId, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            work,
+            demands,
+            rate_cap: None,
+        }
+    }
+
+    /// A stage that takes a fixed `secs` wall-clock time while consuming the
+    /// given fractional demands per second (e.g. snapshot creation: 30 s at
+    /// 50 % CPU).
+    pub fn fixed(name: impl Into<String>, secs: f64, demands: Vec<(ResourceId, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            work: secs,
+            demands,
+            rate_cap: Some(1.0),
+        }
+    }
+
+    /// Sets a rate cap in units/second and returns the stage.
+    pub fn with_rate_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+}
+
+/// A concurrent job: a named sequence of stages starting at `start_at`.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Job label ("logical dump qtree0").
+    pub name: String,
+    /// Simulation time at which the stream becomes active.
+    pub start_at: f64,
+    /// Stages executed in order.
+    pub stages: Vec<Stage>,
+}
+
+/// Errors from [`FluidSim::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluidError {
+    /// A stage demands a resource whose capacity is zero (or negative), so
+    /// it can never progress.
+    Starved {
+        /// The stream that cannot make progress.
+        stream: String,
+        /// The stage within that stream.
+        stage: String,
+    },
+    /// A stage was declared with a demand on an unknown resource id.
+    UnknownResource,
+}
+
+impl std::fmt::Display for FluidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FluidError::Starved { stream, stage } => {
+                write!(f, "stream {stream:?} stage {stage:?} can never progress")
+            }
+            FluidError::UnknownResource => write!(f, "demand on unregistered resource"),
+        }
+    }
+}
+
+impl std::error::Error for FluidError {}
+
+/// The completed execution record of one stage.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Index of the stage within the stream.
+    pub stage_index: usize,
+    /// Stage label.
+    pub name: String,
+    /// Start time in seconds.
+    pub t0: f64,
+    /// End time in seconds.
+    pub t1: f64,
+    /// Work units completed (equals the declared work).
+    pub work: f64,
+}
+
+impl StageRecord {
+    /// Elapsed seconds for this stage.
+    pub fn elapsed(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// One constant-rate interval of the execution, with the service rate each
+/// resource was delivering during it.
+#[derive(Debug, Clone)]
+pub struct Interval {
+    /// Interval start.
+    pub t0: f64,
+    /// Interval end.
+    pub t1: f64,
+    /// Service-seconds per second consumed on each resource (indexed by
+    /// `ResourceId`).
+    pub usage: Vec<f64>,
+}
+
+/// Full timeline produced by [`FluidSim::run`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    resources: Vec<Resource>,
+    stream_names: Vec<String>,
+    /// Piecewise-constant resource usage.
+    pub intervals: Vec<Interval>,
+    /// Per-stage records in completion order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl Trace {
+    /// Time at which the last stream finished.
+    pub fn makespan(&self) -> f64 {
+        self.stages.iter().map(|s| s.t1).fold(0.0, f64::max)
+    }
+
+    /// The record for `stream`'s stage named `name`, if it ran.
+    pub fn stage(&self, stream: StreamId, name: &str) -> Option<&StageRecord> {
+        self.stages
+            .iter()
+            .find(|s| s.stream == stream && s.name == name)
+    }
+
+    /// All stage records belonging to `stream`, in order.
+    pub fn stream_stages(&self, stream: StreamId) -> Vec<&StageRecord> {
+        let mut v: Vec<&StageRecord> = self.stages.iter().filter(|s| s.stream == stream).collect();
+        v.sort_by_key(|s| s.stage_index);
+        v
+    }
+
+    /// Start and end time of a whole stream.
+    pub fn stream_span(&self, stream: StreamId) -> Option<(f64, f64)> {
+        let stages = self.stream_stages(stream);
+        let first = stages.first()?;
+        let last = stages.last()?;
+        Some((first.t0, last.t1))
+    }
+
+    /// Average utilization (fraction of capacity) of `resource` over the
+    /// window `[t0, t1]`.
+    pub fn utilization(&self, resource: ResourceId, t0: f64, t1: f64) -> f64 {
+        let cap = self.resources[resource.0].capacity;
+        if t1 <= t0 || cap <= 0.0 {
+            return 0.0;
+        }
+        let mut busy = 0.0;
+        for iv in &self.intervals {
+            let lo = iv.t0.max(t0);
+            let hi = iv.t1.min(t1);
+            if hi > lo {
+                busy += iv.usage[resource.0] * (hi - lo);
+            }
+        }
+        busy / (cap * (t1 - t0))
+    }
+
+    /// Total service-seconds consumed on `resource` over the whole run.
+    pub fn busy_seconds(&self, resource: ResourceId) -> f64 {
+        self.intervals
+            .iter()
+            .map(|iv| iv.usage[resource.0] * (iv.t1 - iv.t0))
+            .sum()
+    }
+
+    /// Average work rate (units/sec) of a stream's stage, 0 if absent.
+    pub fn stage_rate(&self, stream: StreamId, name: &str) -> f64 {
+        match self.stage(stream, name) {
+            Some(s) if s.elapsed() > 0.0 => s.work / s.elapsed(),
+            _ => 0.0,
+        }
+    }
+
+    /// Name of a stream (for reports).
+    pub fn stream_name(&self, stream: StreamId) -> &str {
+        &self.stream_names[stream.0]
+    }
+
+    /// Mean utilization of each resource over each stream's own active span,
+    /// as `(resource name, utilization summary)` pairs. Used for debugging.
+    pub fn utilization_summaries(&self) -> Vec<(String, Summary)> {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut s = Summary::default();
+                for iv in &self.intervals {
+                    s.record(iv.usage[i] / r.capacity.max(1e-12));
+                }
+                (r.name.clone(), s)
+            })
+            .collect()
+    }
+}
+
+/// The simulation builder and engine.
+#[derive(Debug, Default)]
+pub struct FluidSim {
+    resources: Vec<Resource>,
+    streams: Vec<Stream>,
+}
+
+/// Relative tolerance for capacity exhaustion and completion tests.
+const EPS: f64 = 1e-9;
+
+impl FluidSim {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource and returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Registers a stream and returns its id.
+    pub fn add_stream(&mut self, stream: Stream) -> StreamId {
+        self.streams.push(stream);
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// Returns the full [`Trace`], or an error if some stage can never make
+    /// progress.
+    pub fn run(&self) -> Result<Trace, FluidError> {
+        // Validate demands refer to known resources.
+        for stream in &self.streams {
+            for stage in &stream.stages {
+                for (rid, _) in &stage.demands {
+                    if rid.0 >= self.resources.len() {
+                        return Err(FluidError::UnknownResource);
+                    }
+                }
+            }
+        }
+
+        let n_res = self.resources.len();
+        let n_streams = self.streams.len();
+
+        // Per-stream cursor: current stage index and remaining work.
+        let mut stage_idx = vec![0usize; n_streams];
+        let mut remaining = vec![0.0f64; n_streams];
+        let mut stage_start = vec![0.0f64; n_streams];
+        for (i, s) in self.streams.iter().enumerate() {
+            remaining[i] = s.stages.first().map(|st| st.work).unwrap_or(0.0);
+        }
+
+        let mut now = 0.0f64;
+        let mut trace = Trace {
+            resources: self.resources.clone(),
+            stream_names: self.streams.iter().map(|s| s.name.clone()).collect(),
+            intervals: Vec::new(),
+            stages: Vec::new(),
+        };
+
+        // Immediately complete empty streams / zero-work stages at their
+        // start time inside the main loop.
+        loop {
+            // Partition streams: active (started, unfinished), pending
+            // (start in the future), done.
+            let mut active: Vec<usize> = Vec::new();
+            let mut next_start: Option<f64> = None;
+            let mut any_unfinished = false;
+            for (i, s) in self.streams.iter().enumerate() {
+                if stage_idx[i] >= s.stages.len() {
+                    continue;
+                }
+                any_unfinished = true;
+                if s.start_at <= now + EPS {
+                    active.push(i);
+                } else {
+                    next_start = Some(match next_start {
+                        Some(t) => t.min(s.start_at),
+                        None => s.start_at,
+                    });
+                }
+            }
+            if !any_unfinished {
+                break;
+            }
+            if active.is_empty() {
+                // Jump to the next arrival.
+                now = next_start.expect("unfinished streams but none pending");
+                continue;
+            }
+
+            // Handle zero-work stages instantly.
+            let mut completed_zero = false;
+            for &i in &active {
+                if remaining[i] <= EPS {
+                    self.complete_stage(
+                        i,
+                        &mut stage_idx,
+                        &mut remaining,
+                        &mut stage_start,
+                        now,
+                        &mut trace,
+                    );
+                    completed_zero = true;
+                }
+            }
+            if completed_zero {
+                continue;
+            }
+
+            // Compute max-min fair rates for active streams.
+            let rates = self.fair_rates(&active, &stage_idx, n_res)?;
+
+            // Time to next event: earliest stage completion or arrival.
+            let mut dt = f64::INFINITY;
+            for (k, &i) in active.iter().enumerate() {
+                if rates[k] > 0.0 {
+                    dt = dt.min(remaining[i] / rates[k]);
+                }
+            }
+            if let Some(t) = next_start {
+                dt = dt.min(t - now);
+            }
+            if !dt.is_finite() || dt <= 0.0 {
+                let i = active[0];
+                return Err(FluidError::Starved {
+                    stream: self.streams[i].name.clone(),
+                    stage: self.streams[i].stages[stage_idx[i]].name.clone(),
+                });
+            }
+
+            // Record resource usage over [now, now + dt].
+            let mut usage = vec![0.0; n_res];
+            for (k, &i) in active.iter().enumerate() {
+                let stage = &self.streams[i].stages[stage_idx[i]];
+                for &(rid, d) in &stage.demands {
+                    usage[rid.0] += rates[k] * d;
+                }
+            }
+            trace.intervals.push(Interval {
+                t0: now,
+                t1: now + dt,
+                usage,
+            });
+
+            // Advance work and the clock.
+            for (k, &i) in active.iter().enumerate() {
+                remaining[i] -= rates[k] * dt;
+            }
+            now += dt;
+
+            // Complete any stage that finished (within tolerance).
+            for &i in &active {
+                if remaining[i] <= EPS * self.streams[i].stages[stage_idx[i]].work.max(1.0) {
+                    self.complete_stage(
+                        i,
+                        &mut stage_idx,
+                        &mut remaining,
+                        &mut stage_start,
+                        now,
+                        &mut trace,
+                    );
+                }
+            }
+        }
+
+        Ok(trace)
+    }
+
+    /// Records the completion of stream `i`'s current stage at time `now`
+    /// and advances the cursor.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_stage(
+        &self,
+        i: usize,
+        stage_idx: &mut [usize],
+        remaining: &mut [f64],
+        stage_start: &mut [f64],
+        now: f64,
+        trace: &mut Trace,
+    ) {
+        let idx = stage_idx[i];
+        let stage = &self.streams[i].stages[idx];
+        let t0 = if idx == 0 {
+            self.streams[i].start_at.max(stage_start[i])
+        } else {
+            stage_start[i]
+        };
+        trace.stages.push(StageRecord {
+            stream: StreamId(i),
+            stage_index: idx,
+            name: stage.name.clone(),
+            t0,
+            t1: now,
+            work: stage.work,
+        });
+        stage_idx[i] += 1;
+        stage_start[i] = now;
+        if stage_idx[i] < self.streams[i].stages.len() {
+            remaining[i] = self.streams[i].stages[stage_idx[i]].work;
+        } else {
+            remaining[i] = 0.0;
+        }
+    }
+
+    /// Progressive-filling rate allocation for the active streams' current
+    /// stages, fair on *dominant resource shares* (DRF).
+    ///
+    /// Each stream's increment is scaled by the inverse of its dominant
+    /// per-unit demand (the largest `demand / capacity` over its resource
+    /// vector), so one "step" grants every stream an equal slice of its
+    /// bottleneck resource. For identical streams this is exactly
+    /// classic max-min on rates.
+    fn fair_rates(
+        &self,
+        active: &[usize],
+        stage_idx: &[usize],
+        n_res: usize,
+    ) -> Result<Vec<f64>, FluidError> {
+        let n = active.len();
+        let mut rate = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut left: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+
+        // Per-stream dominant per-unit demand (share consumed per unit of
+        // work). Streams demanding a zero-capacity resource can never
+        // progress.
+        let mut dom = vec![0.0f64; n];
+        for (k, &i) in active.iter().enumerate() {
+            let stage = &self.streams[i].stages[stage_idx[i]];
+            for &(rid, d) in &stage.demands {
+                if d > 0.0 && self.resources[rid.0].capacity <= 0.0 {
+                    return Err(FluidError::Starved {
+                        stream: self.streams[i].name.clone(),
+                        stage: stage.name.clone(),
+                    });
+                }
+                if d > 0.0 {
+                    dom[k] = dom[k].max(d / self.resources[rid.0].capacity);
+                }
+            }
+            // A stage with no demands and no cap completes "infinitely
+            // fast"; give it an arbitrarily high rate.
+            if dom[k] <= 0.0 && stage.rate_cap.is_none() {
+                rate[k] = f64::INFINITY;
+                frozen[k] = true;
+            } else if dom[k] <= 0.0 {
+                // Cap-only stage: any "share" step can grant up to the cap.
+                dom[k] = 1.0;
+            }
+        }
+
+        loop {
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+            // Load each resource accrues per unit of uniform dominant-share
+            // increase (stream k moves 1/dom[k] work units per share unit).
+            let mut load = vec![0.0f64; n_res];
+            for (k, &i) in active.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                let stage = &self.streams[i].stages[stage_idx[i]];
+                for &(rid, d) in &stage.demands {
+                    load[rid.0] += d / dom[k];
+                }
+            }
+            // Largest uniform share increment permitted by resources and
+            // caps.
+            let mut delta = f64::INFINITY;
+            for j in 0..n_res {
+                if load[j] > 0.0 {
+                    delta = delta.min(left[j] / load[j]);
+                }
+            }
+            for (k, &i) in active.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                if let Some(cap) = self.streams[i].stages[stage_idx[i]].rate_cap {
+                    delta = delta.min((cap - rate[k]) * dom[k]);
+                }
+            }
+            if !delta.is_finite() {
+                // Unfrozen streams with no binding constraint at all; should
+                // have been frozen as infinitely fast above.
+                break;
+            }
+            let delta = delta.max(0.0);
+
+            // Apply the increment.
+            for (k, &i) in active.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                rate[k] += delta / dom[k];
+                let stage = &self.streams[i].stages[stage_idx[i]];
+                for &(rid, d) in &stage.demands {
+                    left[rid.0] -= delta * d / dom[k];
+                }
+            }
+
+            // Freeze streams that hit their cap or sit on an exhausted
+            // resource.
+            let mut newly_frozen = false;
+            for (k, &i) in active.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                let stage = &self.streams[i].stages[stage_idx[i]];
+                let capped = stage
+                    .rate_cap
+                    .map(|c| rate[k] >= c - EPS * c.max(1.0))
+                    .unwrap_or(false);
+                let saturated = stage.demands.iter().any(|&(rid, d)| {
+                    d > 0.0 && left[rid.0] <= EPS * self.resources[rid.0].capacity.max(1.0)
+                });
+                if capped || saturated {
+                    frozen[k] = true;
+                    newly_frozen = true;
+                }
+            }
+            if !newly_frozen && delta <= 0.0 {
+                // No progress possible; freeze everything to terminate.
+                for f in frozen.iter_mut() {
+                    *f = true;
+                }
+            }
+        }
+        Ok(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_resource_sim(cap: f64) -> (FluidSim, ResourceId) {
+        let mut sim = FluidSim::new();
+        let r = sim.add_resource("r", cap);
+        (sim, r)
+    }
+
+    #[test]
+    fn single_stream_is_bottlenecked_by_its_resource() {
+        let (mut sim, tape) = one_resource_sim(8.0); // 8 units/sec of service
+        let s = sim.add_stream(Stream {
+            name: "dump".into(),
+            start_at: 0.0,
+            // 80 units of work, each unit needs 1 service-second of tape.
+            stages: vec![Stage::new("blocks", 80.0, vec![(tape, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "blocks").unwrap();
+        assert!((rec.elapsed() - 10.0).abs() < 1e-6);
+        assert!((trace.utilization(tape, rec.t0, rec.t1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_streams_share_fairly() {
+        let (mut sim, r) = one_resource_sim(10.0);
+        let a = sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(r, 1.0)])],
+        });
+        let b = sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 100.0, vec![(r, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        // Fair share 5 each; a finishes at t=10, b then gets 10/s for the
+        // remaining 50 units, finishing at t=15.
+        assert!((trace.stage(a, "w").unwrap().t1 - 10.0).abs() < 1e-6);
+        assert!((trace.stage(b, "w").unwrap().t1 - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dedicated_resources_do_not_interfere() {
+        let mut sim = FluidSim::new();
+        let t0 = sim.add_resource("tape0", 5.0);
+        let t1 = sim.add_resource("tape1", 5.0);
+        let a = sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(t0, 1.0)])],
+        });
+        let b = sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(t1, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        assert!((trace.stage(a, "w").unwrap().elapsed() - 10.0).abs() < 1e-6);
+        assert!((trace.stage(b, "w").unwrap().elapsed() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_cap_bounds_a_lone_stream() {
+        let (mut sim, r) = one_resource_sim(100.0);
+        let s = sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 10.0, vec![(r, 1.0)]).with_rate_cap(2.0)],
+        });
+        let trace = sim.run().unwrap();
+        assert!((trace.stage(s, "w").unwrap().elapsed() - 5.0).abs() < 1e-6);
+        // Only 2 of 100 units of capacity are used.
+        let rec = trace.stage(s, "w").unwrap();
+        assert!((trace.utilization(r, rec.t0, rec.t1) - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_stage_takes_fixed_time() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let s = sim.add_stream(Stream {
+            name: "snap".into(),
+            start_at: 0.0,
+            stages: vec![Stage::fixed("create snapshot", 30.0, vec![(cpu, 0.5)])],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "create snapshot").unwrap();
+        assert!((rec.elapsed() - 30.0).abs() < 1e-6);
+        assert!((trace.utilization(cpu, rec.t0, rec.t1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stages_run_sequentially() {
+        let (mut sim, r) = one_resource_sim(1.0);
+        let s = sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![
+                Stage::new("one", 3.0, vec![(r, 1.0)]),
+                Stage::new("two", 2.0, vec![(r, 1.0)]),
+            ],
+        });
+        let trace = sim.run().unwrap();
+        let one = trace.stage(s, "one").unwrap();
+        let two = trace.stage(s, "two").unwrap();
+        assert!((one.t1 - 3.0).abs() < 1e-6);
+        assert!((two.t0 - 3.0).abs() < 1e-6);
+        assert!((two.t1 - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_arrivals_wait_for_their_start() {
+        let (mut sim, r) = one_resource_sim(1.0);
+        let a = sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 4.0, vec![(r, 1.0)])],
+        });
+        let b = sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 2.0,
+            stages: vec![Stage::new("w", 1.0, vec![(r, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        // a runs alone 0-2 (2 units done), then shares 0.5/s with b.
+        // b needs 1 unit at 0.5/s -> finishes at t=4; a finishes its last
+        // unit at 4 + 1/1 = ... let's check monotonic ordering instead.
+        let (b0, b1) = trace.stream_span(b).unwrap();
+        assert!(b0 >= 2.0 - 1e-9);
+        assert!((b1 - 4.0).abs() < 1e-6);
+        let (_, a1) = trace.stream_span(a).unwrap();
+        assert!((a1 - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_resource_stage_is_bound_by_scarcest() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let tape = sim.add_resource("tape", 8.0);
+        // Each work unit needs 1/8 s tape and 0.05 s CPU; tape saturates
+        // first (rate 8 => cpu usage 0.4).
+        let s = sim.add_stream(Stream {
+            name: "dump".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 80.0, vec![(tape, 1.0), (cpu, 0.05)])],
+        });
+        let trace = sim.run().unwrap();
+        let rec = trace.stage(s, "w").unwrap();
+        assert!((rec.elapsed() - 10.0).abs() < 1e-6);
+        assert!((trace.utilization(cpu, rec.t0, rec.t1) - 0.4).abs() < 1e-6);
+        assert!((trace.utilization(tape, rec.t0, rec.t1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_contention_slows_cpu_bound_streams() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let ids: Vec<StreamId> = (0..4)
+            .map(|i| {
+                sim.add_stream(Stream {
+                    name: format!("s{i}"),
+                    start_at: 0.0,
+                    stages: vec![Stage::new("w", 10.0, vec![(cpu, 0.1)])],
+                })
+            })
+            .collect();
+        let trace = sim.run().unwrap();
+        // Alone each would finish in 10 * 0.1 = 1 s at 100 % CPU; four
+        // together take 4 s.
+        for id in ids {
+            assert!((trace.stage(id, "w").unwrap().elapsed() - 4.0).abs() < 1e-6);
+        }
+        assert!((trace.utilization(cpu, 0.0, 4.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn usage_never_exceeds_capacity() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let disk = sim.add_resource("disk", 20.0);
+        for i in 0..5 {
+            sim.add_stream(Stream {
+                name: format!("s{i}"),
+                start_at: i as f64 * 0.5,
+                stages: vec![
+                    Stage::new("a", 30.0, vec![(disk, 1.0), (cpu, 0.02)]),
+                    Stage::new("b", 10.0, vec![(cpu, 0.08)]),
+                ],
+            });
+        }
+        let trace = sim.run().unwrap();
+        for iv in &trace.intervals {
+            assert!(iv.usage[0] <= 1.0 + 1e-6, "cpu over capacity");
+            assert!(iv.usage[1] <= 20.0 + 1e-6, "disk over capacity");
+        }
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let mut sim = FluidSim::new();
+        let r = sim.add_resource("r", 3.0);
+        let s = sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 42.0, vec![(r, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        // busy_seconds = work * demand.
+        assert!((trace.busy_seconds(r) - 42.0).abs() < 1e-6);
+        assert!((trace.stage(s, "w").unwrap().work - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starved_stream_is_an_error() {
+        let mut sim = FluidSim::new();
+        let r = sim.add_resource("dead", 0.0);
+        sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 1.0, vec![(r, 1.0)])],
+        });
+        assert!(matches!(sim.run(), Err(FluidError::Starved { .. })));
+    }
+
+    #[test]
+    fn unknown_resource_is_an_error() {
+        let mut sim = FluidSim::new();
+        let _ = sim.add_resource("r", 1.0);
+        sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 1.0, vec![(ResourceId(7), 1.0)])],
+        });
+        assert_eq!(sim.run().unwrap_err(), FluidError::UnknownResource);
+    }
+
+    #[test]
+    fn zero_work_stage_completes_instantly() {
+        let (mut sim, r) = one_resource_sim(1.0);
+        let s = sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![
+                Stage::new("empty", 0.0, vec![(r, 1.0)]),
+                Stage::new("real", 2.0, vec![(r, 1.0)]),
+            ],
+        });
+        let trace = sim.run().unwrap();
+        assert!((trace.stage(s, "empty").unwrap().elapsed()).abs() < 1e-9);
+        assert!((trace.stage(s, "real").unwrap().t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominant_share_fairness_splits_the_resource_evenly() {
+        // DRF: with capacity 3 and per-unit demands 1 and 2, each stream
+        // gets half the resource (1.5 service-units/s), so the light
+        // stream runs at rate 1.5 and the heavy one at 0.75.
+        let (mut sim, r) = one_resource_sim(3.0);
+        let a = sim.add_stream(Stream {
+            name: "light".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 10.0, vec![(r, 1.0)])],
+        });
+        let b = sim.add_stream(Stream {
+            name: "heavy".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 10.0, vec![(r, 2.0)])],
+        });
+        let trace = sim.run().unwrap();
+        // Light: 10 units at 1.5/s -> t=6.67. Heavy: 0.75/s while
+        // sharing (5 units done), then the full 3/2=1.5/s alone for the
+        // remaining 5 -> t = 6.67 + 3.33 = 10.
+        let a1 = trace.stage(a, "w").unwrap().t1;
+        let b1 = trace.stage(b, "w").unwrap().t1;
+        assert!((a1 - 20.0 / 3.0).abs() < 1e-6, "a finished at {a1}");
+        assert!((b1 - 10.0).abs() < 1e-6, "b finished at {b1}");
+        // The resource is fully used throughout.
+        assert!((trace.utilization(r, 0.0, 10.0) - 1.0).abs() < 1e-6);
+    }
+}

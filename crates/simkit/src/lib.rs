@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Simulation toolkit shared by every crate in the workspace.
+//!
+//! The reproduction separates *function* from *time*: file system and backup
+//! code runs for real on simulated devices, while this crate supplies the
+//! machinery that turns the recorded resource demands into elapsed time and
+//! utilization figures comparable to the paper's tables.
+//!
+//! Modules:
+//!
+//! - [`units`] — byte/time units and paper-style formatting helpers.
+//! - [`rng`] — deterministic random numbers and the distributions used by the
+//!   workload generator.
+//! - [`stats`] — counters, histograms and summaries.
+//! - [`meter`] — a shared CPU/work meter that functional code charges costs to.
+//! - [`fluid`] — a max-min fair fluid-flow solver that computes stage elapsed
+//!   times and per-resource utilization for concurrent jobs.
+
+pub mod fluid;
+pub mod meter;
+pub mod rng;
+pub mod stats;
+pub mod units;

@@ -1,0 +1,132 @@
+//! A shared cost meter that functional code charges CPU work to.
+//!
+//! The file system and the backup engines execute for real; each operation
+//! additionally charges its modelled CPU cost (derived from the paper's
+//! measured utilizations) to a [`Meter`]. The benchmark harness snapshots
+//! the meter around each stage and feeds the deltas into the fluid solver.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A shared, interior-mutable accumulator of modelled CPU seconds and named
+/// event counters.
+#[derive(Debug, Default)]
+pub struct Meter {
+    cpu_secs: Cell<f64>,
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+}
+
+/// Snapshot of a [`Meter`] at a point in time; subtract two to get a stage's
+/// demand.
+#[derive(Debug, Clone, Default)]
+pub struct MeterSnapshot {
+    /// Modelled CPU seconds accumulated so far.
+    pub cpu_secs: f64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Meter {
+    /// Creates a fresh meter behind an `Rc` so many components can share it.
+    pub fn new_shared() -> Rc<Meter> {
+        Rc::new(Meter::default())
+    }
+
+    /// Charges `secs` of modelled CPU time.
+    ///
+    /// Negative charges are rejected: costs only accumulate.
+    pub fn charge_cpu(&self, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative CPU charge: {secs}");
+        self.cpu_secs.set(self.cpu_secs.get() + secs.max(0.0));
+    }
+
+    /// Total modelled CPU seconds charged so far.
+    pub fn cpu_secs(&self) -> f64 {
+        self.cpu_secs.get()
+    }
+
+    /// Increments the named counter by `n`.
+    pub fn bump(&self, name: &'static str, n: u64) {
+        *self.counters.borrow_mut().entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of the named counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Takes a snapshot for later differencing.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            cpu_secs: self.cpu_secs.get(),
+            counters: self.counters.borrow().clone(),
+        }
+    }
+
+    /// Demand accumulated since `earlier`.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        let now = self.snapshot();
+        let mut counters = now.counters;
+        for (name, value) in counters.iter_mut() {
+            *value -= earlier.counters.get(name).copied().unwrap_or(0);
+        }
+        MeterSnapshot {
+            cpu_secs: now.cpu_secs - earlier.cpu_secs,
+            counters,
+        }
+    }
+}
+
+impl MeterSnapshot {
+    /// Value of the named counter in this snapshot.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_charges_accumulate() {
+        let m = Meter::default();
+        m.charge_cpu(1.5);
+        m.charge_cpu(0.5);
+        assert!((m.cpu_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_start_at_zero_and_bump() {
+        let m = Meter::default();
+        assert_eq!(m.counter("files"), 0);
+        m.bump("files", 3);
+        m.bump("files", 2);
+        assert_eq!(m.counter("files"), 5);
+    }
+
+    #[test]
+    fn since_reports_stage_delta() {
+        let m = Meter::default();
+        m.charge_cpu(1.0);
+        m.bump("blocks", 10);
+        let snap = m.snapshot();
+        m.charge_cpu(0.25);
+        m.bump("blocks", 5);
+        m.bump("dirs", 1);
+        let delta = m.since(&snap);
+        assert!((delta.cpu_secs - 0.25).abs() < 1e-12);
+        assert_eq!(delta.counter("blocks"), 5);
+        assert_eq!(delta.counter("dirs"), 1);
+        assert_eq!(delta.counter("never"), 0);
+    }
+
+    #[test]
+    fn shared_meter_is_visible_through_clones() {
+        let m = Meter::new_shared();
+        let m2 = Rc::clone(&m);
+        m2.charge_cpu(0.75);
+        assert!((m.cpu_secs() - 0.75).abs() < 1e-12);
+    }
+}

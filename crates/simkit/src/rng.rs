@@ -1,0 +1,173 @@
+//! Deterministic random numbers and workload distributions.
+//!
+//! Every stochastic choice in the workspace flows through [`SimRng`] seeded
+//! from an experiment-level seed, so runs are reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A deterministic random number generator for simulations.
+///
+/// Wraps [`StdRng`] with the handful of draws the workload generator needs
+/// (uniform ranges, biased coins, log-normal sizes, Zipf ranks).
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful to keep two streams of
+    /// decisions decoupled (e.g. namespace shape vs. file contents).
+    pub fn fork(&mut self, label: u64) -> Self {
+        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Self::seed_from_u64(seed)
+    }
+
+    /// Uniform integer in `[lo, hi)`. `hi` must be greater than `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Standard normal draw via Box-Muller (kept local to avoid an extra
+    /// dependency on `rand_distr`).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box-Muller needs u1 in (0, 1]; flip the half-open unit draw.
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal draw parameterised by the *median* and the shape `sigma`.
+    ///
+    /// File sizes in aged file systems are classically log-normal; the
+    /// workload crate uses this for both file sizes and directory fan-out.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        let mu = median.ln();
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Zipf-like rank in `[0, n)` with exponent `theta` in (0, 1).
+    ///
+    /// Used to skew modification traffic toward hot files when aging a
+    /// volume. Uses the standard inverse-transform approximation.
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        assert!(n > 0, "zipf over empty domain");
+        let u = self.unit();
+        let rank = (n as f64 * u.powf(1.0 / (1.0 - theta))) as u64;
+        rank.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::seed_from_u64(0).range(5, 5);
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| rng.lognormal(64.0, 1.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(
+            (40.0..100.0).contains(&median),
+            "median = {median}, expected near 64"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_low_ranks() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 1000;
+        let draws: Vec<u64> = (0..10_000).map(|_| rng.zipf(n, 0.9)).collect();
+        assert!(draws.iter().all(|&r| r < n));
+        let low = draws.iter().filter(|&&r| r < n / 10).count();
+        // A 0.9-theta Zipf sends far more than 10% of draws to the lowest decile.
+        assert!(low > 2_000, "low-decile draws = {low}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Counters, histograms and summaries used by device models and the
+//! benchmark harness.
+
+/// A monotonically increasing event/byte counter pair.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// Number of events recorded.
+    pub ops: u64,
+    /// Total payload bytes across all events.
+    pub bytes: u64,
+}
+
+impl Counter {
+    /// Records one event carrying `bytes` of payload.
+    pub fn record(&mut self, bytes: u64) {
+        self.ops += 1;
+        self.bytes += bytes;
+    }
+
+    /// Adds another counter into this one.
+    pub fn merge(&mut self, other: Counter) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+    }
+
+    /// Difference since an earlier snapshot of the same counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually earlier (counters only grow).
+    pub fn since(&self, earlier: Counter) -> Counter {
+        assert!(
+            self.ops >= earlier.ops && self.bytes >= earlier.bytes,
+            "counter went backwards"
+        );
+        Counter {
+            ops: self.ops - earlier.ops,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts zero.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let bucket = if sample == 0 {
+            0
+        } else {
+            63 - sample.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (returns the lower bound of the bucket that
+    /// contains the q-th sample).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// Online mean/min/max accumulator for `f64` series.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_records_and_diffs() {
+        let mut c = Counter::default();
+        c.record(100);
+        c.record(50);
+        let snap = c;
+        c.record(25);
+        assert_eq!(c.ops, 3);
+        assert_eq!(c.bytes, 175);
+        let delta = c.since(snap);
+        assert_eq!(delta.ops, 1);
+        assert_eq!(delta.bytes, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn counter_since_rejects_future_snapshots() {
+        let mut later = Counter::default();
+        later.record(1);
+        Counter::default().since(later);
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::default();
+        a.record(10);
+        let mut b = Counter::default();
+        b.record(20);
+        b.record(30);
+        a.merge(b);
+        assert_eq!(a.ops, 3);
+        assert_eq!(a.bytes, 60);
+    }
+
+    #[test]
+    fn histogram_tracks_moments() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - (1039.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(1.0).max(h.max()));
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::default();
+        for v in [3.0, -1.0, 7.5] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.5);
+        assert!((s.mean() - 3.1666).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+}

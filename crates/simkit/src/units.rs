@@ -1,0 +1,135 @@
+//! Byte and time units, plus formatting helpers that mirror the paper.
+//!
+//! The paper reports sizes in binary units (a "188 GByte" volume) and rates
+//! in MBytes/second and GBytes/hour. All conversions in the workspace go
+//! through the constants here so the tables stay consistent.
+
+/// Bytes per kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes per mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes per gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Seconds per minute.
+pub const MINUTE: f64 = 60.0;
+/// Seconds per hour.
+pub const HOUR: f64 = 3600.0;
+
+/// Converts a byte count to fractional mebibytes.
+pub fn bytes_to_mib(bytes: u64) -> f64 {
+    bytes as f64 / MIB as f64
+}
+
+/// Converts a byte count to fractional gibibytes.
+pub fn bytes_to_gib(bytes: u64) -> f64 {
+    bytes as f64 / GIB as f64
+}
+
+/// Throughput in MBytes/second for `bytes` moved in `secs` seconds.
+///
+/// Returns 0 for a zero-length interval rather than dividing by zero.
+pub fn mib_per_sec(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes_to_mib(bytes) / secs
+    }
+}
+
+/// Throughput in GBytes/hour for `bytes` moved in `secs` seconds.
+pub fn gib_per_hour(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes_to_gib(bytes) / (secs / HOUR)
+    }
+}
+
+/// Formats a duration in seconds the way the paper mixes units: seconds under
+/// two minutes, minutes under two hours, fractional hours above.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(simkit::units::fmt_duration(30.0), "30 seconds");
+/// assert_eq!(simkit::units::fmt_duration(20.0 * 60.0), "20 minutes");
+/// assert_eq!(simkit::units::fmt_duration(6.75 * 3600.0), "6.75 hours");
+/// ```
+pub fn fmt_duration(secs: f64) -> String {
+    if secs < 2.0 * MINUTE {
+        format!("{:.0} seconds", secs)
+    } else if secs < 2.0 * HOUR {
+        format!("{:.0} minutes", secs / MINUTE)
+    } else {
+        format!("{:.2} hours", secs / HOUR)
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix ("1.5 GiB").
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes_to_gib(bytes))
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes_to_mib(bytes))
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{} B", bytes)
+    }
+}
+
+/// Formats a fraction as a whole percentage ("25%").
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversions_round_trip() {
+        assert_eq!(bytes_to_mib(MIB), 1.0);
+        assert_eq!(bytes_to_gib(GIB), 1.0);
+        assert_eq!(bytes_to_gib(188 * GIB), 188.0);
+    }
+
+    #[test]
+    fn rates_handle_zero_time() {
+        assert_eq!(mib_per_sec(MIB, 0.0), 0.0);
+        assert_eq!(gib_per_hour(GIB, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rates_match_paper_arithmetic() {
+        // 188 GB in 6.2 hours is the paper's physical dump stage; the rate
+        // should land near 8.6 MB/s and 30 GB/hour.
+        let bytes = 188 * GIB;
+        let secs = 6.2 * HOUR;
+        assert!((mib_per_sec(bytes, secs) - 8.62).abs() < 0.05);
+        assert!((gib_per_hour(bytes, secs) - 30.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn duration_formatting_uses_paper_units() {
+        assert_eq!(fmt_duration(35.0), "35 seconds");
+        assert_eq!(fmt_duration(15.0 * MINUTE), "15 minutes");
+        assert_eq!(fmt_duration(1.7 * HOUR), "102 minutes");
+        assert_eq!(fmt_duration(3.25 * HOUR), "3.25 hours");
+    }
+
+    #[test]
+    fn byte_formatting_picks_unit() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KIB), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * MIB), "3.0 MiB");
+        assert_eq!(fmt_bytes(188 * GIB), "188.0 GiB");
+    }
+
+    #[test]
+    fn pct_formatting_rounds() {
+        assert_eq!(fmt_pct(0.25), "25%");
+        assert_eq!(fmt_pct(0.904), "90%");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the fluid solver: conservation laws that must hold
+//! for every random workload.
+
+use proptest::prelude::*;
+use simkit::fluid::FluidSim;
+use simkit::fluid::Stage;
+use simkit::fluid::Stream;
+
+/// A random stage over up to three resources.
+type StageSpec = (f64, Vec<(usize, f64)>);
+
+fn arb_streams() -> impl Strategy<Value = Vec<(f64, Vec<StageSpec>)>> {
+    let stage = (
+        0.1f64..50.0,
+        proptest::collection::vec((0usize..3, 0.01f64..2.0), 1..3),
+    );
+    let stream = (0.0f64..5.0, proptest::collection::vec(stage, 1..4));
+    proptest::collection::vec(stream, 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn conservation_laws_hold(specs in arb_streams(), caps in proptest::collection::vec(0.5f64..10.0, 3)) {
+        let mut sim = FluidSim::new();
+        let rids: Vec<_> = caps.iter().enumerate()
+            .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
+            .collect();
+        let mut expected_busy = [0.0f64; 3];
+        let mut ids = Vec::new();
+        for (start_at, stages) in &specs {
+            let fluid_stages: Vec<Stage> = stages
+                .iter()
+                .enumerate()
+                .map(|(si, (work, demands))| {
+                    for (r, d) in demands {
+                        expected_busy[*r] += work * d;
+                    }
+                    Stage::new(
+                        format!("s{si}"),
+                        *work,
+                        demands.iter().map(|(r, d)| (rids[*r], *d)).collect(),
+                    )
+                })
+                .collect();
+            ids.push(sim.add_stream(Stream {
+                name: "s".into(),
+                start_at: *start_at,
+                stages: fluid_stages,
+            }));
+        }
+        let trace = sim.run().expect("solvable");
+
+        // 1. Every stream ran every stage to completion.
+        for (id, (_, stages)) in ids.iter().zip(&specs) {
+            prop_assert_eq!(trace.stream_stages(*id).len(), stages.len());
+        }
+
+        // 2. No resource is ever over capacity.
+        for iv in &trace.intervals {
+            for (j, &cap) in caps.iter().enumerate() {
+                prop_assert!(iv.usage[j] <= cap * (1.0 + 1e-6),
+                    "resource {j} over capacity: {} > {cap}", iv.usage[j]);
+            }
+        }
+
+        // 3. Work conservation: busy-seconds on each resource equal the
+        // declared total demand.
+        for (j, rid) in rids.iter().enumerate() {
+            let busy = trace.busy_seconds(*rid);
+            prop_assert!((busy - expected_busy[j]).abs() < 1e-6 * expected_busy[j].max(1.0),
+                "resource {j}: busy {busy} vs expected {}", expected_busy[j]);
+        }
+
+        // 4. Stages within a stream never overlap and respect start time.
+        for (id, (start_at, _)) in ids.iter().zip(&specs) {
+            let stages = trace.stream_stages(*id);
+            prop_assert!(stages[0].t0 >= *start_at - 1e-9);
+            for pair in stages.windows(2) {
+                prop_assert!(pair[1].t0 >= pair[0].t1 - 1e-9);
+            }
+        }
+
+        // 5. The makespan is the last completion.
+        let last = trace.stages.iter().map(|s| s.t1).fold(0.0, f64::max);
+        prop_assert!((trace.makespan() - last).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Tape subsystem errors.
+
+/// Errors from drives and media.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    /// No cartridge loaded and the magazine is exhausted.
+    NoMedia,
+    /// The record would not fit and no further cartridge is available.
+    EndOfMedia,
+    /// Attempt to read past the last record of the last cartridge.
+    EndOfData,
+    /// The record at this position is unreadable (simulated media damage).
+    BadRecord {
+        /// Global record index across the magazine.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for TapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TapeError::NoMedia => write!(f, "no tape loaded"),
+            TapeError::EndOfMedia => write!(f, "end of media (magazine exhausted)"),
+            TapeError::EndOfData => write!(f, "end of recorded data"),
+            TapeError::BadRecord { index } => write!(f, "unreadable record {index}"),
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TapeError::BadRecord { index: 7 }.to_string().contains("7"));
+        assert!(TapeError::NoMedia.to_string().contains("no tape"));
+    }
+}

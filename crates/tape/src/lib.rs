@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Simulated tape subsystem: DLT-7000-class drives with attached stackers.
+//!
+//! The paper's testbed used 4 DLT-7000 drives with Breece-Hill stackers on
+//! dedicated SCSI buses. This crate models:
+//!
+//! - [`record::Record`] — the unit both backup formats write: a framed
+//!   sequence of [`record::Chunk`]s. Chunks can be literal bytes or
+//!   synthetic (seed + length), mirroring the block payload trick in
+//!   `blockdev` so paper-scale streams don't materialize gigabytes.
+//! - [`media::Tape`] — one cartridge: an append-only record sequence with a
+//!   byte capacity.
+//! - [`drive::TapeDrive`] — the mechanism: streaming rate, media-change and
+//!   rewind latencies, an auto-changer magazine, and traffic counters the
+//!   benchmark harness reads.
+//!
+//! Tapes can be corrupted record-by-record ([`media::Tape::corrupt_record`])
+//! for the robustness experiments: the paper's §3/§4 claim is that logical
+//! restore loses only the affected file(s) while physical restore is
+//! poisoned.
+
+pub mod drive;
+pub mod error;
+pub mod media;
+pub mod record;
+
+pub use drive::TapeDrive;
+pub use drive::TapePerf;
+pub use drive::TapeStats;
+pub use error::TapeError;
+pub use media::Tape;
+pub use record::Chunk;
+pub use record::Record;

@@ -1,0 +1,338 @@
+//! The block map: 32 bits of allocation state per volume block.
+//!
+//! Paper §2.1: "WAFL's free block data structure contains 32 bits per block
+//! ... The live file system as well as each snapshot is allocated a bit
+//! plane; a block is free only when it is not marked as belonging to either
+//! the live file system or any snapshot."
+//!
+//! Plane 0 is the active file system; planes 1..=20 are snapshots. The
+//! set-difference iterators implement the paper's incremental image dump
+//! arithmetic (`B − A`, Table 1).
+
+use std::collections::BTreeSet;
+
+use crate::types::SnapId;
+
+/// Block-map words per 4 KiB block when serialized.
+pub const WORDS_PER_BLOCK: u64 = 1024;
+
+/// The bit used by the active file system.
+pub const ACTIVE_PLANE: u8 = 0;
+
+/// Table 1 of the paper: the four states a block can be in with respect to
+/// a full-dump snapshot `A` and an incremental-dump snapshot `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table1State {
+    /// `A=0, B=0`: not in either snapshot.
+    NotInEither,
+    /// `A=0, B=1`: newly written — include in the incremental.
+    NewlyWritten,
+    /// `A=1, B=0`: deleted since the full dump — no need to include.
+    Deleted,
+    /// `A=1, B=1`: needed, but not changed since the full dump.
+    Unchanged,
+}
+
+/// The in-memory block map (mirrors what the next consistency point will
+/// serialize into the block-map file).
+#[derive(Debug, Clone)]
+pub struct BlkMap {
+    words: Vec<u32>,
+    /// Serialized chunks (of [`WORDS_PER_BLOCK`] words) changed since the
+    /// last consistency point.
+    dirty: BTreeSet<u64>,
+}
+
+impl BlkMap {
+    /// An all-free map for `nblocks` blocks.
+    pub fn new(nblocks: u64) -> BlkMap {
+        BlkMap {
+            words: vec![0; nblocks as usize],
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Rebuilds a map from parsed words (mount path).
+    pub fn from_words(words: Vec<u32>) -> BlkMap {
+        BlkMap {
+            words,
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Number of blocks tracked.
+    pub fn nblocks(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// The raw 32-bit word for a block.
+    pub fn word(&self, bno: u64) -> u32 {
+        self.words[bno as usize]
+    }
+
+    fn mark_dirty(&mut self, bno: u64) {
+        self.dirty.insert(bno / WORDS_PER_BLOCK);
+    }
+
+    /// Whether the block is completely unreferenced.
+    pub fn is_free(&self, bno: u64) -> bool {
+        self.words[bno as usize] == 0
+    }
+
+    /// Whether the active file system references the block.
+    pub fn is_active(&self, bno: u64) -> bool {
+        self.words[bno as usize] & 1 != 0
+    }
+
+    /// Whether snapshot `id` references the block.
+    pub fn in_snapshot(&self, bno: u64, id: SnapId) -> bool {
+        debug_assert!((1..=20).contains(&id));
+        self.words[bno as usize] & (1 << id) != 0
+    }
+
+    /// Marks a block as used by the active file system.
+    pub fn set_active(&mut self, bno: u64) {
+        self.words[bno as usize] |= 1;
+        self.mark_dirty(bno);
+    }
+
+    /// Clears the active bit.
+    pub fn clear_active(&mut self, bno: u64) {
+        self.words[bno as usize] &= !1;
+        self.mark_dirty(bno);
+    }
+
+    /// Creates snapshot `id` by copying the active plane into plane `id`
+    /// (the paper's "duplicate copy of the root data structure ... block
+    /// allocation information"). Returns the number of blocks captured.
+    pub fn snap_create(&mut self, id: SnapId) -> u64 {
+        debug_assert!((1..=20).contains(&id));
+        let bit = 1u32 << id;
+        let mut captured = 0;
+        for w in self.words.iter_mut() {
+            if *w & 1 != 0 {
+                *w |= bit;
+                captured += 1;
+            } else {
+                *w &= !bit;
+            }
+        }
+        self.dirty.extend(0..self.nchunks());
+        captured
+    }
+
+    /// Deletes snapshot `id` by clearing its plane; blocks held only by it
+    /// become free.
+    pub fn snap_delete(&mut self, id: SnapId) {
+        debug_assert!((1..=20).contains(&id));
+        let bit = !(1u32 << id);
+        for w in self.words.iter_mut() {
+            *w &= bit;
+        }
+        self.dirty.extend(0..self.nchunks());
+    }
+
+    /// Blocks referenced by plane `plane` (0 = active).
+    pub fn count_plane(&self, plane: u8) -> u64 {
+        let bit = 1u32 << plane;
+        self.words.iter().filter(|&&w| w & bit != 0).count() as u64
+    }
+
+    /// Completely free blocks.
+    pub fn count_free(&self) -> u64 {
+        self.words.iter().filter(|&&w| w == 0).count() as u64
+    }
+
+    /// Iterates blocks in plane `plane`.
+    pub fn iter_plane(&self, plane: u8) -> impl Iterator<Item = u64> + '_ {
+        let bit = 1u32 << plane;
+        self.words
+            .iter()
+            .enumerate()
+            .filter(move |(_, &w)| w & bit != 0)
+            .map(|(i, _)| i as u64)
+    }
+
+    /// Iterates the incremental dump set: blocks in plane `b` but not in
+    /// plane `a` (the paper's `B − A`).
+    pub fn iter_diff(&self, b: u8, a: u8) -> impl Iterator<Item = u64> + '_ {
+        let bit_b = 1u32 << b;
+        let bit_a = 1u32 << a;
+        self.words
+            .iter()
+            .enumerate()
+            .filter(move |(_, &w)| w & bit_b != 0 && w & bit_a == 0)
+            .map(|(i, _)| i as u64)
+    }
+
+    /// Classifies a block per Table 1 with respect to full-dump snapshot
+    /// `a` and incremental snapshot `b`.
+    pub fn table1_state(&self, bno: u64, a: SnapId, b: SnapId) -> Table1State {
+        match (self.in_snapshot(bno, a), self.in_snapshot(bno, b)) {
+            (false, false) => Table1State::NotInEither,
+            (false, true) => Table1State::NewlyWritten,
+            (true, false) => Table1State::Deleted,
+            (true, true) => Table1State::Unchanged,
+        }
+    }
+
+    /// Number of serialized 4 KiB chunks.
+    pub fn nchunks(&self) -> u64 {
+        self.nblocks().div_ceil(WORDS_PER_BLOCK)
+    }
+
+    /// The words of serialized chunk `chunk` (zero-padded at the tail).
+    pub fn chunk_words(&self, chunk: u64) -> Vec<u32> {
+        let start = (chunk * WORDS_PER_BLOCK) as usize;
+        let end = ((chunk + 1) * WORDS_PER_BLOCK).min(self.nblocks()) as usize;
+        self.words[start..end].to_vec()
+    }
+
+    /// Takes the set of dirty chunk indices, clearing it.
+    pub fn take_dirty(&mut self) -> BTreeSet<u64> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Marks every chunk dirty (used by whole-map rewrites in tests).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.extend(0..self.nchunks());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_is_all_free() {
+        let m = BlkMap::new(100);
+        assert_eq!(m.count_free(), 100);
+        assert_eq!(m.count_plane(0), 0);
+        assert!(m.is_free(50));
+    }
+
+    #[test]
+    fn active_bits_set_and_clear() {
+        let mut m = BlkMap::new(10);
+        m.set_active(3);
+        assert!(m.is_active(3));
+        assert!(!m.is_free(3));
+        m.clear_active(3);
+        assert!(m.is_free(3));
+    }
+
+    #[test]
+    fn snapshot_holds_blocks_after_active_clear() {
+        let mut m = BlkMap::new(10);
+        m.set_active(2);
+        m.snap_create(1);
+        m.clear_active(2);
+        // Paper: the block must not be reused until the snapshot is gone.
+        assert!(!m.is_free(2));
+        assert!(m.in_snapshot(2, 1));
+        m.snap_delete(1);
+        assert!(m.is_free(2));
+    }
+
+    #[test]
+    fn snap_create_copies_exactly_the_active_plane() {
+        let mut m = BlkMap::new(8);
+        m.set_active(1);
+        m.set_active(5);
+        let captured = m.snap_create(2);
+        assert_eq!(captured, 2);
+        assert!(m.in_snapshot(1, 2));
+        assert!(m.in_snapshot(5, 2));
+        assert!(!m.in_snapshot(0, 2));
+        // Stale bits from a previous use of the plane are cleared.
+        m.set_active(7);
+        m.snap_create(2);
+        m.clear_active(1);
+        m.snap_create(3);
+        assert!(m.in_snapshot(1, 2));
+        assert!(!m.in_snapshot(1, 3));
+    }
+
+    #[test]
+    fn diff_implements_b_minus_a() {
+        let mut m = BlkMap::new(8);
+        // Full dump at snapshot 1 holds {0, 1}.
+        m.set_active(0);
+        m.set_active(1);
+        m.snap_create(1);
+        // Block 1 deleted, blocks 2,3 written, then snapshot 2.
+        m.clear_active(1);
+        m.set_active(2);
+        m.set_active(3);
+        m.snap_create(2);
+        let diff: Vec<u64> = m.iter_diff(2, 1).collect();
+        assert_eq!(diff, vec![2, 3]);
+    }
+
+    #[test]
+    fn table1_states_match_the_paper() {
+        let mut m = BlkMap::new(4);
+        // Block 0: in neither. Block 1: only in B. Block 2: only in A.
+        // Block 3: in both.
+        m.set_active(2);
+        m.set_active(3);
+        m.snap_create(1); // A
+        m.clear_active(2);
+        m.set_active(1);
+        m.snap_create(2); // B
+        assert_eq!(m.table1_state(0, 1, 2), Table1State::NotInEither);
+        assert_eq!(m.table1_state(1, 1, 2), Table1State::NewlyWritten);
+        assert_eq!(m.table1_state(2, 1, 2), Table1State::Deleted);
+        assert_eq!(m.table1_state(3, 1, 2), Table1State::Unchanged);
+        // The incremental set is exactly the NewlyWritten blocks.
+        let diff: Vec<u64> = m.iter_diff(2, 1).collect();
+        assert_eq!(diff, vec![1]);
+    }
+
+    #[test]
+    fn chunks_serialize_words() {
+        let mut m = BlkMap::new(2000);
+        m.set_active(0);
+        m.set_active(1999);
+        assert_eq!(m.nchunks(), 2);
+        let c0 = m.chunk_words(0);
+        let c1 = m.chunk_words(1);
+        assert_eq!(c0.len(), 1024);
+        assert_eq!(c1.len(), 976);
+        assert_eq!(c0[0], 1);
+        assert_eq!(c1[975], 1);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_mutations() {
+        let mut m = BlkMap::new(3000);
+        assert!(m.take_dirty().is_empty());
+        m.set_active(0);
+        m.set_active(2500);
+        let dirty = m.take_dirty();
+        assert_eq!(dirty.into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        // Snapshot ops dirty everything.
+        m.snap_create(1);
+        assert_eq!(m.take_dirty().len(), 3 /* chunks */);
+    }
+
+    #[test]
+    fn round_trip_through_chunk_words() {
+        let mut m = BlkMap::new(1500);
+        for b in [0u64, 7, 1023, 1024, 1499] {
+            m.set_active(b);
+        }
+        m.snap_create(4);
+        let mut words = Vec::new();
+        for c in 0..m.nchunks() {
+            words.extend(m.chunk_words(c));
+        }
+        let back = BlkMap::from_words(words);
+        assert_eq!(back.nblocks(), 1500);
+        for b in [0u64, 7, 1023, 1024, 1499] {
+            assert!(back.is_active(b));
+            assert!(back.in_snapshot(b, 4));
+        }
+        assert_eq!(back.count_plane(0), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! File system errors.
+
+use crate::types::Ino;
+use crate::types::SnapId;
+
+/// Errors surfaced by the file system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaflError {
+    /// No such file or directory.
+    NotFound {
+        /// What was being looked up.
+        what: String,
+    },
+    /// A name already exists in the target directory.
+    Exists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Operation requires a directory but the inode is a file (or vice
+    /// versa).
+    WrongType {
+        /// The offending inode.
+        ino: Ino,
+    },
+    /// Directory not empty (rmdir).
+    NotEmpty {
+        /// The directory inode.
+        ino: Ino,
+    },
+    /// The volume is out of free blocks.
+    NoSpace,
+    /// All 20 snapshot slots are in use.
+    TooManySnapshots,
+    /// No snapshot with this id.
+    NoSuchSnapshot {
+        /// The missing id.
+        id: SnapId,
+    },
+    /// A name or attribute exceeds a format limit.
+    Invalid {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Quota exceeded for a qtree.
+    QuotaExceeded {
+        /// The qtree id.
+        qtree: u16,
+    },
+    /// An error from the RAID/device layer.
+    Raid(raid::RaidError),
+    /// The on-disk image is unreadable or fails validation at mount.
+    BadImage {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WaflError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaflError::NotFound { what } => write!(f, "not found: {what}"),
+            WaflError::Exists { name } => write!(f, "already exists: {name}"),
+            WaflError::WrongType { ino } => write!(f, "wrong file type: inode {ino}"),
+            WaflError::NotEmpty { ino } => write!(f, "directory not empty: inode {ino}"),
+            WaflError::NoSpace => write!(f, "no space left on volume"),
+            WaflError::TooManySnapshots => write!(f, "snapshot limit (20) reached"),
+            WaflError::NoSuchSnapshot { id } => write!(f, "no such snapshot: {id}"),
+            WaflError::Invalid { reason } => write!(f, "invalid argument: {reason}"),
+            WaflError::QuotaExceeded { qtree } => write!(f, "quota exceeded on qtree {qtree}"),
+            WaflError::Raid(e) => write!(f, "raid: {e}"),
+            WaflError::BadImage { reason } => write!(f, "bad on-disk image: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WaflError {}
+
+impl From<raid::RaidError> for WaflError {
+    fn from(e: raid::RaidError) -> Self {
+        WaflError::Raid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(WaflError::NotFound {
+            what: "/a/b".into()
+        }
+        .to_string()
+        .contains("/a/b"));
+        assert!(WaflError::NoSuchSnapshot { id: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn raid_errors_convert() {
+        let e: WaflError = raid::RaidError::OutOfRange {
+            bno: 1,
+            capacity: 0,
+        }
+        .into();
+        assert!(matches!(e, WaflError::Raid(_)));
+    }
+}

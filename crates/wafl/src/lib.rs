@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! WAFL (Write Anywhere File Layout) — the file system under study.
+//!
+//! This is a faithful functional model of the paper's §2: 4 KB blocks,
+//! inodes, metadata kept in files (the *inode file* and the *block map
+//! file*), copy-on-write with no fixed block locations except the fsinfo
+//! root, snapshots implemented as bit planes in a 32-bit-per-block block
+//! map, consistency points, and an NVRAM operation log.
+//!
+//! Architecture: a mounted [`fs::Wafl`] keeps an in-memory object model
+//! (inode table, directory contents, per-file block trees, the bit-plane
+//! block map) that mirrors the *next* consistency point. All file data and,
+//! at every consistency point, all metadata are serialized into real volume
+//! blocks through the RAID layer — so the on-disk image alone is always a
+//! complete, self-consistent file system: [`fs::Wafl::mount`] rebuilds
+//! everything from block 0/1 (the redundant fsinfo copies), and a simulated
+//! crash simply drops the object model and replays the NVRAM log, exactly
+//! the paper's recovery story. Physical (image) backup copies those volume
+//! blocks without interpretation and the result re-mounts with all
+//! snapshots intact.
+//!
+//! Modules:
+//!
+//! - [`types`] — inode numbers, attributes (including the multiprotocol
+//!   DOS/NT extras the paper's dump format carries), configuration.
+//! - [`ondisk`] — byte-level serialization of every on-disk structure.
+//! - [`blkmap`] — the 32-bit-per-block allocation map and its plane algebra
+//!   (the heart of incremental image dump, Table 1).
+//! - [`fs`] — format, mount, consistency points, crash/replay.
+//! - [`ops`] — file operations (create/write/read/unlink/rename/...).
+//! - [`snapshot`] — snapshot create/delete and bookkeeping.
+//! - [`snapview`] — read-only, disk-parsing views of a snapshot (what
+//!   logical dump reads from).
+//! - [`check`] — a consistency checker proving the "no fsck needed"
+//!   claim after every simulated crash.
+//! - [`cost`] — modelled CPU costs charged to the shared meter.
+
+pub mod blkmap;
+pub mod check;
+pub mod cost;
+pub mod error;
+pub mod fs;
+pub mod ondisk;
+pub mod ops;
+pub mod schedule;
+pub mod snapshot;
+pub mod snapview;
+pub mod types;
+
+pub use blkmap::BlkMap;
+pub use error::WaflError;
+pub use fs::Wafl;
+pub use snapview::SnapView;
+pub use types::Attrs;
+pub use types::FileType;
+pub use types::Ino;
+pub use types::SnapId;
+pub use types::WaflConfig;

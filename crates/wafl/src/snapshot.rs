@@ -1,0 +1,248 @@
+//! Snapshot creation and deletion.
+//!
+//! Creating a snapshot is the paper's §2.1 procedure: take a consistency
+//! point so disk is current, duplicate the root data structure (our
+//! [`crate::ondisk::SnapEntry`] holds the inode-file root), and copy the
+//! active bit plane of the block map into the snapshot's plane. Blocks stay
+//! unavailable for reuse until every plane referencing them is clear.
+
+use crate::error::WaflError;
+use crate::fs::Wafl;
+use crate::ondisk::SnapEntry;
+use crate::ondisk::MAX_SNAP_NAME;
+use crate::types::SnapId;
+use crate::types::MAX_SNAPSHOTS;
+
+impl Wafl {
+    /// Creates a read-only snapshot of the entire file system.
+    ///
+    /// Returns the snapshot id (the bit plane it occupies).
+    pub fn snapshot_create(&mut self, name: &str) -> Result<SnapId, WaflError> {
+        if name.is_empty() || name.len() > MAX_SNAP_NAME {
+            return Err(WaflError::Invalid {
+                reason: "bad snapshot name".into(),
+            });
+        }
+        if self.snapshots.iter().any(|s| s.name == name) {
+            return Err(WaflError::Exists { name: name.into() });
+        }
+        if self.snapshots.len() >= MAX_SNAPSHOTS as usize {
+            return Err(WaflError::TooManySnapshots);
+        }
+        let id = (1..=MAX_SNAPSHOTS)
+            .find(|id| !self.snapshots.iter().any(|s| s.id == *id))
+            .expect("slot available given count check");
+
+        // Make the on-disk image current, then capture it.
+        self.cp()?;
+        let nwords = self.blkmap.nblocks();
+        self.blkmap.snap_create(id);
+        self.meter
+            .charge_cpu(self.costs.snap_per_word * nwords as f64);
+        let entry = SnapEntry {
+            id,
+            name: name.into(),
+            cp_count: self.cp_count,
+            created: self.now(),
+            inofile: self.last_inofile_root.clone(),
+        };
+        self.snapshots.push(entry);
+        // Persist the plane copy and the table.
+        self.cp()?;
+        Ok(id)
+    }
+
+    /// Deletes a snapshot; blocks held only by it become free (after the
+    /// commit).
+    pub fn snapshot_delete(&mut self, id: SnapId) -> Result<(), WaflError> {
+        let idx = self
+            .snapshots
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(WaflError::NoSuchSnapshot { id })?;
+        // Blocks whose only reference is this snapshot become free, but —
+        // as with any free — they must not be reused until the CP commits,
+        // because the on-disk snapshot table still references them.
+        let newly_free: Vec<u64> = self
+            .blkmap
+            .iter_plane(id)
+            .filter(|&b| self.blkmap.word(b) == (1u32 << id))
+            .collect();
+        let nwords = self.blkmap.nblocks();
+        self.blkmap.snap_delete(id);
+        self.meter
+            .charge_cpu(self.costs.snap_per_word * nwords as f64);
+        self.frozen.extend(newly_free);
+        self.snapshots.remove(idx);
+        self.cp()?;
+        Ok(())
+    }
+
+    /// Renames a snapshot (used by the rotation schedule).
+    pub fn snapshot_rename(&mut self, id: SnapId, new_name: &str) -> Result<(), WaflError> {
+        if new_name.is_empty() || new_name.len() > MAX_SNAP_NAME {
+            return Err(WaflError::Invalid {
+                reason: "bad snapshot name".into(),
+            });
+        }
+        if self.snapshots.iter().any(|s| s.name == new_name && s.id != id) {
+            return Err(WaflError::Exists {
+                name: new_name.into(),
+            });
+        }
+        let entry = self
+            .snapshots
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or(WaflError::NoSuchSnapshot { id })?;
+        entry.name = new_name.into();
+        self.cp()?;
+        Ok(())
+    }
+
+    /// The snapshot table.
+    pub fn snapshots(&self) -> &[SnapEntry] {
+        &self.snapshots
+    }
+
+    /// Finds a snapshot by name.
+    pub fn snapshot_by_name(&self, name: &str) -> Option<&SnapEntry> {
+        self.snapshots.iter().find(|s| s.name == name)
+    }
+
+    /// Finds a snapshot by id.
+    pub fn snapshot_by_id(&self, id: SnapId) -> Option<&SnapEntry> {
+        self.snapshots.iter().find(|s| s.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Attrs;
+    use crate::types::FileType;
+    use crate::types::WaflConfig;
+    use crate::types::INO_ROOT;
+    use blockdev::Block;
+    use blockdev::DiskPerf;
+    use raid::Volume;
+    use raid::VolumeGeometry;
+
+    fn fs() -> Wafl {
+        let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+        Wafl::format(vol, WaflConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_ids_allocate_lowest_free() {
+        let mut fs = fs();
+        assert_eq!(fs.snapshot_create("a").unwrap(), 1);
+        assert_eq!(fs.snapshot_create("b").unwrap(), 2);
+        fs.snapshot_delete(1).unwrap();
+        assert_eq!(fs.snapshot_create("c").unwrap(), 1);
+        assert_eq!(fs.snapshots().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_limit_is_twenty() {
+        let mut fs = fs();
+        for i in 0..20 {
+            fs.snapshot_create(&format!("s{i}")).unwrap();
+        }
+        assert!(matches!(
+            fs.snapshot_create("overflow"),
+            Err(WaflError::TooManySnapshots)
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut fs = fs();
+        fs.snapshot_create("nightly").unwrap();
+        assert!(matches!(
+            fs.snapshot_create("nightly"),
+            Err(WaflError::Exists { .. })
+        ));
+        assert!(fs.snapshot_by_name("nightly").is_some());
+        assert!(fs.snapshot_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn deleting_missing_snapshot_errors() {
+        let mut fs = fs();
+        assert!(matches!(
+            fs.snapshot_delete(5),
+            Err(WaflError::NoSuchSnapshot { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn snapshot_pins_blocks_until_deleted() {
+        let mut fs = fs();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
+        for i in 0..50 {
+            fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
+        }
+        fs.cp().unwrap();
+        let free_before_snap = fs.free_blocks();
+        fs.snapshot_create("hold").unwrap();
+        fs.remove(INO_ROOT, "f").unwrap();
+        fs.cp().unwrap();
+        // Deleting the file frees (almost) nothing: the snapshot holds it.
+        let free_while_held = fs.free_blocks();
+        assert!(
+            free_while_held < free_before_snap + 10,
+            "snapshot failed to pin blocks: {free_while_held} vs {free_before_snap}"
+        );
+        fs.snapshot_delete(fs.snapshot_by_name("hold").unwrap().id)
+            .unwrap();
+        let free_after = fs.free_blocks();
+        assert!(
+            free_after > free_while_held + 40,
+            "deleting the snapshot should release the file's blocks"
+        );
+    }
+
+    #[test]
+    fn snapshot_uses_no_space_until_change() {
+        // Paper: "The copy uses no additional disk space until files are
+        // changed or deleted due to the use of copy-on-write."
+        let mut fs = fs();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
+        for i in 0..100 {
+            fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
+        }
+        fs.cp().unwrap();
+        let before = fs.free_blocks();
+        fs.snapshot_create("s").unwrap();
+        let after = fs.free_blocks();
+        // Only metadata blocks (block map homes, tables, fsinfo path) move;
+        // no data is duplicated.
+        assert!(before - after < 20, "snapshot cost {} blocks", before - after);
+    }
+
+    #[test]
+    fn overwrites_after_snapshot_consume_space() {
+        let mut fs = fs();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
+        for i in 0..100 {
+            fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
+        }
+        fs.cp().unwrap();
+        fs.snapshot_create("s").unwrap();
+        let before = fs.free_blocks();
+        for i in 0..100 {
+            fs.write_fbn(f, i, Block::Synthetic(1000 + i)).unwrap();
+        }
+        fs.cp().unwrap();
+        let after = fs.free_blocks();
+        // COW: the old blocks stay pinned, so ~100 new blocks are consumed.
+        assert!(before - after >= 95, "only consumed {}", before - after);
+    }
+}

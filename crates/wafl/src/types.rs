@@ -1,0 +1,152 @@
+//! Core types and constants of the file system.
+
+/// An inode number. Inode 0 is invalid, 1 is the block map file, 2 is the
+/// root directory (the paper notes dump assumes "inode #2 is the root of
+/// dump").
+pub type Ino = u32;
+
+/// The invalid inode number.
+pub const INO_INVALID: Ino = 0;
+/// The block map metadata file.
+pub const INO_BLKMAP: Ino = 1;
+/// The root directory.
+pub const INO_ROOT: Ino = 2;
+/// First inode number handed to user files.
+pub const INO_FIRST_USER: Ino = 3;
+
+/// A snapshot identifier, 1..=20 (bit plane index in the block map).
+pub type SnapId = u8;
+
+/// Maximum concurrent snapshots (paper §2.1: "WAFL allows up to 20
+/// snapshots to be kept at a time").
+pub const MAX_SNAPSHOTS: SnapId = 20;
+
+/// Bytes per on-disk inode; 16 inodes per 4 KiB block.
+pub const INODE_SIZE: usize = 256;
+/// Inodes per inode-file block.
+pub const INODES_PER_BLOCK: u64 = (crate::ondisk::BLOCK_SIZE / INODE_SIZE) as u64;
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 16;
+/// Pointers per indirect block (4 KiB of u32).
+pub const PTRS_PER_BLOCK: u64 = 1024;
+
+/// Maximum file size in blocks (16 direct + 1024 single + 1024² double).
+pub const MAX_FILE_BLOCKS: u64 = NDIRECT as u64 + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK;
+
+/// Longest stored NT ACL blob (longer ACLs are rejected).
+pub const MAX_ACL: usize = 80;
+/// Longest stored DOS (8.3-style) alternate name.
+pub const MAX_DOS_NAME: usize = 16;
+/// Longest directory entry name.
+pub const MAX_NAME: usize = 255;
+
+/// File kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+    /// Symbolic link (target stored as the inode's first data block, the
+    /// classic non-fast-symlink layout).
+    Symlink,
+}
+
+impl FileType {
+    /// On-disk tag.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            FileType::File => 1,
+            FileType::Dir => 2,
+            FileType::Symlink => 3,
+        }
+    }
+
+    /// Parses an on-disk tag; `None` for the free tag (0) or garbage.
+    pub fn from_tag(tag: u8) -> Option<FileType> {
+        match tag {
+            1 => Some(FileType::File),
+            2 => Some(FileType::Dir),
+            3 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+/// Standard and multiprotocol attributes carried by every inode.
+///
+/// The multiprotocol extras (DOS name/bits/time, NT ACL) are the attributes
+/// the paper says Network Appliance's dump format was extended to carry
+/// (§3) and that only physical backup preserves "for free" (§1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Attrs {
+    /// Unix permission bits.
+    pub perm: u16,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// Modification time (simulation ticks).
+    pub mtime: u64,
+    /// Change time.
+    pub ctime: u64,
+    /// Access time.
+    pub atime: u64,
+    /// DOS attribute bits (hidden/system/archive...).
+    pub dos_attrs: u8,
+    /// DOS file time.
+    pub dos_time: u64,
+    /// DOS alternate (8.3) name.
+    pub dos_name: Option<String>,
+    /// NT access control list blob.
+    pub nt_acl: Option<Vec<u8>>,
+}
+
+/// Mount/format configuration.
+#[derive(Debug, Clone)]
+pub struct WaflConfig {
+    /// NVRAM capacity in bytes (the paper's filer had 32 MB).
+    pub nvram_bytes: u64,
+    /// Take a consistency point automatically when NVRAM reaches half full.
+    pub auto_cp_on_watermark: bool,
+}
+
+impl Default for WaflConfig {
+    fn default() -> Self {
+        WaflConfig {
+            nvram_bytes: 32 * 1024 * 1024,
+            auto_cp_on_watermark: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filetype_tags_round_trip() {
+        for t in [FileType::File, FileType::Dir] {
+            assert_eq!(FileType::from_tag(t.to_tag()), Some(t));
+        }
+        assert_eq!(FileType::from_tag(0), None);
+        assert_eq!(FileType::from_tag(99), None);
+    }
+
+    #[test]
+    fn layout_constants_are_consistent() {
+        assert_eq!(INODES_PER_BLOCK, 16);
+        assert_eq!(PTRS_PER_BLOCK * 4, crate::ondisk::BLOCK_SIZE as u64);
+        // Max file is a bit over 4 GiB of 4 KiB blocks.
+        const _: () = assert!(MAX_FILE_BLOCKS > 1_000_000);
+    }
+
+    #[test]
+    fn well_known_inodes() {
+        assert_eq!(INO_INVALID, 0);
+        assert_eq!(INO_BLKMAP, 1);
+        assert_eq!(INO_ROOT, 2);
+        const _: () = assert!(INO_FIRST_USER > INO_ROOT);
+    }
+}

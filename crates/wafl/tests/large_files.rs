@@ -1,0 +1,157 @@
+//! Coverage for the deeper parts of the block tree (single- and
+//! double-indirect mappings) and for fsinfo redundancy.
+
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::meter::Meter;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::types::NDIRECT;
+use wafl::types::PTRS_PER_BLOCK;
+use wafl::Wafl;
+
+fn volume() -> Volume {
+    // Big enough for a double-indirect file: > 1040 blocks + metadata.
+    Volume::new(VolumeGeometry::uniform(1, 8, 4096, DiskPerf::ideal()))
+}
+
+fn remount(fs: Wafl) -> Wafl {
+    let (vol, nv) = fs.crash();
+    Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .expect("remount")
+}
+
+#[test]
+fn file_spanning_all_three_mapping_levels_survives_remount() {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    let f = fs.create(INO_ROOT, "big", FileType::File, Attrs::default()).unwrap();
+    let nd = NDIRECT as u64;
+    // Direct, single-indirect, and double-indirect territory, with holes
+    // between them.
+    let probes: Vec<u64> = vec![
+        0,
+        nd - 1,            // last direct
+        nd,                // first single-indirect
+        nd + PTRS_PER_BLOCK - 1, // last single-indirect
+        nd + PTRS_PER_BLOCK,     // first double-indirect
+        nd + PTRS_PER_BLOCK + 700,
+        nd + 2 * PTRS_PER_BLOCK + 3, // second L1 child
+    ];
+    for (i, &fbn) in probes.iter().enumerate() {
+        fs.write_fbn(f, fbn, Block::Synthetic(7000 + i as u64)).unwrap();
+    }
+    fs.cp().unwrap();
+
+    let mut fs = remount(fs);
+    let f2 = fs.namei("/big").unwrap();
+    for (i, &fbn) in probes.iter().enumerate() {
+        assert!(
+            fs.read_fbn(f2, fbn).unwrap().same_content(&Block::Synthetic(7000 + i as u64)),
+            "probe fbn {fbn}"
+        );
+    }
+    // Holes between probes are still holes.
+    assert!(fs.read_fbn(f2, 5).unwrap().same_content(&Block::Zero));
+    assert!(fs
+        .read_fbn(f2, nd + PTRS_PER_BLOCK + 500)
+        .unwrap()
+        .same_content(&Block::Zero));
+    let st = fs.stat(f2).unwrap();
+    assert_eq!(st.blocks, probes.len() as u64);
+}
+
+#[test]
+fn dense_double_indirect_file_round_trips() {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    let f = fs.create(INO_ROOT, "dense", FileType::File, Attrs::default()).unwrap();
+    let n = 1500u64; // crosses into double-indirect territory
+    for fbn in 0..n {
+        fs.write_fbn(f, fbn, Block::Synthetic(fbn * 3)).unwrap();
+    }
+    let mut fs = remount(fs);
+    let f2 = fs.namei("/dense").unwrap();
+    for fbn in 0..n {
+        assert!(
+            fs.read_fbn(f2, fbn).unwrap().same_content(&Block::Synthetic(fbn * 3)),
+            "fbn {fbn}"
+        );
+    }
+    assert_eq!(fs.stat(f2).unwrap().size, n * 4096);
+}
+
+#[test]
+fn truncating_a_large_file_frees_indirect_territory() {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    let f = fs.create(INO_ROOT, "shrink", FileType::File, Attrs::default()).unwrap();
+    for fbn in 0..1200u64 {
+        fs.write_fbn(f, fbn, Block::Synthetic(fbn)).unwrap();
+    }
+    fs.cp().unwrap();
+    let used_before = fs.active_blocks();
+    fs.set_size(f, 10 * 4096).unwrap();
+    fs.cp().unwrap();
+    let used_after = fs.active_blocks();
+    assert!(
+        used_before - used_after > 1100,
+        "freed only {} blocks",
+        used_before - used_after
+    );
+    // And the file still works after a crash.
+    let mut fs = remount(fs);
+    let f2 = fs.namei("/shrink").unwrap();
+    assert_eq!(fs.stat(f2).unwrap().size, 10 * 4096);
+    assert!(fs.read_fbn(f2, 3).unwrap().same_content(&Block::Synthetic(3)));
+}
+
+#[test]
+fn mount_survives_one_corrupt_fsinfo_copy() {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+    fs.write_fbn(f, 0, Block::Synthetic(42)).unwrap();
+    fs.cp().unwrap();
+    let (mut vol, nv) = fs.crash();
+    // Torn write on the first fsinfo copy.
+    vol.write_block(0, Block::Synthetic(0xbad)).unwrap();
+    let mut fs = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .expect("second copy must save the mount");
+    let f2 = fs.namei("/f").unwrap();
+    assert!(fs.read_fbn(f2, 0).unwrap().same_content(&Block::Synthetic(42)));
+}
+
+#[test]
+fn mount_fails_cleanly_with_both_copies_gone() {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    fs.cp().unwrap();
+    let (mut vol, nv) = fs.crash();
+    vol.write_block(0, Block::Synthetic(1)).unwrap();
+    vol.write_block(1, Block::Synthetic(2)).unwrap();
+    let res = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    );
+    match res {
+        Err(wafl::WaflError::BadImage { .. }) => {}
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("must not mount"),
+    }
+}

@@ -1,0 +1,232 @@
+//! The big consistency property: after *any* sequence of operations,
+//! snapshots, consistency points and crashes, the remounted file system
+//! passes the full cross-check against its block map — the "no fsck"
+//! claim under adversarial schedules.
+
+use blockdev::Block;
+use blockdev::DiskPerf;
+use proptest::prelude::*;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::meter::Meter;
+use wafl::check::check;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { dir_sel: u8, name_sel: u8 },
+    Mkdir { dir_sel: u8, name_sel: u8 },
+    Write { file_sel: u8, fbn: u8, seed: u64 },
+    Truncate { file_sel: u8, blocks: u8 },
+    Remove { any_sel: u8 },
+    Rename { any_sel: u8, dir_sel: u8, name_sel: u8 },
+    Link { file_sel: u8, dir_sel: u8, name_sel: u8 },
+    Symlink { dir_sel: u8, name_sel: u8 },
+    Snapshot,
+    DeleteSnapshot { sel: u8 },
+    Cp,
+    Crash { lose_nvram: bool },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Create { dir_sel: d, name_sel: n }),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Mkdir { dir_sel: d, name_sel: n }),
+        (any::<u8>(), any::<u8>(), any::<u64>())
+            .prop_map(|(f, fbn, seed)| Op::Write { file_sel: f, fbn: fbn % 40, seed }),
+        (any::<u8>(), any::<u8>()).prop_map(|(f, b)| Op::Truncate { file_sel: f, blocks: b % 16 }),
+        any::<u8>().prop_map(|s| Op::Remove { any_sel: s }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, d, n)| Op::Rename { any_sel: a, dir_sel: d, name_sel: n }),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(f, d, n)| Op::Link { file_sel: f, dir_sel: d, name_sel: n }),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Symlink { dir_sel: d, name_sel: n }),
+        Just(Op::Snapshot),
+        any::<u8>().prop_map(|s| Op::DeleteSnapshot { sel: s }),
+        Just(Op::Cp),
+        any::<bool>().prop_map(|lose_nvram| Op::Crash { lose_nvram }),
+    ]
+}
+
+/// Current namespace helpers (recomputed cheaply; the trees are tiny).
+fn all_dirs(fs: &Wafl) -> Vec<u32> {
+    let mut dirs = vec![INO_ROOT];
+    let mut stack = vec![INO_ROOT];
+    while let Some(d) = stack.pop() {
+        for (_, child) in fs.readdir(d).unwrap() {
+            if fs.stat(child).unwrap().ftype == FileType::Dir {
+                dirs.push(child);
+                stack.push(child);
+            }
+        }
+    }
+    dirs
+}
+
+fn all_entries(fs: &Wafl) -> Vec<(u32, String, u32, FileType)> {
+    let mut out = Vec::new();
+    let mut stack = vec![INO_ROOT];
+    while let Some(d) = stack.pop() {
+        for (name, child) in fs.readdir(d).unwrap() {
+            let ftype = fs.stat(child).unwrap().ftype;
+            out.push((d, name, child, ftype));
+            if ftype == FileType::Dir {
+                stack.push(child);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn any_schedule_leaves_a_consistent_image(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+        let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+        let mut serial = 0u64;
+        for op in ops {
+            serial += 1;
+            match op {
+                Op::Create { dir_sel, name_sel } => {
+                    let dirs = all_dirs(&fs);
+                    let parent = dirs[dir_sel as usize % dirs.len()];
+                    let _ = fs.create(
+                        parent,
+                        &format!("f{}-{serial}", name_sel),
+                        FileType::File,
+                        Attrs::default(),
+                    );
+                }
+                Op::Mkdir { dir_sel, name_sel } => {
+                    let dirs = all_dirs(&fs);
+                    let parent = dirs[dir_sel as usize % dirs.len()];
+                    let _ = fs.create(
+                        parent,
+                        &format!("d{}-{serial}", name_sel),
+                        FileType::Dir,
+                        Attrs::default(),
+                    );
+                }
+                Op::Write { file_sel, fbn, seed } => {
+                    let files: Vec<u32> = all_entries(&fs)
+                        .into_iter()
+                        .filter(|(_, _, _, t)| *t == FileType::File)
+                        .map(|(_, _, i, _)| i)
+                        .collect();
+                    if !files.is_empty() {
+                        let ino = files[file_sel as usize % files.len()];
+                        fs.write_fbn(ino, fbn as u64, Block::Synthetic(seed)).unwrap();
+                    }
+                }
+                Op::Truncate { file_sel, blocks } => {
+                    let files: Vec<u32> = all_entries(&fs)
+                        .into_iter()
+                        .filter(|(_, _, _, t)| *t == FileType::File)
+                        .map(|(_, _, i, _)| i)
+                        .collect();
+                    if !files.is_empty() {
+                        let ino = files[file_sel as usize % files.len()];
+                        fs.set_size(ino, blocks as u64 * 4096).unwrap();
+                    }
+                }
+                Op::Remove { any_sel } => {
+                    let entries = all_entries(&fs);
+                    if !entries.is_empty() {
+                        let (parent, name, _, _) =
+                            entries[any_sel as usize % entries.len()].clone();
+                        // May fail on non-empty dirs; that's fine.
+                        let _ = fs.remove(parent, &name);
+                    }
+                }
+                Op::Rename { any_sel, dir_sel, name_sel } => {
+                    let entries = all_entries(&fs);
+                    let dirs = all_dirs(&fs);
+                    if !entries.is_empty() {
+                        let (parent, name, ino, _) =
+                            entries[any_sel as usize % entries.len()].clone();
+                        let to_dir = dirs[dir_sel as usize % dirs.len()];
+                        // Moving a directory under itself must fail or be
+                        // harmless; collisions just error.
+                        if to_dir != ino {
+                            let _ = fs.rename(
+                                parent,
+                                &name,
+                                to_dir,
+                                &format!("r{}-{serial}", name_sel),
+                            );
+                        }
+                    }
+                }
+                Op::Link { file_sel, dir_sel, name_sel } => {
+                    let files: Vec<u32> = all_entries(&fs)
+                        .into_iter()
+                        .filter(|(_, _, _, t)| *t != FileType::Dir)
+                        .map(|(_, _, i, _)| i)
+                        .collect();
+                    let dirs = all_dirs(&fs);
+                    if !files.is_empty() {
+                        let ino = files[file_sel as usize % files.len()];
+                        let dir = dirs[dir_sel as usize % dirs.len()];
+                        // Cross-qtree and collision failures are fine.
+                        let _ = fs.link(dir, &format!("l{}-{serial}", name_sel), ino);
+                    }
+                }
+                Op::Symlink { dir_sel, name_sel } => {
+                    let dirs = all_dirs(&fs);
+                    let dir = dirs[dir_sel as usize % dirs.len()];
+                    let _ = fs.create_symlink(
+                        dir,
+                        &format!("s{}-{serial}", name_sel),
+                        "/some/target",
+                        Attrs::default(),
+                    );
+                }
+                Op::Snapshot => {
+                    let _ = fs.snapshot_create(&format!("s{serial}"));
+                }
+                Op::DeleteSnapshot { sel } => {
+                    let snaps: Vec<u8> = fs.snapshots().iter().map(|s| s.id).collect();
+                    if !snaps.is_empty() {
+                        fs.snapshot_delete(snaps[sel as usize % snaps.len()]).unwrap();
+                    }
+                }
+                Op::Cp => fs.cp().unwrap(),
+                Op::Crash { lose_nvram } => {
+                    let (vol, mut nv) = fs.crash();
+                    if lose_nvram {
+                        nv.drain_for_replay();
+                    }
+                    fs = Wafl::mount(
+                        vol,
+                        nv,
+                        WaflConfig::default(),
+                        Meter::new_shared(),
+                        CostModel::zero(),
+                    )
+                    .expect("remount after crash");
+                }
+            }
+        }
+
+        // Final verdict: commit, crash, remount, full consistency check.
+        fs.cp().unwrap();
+        let (vol, nv) = fs.crash();
+        let fs = Wafl::mount(
+            vol,
+            nv,
+            WaflConfig::default(),
+            Meter::new_shared(),
+            CostModel::zero(),
+        )
+        .expect("final remount");
+        let report = check(&fs).unwrap();
+        prop_assert!(report.is_clean(), "problems: {:?}", report.problems);
+    }
+}

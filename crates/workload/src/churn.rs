@@ -1,0 +1,158 @@
+//! Inter-backup churn: the modifications between a full dump and its
+//! incrementals.
+
+use blockdev::Block;
+use simkit::rng::SimRng;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+use wafl::WaflError;
+
+use crate::populate::draw_size;
+use crate::populate::walk_files;
+use crate::profile::VolumeProfile;
+
+/// Churn parameters (all fractions are of the current file population).
+#[derive(Debug, Clone)]
+pub struct ChurnOptions {
+    /// Fraction of files whose contents get modified.
+    pub modify_fraction: f64,
+    /// Fraction of files deleted.
+    pub delete_fraction: f64,
+    /// New files created, as a fraction of the population.
+    pub create_fraction: f64,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        // A typical overnight: a few percent of the data changes.
+        ChurnOptions {
+            modify_fraction: 0.05,
+            delete_fraction: 0.01,
+            create_fraction: 0.02,
+        }
+    }
+}
+
+/// Summary of one churn pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Files modified in place.
+    pub modified: u64,
+    /// Files deleted.
+    pub deleted: u64,
+    /// Files created.
+    pub created: u64,
+    /// Data blocks written.
+    pub blocks_written: u64,
+}
+
+/// Applies one churn pass.
+pub fn churn(
+    fs: &mut Wafl,
+    profile: &VolumeProfile,
+    opts: &ChurnOptions,
+    seed: u64,
+) -> Result<ChurnOutcome, WaflError> {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xc4u64.rotate_left(32));
+    let files = walk_files(fs, INO_ROOT)?;
+    let mut out = ChurnOutcome::default();
+    if files.is_empty() {
+        return Ok(out);
+    }
+
+    // Collect directories for creations.
+    let mut dirs = vec![INO_ROOT];
+    {
+        let mut stack = vec![INO_ROOT];
+        while let Some(d) = stack.pop() {
+            for (_, child) in fs.readdir(d)? {
+                if fs.stat(child)?.ftype == FileType::Dir {
+                    dirs.push(child);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    for f in &files {
+        if rng.chance(opts.delete_fraction) {
+            fs.remove(f.parent, &f.name)?;
+            out.deleted += 1;
+            continue;
+        }
+        if rng.chance(opts.modify_fraction) {
+            let touches = rng.range(1, f.nblocks.min(4) + 1);
+            for _ in 0..touches {
+                let fbn = rng.range(0, f.nblocks.max(1));
+                fs.write_fbn(f.ino, fbn, Block::Synthetic(rng.next_u64()))?;
+                out.blocks_written += 1;
+            }
+            out.modified += 1;
+        }
+    }
+
+    let creations = (files.len() as f64 * opts.create_fraction) as u64;
+    for i in 0..creations {
+        let parent = dirs[rng.range(0, dirs.len() as u64) as usize];
+        let name = format!("churn{seed:x}-{i:06}");
+        let ino = fs.create(parent, &name, FileType::File, Attrs::default())?;
+        let nblocks = draw_size(profile, &mut rng).div_ceil(4096).clamp(1, 256);
+        for fbn in 0..nblocks {
+            fs.write_fbn(ino, fbn, Block::Synthetic(rng.next_u64()))?;
+            out.blocks_written += 1;
+        }
+        out.created += 1;
+    }
+    fs.cp()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::populate::populate;
+    use simkit::meter::Meter;
+    use wafl::cost::CostModel;
+
+    #[test]
+    fn churn_touches_expected_fractions() {
+        let profile = VolumeProfile::tiny();
+        let (mut fs, out) = populate(&profile, 21, Meter::new_shared(), CostModel::zero()).unwrap();
+        let c = churn(
+            &mut fs,
+            &profile,
+            &ChurnOptions {
+                modify_fraction: 0.10,
+                delete_fraction: 0.05,
+                create_fraction: 0.05,
+            },
+            1,
+        )
+        .unwrap();
+        let n = out.files as f64;
+        assert!((c.modified as f64) > n * 0.03, "modified {}", c.modified);
+        assert!((c.deleted as f64) > n * 0.01, "deleted {}", c.deleted);
+        assert!(c.created > 0);
+        assert!(c.blocks_written > 0);
+    }
+
+    #[test]
+    fn zero_churn_changes_nothing() {
+        let profile = VolumeProfile::tiny();
+        let (mut fs, _) = populate(&profile, 22, Meter::new_shared(), CostModel::zero()).unwrap();
+        let c = churn(
+            &mut fs,
+            &profile,
+            &ChurnOptions {
+                modify_fraction: 0.0,
+                delete_fraction: 0.0,
+                create_fraction: 0.0,
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(c, ChurnOutcome::default());
+    }
+}

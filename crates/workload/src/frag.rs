@@ -1,0 +1,91 @@
+//! Fragmentation measurement.
+
+use simkit::rng::SimRng;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+use wafl::WaflError;
+
+use crate::populate::walk_files;
+
+/// Fraction of intra-file block transitions that are *not* physically
+/// contiguous, over a sample of up to `sample` files (0 = perfect layout,
+/// 1 = fully scattered).
+pub fn fragmentation(fs: &Wafl, sample: usize) -> Result<f64, WaflError> {
+    let mut files = walk_files(fs, INO_ROOT)?;
+    // Only multi-block files have transitions.
+    files.retain(|f| f.nblocks > 1);
+    if files.is_empty() {
+        return Ok(0.0);
+    }
+    // Deterministic sample.
+    let mut rng = SimRng::seed_from_u64(0xf4a6);
+    while files.len() > sample {
+        let victim = rng.range(0, files.len() as u64) as usize;
+        files.swap_remove(victim);
+    }
+    let mut transitions = 0u64;
+    let mut breaks = 0u64;
+    for f in &files {
+        let slots = fs.file_extents(f.ino)?;
+        let allocated: Vec<u32> = slots.into_iter().filter(|&b| b != 0).collect();
+        for pair in allocated.windows(2) {
+            transitions += 1;
+            if pair[1] != pair[0] + 1 {
+                breaks += 1;
+            }
+        }
+    }
+    if transitions == 0 {
+        Ok(0.0)
+    } else {
+        Ok(breaks as f64 / transitions as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdev::Block;
+    use blockdev::DiskPerf;
+    use raid::Volume;
+    use raid::VolumeGeometry;
+    use wafl::types::Attrs;
+    use wafl::types::FileType;
+    use wafl::types::WaflConfig;
+
+    #[test]
+    fn fresh_sequential_file_is_contiguous() {
+        let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+        let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "seq", FileType::File, Attrs::default())
+            .unwrap();
+        for i in 0..50 {
+            fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
+        }
+        let frag = fragmentation(&fs, 10).unwrap();
+        assert!(frag < 0.1, "fresh file should be contiguous: {frag}");
+    }
+
+    #[test]
+    fn interleaved_writes_fragment() {
+        let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+        let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+        let a = fs.create(INO_ROOT, "a", FileType::File, Attrs::default()).unwrap();
+        let b = fs.create(INO_ROOT, "b", FileType::File, Attrs::default()).unwrap();
+        // Strictly alternating writes give each file every other block.
+        for i in 0..40 {
+            fs.write_fbn(a, i, Block::Synthetic(i)).unwrap();
+            fs.write_fbn(b, i, Block::Synthetic(1000 + i)).unwrap();
+        }
+        let frag = fragmentation(&fs, 10).unwrap();
+        assert!(frag > 0.8, "interleaving should scatter: {frag}");
+    }
+
+    #[test]
+    fn empty_fs_reports_zero() {
+        let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+        let fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+        assert_eq!(fragmentation(&fs, 10).unwrap(), 0.0);
+    }
+}

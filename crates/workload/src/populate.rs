@@ -1,0 +1,240 @@
+//! Filling a volume with a realistic namespace.
+
+use std::rc::Rc;
+
+use blockdev::Block;
+use simkit::meter::Meter;
+use simkit::rng::SimRng;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::Ino;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+use wafl::WaflError;
+use raid::Volume;
+
+use crate::profile::VolumeProfile;
+
+/// Bytes per block.
+const BLOCK: u64 = 4096;
+/// Cap on generated file size (blocks), keeping any single file a small
+/// fraction of the volume.
+const MAX_FILE_BLOCKS: u64 = 16 * 1024;
+
+/// What population produced.
+#[derive(Debug, Clone)]
+pub struct PopulateOutcome {
+    /// Files created.
+    pub files: u64,
+    /// Directories created.
+    pub dirs: u64,
+    /// File data bytes written.
+    pub bytes: u64,
+    /// Paths of the qtree roots (empty when the profile has none).
+    pub qtree_paths: Vec<String>,
+}
+
+/// A file reference captured by [`walk_files`].
+#[derive(Debug, Clone)]
+pub struct FileRef {
+    /// Containing directory.
+    pub parent: Ino,
+    /// Name within the directory.
+    pub name: String,
+    /// The file's inode.
+    pub ino: Ino,
+    /// Allocated blocks.
+    pub nblocks: u64,
+}
+
+/// Formats a fresh volume per the profile and fills it to
+/// `profile.target_bytes`.
+pub fn populate(
+    profile: &VolumeProfile,
+    seed: u64,
+    meter: Rc<Meter>,
+    costs: CostModel,
+) -> Result<(Wafl, PopulateOutcome), WaflError> {
+    let vol = Volume::new(profile.geometry.clone());
+    let mut fs = Wafl::format_with(vol, WaflConfig::default(), meter, costs)?;
+    let mut rng = SimRng::seed_from_u64(seed);
+
+    let mut roots = Vec::new();
+    let mut qtree_paths = Vec::new();
+    if profile.qtrees > 0 {
+        for i in 0..profile.qtrees {
+            let name = format!("qtree{i}");
+            fs.create_qtree(&name, 0)?;
+            qtree_paths.push(format!("/{name}"));
+            roots.push(fs.namei(&name)?);
+        }
+    } else {
+        roots.push(INO_ROOT);
+    }
+
+    let per_root = profile.target_bytes / roots.len() as u64;
+    let mut outcome = PopulateOutcome {
+        files: 0,
+        dirs: 0,
+        bytes: 0,
+        qtree_paths,
+    };
+    for (i, &root) in roots.iter().enumerate() {
+        let mut tree_rng = rng.fork(i as u64);
+        fill_tree(&mut fs, root, per_root, profile, &mut tree_rng, &mut outcome)?;
+    }
+    fs.cp()?;
+    Ok((fs, outcome))
+}
+
+/// Adds `target_bytes` of new files under `root` (initial population:
+/// grows a fresh directory tree as it goes).
+pub fn fill_tree(
+    fs: &mut Wafl,
+    root: Ino,
+    target_bytes: u64,
+    profile: &VolumeProfile,
+    rng: &mut SimRng,
+    outcome: &mut PopulateOutcome,
+) -> Result<(), WaflError> {
+    fill_tree_with(fs, root, target_bytes, profile, rng, outcome, Vec::new(), 1.0)
+}
+
+/// [`fill_tree`] with an explicit starting directory pool and a scale on
+/// the directory-creation probability.
+///
+/// Aging passes the existing directories and a small `p_dir_scale`: churn
+/// overwhelmingly lands new files in directories that already exist, so
+/// the directory count stays near the original namespace's.
+#[allow(clippy::too_many_arguments)]
+pub fn fill_tree_with(
+    fs: &mut Wafl,
+    root: Ino,
+    target_bytes: u64,
+    profile: &VolumeProfile,
+    rng: &mut SimRng,
+    outcome: &mut PopulateOutcome,
+    seed_dirs: Vec<(Ino, u32)>,
+    p_dir_scale: f64,
+) -> Result<(), WaflError> {
+    // Pool of candidate directories with their depths.
+    let mut dirs: Vec<(Ino, u32)> = if seed_dirs.is_empty() {
+        vec![(root, 0)]
+    } else {
+        seed_dirs
+    };
+    let mut written = 0u64;
+    // Probability a new entry is a directory, tuned to yield ~fanout files
+    // per directory on average.
+    let p_dir = p_dir_scale / (profile.dir_fanout as f64 + 1.0);
+    let mut serial = fs.max_ino() as u64;
+
+    while written < target_bytes {
+        serial += 1;
+        let (parent, depth) = dirs[rng.range(0, dirs.len() as u64) as usize];
+        if rng.chance(p_dir) && depth < profile.max_depth {
+            let name = format!("d{serial:07}");
+            let dir = fs.create(parent, &name, FileType::Dir, Attrs::default())?;
+            dirs.push((dir, depth + 1));
+            outcome.dirs += 1;
+            continue;
+        }
+        let name = format!("f{serial:07}");
+        let attrs = Attrs {
+            perm: 0o644,
+            uid: rng.range(100, 200) as u32,
+            gid: 100,
+            ..Attrs::default()
+        };
+        let ino = fs.create(parent, &name, FileType::File, attrs)?;
+        let size = draw_size(profile, rng);
+        let nblocks = size.div_ceil(BLOCK).clamp(1, MAX_FILE_BLOCKS);
+        for fbn in 0..nblocks {
+            fs.write_fbn(ino, fbn, Block::Synthetic(rng.next_u64()))?;
+        }
+        fs.set_size(ino, size.min(nblocks * BLOCK))?;
+        outcome.files += 1;
+        outcome.bytes += nblocks * BLOCK;
+        written += nblocks * BLOCK;
+    }
+    Ok(())
+}
+
+/// Draws a file size in bytes from the profile's log-normal.
+pub fn draw_size(profile: &VolumeProfile, rng: &mut SimRng) -> u64 {
+    (rng.lognormal(profile.file_median_bytes, profile.file_sigma) as u64).max(1)
+}
+
+/// Collects every regular file under `root`.
+pub fn walk_files(fs: &Wafl, root: Ino) -> Result<Vec<FileRef>, WaflError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        for (name, child) in fs.readdir(dir)? {
+            let st = fs.stat(child)?;
+            match st.ftype {
+                FileType::Dir => stack.push(child),
+                FileType::File => out.push(FileRef {
+                    parent: dir,
+                    name,
+                    ino: child,
+                    nblocks: st.blocks,
+                }),
+                // Symlinks are tiny and never churned.
+                FileType::Symlink => {}
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::VolumeProfile;
+
+    #[test]
+    fn populate_reaches_target() {
+        let profile = VolumeProfile::tiny();
+        let (fs, out) = populate(&profile, 42, Meter::new_shared(), CostModel::zero()).unwrap();
+        assert!(out.bytes >= profile.target_bytes);
+        assert!(out.files > 100, "files = {}", out.files);
+        assert!(out.dirs > 5, "dirs = {}", out.dirs);
+        assert_eq!(out.qtree_paths.len(), 2);
+        // The fill respects the volume: there is still free space.
+        assert!(fs.free_blocks() > 0);
+    }
+
+    #[test]
+    fn populate_is_deterministic() {
+        let profile = VolumeProfile::tiny();
+        let (_, a) = populate(&profile, 7, Meter::new_shared(), CostModel::zero()).unwrap();
+        let (_, b) = populate(&profile, 7, Meter::new_shared(), CostModel::zero()).unwrap();
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.bytes, b.bytes);
+        let (_, c) = populate(&profile, 8, Meter::new_shared(), CostModel::zero()).unwrap();
+        assert_ne!(a.files, c.files);
+    }
+
+    #[test]
+    fn qtrees_split_the_data_roughly_evenly() {
+        let profile = VolumeProfile::tiny();
+        let (fs, _) = populate(&profile, 1, Meter::new_shared(), CostModel::zero()).unwrap();
+        let usages: Vec<u64> = fs.qtrees().iter().map(|q| q.bytes_used).collect();
+        assert_eq!(usages.len(), 2);
+        let max = *usages.iter().max().unwrap() as f64;
+        let min = *usages.iter().min().unwrap() as f64;
+        assert!(min / max > 0.7, "imbalanced qtrees: {usages:?}");
+    }
+
+    #[test]
+    fn walk_finds_everything() {
+        let profile = VolumeProfile::tiny();
+        let (fs, out) = populate(&profile, 3, Meter::new_shared(), CostModel::zero()).unwrap();
+        let files = walk_files(&fs, INO_ROOT).unwrap();
+        assert_eq!(files.len() as u64, out.files);
+        assert!(files.iter().all(|f| f.nblocks >= 1));
+    }
+}

@@ -1,0 +1,144 @@
+//! Volume profiles: the paper's testbed shapes, scalable.
+
+use blockdev::DiskPerf;
+use raid::VolumeGeometry;
+
+/// Bytes per 4 KiB block.
+const BLOCK: u64 = 4096;
+/// One gibibyte.
+const GIB: u64 = 1024 * 1024 * 1024;
+
+/// The shape of a volume plus the data set that goes on it.
+#[derive(Debug, Clone)]
+pub struct VolumeProfile {
+    /// Volume name ("home", "rlse").
+    pub name: String,
+    /// RAID layout.
+    pub geometry: VolumeGeometry,
+    /// Bytes of file data to populate.
+    pub target_bytes: u64,
+    /// Number of equal qtrees to split the namespace into (0 = none) —
+    /// the paper split `home` into 4 for the parallel logical dumps.
+    pub qtrees: usize,
+    /// Median file size in bytes (log-normal).
+    pub file_median_bytes: f64,
+    /// Log-normal shape parameter.
+    pub file_sigma: f64,
+    /// Mean files per directory.
+    pub dir_fanout: u64,
+    /// Maximum namespace depth.
+    pub max_depth: u32,
+    /// Delete-and-refill aging rounds (fragmentation).
+    pub aging_rounds: u32,
+    /// Fraction of files deleted per aging round.
+    pub aging_delete_fraction: f64,
+}
+
+impl VolumeProfile {
+    /// The paper's `home` volume: 188 GB of engineering data on 31 disks
+    /// in 3 RAID groups, scaled by `scale` (1.0 = paper size).
+    pub fn home(scale: f64) -> VolumeProfile {
+        let disk_blocks = ((9.0 * GIB as f64 * scale) / BLOCK as f64) as u64;
+        VolumeProfile {
+            name: "home".into(),
+            geometry: VolumeGeometry {
+                // 31 disks in 3 groups: 10+1, 9+1, 9+1.
+                groups: vec![(10, disk_blocks), (9, disk_blocks), (9, disk_blocks)],
+                perf: DiskPerf::f630_drive(),
+            },
+            target_bytes: (188.0 * GIB as f64 * scale) as u64,
+            qtrees: 4,
+            // Median 16 KiB with a heavy tail gives a ~94 KiB mean —
+            // about 2M files on the 188 GB volume, matching late-90s
+            // engineering home directories.
+            file_median_bytes: 16.0 * 1024.0,
+            file_sigma: 1.85,
+            dir_fanout: 24,
+            max_depth: 8,
+            aging_rounds: 5,
+            aging_delete_fraction: 0.25,
+        }
+    }
+
+    /// The paper's `rlse` volume: 129 GB on 22 disks in 2 RAID groups.
+    pub fn rlse(scale: f64) -> VolumeProfile {
+        let disk_blocks = ((9.0 * GIB as f64 * scale) / BLOCK as f64) as u64;
+        VolumeProfile {
+            name: "rlse".into(),
+            geometry: VolumeGeometry {
+                groups: vec![(10, disk_blocks), (10, disk_blocks)],
+                perf: DiskPerf::f630_drive(),
+            },
+            target_bytes: (129.0 * GIB as f64 * scale) as u64,
+            qtrees: 0,
+            // Release trees: fewer, larger files.
+            file_median_bytes: 24.0 * 1024.0,
+            file_sigma: 1.5,
+            dir_fanout: 32,
+            max_depth: 6,
+            aging_rounds: 2,
+            aging_delete_fraction: 0.2,
+        }
+    }
+
+    /// A small profile for tests: a few MiB, instant devices.
+    pub fn tiny() -> VolumeProfile {
+        VolumeProfile {
+            name: "tiny".into(),
+            geometry: VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal()),
+            target_bytes: 24 * 1024 * 1024,
+            qtrees: 2,
+            file_median_bytes: 8.0 * 1024.0,
+            file_sigma: 1.2,
+            dir_fanout: 8,
+            max_depth: 4,
+            aging_rounds: 2,
+            aging_delete_fraction: 0.3,
+        }
+    }
+
+    /// Raw capacity in bytes (data disks only).
+    pub fn raw_bytes(&self) -> u64 {
+        self.geometry.capacity() * BLOCK
+    }
+
+    /// Data-to-capacity fill ratio.
+    pub fn fill_ratio(&self) -> f64 {
+        self.target_bytes as f64 / self.raw_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles_match_the_testbed() {
+        let home = VolumeProfile::home(1.0);
+        assert_eq!(home.geometry.total_disks(), 31);
+        assert_eq!(home.geometry.groups.len(), 3);
+        assert!((home.target_bytes as f64 / GIB as f64 - 188.0).abs() < 0.5);
+        // 28 data disks of ~9 GB must hold 188 GB at a realistic ratio.
+        let fill = home.fill_ratio();
+        assert!((0.6..0.9).contains(&fill), "fill = {fill}");
+
+        let rlse = VolumeProfile::rlse(1.0);
+        assert_eq!(rlse.geometry.total_disks(), 22);
+        assert_eq!(rlse.geometry.groups.len(), 2);
+        assert!((rlse.target_bytes as f64 / GIB as f64 - 129.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn scaling_preserves_fill_ratio() {
+        let full = VolumeProfile::home(1.0);
+        let eighth = VolumeProfile::home(1.0 / 8.0);
+        assert!((full.fill_ratio() - eighth.fill_ratio()).abs() < 0.01);
+        assert_eq!(eighth.geometry.total_disks(), 31, "topology is preserved");
+    }
+
+    #[test]
+    fn tiny_profile_fits_its_volume() {
+        let t = VolumeProfile::tiny();
+        assert!(t.fill_ratio() < 0.9);
+    }
+}

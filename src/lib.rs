@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # wafl-backup — Logical vs. Physical File System Backup
+//!
+//! A full reproduction of Hutchinson et al., *"Logical vs. Physical File
+//! System Backup"* (OSDI 1999), as a Rust workspace: a WAFL-style
+//! copy-on-write file system with snapshots on simulated RAID-4, a
+//! BSD-style logical `dump`/`restore`, a block-level image dump/restore,
+//! and a benchmark harness that regenerates every table in the paper's
+//! evaluation.
+//!
+//! This facade re-exports the member crates so examples and downstream
+//! users need a single dependency:
+//!
+//! - [`simkit`] — deterministic RNG, stats, CPU meter, fluid-flow solver.
+//! - [`blockdev`] — 4 KiB blocks, simulated disks, fault injection.
+//! - [`raid`] — RAID-4 groups and volumes (the image-dump bypass path).
+//! - [`tape`] — DLT-7000-class drives with stacker magazines.
+//! - [`nvram`] — the operation log behind crash recovery.
+//! - [`wafl`] — the file system: snapshots, consistency points, qtrees.
+//! - [`backup_core`] — the paper's contribution: both backup strategies.
+//! - [`workload`] — mature-file-system generation (population + aging).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wafl_backup::prelude::*;
+//!
+//! // A small filer volume: 1 RAID-4 group, 4 data disks.
+//! let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+//! let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+//!
+//! // Write a file and snapshot the file system.
+//! let ino = fs.create(INO_ROOT, "hello.txt", FileType::File, Attrs::default()).unwrap();
+//! fs.write_fbn(ino, 0, Block::Synthetic(42)).unwrap();
+//! let snap = fs.snapshot_create("first").unwrap();
+//!
+//! // Dump it to tape and restore into a second file system.
+//! let mut tape = TapeDrive::new(TapePerf::ideal(), 1 << 30);
+//! let mut catalog = DumpCatalog::new();
+//! dump(&mut fs, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+//!
+//! let vol2 = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
+//! let mut fs2 = Wafl::format(vol2, WaflConfig::default()).unwrap();
+//! restore(&mut fs2, &mut tape, "/").unwrap();
+//! assert!(fs2.namei("/hello.txt").is_ok());
+//! # let _ = snap;
+//! ```
+
+pub use backup_core;
+pub use blockdev;
+pub use nvram;
+pub use raid;
+pub use simkit;
+pub use tape;
+pub use wafl;
+pub use workload;
+
+/// The names almost every user of the library wants in scope.
+pub mod prelude {
+    pub use backup_core::logical::catalog::DumpCatalog;
+    pub use backup_core::logical::dump::dump;
+    pub use backup_core::logical::dump::DumpOptions;
+    pub use backup_core::logical::restore::restore;
+    pub use backup_core::logical::single::restore_single;
+    pub use backup_core::logical::single::restore_subtree;
+    pub use backup_core::physical::dump::image_dump_full;
+    pub use backup_core::physical::incremental::image_dump_incremental;
+    pub use backup_core::physical::mirror::Mirror;
+    pub use backup_core::physical::restore::image_restore;
+    pub use backup_core::verify::compare_subtrees;
+    pub use backup_core::verify::compare_trees;
+    pub use blockdev::Block;
+    pub use blockdev::DiskPerf;
+    pub use raid::Volume;
+    pub use raid::VolumeGeometry;
+    pub use simkit::meter::Meter;
+    pub use tape::TapeDrive;
+    pub use tape::TapePerf;
+    pub use wafl::cost::CostModel;
+    pub use wafl::types::Attrs;
+    pub use wafl::types::FileType;
+    pub use wafl::types::WaflConfig;
+    pub use wafl::types::INO_ROOT;
+    pub use wafl::Wafl;
+}

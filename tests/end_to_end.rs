@@ -1,0 +1,190 @@
+//! Whole-stack integration: workload generation → both backup strategies
+//! → restore → verification, across every crate at once.
+
+use wafl_backup::nvram;
+use wafl_backup::prelude::*;
+use wafl_backup::workload;
+
+use workload::age::age;
+use workload::age::AgingOptions;
+use workload::churn::churn;
+use workload::churn::ChurnOptions;
+use workload::populate::populate;
+use workload::profile::VolumeProfile;
+
+fn build_tiny() -> (Wafl, VolumeProfile) {
+    let profile = VolumeProfile::tiny();
+    let (mut fs, _) = populate(&profile, 2026, Meter::new_shared(), CostModel::zero()).unwrap();
+    age(&mut fs, &profile, &AgingOptions::from_profile(&profile), 7).unwrap();
+    (fs, profile)
+}
+
+#[test]
+fn both_strategies_round_trip_an_aged_workload_volume() {
+    let (mut src, profile) = build_tiny();
+
+    // Logical.
+    let mut ltape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut catalog = DumpCatalog::new();
+    let lout = dump(&mut src, &mut ltape, &mut catalog, &DumpOptions::default()).unwrap();
+    assert!(lout.files > 100, "workload too small: {} files", lout.files);
+    let mut lrestored = Wafl::format(
+        Volume::new(profile.geometry.clone()),
+        WaflConfig::default(),
+    )
+    .unwrap();
+    let lres = restore(&mut lrestored, &mut ltape, "/").unwrap();
+    assert!(lres.warnings.is_empty(), "{:?}", lres.warnings);
+
+    // Physical.
+    let mut ptape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    image_dump_full(&mut src, &mut ptape, "e2e").unwrap();
+    let meter = Meter::new_shared();
+    let mut raw = Volume::new(profile.geometry.clone());
+    image_restore(&mut ptape, &mut raw, &meter, &CostModel::zero()).unwrap();
+    let mut prestored = Wafl::mount(
+        raw,
+        nvram::NvramLog::new(32 << 20),
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+
+    // Both restores equal the source — and therefore each other.
+    let diffs = compare_trees(&mut src, &mut lrestored).unwrap();
+    assert!(diffs.is_empty(), "logical: {diffs:?}");
+    let diffs = compare_trees(&mut src, &mut prestored).unwrap();
+    assert!(diffs.is_empty(), "physical: {diffs:?}");
+    // The physical restore also carries the qtree configuration.
+    assert_eq!(prestored.qtrees().len(), src.qtrees().len());
+}
+
+#[test]
+fn incremental_cycle_with_churn_converges() {
+    let (mut src, profile) = build_tiny();
+    let mut catalog = DumpCatalog::new();
+
+    let mut tape0 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    dump(&mut src, &mut tape0, &mut catalog, &DumpOptions::default()).unwrap();
+
+    // Churn, then two incremental levels.
+    churn(&mut src, &profile, &ChurnOptions::default(), 31).unwrap();
+    let mut tape1 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    dump(
+        &mut src,
+        &mut tape1,
+        &mut catalog,
+        &DumpOptions {
+            level: 1,
+            ..DumpOptions::default()
+        },
+    )
+    .unwrap();
+    churn(&mut src, &profile, &ChurnOptions::default(), 32).unwrap();
+    let mut tape2 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let out2 = dump(
+        &mut src,
+        &mut tape2,
+        &mut catalog,
+        &DumpOptions {
+            level: 2,
+            ..DumpOptions::default()
+        },
+    )
+    .unwrap();
+    // Level 2 bases on level 1: much smaller than a full.
+    let full_blocks = src.active_blocks();
+    assert!(out2.data_blocks < full_blocks / 2);
+
+    let mut restored = Wafl::format(
+        Volume::new(profile.geometry.clone()),
+        WaflConfig::default(),
+    )
+    .unwrap();
+    restore(&mut restored, &mut tape0, "/").unwrap();
+    restore(&mut restored, &mut tape1, "/").unwrap();
+    restore(&mut restored, &mut tape2, "/").unwrap();
+    let diffs = compare_trees(&mut src, &mut restored).unwrap();
+    assert!(diffs.is_empty(), "chain diverged: {diffs:?}");
+}
+
+#[test]
+fn physical_incrementals_track_logical_churn() {
+    let (mut src, profile) = build_tiny();
+    let mut tape0 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let full = image_dump_full(&mut src, &mut tape0, "base").unwrap();
+
+    churn(&mut src, &profile, &ChurnOptions::default(), 77).unwrap();
+    let mut tape1 = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let incr = image_dump_incremental(&mut src, &mut tape1, "base", "incr").unwrap();
+    assert!(
+        incr.blocks < full.blocks / 2,
+        "incremental {} vs full {}",
+        incr.blocks,
+        full.blocks
+    );
+
+    let meter = Meter::new_shared();
+    let mut raw = Volume::new(profile.geometry.clone());
+    image_restore(&mut tape0, &mut raw, &meter, &CostModel::zero()).unwrap();
+    image_restore(&mut tape1, &mut raw, &meter, &CostModel::zero()).unwrap();
+    let mut restored = Wafl::mount(
+        raw,
+        nvram::NvramLog::new(32 << 20),
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+    let diffs = compare_trees(&mut src, &mut restored).unwrap();
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+}
+
+#[test]
+fn parallel_qtree_dumps_equal_a_whole_volume_dump() {
+    let (mut src, profile) = build_tiny();
+    let mut catalog = DumpCatalog::new();
+
+    // Whole-volume restore target.
+    let mut whole = Wafl::format(
+        Volume::new(profile.geometry.clone()),
+        WaflConfig::default(),
+    )
+    .unwrap();
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+    restore(&mut whole, &mut tape, "/").unwrap();
+
+    // Per-qtree dumps restored into a second target.
+    let mut pieced = Wafl::format(
+        Volume::new(profile.geometry.clone()),
+        WaflConfig::default(),
+    )
+    .unwrap();
+    let qtree_paths: Vec<String> = src.qtrees().iter().map(|q| format!("/{}", q.name)).collect();
+    assert!(!qtree_paths.is_empty());
+    for q in &qtree_paths {
+        let mut qtape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+        dump(
+            &mut src,
+            &mut qtape,
+            &mut catalog,
+            &DumpOptions {
+                subtree: q.clone(),
+                ..DumpOptions::default()
+            },
+        )
+        .unwrap();
+        let root = wafl_backup::wafl::types::INO_ROOT;
+        let name = q.trim_start_matches('/');
+        pieced
+            .create(root, name, FileType::Dir, Attrs::default())
+            .unwrap();
+        restore(&mut pieced, &mut qtape, q).unwrap();
+    }
+    let diffs = compare_trees(&mut whole, &mut pieced).unwrap();
+    // Qtree subtree dumps re-apply the qtree dirs' attrs; contents must be
+    // identical.
+    assert!(diffs.is_empty(), "diffs: {diffs:?}");
+}
