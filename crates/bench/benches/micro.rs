@@ -1,11 +1,11 @@
-//! Criterion microbenchmarks for the hot paths of the simulator itself
-//! (host-side costs, not modelled filer time).
+//! Microbenchmarks for the hot paths of the simulator itself (host-side
+//! costs, not modelled filer time). Hand-rolled harness: each bench runs a
+//! short warmup, then timed batches, and reports the median per-iteration
+//! time. Run with `cargo bench -p bench`.
 
-use criterion::criterion_group;
-use criterion::criterion_main;
-use criterion::BatchSize;
-use criterion::Criterion;
 use std::hint::black_box;
+use std::time::Duration;
+use std::time::Instant;
 
 use blockdev::Block;
 use blockdev::DiskPerf;
@@ -22,91 +22,123 @@ use wafl::types::WaflConfig;
 use wafl::types::INO_ROOT;
 use wafl::Wafl;
 
-fn bench_blkmap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blkmap");
-    g.bench_function("snap_create_1M_blocks", |b| {
-        b.iter_batched(
-            || {
-                let mut m = BlkMap::new(1_000_000);
-                for i in (0..1_000_000).step_by(3) {
-                    m.set_active(i);
-                }
-                m
-            },
-            |mut m| {
-                black_box(m.snap_create(1));
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("iter_diff_1M_blocks", |b| {
-        let mut m = BlkMap::new(1_000_000);
-        for i in (0..1_000_000).step_by(3) {
-            m.set_active(i);
+/// Times `f` (setup outside the clock via `setup`) and prints the median
+/// per-iteration wall time over `SAMPLES` batches.
+fn bench<S, T, R>(name: &str, mut setup: impl FnMut() -> S, mut f: T)
+where
+    T: FnMut(S) -> R,
+{
+    const SAMPLES: usize = 15;
+    const WARMUP: usize = 3;
+    let budget = Duration::from_millis(200);
+
+    // Warmup + estimate a batch size that fills ~budget/SAMPLES.
+    let mut per_iter = Duration::ZERO;
+    for _ in 0..WARMUP {
+        let s = setup();
+        let t0 = Instant::now();
+        black_box(f(s));
+        per_iter = t0.elapsed().max(Duration::from_nanos(1));
+    }
+    let iters_per_sample = ((budget.as_nanos() / SAMPLES as u128) / per_iter.as_nanos().max(1))
+        .clamp(1, 10_000) as usize;
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let inputs: Vec<S> = (0..iters_per_sample).map(|_| setup()).collect();
+        let t0 = Instant::now();
+        for s in inputs {
+            black_box(f(s));
         }
-        m.snap_create(1);
-        for i in (0..1_000_000).step_by(7) {
-            m.set_active(i);
-        }
-        m.snap_create(2);
-        b.iter(|| black_box(m.iter_diff(2, 1).count()))
-    });
-    g.finish();
+        samples.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[SAMPLES / 2];
+    let unit = if median < 1e-6 {
+        format!("{:9.1} ns", median * 1e9)
+    } else if median < 1e-3 {
+        format!("{:9.2} µs", median * 1e6)
+    } else {
+        format!("{:9.3} ms", median * 1e3)
+    };
+    println!("{name:<28} {unit}   ({iters_per_sample} iters/sample)");
 }
 
-fn bench_block_algebra(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block");
+fn bench_blkmap() {
+    bench(
+        "blkmap/snap_create_1M",
+        || {
+            let mut m = BlkMap::new(1_000_000);
+            for i in (0..1_000_000).step_by(3) {
+                m.set_active(i);
+            }
+            m
+        },
+        |mut m| m.snap_create(1),
+    );
+    let mut m = BlkMap::new(1_000_000);
+    for i in (0..1_000_000).step_by(3) {
+        m.set_active(i);
+    }
+    m.snap_create(1);
+    for i in (0..1_000_000).step_by(7) {
+        m.set_active(i);
+    }
+    m.snap_create(2);
+    bench("blkmap/iter_diff_1M", || &m, |m| m.iter_diff(2, 1).count());
+}
+
+fn bench_block_algebra() {
     let a = Block::Synthetic(1);
     let b2 = Block::Synthetic(2);
-    g.bench_function("xor_synthetic", |b| b.iter(|| black_box(a.xor(&b2))));
-    g.bench_function("materialize_synthetic", |b| {
-        b.iter(|| black_box(Block::Synthetic(7).materialize()))
-    });
+    bench("block/xor_synthetic", || (), |_| a.xor(&b2));
+    bench(
+        "block/materialize_synthetic",
+        || (),
+        |_| Block::Synthetic(7).materialize(),
+    );
     let bytes = Block::from_bytes(&[7u8; 4096]);
-    g.bench_function("xor_literal", |b| b.iter(|| black_box(a.xor(&bytes))));
-    g.finish();
+    bench("block/xor_literal", || (), |_| a.xor(&bytes));
 }
 
-fn bench_raid_write(c: &mut Criterion) {
-    c.bench_function("raid4_write_stripe", |b| {
-        b.iter_batched(
-            || Raid4Group::new(8, 1024, DiskPerf::ideal()),
-            |mut g| {
-                for bno in 0..64u64 {
-                    g.write(bno, Block::Synthetic(bno)).unwrap();
-                }
-                g.flush().unwrap();
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_raid_write() {
+    bench(
+        "raid4/write_64_blocks",
+        || Raid4Group::new(8, 1024, DiskPerf::ideal()),
+        |mut g| {
+            for bno in 0..64u64 {
+                g.write(bno, Block::Synthetic(bno)).unwrap();
+            }
+            g.flush().unwrap();
+        },
+    );
 }
 
-fn bench_wafl_write_path(c: &mut Criterion) {
-    c.bench_function("wafl_write_256_blocks", |b| {
-        b.iter_batched(
-            || {
-                let vol = Volume::new(VolumeGeometry::uniform(1, 4, 8192, DiskPerf::ideal()));
-                let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
-                let ino = fs
-                    .create(INO_ROOT, "bench", FileType::File, Attrs::default())
-                    .unwrap();
-                (fs, ino)
-            },
-            |(mut fs, ino)| {
-                for fbn in 0..256u64 {
-                    fs.write_fbn(ino, fbn, Block::Synthetic(fbn)).unwrap();
-                }
-                fs.cp().unwrap();
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_wafl_write_path() {
+    bench(
+        "wafl/write_256_blocks",
+        || {
+            let vol = Volume::new(VolumeGeometry::uniform(1, 4, 8192, DiskPerf::ideal()));
+            let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
+            let ino = fs
+                .create(INO_ROOT, "bench", FileType::File, Attrs::default())
+                .unwrap();
+            (fs, ino)
+        },
+        |(mut fs, ino)| {
+            for fbn in 0..256u64 {
+                fs.write_fbn(ino, fbn, Block::Synthetic(fbn)).unwrap();
+            }
+            fs.cp().unwrap();
+        },
+    );
 }
 
-fn bench_fluid_solver(c: &mut Criterion) {
-    c.bench_function("fluid_16_streams_3_stages", |b| {
-        b.iter(|| {
+fn bench_fluid_solver() {
+    bench(
+        "fluid/16_streams_3_stages",
+        || (),
+        |_| {
             let mut sim = FluidSim::new();
             let cpu = sim.add_resource("cpu", 1.0);
             let disk = sim.add_resource("disk", 31.0);
@@ -122,33 +154,34 @@ fn bench_fluid_solver(c: &mut Criterion) {
                     ],
                 });
             }
-            black_box(sim.run().unwrap())
-        })
-    });
+            sim.run().unwrap()
+        },
+    );
 }
 
-fn bench_dump_format(c: &mut Criterion) {
+fn bench_dump_format() {
     use backup_core::logical::format::DumpRecord;
     let rec = DumpRecord::Data {
         ino: 42,
         fbns: (0..16).collect(),
         blocks: (0..16).map(Block::Synthetic).collect(),
     };
-    c.bench_function("dump_record_roundtrip", |b| {
-        b.iter(|| {
+    bench(
+        "format/dump_record_roundtrip",
+        || (),
+        |_| {
             let r = rec.to_record();
-            black_box(DumpRecord::parse(&r).unwrap())
-        })
-    });
+            DumpRecord::parse(&r).unwrap()
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_blkmap,
-    bench_block_algebra,
-    bench_raid_write,
-    bench_wafl_write_path,
-    bench_fluid_solver,
-    bench_dump_format
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<28} {:>12}", "benchmark", "median/iter");
+    bench_blkmap();
+    bench_block_algebra();
+    bench_raid_write();
+    bench_wafl_write_path();
+    bench_fluid_solver();
+    bench_dump_format();
+}

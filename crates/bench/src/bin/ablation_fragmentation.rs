@@ -57,7 +57,7 @@ fn main() {
         let out = dump(&mut fs, &mut tape, &mut catalog, &DumpOptions::default()).expect("dump");
         let files_stage = out
             .profiler
-            .stage("dumping files")
+            .stage_named("dumping files")
             .expect("files stage")
             .scaled(factor);
         let rand_pct = files_stage.disk_rand_read as f64
@@ -90,6 +90,8 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(96));
-    println!("paper: a mature 188 GB volume dumped at 25.4 GB/h on one drive and ~70 GB/h on four;");
+    println!(
+        "paper: a mature 188 GB volume dumped at 25.4 GB/h on one drive and ~70 GB/h on four;"
+    );
     println!("the fresher the volume, the closer 4-drive logical dump gets to tape speed.");
 }

@@ -49,10 +49,16 @@ fn main() {
         .expect("dump");
         let files = out
             .profiler
-            .stage("dumping files")
+            .stage_named("dumping files")
             .expect("files stage")
             .scaled(factor);
-        let sim = simulate_op("dump", &[vec![files.clone()]], arms, OpKind::LogicalDump, &model);
+        let sim = simulate_op(
+            "dump",
+            &[vec![files.clone()]],
+            arms,
+            OpKind::LogicalDump,
+            &model,
+        );
         if chain == 16 {
             baseline = Some(sim.elapsed);
         }

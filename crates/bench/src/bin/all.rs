@@ -28,6 +28,9 @@ fn main() {
         PAPER_TABLE3,
         false,
     );
+    let mut artifact = basic.obs.clone();
+    artifact.experiment = "all".into();
+    bench::obsout::emit(&artifact);
 
     let t4 = run_parallel(&mut home, &runs, &model, 2);
     print_stage_table(

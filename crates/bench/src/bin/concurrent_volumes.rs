@@ -43,7 +43,7 @@ fn main() {
         .expect("dump");
         let factor = vol.paper_factor();
         out.profiler
-            .stages
+            .stages()
             .iter()
             .map(|p| p.scaled(factor))
             .collect::<Vec<_>>()
@@ -85,17 +85,33 @@ fn main() {
     let tape0 = sim.add_resource("tape0", 1.0);
     let tape1 = sim.add_resource("tape1", 1.0);
     let meta = sim.add_resource("meta", 1.0);
-    let ids_h = ResourceIds { cpu, disk: disk_home, tape: tape0, meta };
-    let ids_r = ResourceIds { cpu, disk: disk_rlse, tape: tape1, meta };
+    let ids_h = ResourceIds {
+        cpu,
+        disk: disk_home,
+        tape: tape0,
+        meta,
+    };
+    let ids_r = ResourceIds {
+        cpu,
+        disk: disk_rlse,
+        tape: tape1,
+        meta,
+    };
     let sh = sim.add_stream(Stream {
         name: "home".into(),
         start_at: 0.0,
-        stages: home_stages.iter().map(|p| stage_to_fluid(p, &model, &ids_h, 2, OpKind::LogicalDump)).collect(),
+        stages: home_stages
+            .iter()
+            .map(|p| stage_to_fluid(p, &model, &ids_h, 2, OpKind::LogicalDump))
+            .collect(),
     });
     let sr = sim.add_stream(Stream {
         name: "rlse".into(),
         start_at: 0.0,
-        stages: rlse_stages.iter().map(|p| stage_to_fluid(p, &model, &ids_r, 2, OpKind::LogicalDump)).collect(),
+        stages: rlse_stages
+            .iter()
+            .map(|p| stage_to_fluid(p, &model, &ids_r, 2, OpKind::LogicalDump))
+            .collect(),
     });
     let trace = sim.run().expect("solvable");
     let home_conc = {
@@ -121,5 +137,7 @@ fn main() {
         fmt_duration(rlse_conc),
         (rlse_conc / rlse_alone - 1.0) * 100.0
     );
-    println!("paper: \"each executed in exactly the same amount of time as they had in isolation\"");
+    println!(
+        "paper: \"each executed in exactly the same amount of time as they had in isolation\""
+    );
 }

@@ -44,7 +44,7 @@ fn main() {
     // Head (maps + directories) is everything before the first file.
     let head_bytes = lout
         .profiler
-        .stage("dumping directories")
+        .stage_named("dumping directories")
         .map(|s| (s.tape_bytes as f64) * factor)
         .unwrap_or(0.0);
 

@@ -20,7 +20,9 @@ fn main() {
     let mut fs = Wafl::format(vol, WaflConfig::default()).expect("format");
 
     // A dataset, then snapshot A (the full dump's anchor).
-    let d = fs.create(INO_ROOT, "data", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
+        .unwrap();
     let mut files = Vec::new();
     for i in 0..40u64 {
         let ino = fs
@@ -55,7 +57,8 @@ fn main() {
             .create(d, &format!("new{i}"), FileType::File, Attrs::default())
             .unwrap();
         for b in 0..10 {
-            fs.write_fbn(ino, b, Block::Synthetic(555_000 + i * 100 + b)).unwrap();
+            fs.write_fbn(ino, b, Block::Synthetic(555_000 + i * 100 + b))
+                .unwrap();
         }
     }
     let b = fs.snapshot_create("B").unwrap();
@@ -77,10 +80,22 @@ fn main() {
     println!("--------------------------------------------------------------------------------");
     println!("Bit plane A  Bit plane B  Block state                                       count");
     println!("--------------------------------------------------------------------------------");
-    println!("     0            0       not in either snapshot                        {:>10}", counts[0]);
-    println!("     0            1       newly written - include in incremental        {:>10}", counts[1]);
-    println!("     1            0       deleted, no need to include                   {:>10}", counts[2]);
-    println!("     1            1       needed, but not changed since full dump       {:>10}", counts[3]);
+    println!(
+        "     0            0       not in either snapshot                        {:>10}",
+        counts[0]
+    );
+    println!(
+        "     0            1       newly written - include in incremental        {:>10}",
+        counts[1]
+    );
+    println!(
+        "     1            0       deleted, no need to include                   {:>10}",
+        counts[2]
+    );
+    println!(
+        "     1            1       needed, but not changed since full dump       {:>10}",
+        counts[3]
+    );
     println!("--------------------------------------------------------------------------------");
 
     // The incremental set must be exactly the NewlyWritten class.

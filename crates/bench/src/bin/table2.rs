@@ -12,4 +12,7 @@ fn main() {
     let (mut home, runs) = prepare(scale, seed);
     let basic = run_basic(&mut home, &runs, &FilerModel::f630());
     print_table2(&basic);
+    let mut artifact = basic.obs;
+    artifact.experiment = "table2".into();
+    bench::obsout::emit(&artifact);
 }

@@ -18,4 +18,7 @@ fn main() {
         PAPER_TABLE3,
         false,
     );
+    let mut artifact = basic.obs;
+    artifact.experiment = "table3".into();
+    bench::obsout::emit(&artifact);
 }

@@ -308,7 +308,12 @@ mod tests {
         let mut streams = Vec::new();
         for i in 0..4 {
             let tape = sim.add_resource(format!("tape{i}"), 1.0);
-            let ids = ResourceIds { cpu, disk, tape, meta };
+            let ids = ResourceIds {
+                cpu,
+                disk,
+                tape,
+                meta,
+            };
             let p = files_stage(quarter, 0.35, 110e-6);
             streams.push((
                 sim.add_stream(Stream {
@@ -343,7 +348,12 @@ mod tests {
             let mut last = None;
             for i in 0..n {
                 let tape = sim.add_resource(format!("tape{i}"), 1.0);
-                let ids = ResourceIds { cpu, disk, tape, meta };
+                let ids = ResourceIds {
+                    cpu,
+                    disk,
+                    tape,
+                    meta,
+                };
                 let p = StageProfile {
                     name: "dumping blocks".into(),
                     cpu_secs: total as f64 / n as f64 / BLOCK * 20e-6,
@@ -363,7 +373,11 @@ mod tests {
         let one = elapsed_for(1);
         let four = elapsed_for(4);
         // Paper: 6.2 h → 1.7 h (3.6x).
-        assert!((5.8..6.8).contains(&(one / 3600.0)), "one = {}", one / 3600.0);
+        assert!(
+            (5.8..6.8).contains(&(one / 3600.0)),
+            "one = {}",
+            one / 3600.0
+        );
         let speedup = one / four;
         assert!((3.3..4.05).contains(&speedup), "speedup = {speedup}");
     }

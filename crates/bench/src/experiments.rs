@@ -77,6 +77,10 @@ pub struct BasicResults {
     pub files: u64,
     /// Fragmentation of the source volume.
     pub frag: f64,
+    /// The observability artifact: measured spans stamped with simulated
+    /// times, plus per-resource utilization. The binaries name and write
+    /// it (`results/obs_<experiment>.json`).
+    pub obs: obs::Artifact,
 }
 
 /// Result of simulating one operation (one or more concurrent streams).
@@ -84,6 +88,11 @@ pub struct BasicResults {
 pub struct SimOp {
     /// Aggregated per-stage rows.
     pub rows: Vec<StageRow>,
+    /// Per-stage `(name, t0, t1)` windows over all streams, in stage
+    /// order — the simulated times the obs artifact stamps onto spans.
+    pub windows: Vec<(String, f64, f64)>,
+    /// Per-resource utilization timelines from the solve.
+    pub timelines: Vec<obs::UtilizationTimeline>,
     /// Makespan in seconds.
     pub elapsed: f64,
 }
@@ -128,7 +137,12 @@ pub fn simulate_op(
     let mut handles = Vec::new();
     for (i, stages) in streams.iter().enumerate() {
         let tape = sim.add_resource(format!("tape{i}"), 1.0);
-        let ids = ResourceIds { cpu, disk, tape, meta };
+        let ids = ResourceIds {
+            cpu,
+            disk,
+            tape,
+            meta,
+        };
         ids_per_stream.push(ids);
         let fluid_stages = stages
             .iter()
@@ -150,6 +164,7 @@ pub fn simulate_op(
         }
     }
     let mut rows = Vec::new();
+    let mut windows = Vec::new();
     for name in order {
         let recs: Vec<_> = trace.stages.iter().filter(|r| r.name == name).collect();
         if recs.is_empty() {
@@ -157,6 +172,7 @@ pub fn simulate_op(
         }
         let t0 = recs.iter().map(|r| r.t0).fold(f64::INFINITY, f64::min);
         let t1 = recs.iter().map(|r| r.t1).fold(0.0, f64::max);
+        windows.push((name.clone(), t0, t1));
         let disk_bytes: u64 = streams
             .iter()
             .flatten()
@@ -181,6 +197,8 @@ pub fn simulate_op(
     }
     SimOp {
         rows,
+        windows,
+        timelines: obs::timelines_from_trace(&trace),
         elapsed: trace.makespan(),
     }
 }
@@ -200,6 +218,14 @@ pub struct FunctionalRuns {
     pub image_dump: Vec<StageProfile>,
     /// Image restore stages.
     pub image_restore: Vec<StageProfile>,
+    /// Whole-volume logical dump span forest (for the obs artifact).
+    pub logical_dump_spans: Vec<obs::Span>,
+    /// Whole-volume logical restore span forest.
+    pub logical_restore_spans: Vec<obs::Span>,
+    /// Image dump span forest.
+    pub image_dump_spans: Vec<obs::Span>,
+    /// Image restore span forest.
+    pub image_restore_spans: Vec<obs::Span>,
     /// Per-qtree logical dump stages (for the parallel experiments).
     pub qtree_dumps: Vec<Vec<StageProfile>>,
     /// Per-qtree logical restore stages.
@@ -285,16 +311,20 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
                 .create(INO_ROOT, &scratch, FileType::Dir, Attrs::default())
                 .expect("scratch dir");
             let rout = restore(&mut target, &mut tape, &scratch).expect("qtree restore");
-            qtree_dumps.push(out.profiler.stages);
-            qtree_restores.push(rout.profiler.stages);
+            qtree_dumps.push(out.profiler.stages());
+            qtree_restores.push(rout.profiler.stages());
         }
     }
 
     FunctionalRuns {
-        logical_dump: ld.profiler.stages,
-        logical_restore: lr.profiler.stages,
-        image_dump: pd.profiler.stages,
-        image_restore: pr.profiler.stages,
+        logical_dump: ld.profiler.stages(),
+        logical_restore: lr.profiler.stages(),
+        image_dump: pd.profiler.stages(),
+        image_restore: pr.profiler.stages(),
+        logical_dump_spans: ld.profiler.spans(),
+        logical_restore_spans: lr.profiler.spans(),
+        image_dump_spans: pd.profiler.spans(),
+        image_restore_spans: pr.profiler.spans(),
         qtree_dumps,
         qtree_restores,
         logical_blocks: ld.data_blocks,
@@ -304,7 +334,11 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
 }
 
 /// Runs the single-drive experiments (Tables 2 and 3).
-pub fn run_basic(home: &mut BuiltVolume, runs: &FunctionalRuns, model: &FilerModel) -> BasicResults {
+pub fn run_basic(
+    home: &mut BuiltVolume,
+    runs: &FunctionalRuns,
+    model: &FilerModel,
+) -> BasicResults {
     let factor = home.paper_factor();
     let arms = home.profile.geometry.total_disks() as f64;
 
@@ -339,6 +373,29 @@ pub fn run_basic(home: &mut BuiltVolume, runs: &FunctionalRuns, model: &FilerMod
         model,
     );
 
+    let obs = crate::obsout::assemble(
+        "basic",
+        factor,
+        &[
+            crate::obsout::OpObs {
+                spans: &runs.logical_dump_spans,
+                sim: &ld,
+            },
+            crate::obsout::OpObs {
+                spans: &runs.logical_restore_spans,
+                sim: &lr,
+            },
+            crate::obsout::OpObs {
+                spans: &runs.image_dump_spans,
+                sim: &pd,
+            },
+            crate::obsout::OpObs {
+                spans: &runs.image_restore_spans,
+                sim: &pr,
+            },
+        ],
+    );
+
     let logical_bytes = (runs.logical_blocks as f64 * 4096.0 * factor) as u64;
     let physical_bytes = (runs.image_blocks as f64 * 4096.0 * factor) as u64;
     let summary = |name, elapsed, bytes: u64| OpSummary {
@@ -366,6 +423,7 @@ pub fn run_basic(home: &mut BuiltVolume, runs: &FunctionalRuns, model: &FilerMod
         physical_bytes,
         files: (runs.files as f64 * factor) as u64,
         frag: home.frag,
+        obs,
     }
 }
 
@@ -390,7 +448,11 @@ pub struct ParallelResults {
 /// the qtrees assigned to one drive into a single combined dump (the
 /// operator makes "n equal sized independent pieces": with 2 drives each
 /// piece is two qtrees dumped as one stream).
-fn merge_into_streams(parts: &[Vec<StageProfile>], n: usize, factor: f64) -> Vec<Vec<StageProfile>> {
+fn merge_into_streams(
+    parts: &[Vec<StageProfile>],
+    n: usize,
+    factor: f64,
+) -> Vec<Vec<StageProfile>> {
     let mut streams: Vec<Vec<StageProfile>> = vec![Vec::new(); n];
     for (i, part) in parts.iter().enumerate() {
         let target = &mut streams[i % n];
@@ -442,8 +504,20 @@ pub fn run_parallel(
     };
     let ld_streams = strip_snapshots(merge_into_streams(&runs.qtree_dumps, n, factor));
     let lr_streams = strip_snapshots(merge_into_streams(&runs.qtree_restores, n, factor));
-    let ld = simulate_op("Logical Backup", &ld_streams, arms, OpKind::LogicalDump, model);
-    let lr = simulate_op("Logical Restore", &lr_streams, arms, OpKind::LogicalRestore, model);
+    let ld = simulate_op(
+        "Logical Backup",
+        &ld_streams,
+        arms,
+        OpKind::LogicalDump,
+        model,
+    );
+    let lr = simulate_op(
+        "Logical Restore",
+        &lr_streams,
+        arms,
+        OpKind::LogicalRestore,
+        model,
+    );
 
     // Physical: stripe the image evenly across drives.
     let stripe = |stages: &[StageProfile]| -> Vec<Vec<StageProfile>> {
@@ -599,7 +673,10 @@ mod tests {
         let files = stage("Logical Dump", "dumping files");
         let blocks = stage("Physical Dump", "dumping blocks");
         let cpu_ratio = files.cpu_util / blocks.cpu_util;
-        assert!((3.0..8.0).contains(&cpu_ratio), "cpu ratio = {cpu_ratio:.2}");
+        assert!(
+            (3.0..8.0).contains(&cpu_ratio),
+            "cpu ratio = {cpu_ratio:.2}"
+        );
         let fill = stage("Logical Restore", "filling in data");
         let rblocks = stage("Physical Restore", "restoring blocks");
         let restore_cpu_ratio = fill.cpu_util / rblocks.cpu_util;
@@ -610,8 +687,83 @@ mod tests {
 
         // Both single-drive backups are tape-bound: tape throughput near
         // the drive's streaming rate.
-        assert!(blocks.tape_mb_s > 7.5, "physical tape MB/s = {}", blocks.tape_mb_s);
-        assert!(files.tape_mb_s > 6.0, "logical tape MB/s = {}", files.tape_mb_s);
+        assert!(
+            blocks.tape_mb_s > 7.5,
+            "physical tape MB/s = {}",
+            blocks.tape_mb_s
+        );
+        assert!(
+            files.tape_mb_s > 6.0,
+            "logical tape MB/s = {}",
+            files.tape_mb_s
+        );
+    }
+
+    #[test]
+    fn obs_artifact_round_trips_and_covers_all_operations() {
+        let (mut home, runs) = prepared();
+        let basic = run_basic(&mut home, &runs, &FilerModel::f630());
+        let mut artifact = basic.obs;
+        artifact.experiment = "unit".into();
+
+        // One root span per operation, plus the stage spans under them.
+        for root in [
+            "logical dump",
+            "logical restore",
+            "image dump",
+            "image restore",
+        ] {
+            assert!(
+                artifact
+                    .spans
+                    .iter()
+                    .any(|s| s.parent.is_none() && s.name == root),
+                "missing root span {root}"
+            );
+        }
+        assert!(
+            artifact.spans.len() >= 6,
+            "only {} spans",
+            artifact.spans.len()
+        );
+
+        // Operations are laid end to end on one monotonic time axis, and
+        // every child span sits inside its parent's window.
+        let total: f64 = artifact
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.t1 - s.t0)
+            .sum();
+        for s in &artifact.spans {
+            assert!(
+                s.t1 >= s.t0 && s.t0 >= 0.0 && s.t1 <= total + 1e-6,
+                "{}: bad window",
+                s.name
+            );
+            if let Some(p) = s.parent {
+                let parent = &artifact.spans[p];
+                assert!(
+                    s.t0 >= parent.t0 - 1e-9 && s.t1 <= parent.t1 + 1e-9,
+                    "{} outside parent {}",
+                    s.name,
+                    parent.name
+                );
+            }
+        }
+
+        // Per-resource utilization is present and covers the whole axis.
+        assert!(artifact.timelines.iter().any(|t| t.resource == "cpu"));
+        assert!(artifact.timelines.iter().any(|t| t.resource == "disk"));
+        assert!(artifact.timelines.iter().any(|t| t.resource == "tape0"));
+        for tl in &artifact.timelines {
+            assert!(tl.peak() <= 1.0 + 1e-9, "{} over capacity", tl.resource);
+        }
+
+        // The whole document survives the dependency-free JSON round trip.
+        let text = artifact.to_json().render();
+        let back = obs::Artifact::from_json(&obs::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, artifact);
     }
 
     #[test]
@@ -623,7 +775,10 @@ mod tests {
 
         // Physical scales nearly linearly; logical saturates.
         let phys_speedup = four.physical_gb_h / one.physical_gb_h;
-        assert!((3.2..4.05).contains(&phys_speedup), "physical x{phys_speedup:.2}");
+        assert!(
+            (3.2..4.05).contains(&phys_speedup),
+            "physical x{phys_speedup:.2}"
+        );
         let log_speedup = four.logical_gb_h / one.logical_gb_h;
         assert!(
             log_speedup < phys_speedup - 0.4,

@@ -23,6 +23,7 @@
 pub mod build;
 pub mod calibrate;
 pub mod experiments;
+pub mod obsout;
 pub mod tables;
 
 pub use build::BuiltVolume;

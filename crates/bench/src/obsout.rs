@@ -1,0 +1,97 @@
+//! Assembles the per-experiment observability artifact
+//! (`results/obs_<experiment>.json`).
+//!
+//! The simulator splits *function* (measured work: the span deltas the
+//! engines recorded) from *time* (the fluid solve). The artifact re-joins
+//! them: each operation's span forest gets its simulated stage windows,
+//! the operations are laid end to end on one time axis, and the solver's
+//! per-resource utilization histories ride along. Span deltas, CPU
+//! seconds, and count annotations are scaled to paper size with the same
+//! factor the table pipeline uses, so the artifact agrees with the printed
+//! numbers.
+
+use obs::timeline::TimelineSample;
+use obs::Span;
+use obs::UtilizationTimeline;
+
+use crate::experiments::SimOp;
+
+/// One operation's contribution: its measured span forest plus its solved
+/// simulation.
+pub struct OpObs<'a> {
+    /// The span forest the functional run recorded (roots first).
+    pub spans: &'a [Span],
+    /// The fluid solve for the paper-scaled profiles of the same run.
+    pub sim: &'a SimOp,
+}
+
+/// Joins measured spans with solved times into one artifact.
+///
+/// `factor` is the measurement → paper scale factor; span deltas,
+/// annotations, and CPU seconds are multiplied by it. Operations are
+/// offset sequentially so the artifact has a single monotonic time axis;
+/// a leaf span whose stage did not survive into the solve (nothing to do)
+/// keeps a zero-length window at its operation's start.
+pub fn assemble(experiment: &str, factor: f64, ops: &[OpObs<'_>]) -> obs::Artifact {
+    let mut spans: Vec<Span> = Vec::new();
+    let mut timelines: Vec<UtilizationTimeline> = Vec::new();
+    let mut offset = 0.0;
+    for op in ops {
+        let base = spans.len();
+        for span in op.spans {
+            let mut span = span.clone();
+            span.parent = span.parent.map(|p| p + base);
+            let (t0, t1) = if span.parent.is_none() {
+                (0.0, op.sim.elapsed)
+            } else {
+                op.sim
+                    .windows
+                    .iter()
+                    .find(|(name, _, _)| *name == span.name)
+                    .map(|(_, t0, t1)| (*t0, *t1))
+                    .unwrap_or((0.0, 0.0))
+            };
+            span.t0 = offset + t0;
+            span.t1 = offset + t1;
+            span.cpu_secs *= factor;
+            for (_, v) in &mut span.deltas {
+                *v *= factor;
+            }
+            for (_, v) in &mut span.annotations {
+                *v *= factor;
+            }
+            spans.push(span);
+        }
+        for tl in &op.sim.timelines {
+            let shifted = tl.samples.iter().map(|s| TimelineSample {
+                t0: s.t0 + offset,
+                t1: s.t1 + offset,
+                utilization: s.utilization,
+            });
+            match timelines.iter_mut().find(|t| t.resource == tl.resource) {
+                Some(existing) => existing.samples.extend(shifted),
+                None => timelines.push(UtilizationTimeline {
+                    resource: tl.resource.clone(),
+                    capacity: tl.capacity,
+                    samples: shifted.collect(),
+                }),
+            }
+        }
+        offset += op.sim.elapsed;
+    }
+    obs::Artifact {
+        experiment: experiment.into(),
+        spans,
+        metrics: obs::snapshot(),
+        timelines,
+    }
+}
+
+/// Writes the artifact under `results/`, logging to stderr only (stdout is
+/// reserved for the table text the acceptance checks diff).
+pub fn emit(artifact: &obs::Artifact) {
+    match artifact.write("results") {
+        Ok(path) => eprintln!("[obs] wrote {}", path.display()),
+        Err(e) => eprintln!("[obs] could not write artifact: {e}"),
+    }
+}

@@ -12,7 +12,12 @@ use crate::experiments::StageRow;
 /// Paper values for Table 3 (stage, elapsed seconds, CPU fraction).
 pub const PAPER_TABLE3: &[(&str, &str, f64, f64)] = &[
     ("Logical Dump", "creating snapshot", 30.0, 0.50),
-    ("Logical Dump", "mapping files and directories", 20.0 * 60.0, 0.30),
+    (
+        "Logical Dump",
+        "mapping files and directories",
+        20.0 * 60.0,
+        0.30,
+    ),
     ("Logical Dump", "dumping directories", 20.0 * 60.0, 0.20),
     ("Logical Dump", "dumping files", 6.75 * HOUR, 0.25),
     ("Logical Dump", "deleting snapshot", 35.0, 0.50),
@@ -26,7 +31,12 @@ pub const PAPER_TABLE3: &[(&str, &str, f64, f64)] = &[
 
 /// Paper values for Table 4 (2 drives): stage, elapsed seconds, CPU.
 pub const PAPER_TABLE4: &[(&str, &str, f64, f64)] = &[
-    ("Logical Backup", "mapping files and directories", 15.0 * 60.0, 0.50),
+    (
+        "Logical Backup",
+        "mapping files and directories",
+        15.0 * 60.0,
+        0.50,
+    ),
     ("Logical Backup", "dumping directories", 15.0 * 60.0, 0.40),
     ("Logical Backup", "dumping files", 4.0 * HOUR, 0.50),
     ("Logical Restore", "creating files", 1.25 * HOUR, 0.53),
@@ -37,7 +47,12 @@ pub const PAPER_TABLE4: &[(&str, &str, f64, f64)] = &[
 
 /// Paper values for Table 5 (4 drives).
 pub const PAPER_TABLE5: &[(&str, &str, f64, f64)] = &[
-    ("Logical Backup", "mapping files and directories", 5.0 * 60.0, 0.90),
+    (
+        "Logical Backup",
+        "mapping files and directories",
+        5.0 * 60.0,
+        0.90,
+    ),
     ("Logical Backup", "dumping directories", 7.0 * 60.0, 0.90),
     ("Logical Backup", "dumping files", 2.5 * HOUR, 0.90),
     ("Logical Restore", "creating files", 0.75 * HOUR, 0.53),
@@ -111,7 +126,14 @@ pub fn print_stage_table(
     if show_rates {
         println!(
             "{:<18} {:<30} {:>12} {:>6} {:>9} {:>9}   {:>12} {:>6}",
-            "Operation", "Stage", "Elapsed", "CPU", "Disk MB/s", "Tape MB/s", "paper:Elapsed", "CPU"
+            "Operation",
+            "Stage",
+            "Elapsed",
+            "CPU",
+            "Disk MB/s",
+            "Tape MB/s",
+            "paper:Elapsed",
+            "CPU"
         );
     } else {
         println!(
@@ -171,9 +193,7 @@ pub fn print_parallel_summary(r: &ParallelResults) {
         r.physical_gb_h / r.n_drives as f64
     );
     if r.n_drives == 4 {
-        println!(
-            "paper: logical 69.6 GB/h (17.4/tape), physical 110 GB/h (27.6/tape)"
-        );
+        println!("paper: logical 69.6 GB/h (17.4/tape), physical 110 GB/h (27.6/tape)");
     }
     println!(
         "restores: logical {} / physical {}",
@@ -231,24 +251,26 @@ mod tests {
     fn paper_constants_match_engine_stage_names() {
         let geo = VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal());
         let mut fs = Wafl::format(Volume::new(geo.clone()), WaflConfig::default()).unwrap();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
 
         let mut emitted: Vec<String> = Vec::new();
         let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
         let mut catalog = DumpCatalog::new();
         let out = dump(&mut fs, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
-        emitted.extend(out.profiler.stages.iter().map(|s| s.name.clone()));
+        emitted.extend(out.profiler.stages().iter().map(|s| s.name.clone()));
         let mut target = Wafl::format(Volume::new(geo.clone()), WaflConfig::default()).unwrap();
         let res = restore(&mut target, &mut tape, "/").unwrap();
-        emitted.extend(res.profiler.stages.iter().map(|s| s.name.clone()));
+        emitted.extend(res.profiler.stages().iter().map(|s| s.name.clone()));
         let mut itape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
         let img = image_dump_full(&mut fs, &mut itape, "s").unwrap();
-        emitted.extend(img.profiler.stages.iter().map(|s| s.name.clone()));
+        emitted.extend(img.profiler.stages().iter().map(|s| s.name.clone()));
         let meter = Meter::new_shared();
         let mut raw = Volume::new(geo);
         let ir = image_restore(&mut itape, &mut raw, &meter, &CostModel::zero()).unwrap();
-        emitted.extend(ir.profiler.stages.iter().map(|s| s.name.clone()));
+        emitted.extend(ir.profiler.stages().iter().map(|s| s.name.clone()));
 
         for (_, stage, elapsed, cpu) in PAPER_TABLE3
             .iter()

@@ -29,7 +29,13 @@ fn create_stage_is_not_starved_by_fill_streams() {
     let streams: Vec<Vec<StageProfile>> = (0..4)
         .map(|_| vec![mk(571_250, 385.0), fill(13_000_000, 2388.0)])
         .collect();
-    let op = simulate_op("Logical Restore", &streams, 31.0, OpKind::LogicalRestore, &model);
+    let op = simulate_op(
+        "Logical Restore",
+        &streams,
+        31.0,
+        OpKind::LogicalRestore,
+        &model,
+    );
     let create = op
         .rows
         .iter()

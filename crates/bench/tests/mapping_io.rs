@@ -1,29 +1,51 @@
+use blockdev::Block;
 use blockdev::DiskPerf;
 use raid::{Volume, VolumeGeometry};
 use simkit::meter::Meter;
 use wafl::cost::CostModel;
 use wafl::types::*;
 use wafl::Wafl;
-use blockdev::Block;
 
 #[test]
 fn mapping_read_volume() {
     let vol = Volume::new(VolumeGeometry::uniform(1, 4, 16384, DiskPerf::ideal()));
-    let mut fs = Wafl::format_with(vol, WaflConfig::default(), Meter::new_shared(), CostModel::zero()).unwrap();
-    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+    let mut fs = Wafl::format_with(
+        vol,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
+    let d = fs
+        .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..2000u64 {
-        let f = fs.create(d, &format!("f{i}"), FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(d, &format!("f{i}"), FileType::File, Attrs::default())
+            .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(i)).unwrap();
     }
     fs.cp().unwrap();
     let before = fs.volume().all_stats();
     let mut catalog = backup_core::logical::catalog::DumpCatalog::new();
     let mut tape = tape::TapeDrive::new(tape::TapePerf::ideal(), u64::MAX);
-    let out = backup_core::logical::dump::dump(&mut fs, &mut tape, &mut catalog, &Default::default()).unwrap();
-    let map_stage = out.profiler.stage("mapping files and directories").unwrap();
-    eprintln!("mapping reads: rand={} seq={} blocks for {} files",
-        map_stage.disk_rand_read/4096, map_stage.disk_seq_read/4096, out.files);
+    let out =
+        backup_core::logical::dump::dump(&mut fs, &mut tape, &mut catalog, &Default::default())
+            .unwrap();
+    let map_stage = out
+        .profiler
+        .stage_named("mapping files and directories")
+        .unwrap();
+    eprintln!(
+        "mapping reads: rand={} seq={} blocks for {} files",
+        map_stage.disk_rand_read / 4096,
+        map_stage.disk_seq_read / 4096,
+        out.files
+    );
     let after = fs.volume().all_stats();
-    eprintln!("total dump reads: {}", (after.reads().bytes - before.reads().bytes)/4096);
-    assert!(map_stage.disk_rand_read/4096 < 10_000);
+    eprintln!(
+        "total dump reads: {}",
+        (after.reads().bytes - before.reads().bytes) / 4096
+    );
+    assert!(map_stage.disk_rand_read / 4096 < 10_000);
 }

@@ -320,7 +320,10 @@ mod tests {
             (Block::Synthetic(1), Block::Synthetic(2)),
             (Block::Synthetic(1), Block::Zero),
             (Block::from_bytes(&[1, 2, 3]), Block::Synthetic(9)),
-            (Block::from_bytes(&[0xff; 64]), Block::from_bytes(&[0x0f; 64])),
+            (
+                Block::from_bytes(&[0xff; 64]),
+                Block::from_bytes(&[0x0f; 64]),
+            ),
         ];
         for (a, b) in cases {
             let via_algebra = a.xor(&b).materialize();

@@ -167,10 +167,16 @@ impl BlockDevice for SimDisk {
         let bytes = BLOCK_SIZE as u64;
         if sequential {
             self.stats.seq_reads.record(bytes);
+            obs::counter("disk.seq_read.bytes").add(bytes);
+            obs::counter("disk.seq_read.ops").inc();
         } else {
             self.stats.rand_reads.record(bytes);
+            obs::counter("disk.rand_read.bytes").add(bytes);
+            obs::counter("disk.rand_read.ops").inc();
         }
-        self.stats.busy_secs += self.perf.service_time(sequential, bytes);
+        let service = self.perf.service_time(sequential, bytes);
+        self.stats.busy_secs += service;
+        obs::gauge("disk.busy_secs").add(service);
         let block = self.blocks[bno as usize].clone();
         Ok(self.faults.maybe_corrupt(bno, block))
     }
@@ -184,10 +190,16 @@ impl BlockDevice for SimDisk {
         let bytes = BLOCK_SIZE as u64;
         if sequential {
             self.stats.seq_writes.record(bytes);
+            obs::counter("disk.seq_write.bytes").add(bytes);
+            obs::counter("disk.seq_write.ops").inc();
         } else {
             self.stats.rand_writes.record(bytes);
+            obs::counter("disk.rand_write.bytes").add(bytes);
+            obs::counter("disk.rand_write.ops").inc();
         }
-        self.stats.busy_secs += self.perf.service_time(sequential, bytes);
+        let service = self.perf.service_time(sequential, bytes);
+        self.stats.busy_secs += service;
+        obs::gauge("disk.busy_secs").add(service);
         self.blocks[bno as usize] = block;
         Ok(())
     }
@@ -212,10 +224,7 @@ mod tests {
     #[test]
     fn out_of_range_is_rejected() {
         let mut d = SimDisk::new(4, DiskPerf::ideal());
-        assert_eq!(
-            d.read(4),
-            Err(DevError::OutOfRange { bno: 4, nblocks: 4 })
-        );
+        assert_eq!(d.read(4), Err(DevError::OutOfRange { bno: 4, nblocks: 4 }));
         assert!(d.write(100, Block::Zero).is_err());
     }
 

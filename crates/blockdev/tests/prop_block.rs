@@ -1,20 +1,25 @@
-//! Property tests for the block XOR algebra: every law is checked against
-//! byte-wise ground truth on materialized payloads.
+//! Randomized tests for the block XOR algebra: every law is checked against
+//! byte-wise ground truth on materialized payloads, over a deterministic
+//! seeded stream of arbitrary blocks (the in-repo replacement for the old
+//! proptest strategies).
 
 use blockdev::Block;
 use blockdev::BLOCK_SIZE;
-use proptest::prelude::*;
+use simkit::rng::SimRng;
 
-/// Strategy for an arbitrary block payload.
-fn arb_block() -> impl Strategy<Value = Block> {
-    prop_oneof![
-        Just(Block::Zero),
-        any::<u64>().prop_map(Block::Synthetic),
-        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Block::from_bytes(&v)),
+/// Draws an arbitrary block, covering every representation.
+fn arb_block(rng: &mut SimRng) -> Block {
+    match rng.range(0, 4) {
+        0 => Block::Zero,
+        1 => Block::Synthetic(rng.next_u64()),
+        2 => {
+            let len = rng.range(0, 256) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            Block::from_bytes(&bytes)
+        }
         // Composites: xor of two synthetics.
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(a, b)| Block::Synthetic(a).xor(&Block::Synthetic(b))),
-    ]
+        _ => Block::Synthetic(rng.next_u64()).xor(&Block::Synthetic(rng.next_u64())),
+    }
 }
 
 fn xor_bytes(a: &Block, b: &Block) -> Box<[u8; BLOCK_SIZE]> {
@@ -25,44 +30,76 @@ fn xor_bytes(a: &Block, b: &Block) -> Box<[u8; BLOCK_SIZE]> {
     buf
 }
 
-proptest! {
-    #[test]
-    fn xor_matches_ground_truth(a in arb_block(), b in arb_block()) {
-        prop_assert_eq!(a.xor(&b).materialize(), xor_bytes(&a, &b));
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn xor_is_commutative(a in arb_block(), b in arb_block()) {
-        prop_assert!(a.xor(&b).same_content(&b.xor(&a)));
+#[test]
+fn xor_matches_ground_truth() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0001);
+    for _ in 0..CASES {
+        let (a, b) = (arb_block(&mut rng), arb_block(&mut rng));
+        assert_eq!(a.xor(&b).materialize(), xor_bytes(&a, &b));
     }
+}
 
-    #[test]
-    fn xor_is_associative(a in arb_block(), b in arb_block(), c in arb_block()) {
+#[test]
+fn xor_is_commutative() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0002);
+    for _ in 0..CASES {
+        let (a, b) = (arb_block(&mut rng), arb_block(&mut rng));
+        assert!(a.xor(&b).same_content(&b.xor(&a)));
+    }
+}
+
+#[test]
+fn xor_is_associative() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0003);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_block(&mut rng),
+            arb_block(&mut rng),
+            arb_block(&mut rng),
+        );
         let left = a.xor(&b).xor(&c);
         let right = a.xor(&b.xor(&c));
-        prop_assert!(left.same_content(&right));
+        assert!(left.same_content(&right));
     }
+}
 
-    #[test]
-    fn xor_self_inverse(a in arb_block(), b in arb_block()) {
+#[test]
+fn xor_self_inverse() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0004);
+    for _ in 0..CASES {
+        let (a, b) = (arb_block(&mut rng), arb_block(&mut rng));
         // (a ^ b) ^ b == a — the parity-reconstruction identity.
-        prop_assert!(a.xor(&b).xor(&b).same_content(&a));
+        assert!(a.xor(&b).xor(&b).same_content(&a));
     }
+}
 
-    #[test]
-    fn zero_is_identity(a in arb_block()) {
-        prop_assert!(a.xor(&Block::Zero).same_content(&a));
+#[test]
+fn zero_is_identity() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0005);
+    for _ in 0..CASES {
+        let a = arb_block(&mut rng);
+        assert!(a.xor(&Block::Zero).same_content(&a));
     }
+}
 
-    #[test]
-    fn same_content_agrees_with_materialize(a in arb_block(), b in arb_block()) {
+#[test]
+fn same_content_agrees_with_materialize() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0006);
+    for _ in 0..CASES {
+        let (a, b) = (arb_block(&mut rng), arb_block(&mut rng));
         let expected = a.materialize() == b.materialize();
-        prop_assert_eq!(a.same_content(&b), expected);
+        assert_eq!(a.same_content(&b), expected);
     }
+}
 
-    #[test]
-    fn content_digest_is_representation_independent(a in arb_block()) {
+#[test]
+fn content_digest_is_representation_independent() {
+    let mut rng = SimRng::seed_from_u64(0xb10c_0007);
+    for _ in 0..CASES {
+        let a = arb_block(&mut rng);
         let literal = Block::Bytes(a.materialize());
-        prop_assert_eq!(a.content_digest(), literal.content_digest());
+        assert_eq!(a.content_digest(), literal.content_digest());
     }
 }

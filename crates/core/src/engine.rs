@@ -1,0 +1,349 @@
+//! The unified backup-engine API.
+//!
+//! The paper's two strategies — logical (file-by-file `dump`/`restore`)
+//! and physical (block-image dump/restore) — share a shape: plan what to
+//! move, move it to tape, move it back. [`BackupEngine`] captures that
+//! shape so harnesses, tests, and operators can drive either strategy
+//! through one interface:
+//!
+//! ```ignore
+//! let mut engine: Box<dyn BackupEngine> =
+//!     Box::new(LogicalEngine::new(DumpOptions::builder().subtree("/").level(0).build()));
+//! let plan = engine.plan(&fs);
+//! let dumped = engine.dump(&mut fs, &mut drive)?;
+//! let restored = engine.restore(&mut target, &mut drive)?;
+//! ```
+//!
+//! The free functions ([`crate::logical::dump::dump`],
+//! [`crate::physical::dump::image_dump_full`], ...) remain the low-level
+//! entry points; the engines delegate to them and translate their
+//! per-strategy error types into one [`BackupError`].
+
+use tape::TapeDrive;
+use tape::TapeError;
+use wafl::Wafl;
+
+use crate::logical::catalog::DumpCatalog;
+use crate::logical::dump::DumpOptions;
+use crate::logical::format::DumpError;
+use crate::physical::format::ImageError;
+use crate::report::Profiler;
+
+/// One error type across both strategies.
+///
+/// `#[non_exhaustive]` on both the struct and [`BackupErrorKind`]: more
+/// strategies (and more failure classes) can appear without breaking
+/// downstream matches.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct BackupError {
+    /// The operation in flight when the failure surfaced ("logical dump",
+    /// "image restore", ...).
+    pub op: &'static str,
+    /// The underlying strategy-specific error.
+    pub kind: BackupErrorKind,
+}
+
+/// The strategy-specific cause inside a [`BackupError`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BackupErrorKind {
+    /// The logical dump/restore path failed.
+    Logical(DumpError),
+    /// The physical image path failed.
+    Physical(ImageError),
+    /// The tape drive itself failed.
+    Media(TapeError),
+}
+
+impl BackupError {
+    /// Replaces the operation context (the `From` impls default it to
+    /// `"backup"`).
+    pub fn during(mut self, op: &'static str) -> BackupError {
+        self.op = op;
+        self
+    }
+}
+
+impl std::fmt::Display for BackupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            BackupErrorKind::Logical(e) => write!(f, "{} failed: {e}", self.op),
+            BackupErrorKind::Physical(e) => write!(f, "{} failed: {e}", self.op),
+            BackupErrorKind::Media(e) => write!(f, "{} failed: {e}", self.op),
+        }
+    }
+}
+
+impl std::error::Error for BackupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            BackupErrorKind::Logical(e) => Some(e),
+            BackupErrorKind::Physical(e) => Some(e),
+            BackupErrorKind::Media(e) => Some(e),
+        }
+    }
+}
+
+impl From<DumpError> for BackupError {
+    fn from(e: DumpError) -> BackupError {
+        BackupError {
+            op: "backup",
+            kind: BackupErrorKind::Logical(e),
+        }
+    }
+}
+
+impl From<ImageError> for BackupError {
+    fn from(e: ImageError) -> BackupError {
+        BackupError {
+            op: "backup",
+            kind: BackupErrorKind::Physical(e),
+        }
+    }
+}
+
+impl From<TapeError> for BackupError {
+    fn from(e: TapeError) -> BackupError {
+        BackupError {
+            op: "backup",
+            kind: BackupErrorKind::Media(e),
+        }
+    }
+}
+
+/// What an engine intends to do, computed without touching tape.
+#[derive(Debug, Clone)]
+pub struct BackupPlan {
+    /// Strategy name ("logical" or "physical").
+    pub strategy: &'static str,
+    /// Incremental level (always 0 for a full physical dump).
+    pub level: u8,
+    /// Subtree covered ("/" = whole volume; physical is always "/").
+    pub subtree: String,
+    /// Stage names the dump will run, in order.
+    pub stages: Vec<&'static str>,
+    /// Blocks the strategy expects to move (active blocks for logical,
+    /// all allocated blocks — snapshots included — for physical).
+    pub estimated_blocks: u64,
+    /// The block estimate in bytes.
+    pub estimated_bytes: u64,
+}
+
+/// What a dump or restore moved, uniformly across strategies.
+///
+/// Strategy-specific detail (warnings, inode maps, snapshot names) stays
+/// on the per-strategy outcome types; drive the free functions directly
+/// when you need it.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Per-stage resource profiles (spans included).
+    pub profiler: Profiler,
+    /// Files moved (0 for physical — it does not know about files).
+    pub files: u64,
+    /// Directories moved (0 for physical).
+    pub dirs: u64,
+    /// Data blocks moved.
+    pub blocks: u64,
+    /// Bytes that crossed the tape interface.
+    pub tape_bytes: u64,
+}
+
+/// A backup strategy that can plan, dump, and restore.
+pub trait BackupEngine {
+    /// Strategy name ("logical" or "physical").
+    fn name(&self) -> &'static str;
+
+    /// Computes what a dump would move, without touching the tape.
+    fn plan(&self, fs: &Wafl) -> BackupPlan;
+
+    /// Dumps from `fs` to `drive`.
+    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError>;
+
+    /// Restores from `drive` into `fs`.
+    ///
+    /// Logical restore rebuilds files through the file system; physical
+    /// restore writes raw blocks onto the volume underneath `fs`, so the
+    /// caller must remount (crash + mount) before using the file system —
+    /// mirroring the real procedure, where an image restore happens on an
+    /// unmounted volume.
+    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError>;
+}
+
+/// The logical (file-based) strategy: BSD-style dump/restore through the
+/// file system, with incremental levels and a dumpdates catalog.
+#[derive(Debug, Default)]
+pub struct LogicalEngine {
+    opts: DumpOptions,
+    catalog: DumpCatalog,
+    restore_target: String,
+}
+
+impl LogicalEngine {
+    /// An engine dumping per `opts` and restoring into "/".
+    pub fn new(opts: DumpOptions) -> LogicalEngine {
+        LogicalEngine {
+            opts,
+            catalog: DumpCatalog::new(),
+            restore_target: "/".into(),
+        }
+    }
+
+    /// Changes the directory restores land in.
+    pub fn with_restore_target(mut self, target: impl Into<String>) -> LogicalEngine {
+        self.restore_target = target.into();
+        self
+    }
+
+    /// The dumpdates catalog accumulated across dumps (incremental bases).
+    pub fn catalog(&self) -> &DumpCatalog {
+        &self.catalog
+    }
+}
+
+impl BackupEngine for LogicalEngine {
+    fn name(&self) -> &'static str {
+        "logical"
+    }
+
+    fn plan(&self, fs: &Wafl) -> BackupPlan {
+        let blocks = fs.blkmap().count_plane(0);
+        let mut stages = vec![
+            "creating snapshot",
+            "mapping files and directories",
+            "dumping directories",
+            "dumping files",
+        ];
+        if !self.opts.keep_snapshot {
+            stages.push("deleting snapshot");
+        }
+        BackupPlan {
+            strategy: "logical",
+            level: self.opts.level,
+            subtree: self.opts.subtree.clone(),
+            stages,
+            estimated_blocks: blocks,
+            estimated_bytes: blocks * blockdev::BLOCK_SIZE as u64,
+        }
+    }
+
+    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
+        let out = crate::logical::dump::dump(fs, drive, &mut self.catalog, &self.opts)
+            .map_err(|e| BackupError::from(e).during("logical dump"))?;
+        Ok(Outcome {
+            profiler: out.profiler,
+            files: out.files,
+            dirs: out.dirs,
+            blocks: out.data_blocks,
+            tape_bytes: out.tape_bytes,
+        })
+    }
+
+    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
+        let out = crate::logical::restore::restore(fs, drive, &self.restore_target)
+            .map_err(|e| BackupError::from(e).during("logical restore"))?;
+        let tape_bytes = out.profiler.total_tape_bytes();
+        Ok(Outcome {
+            profiler: out.profiler,
+            files: out.files,
+            dirs: out.dirs,
+            blocks: out.data_blocks,
+            tape_bytes,
+        })
+    }
+}
+
+/// The physical (block-image) strategy: streams allocated blocks through
+/// the RAID bypass, snapshots included.
+#[derive(Debug)]
+pub struct PhysicalEngine {
+    snapshot_name: String,
+}
+
+impl PhysicalEngine {
+    /// An engine anchoring its dumps to snapshot `snapshot_name`.
+    pub fn new(snapshot_name: impl Into<String>) -> PhysicalEngine {
+        PhysicalEngine {
+            snapshot_name: snapshot_name.into(),
+        }
+    }
+}
+
+impl Default for PhysicalEngine {
+    fn default() -> PhysicalEngine {
+        PhysicalEngine::new("image.base")
+    }
+}
+
+impl BackupEngine for PhysicalEngine {
+    fn name(&self) -> &'static str {
+        "physical"
+    }
+
+    fn plan(&self, fs: &Wafl) -> BackupPlan {
+        let blkmap = fs.blkmap();
+        let blocks = blkmap.nblocks() - blkmap.count_free();
+        BackupPlan {
+            strategy: "physical",
+            level: 0,
+            subtree: "/".into(),
+            stages: vec!["creating snapshot", "dumping blocks"],
+            estimated_blocks: blocks,
+            estimated_bytes: blocks * blockdev::BLOCK_SIZE as u64,
+        }
+    }
+
+    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
+        let out = crate::physical::dump::image_dump_full(fs, drive, &self.snapshot_name)
+            .map_err(|e| BackupError::from(e).during("image dump"))?;
+        Ok(Outcome {
+            profiler: out.profiler,
+            files: 0,
+            dirs: 0,
+            blocks: out.blocks,
+            tape_bytes: out.tape_bytes,
+        })
+    }
+
+    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
+        let meter = fs.meter();
+        let costs = *fs.costs();
+        let out = crate::physical::restore::image_restore(drive, fs.volume_mut(), &meter, &costs)
+            .map_err(|e| BackupError::from(e).during("image restore"))?;
+        let tape_bytes = out.profiler.total_tape_bytes();
+        Ok(Outcome {
+            profiler: out.profiler,
+            files: 0,
+            dirs: 0,
+            blocks: out.blocks,
+            tape_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_operation_context() {
+        let e = BackupError::from(DumpError::BadStream {
+            reason: "empty tape".into(),
+        })
+        .during("logical restore");
+        assert_eq!(e.op, "logical restore");
+        assert!(matches!(e.kind, BackupErrorKind::Logical(_)));
+        assert_eq!(
+            e.to_string(),
+            "logical restore failed: bad dump stream: empty tape"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn tape_errors_convert() {
+        let e = BackupError::from(TapeError::EndOfData);
+        assert!(matches!(e.kind, BackupErrorKind::Media(_)));
+        assert_eq!(e.op, "backup");
+    }
+}

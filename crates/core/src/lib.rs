@@ -15,15 +15,27 @@
 //!   snapshot bit-plane arithmetic (`B − A`, Table 1), restores that
 //!   reproduce the volume *including all snapshots*, and the §6
 //!   extension: incremental volume mirroring.
+//! - [`engine`] — the unified [`engine::BackupEngine`] trait: both
+//!   strategies behind one `plan`/`dump`/`restore` interface with a shared
+//!   [`engine::BackupError`].
 //! - [`report`] — stage profiles: each backup/restore stage records the CPU
-//!   seconds and device traffic it generated, which the benchmark harness
-//!   feeds to the fluid solver to produce the paper's tables.
+//!   seconds and device traffic it generated (as [`obs`] spans), which the
+//!   benchmark harness feeds to the fluid solver to produce the paper's
+//!   tables.
 //! - [`verify`] — end-to-end verification: tree/content comparison between
 //!   live file systems and block-level comparison between volumes.
 
+pub mod engine;
 pub mod logical;
 pub mod physical;
 pub mod report;
 pub mod verify;
 
+pub use engine::BackupEngine;
+pub use engine::BackupError;
+pub use engine::BackupPlan;
+pub use engine::LogicalEngine;
+pub use engine::PhysicalEngine;
+pub use report::Profiler;
 pub use report::StageProfile;
+pub use report::StageSpan;

@@ -26,7 +26,6 @@ use crate::logical::format::InoMap;
 use crate::logical::format::WhichMap;
 use crate::logical::format::DATA_RUN;
 use crate::report::Profiler;
-use crate::report::ProfilerMark;
 
 /// Dump parameters.
 #[derive(Debug, Clone)]
@@ -62,6 +61,71 @@ impl Default for DumpOptions {
             exclude_suffixes: Vec::new(),
             read_chain: DATA_RUN,
         }
+    }
+}
+
+impl DumpOptions {
+    /// Starts a builder over the defaults:
+    /// `DumpOptions::builder().subtree("/proj").level(1).build()`.
+    pub fn builder() -> DumpOptionsBuilder {
+        DumpOptionsBuilder {
+            opts: DumpOptions::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`DumpOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct DumpOptionsBuilder {
+    opts: DumpOptions,
+}
+
+impl DumpOptionsBuilder {
+    /// Incremental level 0–9 (0 = full).
+    pub fn level(mut self, level: u8) -> Self {
+        self.opts.level = level;
+        self
+    }
+
+    /// Subtree to dump ("/" for the whole volume).
+    pub fn subtree(mut self, subtree: impl Into<String>) -> Self {
+        self.opts.subtree = subtree.into();
+        self
+    }
+
+    /// Volume name recorded in the stream header.
+    pub fn volume_name(mut self, name: impl Into<String>) -> Self {
+        self.opts.volume_name = name.into();
+        self
+    }
+
+    /// Keep the dump snapshot afterwards.
+    pub fn keep_snapshot(mut self, keep: bool) -> Self {
+        self.opts.keep_snapshot = keep;
+        self
+    }
+
+    /// Excludes a file name (exact match).
+    pub fn exclude_name(mut self, name: impl Into<String>) -> Self {
+        self.opts.exclude_names.push(name.into());
+        self
+    }
+
+    /// Excludes a file-name suffix (e.g. ".o").
+    pub fn exclude_suffix(mut self, suffix: impl Into<String>) -> Self {
+        self.opts.exclude_suffixes.push(suffix.into());
+        self
+    }
+
+    /// Blocks per phase-IV read-ahead chain.
+    pub fn read_chain(mut self, blocks: usize) -> Self {
+        self.opts.read_chain = blocks;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DumpOptions {
+        self.opts
     }
 }
 
@@ -115,7 +179,10 @@ fn map_phase(
 ) -> Result<MapState, DumpError> {
     let excluded = |name: &str| {
         opts.exclude_names.iter().any(|n| n == name)
-            || opts.exclude_suffixes.iter().any(|s| name.ends_with(s.as_str()))
+            || opts
+                .exclude_suffixes
+                .iter()
+                .any(|s| name.ends_with(s.as_str()))
     };
 
     // Phase I: sequential inode-file scan.
@@ -129,8 +196,7 @@ fn map_phase(
             continue;
         };
         used.set(ino);
-        let is_changed =
-            level == 0 || di.attrs.mtime > base_date || di.attrs.ctime > base_date;
+        let is_changed = level == 0 || di.attrs.mtime > base_date || di.attrs.ctime > base_date;
         if is_changed {
             changed.set(ino);
         }
@@ -226,15 +292,20 @@ fn map_phase(
 
 /// Runs a dump of `opts.subtree` at `opts.level` to `drive`, recording it
 /// in `catalog`.
+///
+/// Prefer [`crate::engine::BackupEngine`] (via [`crate::engine::LogicalEngine`])
+/// for new callers; this free function remains as the low-level entry point
+/// the engine delegates to.
 pub fn dump(
     fs: &mut Wafl,
     drive: &mut TapeDrive,
     catalog: &mut DumpCatalog,
     opts: &DumpOptions,
 ) -> Result<DumpOutcome, DumpError> {
-    let mut profiler = Profiler::new();
+    let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
+    let op_span = profiler.stage("logical dump", fs, drive);
 
     let base_date = if opts.level == 0 {
         0
@@ -246,39 +317,38 @@ pub fn dump(
     };
 
     // Stage: create the snapshot the dump reads from.
-    let mark = begin_stage(fs, drive);
-    let snapshot_name = format!("dump.{}", fs.now() + 1);
-    let snap_id = fs.snapshot_create(&snapshot_name)?;
-    let dump_date = fs.now();
-    end_stage(fs, drive, &mut profiler, "creating snapshot", mark, 0, 0, 0);
+    let (snap_id, snapshot_name, dump_date) = {
+        let _span = profiler.stage("creating snapshot", fs, drive);
+        let snapshot_name = format!("dump.{}", fs.now() + 1);
+        let snap_id = fs.snapshot_create(&snapshot_name)?;
+        (snap_id, snapshot_name, fs.now())
+    };
 
     // Phases I & II: map files and directories.
-    let mark2 = begin_stage(fs, drive);
     let (state, root_ino, max_ino) = {
-        let mut view = fs.snap_view(snap_id)?;
-        let root_ino = view.namei(&opts.subtree)?;
-        view.read_inode(root_ino)?.ok_or_else(|| DumpError::NotInDump {
-            path: opts.subtree.clone(),
-        })?;
-        let max_ino = view.max_ino();
-        let state = map_phase(&mut view, root_ino, base_date, opts.level, opts)?;
+        let mut span = profiler.stage("mapping files and directories", fs, drive);
+        let (state, root_ino, max_ino) = {
+            let mut view = fs.snap_view(snap_id)?;
+            let root_ino = view.namei(&opts.subtree)?;
+            view.read_inode(root_ino)?
+                .ok_or_else(|| DumpError::NotInDump {
+                    path: opts.subtree.clone(),
+                })?;
+            let max_ino = view.max_ino();
+            let state = map_phase(&mut view, root_ino, base_date, opts.level, opts)?;
+            (state, root_ino, max_ino)
+        };
+        meter.charge_cpu(costs.dump_inode * (state.used.count() as f64));
+        span.counts(
+            state.files.len() as u64,
+            state.dirs.len() as u64,
+            state.used.count(),
+        );
         (state, root_ino, max_ino)
     };
-    meter.charge_cpu(costs.dump_inode * (state.used.count() as f64));
-    let mapped = state.used.count();
-    end_stage(
-        fs,
-        drive,
-        &mut profiler,
-        "mapping files and directories",
-        mark2,
-        state.files.len() as u64,
-        state.dirs.len() as u64,
-        mapped,
-    );
 
     // Phase III: header, maps, directories (in inode order).
-    let mark3 = begin_stage(fs, drive);
+    let mut dir_span = profiler.stage("dumping directories", fs, drive);
     drive.write_record(
         DumpRecord::Tape {
             level: opts.level,
@@ -307,9 +377,11 @@ pub fn dump(
     {
         let mut view = fs.snap_view(snap_id)?;
         for &dir_ino in &state.dirs {
-            let di = view.read_inode(dir_ino)?.ok_or_else(|| DumpError::BadStream {
-                reason: format!("mapped dir {dir_ino} vanished from snapshot"),
-            })?;
+            let di = view
+                .read_inode(dir_ino)?
+                .ok_or_else(|| DumpError::BadStream {
+                    reason: format!("mapped dir {dir_ino} vanished from snapshot"),
+                })?;
             let entries = view
                 .read_dir(&di)?
                 .into_iter()
@@ -330,27 +402,21 @@ pub fn dump(
             )?;
         }
     }
-    end_stage(
-        fs,
-        drive,
-        &mut profiler,
-        "dumping directories",
-        mark3,
-        0,
-        state.dirs.len() as u64,
-        0,
-    );
+    dir_span.counts(0, state.dirs.len() as u64, 0);
+    drop(dir_span);
 
     // Phase IV: files, in inode order, with dump's own read-ahead
     // (`read_chain`-block chains, 64 KiB by default).
-    let mark4 = begin_stage(fs, drive);
+    let mut file_span = profiler.stage("dumping files", fs, drive);
     let mut data_blocks = 0u64;
     {
         let mut view = fs.snap_view(snap_id)?;
         for &file_ino in &state.files {
-            let di = view.read_inode(file_ino)?.ok_or_else(|| DumpError::BadStream {
-                reason: format!("mapped file {file_ino} vanished from snapshot"),
-            })?;
+            let di = view
+                .read_inode(file_ino)?
+                .ok_or_else(|| DumpError::BadStream {
+                    reason: format!("mapped file {file_ino} vanished from snapshot"),
+                })?;
             let slots = view.file_slots(&di)?;
             let present: Vec<u64> = (0..slots.len() as u64)
                 .filter(|&fbn| slots[fbn as usize] != 0)
@@ -392,25 +458,17 @@ pub fn dump(
         }
         .to_record(),
     )?;
-    end_stage(
-        fs,
-        drive,
-        &mut profiler,
-        "dumping files",
-        mark4,
-        state.files.len() as u64,
-        0,
-        data_blocks,
-    );
+    file_span.counts(state.files.len() as u64, 0, data_blocks);
+    drop(file_span);
 
     // Stage: delete the snapshot.
     if !opts.keep_snapshot {
-        let mark5 = begin_stage(fs, drive);
+        let _span = profiler.stage("deleting snapshot", fs, drive);
         fs.snapshot_delete(snap_id)?;
-        end_stage(fs, drive, &mut profiler, "deleting snapshot", mark5, 0, 0, 0);
     }
 
     catalog.record(&opts.subtree, opts.level, dump_date);
+    drop(op_span);
     let tape_bytes = profiler.total_tape_bytes();
     Ok(DumpOutcome {
         profiler,
@@ -422,31 +480,4 @@ pub fn dump(
         level: opts.level,
         snapshot_name,
     })
-}
-
-fn begin_stage(fs: &Wafl, drive: &TapeDrive) -> ProfilerMark {
-    Profiler::mark(&fs.meter(), fs.volume().all_stats(), drive.stats())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn end_stage(
-    fs: &Wafl,
-    drive: &TapeDrive,
-    p: &mut Profiler,
-    name: &str,
-    mark: ProfilerMark,
-    files: u64,
-    dirs: u64,
-    blocks: u64,
-) {
-    p.finish_stage(
-        name,
-        &mark,
-        &fs.meter(),
-        fs.volume().all_stats(),
-        drive.stats(),
-        files,
-        dirs,
-        blocks,
-    );
 }

@@ -379,7 +379,11 @@ impl DumpRecord {
                 rec.push(Chunk::Bytes(bits.clone()));
                 rec
             }
-            DumpRecord::Dir { ino, attrs, entries } => {
+            DumpRecord::Dir {
+                ino,
+                attrs,
+                entries,
+            } => {
                 let mut h = header(T_DIR);
                 put_u32(&mut h, *ino);
                 put_attrs(&mut h, attrs);
@@ -517,7 +521,11 @@ impl DumpRecord {
                         kind,
                     });
                 }
-                Ok(DumpRecord::Dir { ino, attrs, entries })
+                Ok(DumpRecord::Dir {
+                    ino,
+                    attrs,
+                    entries,
+                })
             }
             T_INODE => Ok(DumpRecord::Inode {
                 ino: r.u32()?,

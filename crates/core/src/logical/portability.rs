@@ -126,7 +126,10 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
         .unwrap_or((wafl::types::Attrs::default(), Vec::new()));
     let mut root = ForeignNode::new_dir(root_attrs.perm, root_attrs.uid, root_attrs.gid);
 
-    fn insert_at<'a>(root: &'a mut ForeignNode, path: &str) -> &'a mut BTreeMap<String, ForeignNode> {
+    fn insert_at<'a>(
+        root: &'a mut ForeignNode,
+        path: &str,
+    ) -> &'a mut BTreeMap<String, ForeignNode> {
         let mut node = root;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             let ForeignNode::Dir { entries, .. } = node else {

@@ -101,7 +101,11 @@ pub(crate) fn read_stream_head(drive: &mut TapeDrive) -> Result<StreamHead, Dump
                 WhichMap::Used => used = InoMap::from_bytes(bits),
                 WhichMap::Dumped => dumped = InoMap::from_bytes(bits),
             },
-            DumpRecord::Dir { ino, attrs, entries } => {
+            DumpRecord::Dir {
+                ino,
+                attrs,
+                entries,
+            } => {
                 dirs.insert(ino, (attrs, entries));
             }
             other => {
@@ -145,13 +149,22 @@ pub(crate) fn next_record(
 /// Restores a dump stream into the directory `target` (use "/" to restore
 /// a whole-volume dump in place). Apply a level-0 stream first, then each
 /// incremental in order.
-pub fn restore(fs: &mut Wafl, drive: &mut TapeDrive, target: &str) -> Result<RestoreOutcome, DumpError> {
-    let mut profiler = Profiler::new();
+///
+/// Prefer [`crate::engine::BackupEngine`] (via [`crate::engine::LogicalEngine`])
+/// for new callers; this free function remains as the low-level entry point
+/// the engine delegates to.
+pub fn restore(
+    fs: &mut Wafl,
+    drive: &mut TapeDrive,
+    target: &str,
+) -> Result<RestoreOutcome, DumpError> {
+    let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
+    let op_span = profiler.stage("logical restore", fs, drive);
 
     // ---- Stage: read directories + create the tree ("creating files").
-    let mark = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
+    let mut create_span = profiler.stage("creating files", fs, drive);
     let mut head = read_stream_head(drive)?;
     let mut warnings = std::mem::take(&mut head.warnings);
 
@@ -229,19 +242,11 @@ pub fn restore(fs: &mut Wafl, drive: &mut TapeDrive, target: &str) -> Result<Res
             // unchanged since the base dump; leave them alone.
         }
     }
-    profiler.finish_stage(
-        "creating files",
-        &mark,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        files_created,
-        dirs_done,
-        0,
-    );
+    create_span.counts(files_created, dirs_done, 0);
+    drop(create_span);
 
     // ---- Stage: stream the file contents ("filling in data").
-    let mark2 = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
+    let mut fill_span = profiler.stage("filling in data", fs, drive);
     let mut data_blocks = 0u64;
     let mut current: Option<(Ino, u64)> = None; // (new ino, final size)
     let mut end_seen = false;
@@ -256,10 +261,7 @@ pub fn restore(fs: &mut Wafl, drive: &mut TapeDrive, target: &str) -> Result<Res
         };
         match record {
             DumpRecord::Inode {
-                ino,
-                size,
-                attrs,
-                ..
+                ino, size, attrs, ..
             } => {
                 finalize_file(fs, &mut current)?;
                 match ino_map.get(&ino) {
@@ -319,16 +321,9 @@ pub fn restore(fs: &mut Wafl, drive: &mut TapeDrive, target: &str) -> Result<Res
         warnings.push("stream ended without trailer".into());
     }
     fs.cp()?;
-    profiler.finish_stage(
-        "filling in data",
-        &mark2,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        files_created,
-        0,
-        data_blocks,
-    );
+    fill_span.counts(files_created, 0, data_blocks);
+    drop(fill_span);
+    drop(op_span);
 
     Ok(RestoreOutcome {
         profiler,

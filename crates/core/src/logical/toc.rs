@@ -134,13 +134,17 @@ pub fn verify_stream(drive: &mut TapeDrive) -> Result<StreamCheck, DumpError> {
             },
         };
         match record {
-            DumpRecord::Inode { ino, nblocks, size, .. } => {
+            DumpRecord::Inode {
+                ino, nblocks, size, ..
+            } => {
                 if !promised.contains(&ino) {
-                    out.problems
-                        .push(format!("file header for inode {ino} not in the dumped bitmap"));
+                    out.problems.push(format!(
+                        "file header for inode {ino} not in the dumped bitmap"
+                    ));
                 }
                 if seen.insert(ino, (nblocks, 0)).is_some() {
-                    out.problems.push(format!("duplicate header for inode {ino}"));
+                    out.problems
+                        .push(format!("duplicate header for inode {ino}"));
                 }
                 if nblocks * 4096 > size + 4096 {
                     out.problems.push(format!(
@@ -156,14 +160,19 @@ pub fn verify_stream(drive: &mut TapeDrive) -> Result<StreamCheck, DumpError> {
                         .push(format!("data for inode {ino} outside its header section"));
                 }
                 if fbns.len() != blocks.len() {
-                    out.problems.push(format!("inode {ino}: fbn/payload count mismatch"));
+                    out.problems
+                        .push(format!("inode {ino}: fbn/payload count mismatch"));
                 }
                 if let Some((_, seen_blocks)) = seen.get_mut(&ino) {
                     *seen_blocks += blocks.len() as u64;
                 }
                 out.data_blocks += blocks.len() as u64;
             }
-            DumpRecord::End { files, dirs, data_blocks } => {
+            DumpRecord::End {
+                files,
+                dirs,
+                data_blocks,
+            } => {
                 trailer = Some((files, dirs, data_blocks));
             }
             other => {
@@ -177,7 +186,9 @@ pub fn verify_stream(drive: &mut TapeDrive) -> Result<StreamCheck, DumpError> {
     // Every promised file must have appeared with all of its blocks.
     for ino in &promised {
         match seen.get(ino) {
-            None => out.problems.push(format!("inode {ino} promised but never on tape")),
+            None => out
+                .problems
+                .push(format!("inode {ino} promised but never on tape")),
             Some((want, got)) if want != got => out.problems.push(format!(
                 "inode {ino}: header promises {want} blocks, stream carries {got}"
             )),
@@ -226,7 +237,9 @@ mod tests {
     fn dumped_tape() -> (Wafl, TapeDrive) {
         let vol = Volume::new(VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal()));
         let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
-        let d = fs.create(INO_ROOT, "proj", FileType::Dir, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "proj", FileType::Dir, Attrs::default())
+            .unwrap();
         for i in 0..5u64 {
             let f = fs
                 .create(d, &format!("src{i}.rs"), FileType::File, Attrs::default())
@@ -244,8 +257,12 @@ mod tests {
         let (_fs, mut tape) = dumped_tape();
         let toc = list_contents(&mut tape).unwrap();
         assert_eq!(toc.len(), 6, "1 dir + 5 files: {toc:?}");
-        assert!(toc.iter().any(|e| e.path == "/proj" && e.ftype == FileType::Dir));
-        assert!(toc.iter().any(|e| e.path == "/proj/src3.rs" && e.ftype == FileType::File));
+        assert!(toc
+            .iter()
+            .any(|e| e.path == "/proj" && e.ftype == FileType::Dir));
+        assert!(toc
+            .iter()
+            .any(|e| e.path == "/proj/src3.rs" && e.ftype == FileType::File));
         // Sorted by path.
         let mut sorted = toc.clone();
         sorted.sort_by(|a, b| a.path.cmp(&b.path));
@@ -285,6 +302,10 @@ mod tests {
         let n = tape.total_records();
         assert!(tape.corrupt_record(n - 1)); // the TS_END
         let v = verify_stream(&mut tape).unwrap();
-        assert!(v.problems.iter().any(|p| p.contains("no trailer")), "{:?}", v.problems);
+        assert!(
+            v.problems.iter().any(|p| p.contains("no trailer")),
+            "{:?}",
+            v.problems
+        );
     }
 }

@@ -25,33 +25,30 @@ pub struct ImageOutcome {
 /// Dumps every allocated block of the volume — the active file system and
 /// all snapshots — to `drive`, anchored to a freshly created snapshot
 /// named `snap_name` (kept afterwards as the incremental base).
+///
+/// Prefer [`crate::engine::BackupEngine`] (via [`crate::engine::PhysicalEngine`])
+/// for new callers; this free function remains as the low-level entry point
+/// the engine delegates to.
 pub fn image_dump_full(
     fs: &mut Wafl,
     drive: &mut TapeDrive,
     snap_name: &str,
 ) -> Result<ImageOutcome, ImageError> {
-    let mut profiler = Profiler::new();
+    let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
+    let op_span = profiler.stage("image dump", fs, drive);
 
     // Stage: create the anchoring snapshot.
-    let mark = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
-    fs.snapshot_create(snap_name)?;
-    profiler.finish_stage(
-        "creating snapshot",
-        &mark,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        0,
-        0,
-        0,
-    );
+    {
+        let _span = profiler.stage("creating snapshot", fs, drive);
+        fs.snapshot_create(snap_name)?;
+    }
 
     // Stage: stream blocks in physical order. The used set comes from the
     // block map ("uses the file system only to access the block map
     // information"); the reads go straight through the RAID layer.
-    let mark2 = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
+    let mut block_span = profiler.stage("dumping blocks", fs, drive);
     let used: Vec<u64> = (0..fs.blkmap().nblocks())
         .filter(|&b| !fs.blkmap().is_free(b))
         .collect();
@@ -82,17 +79,10 @@ pub fn image_dump_full(
         )?;
     }
     drive.write_record(ImageRecord::End { blocks_written }.to_record())?;
-    profiler.finish_stage(
-        "dumping blocks",
-        &mark2,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        0,
-        0,
-        blocks_written,
-    );
+    block_span.counts(0, 0, blocks_written);
+    drop(block_span);
 
+    drop(op_span);
     let tape_bytes = profiler.total_tape_bytes();
     Ok(ImageOutcome {
         profiler,

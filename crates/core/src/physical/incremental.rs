@@ -34,29 +34,22 @@ pub fn image_dump_incremental(
         })?
         .id;
 
-    let mut profiler = Profiler::new();
+    let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
+    let op_span = profiler.stage("image dump incremental", fs, drive);
 
     // Stage: create snapshot B.
-    let mark = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
-    fs.snapshot_create(snap_name)?;
-    profiler.finish_stage(
-        "creating snapshot",
-        &mark,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        0,
-        0,
-        0,
-    );
+    {
+        let _span = profiler.stage("creating snapshot", fs, drive);
+        fs.snapshot_create(snap_name)?;
+    }
 
     // Stage: ship the difference set. The two fsinfo blocks are the only
     // in-place-overwritten blocks in the system, so plane arithmetic can
     // never classify them as "new" — they are always included explicitly
     // (without them the restored volume would mount as of the base).
-    let mark2 = Profiler::mark(&meter, fs.volume().all_stats(), drive.stats());
+    let mut block_span = profiler.stage("dumping blocks", fs, drive);
     let mut diff: Vec<u64> = wafl::ondisk::FSINFO_BLOCKS.to_vec();
     diff.extend((0..fs.blkmap().nblocks()).filter(|&b| {
         !wafl::ondisk::FSINFO_BLOCKS.contains(&b)
@@ -90,17 +83,10 @@ pub fn image_dump_incremental(
         )?;
     }
     drive.write_record(ImageRecord::End { blocks_written }.to_record())?;
-    profiler.finish_stage(
-        "dumping blocks",
-        &mark2,
-        &meter,
-        fs.volume().all_stats(),
-        drive.stats(),
-        0,
-        0,
-        blocks_written,
-    );
+    block_span.counts(0, 0, blocks_written);
+    drop(block_span);
 
+    drop(op_span);
     let tape_bytes = profiler.total_tape_bytes();
     Ok(ImageOutcome {
         profiler,

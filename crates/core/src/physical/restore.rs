@@ -40,14 +40,19 @@ pub struct ImageRestoreOutcome {
 /// Apply the full stream to a fresh volume first, then each incremental in
 /// order; every application leaves the volume mountable as of its
 /// anchoring snapshot.
+///
+/// Prefer [`crate::engine::BackupEngine`] (via [`crate::engine::PhysicalEngine`])
+/// for new callers; this free function remains as the low-level entry point
+/// the engine delegates to.
 pub fn image_restore(
     drive: &mut TapeDrive,
     vol: &mut Volume,
     meter: &Meter,
     costs: &CostModel,
 ) -> Result<ImageRestoreOutcome, ImageError> {
-    let mut profiler = Profiler::new();
-    let mark = Profiler::mark(meter, vol.all_stats(), drive.stats());
+    let profiler = Profiler::new();
+    let op_span = profiler.stage_with_meter("image restore", meter);
+    let mut restore_span = profiler.stage_with_meter("restoring blocks", meter);
 
     drive.rewind();
     let header = ImageRecord::parse(&drive.read_record()?)?;
@@ -121,16 +126,9 @@ pub fn image_restore(
     }
     vol.sync()?;
 
-    profiler.finish_stage(
-        "restoring blocks",
-        &mark,
-        meter,
-        vol.all_stats(),
-        drive.stats(),
-        0,
-        0,
-        blocks_written,
-    );
+    restore_span.counts(0, 0, blocks_written);
+    drop(restore_span);
+    drop(op_span);
     Ok(ImageRestoreOutcome {
         profiler,
         blocks: blocks_written,

@@ -2,16 +2,33 @@
 //!
 //! The functional layer runs for real; a [`Profiler`] brackets each stage
 //! (snapshot creation, mapping, dumping directories, dumping files, ...)
-//! and records the deltas of the CPU meter, the volume's device counters
-//! and the tape drive's counters. The benchmark harness turns these deltas
-//! into fluid-solver demand vectors — this is the seam between function and
-//! time.
+//! and records the deltas of the CPU meter and the device counters. The
+//! benchmark harness turns these deltas into fluid-solver demand vectors —
+//! this is the seam between function and time.
+//!
+//! The profiler is a thin adapter over [`obs`]: each stage is an
+//! [`obs::Span`] whose entry/exit readings come from the process-wide
+//! metrics registry the device crates feed (see [`obs::metrics`]). A stage
+//! is bracketed by an RAII [`StageSpan`] guard:
+//!
+//! ```ignore
+//! let _s = profiler.stage("creating snapshot", fs, drive);
+//! fs.snapshot_create("nightly")?;
+//! // guard drop captures the CPU / disk / tape deltas
+//! ```
+//!
+//! [`Profiler::stages`] derives the classic [`StageProfile`] vector from
+//! the recorded spans, so the fluid-solver inputs are unchanged.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use obs::SpanId;
+use obs::SpanRecorder;
 use simkit::meter::Meter;
 use simkit::meter::MeterSnapshot;
-
-use blockdev::DeviceStats;
-use tape::TapeStats;
+use tape::TapeDrive;
+use wafl::Wafl;
 
 /// Resource demands one stage generated.
 #[derive(Debug, Clone, Default)]
@@ -60,21 +77,95 @@ impl StageProfile {
             blocks: s(self.blocks),
         }
     }
+
+    /// Reconstructs a profile from a recorded span's deltas/annotations.
+    pub fn from_span(s: &obs::Span) -> StageProfile {
+        let b = |key: &str| s.delta(key) as u64;
+        let a = |key: &str| s.annotation(key).unwrap_or(0.0) as u64;
+        StageProfile {
+            name: s.name.clone(),
+            cpu_secs: s.cpu_secs,
+            disk_seq_read: b("disk.seq_read.bytes"),
+            disk_rand_read: b("disk.rand_read.bytes"),
+            disk_seq_write: b("disk.seq_write.bytes"),
+            disk_rand_write: b("disk.rand_write.bytes"),
+            tape_bytes: b("tape.write.bytes") + b("tape.read.bytes"),
+            files: a("files"),
+            dirs: a("dirs"),
+            blocks: a("blocks"),
+        }
+    }
 }
 
-/// Snapshot of all counters at a stage boundary.
-#[derive(Debug, Clone)]
-pub struct ProfilerMark {
-    meter: MeterSnapshot,
-    disk: DeviceStats,
-    tape: TapeStats,
-}
-
-/// Brackets stages and emits [`StageProfile`]s.
-#[derive(Debug, Default)]
+/// Brackets stages as obs spans and derives [`StageProfile`]s from them.
+///
+/// Cloning a profiler shares the underlying recorder (it is an
+/// `Rc<RefCell<SpanRecorder>>`), so guards stay valid across moves of the
+/// profiler itself — an outcome struct can own the profiler while a still
+/// open operation span closes into the same recorder.
+#[derive(Debug, Default, Clone)]
 pub struct Profiler {
-    /// Completed stage profiles in order.
-    pub stages: Vec<StageProfile>,
+    recorder: Rc<RefCell<SpanRecorder>>,
+}
+
+/// The meter a [`StageSpan`] reads CPU charges from: shared (cloned out of
+/// a [`Wafl`]) or borrowed (the raw-volume restore path has no file
+/// system, only a `&Meter`).
+#[derive(Debug)]
+enum MeterHandle<'a> {
+    Shared(Rc<Meter>),
+    Borrowed(&'a Meter),
+}
+
+impl MeterHandle<'_> {
+    fn meter(&self) -> &Meter {
+        match self {
+            MeterHandle::Shared(m) => m,
+            MeterHandle::Borrowed(m) => m,
+        }
+    }
+}
+
+/// RAII guard for one stage. Created by [`Profiler::stage`]; dropping it
+/// closes the span with the CPU and device deltas accumulated since
+/// creation. Device readings come from the process-wide [`obs`] registry,
+/// so the guard never has to re-borrow the file system or the drive —
+/// the stage body is free to mutate both.
+#[derive(Debug)]
+pub struct StageSpan<'a> {
+    recorder: Rc<RefCell<SpanRecorder>>,
+    id: SpanId,
+    meter: MeterHandle<'a>,
+    entry: MeterSnapshot,
+    files: u64,
+    dirs: u64,
+    blocks: u64,
+}
+
+impl StageSpan<'_> {
+    /// Attaches the stage's work counts (recorded as span annotations when
+    /// the guard drops).
+    pub fn counts(&mut self, files: u64, dirs: u64, blocks: u64) {
+        self.files = files;
+        self.dirs = dirs;
+        self.blocks = blocks;
+    }
+
+    /// The underlying span id (for post-solve time assignment).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        let cpu = self.meter.meter().since(&self.entry).cpu_secs;
+        let mut rec = self.recorder.borrow_mut();
+        rec.exit(self.id, obs::snapshot(), cpu);
+        rec.annotate(self.id, "files", self.files as f64);
+        rec.annotate(self.id, "dirs", self.dirs as f64);
+        rec.annotate(self.id, "blocks", self.blocks as f64);
+    }
 }
 
 impl Profiler {
@@ -83,59 +174,80 @@ impl Profiler {
         Profiler::default()
     }
 
-    /// Marks a stage boundary: snapshot the current counters.
-    pub fn mark(meter: &Meter, disk: DeviceStats, tape: TapeStats) -> ProfilerMark {
-        ProfilerMark {
-            meter: meter.snapshot(),
-            disk,
-            tape,
+    /// Opens a stage span against `fs`'s meter. The `_drive` parameter
+    /// names the tape drive the stage runs against for call-site clarity;
+    /// device deltas are captured through the process-wide [`obs`]
+    /// registry, which mirrors both the volume's and the drive's counters.
+    pub fn stage(&self, name: &str, fs: &Wafl, _drive: &TapeDrive) -> StageSpan<'static> {
+        self.open(name, MeterHandle::Shared(fs.meter()))
+    }
+
+    /// Opens a stage span against a borrowed meter (the raw-volume restore
+    /// path, where no file system is mounted).
+    pub fn stage_with_meter<'a>(&self, name: &str, meter: &'a Meter) -> StageSpan<'a> {
+        self.open(name, MeterHandle::Borrowed(meter))
+    }
+
+    fn open<'a>(&self, name: &str, meter: MeterHandle<'a>) -> StageSpan<'a> {
+        let entry = meter.meter().snapshot();
+        let id = self.recorder.borrow_mut().enter(name, obs::snapshot());
+        StageSpan {
+            recorder: Rc::clone(&self.recorder),
+            id,
+            meter,
+            entry,
+            files: 0,
+            dirs: 0,
+            blocks: 0,
         }
     }
 
-    /// Closes a stage that began at `start`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn finish_stage(
-        &mut self,
-        name: impl Into<String>,
-        start: &ProfilerMark,
-        meter: &Meter,
-        disk: DeviceStats,
-        tape: TapeStats,
-        files: u64,
-        dirs: u64,
-        blocks: u64,
-    ) {
-        let cpu = meter.since(&start.meter).cpu_secs;
-        let d = disk.since(&start.disk);
-        let tape_bytes = (tape.written.bytes + tape.read.bytes)
-            - (start.tape.written.bytes + start.tape.read.bytes);
-        self.stages.push(StageProfile {
-            name: name.into(),
-            cpu_secs: cpu,
-            disk_seq_read: d.seq_reads.bytes,
-            disk_rand_read: d.rand_reads.bytes,
-            disk_seq_write: d.seq_writes.bytes,
-            disk_rand_write: d.rand_writes.bytes,
-            tape_bytes,
-            files,
-            dirs,
-            blocks,
-        });
+    /// The completed stage profiles, in execution order.
+    ///
+    /// Only *leaf* spans become stages: an operation's root span covers
+    /// its children's work and would double as a spurious stage otherwise.
+    pub fn stages(&self) -> Vec<StageProfile> {
+        let rec = self.recorder.borrow();
+        let spans = rec.spans();
+        let mut has_child = vec![false; spans.len()];
+        for s in spans {
+            if let Some(p) = s.parent {
+                has_child[p] = true;
+            }
+        }
+        spans
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !has_child[*i] && !rec.is_open(*i))
+            .map(|(_, s)| StageProfile::from_span(s))
+            .collect()
     }
 
     /// Finds a stage by name.
-    pub fn stage(&self, name: &str) -> Option<&StageProfile> {
-        self.stages.iter().find(|s| s.name == name)
+    pub fn stage_named(&self, name: &str) -> Option<StageProfile> {
+        self.stages().into_iter().find(|s| s.name == name)
     }
 
-    /// Sum of a quantity over all stages.
+    /// All recorded spans (the stages plus their operation roots), cloned
+    /// out of the recorder.
+    pub fn spans(&self) -> Vec<obs::Span> {
+        self.recorder.borrow().spans().to_vec()
+    }
+
+    /// The shared span recorder (for post-solve time assignment and
+    /// artifact emission).
+    pub fn recorder(&self) -> Rc<RefCell<SpanRecorder>> {
+        Rc::clone(&self.recorder)
+    }
+
+    /// Sum of tape bytes over all stages.
     pub fn total_tape_bytes(&self) -> u64 {
-        self.stages.iter().map(|s| s.tape_bytes).sum()
+        self.stages().iter().map(|s| s.tape_bytes).sum()
     }
 
     /// Total modelled CPU seconds over all stages.
     pub fn total_cpu_secs(&self) -> f64 {
-        self.stages.iter().map(|s| s.cpu_secs).sum()
+        self.stages().iter().map(|s| s.cpu_secs).sum()
     }
 }
 
@@ -162,20 +274,18 @@ mod tests {
     }
 
     #[test]
-    fn profiler_captures_deltas() {
+    fn stage_guard_captures_deltas() {
         let meter = Meter::new_shared();
-        let mut disk = DeviceStats::default();
-        let mut tape = TapeStats::default();
-        let mark = Profiler::mark(&meter, disk, tape);
-
-        meter.charge_cpu(1.5);
-        disk.rand_reads.record(4096);
-        disk.seq_writes.record(8192);
-        tape.written.record(10_000);
-
-        let mut prof = Profiler::new();
-        prof.finish_stage("stage1", &mark, &meter, disk, tape, 3, 1, 2);
-        let s = prof.stage("stage1").unwrap();
+        let prof = Profiler::new();
+        {
+            let mut span = prof.stage_with_meter("stage1", &meter);
+            meter.charge_cpu(1.5);
+            obs::counter("disk.rand_read.bytes").add(4096);
+            obs::counter("disk.seq_write.bytes").add(8192);
+            obs::counter("tape.write.bytes").add(10_000);
+            span.counts(3, 1, 2);
+        }
+        let s = prof.stage_named("stage1").unwrap();
         assert!((s.cpu_secs - 1.5).abs() < 1e-12);
         assert_eq!(s.disk_rand_read, 4096);
         assert_eq!(s.disk_seq_write, 8192);
@@ -187,7 +297,33 @@ mod tests {
     }
 
     #[test]
+    fn root_spans_are_not_stages() {
+        let meter = Meter::new_shared();
+        let prof = Profiler::new();
+        {
+            let _op = prof.stage_with_meter("the operation", &meter);
+            let _a = prof.stage_with_meter("stage a", &meter);
+            drop(_a);
+            let _b = prof.stage_with_meter("stage b", &meter);
+        }
+        let names: Vec<String> = prof.stages().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["stage a".to_string(), "stage b".to_string()]);
+        // The root is still recorded as a span.
+        assert_eq!(prof.spans().len(), 3);
+        assert_eq!(prof.spans()[0].name, "the operation");
+    }
+
+    #[test]
+    fn open_stages_are_excluded() {
+        let meter = Meter::new_shared();
+        let prof = Profiler::new();
+        let _open = prof.stage_with_meter("still running", &meter);
+        assert!(prof.stages().is_empty());
+        assert!(prof.stage_named("still running").is_none());
+    }
+
+    #[test]
     fn missing_stage_is_none() {
-        assert!(Profiler::new().stage("nope").is_none());
+        assert!(Profiler::new().stage_named("nope").is_none());
     }
 }

@@ -63,10 +63,7 @@ fn compare_inodes(
     match sa.ftype {
         FileType::File => {
             if sa.nlink != sb.nlink {
-                diffs.push(format!(
-                    "{path}: link count {} vs {}",
-                    sa.nlink, sb.nlink
-                ));
+                diffs.push(format!("{path}: link count {} vs {}", sa.nlink, sb.nlink));
             }
             let nblocks = sa.size.div_ceil(blockdev::BLOCK_SIZE as u64);
             for fbn in 0..nblocks {
@@ -132,10 +129,7 @@ pub fn compare_volumes(a: &mut Volume, b: &mut Volume) -> Result<Vec<u64>, raid:
 
 /// Compares only the blocks a block map marks as used — what image restore
 /// actually guarantees (free blocks are never shipped).
-pub fn compare_used_blocks(
-    a: &mut Wafl,
-    b: &mut Volume,
-) -> Result<Vec<u64>, raid::RaidError> {
+pub fn compare_used_blocks(a: &mut Wafl, b: &mut Volume) -> Result<Vec<u64>, raid::RaidError> {
     let used: Vec<u64> = (0..a.blkmap().nblocks())
         .filter(|&bno| !a.blkmap().is_free(bno))
         .collect();
@@ -166,8 +160,12 @@ mod tests {
     }
 
     fn populate(fs: &mut Wafl) {
-        let d = fs.create(INO_ROOT, "dir", FileType::Dir, Attrs::default()).unwrap();
-        let f = fs.create(d, "file", FileType::File, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "dir", FileType::Dir, Attrs::default())
+            .unwrap();
+        let f = fs
+            .create(d, "file", FileType::File, Attrs::default())
+            .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
         fs.write_fbn(f, 2, Block::Synthetic(3)).unwrap();
         fs.set_attrs(
@@ -206,7 +204,8 @@ mod tests {
         let fb = b.namei("/dir/file").unwrap();
         b.write_fbn(fb, 0, Block::Synthetic(99)).unwrap();
         // Add an extra file on a.
-        a.create(INO_ROOT, "only-a", FileType::File, Attrs::default()).unwrap();
+        a.create(INO_ROOT, "only-a", FileType::File, Attrs::default())
+            .unwrap();
         let diffs = compare_trees(&mut a, &mut b).unwrap();
         assert!(diffs.iter().any(|d| d.contains("block 0")));
         assert!(diffs.iter().any(|d| d.contains("only-a")));

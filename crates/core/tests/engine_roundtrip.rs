@@ -1,0 +1,197 @@
+//! The unified-engine contract: one generic round-trip driven through
+//! `&mut dyn BackupEngine`, run against both strategies, plus the
+//! obs-span / legacy-profile parity checks that pin the fluid-solver seam.
+
+use backup_core::engine::BackupEngine;
+use backup_core::engine::LogicalEngine;
+use backup_core::engine::PhysicalEngine;
+use backup_core::logical::catalog::DumpCatalog;
+use backup_core::logical::dump::dump;
+use backup_core::logical::dump::DumpOptions;
+use backup_core::verify::compare_trees;
+use backup_core::StageProfile;
+use blockdev::Block;
+use blockdev::DiskPerf;
+use raid::Volume;
+use raid::VolumeGeometry;
+use simkit::meter::Meter;
+use tape::TapeDrive;
+use tape::TapePerf;
+use wafl::cost::CostModel;
+use wafl::types::Attrs;
+use wafl::types::FileType;
+use wafl::types::WaflConfig;
+use wafl::types::INO_ROOT;
+use wafl::Wafl;
+
+fn geometry() -> VolumeGeometry {
+    VolumeGeometry::uniform(2, 4, 4096, DiskPerf::ideal())
+}
+
+fn fresh_fs() -> Wafl {
+    Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap()
+}
+
+fn populate(fs: &mut Wafl) {
+    let proj = fs
+        .create(INO_ROOT, "proj", FileType::Dir, Attrs::default())
+        .unwrap();
+    let sub = fs
+        .create(proj, "src", FileType::Dir, Attrs::default())
+        .unwrap();
+    for f in 0..8u64 {
+        let ino = fs
+            .create(sub, &format!("mod{f}.rs"), FileType::File, Attrs::default())
+            .unwrap();
+        for b in 0..12 {
+            fs.write_fbn(ino, b, Block::Synthetic(f * 100 + b)).unwrap();
+        }
+    }
+    let readme = fs
+        .create(proj, "README", FileType::File, Attrs::default())
+        .unwrap();
+    fs.write_fbn(readme, 0, Block::Synthetic(9999)).unwrap();
+    fs.create_symlink(proj, "latest", "/proj/src/mod0.rs", Attrs::default())
+        .unwrap();
+    fs.link(proj, "README.alias", readme).unwrap();
+    fs.cp().unwrap();
+}
+
+/// Remounts after a restore. Logical restore leaves a live file system and
+/// this is a no-op consistency check; physical restore wrote raw blocks
+/// under the mount, so this is mandatory (the image path restores offline
+/// volumes — NVRAM is bypassed).
+fn remount(fs: Wafl) -> Wafl {
+    let (vol, _stale_nv) = fs.crash();
+    Wafl::mount(
+        vol,
+        nvram::NvramLog::new(32 * 1024 * 1024),
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap()
+}
+
+/// The generic contract every engine must satisfy.
+fn round_trip(engine: &mut dyn BackupEngine) {
+    let mut src = fresh_fs();
+    populate(&mut src);
+
+    let plan = engine.plan(&src);
+    assert!(plan.estimated_blocks > 0);
+    assert_eq!(
+        plan.estimated_bytes,
+        plan.estimated_blocks * blockdev::BLOCK_SIZE as u64
+    );
+    assert!(!plan.stages.is_empty());
+
+    let mut drive = TapeDrive::new(TapePerf::ideal(), 1 << 30);
+    let dumped = engine.dump(&mut src, &mut drive).expect("dump");
+    assert!(dumped.blocks > 0);
+    assert!(dumped.tape_bytes > 0);
+
+    // Every planned stage ran, in order, and became a profiled span.
+    let ran: Vec<String> = dumped
+        .profiler
+        .stages()
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    let planned: Vec<String> = plan.stages.iter().map(|s| s.to_string()).collect();
+    assert_eq!(ran, planned, "planned stages must match executed stages");
+    // ... under a root span naming the operation.
+    let spans = dumped.profiler.spans();
+    assert!(spans[0].parent.is_none());
+    assert_eq!(spans.len(), planned.len() + 1);
+
+    let mut target = fresh_fs();
+    let restored = engine.restore(&mut target, &mut drive).expect("restore");
+    assert_eq!(restored.blocks, dumped.blocks);
+
+    let mut target = remount(target);
+    let diffs = compare_trees(&mut src, &mut target).unwrap();
+    assert!(diffs.is_empty(), "restored tree differs: {diffs:?}");
+}
+
+#[test]
+fn logical_engine_round_trips() {
+    let mut engine = LogicalEngine::new(DumpOptions::builder().subtree("/").level(0).build());
+    assert_eq!(engine.name(), "logical");
+    round_trip(&mut engine);
+    // The dump was recorded in the engine's catalog (incremental base).
+    assert!(engine.catalog().base_for("/", 1).is_some());
+}
+
+#[test]
+fn physical_engine_round_trips() {
+    let mut engine = PhysicalEngine::default();
+    assert_eq!(engine.name(), "physical");
+    round_trip(&mut engine);
+}
+
+#[test]
+fn physical_plan_covers_snapshots_logical_does_not() {
+    let mut fs = fresh_fs();
+    populate(&mut fs);
+    // Pin some blocks in a snapshot, then delete the files: logical sees
+    // only the active tree, physical must still carry the snapshot blocks.
+    fs.snapshot_create("pinned").unwrap();
+    let proj = fs.namei("/proj").unwrap();
+    let src = fs.namei("/proj/src").unwrap();
+    for f in 0..8u64 {
+        fs.remove(src, &format!("mod{f}.rs")).unwrap();
+    }
+    fs.remove(proj, "src").unwrap();
+    fs.cp().unwrap();
+
+    let logical = LogicalEngine::new(DumpOptions::default()).plan(&fs);
+    let physical = PhysicalEngine::default().plan(&fs);
+    assert!(
+        physical.estimated_blocks > logical.estimated_blocks + 50,
+        "physical {} must exceed logical {} by the pinned blocks",
+        physical.estimated_blocks,
+        logical.estimated_blocks
+    );
+    assert_eq!(logical.strategy, "logical");
+    assert_eq!(physical.strategy, "physical");
+}
+
+/// The RAII spans must reproduce, stage for stage, exactly what the
+/// per-device counters measured — this is the invariant that keeps the
+/// fluid-solver inputs (and the paper tables) unchanged across the obs
+/// rewrite.
+#[test]
+fn span_totals_match_device_counters() {
+    let mut fs = fresh_fs();
+    populate(&mut fs);
+    let meter = fs.meter();
+    let cpu0 = meter.cpu_secs();
+    let disk0 = fs.volume().all_stats();
+    let mut drive = TapeDrive::new(TapePerf::ideal(), 1 << 30);
+    let tape0 = drive.stats();
+
+    let mut catalog = DumpCatalog::new();
+    let out = dump(&mut fs, &mut drive, &mut catalog, &DumpOptions::default()).unwrap();
+
+    let disk = fs.volume().all_stats().since(&disk0);
+    let tape1 = drive.stats();
+    let stages = out.profiler.stages();
+    let total = |f: fn(&StageProfile) -> u64| stages.iter().map(f).sum::<u64>();
+
+    assert_eq!(total(|s| s.disk_seq_read), disk.seq_reads.bytes);
+    assert_eq!(total(|s| s.disk_rand_read), disk.rand_reads.bytes);
+    assert_eq!(total(|s| s.disk_seq_write), disk.seq_writes.bytes);
+    assert_eq!(total(|s| s.disk_rand_write), disk.rand_writes.bytes);
+    assert_eq!(
+        out.profiler.total_tape_bytes(),
+        (tape1.written.bytes + tape1.read.bytes) - (tape0.written.bytes + tape0.read.bytes)
+    );
+    let cpu_delta = meter.cpu_secs() - cpu0;
+    assert!(
+        (out.profiler.total_cpu_secs() - cpu_delta).abs() < 1e-9,
+        "span cpu {} vs meter delta {}",
+        out.profiler.total_cpu_secs(),
+        cpu_delta
+    );
+}

@@ -33,14 +33,20 @@ fn geometry() -> VolumeGeometry {
 /// symlinks (one dangling).
 fn populated() -> Wafl {
     let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
-    let shared = fs.create(INO_ROOT, "shared", FileType::File, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+        .unwrap();
+    let shared = fs
+        .create(INO_ROOT, "shared", FileType::File, Attrs::default())
+        .unwrap();
     for b in 0..6 {
         fs.write_fbn(shared, b, Block::Synthetic(500 + b)).unwrap();
     }
     fs.link(d, "alias", shared).unwrap();
-    fs.create_symlink(INO_ROOT, "ptr", "/d/alias", Attrs::default()).unwrap();
-    fs.create_symlink(d, "dangling", "/nowhere", Attrs::default()).unwrap();
+    fs.create_symlink(INO_ROOT, "ptr", "/d/alias", Attrs::default())
+        .unwrap();
+    fs.create_symlink(d, "dangling", "/nowhere", Attrs::default())
+        .unwrap();
     fs.cp().unwrap();
     fs
 }
@@ -55,18 +61,27 @@ fn wafl_link_semantics() {
 
     // Writes through one name are visible through the other.
     fs.write_fbn(alias, 0, Block::Synthetic(9999)).unwrap();
-    assert!(fs.read_fbn(shared, 0).unwrap().same_content(&Block::Synthetic(9999)));
+    assert!(fs
+        .read_fbn(shared, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(9999)));
 
     // Removing one name keeps the data; removing the last frees it.
     let free_before = fs.free_blocks();
     fs.remove(INO_ROOT, "shared").unwrap();
     fs.cp().unwrap();
     assert_eq!(fs.stat(alias).unwrap().nlink, 1);
-    assert!(fs.read_fbn(alias, 1).unwrap().same_content(&Block::Synthetic(501)));
+    assert!(fs
+        .read_fbn(alias, 1)
+        .unwrap()
+        .same_content(&Block::Synthetic(501)));
     let d = fs.namei("/d").unwrap();
     fs.remove(d, "alias").unwrap();
     fs.cp().unwrap();
-    assert!(fs.free_blocks() > free_before, "last unlink frees the blocks");
+    assert!(
+        fs.free_blocks() > free_before,
+        "last unlink frees the blocks"
+    );
 
     // Consistency holds throughout.
     let report = wafl::check::check(&fs).unwrap();
@@ -112,7 +127,10 @@ fn logical_round_trip_preserves_links_and_symlinks() {
     let diffs = compare_trees(&mut src, &mut dst).unwrap();
     assert!(diffs.is_empty(), "diffs: {diffs:?}");
     // The link identity (not just content) is preserved.
-    assert_eq!(dst.namei("/shared").unwrap(), dst.namei("/d/alias").unwrap());
+    assert_eq!(
+        dst.namei("/shared").unwrap(),
+        dst.namei("/d/alias").unwrap()
+    );
     let ptr = dst.namei("/ptr").unwrap();
     assert_eq!(dst.readlink(ptr).unwrap(), "/d/alias");
     let dang = dst.namei("/d/dangling").unwrap();
@@ -135,7 +153,10 @@ fn physical_round_trip_preserves_links_and_symlinks() {
         CostModel::zero(),
     )
     .unwrap();
-    assert_eq!(dst.namei("/shared").unwrap(), dst.namei("/d/alias").unwrap());
+    assert_eq!(
+        dst.namei("/shared").unwrap(),
+        dst.namei("/d/alias").unwrap()
+    );
     let ptr = dst.namei("/ptr").unwrap();
     assert_eq!(dst.readlink(ptr).unwrap(), "/d/alias");
     let diffs = compare_trees(&mut src, &mut dst).unwrap();
@@ -154,7 +175,8 @@ fn subtree_restore_relinks_within_scope() {
     dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
 
     let root = INO_ROOT;
-    src.create(root, "rescue", FileType::Dir, Attrs::default()).unwrap();
+    src.create(root, "rescue", FileType::Dir, Attrs::default())
+        .unwrap();
     restore_subtree(&mut src, &mut tape, "/d", "/rescue").unwrap();
     let a = src.namei("/rescue/d/alias").unwrap();
     let b = src.namei("/rescue/d/alias2").unwrap();
@@ -208,22 +230,31 @@ fn incremental_dump_carries_new_links() {
     restore(&mut dst, &mut tape1, "/").unwrap();
     let diffs = compare_trees(&mut src, &mut dst).unwrap();
     assert!(diffs.is_empty(), "diffs: {diffs:?}");
-    assert_eq!(dst.namei("/third-name").unwrap(), dst.namei("/shared").unwrap());
+    assert_eq!(
+        dst.namei("/third-name").unwrap(),
+        dst.namei("/shared").unwrap()
+    );
 }
 
 #[test]
 fn link_restrictions_are_enforced() {
     let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+        .unwrap();
     // No hard links to directories.
     assert!(fs.link(INO_ROOT, "dirlink", d).is_err());
     // No cross-qtree links.
     let q = fs.create_qtree("q", 0).unwrap();
     let _ = q;
     let qroot = fs.namei("/q").unwrap();
-    let f = fs.create(INO_ROOT, "plain", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "plain", FileType::File, Attrs::default())
+        .unwrap();
     assert!(fs.link(qroot, "cross", f).is_err());
     // Symlink targets are capped at a block.
     let long = "x".repeat(5000);
-    assert!(fs.create_symlink(INO_ROOT, "toolong", &long, Attrs::default()).is_err());
+    assert!(fs
+        .create_symlink(INO_ROOT, "toolong", &long, Attrs::default())
+        .is_err());
 }

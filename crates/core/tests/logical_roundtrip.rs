@@ -28,21 +28,33 @@ fn drive() -> TapeDrive {
 
 /// Builds a small multi-level tree with holes and multiprotocol attrs.
 fn populate(fs: &mut Wafl) {
-    let docs = fs.create(INO_ROOT, "docs", FileType::Dir, Attrs::default()).unwrap();
-    let src = fs.create(INO_ROOT, "src", FileType::Dir, Attrs::default()).unwrap();
-    let deep = fs.create(src, "deep", FileType::Dir, Attrs::default()).unwrap();
+    let docs = fs
+        .create(INO_ROOT, "docs", FileType::Dir, Attrs::default())
+        .unwrap();
+    let src = fs
+        .create(INO_ROOT, "src", FileType::Dir, Attrs::default())
+        .unwrap();
+    let deep = fs
+        .create(src, "deep", FileType::Dir, Attrs::default())
+        .unwrap();
 
-    let a = fs.create(docs, "a.txt", FileType::File, Attrs::default()).unwrap();
+    let a = fs
+        .create(docs, "a.txt", FileType::File, Attrs::default())
+        .unwrap();
     for i in 0..20 {
         fs.write_fbn(a, i, Block::Synthetic(1000 + i)).unwrap();
     }
     fs.set_size(a, 20 * 4096 - 123).unwrap(); // partial tail block
 
-    let sparse = fs.create(docs, "sparse.db", FileType::File, Attrs::default()).unwrap();
+    let sparse = fs
+        .create(docs, "sparse.db", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(sparse, 0, Block::Synthetic(7)).unwrap();
     fs.write_fbn(sparse, 100, Block::Synthetic(8)).unwrap();
 
-    let exotic = fs.create(deep, "exotic", FileType::File, Attrs::default()).unwrap();
+    let exotic = fs
+        .create(deep, "exotic", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(exotic, 0, Block::Synthetic(9)).unwrap();
     fs.set_attrs(
         exotic,
@@ -59,8 +71,10 @@ fn populate(fs: &mut Wafl) {
     )
     .unwrap();
 
-    fs.create(src, "empty", FileType::File, Attrs::default()).unwrap();
-    fs.create(src, "emptydir", FileType::Dir, Attrs::default()).unwrap();
+    fs.create(src, "empty", FileType::File, Attrs::default())
+        .unwrap();
+    fs.create(src, "emptydir", FileType::Dir, Attrs::default())
+        .unwrap();
 }
 
 #[test]
@@ -105,7 +119,9 @@ fn incremental_chain_with_deletes_moves_and_changes() {
     let a = src.namei("/docs/a.txt").unwrap();
     src.write_fbn(a, 0, Block::Synthetic(424242)).unwrap();
     let docs = src.namei("/docs").unwrap();
-    let fresh = src.create(docs, "fresh.log", FileType::File, Attrs::default()).unwrap();
+    let fresh = src
+        .create(docs, "fresh.log", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(fresh, 0, Block::Synthetic(5555)).unwrap();
     src.remove(docs, "sparse.db").unwrap();
     let srcdir = src.namei("/src").unwrap();
@@ -132,7 +148,11 @@ fn incremental_chain_with_deletes_moves_and_changes() {
     let mut dst = fs();
     restore(&mut dst, &mut tape0, "/").unwrap();
     let res1 = restore(&mut dst, &mut tape1, "/").unwrap();
-    assert!(res1.deleted >= 2, "expected delete + move-away, got {}", res1.deleted);
+    assert!(
+        res1.deleted >= 2,
+        "expected delete + move-away, got {}",
+        res1.deleted
+    );
 
     let diffs = compare_subtrees(&mut src, "/", &mut dst, "/").unwrap();
     assert!(diffs.is_empty(), "diffs after incremental: {diffs:?}");
@@ -151,7 +171,9 @@ fn multi_level_incrementals_follow_the_catalog() {
     dump(&mut src, &mut tape0, &mut catalog, &DumpOptions::default()).unwrap();
 
     let docs = src.namei("/docs").unwrap();
-    let f1 = src.create(docs, "level1-file", FileType::File, Attrs::default()).unwrap();
+    let f1 = src
+        .create(docs, "level1-file", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f1, 0, Block::Synthetic(1)).unwrap();
     let mut tape1 = drive();
     dump(
@@ -165,7 +187,9 @@ fn multi_level_incrementals_follow_the_catalog() {
     )
     .unwrap();
 
-    let f2 = src.create(docs, "level2-file", FileType::File, Attrs::default()).unwrap();
+    let f2 = src
+        .create(docs, "level2-file", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f2, 0, Block::Synthetic(2)).unwrap();
     let mut tape2 = drive();
     let out2 = dump(
@@ -210,7 +234,8 @@ fn subtree_dump_backs_up_less() {
     // Restore it into a scratch directory elsewhere.
     let mut dst = fs();
     let root = wafl::types::INO_ROOT;
-    dst.create(root, "recovered", FileType::Dir, Attrs::default()).unwrap();
+    dst.create(root, "recovered", FileType::Dir, Attrs::default())
+        .unwrap();
     restore(&mut dst, &mut tape, "/recovered").unwrap();
     let diffs = compare_subtrees(&mut src, "/docs", &mut dst, "/recovered").unwrap();
     // The subtree root dir's own attrs were applied to /recovered; entries
@@ -223,9 +248,13 @@ fn exclusion_filters_skip_files() {
     let mut src = fs();
     populate(&mut src);
     let srcdir = src.namei("/src").unwrap();
-    let obj = src.create(srcdir, "main.o", FileType::File, Attrs::default()).unwrap();
+    let obj = src
+        .create(srcdir, "main.o", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(obj, 0, Block::Synthetic(1)).unwrap();
-    let core_f = src.create(srcdir, "core", FileType::File, Attrs::default()).unwrap();
+    let core_f = src
+        .create(srcdir, "core", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(core_f, 0, Block::Synthetic(2)).unwrap();
 
     let mut catalog = DumpCatalog::new();

@@ -34,13 +34,16 @@ fn drive() -> TapeDrive {
 }
 
 fn populate(fs: &mut Wafl) {
-    let d = fs.create(INO_ROOT, "data", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
+        .unwrap();
     for f in 0..10u64 {
         let ino = fs
             .create(d, &format!("file{f}"), FileType::File, Attrs::default())
             .unwrap();
         for b in 0..15 {
-            fs.write_fbn(ino, b, Block::Synthetic(f * 1000 + b)).unwrap();
+            fs.write_fbn(ino, b, Block::Synthetic(f * 1000 + b))
+                .unwrap();
         }
     }
     fs.set_attrs(
@@ -71,7 +74,11 @@ fn full_image_round_trip_is_block_identical() {
     populate(&mut src);
     let mut tape = drive();
     let out = image_dump_full(&mut src, &mut tape, "weekly.0").unwrap();
-    assert!(out.blocks > 150, "expected all used blocks, got {}", out.blocks);
+    assert!(
+        out.blocks > 150,
+        "expected all used blocks, got {}",
+        out.blocks
+    );
 
     let meter = Meter::new_shared();
     let mut target = Volume::new(geometry());
@@ -94,7 +101,9 @@ fn image_restore_preserves_snapshots() {
     let mut src = fs();
     populate(&mut src);
     // A pre-existing snapshot holding a since-deleted file.
-    let f = src.create(INO_ROOT, "doomed", FileType::File, Attrs::default()).unwrap();
+    let f = src
+        .create(INO_ROOT, "doomed", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f, 0, Block::Synthetic(404)).unwrap();
     let hold_id = src.snapshot_create("hold").unwrap();
     src.remove(INO_ROOT, "doomed").unwrap();
@@ -135,7 +144,9 @@ fn incremental_image_chain_restores_correctly() {
     let f0 = src.namei("/data/file0").unwrap();
     src.write_fbn(f0, 0, Block::Synthetic(999_999)).unwrap();
     let d = src.namei("/data").unwrap();
-    let newf = src.create(d, "created-later", FileType::File, Attrs::default()).unwrap();
+    let newf = src
+        .create(d, "created-later", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(newf, 0, Block::Synthetic(31337)).unwrap();
     src.remove(d, "file9").unwrap();
 
@@ -176,12 +187,16 @@ fn second_level_incremental_c_minus_b() {
     image_dump_full(&mut src, &mut tape0, "A").unwrap();
 
     let d = src.namei("/data").unwrap();
-    let f1 = src.create(d, "round1", FileType::File, Attrs::default()).unwrap();
+    let f1 = src
+        .create(d, "round1", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f1, 0, Block::Synthetic(1)).unwrap();
     let mut tape1 = drive();
     image_dump_incremental(&mut src, &mut tape1, "A", "B").unwrap();
 
-    let f2 = src.create(d, "round2", FileType::File, Attrs::default()).unwrap();
+    let f2 = src
+        .create(d, "round2", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f2, 0, Block::Synthetic(2)).unwrap();
     let mut tape2 = drive();
     // "A level 2 incremental whose snapshot is C ... needs to include all
@@ -258,7 +273,9 @@ fn mirror_keeps_target_in_sync() {
 
     // Mutate and sync again: the delta is small and the replica exact.
     let d = src.namei("/data").unwrap();
-    let f = src.create(d, "new-on-source", FileType::File, Attrs::default()).unwrap();
+    let f = src
+        .create(d, "new-on-source", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(f, 0, Block::Synthetic(777)).unwrap();
     let second = mirror.sync(&mut src, &mut target, &meter, &costs).unwrap();
     assert!(!second.initial);

@@ -1,6 +1,7 @@
-//! Property tests: the dump format round-trips arbitrary records, and —
+//! Randomized tests: the dump format round-trips arbitrary records, and —
 //! the strongest property in the suite — a dump/restore cycle of an
-//! arbitrary random file tree reproduces it exactly.
+//! arbitrary random file tree reproduces it exactly. Inputs come from a
+//! deterministic seeded generator.
 
 use backup_core::logical::catalog::DumpCatalog;
 use backup_core::logical::dump::dump;
@@ -11,9 +12,9 @@ use backup_core::logical::restore::restore;
 use backup_core::verify::compare_subtrees;
 use blockdev::Block;
 use blockdev::DiskPerf;
-use proptest::prelude::*;
 use raid::Volume;
 use raid::VolumeGeometry;
+use simkit::rng::SimRng;
 use tape::TapeDrive;
 use tape::TapePerf;
 use wafl::types::Attrs;
@@ -22,87 +23,94 @@ use wafl::types::WaflConfig;
 use wafl::types::INO_ROOT;
 use wafl::Wafl;
 
-fn arb_attrs() -> impl Strategy<Value = Attrs> {
-    (any::<u16>(), any::<u32>(), proptest::option::of("[A-Z~.]{1,8}"))
-        .prop_map(|(perm, uid, dos_name)| Attrs {
-            perm,
-            uid,
-            dos_name,
-            ..Attrs::default()
-        })
+/// A random string of `len` characters drawn from `alphabet`.
+fn arb_string(rng: &mut SimRng, alphabet: &[u8], lo: u64, hi: u64) -> String {
+    let len = rng.range(lo, hi);
+    (0..len)
+        .map(|_| alphabet[rng.range(0, alphabet.len() as u64) as usize] as char)
+        .collect()
 }
 
-fn arb_record() -> impl Strategy<Value = DumpRecord> {
-    prop_oneof![
-        (any::<u8>(), any::<u64>(), any::<u64>(), "[a-z]{1,10}", 2u32..1000, 3u32..5000).prop_map(
-            |(level, dump_date, base_date, volume, root_ino, max_ino)| DumpRecord::Tape {
-                level: level % 10,
-                dump_date,
-                base_date,
-                volume,
-                root_ino,
-                max_ino,
-            }
-        ),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|bits| DumpRecord::Bits {
+fn arb_attrs(rng: &mut SimRng) -> Attrs {
+    Attrs {
+        perm: rng.next_u64() as u16,
+        uid: rng.next_u64() as u32,
+        dos_name: if rng.chance(0.5) {
+            Some(arb_string(rng, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ~.", 1, 9))
+        } else {
+            None
+        },
+        ..Attrs::default()
+    }
+}
+
+fn arb_record(rng: &mut SimRng) -> DumpRecord {
+    match rng.range(0, 6) {
+        0 => DumpRecord::Tape {
+            level: (rng.next_u64() as u8) % 10,
+            dump_date: rng.next_u64(),
+            base_date: rng.next_u64(),
+            volume: arb_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 11),
+            root_ino: rng.range(2, 1000) as u32,
+            max_ino: rng.range(3, 5000) as u32,
+        },
+        1 => DumpRecord::Bits {
             which: WhichMap::Used,
-            bits,
-        }),
-        (
-            2u32..1000,
-            arb_attrs(),
-            proptest::collection::vec(("[a-z]{1,20}", 3u32..10000, 0u8..3), 0..30),
-        )
-            .prop_map(|(ino, attrs, raw)| DumpRecord::Dir {
-                ino,
-                attrs,
-                entries: raw
-                    .into_iter()
-                    .map(|(name, child, k)| backup_core::logical::format::DirEntry {
-                        name,
-                        ino: child,
-                        kind: match k {
-                            0 => FileType::File,
-                            1 => FileType::Dir,
-                            _ => FileType::Symlink,
-                        },
-                    })
-                    .collect(),
-            }),
-        (3u32..10000, any::<u64>(), 0u64..100, arb_attrs(), any::<bool>()).prop_map(
-            |(ino, size, nblocks, attrs, symlink)| DumpRecord::Inode {
-                ino,
-                size,
-                nblocks,
-                kind: if symlink { FileType::Symlink } else { FileType::File },
-                attrs,
+            bits: (0..rng.range(0, 64))
+                .map(|_| rng.next_u64() as u8)
+                .collect(),
+        },
+        2 => DumpRecord::Dir {
+            ino: rng.range(2, 1000) as u32,
+            attrs: arb_attrs(rng),
+            entries: (0..rng.range(0, 30))
+                .map(|_| backup_core::logical::format::DirEntry {
+                    name: arb_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 21),
+                    ino: rng.range(3, 10000) as u32,
+                    kind: match rng.range(0, 3) {
+                        0 => FileType::File,
+                        1 => FileType::Dir,
+                        _ => FileType::Symlink,
+                    },
+                })
+                .collect(),
+        },
+        3 => DumpRecord::Inode {
+            ino: rng.range(3, 10000) as u32,
+            size: rng.next_u64(),
+            nblocks: rng.range(0, 100),
+            kind: if rng.chance(0.5) {
+                FileType::Symlink
+            } else {
+                FileType::File
+            },
+            attrs: arb_attrs(rng),
+        },
+        4 => {
+            let n = rng.range(1, 16);
+            let fbns: Vec<u64> = (0..n).map(|_| rng.range(0, 5000)).collect();
+            let blocks = (0..n).map(|_| Block::Synthetic(rng.next_u64())).collect();
+            DumpRecord::Data {
+                ino: rng.range(3, 10000) as u32,
+                fbns,
+                blocks,
             }
-        ),
-        (3u32..10000, proptest::collection::vec((0u64..5000, any::<u64>()), 1..16)).prop_map(
-            |(ino, pairs)| {
-                let (fbns, seeds): (Vec<u64>, Vec<u64>) = pairs.into_iter().unzip();
-                DumpRecord::Data {
-                    ino,
-                    fbns,
-                    blocks: seeds.into_iter().map(Block::Synthetic).collect(),
-                }
-            }
-        ),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(files, dirs, data_blocks)| {
-            DumpRecord::End {
-                files,
-                dirs,
-                data_blocks,
-            }
-        }),
-    ]
+        }
+        _ => DumpRecord::End {
+            files: rng.next_u64(),
+            dirs: rng.next_u64(),
+            data_blocks: rng.next_u64(),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn any_record_round_trips(rec in arb_record()) {
+#[test]
+fn any_record_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0xf0f0_0001);
+    for case in 0..512 {
+        let rec = arb_record(&mut rng);
         let parsed = DumpRecord::parse(&rec.to_record()).expect("parse");
-        prop_assert_eq!(parsed, rec);
+        assert_eq!(parsed, rec, "case {case}");
     }
 }
 
@@ -142,17 +150,24 @@ fn build_tree(fs: &mut Wafl, dirs: &[String], files: &[FileSpec]) -> u64 {
     created
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    /// Dump → restore of an arbitrary random tree is an identity.
-    #[test]
-    fn dump_restore_is_identity_on_random_trees(
-        dirs in proptest::collection::vec("[a-z]{1,12}", 0..8),
-        files in proptest::collection::vec(
-            (any::<u8>(), proptest::collection::vec((0u8..40, any::<u64>()), 0..6), any::<u8>()),
-            0..25,
-        ),
-    ) {
+/// Dump → restore of an arbitrary random tree is an identity.
+#[test]
+fn dump_restore_is_identity_on_random_trees() {
+    let mut rng = SimRng::seed_from_u64(0xf0f0_0002);
+    for case in 0..24 {
+        let dirs: Vec<String> = (0..rng.range(0, 8))
+            .map(|_| arb_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 13))
+            .collect();
+        let files: Vec<FileSpec> = (0..rng.range(0, 25))
+            .map(|_| {
+                let dir_sel = rng.next_u64() as u8;
+                let blocks = (0..rng.range(0, 6))
+                    .map(|_| (rng.range(0, 40) as u8, rng.next_u64()))
+                    .collect();
+                (dir_sel, blocks, rng.next_u64() as u8)
+            })
+            .collect();
+
         let geo = VolumeGeometry::uniform(1, 4, 4096, DiskPerf::ideal());
         let mut src = Wafl::format(Volume::new(geo.clone()), WaflConfig::default()).unwrap();
         build_tree(&mut src, &dirs, &files);
@@ -163,9 +178,13 @@ proptest! {
 
         let mut dst = Wafl::format(Volume::new(geo), WaflConfig::default()).unwrap();
         let out = restore(&mut dst, &mut tape, "/").unwrap();
-        prop_assert!(out.warnings.is_empty(), "warnings: {:?}", out.warnings);
+        assert!(
+            out.warnings.is_empty(),
+            "case {case}: warnings: {:?}",
+            out.warnings
+        );
 
         let diffs = compare_subtrees(&mut src, "/", &mut dst, "/").unwrap();
-        prop_assert!(diffs.is_empty(), "diffs: {diffs:?}");
+        assert!(diffs.is_empty(), "case {case}: diffs: {diffs:?}");
     }
 }

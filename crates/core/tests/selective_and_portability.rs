@@ -31,10 +31,18 @@ fn drive() -> TapeDrive {
 
 fn dumped_fs() -> (Wafl, TapeDrive) {
     let mut src = fs();
-    let home = src.create(INO_ROOT, "home", FileType::Dir, Attrs::default()).unwrap();
-    let alice = src.create(home, "alice", FileType::Dir, Attrs::default()).unwrap();
-    let bob = src.create(home, "bob", FileType::Dir, Attrs::default()).unwrap();
-    let thesis = src.create(alice, "thesis.tex", FileType::File, Attrs::default()).unwrap();
+    let home = src
+        .create(INO_ROOT, "home", FileType::Dir, Attrs::default())
+        .unwrap();
+    let alice = src
+        .create(home, "alice", FileType::Dir, Attrs::default())
+        .unwrap();
+    let bob = src
+        .create(home, "bob", FileType::Dir, Attrs::default())
+        .unwrap();
+    let thesis = src
+        .create(alice, "thesis.tex", FileType::File, Attrs::default())
+        .unwrap();
     for i in 0..8 {
         src.write_fbn(thesis, i, Block::Synthetic(100 + i)).unwrap();
     }
@@ -49,9 +57,13 @@ fn dumped_fs() -> (Wafl, TapeDrive) {
         },
     )
     .unwrap();
-    let notes = src.create(alice, "notes.md", FileType::File, Attrs::default()).unwrap();
+    let notes = src
+        .create(alice, "notes.md", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(notes, 0, Block::Synthetic(55)).unwrap();
-    let code = src.create(bob, "main.rs", FileType::File, Attrs::default()).unwrap();
+    let code = src
+        .create(bob, "main.rs", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(code, 0, Block::Synthetic(66)).unwrap();
 
     let mut tape = drive();
@@ -91,14 +103,18 @@ fn single_file_restore_recovers_exactly_one_file() {
 fn subtree_restore_recovers_a_directory() {
     let (mut src, mut tape) = dumped_fs();
     let root = INO_ROOT;
-    src.create(root, "rescue", FileType::Dir, Attrs::default()).unwrap();
+    src.create(root, "rescue", FileType::Dir, Attrs::default())
+        .unwrap();
 
     let out = restore_subtree(&mut src, &mut tape, "/home/alice", "/rescue").unwrap();
     assert_eq!(out.dirs, 1);
     assert_eq!(out.files, 2);
 
     let ino = src.namei("/rescue/alice/thesis.tex").unwrap();
-    assert!(src.read_fbn(ino, 0).unwrap().same_content(&Block::Synthetic(100)));
+    assert!(src
+        .read_fbn(ino, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(100)));
     assert!(src.namei("/rescue/alice/notes.md").is_ok());
     assert!(src.namei("/rescue/bob").is_err(), "only the subtree");
 }

@@ -31,7 +31,9 @@ fn geometry() -> VolumeGeometry {
 
 fn populated() -> Wafl {
     let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "data", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..25u64 {
         let f = fs
             .create(d, &format!("f{i}"), FileType::File, Attrs::default())
@@ -70,7 +72,11 @@ fn image_dump_spans_many_cartridges() {
     let mut src = populated();
     let mut tape = TapeDrive::new(TapePerf::ideal(), 256 * 1024);
     image_dump_full(&mut src, &mut tape, "span").unwrap();
-    assert!(tape.cartridges() > 5, "got {} cartridges", tape.cartridges());
+    assert!(
+        tape.cartridges() > 5,
+        "got {} cartridges",
+        tape.cartridges()
+    );
 
     let meter = Meter::new_shared();
     let mut raw = Volume::new(geometry());
@@ -94,5 +100,8 @@ fn oversized_record_still_fails_cleanly() {
     let mut tape = TapeDrive::new(TapePerf::ideal(), 2 * 1024);
     let mut catalog = DumpCatalog::new();
     let err = dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default());
-    assert!(err.is_err(), "a 4 KiB data record cannot fit a 2 KiB cartridge");
+    assert!(
+        err.is_err(),
+        "a 4 KiB data record cannot fit a 2 KiB cartridge"
+    );
 }

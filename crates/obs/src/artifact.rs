@@ -1,0 +1,308 @@
+//! The on-disk observability artifact: one JSON document per experiment,
+//! carrying the span tree, the metrics table, and per-resource utilization
+//! timelines.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::Span;
+use crate::timeline::TimelineSample;
+use crate::timeline::UtilizationTimeline;
+
+/// Everything one experiment observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Artifact {
+    /// Experiment name ("table2").
+    pub experiment: String,
+    /// The span forest, in creation order (parents precede children).
+    pub spans: Vec<Span>,
+    /// Final metric readings.
+    pub metrics: MetricsSnapshot,
+    /// Per-resource utilization over simulated time.
+    pub timelines: Vec<UtilizationTimeline>,
+}
+
+impl Artifact {
+    /// Serializes to the JSON document model.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.experiment.clone())),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(span_to_json).collect()),
+            ),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .readings
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "utilization",
+                Json::Arr(self.timelines.iter().map(timeline_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds an artifact from its JSON form.
+    pub fn from_json(doc: &Json) -> Result<Artifact, String> {
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("missing experiment")?
+            .to_string();
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing spans")?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = match doc.get("metrics") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("metric {k} is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+                .into(),
+            _ => return Err("missing metrics".into()),
+        };
+        let timelines = doc
+            .get("utilization")
+            .and_then(Json::as_arr)
+            .ok_or("missing utilization")?
+            .iter()
+            .map(timeline_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Artifact {
+            experiment,
+            spans,
+            metrics,
+            timelines,
+        })
+    }
+
+    /// Writes `results/obs_<experiment>.json` under `results_dir`, creating
+    /// the directory if needed. Returns the path written.
+    pub fn write(&self, results_dir: impl AsRef<Path>) -> io::Result<std::path::PathBuf> {
+        let dir = results_dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("obs_{}.json", self.experiment));
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+fn pairs_to_json(pairs: &[(String, f64)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(value: Option<&Json>, what: &str) -> Result<Vec<(String, f64)>, String> {
+    match value {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_num()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("{what}.{k} is not a number"))
+            })
+            .collect(),
+        None => Ok(Vec::new()),
+        _ => Err(format!("{what} is not an object")),
+    }
+}
+
+fn span_to_json(span: &Span) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(span.name.clone())),
+        (
+            "parent",
+            match span.parent {
+                Some(p) => Json::Num(p as f64),
+                None => Json::Null,
+            },
+        ),
+        ("depth", Json::Num(span.depth as f64)),
+        ("t0", Json::Num(span.t0)),
+        ("t1", Json::Num(span.t1)),
+        ("cpu_secs", Json::Num(span.cpu_secs)),
+        ("deltas", pairs_to_json(&span.deltas)),
+    ];
+    if !span.annotations.is_empty() {
+        fields.push(("annotations", pairs_to_json(&span.annotations)));
+    }
+    Json::obj(fields)
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("span field {key} missing or not a number"))
+}
+
+fn span_from_json(doc: &Json) -> Result<Span, String> {
+    Ok(Span {
+        name: doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span without name")?
+            .to_string(),
+        parent: match doc.get("parent") {
+            Some(Json::Num(n)) => Some(*n as usize),
+            _ => None,
+        },
+        depth: num_field(doc, "depth")? as usize,
+        t0: num_field(doc, "t0")?,
+        t1: num_field(doc, "t1")?,
+        cpu_secs: num_field(doc, "cpu_secs")?,
+        deltas: pairs_from_json(doc.get("deltas"), "deltas")?,
+        annotations: pairs_from_json(doc.get("annotations"), "annotations")?,
+    })
+}
+
+fn timeline_to_json(tl: &UtilizationTimeline) -> Json {
+    Json::obj(vec![
+        ("resource", Json::Str(tl.resource.clone())),
+        ("capacity", Json::Num(tl.capacity)),
+        (
+            "samples",
+            Json::Arr(
+                tl.samples
+                    .iter()
+                    .map(|s| {
+                        Json::Arr(vec![
+                            Json::Num(s.t0),
+                            Json::Num(s.t1),
+                            Json::Num(s.utilization),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn timeline_from_json(doc: &Json) -> Result<UtilizationTimeline, String> {
+    let samples = doc
+        .get("samples")
+        .and_then(Json::as_arr)
+        .ok_or("timeline without samples")?
+        .iter()
+        .map(|s| {
+            let triple = s.as_arr().filter(|a| a.len() == 3).ok_or("bad sample")?;
+            Ok(TimelineSample {
+                t0: triple[0].as_num().ok_or("bad sample t0")?,
+                t1: triple[1].as_num().ok_or("bad sample t1")?,
+                utilization: triple[2].as_num().ok_or("bad sample utilization")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(UtilizationTimeline {
+        resource: doc
+            .get("resource")
+            .and_then(Json::as_str)
+            .ok_or("timeline without resource")?
+            .to_string(),
+        capacity: num_field(doc, "capacity")?,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> Artifact {
+        Artifact {
+            experiment: "unit".into(),
+            spans: vec![
+                Span {
+                    name: "dump".into(),
+                    parent: None,
+                    depth: 0,
+                    t0: 0.0,
+                    t1: 100.5,
+                    cpu_secs: 12.25,
+                    deltas: vec![("disk.seq_read.bytes".into(), 4096.0)],
+                    annotations: vec![],
+                },
+                Span {
+                    name: "dumping files".into(),
+                    parent: Some(0),
+                    depth: 1,
+                    t0: 30.0,
+                    t1: 100.5,
+                    cpu_secs: 10.0,
+                    deltas: vec![
+                        ("disk.seq_read.bytes".into(), 4096.0),
+                        ("tape.write.bytes".into(), 8192.0),
+                    ],
+                    annotations: vec![("files".into(), 42.0)],
+                },
+            ],
+            metrics: vec![
+                ("disk.seq_read.bytes".to_string(), 4096.0),
+                ("wafl.cp.count".to_string(), 3.0),
+            ]
+            .into(),
+            timelines: vec![UtilizationTimeline {
+                resource: "tape0".into(),
+                capacity: 1.0,
+                samples: vec![TimelineSample {
+                    t0: 0.0,
+                    t1: 100.5,
+                    utilization: 0.875,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json_text() {
+        let a = sample_artifact();
+        let text = a.to_json().render();
+        let back = Artifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn write_creates_named_file() {
+        let dir = std::env::temp_dir().join("obs-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = sample_artifact().write(&dir).unwrap();
+        assert!(path.ends_with("obs_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Artifact::from_json(&Json::parse(text.trim_end()).unwrap()).unwrap();
+        assert_eq!(back.experiment, "unit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in [
+            "{}",
+            r#"{"experiment": "x"}"#,
+            r#"{"experiment": "x", "spans": [{"t0": 1}], "metrics": {}, "utilization": []}"#,
+            r#"{"experiment": "x", "spans": [], "metrics": {"m": "nan"}, "utilization": []}"#,
+        ] {
+            let doc = Json::parse(text).unwrap();
+            assert!(Artifact::from_json(&doc).is_err(), "accepted: {text}");
+        }
+    }
+}

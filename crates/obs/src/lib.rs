@@ -1,0 +1,40 @@
+//! Observability for the backup simulator: spans, metrics, utilization
+//! timelines, and the JSON artifact that ties them together.
+//!
+//! The simulator separates *function* (what work ran: bytes moved, files
+//! created) from *time* (the fluid solver turns measured work into
+//! simulated hours). Observability follows the same split:
+//!
+//! - [`metrics`] is a thread-local registry of named counters/gauges. The
+//!   device crates (blockdev, tape, raid, wafl) bump these on every
+//!   modelled IO, classified the same way their own statistics are.
+//! - [`span`] records hierarchical stage spans. A span captures a metrics
+//!   snapshot at entry and exit and keeps the *deltas* — what the stage
+//!   consumed — plus the modelled CPU seconds. Sim-times are assigned
+//!   after the fluid solve.
+//! - [`timeline`] reshapes a solved [`simkit::fluid::Trace`] into
+//!   per-resource utilization histories.
+//! - [`json`] is a dependency-free JSON document model (render + parse).
+//! - [`artifact`] assembles spans + metrics + timelines into
+//!   `results/obs_<experiment>.json`.
+//!
+//! This crate deliberately depends only on `simkit`, so every other crate
+//! in the workspace can depend on it without cycles.
+
+pub mod artifact;
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod timeline;
+
+pub use artifact::Artifact;
+pub use json::Json;
+pub use metrics::counter;
+pub use metrics::gauge;
+pub use metrics::snapshot;
+pub use metrics::MetricsSnapshot;
+pub use span::Span;
+pub use span::SpanId;
+pub use span::SpanRecorder;
+pub use timeline::timelines_from_trace;
+pub use timeline::UtilizationTimeline;

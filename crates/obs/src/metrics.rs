@@ -1,0 +1,190 @@
+//! A lightweight metrics registry: named counters and gauges.
+//!
+//! The registry is thread-local, which gives two properties the simulator
+//! wants for free: zero synchronization on the hot path (every modelled
+//! disk IO bumps a counter), and isolation between tests running on
+//! separate threads. Handles are `Copy` and keyed by `&'static str`, so
+//! instrumentation sites pay one map lookup and no allocation.
+//!
+//! Counters only go up; gauges are arbitrary `f64` accumulators (used for
+//! modelled busy-seconds, where a "count" is the wrong shape).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Handle to a named monotonic counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter(&'static str);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        REGISTRY.with(|r| {
+            *r.borrow_mut().counters.entry(self.0).or_insert(0) += n;
+        });
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 if never touched).
+    pub fn get(&self) -> u64 {
+        REGISTRY.with(|r| r.borrow().counters.get(self.0).copied().unwrap_or(0))
+    }
+
+    /// The registry key.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+/// Handle to a named gauge (a signed `f64` accumulator).
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge(&'static str);
+
+impl Gauge {
+    /// Adds `v` (may be negative).
+    pub fn add(&self, v: f64) {
+        REGISTRY.with(|r| {
+            *r.borrow_mut().gauges.entry(self.0).or_insert(0.0) += v;
+        });
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        REGISTRY.with(|r| {
+            r.borrow_mut().gauges.insert(self.0, v);
+        });
+    }
+
+    /// Current value (0.0 if never touched).
+    pub fn get(&self) -> f64 {
+        REGISTRY.with(|r| r.borrow().gauges.get(self.0).copied().unwrap_or(0.0))
+    }
+
+    /// The registry key.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+/// Returns the counter named `name`, creating it lazily on first use.
+pub fn counter(name: &'static str) -> Counter {
+    Counter(name)
+}
+
+/// Returns the gauge named `name`, creating it lazily on first use.
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge(name)
+}
+
+/// A point-in-time copy of every metric, as uniform `f64` readings.
+///
+/// This is the capture format span scopes diff at entry/exit: counters are
+/// widened to `f64` (exact below 2^53 — far beyond any simulated byte
+/// count) so a single reading vector covers both kinds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub readings: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of `name` in this snapshot (0.0 when absent).
+    pub fn get(&self, name: &str) -> f64 {
+        self.readings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Captures every counter and gauge currently in the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    REGISTRY
+        .with(|r| {
+            let r = r.borrow();
+            let mut readings: Vec<(String, f64)> = r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v as f64))
+                .chain(r.gauges.iter().map(|(k, v)| (k.to_string(), *v)))
+                .collect();
+            readings.sort_by(|a, b| a.0.cmp(&b.0));
+            readings
+        })
+        .into()
+}
+
+impl From<Vec<(String, f64)>> for MetricsSnapshot {
+    fn from(readings: Vec<(String, f64)>) -> Self {
+        MetricsSnapshot { readings }
+    }
+}
+
+/// Clears every metric on this thread (test isolation).
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        reset();
+        let c = counter("test.bytes");
+        c.add(100);
+        c.inc();
+        assert_eq!(c.get(), 101);
+        assert_eq!(counter("test.bytes").get(), 101);
+        assert_eq!(counter("test.other").get(), 0);
+    }
+
+    #[test]
+    fn gauges_accumulate_and_set() {
+        reset();
+        let g = gauge("test.secs");
+        g.add(1.5);
+        g.add(-0.5);
+        assert!((g.get() - 1.0).abs() < 1e-12);
+        g.set(7.0);
+        assert!((g.get() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merges_both_kinds_sorted() {
+        reset();
+        counter("b.count").add(2);
+        gauge("a.secs").add(0.25);
+        let snap = snapshot();
+        assert_eq!(
+            snap.readings,
+            vec![("a.secs".to_string(), 0.25), ("b.count".to_string(), 2.0)]
+        );
+        assert_eq!(snap.get("b.count"), 2.0);
+        assert_eq!(snap.get("missing"), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        counter("x").inc();
+        reset();
+        assert_eq!(counter("x").get(), 0);
+        assert!(snapshot().readings.is_empty());
+    }
+}

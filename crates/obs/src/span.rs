@@ -1,0 +1,276 @@
+//! Hierarchical stage spans.
+//!
+//! A span brackets one stage of work. At entry it captures a vector of
+//! named resource readings (typically a [`crate::metrics::snapshot`]); at
+//! exit it captures them again and stores only the *deltas* — what this
+//! stage consumed. Spans nest: entering a span while another is open makes
+//! it a child, so a whole backup operation becomes a root span whose
+//! children are its stages.
+//!
+//! Sim-time is not known while the functional layer runs (time is assigned
+//! by the fluid solver afterwards), so `t0`/`t1` start at zero and are
+//! filled in later via [`SpanRecorder::set_times`].
+
+use crate::metrics::MetricsSnapshot;
+
+/// Index of a span within its [`SpanRecorder`].
+pub type SpanId = usize;
+
+/// One completed (or still open) stage span.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Span {
+    /// Stage label ("dumping files").
+    pub name: String,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// Simulated start time, assigned after the fluid solve.
+    pub t0: f64,
+    /// Simulated end time, assigned after the fluid solve.
+    pub t1: f64,
+    /// Modelled CPU seconds charged within the span.
+    pub cpu_secs: f64,
+    /// Named resource deltas between entry and exit, sorted by name;
+    /// zero deltas are dropped.
+    pub deltas: Vec<(String, f64)>,
+    /// Extra numbers attached by the instrumentation site (files, dirs,
+    /// blocks, ...), in attachment order.
+    pub annotations: Vec<(String, f64)>,
+}
+
+impl Span {
+    /// The delta named `key` (0.0 when the span didn't move it).
+    pub fn delta(&self, key: &str) -> f64 {
+        self.deltas
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// The annotation named `key`, if attached.
+    pub fn annotation(&self, key: &str) -> Option<f64> {
+        self.annotations
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Per-span state kept only while the span is open.
+#[derive(Debug, Clone)]
+struct OpenState {
+    entry: MetricsSnapshot,
+}
+
+/// Records a tree of spans.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    spans: Vec<Span>,
+    open: Vec<Option<OpenState>>,
+    stack: Vec<SpanId>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> SpanRecorder {
+        SpanRecorder::default()
+    }
+
+    /// Opens a span named `name` with the given entry readings. The span
+    /// becomes a child of the innermost still-open span.
+    pub fn enter(&mut self, name: impl Into<String>, entry: MetricsSnapshot) -> SpanId {
+        let parent = self.stack.last().copied();
+        let id = self.spans.len();
+        self.spans.push(Span {
+            name: name.into(),
+            parent,
+            depth: self.stack.len(),
+            ..Span::default()
+        });
+        self.open.push(Some(OpenState { entry }));
+        self.stack.push(id);
+        id
+    }
+
+    /// Closes span `id` with its exit readings and the CPU seconds it
+    /// consumed, storing the entry→exit deltas.
+    ///
+    /// Spans must close innermost-first; closing out of order also closes
+    /// any children still open (defensive — guards make this unreachable).
+    pub fn exit(&mut self, id: SpanId, exit: MetricsSnapshot, cpu_secs: f64) {
+        while let Some(&top) = self.stack.last() {
+            self.stack.pop();
+            if top == id {
+                break;
+            }
+        }
+        let Some(state) = self.open[id].take() else {
+            return; // already closed
+        };
+        let span = &mut self.spans[id];
+        span.cpu_secs = cpu_secs;
+        span.deltas = diff_readings(&state.entry, &exit);
+    }
+
+    /// Attaches `(key, value)` to span `id`.
+    pub fn annotate(&mut self, id: SpanId, key: impl Into<String>, value: f64) {
+        self.spans[id].annotations.push((key.into(), value));
+    }
+
+    /// Assigns simulated start/end times to span `id` (after the fluid
+    /// solve).
+    pub fn set_times(&mut self, id: SpanId, t0: f64, t1: f64) {
+        self.spans[id].t0 = t0;
+        self.spans[id].t1 = t1;
+    }
+
+    /// All spans in creation order (parents precede children).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Whether span `id` is still open (no exit recorded yet).
+    pub fn is_open(&self, id: SpanId) -> bool {
+        self.open.get(id).map(|o| o.is_some()).unwrap_or(false)
+    }
+
+    /// First span with this name, if any.
+    pub fn find(&self, name: &str) -> Option<(SpanId, &Span)> {
+        self.spans.iter().enumerate().find(|(_, s)| s.name == name)
+    }
+
+    /// Ids of the top-level spans.
+    pub fn roots(&self) -> Vec<SpanId> {
+        (0..self.spans.len())
+            .filter(|&i| self.spans[i].parent.is_none())
+            .collect()
+    }
+
+    /// Children of `id`, in creation order.
+    pub fn children(&self, id: SpanId) -> Vec<SpanId> {
+        (0..self.spans.len())
+            .filter(|&i| self.spans[i].parent == Some(id))
+            .collect()
+    }
+
+    /// Sum of delta `key` over every *leaf* span (summing internal nodes
+    /// too would double-count, since a parent's delta covers its
+    /// children's).
+    pub fn leaf_total(&self, key: &str) -> f64 {
+        let has_child: Vec<bool> = {
+            let mut v = vec![false; self.spans.len()];
+            for s in &self.spans {
+                if let Some(p) = s.parent {
+                    v[p] = true;
+                }
+            }
+            v
+        };
+        self.spans
+            .iter()
+            .zip(&has_child)
+            .filter(|(_, &h)| !h)
+            .map(|(s, _)| s.delta(key))
+            .sum()
+    }
+}
+
+/// Exit minus entry, by name; names present on only one side count as
+/// starting (or ending) at zero. Zero deltas are dropped.
+fn diff_readings(entry: &MetricsSnapshot, exit: &MetricsSnapshot) -> Vec<(String, f64)> {
+    let mut names: Vec<&str> = entry
+        .readings
+        .iter()
+        .chain(exit.readings.iter())
+        .map(|(n, _)| n.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|n| {
+            let d = exit.get(n) - entry.get(n);
+            (d != 0.0).then(|| (n.to_string(), d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, f64)]) -> MetricsSnapshot {
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn deltas_are_exit_minus_entry() {
+        let mut r = SpanRecorder::new();
+        let id = r.enter("stage", snap(&[("disk.bytes", 100.0), ("tape.bytes", 5.0)]));
+        r.exit(
+            id,
+            snap(&[("disk.bytes", 350.0), ("tape.bytes", 5.0)]),
+            1.25,
+        );
+        let s = &r.spans()[0];
+        assert_eq!(s.delta("disk.bytes"), 250.0);
+        assert_eq!(s.delta("tape.bytes"), 0.0); // zero delta dropped
+        assert_eq!(s.cpu_secs, 1.25);
+    }
+
+    #[test]
+    fn new_names_count_from_zero() {
+        let mut r = SpanRecorder::new();
+        let id = r.enter("stage", snap(&[]));
+        r.exit(id, snap(&[("fresh", 7.0)]), 0.0);
+        assert_eq!(r.spans()[0].delta("fresh"), 7.0);
+    }
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let mut r = SpanRecorder::new();
+        let root = r.enter("dump", snap(&[]));
+        let a = r.enter("creating snapshot", snap(&[]));
+        r.exit(a, snap(&[]), 0.0);
+        let b = r.enter("dumping files", snap(&[]));
+        r.exit(b, snap(&[]), 0.0);
+        r.exit(root, snap(&[]), 0.0);
+        assert_eq!(r.roots(), vec![root]);
+        assert_eq!(r.children(root), vec![a, b]);
+        assert_eq!(r.spans()[a].depth, 1);
+        assert_eq!(r.spans()[root].depth, 0);
+        assert_eq!(r.spans()[b].parent, Some(root));
+    }
+
+    #[test]
+    fn leaf_total_skips_internal_nodes() {
+        let mut r = SpanRecorder::new();
+        let root = r.enter("op", snap(&[("x", 0.0)]));
+        let a = r.enter("s1", snap(&[("x", 0.0)]));
+        r.exit(a, snap(&[("x", 3.0)]), 0.0);
+        let b = r.enter("s2", snap(&[("x", 3.0)]));
+        r.exit(b, snap(&[("x", 10.0)]), 0.0);
+        r.exit(root, snap(&[("x", 10.0)]), 0.0);
+        // Root's own delta is 10, but only leaves count.
+        assert_eq!(r.leaf_total("x"), 10.0);
+    }
+
+    #[test]
+    fn annotations_and_times_attach() {
+        let mut r = SpanRecorder::new();
+        let id = r.enter("stage", snap(&[]));
+        r.annotate(id, "files", 42.0);
+        r.exit(id, snap(&[]), 0.0);
+        r.set_times(id, 10.0, 40.0);
+        let s = &r.spans()[0];
+        assert_eq!(s.annotation("files"), Some(42.0));
+        assert_eq!(s.annotation("dirs"), None);
+        assert_eq!((s.t0, s.t1), (10.0, 40.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-resource utilization timelines, extracted from a fluid-solver
+//! [`Trace`].
+//!
+//! The solver already produces piecewise-constant resource usage; this
+//! module reshapes it from "per interval, all resources" to "per resource,
+//! all intervals" — the form a plotting script or the JSON artifact wants —
+//! and normalizes usage to utilization (fraction of capacity).
+
+use simkit::fluid::Trace;
+
+/// One constant-utilization segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSample {
+    /// Segment start (simulated seconds).
+    pub t0: f64,
+    /// Segment end.
+    pub t1: f64,
+    /// Utilization in [0, 1]: delivered service rate over capacity.
+    pub utilization: f64,
+}
+
+/// The utilization history of one resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationTimeline {
+    /// Resource name ("cpu", "tape0", "disk").
+    pub resource: String,
+    /// Capacity in service-seconds per second.
+    pub capacity: f64,
+    /// Segments in time order; adjacent equal-utilization segments are
+    /// merged.
+    pub samples: Vec<TimelineSample>,
+}
+
+impl UtilizationTimeline {
+    /// Time-weighted mean utilization over the whole timeline.
+    pub fn mean(&self) -> f64 {
+        let (mut busy, mut span) = (0.0, 0.0);
+        for s in &self.samples {
+            busy += s.utilization * (s.t1 - s.t0);
+            span += s.t1 - s.t0;
+        }
+        if span > 0.0 {
+            busy / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Peak utilization.
+    pub fn peak(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.utilization)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds one timeline per resource from a solved trace.
+pub fn timelines_from_trace(trace: &Trace) -> Vec<UtilizationTimeline> {
+    trace
+        .resources()
+        .iter()
+        .enumerate()
+        .map(|(idx, resource)| {
+            let mut samples: Vec<TimelineSample> = Vec::new();
+            for iv in &trace.intervals {
+                let utilization = if resource.capacity > 0.0 {
+                    iv.usage[idx] / resource.capacity
+                } else {
+                    0.0
+                };
+                match samples.last_mut() {
+                    // Merge contiguous segments at the same level.
+                    Some(last) if last.t1 == iv.t0 && last.utilization == utilization => {
+                        last.t1 = iv.t1;
+                    }
+                    _ => samples.push(TimelineSample {
+                        t0: iv.t0,
+                        t1: iv.t1,
+                        utilization,
+                    }),
+                }
+            }
+            UtilizationTimeline {
+                resource: resource.name.clone(),
+                capacity: resource.capacity,
+                samples,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::fluid::FluidSim;
+    use simkit::fluid::Stage;
+    use simkit::fluid::Stream;
+
+    #[test]
+    fn timelines_match_trace_utilization() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 2.0);
+        let disk = sim.add_resource("disk", 4.0);
+        sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![
+                Stage::new("a", 10.0, vec![(cpu, 0.2), (disk, 0.1)]),
+                Stage::new("b", 5.0, vec![(disk, 0.8)]),
+            ],
+        });
+        let trace = sim.run().unwrap();
+        let tls = timelines_from_trace(&trace);
+        assert_eq!(tls.len(), 2);
+        assert_eq!(tls[0].resource, "cpu");
+        assert_eq!(tls[1].resource, "disk");
+
+        // Cross-check the reshaped data against Trace::utilization.
+        let span = trace.makespan();
+        for (tl, rid) in tls.iter().zip([cpu, disk]) {
+            let direct = trace.utilization(rid, 0.0, span);
+            assert!(
+                (tl.mean() - direct).abs() < 1e-9,
+                "{}: {} vs {}",
+                tl.resource,
+                tl.mean(),
+                direct
+            );
+            assert!(tl.peak() <= 1.0 + 1e-9);
+            // Segments tile the makespan without gaps.
+            assert_eq!(tl.samples.first().unwrap().t0, 0.0);
+            assert!((tl.samples.last().unwrap().t1 - span).abs() < 1e-9);
+            for pair in tl.samples.windows(2) {
+                assert!((pair[0].t1 - pair[1].t0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_samples() {
+        let mut sim = FluidSim::new();
+        sim.add_resource("cpu", 1.0);
+        let trace = sim.run().unwrap();
+        let tls = timelines_from_trace(&trace);
+        assert_eq!(tls.len(), 1);
+        assert!(tls[0].samples.is_empty());
+        assert_eq!(tls[0].mean(), 0.0);
+    }
+}

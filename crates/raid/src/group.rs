@@ -3,8 +3,8 @@
 use blockdev::Block;
 use blockdev::BlockDevice;
 use blockdev::DevError;
-use blockdev::DiskPerf;
 use blockdev::DeviceStats;
+use blockdev::DiskPerf;
 use blockdev::SimDisk;
 
 use crate::error::RaidError;
@@ -81,7 +81,10 @@ impl Raid4Group {
                 capacity: self.capacity(),
             });
         }
-        Ok(((bno % self.data.len() as u64) as usize, bno / self.data.len() as u64))
+        Ok((
+            (bno % self.data.len() as u64) as usize,
+            bno / self.data.len() as u64,
+        ))
     }
 
     /// Reads one logical block, reconstructing from parity when the owning
@@ -93,7 +96,10 @@ impl Raid4Group {
         let (disk, offset) = self.locate(bno)?;
         match self.data[disk].read(offset) {
             Ok(b) => Ok(b),
-            Err(DevError::Offline) => self.reconstruct_block(disk, offset),
+            Err(DevError::Offline) => {
+                obs::counter("raid.degraded_reads").inc();
+                self.reconstruct_block(disk, offset)
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -108,7 +114,10 @@ impl Raid4Group {
         // Old data: direct read, or reconstruction if this member is down.
         let old = match self.data[disk].read(offset) {
             Ok(b) => b,
-            Err(DevError::Offline) => self.reconstruct_block(disk, offset)?,
+            Err(DevError::Offline) => {
+                obs::counter("raid.degraded_reads").inc();
+                self.reconstruct_block(disk, offset)?
+            }
             Err(e) => return Err(e.into()),
         };
 
@@ -198,6 +207,7 @@ impl Raid4Group {
             }
         }
         self.failed = Some(disk);
+        obs::counter("raid.disk_failures").inc();
         if disk == self.data.len() {
             // Cached parity would be written to a dead spindle anyway.
             self.pending = None;
@@ -218,6 +228,8 @@ impl Raid4Group {
             return Ok(());
         };
         self.flush()?;
+        obs::counter("raid.reconstructions").inc();
+        obs::counter("raid.reconstructed_blocks").add(self.blocks_per_disk);
         if disk == self.data.len() {
             self.parity.replace();
             for offset in 0..self.blocks_per_disk {
@@ -241,6 +253,7 @@ impl Raid4Group {
     /// Verifies parity for every stripe; returns the number of bad stripes.
     pub fn scrub(&mut self) -> Result<u64, RaidError> {
         self.flush()?;
+        obs::counter("raid.scrubs").inc();
         let mut bad = 0;
         for offset in 0..self.blocks_per_disk {
             let mut acc = self.parity.read(offset)?;
@@ -305,7 +318,10 @@ mod tests {
             g.write(bno, Block::Synthetic(bno + 1000)).unwrap();
         }
         for bno in 0..g.capacity() {
-            assert!(g.read(bno).unwrap().same_content(&Block::Synthetic(bno + 1000)));
+            assert!(g
+                .read(bno)
+                .unwrap()
+                .same_content(&Block::Synthetic(bno + 1000)));
         }
     }
 
@@ -344,7 +360,9 @@ mod tests {
         g.fail_disk(1).unwrap();
         for bno in 0..g.capacity() {
             assert!(
-                g.read(bno).unwrap().same_content(&Block::Synthetic(bno * 7)),
+                g.read(bno)
+                    .unwrap()
+                    .same_content(&Block::Synthetic(bno * 7)),
                 "bno {bno} wrong after disk failure"
             );
         }

@@ -3,8 +3,8 @@
 use blockdev::Block;
 use blockdev::BlockDevice;
 use blockdev::DevError;
-use blockdev::DiskPerf;
 use blockdev::DeviceStats;
+use blockdev::DiskPerf;
 
 use crate::error::RaidError;
 use crate::group::Raid4Group;
@@ -209,7 +209,10 @@ mod tests {
             v.write_block(bno, Block::Synthetic(bno + 1)).unwrap();
         }
         for bno in 0..v.capacity() {
-            assert!(v.read_block(bno).unwrap().same_content(&Block::Synthetic(bno + 1)));
+            assert!(v
+                .read_block(bno)
+                .unwrap()
+                .same_content(&Block::Synthetic(bno + 1)));
         }
     }
 
@@ -233,7 +236,10 @@ mod tests {
         v.group_mut(1).unwrap().fail_disk(0).unwrap();
         assert!(!v.is_healthy());
         for bno in 0..v.capacity() {
-            assert!(v.read_block(bno).unwrap().same_content(&Block::Synthetic(bno)));
+            assert!(v
+                .read_block(bno)
+                .unwrap()
+                .same_content(&Block::Synthetic(bno)));
         }
         v.group_mut(1).unwrap().reconstruct().unwrap();
         assert!(v.is_healthy());

@@ -1,11 +1,12 @@
-//! Property tests: a RAID-4 group must behave exactly like a plain array
+//! Randomized tests: a RAID-4 group must behave exactly like a plain array
 //! of blocks under any schedule of writes, single-member failures,
-//! reconstructions and scrubs.
+//! reconstructions and scrubs. Schedules come from a deterministic seeded
+//! generator.
 
 use blockdev::Block;
 use blockdev::DiskPerf;
-use proptest::prelude::*;
 use raid::Raid4Group;
+use simkit::rng::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,19 +16,25 @@ enum Op {
     Scrub,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u16>(), any::<u64>()).prop_map(|(bno, seed)| Op::Write { bno, seed }),
-        1 => any::<u8>().prop_map(|member| Op::FailDisk { member }),
-        2 => Just(Op::Reconstruct),
-        1 => Just(Op::Scrub),
-    ]
+/// Weighted draw matching the old proptest strategy (4:1:2:1).
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.range(0, 8) {
+        0..=3 => Op::Write {
+            bno: rng.next_u64() as u16,
+            seed: rng.next_u64(),
+        },
+        4 => Op::FailDisk {
+            member: rng.next_u64() as u8,
+        },
+        5 | 6 => Op::Reconstruct,
+        _ => Op::Scrub,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn raid_mirrors_a_plain_block_array(ops in proptest::collection::vec(arb_op(), 1..80)) {
+#[test]
+fn raid_mirrors_a_plain_block_array() {
+    let mut rng = SimRng::seed_from_u64(0x4a1d_0001);
+    for case in 0..64 {
         let ndata = 4usize;
         let blocks_per_disk = 32u64;
         let capacity = ndata as u64 * blocks_per_disk;
@@ -35,8 +42,9 @@ proptest! {
         let mut model: Vec<Block> = vec![Block::Zero; capacity as usize];
         let mut failed: Option<usize> = None;
 
-        for op in ops {
-            match op {
+        let nops = rng.range(1, 80);
+        for _ in 0..nops {
+            match arb_op(&mut rng) {
                 Op::Write { bno, seed } => {
                     let bno = bno as u64 % capacity;
                     group.write(bno, Block::Synthetic(seed)).unwrap();
@@ -56,7 +64,7 @@ proptest! {
                 }
                 Op::Scrub => {
                     if failed.is_none() {
-                        prop_assert_eq!(group.scrub().unwrap(), 0);
+                        assert_eq!(group.scrub().unwrap(), 0, "case {case}");
                     }
                 }
             }
@@ -64,18 +72,21 @@ proptest! {
             // degraded.
             for probe in [0u64, capacity / 2, capacity - 1] {
                 let got = group.read(probe).unwrap();
-                prop_assert!(
+                assert!(
                     got.same_content(&model[probe as usize]),
-                    "bno {probe} diverged (failed member: {failed:?})"
+                    "case {case}: bno {probe} diverged (failed member: {failed:?})"
                 );
             }
         }
 
         // Final full sweep after repairing any outstanding failure.
         group.reconstruct().unwrap();
-        prop_assert_eq!(group.scrub().unwrap(), 0);
+        assert_eq!(group.scrub().unwrap(), 0, "case {case}");
         for bno in 0..capacity {
-            prop_assert!(group.read(bno).unwrap().same_content(&model[bno as usize]));
+            assert!(
+                group.read(bno).unwrap().same_content(&model[bno as usize]),
+                "case {case}: bno {bno}"
+            );
         }
     }
 }

@@ -174,6 +174,12 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// The registered resources, indexed by [`ResourceId`] (the same order
+    /// as [`Interval::usage`]).
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
     /// Time at which the last stream finished.
     pub fn makespan(&self) -> f64 {
         self.stages.iter().map(|s| s.t1).fold(0.0, f64::max)

@@ -2,31 +2,45 @@
 //!
 //! Every stochastic choice in the workspace flows through [`SimRng`] seeded
 //! from an experiment-level seed, so runs are reproducible bit-for-bit.
-
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+//! The generator is a self-contained xoshiro256** (seeded via SplitMix64),
+//! keeping the workspace free of external dependencies so it builds in
+//! hermetic environments.
 
 /// A deterministic random number generator for simulations.
 ///
-/// Wraps [`StdRng`] with the handful of draws the workload generator needs
-/// (uniform ranges, biased coins, log-normal sizes, Zipf ranks).
+/// A xoshiro256** generator with the handful of draws the workload
+/// generator needs (uniform ranges, biased coins, log-normal sizes, Zipf
+/// ranks).
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
     }
 
     /// Derives an independent child generator; useful to keep two streams of
     /// decisions decoupled (e.g. namespace shape vs. file contents).
     pub fn fork(&mut self, label: u64) -> Self {
-        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let seed = self.next_u64() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         Self::seed_from_u64(seed)
     }
 
@@ -37,12 +51,23 @@ impl SimRng {
     /// Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps the draw exactly
+        // uniform over the span.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-uniform expansion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p`.
@@ -50,13 +75,21 @@ impl SimRng {
         self.unit() < p
     }
 
-    /// A raw 64-bit draw.
+    /// A raw 64-bit draw (xoshiro256** output function).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Standard normal draw via Box-Muller (kept local to avoid an extra
-    /// dependency on `rand_distr`).
+    /// dependency on a distributions crate).
     pub fn standard_normal(&mut self) -> f64 {
         // Box-Muller needs u1 in (0, 1]; flip the half-open unit draw.
         let u1 = 1.0 - self.unit();
@@ -131,6 +164,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
     fn chance_is_calibrated() {
         let mut rng = SimRng::seed_from_u64(4);
         let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
@@ -169,5 +211,17 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.range(0, 10) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((9_000..11_000).contains(&b), "bucket {i} = {b}");
+        }
     }
 }

@@ -1,29 +1,46 @@
-//! Property tests for the fluid solver: conservation laws that must hold
-//! for every random workload.
+//! Randomized tests for the fluid solver: conservation laws that must hold
+//! for every random workload, driven by a deterministic seeded generator.
 
-use proptest::prelude::*;
 use simkit::fluid::FluidSim;
 use simkit::fluid::Stage;
 use simkit::fluid::Stream;
+use simkit::rng::SimRng;
 
-/// A random stage over up to three resources.
+/// A random stage over up to three resources: (work, demands).
 type StageSpec = (f64, Vec<(usize, f64)>);
 
-fn arb_streams() -> impl Strategy<Value = Vec<(f64, Vec<StageSpec>)>> {
-    let stage = (
-        0.1f64..50.0,
-        proptest::collection::vec((0usize..3, 0.01f64..2.0), 1..3),
-    );
-    let stream = (0.0f64..5.0, proptest::collection::vec(stage, 1..4));
-    proptest::collection::vec(stream, 1..6)
+fn arb_streams(rng: &mut SimRng) -> Vec<(f64, Vec<StageSpec>)> {
+    let nstreams = rng.range(1, 6) as usize;
+    (0..nstreams)
+        .map(|_| {
+            let start_at = rng.unit() * 5.0;
+            let nstages = rng.range(1, 4) as usize;
+            let stages = (0..nstages)
+                .map(|_| {
+                    let work = 0.1 + rng.unit() * 49.9;
+                    let ndemands = rng.range(1, 3) as usize;
+                    let demands = (0..ndemands)
+                        .map(|_| (rng.range(0, 3) as usize, 0.01 + rng.unit() * 1.99))
+                        .collect();
+                    (work, demands)
+                })
+                .collect();
+            (start_at, stages)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-    #[test]
-    fn conservation_laws_hold(specs in arb_streams(), caps in proptest::collection::vec(0.5f64..10.0, 3)) {
+#[test]
+fn conservation_laws_hold() {
+    let mut rng = SimRng::seed_from_u64(0xf1d0_cafe);
+    for case in 0..200 {
+        let specs = arb_streams(&mut rng);
+        let caps: Vec<f64> = (0..3).map(|_| 0.5 + rng.unit() * 9.5).collect();
+
         let mut sim = FluidSim::new();
-        let rids: Vec<_> = caps.iter().enumerate()
+        let rids: Vec<_> = caps
+            .iter()
+            .enumerate()
             .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
             .collect();
         let mut expected_busy = [0.0f64; 3];
@@ -53,14 +70,17 @@ proptest! {
 
         // 1. Every stream ran every stage to completion.
         for (id, (_, stages)) in ids.iter().zip(&specs) {
-            prop_assert_eq!(trace.stream_stages(*id).len(), stages.len());
+            assert_eq!(trace.stream_stages(*id).len(), stages.len(), "case {case}");
         }
 
         // 2. No resource is ever over capacity.
         for iv in &trace.intervals {
             for (j, &cap) in caps.iter().enumerate() {
-                prop_assert!(iv.usage[j] <= cap * (1.0 + 1e-6),
-                    "resource {j} over capacity: {} > {cap}", iv.usage[j]);
+                assert!(
+                    iv.usage[j] <= cap * (1.0 + 1e-6),
+                    "case {case}: resource {j} over capacity: {} > {cap}",
+                    iv.usage[j]
+                );
             }
         }
 
@@ -68,21 +88,24 @@ proptest! {
         // declared total demand.
         for (j, rid) in rids.iter().enumerate() {
             let busy = trace.busy_seconds(*rid);
-            prop_assert!((busy - expected_busy[j]).abs() < 1e-6 * expected_busy[j].max(1.0),
-                "resource {j}: busy {busy} vs expected {}", expected_busy[j]);
+            assert!(
+                (busy - expected_busy[j]).abs() < 1e-6 * expected_busy[j].max(1.0),
+                "case {case}: resource {j}: busy {busy} vs expected {}",
+                expected_busy[j]
+            );
         }
 
         // 4. Stages within a stream never overlap and respect start time.
         for (id, (start_at, _)) in ids.iter().zip(&specs) {
             let stages = trace.stream_stages(*id);
-            prop_assert!(stages[0].t0 >= *start_at - 1e-9);
+            assert!(stages[0].t0 >= *start_at - 1e-9, "case {case}");
             for pair in stages.windows(2) {
-                prop_assert!(pair[1].t0 >= pair[0].t1 - 1e-9);
+                assert!(pair[1].t0 >= pair[0].t1 - 1e-9, "case {case}");
             }
         }
 
         // 5. The makespan is the last completion.
         let last = trace.stages.iter().map(|s| s.t1).fold(0.0, f64::max);
-        prop_assert!((trace.makespan() - last).abs() < 1e-9);
+        assert!((trace.makespan() - last).abs() < 1e-9, "case {case}");
     }
 }

@@ -96,8 +96,12 @@ impl TapeDrive {
             match self.magazine[self.write_tape].append(record.clone()) {
                 Ok(()) => {
                     self.stats.written.record(len);
+                    obs::counter("tape.write.bytes").add(len);
+                    obs::counter("tape.write.records").inc();
                     if self.perf.stream_bytes_per_s.is_finite() {
-                        self.stats.busy_secs += len as f64 / self.perf.stream_bytes_per_s;
+                        let secs = len as f64 / self.perf.stream_bytes_per_s;
+                        self.stats.busy_secs += secs;
+                        obs::gauge("tape.stream_secs").add(secs);
                     }
                     return Ok(());
                 }
@@ -118,6 +122,8 @@ impl TapeDrive {
         }
         self.stats.media_changes += 1;
         self.stats.busy_secs += self.perf.media_change_s;
+        obs::counter("tape.media_changes").inc();
+        obs::gauge("tape.reposition_secs").add(self.perf.media_change_s);
     }
 
     /// Rewinds to the first record of the first cartridge.
@@ -125,6 +131,8 @@ impl TapeDrive {
         self.read_tape = 0;
         self.read_pos = 0;
         self.stats.busy_secs += self.perf.rewind_s;
+        obs::counter("tape.rewinds").inc();
+        obs::gauge("tape.reposition_secs").add(self.perf.rewind_s);
     }
 
     /// Reads the next record in magazine order.
@@ -140,6 +148,8 @@ impl TapeDrive {
                 if self.read_tape < self.magazine.len() {
                     self.stats.media_changes += 1;
                     self.stats.busy_secs += self.perf.media_change_s;
+                    obs::counter("tape.media_changes").inc();
+                    obs::gauge("tape.reposition_secs").add(self.perf.media_change_s);
                 }
                 continue;
             }
@@ -149,8 +159,12 @@ impl TapeDrive {
                 Ok(rec) => {
                     self.read_pos += 1;
                     self.stats.read.record(rec.len());
+                    obs::counter("tape.read.bytes").add(rec.len());
+                    obs::counter("tape.read.records").inc();
                     if self.perf.stream_bytes_per_s.is_finite() {
-                        self.stats.busy_secs += rec.len() as f64 / self.perf.stream_bytes_per_s;
+                        let secs = rec.len() as f64 / self.perf.stream_bytes_per_s;
+                        self.stats.busy_secs += secs;
+                        obs::gauge("tape.stream_secs").add(secs);
                     }
                     return Ok(rec);
                 }
@@ -283,7 +297,10 @@ mod tests {
         for _ in 0..3 {
             d.read_record().unwrap();
         }
-        assert_eq!(d.read_record().err(), Some(TapeError::BadRecord { index: 3 }));
+        assert_eq!(
+            d.read_record().err(),
+            Some(TapeError::BadRecord { index: 3 })
+        );
         // Skip the bad record and continue with the rest of the stream.
         d.skip_record().unwrap();
         assert_eq!(d.read_record().unwrap(), bytes_record(100, 4));

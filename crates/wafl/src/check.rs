@@ -47,19 +47,17 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
     let mut report = CheckReport::default();
     // bno -> who references it (for duplicate diagnostics).
     let mut refs: HashMap<u64, String> = HashMap::new();
-    let claim = |refs: &mut HashMap<u64, String>,
-                     report: &mut CheckReport,
-                     bno: u64,
-                     owner: String| {
-        if bno == 0 {
-            return;
-        }
-        if let Some(prev) = refs.insert(bno, owner.clone()) {
-            report
-                .problems
-                .push(format!("block {bno} referenced by both {prev} and {owner}"));
-        }
-    };
+    let claim =
+        |refs: &mut HashMap<u64, String>, report: &mut CheckReport, bno: u64, owner: String| {
+            if bno == 0 {
+                return;
+            }
+            if let Some(prev) = refs.insert(bno, owner.clone()) {
+                report
+                    .problems
+                    .push(format!("block {bno} referenced by both {prev} and {owner}"));
+            }
+        };
 
     // Fixed locations (inserted directly: block 0 is a real home here,
     // whereas `claim` treats 0 as a null pointer).
@@ -88,7 +86,12 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
                 );
             }
             for bno in fs.indirect_homes(ino)? {
-                claim(&mut refs, &mut report, bno as u64, format!("inode {ino} indirect"));
+                claim(
+                    &mut refs,
+                    &mut report,
+                    bno as u64,
+                    format!("inode {ino} indirect"),
+                );
             }
         }
         // Directory entries must point at live inodes; accumulate link
@@ -134,12 +137,27 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
             claim(&mut refs, &mut report, bno as u64, format!("{label} block"));
         }
         for bno in meta {
-            claim(&mut refs, &mut report, bno as u64, format!("{label} indirect"));
+            claim(
+                &mut refs,
+                &mut report,
+                bno as u64,
+                format!("{label} indirect"),
+            );
         }
     }
     // Tables.
-    claim(&mut refs, &mut report, fs.snaptable_bno() as u64, "snaptable".into());
-    claim(&mut refs, &mut report, fs.qtree_table_bno() as u64, "qtree table".into());
+    claim(
+        &mut refs,
+        &mut report,
+        fs.snaptable_bno() as u64,
+        "snaptable".into(),
+    );
+    claim(
+        &mut refs,
+        &mut report,
+        fs.qtree_table_bno() as u64,
+        "qtree table".into(),
+    );
 
     report.referenced = refs.len() as u64;
 
@@ -159,7 +177,9 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
             if !refs.contains_key(&bno) {
                 leaked += 1;
                 if leaked <= 5 {
-                    report.problems.push(format!("block {bno} active but unreferenced (leak)"));
+                    report
+                        .problems
+                        .push(format!("block {bno} active but unreferenced (leak)"));
                 }
             }
         }
@@ -207,7 +227,9 @@ mod tests {
     #[test]
     fn busy_fs_is_clean_after_cp() {
         let mut fs = fs();
-        let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+            .unwrap();
         for i in 0..20u64 {
             let f = fs
                 .create(d, &format!("f{i}"), FileType::File, Attrs::default())
@@ -230,7 +252,9 @@ mod tests {
     #[test]
     fn referenced_count_tracks_active_plane() {
         let mut fs = fs();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         for b in 0..10 {
             fs.write_fbn(f, b, Block::Synthetic(b)).unwrap();
         }

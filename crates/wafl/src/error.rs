@@ -92,7 +92,9 @@ mod tests {
         }
         .to_string()
         .contains("/a/b"));
-        assert!(WaflError::NoSuchSnapshot { id: 7 }.to_string().contains('7'));
+        assert!(WaflError::NoSuchSnapshot { id: 7 }
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

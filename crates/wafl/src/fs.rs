@@ -419,7 +419,11 @@ impl Wafl {
         for &b in &FSINFO_BLOCKS {
             if let Ok(block) = vol.read_block(b) {
                 if let Ok(fi) = FsInfo::from_block(&block) {
-                    if best.as_ref().map(|o| fi.cp_count > o.cp_count).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|o| fi.cp_count > o.cp_count)
+                        .unwrap_or(true)
+                    {
                         best = Some(fi);
                     }
                 }
@@ -603,7 +607,9 @@ impl Wafl {
                 name,
                 target,
                 attrs,
-            } => self.create_symlink(parent, &name, &target, attrs).map(|_| ()),
+            } => self
+                .create_symlink(parent, &name, &target, attrs)
+                .map(|_| ()),
             LoggedOp::Link { parent, name, ino } => self.link(parent, &name, ino),
         }
     }
@@ -740,6 +746,7 @@ impl Wafl {
     }
 
     fn cp_inner(&mut self, write_fsinfo: bool) -> Result<(), WaflError> {
+        obs::counter("wafl.consistency_points").inc();
         self.meter.charge_cpu(self.costs.cp_fixed);
         let mut blocks_written = 0u64;
 
@@ -759,7 +766,12 @@ impl Wafl {
 
         // 2. Rewrite dirty L1 indirect blocks of every dirty inode.
         for &ino in &dirty {
-            if self.inodes.get(ino as usize).and_then(|s| s.as_ref()).is_some() {
+            if self
+                .inodes
+                .get(ino as usize)
+                .and_then(|s| s.as_ref())
+                .is_some()
+            {
                 blocks_written += self.rewrite_file_indirects(ino)?;
             }
         }
@@ -848,13 +860,12 @@ impl Wafl {
         }
         for (&chunk, &home) in &chunk_homes {
             let words = self.blkmap.chunk_words(chunk);
-            self.vol.write_block(home as u64, ondisk::ptrs_to_block(&words))?;
+            self.vol
+                .write_block(home as u64, ondisk::ptrs_to_block(&words))?;
             blocks_written += 1;
         }
-        blocks_written += self.write_tree_indirects(
-            &self.blkmap_tree.slots.clone(),
-            &self.blkmap_meta.clone(),
-        )?;
+        blocks_written +=
+            self.write_tree_indirects(&self.blkmap_tree.slots.clone(), &self.blkmap_meta.clone())?;
 
         self.meter
             .charge_cpu(self.costs.cp_per_block * blocks_written as f64);
@@ -962,12 +973,7 @@ impl Wafl {
                     dirty.insert(i);
                 }
             }
-            (
-                dirty,
-                nslots,
-                inode.tree.slots.clone(),
-                inode.meta.clone(),
-            )
+            (dirty, nslots, inode.tree.slots.clone(), inode.meta.clone())
         };
         let need = l1_count(nslots);
         // Shrink: free homes beyond the needed count.
@@ -1021,7 +1027,10 @@ impl Wafl {
             self.free_block(meta.dind_home as u64);
             meta.dind_home = 0;
         }
-        self.inodes[ino as usize].as_mut().expect("dirty inode").meta = meta;
+        self.inodes[ino as usize]
+            .as_mut()
+            .expect("dirty inode")
+            .meta = meta;
         Ok(written)
     }
 
@@ -1030,7 +1039,8 @@ impl Wafl {
     fn rewrite_inofile(&mut self, dirty: &[Ino]) -> Result<u64, WaflError> {
         let mut written = 0;
         let needed_blocks = (self.next_ino as u64).div_ceil(INODES_PER_BLOCK);
-        let mut dirty_blocks: BTreeSet<u64> = dirty.iter().map(|&i| i as u64 / INODES_PER_BLOCK).collect();
+        let mut dirty_blocks: BTreeSet<u64> =
+            dirty.iter().map(|&i| i as u64 / INODES_PER_BLOCK).collect();
         // Newly needed inofile blocks (growth) must be written too.
         for b in self.inofile_tree.nslots()..needed_blocks {
             dirty_blocks.insert(b);
@@ -1078,10 +1088,8 @@ impl Wafl {
             self.free_block(self.inofile_meta.dind_home as u64);
         }
         self.inofile_meta = new_meta;
-        written += self.write_tree_indirects(
-            &self.inofile_tree.slots.clone(),
-            &self.inofile_meta.clone(),
-        )?;
+        written += self
+            .write_tree_indirects(&self.inofile_tree.slots.clone(), &self.inofile_meta.clone())?;
         Ok(written)
     }
 
@@ -1098,11 +1106,16 @@ impl Wafl {
             for fbn in start..end.min(nslots) {
                 ptrs[(fbn - start) as usize] = slots[fbn as usize];
             }
-            self.vol.write_block(home as u64, ondisk::ptrs_to_block(&ptrs))?;
+            self.vol
+                .write_block(home as u64, ondisk::ptrs_to_block(&ptrs))?;
             written += 1;
         }
         if meta.dind_home != 0 {
-            let ptrs: Vec<u32> = meta.l1_homes.get(1..).map(|s| s.to_vec()).unwrap_or_default();
+            let ptrs: Vec<u32> = meta
+                .l1_homes
+                .get(1..)
+                .map(|s| s.to_vec())
+                .unwrap_or_default();
             self.vol
                 .write_block(meta.dind_home as u64, ondisk::ptrs_to_block(&ptrs))?;
             written += 1;
@@ -1113,10 +1126,17 @@ impl Wafl {
 
 /// Parses a file tree from its on-disk root, reading indirect blocks
 /// through the volume (mount and snapshot-view path).
-pub(crate) fn read_tree(vol: &mut Volume, root: &TreeRoot) -> Result<(FileTree, TreeMeta), WaflError> {
+pub(crate) fn read_tree(
+    vol: &mut Volume,
+    root: &TreeRoot,
+) -> Result<(FileTree, TreeMeta), WaflError> {
     let nslots = blocks_of(root.size);
     let mut slots = vec![0u32; nslots as usize];
-    for (i, slot) in slots.iter_mut().enumerate().take(NDIRECT.min(nslots as usize)) {
+    for (i, slot) in slots
+        .iter_mut()
+        .enumerate()
+        .take(NDIRECT.min(nslots as usize))
+    {
         *slot = root.direct[i];
     }
     let mut meta = TreeMeta::default();

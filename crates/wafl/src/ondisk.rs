@@ -414,7 +414,9 @@ pub fn ptrs_to_block(ptrs: &[u32]) -> Block {
 /// Parses a pointer block.
 pub fn ptrs_from_block(block: &Block) -> Vec<u32> {
     let buf = block.materialize();
-    (0..BLOCK_SIZE / 4).map(|i| get_u32(&buf[..], 4 * i)).collect()
+    (0..BLOCK_SIZE / 4)
+        .map(|i| get_u32(&buf[..], 4 * i))
+        .collect()
 }
 
 /// Packs directory entries into blocks. Each entry is `[ino u32][len

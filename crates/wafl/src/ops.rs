@@ -706,7 +706,13 @@ impl Wafl {
     /// double-indirect block) — used by the consistency checker.
     pub fn indirect_homes(&self, ino: Ino) -> Result<Vec<u32>, WaflError> {
         let inode = self.inode(ino)?;
-        let mut homes: Vec<u32> = inode.meta.l1_homes.iter().copied().filter(|&b| b != 0).collect();
+        let mut homes: Vec<u32> = inode
+            .meta
+            .l1_homes
+            .iter()
+            .copied()
+            .filter(|&b| b != 0)
+            .collect();
         if inode.meta.dind_home != 0 {
             homes.push(inode.meta.dind_home);
         }
@@ -727,7 +733,12 @@ impl Wafl {
             meta.push(self.inofile_meta.dind_home);
         }
         (
-            self.inofile_tree.slots.iter().copied().filter(|&b| b != 0).collect(),
+            self.inofile_tree
+                .slots
+                .iter()
+                .copied()
+                .filter(|&b| b != 0)
+                .collect(),
             meta,
         )
     }
@@ -745,7 +756,12 @@ impl Wafl {
             meta.push(self.blkmap_meta.dind_home);
         }
         (
-            self.blkmap_tree.slots.iter().copied().filter(|&b| b != 0).collect(),
+            self.blkmap_tree
+                .slots
+                .iter()
+                .copied()
+                .filter(|&b| b != 0)
+                .collect(),
             meta,
         )
     }
@@ -777,10 +793,10 @@ impl Wafl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::WaflConfig;
     use blockdev::DiskPerf;
     use raid::Volume;
     use raid::VolumeGeometry;
-    use crate::types::WaflConfig;
 
     fn fs() -> Wafl {
         let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
@@ -795,8 +811,14 @@ mod tests {
             .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
         fs.write_fbn(f, 1, Block::Synthetic(2)).unwrap();
-        assert!(fs.read_fbn(f, 0).unwrap().same_content(&Block::Synthetic(1)));
-        assert!(fs.read_fbn(f, 1).unwrap().same_content(&Block::Synthetic(2)));
+        assert!(fs
+            .read_fbn(f, 0)
+            .unwrap()
+            .same_content(&Block::Synthetic(1)));
+        assert!(fs
+            .read_fbn(f, 1)
+            .unwrap()
+            .same_content(&Block::Synthetic(2)));
         assert_eq!(fs.stat(f).unwrap().size, 8192);
         assert_eq!(fs.stat(f).unwrap().blocks, 2);
     }
@@ -810,7 +832,10 @@ mod tests {
         fs.write_fbn(f, 5, Block::Synthetic(9)).unwrap();
         assert!(fs.read_fbn(f, 0).unwrap().same_content(&Block::Zero));
         assert!(fs.read_fbn(f, 4).unwrap().same_content(&Block::Zero));
-        assert!(fs.read_fbn(f, 5).unwrap().same_content(&Block::Synthetic(9)));
+        assert!(fs
+            .read_fbn(f, 5)
+            .unwrap()
+            .same_content(&Block::Synthetic(9)));
         assert_eq!(fs.stat(f).unwrap().size, 6 * 4096);
         assert_eq!(fs.stat(f).unwrap().blocks, 1);
     }
@@ -835,9 +860,15 @@ mod tests {
     #[test]
     fn namei_walks_paths() {
         let mut fs = fs();
-        let d1 = fs.create(INO_ROOT, "usr", FileType::Dir, Attrs::default()).unwrap();
-        let d2 = fs.create(d1, "local", FileType::Dir, Attrs::default()).unwrap();
-        let f = fs.create(d2, "bin", FileType::File, Attrs::default()).unwrap();
+        let d1 = fs
+            .create(INO_ROOT, "usr", FileType::Dir, Attrs::default())
+            .unwrap();
+        let d2 = fs
+            .create(d1, "local", FileType::Dir, Attrs::default())
+            .unwrap();
+        let f = fs
+            .create(d2, "bin", FileType::File, Attrs::default())
+            .unwrap();
         assert_eq!(fs.namei("/usr/local/bin").unwrap(), f);
         assert_eq!(fs.namei("usr/local").unwrap(), d2);
         assert_eq!(fs.namei("/").unwrap(), INO_ROOT);
@@ -848,7 +879,9 @@ mod tests {
     fn remove_file_frees_space() {
         let mut fs = fs();
         let before = fs.free_blocks();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         for i in 0..20 {
             fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
         }
@@ -864,8 +897,11 @@ mod tests {
     #[test]
     fn rmdir_requires_empty() {
         let mut fs = fs();
-        let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
-        fs.create(d, "child", FileType::File, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+            .unwrap();
+        fs.create(d, "child", FileType::File, Attrs::default())
+            .unwrap();
         assert!(matches!(
             fs.remove(INO_ROOT, "d"),
             Err(WaflError::NotEmpty { .. })
@@ -878,13 +914,18 @@ mod tests {
     #[test]
     fn rename_moves_entries() {
         let mut fs = fs();
-        let d = fs.create(INO_ROOT, "dir", FileType::Dir, Attrs::default()).unwrap();
-        let f = fs.create(INO_ROOT, "old", FileType::File, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "dir", FileType::Dir, Attrs::default())
+            .unwrap();
+        let f = fs
+            .create(INO_ROOT, "old", FileType::File, Attrs::default())
+            .unwrap();
         fs.rename(INO_ROOT, "old", d, "new").unwrap();
         assert!(fs.namei("/old").is_err());
         assert_eq!(fs.namei("/dir/new").unwrap(), f);
         // Destination collisions are refused.
-        fs.create(INO_ROOT, "other", FileType::File, Attrs::default()).unwrap();
+        fs.create(INO_ROOT, "other", FileType::File, Attrs::default())
+            .unwrap();
         assert!(matches!(
             fs.rename(d, "new", INO_ROOT, "other"),
             Err(WaflError::Exists { .. })
@@ -894,7 +935,9 @@ mod tests {
     #[test]
     fn rename_refuses_directory_cycles() {
         let mut fs = fs();
-        let a = fs.create(INO_ROOT, "a", FileType::Dir, Attrs::default()).unwrap();
+        let a = fs
+            .create(INO_ROOT, "a", FileType::Dir, Attrs::default())
+            .unwrap();
         let b = fs.create(a, "b", FileType::Dir, Attrs::default()).unwrap();
         let c = fs.create(b, "c", FileType::Dir, Attrs::default()).unwrap();
         // a -> a/b/c would orphan a cycle.
@@ -908,7 +951,9 @@ mod tests {
             Err(WaflError::Invalid { .. })
         ));
         // Sideways moves of directories still work.
-        let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+        let d = fs
+            .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+            .unwrap();
         fs.rename(a, "b", d, "b-moved").unwrap();
         assert!(fs.namei("/d/b-moved/c").is_ok());
     }
@@ -916,7 +961,9 @@ mod tests {
     #[test]
     fn set_size_truncates_and_extends() {
         let mut fs = fs();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         for i in 0..10 {
             fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
         }
@@ -933,7 +980,9 @@ mod tests {
     #[test]
     fn attrs_round_trip_including_multiprotocol() {
         let mut fs = fs();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         let attrs = Attrs {
             perm: 0o600,
             uid: 42,
@@ -966,7 +1015,9 @@ mod tests {
         let mut fs = fs();
         let q = fs.create_qtree("eng", 0).unwrap();
         let qroot = fs.namei("/eng").unwrap();
-        let f = fs.create(qroot, "data", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(qroot, "data", FileType::File, Attrs::default())
+            .unwrap();
         for i in 0..4 {
             fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
         }
@@ -980,7 +1031,9 @@ mod tests {
         let mut fs = fs();
         let _q = fs.create_qtree("small", 2 * 4096).unwrap();
         let qroot = fs.namei("/small").unwrap();
-        let f = fs.create(qroot, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(qroot, "f", FileType::File, Attrs::default())
+            .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
         fs.write_fbn(f, 1, Block::Synthetic(2)).unwrap();
         assert!(matches!(
@@ -994,8 +1047,10 @@ mod tests {
     #[test]
     fn readdir_is_sorted_and_typed() {
         let mut fs = fs();
-        fs.create(INO_ROOT, "zeta", FileType::File, Attrs::default()).unwrap();
-        fs.create(INO_ROOT, "alpha", FileType::Dir, Attrs::default()).unwrap();
+        fs.create(INO_ROOT, "zeta", FileType::File, Attrs::default())
+            .unwrap();
+        fs.create(INO_ROOT, "alpha", FileType::Dir, Attrs::default())
+            .unwrap();
         let names: Vec<String> = fs
             .readdir(INO_ROOT)
             .unwrap()
@@ -1010,7 +1065,9 @@ mod tests {
     #[test]
     fn writes_update_mtime_monotonically() {
         let mut fs = fs();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         let t0 = fs.stat(f).unwrap().attrs.mtime;
         fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
         let t1 = fs.stat(f).unwrap().attrs.mtime;
@@ -1020,7 +1077,9 @@ mod tests {
     #[test]
     fn fbn_out_of_range_is_rejected() {
         let mut fs = fs();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         assert!(matches!(
             fs.write_fbn(f, MAX_FILE_BLOCKS, Block::Zero),
             Err(WaflError::Invalid { .. })

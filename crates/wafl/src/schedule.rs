@@ -154,7 +154,9 @@ mod tests {
     fn generations_capture_history() {
         let mut fs = fs();
         let sched = SnapshotSchedule::default();
-        let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
         for v in 0..3u64 {
             fs.write_fbn(f, 0, Block::Synthetic(v)).unwrap();
             sched.take(&mut fs, "hourly").unwrap();
@@ -162,16 +164,15 @@ mod tests {
         // hourly.0 holds v=2, hourly.1 v=1, hourly.2 v=0 — the user can
         // reach back in time.
         for (gen, want) in [(0u32, 2u64), (1, 1), (2, 0)] {
-            let id = fs
-                .snapshot_by_name(&format!("hourly.{gen}"))
-                .unwrap()
-                .id;
+            let id = fs.snapshot_by_name(&format!("hourly.{gen}")).unwrap().id;
             let mut view = fs.snap_view(id).unwrap();
             let ino = view.namei("/f").unwrap();
             let di = view.read_inode(ino).unwrap().unwrap();
             let slots = view.file_slots(&di).unwrap();
             assert!(
-                view.read_file_block(&slots, 0).unwrap().same_content(&Block::Synthetic(want)),
+                view.read_file_block(&slots, 0)
+                    .unwrap()
+                    .same_content(&Block::Synthetic(want)),
                 "hourly.{gen} should hold version {want}"
             );
         }

@@ -35,6 +35,7 @@ impl Wafl {
 
         // Make the on-disk image current, then capture it.
         self.cp()?;
+        obs::counter("wafl.snapshot.creates").inc();
         let nwords = self.blkmap.nblocks();
         self.blkmap.snap_create(id);
         self.meter
@@ -68,6 +69,7 @@ impl Wafl {
             .iter_plane(id)
             .filter(|&b| self.blkmap.word(b) == (1u32 << id))
             .collect();
+        obs::counter("wafl.snapshot.deletes").inc();
         let nwords = self.blkmap.nblocks();
         self.blkmap.snap_delete(id);
         self.meter
@@ -85,7 +87,11 @@ impl Wafl {
                 reason: "bad snapshot name".into(),
             });
         }
-        if self.snapshots.iter().any(|s| s.name == new_name && s.id != id) {
+        if self
+            .snapshots
+            .iter()
+            .any(|s| s.name == new_name && s.id != id)
+        {
             return Err(WaflError::Exists {
                 name: new_name.into(),
             });
@@ -222,7 +228,11 @@ mod tests {
         let after = fs.free_blocks();
         // Only metadata blocks (block map homes, tables, fsinfo path) move;
         // no data is duplicated.
-        assert!(before - after < 20, "snapshot cost {} blocks", before - after);
+        assert!(
+            before - after < 20,
+            "snapshot cost {} blocks",
+            before - after
+        );
     }
 
     #[test]

@@ -33,15 +33,23 @@ fn remount(fs: Wafl) -> Wafl {
     .expect("remount after crash");
     // Every remount must yield a fully consistent image (no fsck, ever).
     let report = wafl::check::check(&fs).expect("checker runs");
-    assert!(report.is_clean(), "post-crash inconsistency: {:?}", report.problems);
+    assert!(
+        report.is_clean(),
+        "post-crash inconsistency: {:?}",
+        report.problems
+    );
     fs
 }
 
 #[test]
 fn clean_state_survives_remount() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "docs", FileType::Dir, Attrs::default()).unwrap();
-    let f = fs.create(d, "paper.tex", FileType::File, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "docs", FileType::Dir, Attrs::default())
+        .unwrap();
+    let f = fs
+        .create(d, "paper.tex", FileType::File, Attrs::default())
+        .unwrap();
     for i in 0..40 {
         fs.write_fbn(f, i, Block::Synthetic(i * 11)).unwrap();
     }
@@ -77,12 +85,16 @@ fn clean_state_survives_remount() {
 #[test]
 fn nvram_replay_recovers_ops_since_last_cp() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "base", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "base", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
     fs.cp().unwrap();
 
     // Operations after the CP live only in NVRAM.
-    let g = fs.create(INO_ROOT, "fresh", FileType::File, Attrs::default()).unwrap();
+    let g = fs
+        .create(INO_ROOT, "fresh", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(g, 0, Block::Synthetic(2)).unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(3)).unwrap();
     fs.remove(INO_ROOT, "base").unwrap();
@@ -92,17 +104,23 @@ fn nvram_replay_recovers_ops_since_last_cp() {
     let mut fs = remount(fs);
     assert!(fs.namei("/base").is_err(), "remove must be replayed");
     let g2 = fs.namei("/fresh").unwrap();
-    assert!(fs.read_fbn(g2, 0).unwrap().same_content(&Block::Synthetic(2)));
+    assert!(fs
+        .read_fbn(g2, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(2)));
     assert!(fs.nvram().is_empty(), "replay ends with a commit");
 }
 
 #[test]
 fn crash_without_nvram_loses_recent_ops_but_stays_consistent() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "durable", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "durable", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
     fs.cp().unwrap();
-    fs.create(INO_ROOT, "volatile", FileType::File, Attrs::default()).unwrap();
+    fs.create(INO_ROOT, "volatile", FileType::File, Attrs::default())
+        .unwrap();
 
     // Simulate NVRAM loss: drop the log entirely (paper: "the only damage
     // is that a few seconds worth of NFS operations may be lost").
@@ -123,14 +141,18 @@ fn crash_without_nvram_loses_recent_ops_but_stays_consistent() {
 #[test]
 fn crash_mid_cp_falls_back_to_previous_cp() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "steady", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "steady", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(10)).unwrap();
     fs.cp().unwrap();
     let committed_cp = fs.cp_count();
 
     // More work, then a CP that dies before the fsinfo write: all the new
     // metadata blocks are on disk, but the commit record never lands.
-    let g = fs.create(INO_ROOT, "in-flight", FileType::File, Attrs::default()).unwrap();
+    let g = fs
+        .create(INO_ROOT, "in-flight", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(g, 0, Block::Synthetic(20)).unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(11)).unwrap();
     fs.cp_without_fsinfo().unwrap();
@@ -154,7 +176,9 @@ fn crash_mid_cp_falls_back_to_previous_cp() {
     assert!(fs.namei("/in-flight").is_err());
     let f2 = fs.namei("/steady").unwrap();
     assert!(
-        fs.read_fbn(f2, 0).unwrap().same_content(&Block::Synthetic(10)),
+        fs.read_fbn(f2, 0)
+            .unwrap()
+            .same_content(&Block::Synthetic(10)),
         "must see the pre-CP content, not the torn write"
     );
 }
@@ -162,7 +186,9 @@ fn crash_mid_cp_falls_back_to_previous_cp() {
 #[test]
 fn snapshots_survive_crash_and_remount() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "f", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
     let id = fs.snapshot_create("nightly.0").unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(2)).unwrap();
@@ -186,7 +212,9 @@ fn repeated_crashes_are_idempotent() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
     for round in 0..5u64 {
         let name = format!("round{round}");
-        let f = fs.create(INO_ROOT, &name, FileType::File, Attrs::default()).unwrap();
+        let f = fs
+            .create(INO_ROOT, &name, FileType::File, Attrs::default())
+            .unwrap();
         fs.write_fbn(f, 0, Block::Synthetic(round)).unwrap();
         fs = remount(fs);
     }
@@ -208,7 +236,9 @@ fn auto_cp_triggers_at_nvram_watermark() {
     };
     let mut fs = Wafl::format(volume(), cfg).unwrap();
     let before = fs.cp_count();
-    let f = fs.create(INO_ROOT, "burst", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "burst", FileType::File, Attrs::default())
+        .unwrap();
     for i in 0..64 {
         fs.write_fbn(f, i, Block::Synthetic(i)).unwrap();
     }
@@ -219,10 +249,20 @@ fn auto_cp_triggers_at_nvram_watermark() {
     );
     // And the data is all there after a crash even with a tiny log.
     let (vol, nv) = fs.crash();
-    let mut fs = Wafl::mount(vol, nv, WaflConfig::default(), Meter::new_shared(), CostModel::zero()).unwrap();
+    let mut fs = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .unwrap();
     let f2 = fs.namei("/burst").unwrap();
     for i in 0..64 {
-        assert!(fs.read_fbn(f2, i).unwrap().same_content(&Block::Synthetic(i)));
+        assert!(fs
+            .read_fbn(f2, i)
+            .unwrap()
+            .same_content(&Block::Synthetic(i)));
     }
 }
 

@@ -35,21 +35,24 @@ fn remount(fs: Wafl) -> Wafl {
 #[test]
 fn file_spanning_all_three_mapping_levels_survives_remount() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "big", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "big", FileType::File, Attrs::default())
+        .unwrap();
     let nd = NDIRECT as u64;
     // Direct, single-indirect, and double-indirect territory, with holes
     // between them.
     let probes: Vec<u64> = vec![
         0,
-        nd - 1,            // last direct
-        nd,                // first single-indirect
+        nd - 1,                  // last direct
+        nd,                      // first single-indirect
         nd + PTRS_PER_BLOCK - 1, // last single-indirect
         nd + PTRS_PER_BLOCK,     // first double-indirect
         nd + PTRS_PER_BLOCK + 700,
         nd + 2 * PTRS_PER_BLOCK + 3, // second L1 child
     ];
     for (i, &fbn) in probes.iter().enumerate() {
-        fs.write_fbn(f, fbn, Block::Synthetic(7000 + i as u64)).unwrap();
+        fs.write_fbn(f, fbn, Block::Synthetic(7000 + i as u64))
+            .unwrap();
     }
     fs.cp().unwrap();
 
@@ -57,7 +60,9 @@ fn file_spanning_all_three_mapping_levels_survives_remount() {
     let f2 = fs.namei("/big").unwrap();
     for (i, &fbn) in probes.iter().enumerate() {
         assert!(
-            fs.read_fbn(f2, fbn).unwrap().same_content(&Block::Synthetic(7000 + i as u64)),
+            fs.read_fbn(f2, fbn)
+                .unwrap()
+                .same_content(&Block::Synthetic(7000 + i as u64)),
             "probe fbn {fbn}"
         );
     }
@@ -74,7 +79,9 @@ fn file_spanning_all_three_mapping_levels_survives_remount() {
 #[test]
 fn dense_double_indirect_file_round_trips() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "dense", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "dense", FileType::File, Attrs::default())
+        .unwrap();
     let n = 1500u64; // crosses into double-indirect territory
     for fbn in 0..n {
         fs.write_fbn(f, fbn, Block::Synthetic(fbn * 3)).unwrap();
@@ -83,7 +90,9 @@ fn dense_double_indirect_file_round_trips() {
     let f2 = fs.namei("/dense").unwrap();
     for fbn in 0..n {
         assert!(
-            fs.read_fbn(f2, fbn).unwrap().same_content(&Block::Synthetic(fbn * 3)),
+            fs.read_fbn(f2, fbn)
+                .unwrap()
+                .same_content(&Block::Synthetic(fbn * 3)),
             "fbn {fbn}"
         );
     }
@@ -93,7 +102,9 @@ fn dense_double_indirect_file_round_trips() {
 #[test]
 fn truncating_a_large_file_frees_indirect_territory() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "shrink", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "shrink", FileType::File, Attrs::default())
+        .unwrap();
     for fbn in 0..1200u64 {
         fs.write_fbn(f, fbn, Block::Synthetic(fbn)).unwrap();
     }
@@ -111,13 +122,18 @@ fn truncating_a_large_file_frees_indirect_territory() {
     let mut fs = remount(fs);
     let f2 = fs.namei("/shrink").unwrap();
     assert_eq!(fs.stat(f2).unwrap().size, 10 * 4096);
-    assert!(fs.read_fbn(f2, 3).unwrap().same_content(&Block::Synthetic(3)));
+    assert!(fs
+        .read_fbn(f2, 3)
+        .unwrap()
+        .same_content(&Block::Synthetic(3)));
 }
 
 #[test]
 fn mount_survives_one_corrupt_fsinfo_copy() {
     let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
-    let f = fs.create(INO_ROOT, "f", FileType::File, Attrs::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "f", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(f, 0, Block::Synthetic(42)).unwrap();
     fs.cp().unwrap();
     let (mut vol, nv) = fs.crash();
@@ -132,7 +148,10 @@ fn mount_survives_one_corrupt_fsinfo_copy() {
     )
     .expect("second copy must save the mount");
     let f2 = fs.namei("/f").unwrap();
-    assert!(fs.read_fbn(f2, 0).unwrap().same_content(&Block::Synthetic(42)));
+    assert!(fs
+        .read_fbn(f2, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(42)));
 }
 
 #[test]

@@ -1,14 +1,15 @@
 //! The big consistency property: after *any* sequence of operations,
 //! snapshots, consistency points and crashes, the remounted file system
 //! passes the full cross-check against its block map — the "no fsck"
-//! claim under adversarial schedules.
+//! claim under adversarial schedules. Schedules come from a deterministic
+//! seeded generator.
 
 use blockdev::Block;
 use blockdev::DiskPerf;
-use proptest::prelude::*;
 use raid::Volume;
 use raid::VolumeGeometry;
 use simkit::meter::Meter;
+use simkit::rng::SimRng;
 use wafl::check::check;
 use wafl::cost::CostModel;
 use wafl::types::Attrs;
@@ -20,38 +21,95 @@ use wafl::Wafl;
 /// One scripted operation.
 #[derive(Debug, Clone)]
 enum Op {
-    Create { dir_sel: u8, name_sel: u8 },
-    Mkdir { dir_sel: u8, name_sel: u8 },
-    Write { file_sel: u8, fbn: u8, seed: u64 },
-    Truncate { file_sel: u8, blocks: u8 },
-    Remove { any_sel: u8 },
-    Rename { any_sel: u8, dir_sel: u8, name_sel: u8 },
-    Link { file_sel: u8, dir_sel: u8, name_sel: u8 },
-    Symlink { dir_sel: u8, name_sel: u8 },
+    Create {
+        dir_sel: u8,
+        name_sel: u8,
+    },
+    Mkdir {
+        dir_sel: u8,
+        name_sel: u8,
+    },
+    Write {
+        file_sel: u8,
+        fbn: u8,
+        seed: u64,
+    },
+    Truncate {
+        file_sel: u8,
+        blocks: u8,
+    },
+    Remove {
+        any_sel: u8,
+    },
+    Rename {
+        any_sel: u8,
+        dir_sel: u8,
+        name_sel: u8,
+    },
+    Link {
+        file_sel: u8,
+        dir_sel: u8,
+        name_sel: u8,
+    },
+    Symlink {
+        dir_sel: u8,
+        name_sel: u8,
+    },
     Snapshot,
-    DeleteSnapshot { sel: u8 },
+    DeleteSnapshot {
+        sel: u8,
+    },
     Cp,
-    Crash { lose_nvram: bool },
+    Crash {
+        lose_nvram: bool,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Create { dir_sel: d, name_sel: n }),
-        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Mkdir { dir_sel: d, name_sel: n }),
-        (any::<u8>(), any::<u8>(), any::<u64>())
-            .prop_map(|(f, fbn, seed)| Op::Write { file_sel: f, fbn: fbn % 40, seed }),
-        (any::<u8>(), any::<u8>()).prop_map(|(f, b)| Op::Truncate { file_sel: f, blocks: b % 16 }),
-        any::<u8>().prop_map(|s| Op::Remove { any_sel: s }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(a, d, n)| Op::Rename { any_sel: a, dir_sel: d, name_sel: n }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(f, d, n)| Op::Link { file_sel: f, dir_sel: d, name_sel: n }),
-        (any::<u8>(), any::<u8>()).prop_map(|(d, n)| Op::Symlink { dir_sel: d, name_sel: n }),
-        Just(Op::Snapshot),
-        any::<u8>().prop_map(|s| Op::DeleteSnapshot { sel: s }),
-        Just(Op::Cp),
-        any::<bool>().prop_map(|lose_nvram| Op::Crash { lose_nvram }),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.range(0, 12) {
+        0 => Op::Create {
+            dir_sel: rng.next_u64() as u8,
+            name_sel: rng.next_u64() as u8,
+        },
+        1 => Op::Mkdir {
+            dir_sel: rng.next_u64() as u8,
+            name_sel: rng.next_u64() as u8,
+        },
+        2 => Op::Write {
+            file_sel: rng.next_u64() as u8,
+            fbn: (rng.next_u64() as u8) % 40,
+            seed: rng.next_u64(),
+        },
+        3 => Op::Truncate {
+            file_sel: rng.next_u64() as u8,
+            blocks: (rng.next_u64() as u8) % 16,
+        },
+        4 => Op::Remove {
+            any_sel: rng.next_u64() as u8,
+        },
+        5 => Op::Rename {
+            any_sel: rng.next_u64() as u8,
+            dir_sel: rng.next_u64() as u8,
+            name_sel: rng.next_u64() as u8,
+        },
+        6 => Op::Link {
+            file_sel: rng.next_u64() as u8,
+            dir_sel: rng.next_u64() as u8,
+            name_sel: rng.next_u64() as u8,
+        },
+        7 => Op::Symlink {
+            dir_sel: rng.next_u64() as u8,
+            name_sel: rng.next_u64() as u8,
+        },
+        8 => Op::Snapshot,
+        9 => Op::DeleteSnapshot {
+            sel: rng.next_u64() as u8,
+        },
+        10 => Op::Cp,
+        _ => Op::Crash {
+            lose_nvram: rng.chance(0.5),
+        },
+    }
 }
 
 /// Current namespace helpers (recomputed cheaply; the trees are tiny).
@@ -84,16 +142,17 @@ fn all_entries(fs: &Wafl) -> Vec<(u32, String, u32, FileType)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn any_schedule_leaves_a_consistent_image(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn any_schedule_leaves_a_consistent_image() {
+    let mut rng = SimRng::seed_from_u64(0xc0de_5eed);
+    for case in 0..48 {
         let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
         let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
         let mut serial = 0u64;
-        for op in ops {
+        let nops = rng.range(1, 60);
+        for _ in 0..nops {
             serial += 1;
-            match op {
+            match arb_op(&mut rng) {
                 Op::Create { dir_sel, name_sel } => {
                     let dirs = all_dirs(&fs);
                     let parent = dirs[dir_sel as usize % dirs.len()];
@@ -114,7 +173,11 @@ proptest! {
                         Attrs::default(),
                     );
                 }
-                Op::Write { file_sel, fbn, seed } => {
+                Op::Write {
+                    file_sel,
+                    fbn,
+                    seed,
+                } => {
                     let files: Vec<u32> = all_entries(&fs)
                         .into_iter()
                         .filter(|(_, _, _, t)| *t == FileType::File)
@@ -122,7 +185,8 @@ proptest! {
                         .collect();
                     if !files.is_empty() {
                         let ino = files[file_sel as usize % files.len()];
-                        fs.write_fbn(ino, fbn as u64, Block::Synthetic(seed)).unwrap();
+                        fs.write_fbn(ino, fbn as u64, Block::Synthetic(seed))
+                            .unwrap();
                     }
                 }
                 Op::Truncate { file_sel, blocks } => {
@@ -145,7 +209,11 @@ proptest! {
                         let _ = fs.remove(parent, &name);
                     }
                 }
-                Op::Rename { any_sel, dir_sel, name_sel } => {
+                Op::Rename {
+                    any_sel,
+                    dir_sel,
+                    name_sel,
+                } => {
                     let entries = all_entries(&fs);
                     let dirs = all_dirs(&fs);
                     if !entries.is_empty() {
@@ -164,7 +232,11 @@ proptest! {
                         }
                     }
                 }
-                Op::Link { file_sel, dir_sel, name_sel } => {
+                Op::Link {
+                    file_sel,
+                    dir_sel,
+                    name_sel,
+                } => {
                     let files: Vec<u32> = all_entries(&fs)
                         .into_iter()
                         .filter(|(_, _, _, t)| *t != FileType::Dir)
@@ -194,7 +266,8 @@ proptest! {
                 Op::DeleteSnapshot { sel } => {
                     let snaps: Vec<u8> = fs.snapshots().iter().map(|s| s.id).collect();
                     if !snaps.is_empty() {
-                        fs.snapshot_delete(snaps[sel as usize % snaps.len()]).unwrap();
+                        fs.snapshot_delete(snaps[sel as usize % snaps.len()])
+                            .unwrap();
                     }
                 }
                 Op::Cp => fs.cp().unwrap(),
@@ -227,6 +300,10 @@ proptest! {
         )
         .expect("final remount");
         let report = check(&fs).unwrap();
-        prop_assert!(report.is_clean(), "problems: {:?}", report.problems);
+        assert!(
+            report.is_clean(),
+            "case {case}: problems: {:?}",
+            report.problems
+        );
     }
 }

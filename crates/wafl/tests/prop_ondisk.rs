@@ -1,6 +1,8 @@
-//! Property tests for on-disk serialization and block-map plane algebra.
+//! Randomized tests for on-disk serialization and block-map plane algebra,
+//! driven by a deterministic seeded generator.
 
-use proptest::prelude::*;
+use simkit::rng::SimRng;
+use std::collections::BTreeMap;
 use wafl::blkmap::BlkMap;
 use wafl::ondisk;
 use wafl::ondisk::DiskInode;
@@ -12,133 +14,179 @@ use wafl::types::MAX_ACL;
 use wafl::types::MAX_DOS_NAME;
 use wafl::types::NDIRECT;
 
-fn arb_attrs() -> impl Strategy<Value = Attrs> {
-    (
-        any::<u16>(),
-        any::<u32>(),
-        any::<u32>(),
-        any::<u64>(),
-        any::<u8>(),
-        proptest::option::of("[A-Z0-9~.]{1,12}"),
-        proptest::option::of(proptest::collection::vec(any::<u8>(), 1..MAX_ACL)),
-    )
-        .prop_map(|(perm, uid, gid, mtime, dos_attrs, dos_name, nt_acl)| Attrs {
-            perm,
-            uid,
-            gid,
-            mtime,
-            ctime: mtime.wrapping_add(1),
-            atime: mtime.wrapping_add(2),
-            dos_attrs,
-            dos_time: mtime.wrapping_mul(3),
-            dos_name: dos_name.filter(|n| n.len() <= MAX_DOS_NAME),
-            nt_acl,
-        })
+fn arb_string(rng: &mut SimRng, alphabet: &[u8], lo: u64, hi: u64) -> String {
+    let len = rng.range(lo, hi);
+    (0..len)
+        .map(|_| alphabet[rng.range(0, alphabet.len() as u64) as usize] as char)
+        .collect()
 }
 
-fn arb_inode() -> impl Strategy<Value = DiskInode> {
-    (
-        arb_attrs(),
-        prop_oneof![Just(FileType::File), Just(FileType::Dir)],
-        any::<u16>(),
-        any::<u16>(),
-        any::<u32>(),
-        any::<u64>(),
-        proptest::collection::vec(any::<u32>(), NDIRECT),
-        any::<u32>(),
-        any::<u32>(),
-    )
-        .prop_map(
-            |(attrs, ftype, nlink, qtree, gen, size, direct, ind, dind)| DiskInode {
-                ftype: Some(ftype),
-                attrs,
-                nlink,
-                qtree,
-                gen,
-                root: TreeRoot {
-                    size,
-                    direct: direct.try_into().expect("NDIRECT entries"),
-                    indirect: ind,
-                    dindirect: dind,
-                },
-            },
-        )
+fn arb_attrs(rng: &mut SimRng) -> Attrs {
+    let mtime = rng.next_u64();
+    Attrs {
+        perm: rng.next_u64() as u16,
+        uid: rng.next_u64() as u32,
+        gid: rng.next_u64() as u32,
+        mtime,
+        ctime: mtime.wrapping_add(1),
+        atime: mtime.wrapping_add(2),
+        dos_attrs: rng.next_u64() as u8,
+        dos_time: mtime.wrapping_mul(3),
+        dos_name: if rng.chance(0.5) {
+            Some(arb_string(
+                rng,
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789~.",
+                1,
+                13,
+            ))
+            .filter(|n| n.len() <= MAX_DOS_NAME)
+        } else {
+            None
+        },
+        nt_acl: if rng.chance(0.5) {
+            let len = rng.range(1, MAX_ACL as u64) as usize;
+            Some((0..len).map(|_| rng.next_u64() as u8).collect())
+        } else {
+            None
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn inode_serialization_round_trips(inode in arb_inode()) {
+fn arb_inode(rng: &mut SimRng) -> DiskInode {
+    let attrs = arb_attrs(rng);
+    let ftype = if rng.chance(0.5) {
+        FileType::File
+    } else {
+        FileType::Dir
+    };
+    let mut direct = [0u32; NDIRECT];
+    for d in &mut direct {
+        *d = rng.next_u64() as u32;
+    }
+    DiskInode {
+        ftype: Some(ftype),
+        attrs,
+        nlink: rng.next_u64() as u16,
+        qtree: rng.next_u64() as u16,
+        gen: rng.next_u64() as u32,
+        root: TreeRoot {
+            size: rng.next_u64(),
+            direct,
+            indirect: rng.next_u64() as u32,
+            dindirect: rng.next_u64() as u32,
+        },
+    }
+}
+
+#[test]
+fn inode_serialization_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0x0d15_c001);
+    for case in 0..256 {
+        let inode = arb_inode(&mut rng);
         let mut slot = vec![0u8; INODE_SIZE];
         inode.write_to(&mut slot);
-        prop_assert_eq!(DiskInode::read_from(&slot), inode);
+        assert_eq!(DiskInode::read_from(&slot), inode, "case {case}");
     }
+}
 
-    #[test]
-    fn dir_blocks_round_trip(entries in proptest::collection::btree_map(
-        "[a-zA-Z0-9._-]{1,40}", 1u32..1_000_000, 0..200,
-    )) {
+#[test]
+fn dir_blocks_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x0d15_c002);
+    for case in 0..256 {
+        // BTreeMap mirrors the original strategy: sorted, unique names.
+        let mut entries: BTreeMap<String, u32> = BTreeMap::new();
+        for _ in 0..rng.range(0, 200) {
+            let name = arb_string(
+                &mut rng,
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-",
+                1,
+                41,
+            );
+            entries.insert(name, rng.range(1, 1_000_000) as u32);
+        }
         let blocks = ondisk::dir_to_blocks(entries.iter().map(|(n, i)| (n.as_str(), *i)));
         let mut back = Vec::new();
         for b in &blocks {
             back.extend(ondisk::dir_from_block(b));
         }
-        let expected: Vec<(String, u32)> =
-            entries.into_iter().collect();
-        prop_assert_eq!(back, expected);
+        let expected: Vec<(String, u32)> = entries.into_iter().collect();
+        assert_eq!(back, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn ptr_blocks_round_trip(ptrs in proptest::collection::vec(any::<u32>(), 0..1024)) {
+#[test]
+fn ptr_blocks_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x0d15_c003);
+    for case in 0..256 {
+        let ptrs: Vec<u32> = (0..rng.range(0, 1024))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
         let back = ondisk::ptrs_from_block(&ondisk::ptrs_to_block(&ptrs));
-        prop_assert_eq!(&back[..ptrs.len()], &ptrs[..]);
-        prop_assert!(back[ptrs.len()..].iter().all(|&p| p == 0));
+        assert_eq!(&back[..ptrs.len()], &ptrs[..], "case {case}");
+        assert!(back[ptrs.len()..].iter().all(|&p| p == 0), "case {case}");
     }
+}
 
-    /// Plane algebra: after arbitrary set/clear/snapshot operations, the
-    /// invariants of the 32-bit-per-block map hold.
-    #[test]
-    fn blkmap_plane_invariants(ops in proptest::collection::vec(
-        (0u8..4, 0u64..256, 1u8..5), 1..200,
-    )) {
+/// Plane algebra: after arbitrary set/clear/snapshot operations, the
+/// invariants of the 32-bit-per-block map hold.
+#[test]
+fn blkmap_plane_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x0d15_c004);
+    for case in 0..256 {
         let mut m = BlkMap::new(256);
-        for (op, bno, snap) in ops {
+        for _ in 0..rng.range(1, 200) {
+            let op = rng.range(0, 4) as u8;
+            let bno = rng.range(0, 256);
+            let snap = rng.range(1, 5) as u8;
             match op {
                 0 => m.set_active(bno),
                 1 => m.clear_active(bno),
-                2 => { m.snap_create(snap); }
+                2 => {
+                    m.snap_create(snap);
+                }
                 _ => m.snap_delete(snap),
             }
             // Invariant: a block is free iff no plane references it.
-            prop_assert_eq!(m.is_free(bno), m.word(bno) == 0);
+            assert_eq!(m.is_free(bno), m.word(bno) == 0, "case {case}");
         }
         // Count identities.
         let active = m.count_plane(0);
         let by_iter = m.iter_plane(0).count() as u64;
-        prop_assert_eq!(active, by_iter);
+        assert_eq!(active, by_iter, "case {case}");
         // A fresh snapshot is exactly the active plane.
         m.snap_create(5);
-        prop_assert_eq!(m.count_plane(5), m.count_plane(0));
+        assert_eq!(m.count_plane(5), m.count_plane(0), "case {case}");
         let diff: Vec<u64> = m.iter_diff(0, 5).collect();
-        prop_assert!(diff.is_empty(), "active - snapshot must be empty right after create");
+        assert!(
+            diff.is_empty(),
+            "case {case}: active - snapshot must be empty right after create"
+        );
     }
+}
 
-    /// The incremental dump set (B − A) plus the unchanged set (A ∩ B)
-    /// covers exactly B.
-    #[test]
-    fn diff_partitions_the_plane(
-        seed_a in proptest::collection::vec(0u64..512, 0..128),
-        adds in proptest::collection::vec(0u64..512, 0..128),
-        dels in proptest::collection::vec(0u64..512, 0..128),
-    ) {
+/// The incremental dump set (B − A) plus the unchanged set (A ∩ B)
+/// covers exactly B.
+#[test]
+fn diff_partitions_the_plane() {
+    let mut rng = SimRng::seed_from_u64(0x0d15_c005);
+    for case in 0..256 {
         let mut m = BlkMap::new(512);
-        for b in seed_a { m.set_active(b); }
+        for _ in 0..rng.range(0, 128) {
+            m.set_active(rng.range(0, 512));
+        }
         m.snap_create(1);
-        for b in adds { m.set_active(b); }
-        for b in dels { m.clear_active(b); }
+        for _ in 0..rng.range(0, 128) {
+            m.set_active(rng.range(0, 512));
+        }
+        for _ in 0..rng.range(0, 128) {
+            m.clear_active(rng.range(0, 512));
+        }
         m.snap_create(2);
         let b_total = m.count_plane(2);
         let newly: u64 = m.iter_diff(2, 1).count() as u64;
-        let unchanged = (0..512).filter(|&b| m.in_snapshot(b, 1) && m.in_snapshot(b, 2)).count() as u64;
-        prop_assert_eq!(newly + unchanged, b_total);
+        let unchanged = (0..512)
+            .filter(|&b| m.in_snapshot(b, 1) && m.in_snapshot(b, 2))
+            .count() as u64;
+        assert_eq!(newly + unchanged, b_total, "case {case}");
     }
 }

@@ -7,12 +7,11 @@
 //! files land in the scattered holes — exactly how real file systems
 //! fragment, and exactly what makes the paper's logical dump read randomly.
 
+use blockdev::Block;
 use simkit::rng::SimRng;
+use wafl::types::INO_ROOT;
 use wafl::Wafl;
 use wafl::WaflError;
-use blockdev::Block;
-use wafl::types::INO_ROOT;
-
 
 use crate::populate::walk_files;
 use crate::populate::PopulateOutcome;
@@ -164,7 +163,10 @@ mod tests {
             mature > 2.0 * fresh + 0.05,
             "fragmentation should rise: fresh={fresh:.3} mature={mature:.3}"
         );
-        assert!(mature > 0.08, "mature volume should be scattered: {mature:.3}");
+        assert!(
+            mature > 0.08,
+            "mature volume should be scattered: {mature:.3}"
+        );
     }
 
     #[test]
@@ -172,13 +174,7 @@ mod tests {
         let profile = VolumeProfile::tiny();
         let (mut fs, out) = populate(&profile, 5, Meter::new_shared(), CostModel::zero()).unwrap();
         let before = fs.active_blocks();
-        age(
-            &mut fs,
-            &profile,
-            &AgingOptions::from_profile(&profile),
-            7,
-        )
-        .unwrap();
+        age(&mut fs, &profile, &AgingOptions::from_profile(&profile), 7).unwrap();
         let after = fs.active_blocks();
         let ratio = after as f64 / before as f64;
         assert!((0.85..1.25).contains(&ratio), "size drifted: {ratio}");

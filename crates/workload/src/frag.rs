@@ -71,8 +71,12 @@ mod tests {
     fn interleaved_writes_fragment() {
         let vol = Volume::new(VolumeGeometry::uniform(1, 4, 2048, DiskPerf::ideal()));
         let mut fs = Wafl::format(vol, WaflConfig::default()).unwrap();
-        let a = fs.create(INO_ROOT, "a", FileType::File, Attrs::default()).unwrap();
-        let b = fs.create(INO_ROOT, "b", FileType::File, Attrs::default()).unwrap();
+        let a = fs
+            .create(INO_ROOT, "a", FileType::File, Attrs::default())
+            .unwrap();
+        let b = fs
+            .create(INO_ROOT, "b", FileType::File, Attrs::default())
+            .unwrap();
         // Strictly alternating writes give each file every other block.
         for i in 0..40 {
             fs.write_fbn(a, i, Block::Synthetic(i)).unwrap();

@@ -3,6 +3,7 @@
 use std::rc::Rc;
 
 use blockdev::Block;
+use raid::Volume;
 use simkit::meter::Meter;
 use simkit::rng::SimRng;
 use wafl::cost::CostModel;
@@ -13,7 +14,6 @@ use wafl::types::WaflConfig;
 use wafl::types::INO_ROOT;
 use wafl::Wafl;
 use wafl::WaflError;
-use raid::Volume;
 
 use crate::profile::VolumeProfile;
 
@@ -83,7 +83,14 @@ pub fn populate(
     };
     for (i, &root) in roots.iter().enumerate() {
         let mut tree_rng = rng.fork(i as u64);
-        fill_tree(&mut fs, root, per_root, profile, &mut tree_rng, &mut outcome)?;
+        fill_tree(
+            &mut fs,
+            root,
+            per_root,
+            profile,
+            &mut tree_rng,
+            &mut outcome,
+        )?;
     }
     fs.cp()?;
     Ok((fs, outcome))
@@ -99,7 +106,16 @@ pub fn fill_tree(
     rng: &mut SimRng,
     outcome: &mut PopulateOutcome,
 ) -> Result<(), WaflError> {
-    fill_tree_with(fs, root, target_bytes, profile, rng, outcome, Vec::new(), 1.0)
+    fill_tree_with(
+        fs,
+        root,
+        target_bytes,
+        profile,
+        rng,
+        outcome,
+        Vec::new(),
+        1.0,
+    )
 }
 
 /// [`fill_tree`] with an explicit starting directory pool and a scale on

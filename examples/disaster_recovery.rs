@@ -16,10 +16,17 @@ fn main() {
     let meter = Meter::new_shared();
 
     // Production data.
-    let data = fs.create(INO_ROOT, "data", FileType::Dir, Attrs::default()).unwrap();
+    let data = fs
+        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..30u64 {
         let f = fs
-            .create(data, &format!("record{i:02}"), FileType::File, Attrs::default())
+            .create(
+                data,
+                &format!("record{i:02}"),
+                FileType::File,
+                Attrs::default(),
+            )
             .unwrap();
         for b in 0..20 {
             fs.write_fbn(f, b, Block::Synthetic(i * 100 + b)).unwrap();
@@ -35,12 +42,17 @@ fn main() {
     // Monday: changes + a nightly incremental.
     let f0 = fs.namei("/data/record00").unwrap();
     fs.write_fbn(f0, 0, Block::Synthetic(777_001)).unwrap();
-    let newf = fs.create(data, "monday-report", FileType::File, Attrs::default()).unwrap();
+    let newf = fs
+        .create(data, "monday-report", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(newf, 0, Block::Synthetic(555)).unwrap();
     let mut mon_tape = TapeDrive::new(TapePerf::dlt7000(), 1 << 30);
     let mon = image_dump_incremental(&mut fs, &mut mon_tape, "weekly.0", "nightly.mon")
         .expect("monday incremental");
-    println!("monday incremental: {} blocks (vs {} full)", mon.blocks, full.blocks);
+    println!(
+        "monday incremental: {} blocks (vs {} full)",
+        mon.blocks, full.blocks
+    );
 
     // Tuesday morning: a disk dies mid-operation. RAID masks it.
     fs.volume_mut().group_mut(0).unwrap().fail_disk(2).unwrap();
@@ -49,13 +61,19 @@ fn main() {
         .unwrap()
         .same_content(&Block::Synthetic(777_001)));
     println!("\n*** disk 2 of group 0 failed — degraded reads still correct");
-    fs.volume_mut().group_mut(0).unwrap().reconstruct().expect("rebuild");
+    fs.volume_mut()
+        .group_mut(0)
+        .unwrap()
+        .reconstruct()
+        .expect("rebuild");
     println!("replacement disk reconstructed from parity; volume healthy again");
 
     // Tuesday's changes + incremental (level 2 in the paper's terms:
     // C − B).
     fs.remove(data, "record29").unwrap();
-    let tue_file = fs.create(data, "tuesday-report", FileType::File, Attrs::default()).unwrap();
+    let tue_file = fs
+        .create(data, "tuesday-report", FileType::File, Attrs::default())
+        .unwrap();
     fs.write_fbn(tue_file, 0, Block::Synthetic(666)).unwrap();
     let mut tue_tape = TapeDrive::new(TapePerf::dlt7000(), 1 << 30);
     let tue = image_dump_incremental(&mut fs, &mut tue_tape, "nightly.mon", "nightly.tue")

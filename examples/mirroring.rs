@@ -38,18 +38,24 @@ fn main() {
     let mut mirror = Mirror::new();
 
     // Seed the primary.
-    let d = primary.create(INO_ROOT, "db", FileType::Dir, Attrs::default()).unwrap();
+    let d = primary
+        .create(INO_ROOT, "db", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..20u64 {
         let f = primary
             .create(d, &format!("table{i}"), FileType::File, Attrs::default())
             .unwrap();
         for b in 0..25 {
-            primary.write_fbn(f, b, Block::Synthetic(i * 1000 + b)).unwrap();
+            primary
+                .write_fbn(f, b, Block::Synthetic(i * 1000 + b))
+                .unwrap();
         }
     }
 
     // Initial transfer ships the whole used set.
-    let first = mirror.sync(&mut primary, &mut target, &meter, &costs).expect("initial sync");
+    let first = mirror
+        .sync(&mut primary, &mut target, &meter, &costs)
+        .expect("initial sync");
     println!(
         "initial mirror transfer: {} blocks ({})",
         first.blocks,
@@ -66,13 +72,24 @@ fn main() {
     // stay proportional to the churn, not the volume.
     for day in 1..=3u64 {
         let f = primary.namei("/db/table0").unwrap();
-        primary.write_fbn(f, day, Block::Synthetic(70_000 + day)).unwrap();
-        let newf = primary
-            .create(d, &format!("log.day{day}"), FileType::File, Attrs::default())
+        primary
+            .write_fbn(f, day, Block::Synthetic(70_000 + day))
             .unwrap();
-        primary.write_fbn(newf, 0, Block::Synthetic(80_000 + day)).unwrap();
+        let newf = primary
+            .create(
+                d,
+                &format!("log.day{day}"),
+                FileType::File,
+                Attrs::default(),
+            )
+            .unwrap();
+        primary
+            .write_fbn(newf, 0, Block::Synthetic(80_000 + day))
+            .unwrap();
 
-        let sync = mirror.sync(&mut primary, &mut target, &meter, &costs).expect("sync");
+        let sync = mirror
+            .sync(&mut primary, &mut target, &meter, &costs)
+            .expect("sync");
         println!(
             "day {day}: shipped {} blocks ({:.1}% of the initial transfer)",
             sync.blocks,

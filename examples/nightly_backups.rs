@@ -21,20 +21,28 @@ fn business_day(fs: &mut Wafl, rng: &mut SimRng, day: u64) {
     // New work.
     for i in 0..5 {
         let f = fs
-            .create(dir, &format!("day{day}-doc{i}"), FileType::File, Attrs::default())
+            .create(
+                dir,
+                &format!("day{day}-doc{i}"),
+                FileType::File,
+                Attrs::default(),
+            )
             .unwrap();
         for b in 0..rng.range(1, 8) {
-            fs.write_fbn(f, b, Block::Synthetic(rng.next_u64())).unwrap();
+            fs.write_fbn(f, b, Block::Synthetic(rng.next_u64()))
+                .unwrap();
         }
     }
     // Edits to existing files.
     let entries = fs.readdir(dir).unwrap();
     for (name, ino) in &entries {
         if fs.stat(*ino).unwrap().ftype == FileType::File && rng.chance(0.3) {
-            fs.write_fbn(*ino, 0, Block::Synthetic(rng.next_u64())).unwrap();
+            fs.write_fbn(*ino, 0, Block::Synthetic(rng.next_u64()))
+                .unwrap();
         }
         // The occasional cleanup — old docs and the odd base file go.
-        if (name.contains("doc0") && rng.chance(0.5)) || (name.starts_with("base") && rng.chance(0.1))
+        if (name.contains("doc0") && rng.chance(0.5))
+            || (name.starts_with("base") && rng.chance(0.1))
         {
             fs.remove(dir, name).unwrap();
         }
@@ -47,10 +55,17 @@ fn main() {
     let mut catalog = DumpCatalog::new();
 
     // Initial state.
-    let projects = fs.create(INO_ROOT, "projects", FileType::Dir, Attrs::default()).unwrap();
+    let projects = fs
+        .create(INO_ROOT, "projects", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..15u64 {
         let f = fs
-            .create(projects, &format!("base{i}"), FileType::File, Attrs::default())
+            .create(
+                projects,
+                &format!("base{i}"),
+                FileType::File,
+                Attrs::default(),
+            )
             .unwrap();
         for b in 0..10 {
             fs.write_fbn(f, b, Block::Synthetic(i * 50 + b)).unwrap();
@@ -86,7 +101,11 @@ fn main() {
         // unreadable-tape horror stories).
         let verdict = wafl_backup::backup_core::logical::toc::verify_stream(&mut tape)
             .expect("verification pass");
-        assert!(verdict.is_clean(), "tape failed verification: {:?}", verdict.problems);
+        assert!(
+            verdict.is_clean(),
+            "tape failed verification: {:?}",
+            verdict.problems
+        );
         println!(
             "{day:<10} level {level}: {:>3} files, {:>4} blocks, {:>9} on tape (verified)",
             out.files,

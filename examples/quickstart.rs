@@ -16,10 +16,15 @@ fn main() {
     println!("formatted a {}-block volume", fs.blkmap().nblocks());
 
     // 2. Populate a little tree.
-    let docs = fs.create(INO_ROOT, "docs", FileType::Dir, Attrs::default()).unwrap();
-    let paper = fs.create(docs, "osdi99.tex", FileType::File, Attrs::default()).unwrap();
+    let docs = fs
+        .create(INO_ROOT, "docs", FileType::Dir, Attrs::default())
+        .unwrap();
+    let paper = fs
+        .create(docs, "osdi99.tex", FileType::File, Attrs::default())
+        .unwrap();
     for fbn in 0..32 {
-        fs.write_fbn(paper, fbn, Block::Synthetic(1000 + fbn)).unwrap();
+        fs.write_fbn(paper, fbn, Block::Synthetic(1000 + fbn))
+            .unwrap();
     }
     fs.set_attrs(
         paper,

@@ -11,11 +11,18 @@ fn main() {
     let mut fs = Wafl::format(Volume::new(geometry), WaflConfig::default()).expect("format");
 
     // A user's home directory with a precious file.
-    let home = fs.create(INO_ROOT, "home", FileType::Dir, Attrs::default()).unwrap();
-    let alice = fs.create(home, "alice", FileType::Dir, Attrs::default()).unwrap();
-    let thesis = fs.create(alice, "thesis.tex", FileType::File, Attrs::default()).unwrap();
+    let home = fs
+        .create(INO_ROOT, "home", FileType::Dir, Attrs::default())
+        .unwrap();
+    let alice = fs
+        .create(home, "alice", FileType::Dir, Attrs::default())
+        .unwrap();
+    let thesis = fs
+        .create(alice, "thesis.tex", FileType::File, Attrs::default())
+        .unwrap();
     for fbn in 0..64 {
-        fs.write_fbn(thesis, fbn, Block::Synthetic(9000 + fbn)).unwrap();
+        fs.write_fbn(thesis, fbn, Block::Synthetic(9000 + fbn))
+            .unwrap();
     }
     fs.set_size(thesis, 64 * 4096 - 500).unwrap();
     println!("wrote /home/alice/thesis.tex ({} bytes)", 64 * 4096 - 500);
@@ -26,7 +33,9 @@ fn main() {
     // keeps hourly.0..5 with the oldest aging out.
     let schedule = wafl_backup::wafl::schedule::SnapshotSchedule::default();
     for _ in 0..7 {
-        schedule.take(&mut fs, "hourly").expect("scheduled snapshot");
+        schedule
+            .take(&mut fs, "hourly")
+            .expect("scheduled snapshot");
     }
     schedule.take(&mut fs, "daily").expect("daily snapshot");
     assert_eq!(fs.snapshots().len(), 7, "6 hourlies + 1 daily retained");

@@ -18,8 +18,10 @@
 //! - [`tape`] — DLT-7000-class drives with stacker magazines.
 //! - [`nvram`] — the operation log behind crash recovery.
 //! - [`wafl`] — the file system: snapshots, consistency points, qtrees.
-//! - [`backup_core`] — the paper's contribution: both backup strategies.
+//! - [`backup_core`] — the paper's contribution: both backup strategies,
+//!   unified behind [`backup_core::engine::BackupEngine`].
 //! - [`workload`] — mature-file-system generation (population + aging).
+//! - [`obs`] — spans, metrics, utilization timelines, JSON artifacts.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 pub use backup_core;
 pub use blockdev;
 pub use nvram;
+pub use obs;
 pub use raid;
 pub use simkit;
 pub use tape;
@@ -58,6 +61,11 @@ pub use workload;
 
 /// The names almost every user of the library wants in scope.
 pub mod prelude {
+    pub use backup_core::engine::BackupEngine;
+    pub use backup_core::engine::BackupError;
+    pub use backup_core::engine::BackupPlan;
+    pub use backup_core::engine::LogicalEngine;
+    pub use backup_core::engine::PhysicalEngine;
     pub use backup_core::logical::catalog::DumpCatalog;
     pub use backup_core::logical::dump::dump;
     pub use backup_core::logical::dump::DumpOptions;

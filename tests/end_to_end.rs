@@ -28,11 +28,8 @@ fn both_strategies_round_trip_an_aged_workload_volume() {
     let mut catalog = DumpCatalog::new();
     let lout = dump(&mut src, &mut ltape, &mut catalog, &DumpOptions::default()).unwrap();
     assert!(lout.files > 100, "workload too small: {} files", lout.files);
-    let mut lrestored = Wafl::format(
-        Volume::new(profile.geometry.clone()),
-        WaflConfig::default(),
-    )
-    .unwrap();
+    let mut lrestored =
+        Wafl::format(Volume::new(profile.geometry.clone()), WaflConfig::default()).unwrap();
     let lres = restore(&mut lrestored, &mut ltape, "/").unwrap();
     assert!(lres.warnings.is_empty(), "{:?}", lres.warnings);
 
@@ -97,11 +94,8 @@ fn incremental_cycle_with_churn_converges() {
     let full_blocks = src.active_blocks();
     assert!(out2.data_blocks < full_blocks / 2);
 
-    let mut restored = Wafl::format(
-        Volume::new(profile.geometry.clone()),
-        WaflConfig::default(),
-    )
-    .unwrap();
+    let mut restored =
+        Wafl::format(Volume::new(profile.geometry.clone()), WaflConfig::default()).unwrap();
     restore(&mut restored, &mut tape0, "/").unwrap();
     restore(&mut restored, &mut tape1, "/").unwrap();
     restore(&mut restored, &mut tape2, "/").unwrap();
@@ -147,22 +141,20 @@ fn parallel_qtree_dumps_equal_a_whole_volume_dump() {
     let mut catalog = DumpCatalog::new();
 
     // Whole-volume restore target.
-    let mut whole = Wafl::format(
-        Volume::new(profile.geometry.clone()),
-        WaflConfig::default(),
-    )
-    .unwrap();
+    let mut whole =
+        Wafl::format(Volume::new(profile.geometry.clone()), WaflConfig::default()).unwrap();
     let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
     dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
     restore(&mut whole, &mut tape, "/").unwrap();
 
     // Per-qtree dumps restored into a second target.
-    let mut pieced = Wafl::format(
-        Volume::new(profile.geometry.clone()),
-        WaflConfig::default(),
-    )
-    .unwrap();
-    let qtree_paths: Vec<String> = src.qtrees().iter().map(|q| format!("/{}", q.name)).collect();
+    let mut pieced =
+        Wafl::format(Volume::new(profile.geometry.clone()), WaflConfig::default()).unwrap();
+    let qtree_paths: Vec<String> = src
+        .qtrees()
+        .iter()
+        .map(|q| format!("/{}", q.name))
+        .collect();
     assert!(!qtree_paths.is_empty());
     for q in &qtree_paths {
         let mut qtape = TapeDrive::new(TapePerf::ideal(), u64::MAX);

@@ -10,7 +10,9 @@ fn geometry() -> VolumeGeometry {
 
 fn populated() -> Wafl {
     let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "work", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "work", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..20u64 {
         let f = fs
             .create(d, &format!("f{i}"), FileType::File, Attrs::default())

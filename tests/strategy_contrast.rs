@@ -12,7 +12,9 @@ fn geometry() -> VolumeGeometry {
 
 fn small_fs() -> Wafl {
     let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
-    let d = fs.create(INO_ROOT, "d", FileType::Dir, Attrs::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "d", FileType::Dir, Attrs::default())
+        .unwrap();
     for i in 0..12u64 {
         let f = fs
             .create(d, &format!("f{i}"), FileType::File, Attrs::default())
@@ -96,7 +98,9 @@ fn corruption_resilience_asymmetry() {
 fn snapshot_preservation_asymmetry() {
     let mut src = small_fs();
     // A snapshot holding a deleted file.
-    let doomed = src.create(INO_ROOT, "doomed", FileType::File, Attrs::default()).unwrap();
+    let doomed = src
+        .create(INO_ROOT, "doomed", FileType::File, Attrs::default())
+        .unwrap();
     src.write_fbn(doomed, 0, Block::Synthetic(404)).unwrap();
     src.snapshot_create("history").unwrap();
     src.remove(INO_ROOT, "doomed").unwrap();
@@ -126,9 +130,15 @@ fn snapshot_preservation_asymmetry() {
         CostModel::zero(),
     )
     .unwrap();
-    let hist = prestored.snapshot_by_name("history").expect("snapshot survives").id;
+    let hist = prestored
+        .snapshot_by_name("history")
+        .expect("snapshot survives")
+        .id;
     let mut view = prestored.snap_view(hist).unwrap();
-    assert!(view.namei("/doomed").is_ok(), "deleted file lives in the snapshot");
+    assert!(
+        view.namei("/doomed").is_ok(),
+        "deleted file lives in the snapshot"
+    );
 }
 
 /// §3: logical backup can take a *subset* and filter files; §4: "neither
