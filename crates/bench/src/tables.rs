@@ -75,15 +75,25 @@ fn hline(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
-/// Prints Table 2 with measured and paper columns.
-pub fn print_table2(basic: &BasicResults) {
-    println!("\nTable 2: Basic Backup and Restore Performance (188 GB home volume, 1 DLT drive)");
-    hline(86);
-    println!(
+/// Renders Table 2 with measured and paper columns. Separated from the
+/// printing so the determinism regression test can compare two runs
+/// byte for byte.
+pub fn render_table2(basic: &BasicResults) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let rule = "-".repeat(86);
+    let _ = writeln!(
+        out,
+        "\nTable 2: Basic Backup and Restore Performance (188 GB home volume, 1 DLT drive)"
+    );
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(
+        out,
         "{:<18} {:>14} {:>10} {:>12}   {:>14} {:>10}",
         "Operation", "Elapsed", "MB/s", "GB/hour", "paper:Elapsed", "Δ"
     );
-    hline(86);
+    let _ = writeln!(out, "{rule}");
     for row in &basic.table2 {
         let paper = PAPER_TABLE2
             .iter()
@@ -96,7 +106,8 @@ pub fn print_table2(basic: &BasicResults) {
             ),
             None => ("-".into(), "-".into()),
         };
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:>14} {:>10.2} {:>12.1}   {:>14} {:>10}",
             row.name,
             fmt_duration(row.elapsed),
@@ -106,11 +117,18 @@ pub fn print_table2(basic: &BasicResults) {
             delta
         );
     }
-    hline(86);
-    println!(
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(
+        out,
         "source volume: {} files (paper scale), fragmentation {:.3}",
         basic.files, basic.frag
     );
+    out
+}
+
+/// Prints Table 2 with measured and paper columns.
+pub fn print_table2(basic: &BasicResults) {
+    print!("{}", render_table2(basic));
 }
 
 /// Prints a stage table (Tables 3–5) with the paper's numbers alongside.

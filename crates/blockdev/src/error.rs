@@ -4,6 +4,7 @@ use crate::block::Bno;
 
 /// Errors returned by block devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DevError {
     /// Access beyond the end of the device.
     OutOfRange {

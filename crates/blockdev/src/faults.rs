@@ -4,8 +4,8 @@
 //! corruption while physical backup does not; the integration tests inject
 //! faults here and on tape records to demonstrate exactly that asymmetry.
 
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use crate::block::Block;
 use crate::block::Bno;
@@ -13,9 +13,9 @@ use crate::block::Bno;
 /// Programmed faults for one device.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
-    read_errors: HashSet<Bno>,
-    write_errors: HashSet<Bno>,
-    corruptions: HashMap<Bno, u64>,
+    read_errors: BTreeSet<Bno>,
+    write_errors: BTreeSet<Bno>,
+    corruptions: BTreeMap<Bno, u64>,
 }
 
 impl FaultPlan {

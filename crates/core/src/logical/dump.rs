@@ -158,7 +158,7 @@ struct MapState {
     dirs: Vec<Ino>,
     files: Vec<Ino>,
     /// Kind of every used inode (for the per-entry kind bytes in TS_DIR).
-    kinds: std::collections::HashMap<Ino, FileType>,
+    kinds: std::collections::BTreeMap<Ino, FileType>,
 }
 
 /// Phases I and II, the BSD way.
@@ -189,7 +189,7 @@ fn map_phase(
     let max_ino = view.max_ino();
     let mut used = InoMap::new(max_ino);
     let mut changed = InoMap::new(max_ino);
-    let mut kinds: std::collections::HashMap<Ino, FileType> = std::collections::HashMap::new();
+    let mut kinds: std::collections::BTreeMap<Ino, FileType> = std::collections::BTreeMap::new();
     let mut all_dirs: Vec<(Ino, DiskInode)> = Vec::new();
     for ino in 2..max_ino {
         let Some(di) = view.read_inode(ino)? else {
@@ -201,8 +201,8 @@ fn map_phase(
             changed.set(ino);
         }
         match di.ftype {
-            Some(FileType::File) | Some(FileType::Symlink) => {
-                kinds.insert(ino, di.ftype.expect("matched"));
+            Some(t @ (FileType::File | FileType::Symlink)) => {
+                kinds.insert(ino, t);
             }
             Some(FileType::Dir) => {
                 kinds.insert(ino, FileType::Dir);
@@ -213,11 +213,11 @@ fn map_phase(
     }
 
     // Phase II: read every directory's entries once; build the graph.
-    use std::collections::HashMap;
-    use std::collections::HashSet;
-    let dir_inos: HashSet<Ino> = all_dirs.iter().map(|(i, _)| *i).collect();
+    use std::collections::BTreeMap;
+    use std::collections::BTreeSet;
+    let dir_inos: BTreeSet<Ino> = all_dirs.iter().map(|(i, _)| *i).collect();
     // dir -> (child name, child ino) with exclusions applied.
-    let mut entries_of: HashMap<Ino, Vec<(String, Ino)>> = HashMap::new();
+    let mut entries_of: BTreeMap<Ino, Vec<(String, Ino)>> = BTreeMap::new();
     for (ino, di) in &all_dirs {
         let entries: Vec<(String, Ino)> = view
             .read_dir(di)?
@@ -231,7 +231,7 @@ fn map_phase(
     let mut member_dirs: Vec<Ino> = Vec::new();
     let mut member_files: Vec<Ino> = Vec::new();
     let mut queue = vec![root_ino];
-    let mut seen: HashSet<Ino> = queue.iter().copied().collect();
+    let mut seen: BTreeSet<Ino> = queue.iter().copied().collect();
     while let Some(dir) = queue.pop() {
         member_dirs.push(dir);
         for (_, child) in entries_of.get(&dir).map(|v| v.as_slice()).unwrap_or(&[]) {
@@ -266,7 +266,7 @@ fn map_phase(
     }
     // Mark directories bottom-up: process in reverse BFS order so children
     // settle before parents.
-    let mut dumped_dirs: HashSet<Ino> = HashSet::new();
+    let mut dumped_dirs: BTreeSet<Ino> = BTreeSet::new();
     for &dir in member_dirs.iter().rev() {
         let mut any = changed.get(dir);
         for (_, child) in entries_of.get(&dir).map(|v| v.as_slice()).unwrap_or(&[]) {

@@ -37,6 +37,7 @@ pub const DATA_RUN: usize = 16;
 
 /// Errors while writing or parsing a stream.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DumpError {
     /// The record is not a dump record or is structurally damaged.
     BadRecord {
@@ -133,23 +134,26 @@ impl<'a> Reader<'a> {
 
     fn u16(&mut self) -> Result<u16, DumpError> {
         self.need(2)?;
-        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 2]);
         self.pos += 2;
-        Ok(v)
+        Ok(u16::from_le_bytes(b))
     }
 
     fn u32(&mut self) -> Result<u32, DumpError> {
         self.need(4)?;
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
         self.pos += 4;
-        Ok(v)
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, DumpError> {
         self.need(8)?;
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
-        Ok(v)
+        Ok(u64::from_le_bytes(b))
     }
 
     fn name(&mut self) -> Result<String, DumpError> {

@@ -9,7 +9,6 @@
 //! "attributes may not map across the different file systems" caveat.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use blockdev::Block;
 use tape::TapeDrive;
@@ -101,7 +100,7 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
     let mut warnings = head.warnings.clone();
 
     // Build the directory skeleton and remember each dir's path.
-    let mut paths: HashMap<Ino, String> = HashMap::new();
+    let mut paths: BTreeMap<Ino, String> = BTreeMap::new();
     paths.insert(head.root_ino, String::new());
     let mut order: Vec<Ino> = vec![head.root_ino];
     let mut i = 0;
@@ -147,7 +146,9 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
 
     // Create dirs (skipping the root, which exists).
     for ino in &order[1..] {
-        let (attrs, _) = head.dirs.get(ino).expect("in order").clone();
+        let Some((attrs, _)) = head.dirs.get(ino).cloned() else {
+            continue;
+        };
         if attrs.dos_name.is_some() || attrs.nt_acl.is_some() {
             warnings.push(format!(
                 "directory {}: DOS/NT attributes not representable here; dropped",
@@ -155,7 +156,9 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
             ));
         }
         let path = paths[ino].clone();
-        let (parent_path, name) = path.rsplit_once('/').expect("non-root path");
+        let Some((parent_path, name)) = path.rsplit_once('/') else {
+            continue;
+        };
         let entries = insert_at(&mut root, parent_path);
         entries.insert(
             name.to_string(),
@@ -166,7 +169,7 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
     // Map file inos to their paths. Hard links flatten to independent
     // copies on the foreign system (with a warning), so every path is
     // remembered.
-    let mut file_paths: HashMap<Ino, Vec<String>> = HashMap::new();
+    let mut file_paths: BTreeMap<Ino, Vec<String>> = BTreeMap::new();
     for (dir, (_, entries)) in &head.dirs {
         for e in entries {
             if !head.dirs.contains_key(&e.ino) && head.dumped.get(e.ino) {
@@ -215,7 +218,9 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
                     ));
                 }
                 for path in names.clone() {
-                    let (parent_path, name) = path.rsplit_once('/').expect("file path");
+                    let Some((parent_path, name)) = path.rsplit_once('/') else {
+                        continue;
+                    };
                     let entries = insert_at(&mut root, parent_path);
                     entries.insert(
                         name.to_string(),
@@ -238,7 +243,9 @@ pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpE
                     continue;
                 }
                 for path in file_paths[&ino].clone() {
-                    let (parent_path, name) = path.rsplit_once('/').expect("file path");
+                    let Some((parent_path, name)) = path.rsplit_once('/') else {
+                        continue;
+                    };
                     let entries = insert_at(&mut root, parent_path);
                     if let Some(ForeignNode::File { blocks: fb, .. }) = entries.get_mut(name) {
                         for (fbn, block) in fbns.iter().cloned().zip(blocks.iter().cloned()) {

@@ -21,7 +21,6 @@
 //! corruption will usually affect only that single file").
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use tape::TapeDrive;
 use tape::TapeError;
@@ -54,7 +53,7 @@ pub struct RestoreOutcome {
     pub warnings: Vec<String>,
     /// Source-inode → restored-inode table (the symbol table successive
     /// incremental restores would consult).
-    pub ino_map: HashMap<Ino, Ino>,
+    pub ino_map: BTreeMap<Ino, Ino>,
     /// The level recorded in the stream header.
     pub level: u8,
     /// Inodes the source had in use at dump time (from the first bitmap).
@@ -169,7 +168,7 @@ pub fn restore(
     let mut warnings = std::mem::take(&mut head.warnings);
 
     let target_root = fs.namei(target)?;
-    let mut ino_map: HashMap<Ino, Ino> = HashMap::new();
+    let mut ino_map: BTreeMap<Ino, Ino> = BTreeMap::new();
     let mut deleted = 0u64;
     let mut dirs_done = 0u64;
     let mut files_created = 0u64;
@@ -199,8 +198,12 @@ pub fn restore(
         for entry in entries.clone() {
             let name = entry.name;
             let old_child = entry.ino;
-            if entry.kind == FileType::Dir && head.dirs.contains_key(&old_child) {
-                let (attrs, _) = head.dirs.get(&old_child).expect("checked").clone();
+            let dir_attrs = if entry.kind == FileType::Dir {
+                head.dirs.get(&old_child).map(|(a, _)| a.clone())
+            } else {
+                None
+            };
+            if let Some(attrs) = dir_attrs {
                 let new_child = match fs.lookup(new_dir, &name) {
                     Ok(existing_ino) => {
                         // Permissions are set at creation for new dirs; for

@@ -6,8 +6,8 @@
 //! touching the target file system; only the selected inodes' records are
 //! then extracted from the data section.
 
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use tape::TapeDrive;
 use wafl::types::Attrs;
@@ -82,14 +82,13 @@ pub fn restore_subtree(
     let target_parent = fs.namei(target_dir)?;
 
     // Collect the wanted inode set and create the directory skeleton.
-    let mut wanted_files: HashSet<Ino> = HashSet::new();
-    let mut ino_map: HashMap<Ino, Ino> = HashMap::new();
+    let mut wanted_files: BTreeSet<Ino> = BTreeSet::new();
+    let mut ino_map: BTreeMap<Ino, Ino> = BTreeMap::new();
     let mut dirs = 0u64;
     let mut files = 0u64;
 
-    if head.dirs.contains_key(&selected_root) {
+    if let Some((attrs, _)) = head.dirs.get(&selected_root).cloned() {
         // A subtree: recreate its directories under the target.
-        let (attrs, _) = head.dirs.get(&selected_root).expect("checked").clone();
         let new_root = fs.create(target_parent, base_name, FileType::Dir, attrs)?;
         dirs += 1;
         ino_map.insert(selected_root, new_root);

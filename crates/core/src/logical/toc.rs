@@ -13,7 +13,7 @@
 //!   against the dumped-inode bitmap and the trailer totals.
 
 use std::collections::BTreeMap;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use tape::TapeDrive;
 use wafl::types::FileType;
@@ -107,7 +107,7 @@ pub fn verify_stream(drive: &mut TapeDrive) -> Result<StreamCheck, DumpError> {
     let mut warnings = head.warnings.clone();
 
     // Which inodes the stream promises as files (dumped but not dirs).
-    let promised: HashSet<Ino> = head
+    let promised: BTreeSet<Ino> = head
         .dumped
         .iter()
         .filter(|ino| !head.dirs.contains_key(ino))

@@ -23,6 +23,7 @@ pub const BLOCK_RUN: usize = 16;
 
 /// Errors from image dump/restore.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ImageError {
     /// A record failed to parse.
     BadRecord {
@@ -160,15 +161,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ImageError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let mut b = [0u8; 2];
+        b.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(b))
     }
 
     fn u32(&mut self) -> Result<u32, ImageError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self) -> Result<u64, ImageError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
     }
 
     fn name(&mut self) -> Result<String, ImageError> {

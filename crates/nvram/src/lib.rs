@@ -24,6 +24,7 @@ pub trait NvSized {
 
 /// Errors from the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum NvramError {
     /// The entry does not fit in the remaining NVRAM; the caller must take
     /// a consistency point first.

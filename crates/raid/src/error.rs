@@ -4,6 +4,7 @@ use blockdev::DevError;
 
 /// Errors surfaced by the RAID layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RaidError {
     /// Access beyond the end of the group/volume.
     OutOfRange {

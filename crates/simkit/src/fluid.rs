@@ -99,6 +99,7 @@ pub struct Stream {
 
 /// Errors from [`FluidSim::run`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FluidError {
     /// A stage demands a resource whose capacity is zero (or negative), so
     /// it can never progress.
@@ -355,8 +356,11 @@ impl FluidSim {
                 break;
             }
             if active.is_empty() {
-                // Jump to the next arrival.
-                now = next_start.expect("unfinished streams but none pending");
+                // Jump to the next arrival. Every unfinished stream is
+                // either active or pending, so `next_start` is Some here;
+                // break rather than panic if that invariant ever cracks.
+                let Some(t) = next_start else { break };
+                now = t;
                 continue;
             }
 

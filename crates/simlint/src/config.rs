@@ -1,0 +1,180 @@
+//! `simlint.toml` parsing — a minimal TOML subset (sections, string
+//! values, single-line string arrays), hand-rolled because the hermetic
+//! build environment carries no external crates.
+
+use std::path::Path;
+
+use crate::LintError;
+
+/// Which crates each rule family applies to, by package name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// D01 (wall-clock), D02 (unseeded randomness), D03 (hash-order
+    /// iteration) apply to these crates' library sources.
+    pub simulation: Vec<String>,
+    /// D04 (raw `std::fs` / device bypass) applies to these.
+    pub metered: Vec<String>,
+    /// D05 (`unwrap`/`expect`, `#[non_exhaustive]` error enums) applies to
+    /// these.
+    pub library: Vec<String>,
+}
+
+impl Config {
+    /// The workspace's checked-in policy; used when `simlint.toml` is
+    /// absent so the pass still runs with sane coverage.
+    pub fn workspace_default() -> Config {
+        let v = |names: &[&str]| names.iter().map(|s| s.to_string()).collect();
+        Config {
+            simulation: v(&[
+                "simkit",
+                "blockdev",
+                "raid",
+                "tape",
+                "nvram",
+                "wafl",
+                "backup-core",
+                "workload",
+                "obs",
+                "wafl-backup",
+            ]),
+            metered: v(&["blockdev", "raid", "tape", "nvram", "wafl", "backup-core"]),
+            library: v(&[
+                "simkit",
+                "blockdev",
+                "raid",
+                "tape",
+                "nvram",
+                "wafl",
+                "backup-core",
+                "workload",
+                "obs",
+                "wafl-backup",
+                "simlint",
+            ]),
+        }
+    }
+
+    /// Loads `simlint.toml` from `root`, falling back to the built-in
+    /// policy when the file does not exist.
+    pub fn load(root: &Path) -> Result<Config, LintError> {
+        let path = root.join("simlint.toml");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Config::workspace_default())
+            }
+            Err(e) => return Err(LintError::io(&path, e)),
+        };
+        parse(&text).map_err(|reason| LintError::Config {
+            path: path.display().to_string(),
+            reason,
+        })
+    }
+}
+
+/// Parses the config text. Recognized shape:
+///
+/// ```toml
+/// [crates]
+/// simulation = ["simkit", "wafl"]
+/// metered = ["wafl"]
+/// library = ["wafl"]
+/// ```
+fn parse(text: &str) -> Result<Config, String> {
+    let mut config = Config {
+        simulation: Vec::new(),
+        metered: Vec::new(),
+        library: Vec::new(),
+    };
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                .trim()
+                .to_string();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        if section != "crates" {
+            return Err(format!(
+                "line {lineno}: unknown section [{section}] (only [crates] is recognized)"
+            ));
+        }
+        let list = parse_string_array(value.trim())
+            .ok_or_else(|| format!("line {lineno}: expected a single-line string array"))?;
+        match key.trim() {
+            "simulation" => config.simulation = list,
+            "metered" => config.metered = list,
+            "library" => config.library = list,
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+/// Removes a trailing `# comment`, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its strings.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let mut items = Vec::new();
+    for piece in inner.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(piece.strip_prefix('"')?.strip_suffix('"')?.to_string());
+    }
+    Some(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_recognized_shape() {
+        let c = parse(
+            "# policy\n[crates]\nsimulation = [\"simkit\", \"wafl\"] # trailing\nmetered = [\"wafl\"]\nlibrary = [\"wafl\",]\n",
+        )
+        .unwrap();
+        assert_eq!(c.simulation, vec!["simkit", "wafl"]);
+        assert_eq!(c.metered, vec!["wafl"]);
+        assert_eq!(c.library, vec!["wafl"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(parse("[crates]\nbogus = [\"x\"]\n").is_err());
+        assert!(parse("[other]\nsimulation = [\"x\"]\n").is_err());
+        assert!(parse("[crates]\nsimulation = 3\n").is_err());
+    }
+
+    #[test]
+    fn default_covers_every_workspace_crate_family() {
+        let c = Config::workspace_default();
+        assert!(c.simulation.iter().any(|n| n == "wafl"));
+        assert!(c.metered.iter().any(|n| n == "backup-core"));
+        assert!(c.library.iter().any(|n| n == "simlint"));
+    }
+}

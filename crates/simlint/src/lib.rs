@@ -1,0 +1,387 @@
+//! `simlint` — the workspace's static-analysis pass for simulation-purity
+//! and metering invariants.
+//!
+//! The reproduction's numbers are only credible if every modelled IO flows
+//! through the metered device layers and every result is a deterministic
+//! function of the experiment seed. The Rust compiler cannot check either,
+//! so this crate does, with five token-level rules over the whole
+//! workspace (see `DESIGN.md` § "Simulation invariants"):
+//!
+//! - **D01** — no wall-clock (`Instant`, `SystemTime`, `thread::sleep`) in
+//!   simulation crates; all time flows through `simkit`'s meter and the
+//!   fluid solver.
+//! - **D02** — no unseeded randomness (`RandomState`, `thread_rng`, ...);
+//!   every stochastic choice draws from `simkit::rng::SimRng`.
+//! - **D03** — no `HashMap`/`HashSet` in simulation crates; hash iteration
+//!   order is nondeterministic and leaks into reports and obs artifacts.
+//! - **D04** — no raw `std::fs` access inside the metered crates; IO goes
+//!   through the blockdev/raid/tape device traits so obs counters stay
+//!   honest.
+//! - **D05** — no `unwrap`/`expect` in library crates (panics are for
+//!   bench, tests, and examples) and public error enums are
+//!   `#[non_exhaustive]`.
+//!
+//! Violations are silenced per line with
+//! `// simlint: allow(RULE) -- justification`; a suppression without a
+//! justification is itself a diagnostic (**S00**).
+//!
+//! Run it three ways: `cargo run -p simlint` (human diagnostics),
+//! `cargo run -p simlint -- --json` (CI), or via the `tests/simlint.rs`
+//! test every crate carries.
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::path::PathBuf;
+
+pub use config::Config;
+use rules::FileCtx;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id ("D01".."D05", "S00").
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Where a file lives within its crate; rules only apply to library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/` (excluding `src/bin/`).
+    Lib,
+    /// Under `src/bin/`.
+    Bin,
+    /// Under `tests/`.
+    Test,
+    /// Under `examples/`.
+    Example,
+    /// Under `benches/`.
+    Bench,
+}
+
+/// A failure of the pass itself (not a rule violation).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `simlint.toml` is malformed.
+    Config {
+        /// The config path.
+        path: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// The workspace root could not be located.
+    NoWorkspaceRoot {
+        /// Where the search started.
+        start: String,
+    },
+}
+
+impl LintError {
+    pub(crate) fn io(path: &Path, source: std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "simlint: {path}: {source}"),
+            LintError::Config { path, reason } => write!(f, "simlint: {path}: {reason}"),
+            LintError::NoWorkspaceRoot { start } => {
+                write!(f, "simlint: no workspace root above {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Walks upward from `start` to the directory holding the workspace
+/// `Cargo.toml` (the one with a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(LintError::NoWorkspaceRoot {
+        start: start.display().to_string(),
+    })
+}
+
+/// Reads the package name out of a crate's `Cargo.toml`.
+fn package_name(manifest: &Path) -> Result<String, LintError> {
+    let text = std::fs::read_to_string(manifest).map_err(|e| LintError::io(manifest, e))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(value) = line.strip_prefix("name") {
+            let value = value.trim_start();
+            if let Some(value) = value.strip_prefix('=') {
+                let value = value.trim().trim_matches('"');
+                return Ok(value.to_string());
+            }
+        }
+    }
+    Err(LintError::Config {
+        path: manifest.display().to_string(),
+        reason: "no `name = ...` in [package]".to_string(),
+    })
+}
+
+/// Lints every crate in the workspace rooted at `root`. Diagnostics come
+/// back sorted by path, line, and rule — the pass's own output must be
+/// deterministic.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let config = Config::load(root)?;
+    let mut diags = Vec::new();
+    for (name, dir) in workspace_crates(root)? {
+        diags.extend(lint_crate_dir(root, &config, &name, &dir)?);
+    }
+    sort_diags(&mut diags);
+    Ok(diags)
+}
+
+/// Lints a single crate directory (used by each crate's tier-1 test).
+/// Locates the workspace root above `manifest_dir` for config and
+/// relative paths.
+pub fn lint_crate(manifest_dir: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let root = find_workspace_root(manifest_dir)?;
+    let config = Config::load(&root)?;
+    let name = package_name(&manifest_dir.join("Cargo.toml"))?;
+    let mut diags = lint_crate_dir(&root, &config, &name, manifest_dir)?;
+    sort_diags(&mut diags);
+    Ok(diags)
+}
+
+/// Test-suite entry point: panics with rendered diagnostics when the crate
+/// at `manifest_dir` (use `env!("CARGO_MANIFEST_DIR")`) is not clean.
+pub fn assert_crate_clean(manifest_dir: &str) {
+    match lint_crate(Path::new(manifest_dir)) {
+        Ok(diags) if diags.is_empty() => {}
+        Ok(diags) => panic!(
+            "simlint found {} violation(s):\n{}",
+            diags.len(),
+            render_human(&diags)
+        ),
+        Err(e) => panic!("simlint failed to run: {e}"),
+    }
+}
+
+/// Enumerates `(package_name, dir)` for the root package and every crate
+/// under `crates/`, in sorted order.
+fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let mut crates = vec![(package_name(&root.join("Cargo.toml"))?, root.to_path_buf())];
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir).map_err(|e| LintError::io(&crates_dir, e))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io(&crates_dir, e))?;
+        let path = entry.path();
+        if path.join("Cargo.toml").is_file() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    for dir in dirs {
+        crates.push((package_name(&dir.join("Cargo.toml"))?, dir));
+    }
+    Ok(crates)
+}
+
+/// Lints the standard source roots of one crate directory.
+fn lint_crate_dir(
+    root: &Path,
+    config: &Config,
+    crate_name: &str,
+    dir: &Path,
+) -> Result<Vec<Diagnostic>, LintError> {
+    let mut diags = Vec::new();
+    let roots: [(&str, FileKind); 4] = [
+        ("src", FileKind::Lib),
+        ("tests", FileKind::Test),
+        ("examples", FileKind::Example),
+        ("benches", FileKind::Bench),
+    ];
+    for (sub, kind) in roots {
+        let sub_dir = dir.join(sub);
+        if !sub_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&sub_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let kind = if kind == FileKind::Lib && under_bin(&sub_dir, &file) {
+                FileKind::Bin
+            } else {
+                kind
+            };
+            let text = std::fs::read_to_string(&file).map_err(|e| LintError::io(&file, e))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(file.as_path())
+                .display()
+                .to_string();
+            let scanned = scan::scan(&text);
+            let ctx = FileCtx {
+                crate_name,
+                kind,
+                rel_path: &rel,
+            };
+            diags.extend(rules::check_file(ctx, &scanned, config));
+        }
+    }
+    Ok(diags)
+}
+
+/// Whether `file` sits under `<src>/bin/`.
+fn under_bin(src_dir: &Path, file: &Path) -> bool {
+    file.strip_prefix(src_dir)
+        .map(|rel| rel.starts_with("bin"))
+        .unwrap_or(false)
+}
+
+/// Recursively collects `.rs` files.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io(dir, e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+}
+
+/// `file:line [RULE] message` lines with the offending snippet.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}:{} [{}] {}", d.path, d.line, d.rule, d.message);
+        if !d.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", d.snippet);
+        }
+    }
+    out
+}
+
+/// A machine-readable document: `{"count": N, "diagnostics": [...]}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"count\": ");
+    let _ = write!(out, "{}", diags.len());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        json_str(&mut out, d.rule);
+        out.push_str(", \"path\": ");
+        json_str(&mut out, &d.path);
+        let _ = write!(out, ", \"line\": {}", d.line);
+        out.push_str(", \"message\": ");
+        json_str(&mut out, &d.message);
+        out.push_str(", \"snippet\": ");
+        json_str(&mut out, &d.snippet);
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            rule: "D01",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+            snippet: "let t = Instant::now();".into(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn human_rendering_is_file_line_shaped() {
+        let diags = vec![Diagnostic {
+            rule: "D05",
+            path: "crates/x/src/lib.rs".into(),
+            line: 9,
+            message: "m".into(),
+            snippet: "x.unwrap();".into(),
+        }];
+        let text = render_human(&diags);
+        assert!(text.contains("crates/x/src/lib.rs:9 [D05] m"));
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,73 @@
+//! CLI entry: `cargo run -p simlint [-- --json] [-- --root DIR]`.
+//!
+//! Prints diagnostics (human-readable by default, a JSON document with
+//! `--json` for CI) and exits non-zero when any unsuppressed diagnostic
+//! remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("simlint: --root takes a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: simlint [--json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let start = std::env::var("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .or_else(|_| std::env::current_dir())
+                .unwrap_or_else(|_| PathBuf::from("."));
+            match simlint::find_workspace_root(&start) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match simlint::lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                print!("{}", simlint::render_json(&diags));
+            } else if diags.is_empty() {
+                eprintln!("simlint: workspace clean");
+            } else {
+                print!("{}", simlint::render_human(&diags));
+                eprintln!("simlint: {} violation(s)", diags.len());
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

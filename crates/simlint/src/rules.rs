@@ -1,0 +1,417 @@
+//! The rule set: D01–D05 pattern checks over sanitized source lines.
+
+use crate::config::Config;
+use crate::scan::ScannedFile;
+use crate::Diagnostic;
+use crate::FileKind;
+
+/// Everything a rule needs to know about the file being linted.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Package name of the owning crate.
+    pub crate_name: &'a str,
+    /// Where in the crate the file lives.
+    pub kind: FileKind,
+    /// Workspace-relative path (for diagnostics).
+    pub rel_path: &'a str,
+}
+
+/// Rule ids, in the order they are checked.
+pub const RULE_IDS: [&str; 6] = ["D01", "D02", "D03", "D04", "D05", "S00"];
+
+/// One token-level pattern a rule fires on.
+struct Pattern {
+    /// Substring to look for; ident-edge characters are boundary-checked.
+    needle: &'static str,
+    /// What the match means.
+    hint: &'static str,
+}
+
+const D01_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "Instant",
+        hint: "std::time::Instant reads the wall clock",
+    },
+    Pattern {
+        needle: "SystemTime",
+        hint: "std::time::SystemTime reads the wall clock",
+    },
+    Pattern {
+        needle: "UNIX_EPOCH",
+        hint: "UNIX_EPOCH anchors wall-clock arithmetic",
+    },
+    Pattern {
+        needle: "thread::sleep",
+        hint: "thread::sleep blocks on real time",
+    },
+];
+
+const D02_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "RandomState",
+        hint: "RandomState draws per-process random hash keys",
+    },
+    Pattern {
+        needle: "thread_rng",
+        hint: "thread_rng is seeded from the OS",
+    },
+    Pattern {
+        needle: "OsRng",
+        hint: "OsRng draws from the OS entropy pool",
+    },
+    Pattern {
+        needle: "from_entropy",
+        hint: "from_entropy seeds from the OS",
+    },
+    Pattern {
+        needle: "getrandom",
+        hint: "getrandom draws OS entropy",
+    },
+];
+
+const D03_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "HashMap",
+        hint: "HashMap iteration order is nondeterministic",
+    },
+    Pattern {
+        needle: "HashSet",
+        hint: "HashSet iteration order is nondeterministic",
+    },
+];
+
+const D04_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "std::fs",
+        hint: "raw std::fs access bypasses the metered devices",
+    },
+    Pattern {
+        needle: "File::open",
+        hint: "File::open bypasses the metered devices",
+    },
+    Pattern {
+        needle: "File::create",
+        hint: "File::create bypasses the metered devices",
+    },
+    Pattern {
+        needle: "OpenOptions",
+        hint: "OpenOptions bypasses the metered devices",
+    },
+];
+
+/// Runs every applicable rule over one scanned file.
+pub fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let in_list = |list: &[String]| list.iter().any(|n| n == ctx.crate_name);
+    let lib_code = ctx.kind == FileKind::Lib;
+
+    if lib_code && in_list(&config.simulation) {
+        pattern_rule(
+            &mut diags, ctx, file, "D01", D01_PATTERNS,
+            "wall-clock time in a simulation crate; route time through simkit's meter and the fluid solver",
+        );
+        pattern_rule(
+            &mut diags, ctx, file, "D02", D02_PATTERNS,
+            "unseeded randomness in a simulation crate; draw from simkit::rng::SimRng seeded by the experiment",
+        );
+        pattern_rule(
+            &mut diags, ctx, file, "D03", D03_PATTERNS,
+            "hash-ordered collection in a simulation crate; use BTreeMap/BTreeSet or sort before anything ordered escapes",
+        );
+    }
+    if lib_code && in_list(&config.metered) {
+        pattern_rule(
+            &mut diags, ctx, file, "D04", D04_PATTERNS,
+            "raw filesystem access inside a metered crate; go through the blockdev/raid/tape device traits so obs counters stay honest",
+        );
+    }
+    if lib_code && in_list(&config.library) {
+        unwrap_rule(&mut diags, ctx, file);
+        error_enum_rule(&mut diags, ctx, file);
+    }
+    suppression_hygiene(&mut diags, ctx, file);
+    diags
+}
+
+/// Fires `rule` wherever any pattern matches a non-test line.
+fn pattern_rule(
+    diags: &mut Vec<Diagnostic>,
+    ctx: FileCtx<'_>,
+    file: &ScannedFile,
+    rule: &'static str,
+    patterns: &[Pattern],
+    message: &str,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        for p in patterns {
+            if find_token(line, p.needle).is_some() && !file.suppressed(rule, lineno) {
+                diags.push(diag(ctx, rule, lineno, file, format!("{message} ({})", p.hint)));
+                break; // one diagnostic per line per rule
+            }
+        }
+    }
+}
+
+/// D05 part one: `.unwrap()` / `.expect(` outside tests.
+fn unwrap_rule(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &ScannedFile) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let hit = if line.contains(".unwrap()") {
+            Some(".unwrap()")
+        } else if line.contains(".expect(") {
+            Some(".expect(...)")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            if !file.suppressed("D05", lineno) {
+                diags.push(diag(
+                    ctx,
+                    "D05",
+                    lineno,
+                    file,
+                    format!(
+                        "{what} in a library crate; propagate through the crate's error type \
+                         (panics are reserved for bench, tests, and examples)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// D05 part two: public error enums must be `#[non_exhaustive]`.
+fn error_enum_rule(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &ScannedFile) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(pos) = find_token(line, "pub enum") else {
+            continue;
+        };
+        let name: String = line[pos + "pub enum".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.ends_with("Error") && !name.ends_with("ErrorKind") {
+            continue;
+        }
+        let lineno = idx + 1;
+        // Attributes sit on the preceding lines (doc comments are already
+        // blanked); look a short window back.
+        let window_start = idx.saturating_sub(8);
+        let annotated = file.lines[window_start..idx]
+            .iter()
+            .any(|l| l.contains("non_exhaustive"));
+        if !annotated && !file.suppressed("D05", lineno) {
+            diags.push(diag(
+                ctx,
+                "D05",
+                lineno,
+                file,
+                format!(
+                    "public error enum `{name}` is not #[non_exhaustive]; \
+                     adding a variant would be a breaking change"
+                ),
+            ));
+        }
+    }
+}
+
+/// S00: every suppression must carry a `-- justification`, and must name
+/// known rules.
+fn suppression_hygiene(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &ScannedFile) {
+    for s in &file.suppressions {
+        if !s.justified {
+            diags.push(diag(
+                ctx,
+                "S00",
+                s.line,
+                file,
+                "suppression without justification; write `// simlint: allow(RULE) -- why`"
+                    .to_string(),
+            ));
+        }
+        for rule in &s.rules {
+            if !RULE_IDS.contains(&rule.as_str()) {
+                diags.push(diag(
+                    ctx,
+                    "S00",
+                    s.line,
+                    file,
+                    format!("suppression names unknown rule `{rule}`"),
+                ));
+            }
+        }
+    }
+}
+
+fn diag(
+    ctx: FileCtx<'_>,
+    rule: &'static str,
+    lineno: usize,
+    file: &ScannedFile,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: ctx.rel_path.to_string(),
+        line: lineno,
+        message,
+        snippet: file
+            .raw_lines
+            .get(lineno - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// Finds `needle` in `line` with identifier-boundary checks on whichever
+/// ends of the needle are identifier characters.
+fn find_token(line: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let start = from + rel;
+        let end = start + needle.len();
+        let head_ok = match (needle.chars().next(), line[..start].chars().next_back()) {
+            (Some(n), Some(prev)) if is_ident(n) => !is_ident(prev),
+            _ => true,
+        };
+        let tail_ok = match (needle.chars().next_back(), line[end..].chars().next()) {
+            (Some(n), Some(next)) if is_ident(n) => !is_ident(next),
+            _ => true,
+        };
+        if head_ok && tail_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn ctx() -> FileCtx<'static> {
+        FileCtx {
+            crate_name: "wafl",
+            kind: FileKind::Lib,
+            rel_path: "crates/wafl/src/x.rs",
+        }
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        check_file(ctx(), &scan(src), &Config::workspace_default())
+    }
+
+    #[test]
+    fn d01_fires_on_wall_clock() {
+        let d = check("let t = Instant::now();\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D01");
+        assert!(check("std::thread::sleep(d);\n").iter().any(|d| d.rule == "D01"));
+        // An identifier merely containing the word does not fire.
+        assert!(check("let InstantaneousRate = 3;\n").is_empty());
+    }
+
+    #[test]
+    fn d02_fires_on_os_entropy() {
+        assert_eq!(check("let s = RandomState::new();\n")[0].rule, "D02");
+    }
+
+    #[test]
+    fn d03_fires_on_hash_collections() {
+        let d = check("use std::collections::HashMap;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D03");
+        assert!(check("let m: BTreeMap<u64, u64> = BTreeMap::new();\n").is_empty());
+    }
+
+    #[test]
+    fn d04_fires_on_raw_fs() {
+        assert_eq!(check("std::fs::write(p, b)?;\n")[0].rule, "D04");
+    }
+
+    #[test]
+    fn d04_skips_unmetered_crates() {
+        let c = FileCtx {
+            crate_name: "obs",
+            ..ctx()
+        };
+        let d = check_file(
+            c,
+            &scan("std::fs::write(p, b)?;\n"),
+            &Config::workspace_default(),
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn d05_fires_on_unwrap_and_expect() {
+        assert_eq!(check("let v = x.unwrap();\n")[0].rule, "D05");
+        assert_eq!(check("let v = x.expect(\"m\");\n")[0].rule, "D05");
+        // unwrap_or and friends are fine.
+        assert!(check("let v = x.unwrap_or(0);\n").is_empty());
+        assert!(check("let v = x.unwrap_or_else(f);\n").is_empty());
+    }
+
+    #[test]
+    fn d05_requires_non_exhaustive_error_enums() {
+        let bad = "pub enum FooError {\n    A,\n}\n";
+        let d = check(bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("FooError"));
+        let good = "#[non_exhaustive]\npub enum FooError {\n    A,\n}\n";
+        assert!(check(good).is_empty());
+        // Non-error enums are not held to it.
+        assert!(check("pub enum Shape { A }\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); let t = Instant::now(); }\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn justified_suppression_silences_unjustified_fires() {
+        let justified = "// simlint: allow(D05) -- infallible: length checked above\nlet v = x.unwrap();\n";
+        assert!(check(justified).is_empty());
+        let unjustified = "// simlint: allow(D05)\nlet v = x.unwrap();\n";
+        let d = check(unjustified);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "S00");
+        let unknown = "// simlint: allow(D99) -- what\nlet v = 3;\n";
+        assert_eq!(check(unknown)[0].rule, "S00");
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        assert!(check("let s = \"HashMap iteration\"; // Instant::now()\n").is_empty());
+    }
+
+    #[test]
+    fn non_lib_kinds_are_exempt() {
+        let c = FileCtx {
+            kind: FileKind::Test,
+            ..ctx()
+        };
+        let d = check_file(
+            c,
+            &scan("let t = Instant::now(); x.unwrap();\n"),
+            &Config::workspace_default(),
+        );
+        assert!(d.is_empty());
+    }
+}

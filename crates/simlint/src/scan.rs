@@ -1,0 +1,424 @@
+//! Source sanitization: a lightweight Rust lexer pass that blanks out
+//! comments and string/char literal contents (so rule patterns never match
+//! inside them), collects `// simlint: allow(...)` suppressions, and marks
+//! the line ranges covered by `#[cfg(test)]` items.
+//!
+//! This is deliberately not a full parser: every rule the workspace
+//! enforces is expressible over token-level patterns, and keeping the
+//! scanner hand-rolled keeps the crate dependency-free (the hermetic build
+//! environment has no `syn`).
+
+/// One `// simlint: allow(RULE, ...) -- justification` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on. The suppression covers this line
+    /// and, when the comment stands alone, the line directly below it.
+    pub line: usize,
+    /// Upper-cased rule ids named in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty justification followed `--`.
+    pub justified: bool,
+}
+
+impl Suppression {
+    /// Whether this suppression covers `rule` on 1-based line `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        (line == self.line || line == self.line + 1) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// A sanitized source file ready for rule matching.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Lines with comment and literal contents replaced by spaces
+    /// (delimiters are kept, so `.expect("msg")` stays recognizable).
+    pub lines: Vec<String>,
+    /// The original lines, for diagnostic snippets.
+    pub raw_lines: Vec<String>,
+    /// Collected suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// `in_test[i]` is true when 0-based line `i` falls inside a
+    /// `#[cfg(test)]` item (typically the trailing `mod tests { ... }`).
+    pub in_test: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Whether `rule` is suppressed on 1-based `line`, by a justified or
+    /// unjustified comment alike (unjustified ones are reported
+    /// separately, not re-fired).
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| s.covers(rule, line))
+    }
+}
+
+/// Lexer state while sanitizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(usize),
+    CharLit,
+}
+
+/// Scans `text` into sanitized lines, suppressions, and test-region marks.
+pub fn scan(text: &str) -> ScannedFile {
+    let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let (sanitized, comments) = sanitize(text);
+    let lines: Vec<String> = sanitized.lines().map(str::to_string).collect();
+    let suppressions = comments
+        .iter()
+        .filter_map(|(line, c)| parse_suppression(*line, c))
+        .collect();
+    let in_test = mark_test_regions(&sanitized, lines.len());
+    ScannedFile {
+        lines,
+        raw_lines,
+        suppressions,
+        in_test,
+    }
+}
+
+/// Returns `text` with comment and literal contents blanked, plus every
+/// line comment's text keyed by 1-based line (for suppression parsing).
+fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut comment_buf = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                comments.push((line, std::mem::take(&mut comment_buf)));
+                state = State::Code;
+            }
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_buf.clear();
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    // Check for a raw-string opener ending here: r", r#",
+                    // br", b" etc. were handled when we saw the prefix; a
+                    // bare quote is a plain string.
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' || b == b'b' {
+                    // Possible raw/byte string prefix.
+                    if let Some((hashes, skip)) = raw_string_open(&bytes[i..]) {
+                        state = State::RawStr(hashes);
+                        for _ in 0..skip {
+                            out.push(b' ');
+                        }
+                        out.push(b'"');
+                        i += skip + 1; // prefix + opening quote
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        state = State::Str;
+                        out.extend_from_slice(b" \"");
+                        i += 2;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                        state = State::CharLit;
+                        out.extend_from_slice(b" '");
+                        i += 2;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    if char_literal_opens(&bytes[i..]) {
+                        state = State::CharLit;
+                        out.push(b'\'');
+                        i += 1;
+                    } else {
+                        // A lifetime: keep as-is.
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(b as char);
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\\' {
+                    // Line-continuation escape: keep the newline for the
+                    // top-of-loop line accounting.
+                    out.push(b' ');
+                    i += 1;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && bytes[i + 1..].len() >= hashes
+                    && bytes[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    state = State::Code;
+                    out.push(b'"');
+                    for _ in 0..hashes {
+                        out.push(b' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((line, comment_buf));
+    }
+    // The scanner only ever replaces ASCII bytes with ASCII spaces and
+    // copies other bytes through, so the output is valid UTF-8.
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br##"`, ... at the start of `bytes`.
+/// Returns `(hash_count, prefix_len)` where `prefix_len` counts everything
+/// before the opening quote.
+fn raw_string_open(bytes: &[u8]) -> Option<(usize, usize)> {
+    let mut j = 0;
+    if bytes.get(0) == Some(&b'b') {
+        j = 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j))
+    } else {
+        None
+    }
+}
+
+/// Distinguishes a char literal (`'x'`, `'\n'`, `'\u{7f}'`) from a
+/// lifetime (`'a`, `'static`) at a `'` in code position.
+fn char_literal_opens(bytes: &[u8]) -> bool {
+    match bytes.get(1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Parses a `simlint: allow(...)` suppression out of one line comment.
+fn parse_suppression(line: usize, comment: &str) -> Option<Suppression> {
+    let body = comment.trim();
+    let rest = body.strip_prefix("simlint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let justified = match rest[close + 1..].trim_start().strip_prefix("--") {
+        Some(j) => !j.trim().is_empty(),
+        None => false,
+    };
+    Some(Suppression {
+        line,
+        rules,
+        justified,
+    })
+}
+
+/// Marks the line spans of `#[cfg(test)]` items in sanitized `text`.
+///
+/// From each `#[cfg(test)]`, the scanner walks to the first `{` or `;`
+/// and, for a brace, to its matching close — which covers the idiomatic
+/// trailing `mod tests { ... }` as well as single attributed items.
+fn mark_test_regions(text: &str, nlines: usize) -> Vec<bool> {
+    let mut in_test = vec![false; nlines];
+    let bytes = text.as_bytes();
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find("#[cfg(test)]") {
+        let start = search_from + rel;
+        let mut i = start;
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let first_line = text[..start].matches('\n').count();
+        let last_line = text[..end.min(text.len())].matches('\n').count();
+        for flag in in_test
+            .iter_mut()
+            .take((last_line + 1).min(nlines))
+            .skip(first_line)
+        {
+            *flag = true;
+        }
+        search_from = start + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let s = scan("let x = \"Instant::now()\"; // Instant here too\nlet y = 1;\n");
+        assert!(!s.lines[0].contains("Instant"));
+        assert!(s.lines[0].contains("let x = \""));
+        assert_eq!(s.lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan(r##"let x = r#"HashMap"#; let h = 1;"##);
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].contains("let h = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_coexist() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'H' }\nlet e = '\\n';\n");
+        // The lifetime survives; the char literal contents are blanked.
+        assert!(s.lines[0].contains("<'a>"));
+        assert!(!s.lines[0].contains('H'));
+        assert!(!s.lines[1].contains('n'));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let s = scan("/* outer /* HashMap */ still comment */ let x = 1;\n");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_justification() {
+        let s = scan(
+            "// simlint: allow(D03) -- bounded map, never iterated\n\
+             let m = 1;\n\
+             let n = 2; // simlint: allow(d01, D05)\n",
+        );
+        assert_eq!(s.suppressions.len(), 2);
+        assert!(s.suppressions[0].justified);
+        assert_eq!(s.suppressions[0].rules, vec!["D03".to_string()]);
+        assert!(s.suppressions[0].covers("D03", 2));
+        assert!(!s.suppressions[0].covers("D03", 3));
+        assert!(!s.suppressions[1].justified);
+        assert_eq!(
+            s.suppressions[1].rules,
+            vec!["D01".to_string(), "D05".to_string()]
+        );
+        assert!(s.suppressed("D05", 3));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+fn also_real() {}
+";
+        let s = scan(src);
+        assert!(!s.in_test[0]);
+        assert!(s.in_test[1]);
+        assert!(s.in_test[2]);
+        assert!(s.in_test[3]);
+        assert!(s.in_test[4]);
+        assert!(!s.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_statement_covers_only_it() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let s = scan(src);
+        assert!(s.in_test[0]);
+        assert!(s.in_test[1]);
+        assert!(!s.in_test[2]);
+    }
+}

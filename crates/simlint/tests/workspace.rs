@@ -1,0 +1,100 @@
+//! The lint pass run for real: once over this workspace (the tier-1
+//! acceptance gate — zero unsuppressed diagnostics), and once over a
+//! scratch workspace carrying a deliberate violation to prove the pass
+//! actually fires end to end.
+
+use std::path::Path;
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_clean() {
+    simlint::assert_crate_clean(env!("CARGO_MANIFEST_DIR"));
+    let root = simlint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let diags = simlint::lint_workspace(&root).unwrap();
+    assert!(
+        diags.is_empty(),
+        "simlint found {} violation(s):\n{}",
+        diags.len(),
+        simlint::render_human(&diags)
+    );
+}
+
+/// Builds a scratch one-crate workspace with the given wafl lib source.
+fn scratch_workspace(name: &str, wafl_lib: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simlint-it-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/wafl/src")).unwrap();
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n\n[package]\nname = \"scratch\"\nversion = \"0.0.0\"\n",
+    )
+    .unwrap();
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    std::fs::write(dir.join("src/lib.rs"), "\n").unwrap();
+    std::fs::write(
+        dir.join("crates/wafl/Cargo.toml"),
+        "[package]\nname = \"wafl\"\nversion = \"0.0.0\"\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("crates/wafl/src/lib.rs"), wafl_lib).unwrap();
+    dir
+}
+
+#[test]
+fn deliberate_wall_clock_violation_fails_the_pass() {
+    let dir = scratch_workspace(
+        "d01",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let diags = simlint::lint_workspace(&dir).unwrap();
+    assert!(
+        diags.iter().any(|d| d.rule == "D01" && d.path.contains("wafl")),
+        "expected a D01 diagnostic, got:\n{}",
+        simlint::render_human(&diags)
+    );
+    // The CI surface: JSON output carries the same count.
+    let json = simlint::render_json(&diags);
+    assert!(json.contains("\"rule\": \"D01\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn justified_suppression_survives_but_unjustified_does_not() {
+    let dir = scratch_workspace(
+        "sup",
+        "// simlint: allow(D03) -- bounded fault table, never iterated\n\
+         pub type T = std::collections::HashMap<u64, u64>;\n\
+         // simlint: allow(D03)\n\
+         pub type U = std::collections::HashSet<u64>;\n",
+    );
+    let diags = simlint::lint_workspace(&dir).unwrap();
+    assert!(
+        diags.iter().all(|d| d.rule != "D03" || d.line != 2),
+        "justified suppression ignored:\n{}",
+        simlint::render_human(&diags)
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "S00"),
+        "unjustified suppression not reported:\n{}",
+        simlint::render_human(&diags)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simlint_toml_overrides_the_builtin_policy() {
+    let dir = scratch_workspace("conf", "pub fn f() { let _ = x.unwrap(); }\n");
+    // An empty library list exempts wafl from D05 entirely.
+    std::fs::write(
+        dir.join("simlint.toml"),
+        "[crates]\nsimulation = []\nmetered = []\nlibrary = []\n",
+    )
+    .unwrap();
+    let diags = simlint::lint_workspace(&dir).unwrap();
+    assert!(
+        diags.is_empty(),
+        "config not honored:\n{}",
+        simlint::render_human(&diags)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

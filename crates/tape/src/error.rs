@@ -2,6 +2,7 @@
 
 /// Errors from drives and media.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TapeError {
     /// No cartridge loaded and the magazine is exhausted.
     NoMedia,

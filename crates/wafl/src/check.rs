@@ -16,7 +16,7 @@
 //!
 //! The crash-recovery and restore tests run this after every remount.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::WaflError;
 use crate::fs::Wafl;
@@ -46,9 +46,9 @@ impl CheckReport {
 pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
     let mut report = CheckReport::default();
     // bno -> who references it (for duplicate diagnostics).
-    let mut refs: HashMap<u64, String> = HashMap::new();
+    let mut refs: BTreeMap<u64, String> = BTreeMap::new();
     let claim =
-        |refs: &mut HashMap<u64, String>, report: &mut CheckReport, bno: u64, owner: String| {
+        |refs: &mut BTreeMap<u64, String>, report: &mut CheckReport, bno: u64, owner: String| {
             if bno == 0 {
                 return;
             }
@@ -70,7 +70,7 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
     }
 
     // Every inode's data and indirect blocks.
-    let mut expected_nlink: HashMap<Ino, u16> = HashMap::new();
+    let mut expected_nlink: BTreeMap<Ino, u16> = BTreeMap::new();
     for ino in 0..fs.max_ino() {
         if !fs.inode_exists(ino) {
             continue;
@@ -197,7 +197,120 @@ pub fn check(fs: &Wafl) -> Result<CheckReport, WaflError> {
         Err(e) => report.problems.push(format!("no root inode: {e}")),
     }
 
+    check_snapshot_planes(fs, &mut report);
+
     Ok(report)
+}
+
+/// Snapshot bit-plane invariants (the paper's Table 1 arithmetic).
+///
+/// - A plane whose snapshot id is not registered in the snapshot table
+///   must be empty; leftovers mean `snap_delete` leaked blocks that can
+///   never be freed.
+/// - A registered snapshot captured a consistent file system, so its
+///   plane holds at least one block.
+/// - Only planes 0..=[`MAX_SNAPSHOTS`] exist; higher bits in any
+///   block-map word are corruption.
+/// - For snapshot pairs (and each snapshot against the active plane),
+///   the set-difference identity behind incremental dumps must hold:
+///   `|B| = |A| + |B−A| − |A−B|`, with the `iter_diff` word arithmetic
+///   agreeing with per-block [`Table1State`] classification.
+fn check_snapshot_planes(fs: &Wafl, report: &mut CheckReport) {
+    use crate::blkmap::Table1State;
+    use crate::blkmap::ACTIVE_PLANE;
+    use crate::types::MAX_SNAPSHOTS;
+
+    let bm = fs.blkmap();
+    let registered: Vec<_> = fs.snapshots().iter().map(|s| s.id).collect();
+
+    for id in 1..=MAX_SNAPSHOTS {
+        let n = bm.count_plane(id);
+        if registered.contains(&id) {
+            if n == 0 {
+                report
+                    .problems
+                    .push(format!("snapshot plane {id} is registered but empty"));
+            }
+        } else if n != 0 {
+            report.problems.push(format!(
+                "snapshot plane {id} is not registered but holds {n} block(s) (snap_delete leak)"
+            ));
+        }
+    }
+
+    let legal: u32 = (1u32 << (MAX_SNAPSHOTS + 1)) - 1;
+    let mut bad_bits = 0u64;
+    for bno in 0..bm.nblocks() {
+        if bm.word(bno) & !legal != 0 {
+            bad_bits += 1;
+            if bad_bits <= 5 {
+                report.problems.push(format!(
+                    "block {bno}: block-map word {:#010x} sets bits above plane {MAX_SNAPSHOTS}",
+                    bm.word(bno)
+                ));
+            }
+        }
+    }
+    if bad_bits > 5 {
+        report.problems.push(format!(
+            "... and {} more blocks with undefined plane bits",
+            bad_bits - 5
+        ));
+    }
+
+    // Pairs: consecutive registered snapshots (the full/incremental pairs
+    // a dump schedule would use) plus each snapshot against the active
+    // plane.
+    let mut pairs: Vec<(u8, u8)> = Vec::new();
+    for w in registered.windows(2) {
+        pairs.push((w[0], w[1]));
+    }
+    for &id in &registered {
+        pairs.push((id, ACTIVE_PLANE));
+    }
+    let in_plane = |bno: u64, p: u8| {
+        if p == ACTIVE_PLANE {
+            bm.is_active(bno)
+        } else {
+            bm.in_snapshot(bno, p)
+        }
+    };
+    for (a, b) in pairs {
+        let b_minus_a = bm.iter_diff(b, a).count() as u64;
+        let a_minus_b = bm.iter_diff(a, b).count() as u64;
+        let (mut newly, mut deleted) = (0u64, 0u64);
+        for bno in 0..bm.nblocks() {
+            // Table 1 classification (via `table1_state` when both planes
+            // are snapshots; the active plane classifies the same way).
+            let state = match (in_plane(bno, a), in_plane(bno, b)) {
+                (false, false) => Table1State::NotInEither,
+                (false, true) => Table1State::NewlyWritten,
+                (true, false) => Table1State::Deleted,
+                (true, true) => Table1State::Unchanged,
+            };
+            debug_assert!(
+                a == ACTIVE_PLANE || b == ACTIVE_PLANE || state == bm.table1_state(bno, a, b)
+            );
+            match state {
+                Table1State::NewlyWritten => newly += 1,
+                Table1State::Deleted => deleted += 1,
+                Table1State::NotInEither | Table1State::Unchanged => {}
+            }
+        }
+        if newly != b_minus_a || deleted != a_minus_b {
+            report.problems.push(format!(
+                "planes ({a},{b}): iter_diff says B−A={b_minus_a}, A−B={a_minus_b} \
+                 but Table 1 classification says {newly}, {deleted}"
+            ));
+        }
+        let na = bm.count_plane(a);
+        let nb = bm.count_plane(b);
+        if nb as i128 != na as i128 + b_minus_a as i128 - a_minus_b as i128 {
+            report.problems.push(format!(
+                "planes ({a},{b}): |B|={nb} but |A|+|B−A|−|A−B| = {na}+{b_minus_a}−{a_minus_b}"
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +360,59 @@ mod tests {
         fs.cp().unwrap();
         let report = check(&fs).unwrap();
         assert!(report.is_clean(), "problems: {:?}", report.problems);
+    }
+
+    #[test]
+    fn snapshot_planes_satisfy_table1_arithmetic() {
+        let mut fs = fs();
+        let f = fs
+            .create(INO_ROOT, "f", FileType::File, Attrs::default())
+            .unwrap();
+        for b in 0..8 {
+            fs.write_fbn(f, b, Block::Synthetic(b)).unwrap();
+        }
+        let a = fs.snapshot_create("a").unwrap();
+        // Overwrite some blocks and delete others so A−B and B−A are both
+        // non-empty, then snapshot again.
+        for b in 0..4 {
+            fs.write_fbn(f, b, Block::Synthetic(100 + b)).unwrap();
+        }
+        fs.set_size(f, 6 * 4096).unwrap();
+        let b = fs.snapshot_create("b").unwrap();
+        fs.write_fbn(f, 0, Block::Synthetic(200)).unwrap();
+        fs.cp().unwrap();
+
+        let report = check(&fs).unwrap();
+        assert!(report.is_clean(), "problems: {:?}", report.problems);
+        // The incremental (B−A) must be non-trivial for this to have
+        // exercised anything.
+        assert!(fs.blkmap().iter_diff(b, a).count() > 0);
+
+        // Deleting a snapshot must leave its plane empty (checked by the
+        // stale-plane invariant on the next run).
+        fs.snapshot_delete(a).unwrap();
+        fs.cp().unwrap();
+        let report = check(&fs).unwrap();
+        assert!(report.is_clean(), "problems: {:?}", report.problems);
+    }
+
+    #[test]
+    fn leaked_snapshot_plane_is_reported() {
+        let mut fs = fs();
+        fs.snapshot_create("s").unwrap();
+        fs.cp().unwrap();
+        // Corrupt the snapshot table the way a buggy snap_delete would:
+        // drop the registration but leave the bit plane populated.
+        fs.snapshots.retain(|s| s.name != "s");
+        let report = check(&fs).unwrap();
+        assert!(
+            report
+                .problems
+                .iter()
+                .any(|p| p.contains("snap_delete leak")),
+            "problems: {:?}",
+            report.problems
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::types::SnapId;
 
 /// Errors surfaced by the file system.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum WaflError {
     /// No such file or directory.
     NotFound {

@@ -16,7 +16,6 @@
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::collections::HashSet;
 use std::rc::Rc;
 
 use blockdev::Block;
@@ -82,6 +81,7 @@ pub(crate) fn l1_count(nslots: u64) -> usize {
     if nslots <= NDIRECT as u64 {
         0
     } else {
+        // simlint: allow(D05) -- nslots > NDIRECT in this branch, so l1_index is Some by construction
         l1_index(nslots - 1).expect("nslots > NDIRECT") + 1
     }
 }
@@ -139,6 +139,21 @@ pub(crate) struct InodeMem {
 }
 
 impl InodeMem {
+    /// The directory map, or `WrongType`-flavored `Invalid` if this inode
+    /// is not a directory (the `ftype == Dir` ⟺ `dir.is_some()` invariant).
+    pub(crate) fn dir_ref(&self) -> Result<&BTreeMap<String, Ino>, WaflError> {
+        self.dir.as_ref().ok_or(WaflError::Invalid {
+            reason: "inode has no directory contents".into(),
+        })
+    }
+
+    /// Mutable counterpart of [`InodeMem::dir_ref`].
+    pub(crate) fn dir_mut(&mut self) -> Result<&mut BTreeMap<String, Ino>, WaflError> {
+        self.dir.as_mut().ok_or(WaflError::Invalid {
+            reason: "inode has no directory contents".into(),
+        })
+    }
+
     pub(crate) fn new_file(attrs: Attrs, qtree: u16, gen: u32) -> InodeMem {
         Self::new_leaf(FileType::File, attrs, qtree, gen)
     }
@@ -326,7 +341,7 @@ pub struct Wafl {
     pub(crate) snaptable_bno: u32,
     pub(crate) qtree_bno: u32,
     pub(crate) dirty_inodes: BTreeSet<Ino>,
-    pub(crate) frozen: HashSet<u64>,
+    pub(crate) frozen: BTreeSet<u64>,
     pub(crate) alloc_cursor: u64,
     pub(crate) replaying: bool,
     /// Roots as of the last completed CP (captured by snapshots).
@@ -375,7 +390,7 @@ impl Wafl {
             snaptable_bno: 0,
             qtree_bno: 0,
             dirty_inodes: BTreeSet::new(),
-            frozen: HashSet::new(),
+            frozen: BTreeSet::new(),
             alloc_cursor: 2,
             replaying: false,
             last_inofile_root: TreeRoot::default(),
@@ -550,7 +565,7 @@ impl Wafl {
             snaptable_bno: fi.snaptable_bno,
             qtree_bno: fi.qtree_bno,
             dirty_inodes: BTreeSet::new(),
-            frozen: HashSet::new(),
+            frozen: BTreeSet::new(),
             alloc_cursor: 2,
             replaying: false,
             last_inofile_root: fi.inofile.clone(),
@@ -631,6 +646,9 @@ impl Wafl {
                 })
             }
             Err(nvram::NvramError::Disabled) => Ok(()),
+            Err(e) => Err(WaflError::Invalid {
+                reason: format!("nvram log append failed: {e}"),
+            }),
         }
     }
 
@@ -930,8 +948,8 @@ impl Wafl {
     /// Packs a dirty directory's entries into fresh blocks.
     fn serialize_dir(&mut self, ino: Ino) -> Result<u64, WaflError> {
         let (blocks, old_slots) = {
-            let inode = self.inodes[ino as usize].as_ref().expect("dirty inode");
-            let dir = inode.dir.as_ref().expect("dir inode");
+            let inode = self.inode(ino)?;
+            let dir = inode.dir_ref()?;
             let blocks = ondisk::dir_to_blocks(dir.iter().map(|(n, i)| (n.as_str(), *i)));
             (blocks, inode.tree.slots.clone())
         };
@@ -948,7 +966,7 @@ impl Wafl {
                 self.free_block(old as u64);
             }
         }
-        let inode = self.inodes[ino as usize].as_mut().expect("dirty inode");
+        let inode = self.inode_mut(ino)?;
         inode.size = new_slots.len() as u64 * BLOCK_SIZE as u64;
         let nslots = new_slots.len() as u64;
         inode.tree.slots = {
@@ -965,7 +983,7 @@ impl Wafl {
     /// mappings changed.
     fn rewrite_file_indirects(&mut self, ino: Ino) -> Result<u64, WaflError> {
         let (dirty_l1s, nslots, slots, mut meta) = {
-            let inode = self.inodes[ino as usize].as_ref().expect("dirty inode");
+            let inode = self.inode(ino)?;
             let nslots = inode.tree.nslots();
             let mut dirty: BTreeSet<usize> = BTreeSet::new();
             for &fbn in &inode.dirty_fbns {
@@ -979,7 +997,7 @@ impl Wafl {
         // Shrink: free homes beyond the needed count.
         let mut dind_dirty = false;
         while meta.l1_homes.len() > need {
-            let old = meta.l1_homes.pop().expect("non-empty");
+            let Some(old) = meta.l1_homes.pop() else { break };
             if old != 0 {
                 self.free_block(old as u64);
             }
@@ -1027,10 +1045,7 @@ impl Wafl {
             self.free_block(meta.dind_home as u64);
             meta.dind_home = 0;
         }
-        self.inodes[ino as usize]
-            .as_mut()
-            .expect("dirty inode")
-            .meta = meta;
+        self.inode_mut(ino)?.meta = meta;
         Ok(written)
     }
 

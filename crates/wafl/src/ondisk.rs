@@ -42,15 +42,21 @@ fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 }
 
 fn get_u16(buf: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[off..off + 2]);
+    u16::from_le_bytes(b)
 }
 
 fn get_u32(buf: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[off..off + 4]);
+    u32::from_le_bytes(b)
 }
 
 fn get_u64(buf: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
 }
 
 /// Root of a file's block tree: size plus the pointer set. Used for the

@@ -125,7 +125,7 @@ impl Wafl {
             if p.ftype != FileType::Dir {
                 return Err(WaflError::WrongType { ino: parent });
             }
-            if p.dir.as_ref().expect("dir inode").contains_key(name) {
+            if p.dir_ref()?.contains_key(name) {
                 return Err(WaflError::Exists { name: name.into() });
             }
             p.qtree
@@ -159,7 +159,7 @@ impl Wafl {
         self.inodes[ino as usize] = Some(inode);
         {
             let p = self.inode_mut(parent)?;
-            p.dir.as_mut().expect("dir inode").insert(name.into(), ino);
+            p.dir_mut()?.insert(name.into(), ino);
             p.dir_dirty = true;
             p.attrs.mtime = tick;
             if ftype == FileType::Dir {
@@ -183,7 +183,7 @@ impl Wafl {
         let ino = self.lookup(parent, name)?;
         let (ftype, qtree, freed_blocks, nlink) = {
             let inode = self.inode(ino)?;
-            if inode.ftype == FileType::Dir && !inode.dir.as_ref().expect("dir").is_empty() {
+            if inode.ftype == FileType::Dir && !inode.dir_ref()?.is_empty() {
                 return Err(WaflError::NotEmpty { ino });
             }
             let freed = inode.tree.slots.iter().filter(|&&b| b != 0).count() as u64;
@@ -201,7 +201,7 @@ impl Wafl {
             self.inode_mut(ino)?.nlink = nlink - 1;
             {
                 let p = self.inode_mut(parent)?;
-                p.dir.as_mut().expect("dir inode").remove(name);
+                p.dir_mut()?.remove(name);
                 p.dir_dirty = true;
                 p.attrs.mtime = tick;
             }
@@ -211,23 +211,14 @@ impl Wafl {
             return Ok(());
         }
 
-        let slots = self.inodes[ino as usize]
-            .as_ref()
-            .expect("checked above")
-            .tree
-            .slots
-            .clone();
+        let slots = self.inode(ino)?.tree.slots.clone();
         for bno in slots {
             if bno != 0 {
                 self.free_block(bno as u64);
             }
         }
         // Indirect blocks of the removed file go too.
-        let meta = self.inodes[ino as usize]
-            .as_ref()
-            .expect("checked above")
-            .meta
-            .clone();
+        let meta = self.inode(ino)?.meta.clone();
         for home in meta.l1_homes {
             if home != 0 {
                 self.free_block(home as u64);
@@ -240,7 +231,7 @@ impl Wafl {
         self.dirty_inodes.insert(ino);
         {
             let p = self.inode_mut(parent)?;
-            p.dir.as_mut().expect("dir inode").remove(name);
+            p.dir_mut()?.remove(name);
             p.dir_dirty = true;
             p.attrs.mtime = tick;
             if ftype == FileType::Dir {
@@ -279,7 +270,7 @@ impl Wafl {
             if t.ftype != FileType::Dir {
                 return Err(WaflError::WrongType { ino: to_parent });
             }
-            if t.dir.as_ref().expect("dir").contains_key(to_name) {
+            if t.dir_ref()?.contains_key(to_name) {
                 return Err(WaflError::Exists {
                     name: to_name.into(),
                 });
@@ -328,7 +319,7 @@ impl Wafl {
         let ftype = self.inode(ino)?.ftype;
         {
             let f = self.inode_mut(from_parent)?;
-            f.dir.as_mut().expect("dir").remove(from_name);
+            f.dir_mut()?.remove(from_name);
             f.dir_dirty = true;
             f.attrs.mtime = tick;
             if ftype == FileType::Dir {
@@ -337,7 +328,7 @@ impl Wafl {
         }
         {
             let t = self.inode_mut(to_parent)?;
-            t.dir.as_mut().expect("dir").insert(to_name.into(), ino);
+            t.dir_mut()?.insert(to_name.into(), ino);
             t.dir_dirty = true;
             t.attrs.mtime = tick;
             if ftype == FileType::Dir {
@@ -494,9 +485,7 @@ impl Wafl {
         if p.ftype != FileType::Dir {
             return Err(WaflError::WrongType { ino: parent });
         }
-        p.dir
-            .as_ref()
-            .expect("dir inode")
+        p.dir_ref()?
             .get(name)
             .copied()
             .ok_or_else(|| WaflError::NotFound {
@@ -520,9 +509,7 @@ impl Wafl {
             return Err(WaflError::WrongType { ino });
         }
         Ok(inode
-            .dir
-            .as_ref()
-            .expect("dir inode")
+            .dir_ref()?
             .iter()
             .map(|(n, i)| (n.clone(), *i))
             .collect())
@@ -612,7 +599,7 @@ impl Wafl {
             if p.ftype != FileType::Dir {
                 return Err(WaflError::WrongType { ino: parent });
             }
-            if p.dir.as_ref().expect("dir").contains_key(name) {
+            if p.dir_ref()?.contains_key(name) {
                 return Err(WaflError::Exists { name: name.into() });
             }
             if p.qtree != target.qtree {
@@ -635,7 +622,7 @@ impl Wafl {
         }
         {
             let p = self.inode_mut(parent)?;
-            p.dir.as_mut().expect("dir inode").insert(name.into(), ino);
+            p.dir_mut()?.insert(name.into(), ino);
             p.dir_dirty = true;
             p.attrs.mtime = tick;
         }

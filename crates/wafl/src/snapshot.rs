@@ -31,7 +31,7 @@ impl Wafl {
         }
         let id = (1..=MAX_SNAPSHOTS)
             .find(|id| !self.snapshots.iter().any(|s| s.id == *id))
-            .expect("slot available given count check");
+            .ok_or(WaflError::TooManySnapshots)?;
 
         // Make the on-disk image current, then capture it.
         self.cp()?;

@@ -55,6 +55,48 @@ fn both_strategies_round_trip_an_aged_workload_volume() {
     assert!(diffs.is_empty(), "physical: {diffs:?}");
     // The physical restore also carries the qtree configuration.
     assert_eq!(prestored.qtrees().len(), src.qtrees().len());
+
+    // Every volume passes the full consistency check, including the
+    // snapshot bit-plane invariants.
+    for (label, fs) in [
+        ("source", &mut src),
+        ("logical restore", &mut lrestored),
+        ("physical restore", &mut prestored),
+    ] {
+        fs.cp().unwrap();
+        let report = wafl_backup::wafl::check::check(fs).unwrap();
+        assert!(report.is_clean(), "{label}: {:?}", report.problems);
+    }
+}
+
+#[test]
+fn snapshot_plane_invariants_survive_a_dump_cycle() {
+    // Dumps create and delete their own snapshots; rotations layer more
+    // on top. The block map's bit planes must satisfy the paper's Table 1
+    // set-difference arithmetic throughout, and deleted snapshots must
+    // leave empty planes behind.
+    let (mut src, profile) = build_tiny();
+    let mut catalog = DumpCatalog::new();
+
+    src.snapshot_create("keep.0").unwrap();
+    churn(&mut src, &profile, &ChurnOptions::default(), 41).unwrap();
+    src.snapshot_create("keep.1").unwrap();
+
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    dump(&mut src, &mut tape, &mut catalog, &DumpOptions::default()).unwrap();
+
+    src.cp().unwrap();
+    let report = wafl_backup::wafl::check::check(&src).unwrap();
+    assert!(report.is_clean(), "after dump: {:?}", report.problems);
+
+    // Drop the older snapshot: its plane must come back empty, and the
+    // remaining planes must still satisfy the arithmetic.
+    let id = src.snapshot_by_name("keep.0").unwrap().id;
+    src.snapshot_delete(id).unwrap();
+    src.cp().unwrap();
+    assert_eq!(src.blkmap().count_plane(id), 0, "deleted plane not empty");
+    let report = wafl_backup::wafl::check::check(&src).unwrap();
+    assert!(report.is_clean(), "after delete: {:?}", report.problems);
 }
 
 #[test]

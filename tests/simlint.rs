@@ -1,0 +1,7 @@
+//! Tier-1 hook: the root crate must satisfy the workspace's simulation
+//! invariants (see simlint.toml and DESIGN.md).
+
+#[test]
+fn simlint_clean() {
+    simlint::assert_crate_clean(env!("CARGO_MANIFEST_DIR"));
+}
