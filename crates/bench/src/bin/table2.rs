@@ -8,6 +8,7 @@ use bench::experiments::run_basic;
 use bench::tables::print_table2;
 
 fn main() {
+    obs::event::enable(obs::event::EventConfig::default());
     let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
     let (mut home, runs) = prepare(scale, seed);
     let basic = run_basic(&mut home, &runs, &FilerModel::f630());
@@ -15,4 +16,5 @@ fn main() {
     let mut artifact = basic.obs;
     artifact.experiment = "table2".into();
     bench::obsout::emit(&artifact);
+    bench::obsout::emit_trace(&artifact, &basic.trace_events);
 }

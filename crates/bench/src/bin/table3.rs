@@ -9,6 +9,7 @@ use bench::tables::print_stage_table;
 use bench::tables::PAPER_TABLE3;
 
 fn main() {
+    obs::event::enable(obs::event::EventConfig::default());
     let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
     let (mut home, runs) = prepare(scale, seed);
     let basic = run_basic(&mut home, &runs, &FilerModel::f630());
@@ -21,4 +22,5 @@ fn main() {
     let mut artifact = basic.obs;
     artifact.experiment = "table3".into();
     bench::obsout::emit(&artifact);
+    bench::obsout::emit_trace(&artifact, &basic.trace_events);
 }

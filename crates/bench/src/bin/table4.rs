@@ -10,6 +10,7 @@ use bench::tables::print_stage_table;
 use bench::tables::PAPER_TABLE4;
 
 fn main() {
+    obs::event::enable(obs::event::EventConfig::default());
     let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
     let (mut home, runs) = prepare(scale, seed);
     let r = run_parallel(&mut home, &runs, &FilerModel::f630(), 2);
@@ -20,4 +21,7 @@ fn main() {
         true,
     );
     print_parallel_summary(&r);
+    let mut artifact = r.obs;
+    artifact.experiment = "table4".into();
+    bench::obsout::emit(&artifact);
 }

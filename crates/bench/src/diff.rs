@@ -1,0 +1,506 @@
+//! The benchdiff core: compares two observability artifacts and decides
+//! whether the new run drifted from the committed baseline.
+//!
+//! Spans are matched structurally — by the `/`-joined path of ancestor
+//! names plus an occurrence index (two stages may share a name under
+//! different operations, or even under the same one). For each matched
+//! span the report carries elapsed and byte-throughput deltas; per-stage
+//! numbers are judged against a *relative* tolerance (default ±1%).
+//! Per-resource utilization means are judged against an *absolute*
+//! tolerance, since utilization is already a fraction. Missing or extra
+//! spans and resources are always failures: the gate protects the shape
+//! of the run as well as its speed.
+//!
+//! The gate is symmetric on purpose. An out-of-tolerance *improvement*
+//! also fails — the baseline is stale either way, and `benchdiff --bless`
+//! is the one-step fix once the change is understood.
+
+use std::collections::BTreeMap;
+
+use obs::json::Json;
+use obs::Artifact;
+use obs::Span;
+
+/// Knobs for the comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative tolerance for elapsed and throughput (fraction of the
+    /// baseline value; 0.01 = ±1%).
+    pub tolerance: f64,
+    /// Absolute tolerance for per-resource mean utilization (fraction of
+    /// capacity; 0.01 = one percentage point).
+    pub util_tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tolerance: 0.01,
+            util_tolerance: 0.01,
+        }
+    }
+}
+
+/// One matched span's numbers.
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// `/`-joined ancestry path, with `#n` appended for repeat occurrences.
+    pub path: String,
+    /// Baseline elapsed seconds.
+    pub base_elapsed: f64,
+    /// New elapsed seconds.
+    pub new_elapsed: f64,
+    /// Relative elapsed delta against the baseline.
+    pub elapsed_rel: f64,
+    /// Baseline bytes/second over the stage window, when it moved bytes.
+    pub base_throughput: Option<f64>,
+    /// New bytes/second over the stage window.
+    pub new_throughput: Option<f64>,
+    /// Whether the stage stayed within tolerance.
+    pub ok: bool,
+}
+
+/// One resource's utilization comparison.
+#[derive(Debug, Clone)]
+pub struct UtilDelta {
+    /// Resource name ("disk", "tape0", ...).
+    pub resource: String,
+    /// Baseline time-weighted mean utilization.
+    pub base_mean: f64,
+    /// New time-weighted mean utilization.
+    pub new_mean: f64,
+    /// Whether the means agree within the absolute tolerance.
+    pub ok: bool,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Experiment name of the new artifact.
+    pub new_experiment: String,
+    /// Experiment name of the baseline artifact.
+    pub base_experiment: String,
+    /// Options the comparison ran with.
+    pub options: DiffOptions,
+    /// Per-span deltas, in baseline span order.
+    pub stages: Vec<StageDelta>,
+    /// Per-resource utilization deltas, in baseline order.
+    pub utilization: Vec<UtilDelta>,
+    /// Human-readable failures (empty when the gate passes).
+    pub problems: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when the new run matched the baseline within tolerance.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Renders the report as text, one line per comparison.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "benchdiff {} vs baseline {} (tolerance {:.2}%, utilization {:.2} abs)",
+            self.new_experiment,
+            self.base_experiment,
+            self.options.tolerance * 100.0,
+            self.options.util_tolerance,
+        );
+        for s in &self.stages {
+            let tp = match (s.base_throughput, s.new_throughput) {
+                (Some(b), Some(n)) => format!("  tp {:.3e} -> {:.3e} B/s", b, n),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  [{}] {}: {:.3}s -> {:.3}s ({:+.3}%){}",
+                if s.ok { "ok" } else { "FAIL" },
+                s.path,
+                s.base_elapsed,
+                s.new_elapsed,
+                s.elapsed_rel * 100.0,
+                tp,
+            );
+        }
+        for u in &self.utilization {
+            let _ = writeln!(
+                out,
+                "  [{}] util {}: {:.4} -> {:.4} ({:+.4} abs)",
+                if u.ok { "ok" } else { "FAIL" },
+                u.resource,
+                u.base_mean,
+                u.new_mean,
+                u.new_mean - u.base_mean,
+            );
+        }
+        for p in &self.problems {
+            let _ = writeln!(out, "  !! {p}");
+        }
+        let _ = writeln!(
+            out,
+            "  {}",
+            if self.ok() {
+                "PASS: within tolerance"
+            } else {
+                "FAIL: drift beyond tolerance (re-run with --bless to accept)"
+            }
+        );
+        out
+    }
+
+    /// Serializes the report for machine consumers (the CI artifact).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("new", Json::Str(self.new_experiment.clone())),
+            ("base", Json::Str(self.base_experiment.clone())),
+            ("tolerance", Json::Num(self.options.tolerance)),
+            ("util_tolerance", Json::Num(self.options.util_tolerance)),
+            ("ok", Json::Bool(self.ok())),
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            let mut fields = vec![
+                                ("path", Json::Str(s.path.clone())),
+                                ("base_elapsed", Json::Num(s.base_elapsed)),
+                                ("new_elapsed", Json::Num(s.new_elapsed)),
+                                ("elapsed_rel", Json::Num(s.elapsed_rel)),
+                                ("ok", Json::Bool(s.ok)),
+                            ];
+                            if let (Some(b), Some(n)) = (s.base_throughput, s.new_throughput) {
+                                fields.push(("base_throughput", Json::Num(b)));
+                                fields.push(("new_throughput", Json::Num(n)));
+                            }
+                            Json::obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "utilization",
+                Json::Arr(
+                    self.utilization
+                        .iter()
+                        .map(|u| {
+                            Json::obj(vec![
+                                ("resource", Json::Str(u.resource.clone())),
+                                ("base_mean", Json::Num(u.base_mean)),
+                                ("new_mean", Json::Num(u.new_mean)),
+                                ("ok", Json::Bool(u.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "problems",
+                Json::Arr(self.problems.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// `/`-joined ancestry path for every span. A parent link that does not
+/// point backwards is treated as absent rather than trusted.
+fn span_paths(spans: &[Span]) -> Vec<String> {
+    let mut paths: Vec<String> = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent.filter(|&p| p < i) {
+            Some(p) => paths.push(format!("{} / {}", paths[p], s.name)),
+            None => paths.push(s.name.clone()),
+        }
+    }
+    paths
+}
+
+/// Paths made unique with an occurrence suffix (`#2` for the second
+/// span sharing a path, and so on).
+fn unique_paths(spans: &[Span]) -> Vec<String> {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    span_paths(spans)
+        .into_iter()
+        .map(|p| {
+            let n = seen.entry(p.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                p
+            } else {
+                format!("{p} #{n}")
+            }
+        })
+        .collect()
+}
+
+fn rel(new: f64, base: f64) -> f64 {
+    (new - base) / base.abs().max(1e-9)
+}
+
+/// Bytes the span moved, summed over its byte-denominated counters.
+fn span_bytes(s: &Span) -> f64 {
+    s.deltas
+        .iter()
+        .filter(|(k, _)| k.ends_with(".bytes"))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn throughput(s: &Span) -> Option<f64> {
+    let elapsed = (s.t1 - s.t0).max(0.0);
+    let bytes = span_bytes(s);
+    if elapsed > 0.0 && bytes > 0.0 {
+        Some(bytes / elapsed)
+    } else {
+        None
+    }
+}
+
+/// Compares `new` against `base` and returns the full report.
+pub fn diff(new: &Artifact, base: &Artifact, options: DiffOptions) -> DiffReport {
+    let mut problems = Vec::new();
+    let base_paths = unique_paths(&base.spans);
+    let new_paths = unique_paths(&new.spans);
+    let new_by_path: BTreeMap<&str, &Span> = new_paths
+        .iter()
+        .map(String::as_str)
+        .zip(new.spans.iter())
+        .collect();
+
+    let mut stages = Vec::new();
+    for (path, b) in base_paths.iter().zip(base.spans.iter()) {
+        let Some(n) = new_by_path.get(path.as_str()) else {
+            problems.push(format!("span missing from new run: {path}"));
+            continue;
+        };
+        let base_elapsed = (b.t1 - b.t0).max(0.0);
+        let new_elapsed = (n.t1 - n.t0).max(0.0);
+        let elapsed_rel = rel(new_elapsed, base_elapsed);
+        let base_tp = throughput(b);
+        let new_tp = throughput(n);
+        let mut ok = true;
+        if elapsed_rel.abs() > options.tolerance {
+            ok = false;
+            problems.push(format!(
+                "{path}: elapsed {base_elapsed:.3}s -> {new_elapsed:.3}s ({:+.3}% > ±{:.3}%)",
+                elapsed_rel * 100.0,
+                options.tolerance * 100.0,
+            ));
+        }
+        if let (Some(bt), Some(nt)) = (base_tp, new_tp) {
+            let tp_rel = rel(nt, bt);
+            if tp_rel.abs() > options.tolerance {
+                ok = false;
+                problems.push(format!(
+                    "{path}: throughput {bt:.3e} -> {nt:.3e} B/s ({:+.3}% > ±{:.3}%)",
+                    tp_rel * 100.0,
+                    options.tolerance * 100.0,
+                ));
+            }
+        }
+        stages.push(StageDelta {
+            path: path.clone(),
+            base_elapsed,
+            new_elapsed,
+            elapsed_rel,
+            base_throughput: base_tp,
+            new_throughput: new_tp,
+            ok,
+        });
+    }
+    let base_set: BTreeMap<&str, ()> = base_paths.iter().map(|p| (p.as_str(), ())).collect();
+    for path in &new_paths {
+        if !base_set.contains_key(path.as_str()) {
+            problems.push(format!("span absent from baseline: {path}"));
+        }
+    }
+
+    let mut utilization = Vec::new();
+    for tl in &base.timelines {
+        let Some(n) = new.timelines.iter().find(|t| t.resource == tl.resource) else {
+            problems.push(format!("resource missing from new run: {}", tl.resource));
+            continue;
+        };
+        let base_mean = tl.mean();
+        let new_mean = n.mean();
+        let ok = (new_mean - base_mean).abs() <= options.util_tolerance;
+        if !ok {
+            problems.push(format!(
+                "util {}: mean {base_mean:.4} -> {new_mean:.4} ({:+.4} > ±{:.4} abs)",
+                tl.resource,
+                new_mean - base_mean,
+                options.util_tolerance,
+            ));
+        }
+        utilization.push(UtilDelta {
+            resource: tl.resource.clone(),
+            base_mean,
+            new_mean,
+            ok,
+        });
+    }
+    for tl in &new.timelines {
+        if !base.timelines.iter().any(|t| t.resource == tl.resource) {
+            problems.push(format!("resource absent from baseline: {}", tl.resource));
+        }
+    }
+
+    DiffReport {
+        new_experiment: new.experiment.clone(),
+        base_experiment: base.experiment.clone(),
+        options,
+        stages,
+        utilization,
+        problems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::timeline::TimelineSample;
+    use obs::UtilizationTimeline;
+
+    fn sample_artifact() -> Artifact {
+        Artifact {
+            experiment: "t".into(),
+            spans: vec![
+                Span {
+                    name: "Logical Backup".into(),
+                    t0: 0.0,
+                    t1: 100.0,
+                    ..Span::default()
+                },
+                Span {
+                    name: "dumping files".into(),
+                    parent: Some(0),
+                    depth: 1,
+                    t0: 10.0,
+                    t1: 100.0,
+                    deltas: vec![("tape.write.bytes".into(), 9e9)],
+                    ..Span::default()
+                },
+            ],
+            timelines: vec![UtilizationTimeline {
+                resource: "tape0".into(),
+                capacity: 5e6,
+                samples: vec![TimelineSample {
+                    t0: 0.0,
+                    t1: 100.0,
+                    utilization: 0.8,
+                }],
+            }],
+            ..Artifact::default()
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = sample_artifact();
+        let report = diff(&a, &a, DiffOptions::default());
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.utilization.len(), 1);
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn elapsed_drift_beyond_tolerance_fails() {
+        let base = sample_artifact();
+        let mut new = base.clone();
+        new.spans[1].t1 = 105.0; // ~5.6% longer stage
+        let report = diff(&new, &base, DiffOptions::default());
+        assert!(!report.ok());
+        assert!(
+            report
+                .problems
+                .iter()
+                .any(|p| p.contains("dumping files") && p.contains("elapsed")),
+            "{:?}",
+            report.problems
+        );
+        // A looser gate accepts the same drift.
+        let loose = diff(
+            &new,
+            &base,
+            DiffOptions {
+                tolerance: 0.10,
+                ..DiffOptions::default()
+            },
+        );
+        assert!(loose.ok(), "{}", loose.render());
+    }
+
+    #[test]
+    fn throughput_drift_is_caught_even_when_elapsed_holds() {
+        let base = sample_artifact();
+        let mut new = base.clone();
+        new.spans[1].deltas[0].1 = 9.5e9; // same window, more bytes
+        let report = diff(&new, &base, DiffOptions::default());
+        assert!(!report.ok());
+        assert!(
+            report.problems.iter().any(|p| p.contains("throughput")),
+            "{:?}",
+            report.problems
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_spans_fail() {
+        let base = sample_artifact();
+        let mut new = base.clone();
+        new.spans.pop();
+        let report = diff(&new, &base, DiffOptions::default());
+        assert!(report.problems.iter().any(|p| p.contains("missing")));
+
+        let mut grown = base.clone();
+        grown.spans.push(Span {
+            name: "surprise stage".into(),
+            parent: Some(0),
+            depth: 1,
+            ..Span::default()
+        });
+        let report = diff(&grown, &base, DiffOptions::default());
+        assert!(report.problems.iter().any(|p| p.contains("absent")));
+    }
+
+    #[test]
+    fn repeated_stage_names_match_by_occurrence() {
+        let mut base = sample_artifact();
+        let twin = base.spans[1].clone();
+        base.spans.push(twin);
+        let report = diff(&base, &base, DiffOptions::default());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.stages.iter().any(|s| s.path.ends_with("#2")));
+    }
+
+    #[test]
+    fn utilization_uses_absolute_tolerance() {
+        let base = sample_artifact();
+        let mut new = base.clone();
+        new.timelines[0].samples[0].utilization = 0.83;
+        let report = diff(&new, &base, DiffOptions::default());
+        assert!(!report.ok());
+        assert!(report.problems.iter().any(|p| p.contains("util tape0")));
+        // 0.805 is within one point.
+        new.timelines[0].samples[0].utilization = 0.805;
+        assert!(diff(&new, &base, DiffOptions::default()).ok());
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_renderer() {
+        let base = sample_artifact();
+        let mut new = base.clone();
+        new.spans[1].t1 = 105.0;
+        let report = diff(&new, &base, DiffOptions::default());
+        let doc = report.to_json();
+        let parsed = obs::json::Json::parse(&doc.render()).expect("report json parses");
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            parsed.get("stages").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+}

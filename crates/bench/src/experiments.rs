@@ -81,6 +81,9 @@ pub struct BasicResults {
     /// times, plus per-resource utilization. The binaries name and write
     /// it (`results/obs_<experiment>.json`).
     pub obs: obs::Artifact,
+    /// Trace events mapped onto the artifact's time axis (empty unless
+    /// tracing was enabled for the functional pass).
+    pub trace_events: Vec<obs::TimedEvent>,
 }
 
 /// Result of simulating one operation (one or more concurrent streams).
@@ -166,12 +169,9 @@ pub fn simulate_op(
     let mut rows = Vec::new();
     let mut windows = Vec::new();
     for name in order {
-        let recs: Vec<_> = trace.stages.iter().filter(|r| r.name == name).collect();
-        if recs.is_empty() {
+        let Some((t0, t1)) = trace.window(&name) else {
             continue;
-        }
-        let t0 = recs.iter().map(|r| r.t0).fold(f64::INFINITY, f64::min);
-        let t1 = recs.iter().map(|r| r.t1).fold(0.0, f64::max);
+        };
         windows.push((name.clone(), t0, t1));
         let disk_bytes: u64 = streams
             .iter()
@@ -226,6 +226,15 @@ pub struct FunctionalRuns {
     pub image_dump_spans: Vec<obs::Span>,
     /// Image restore span forest.
     pub image_restore_spans: Vec<obs::Span>,
+    /// Trace events drained after the logical dump (empty when tracing is
+    /// off; span ids refer to the matching span forest).
+    pub logical_dump_events: Vec<obs::event::Event>,
+    /// Trace events for the logical restore.
+    pub logical_restore_events: Vec<obs::event::Event>,
+    /// Trace events for the image dump.
+    pub image_dump_events: Vec<obs::event::Event>,
+    /// Trace events for the image restore.
+    pub image_restore_events: Vec<obs::event::Event>,
     /// Per-qtree logical dump stages (for the parallel experiments).
     pub qtree_dumps: Vec<Vec<StageProfile>>,
     /// Per-qtree logical restore stages.
@@ -244,6 +253,10 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
     let mut catalog = DumpCatalog::new();
     let tape_blank = 64 * (1u64 << 30);
 
+    // Shed anything the build phase emitted: the per-operation drains
+    // below must only see their own operation's events.
+    let _ = obs::event::drain();
+
     eprintln!("[run] logical dump (whole volume)...");
     let mut tape_l = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
     let ld = dump(
@@ -256,6 +269,7 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
         },
     )
     .expect("logical dump");
+    let logical_dump_events = obs::event::drain().events;
 
     eprintln!("[run] logical restore (whole volume)...");
     let mut fresh = Wafl::format_with(
@@ -268,10 +282,12 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
     let lr = restore(&mut fresh, &mut tape_l, "/").expect("logical restore");
     drop(fresh);
     drop(tape_l);
+    let logical_restore_events = obs::event::drain().events;
 
     eprintln!("[run] image dump...");
     let mut tape_p = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
     let pd = image_dump_full(&mut home.fs, &mut tape_p, "image.base").expect("image dump");
+    let image_dump_events = obs::event::drain().events;
 
     eprintln!("[run] image restore...");
     let mut fresh_vol = Volume::new(geometry.clone());
@@ -280,6 +296,7 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
         .expect("image restore");
     drop(fresh_vol);
     drop(tape_p);
+    let image_restore_events = obs::event::drain().events;
 
     // Per-qtree passes for the parallel tables.
     let mut qtree_dumps = Vec::new();
@@ -294,6 +311,7 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
         .expect("format qtree restore target");
         for (i, q) in home.outcome.qtree_paths.clone().iter().enumerate() {
             eprintln!("[run] logical dump + restore of {q}...");
+            obs::event::set_stream(i as u32);
             let mut tape = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
             let out = dump(
                 &mut home.fs,
@@ -314,6 +332,10 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
             qtree_dumps.push(out.profiler.stages());
             qtree_restores.push(rout.profiler.stages());
         }
+        // The per-qtree spans do not survive into the merged parallel
+        // streams, so their events have nothing to attach to; discard.
+        obs::event::set_stream(0);
+        let _ = obs::event::drain();
     }
 
     FunctionalRuns {
@@ -325,6 +347,10 @@ pub fn functional_runs(home: &mut BuiltVolume) -> FunctionalRuns {
         logical_restore_spans: lr.profiler.spans(),
         image_dump_spans: pd.profiler.spans(),
         image_restore_spans: pr.profiler.spans(),
+        logical_dump_events,
+        logical_restore_events,
+        image_dump_events,
+        image_restore_events,
         qtree_dumps,
         qtree_restores,
         logical_blocks: ld.data_blocks,
@@ -373,24 +399,28 @@ pub fn run_basic(
         model,
     );
 
-    let obs = crate::obsout::assemble(
+    let (obs, trace_events) = crate::obsout::assemble(
         "basic",
         factor,
         &[
             crate::obsout::OpObs {
                 spans: &runs.logical_dump_spans,
+                events: &runs.logical_dump_events,
                 sim: &ld,
             },
             crate::obsout::OpObs {
                 spans: &runs.logical_restore_spans,
+                events: &runs.logical_restore_events,
                 sim: &lr,
             },
             crate::obsout::OpObs {
                 spans: &runs.image_dump_spans,
+                events: &runs.image_dump_events,
                 sim: &pd,
             },
             crate::obsout::OpObs {
                 spans: &runs.image_restore_spans,
+                events: &runs.image_restore_events,
                 sim: &pr,
             },
         ],
@@ -424,6 +454,7 @@ pub fn run_basic(
         files: (runs.files as f64 * factor) as u64,
         frag: home.frag,
         obs,
+        trace_events,
     }
 }
 
@@ -442,6 +473,9 @@ pub struct ParallelResults {
     pub logical_restore_elapsed: f64,
     /// Physical restore makespan, seconds.
     pub physical_restore_elapsed: f64,
+    /// Spans-only observability artifact (operation roots with their
+    /// solved stage windows; the binaries rename and write it).
+    pub obs: obs::Artifact,
 }
 
 /// Distributes `parts` (per-qtree stage lists) over `n` streams, merging
@@ -553,6 +587,15 @@ pub fn run_parallel(
     let physical_gb_h = simkit::units::gib_per_hour(physical_bytes, pd.elapsed);
     let lr_elapsed = lr.elapsed;
     let pr_elapsed = pr.elapsed;
+    let obs = crate::obsout::assemble_sim_only(
+        &format!("parallel{n}"),
+        &[
+            ("Logical Backup", &ld),
+            ("Logical Restore", &lr),
+            ("Physical Backup", &pd),
+            ("Physical Restore", &pr),
+        ],
+    );
     rows.extend(ld.rows);
     rows.extend(lr.rows);
     rows.extend(pd.rows);
@@ -565,6 +608,7 @@ pub fn run_parallel(
         physical_gb_h,
         logical_restore_elapsed: lr_elapsed,
         physical_restore_elapsed: pr_elapsed,
+        obs,
     }
 }
 
@@ -764,6 +808,60 @@ mod tests {
         let text = artifact.to_json().render();
         let back = obs::Artifact::from_json(&obs::Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn trace_events_land_inside_their_spans() {
+        // Tracing state is thread-local, so enabling here cannot leak into
+        // the other tests.
+        obs::event::enable(obs::event::EventConfig::default());
+        let (mut home, runs) = prepared();
+        let basic = run_basic(&mut home, &runs, &FilerModel::f630());
+        obs::event::disable();
+
+        assert!(
+            !basic.trace_events.is_empty(),
+            "a traced run must surface events"
+        );
+        let spans = &basic.obs.spans;
+        let mut seen_kinds = std::collections::BTreeSet::new();
+        for te in &basic.trace_events {
+            let id = te.event.span.expect("assign_times drops spanless events");
+            let span = spans.get(id).expect("event span id resolves");
+            assert!(
+                te.t >= span.t0 - 1e-9 && te.t <= span.t1 + 1e-9,
+                "{} event at t={} outside span {} [{}, {}]",
+                te.event.kind.name(),
+                te.t,
+                span.name,
+                span.t0,
+                span.t1
+            );
+            seen_kinds.insert(te.event.kind.name());
+        }
+        // The four operations exercise disk, tape, and the phase markers.
+        for kind in ["block_read", "tape_write", "phase_begin", "phase_end"] {
+            assert!(
+                seen_kinds.contains(kind),
+                "no {kind} events: {seen_kinds:?}"
+            );
+        }
+
+        // Tracing also feeds the size/latency histograms.
+        assert!(
+            basic
+                .obs
+                .histograms
+                .iter()
+                .any(|h| h.name == "disk.service_secs" && h.count > 0),
+            "histograms: {:?}",
+            basic
+                .obs
+                .histograms
+                .iter()
+                .map(|h| &h.name)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

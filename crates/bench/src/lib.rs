@@ -22,6 +22,7 @@
 
 pub mod build;
 pub mod calibrate;
+pub mod diff;
 pub mod experiments;
 pub mod obsout;
 pub mod tables;

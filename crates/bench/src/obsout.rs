@@ -1,5 +1,6 @@
 //! Assembles the per-experiment observability artifact
-//! (`results/obs_<experiment>.json`).
+//! (`results/obs_<experiment>.json`) and its Chrome trace companion
+//! (`results/trace_<experiment>.json`).
 //!
 //! The simulator splits *function* (measured work: the span deltas the
 //! engines recorded) from *time* (the fluid solve). The artifact re-joins
@@ -8,10 +9,13 @@
 //! per-resource utilization histories ride along. Span deltas, CPU
 //! seconds, and count annotations are scaled to paper size with the same
 //! factor the table pipeline uses, so the artifact agrees with the printed
-//! numbers.
+//! numbers. Trace events recorded during the functional pass are mapped
+//! onto the same axis by [`obs::event::assign_times`].
 
+use obs::event::Event;
 use obs::timeline::TimelineSample;
 use obs::Span;
+use obs::TimedEvent;
 use obs::UtilizationTimeline;
 
 use crate::experiments::SimOp;
@@ -21,19 +25,27 @@ use crate::experiments::SimOp;
 pub struct OpObs<'a> {
     /// The span forest the functional run recorded (roots first).
     pub spans: &'a [Span],
+    /// Trace events drained after the same run (span ids are op-local).
+    pub events: &'a [Event],
     /// The fluid solve for the paper-scaled profiles of the same run.
     pub sim: &'a SimOp,
 }
 
-/// Joins measured spans with solved times into one artifact.
+/// Joins measured spans with solved times into one artifact, plus the
+/// trace events stamped onto the same time axis.
 ///
 /// `factor` is the measurement → paper scale factor; span deltas,
 /// annotations, and CPU seconds are multiplied by it. Operations are
 /// offset sequentially so the artifact has a single monotonic time axis;
 /// a leaf span whose stage did not survive into the solve (nothing to do)
 /// keeps a zero-length window at its operation's start.
-pub fn assemble(experiment: &str, factor: f64, ops: &[OpObs<'_>]) -> obs::Artifact {
+pub fn assemble(
+    experiment: &str,
+    factor: f64,
+    ops: &[OpObs<'_>],
+) -> (obs::Artifact, Vec<TimedEvent>) {
     let mut spans: Vec<Span> = Vec::new();
+    let mut events: Vec<TimedEvent> = Vec::new();
     let mut timelines: Vec<UtilizationTimeline> = Vec::new();
     let mut offset = 0.0;
     for op in ops {
@@ -62,6 +74,14 @@ pub fn assemble(experiment: &str, factor: f64, ops: &[OpObs<'_>]) -> obs::Artifa
             }
             spans.push(span);
         }
+        // Event span ids are local to this operation's recorder; the
+        // freshly pushed slice is indexed the same way and already
+        // carries the offset times, so assigned times land directly on
+        // the artifact's axis.
+        for mut te in obs::event::assign_times(&spans[base..], op.events) {
+            te.event.span = te.event.span.map(|s| s + base);
+            events.push(te);
+        }
         for tl in &op.sim.timelines {
             let shifted = tl.samples.iter().map(|s| TimelineSample {
                 t0: s.t0 + offset,
@@ -79,10 +99,66 @@ pub fn assemble(experiment: &str, factor: f64, ops: &[OpObs<'_>]) -> obs::Artifa
         }
         offset += op.sim.elapsed;
     }
+    let artifact = obs::Artifact {
+        experiment: experiment.into(),
+        spans,
+        metrics: obs::snapshot(),
+        histograms: obs::metrics::histogram_snapshots(),
+        timelines,
+    };
+    (artifact, events)
+}
+
+/// Builds a spans-only artifact straight from solved operations (the
+/// parallel tables, whose measured per-qtree spans do not map onto the
+/// merged streams): each operation becomes a root span with its stage
+/// windows as children.
+pub fn assemble_sim_only(experiment: &str, ops: &[(&'static str, &SimOp)]) -> obs::Artifact {
+    let mut spans: Vec<Span> = Vec::new();
+    let mut timelines: Vec<UtilizationTimeline> = Vec::new();
+    let mut offset = 0.0;
+    for (name, sim) in ops {
+        let root = spans.len();
+        spans.push(Span {
+            name: name.to_string(),
+            parent: None,
+            depth: 0,
+            t0: offset,
+            t1: offset + sim.elapsed,
+            ..Span::default()
+        });
+        for (stage, t0, t1) in &sim.windows {
+            spans.push(Span {
+                name: stage.clone(),
+                parent: Some(root),
+                depth: 1,
+                t0: offset + t0,
+                t1: offset + t1,
+                ..Span::default()
+            });
+        }
+        for tl in &sim.timelines {
+            let shifted = tl.samples.iter().map(|s| TimelineSample {
+                t0: s.t0 + offset,
+                t1: s.t1 + offset,
+                utilization: s.utilization,
+            });
+            match timelines.iter_mut().find(|t| t.resource == tl.resource) {
+                Some(existing) => existing.samples.extend(shifted),
+                None => timelines.push(UtilizationTimeline {
+                    resource: tl.resource.clone(),
+                    capacity: tl.capacity,
+                    samples: shifted.collect(),
+                }),
+            }
+        }
+        offset += sim.elapsed;
+    }
     obs::Artifact {
         experiment: experiment.into(),
         spans,
         metrics: obs::snapshot(),
+        histograms: obs::metrics::histogram_snapshots(),
         timelines,
     }
 }
@@ -93,5 +169,23 @@ pub fn emit(artifact: &obs::Artifact) {
     match artifact.write("results") {
         Ok(path) => eprintln!("[obs] wrote {}", path.display()),
         Err(e) => eprintln!("[obs] could not write artifact: {e}"),
+    }
+}
+
+/// Writes `results/trace_<experiment>.json` — the Chrome/Perfetto trace
+/// for the artifact plus its timed events.
+pub fn emit_trace(artifact: &obs::Artifact, events: &[TimedEvent]) {
+    let doc = obs::export::chrome_trace(
+        &artifact.experiment,
+        &artifact.spans,
+        events,
+        &artifact.timelines,
+    );
+    let path = std::path::Path::new("results").join(format!("trace_{}.json", artifact.experiment));
+    let mut text = doc.render();
+    text.push('\n');
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, text)) {
+        Ok(()) => eprintln!("[obs] wrote {}", path.display()),
+        Err(e) => eprintln!("[obs] could not write trace: {e}"),
     }
 }

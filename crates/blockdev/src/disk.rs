@@ -177,6 +177,10 @@ impl BlockDevice for SimDisk {
         let service = self.perf.service_time(sequential, bytes);
         self.stats.busy_secs += service;
         obs::gauge("disk.busy_secs").add(service);
+        if obs::trace_enabled() {
+            obs::event::emit(obs::event::EventKind::BlockRead, bytes, service);
+            obs::histogram("disk.service_secs").record(service);
+        }
         let block = self.blocks[bno as usize].clone();
         Ok(self.faults.maybe_corrupt(bno, block))
     }
@@ -200,6 +204,10 @@ impl BlockDevice for SimDisk {
         let service = self.perf.service_time(sequential, bytes);
         self.stats.busy_secs += service;
         obs::gauge("disk.busy_secs").add(service);
+        if obs::trace_enabled() {
+            obs::event::emit(obs::event::EventKind::BlockWrite, bytes, service);
+            obs::histogram("disk.service_secs").record(service);
+        }
         self.blocks[bno as usize] = block;
         Ok(())
     }

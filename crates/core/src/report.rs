@@ -161,6 +161,15 @@ impl Drop for StageSpan<'_> {
     fn drop(&mut self) {
         let cpu = self.meter.meter().since(&self.entry).cpu_secs;
         let mut rec = self.recorder.borrow_mut();
+        // PhaseEnd fires before `exit` so it attributes to the closing span.
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(
+                obs::event::EventKind::PhaseEnd,
+                &rec.spans()[self.id].name,
+                0,
+                0.0,
+            );
+        }
         rec.exit(self.id, obs::snapshot(), cpu);
         rec.annotate(self.id, "files", self.files as f64);
         rec.annotate(self.id, "dirs", self.dirs as f64);
@@ -191,6 +200,9 @@ impl Profiler {
     fn open<'a>(&self, name: &str, meter: MeterHandle<'a>) -> StageSpan<'a> {
         let entry = meter.meter().snapshot();
         let id = self.recorder.borrow_mut().enter(name, obs::snapshot());
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(obs::event::EventKind::PhaseBegin, name, 0, 0.0);
+        }
         StageSpan {
             recorder: Rc::clone(&self.recorder),
             id,

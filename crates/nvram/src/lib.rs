@@ -98,6 +98,9 @@ impl<Op: NvSized> NvramLog<Op> {
         if was_below && self.is_half_full() {
             self.stats.watermark_crossings += 1;
         }
+        if obs::trace_enabled() {
+            obs::event::emit(obs::event::EventKind::NvramLog, sz, 0.0);
+        }
         Ok(())
     }
 
@@ -109,6 +112,9 @@ impl<Op: NvSized> NvramLog<Op> {
 
     /// Clears the log (a consistency point made everything durable).
     pub fn commit(&mut self) {
+        if obs::trace_enabled() {
+            obs::event::emit(obs::event::EventKind::NvramFlush, self.used_bytes, 0.0);
+        }
         self.entries.clear();
         self.used_bytes = 0;
     }

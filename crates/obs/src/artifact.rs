@@ -6,6 +6,7 @@ use std::io;
 use std::path::Path;
 
 use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
 use crate::metrics::MetricsSnapshot;
 use crate::span::Span;
 use crate::timeline::TimelineSample;
@@ -20,6 +21,8 @@ pub struct Artifact {
     pub spans: Vec<Span>,
     /// Final metric readings.
     pub metrics: MetricsSnapshot,
+    /// Log₂-bucketed size/latency distributions, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
     /// Per-resource utilization over simulated time.
     pub timelines: Vec<UtilizationTimeline>,
 }
@@ -42,6 +45,10 @@ impl Artifact {
                         .map(|(k, v)| (k.clone(), Json::Num(*v)))
                         .collect(),
                 ),
+            ),
+            (
+                "histograms",
+                Json::Obj(self.histograms.iter().map(histogram_to_json).collect()),
             ),
             (
                 "utilization",
@@ -76,6 +83,16 @@ impl Artifact {
                 .into(),
             _ => return Err("missing metrics".into()),
         };
+        // Histograms arrived in a later artifact revision; documents
+        // written before that simply have none.
+        let histograms = match doc.get("histograms") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| histogram_from_json(k, v))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err("histograms is not an object".into()),
+        };
         let timelines = doc
             .get("utilization")
             .and_then(Json::as_arr)
@@ -87,6 +104,7 @@ impl Artifact {
             experiment,
             spans,
             metrics,
+            histograms,
             timelines,
         })
     }
@@ -176,6 +194,56 @@ fn span_from_json(doc: &Json) -> Result<Span, String> {
     })
 }
 
+fn histogram_to_json(h: &HistogramSnapshot) -> (String, Json) {
+    // Buckets are keyed by the stringified exponent; quantiles are
+    // derived on render so readers don't have to re-walk the buckets.
+    (
+        h.name.clone(),
+        Json::obj(vec![
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum)),
+            (
+                "buckets",
+                Json::Obj(
+                    h.buckets
+                        .iter()
+                        .map(|(e, n)| (e.to_string(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            ("p50", Json::Num(h.p50())),
+            ("p95", Json::Num(h.p95())),
+            ("p99", Json::Num(h.p99())),
+        ]),
+    )
+}
+
+fn histogram_from_json(name: &str, doc: &Json) -> Result<HistogramSnapshot, String> {
+    let mut buckets = match doc.get("buckets") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                let e = k
+                    .parse::<i32>()
+                    .map_err(|_| format!("histogram {name}: bad bucket key {k}"))?;
+                let n = v
+                    .as_num()
+                    .ok_or_else(|| format!("histogram {name}: bucket {k} is not a number"))?;
+                Ok((e, n as u64))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err(format!("histogram {name} without buckets")),
+    };
+    buckets.sort_by_key(|&(e, _)| e);
+    // p50/p95/p99 are derived fields — recomputable, so ignored on parse.
+    Ok(HistogramSnapshot {
+        name: name.to_string(),
+        count: num_field(doc, "count")? as u64,
+        sum: num_field(doc, "sum")?,
+        buckets,
+    })
+}
+
 fn timeline_to_json(tl: &UtilizationTimeline) -> Json {
     Json::obj(vec![
         ("resource", Json::Str(tl.resource.clone())),
@@ -261,6 +329,12 @@ mod tests {
                 ("wafl.cp.count".to_string(), 3.0),
             ]
             .into(),
+            histograms: vec![HistogramSnapshot {
+                name: "disk.service_secs".into(),
+                count: 3,
+                sum: 0.0105,
+                buckets: vec![(-10, 2), (-8, 1)],
+            }],
             timelines: vec![UtilizationTimeline {
                 resource: "tape0".into(),
                 capacity: 1.0,
@@ -291,6 +365,14 @@ mod tests {
         let back = Artifact::from_json(&Json::parse(text.trim_end()).unwrap()).unwrap();
         assert_eq!(back.experiment, "unit");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn documents_without_histograms_still_parse() {
+        // Artifacts written before histograms existed omit the section.
+        let text = r#"{"experiment": "x", "spans": [], "metrics": {}, "utilization": []}"#;
+        let a = Artifact::from_json(&Json::parse(text).unwrap()).unwrap();
+        assert!(a.histograms.is_empty());
     }
 
     #[test]

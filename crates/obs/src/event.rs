@@ -1,0 +1,595 @@
+//! Structured event tracing: a bounded, thread-local ring of typed
+//! events emitted by the device and engine layers.
+//!
+//! Like the rest of the simulator, tracing honours the function/time
+//! split: an event is recorded while the functional layer runs, before
+//! any simulated time exists, so it carries a *work coordinate* — the
+//! value of a monotone per-thread work clock that advances by each
+//! event's modelled weight (service seconds at the device layer). After
+//! the fluid solve assigns every span its `[t0, t1]` window,
+//! [`assign_times`] maps each event's work coordinate onto sim-time by
+//! linear interpolation within its span's solved interval — the same
+//! two-phase pattern spans themselves use.
+//!
+//! Tracing is off by default and [`trace_enabled`] is a single
+//! thread-local flag read, so instrumentation sites cost nothing beyond
+//! the branch when disabled. High-frequency IO events (block and tape
+//! transfers) are *coalesced*: consecutive events of the same kind in
+//! the same span merge until they cover `coalesce_bytes`, so a 6 GB
+//! dump produces thousands of ring entries, not millions. Rare events
+//! (snapshots, faults, phase transitions) are never coalesced and flush
+//! any pending IO first, preserving ordering at stage boundaries.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+
+use crate::span::SpanId;
+
+/// What happened. Unit-only so the discriminant doubles as a slot index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A disk block read (coalesced).
+    BlockRead,
+    /// A disk block write (coalesced).
+    BlockWrite,
+    /// A tape record written (coalesced).
+    TapeWrite,
+    /// A tape record read (coalesced).
+    TapeRead,
+    /// A tape mark: cartridge change or rewind.
+    TapeMark,
+    /// RAID parity write-back (coalesced).
+    RaidParity,
+    /// A degraded-mode read served by reconstruction (coalesced).
+    RaidDegradedRead,
+    /// A member disk failed.
+    RaidFault,
+    /// A failed member was rebuilt from the survivors.
+    RaidReconstruct,
+    /// A WAFL snapshot was created.
+    SnapshotCreate,
+    /// A WAFL snapshot was deleted.
+    SnapshotDelete,
+    /// An operation was appended to the NVRAM log (coalesced).
+    NvramLog,
+    /// The NVRAM log was cleared by a consistency point.
+    NvramFlush,
+    /// A dump/restore stage began.
+    PhaseBegin,
+    /// A dump/restore stage ended.
+    PhaseEnd,
+}
+
+/// Number of [`EventKind`] variants (sizes the coalescing slots).
+const N_KINDS: usize = 15;
+
+impl EventKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BlockRead => "block_read",
+            EventKind::BlockWrite => "block_write",
+            EventKind::TapeWrite => "tape_write",
+            EventKind::TapeRead => "tape_read",
+            EventKind::TapeMark => "tape_mark",
+            EventKind::RaidParity => "raid_parity",
+            EventKind::RaidDegradedRead => "raid_degraded_read",
+            EventKind::RaidFault => "raid_fault",
+            EventKind::RaidReconstruct => "raid_reconstruct",
+            EventKind::SnapshotCreate => "snapshot_create",
+            EventKind::SnapshotDelete => "snapshot_delete",
+            EventKind::NvramLog => "nvram_log",
+            EventKind::NvramFlush => "nvram_flush",
+            EventKind::PhaseBegin => "phase_begin",
+            EventKind::PhaseEnd => "phase_end",
+        }
+    }
+
+    /// Whether consecutive events of this kind merge in the ring.
+    pub fn coalesces(self) -> bool {
+        matches!(
+            self,
+            EventKind::BlockRead
+                | EventKind::BlockWrite
+                | EventKind::TapeWrite
+                | EventKind::TapeRead
+                | EventKind::RaidParity
+                | EventKind::RaidDegradedRead
+                | EventKind::NvramLog
+        )
+    }
+
+    /// Whether the exporters draw this as a point marker (fault,
+    /// snapshot, tape mark) rather than IO volume.
+    pub fn is_marker(self) -> bool {
+        matches!(
+            self,
+            EventKind::TapeMark
+                | EventKind::RaidFault
+                | EventKind::RaidReconstruct
+                | EventKind::SnapshotCreate
+                | EventKind::SnapshotDelete
+                | EventKind::NvramFlush
+        )
+    }
+}
+
+/// One recorded (possibly coalesced) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number on the emitting thread.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Extra context ("creating snapshot", a snapshot name); usually
+    /// empty for IO events.
+    pub label: String,
+    /// The innermost span open when the event fired, if any.
+    pub span: Option<SpanId>,
+    /// Backup stream the emitting code was serving (0 when single-stream).
+    pub stream: u32,
+    /// Bytes covered (summed over a coalesced run).
+    pub bytes: u64,
+    /// Constituent operations folded into this entry (1 for markers).
+    pub ops: u64,
+    /// Work-clock coordinate at the last constituent operation; mapped to
+    /// sim-time by [`assign_times`] after the fluid solve.
+    pub work: f64,
+}
+
+/// An [`Event`] with its post-solve simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated seconds on the artifact's time axis.
+    pub t: f64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Tracing configuration for [`enable`].
+#[derive(Debug, Clone, Copy)]
+pub struct EventConfig {
+    /// Ring capacity in events; once full, new events are counted as
+    /// dropped rather than displacing old ones.
+    pub capacity: usize,
+    /// Coalesced IO events flush once they cover this many bytes.
+    pub coalesce_bytes: u64,
+}
+
+impl Default for EventConfig {
+    fn default() -> EventConfig {
+        EventConfig {
+            capacity: 1 << 20,
+            coalesce_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Everything drained out of the ring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Drained {
+    /// The recorded events, in emission order.
+    pub events: Vec<Event>,
+    /// Events lost to the capacity bound since the previous drain.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    config: EventConfig,
+    seq: u64,
+    dropped: u64,
+    work: f64,
+    events: Vec<Event>,
+    pending: Vec<Option<Event>>,
+    span_stack: Vec<SpanId>,
+    stream: u32,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RING: RefCell<Ring> = RefCell::new(Ring::default());
+}
+
+/// Whether event tracing is on for this thread. Inline and cheap: the
+/// guard every instrumentation site checks first.
+#[inline]
+pub fn trace_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Turns tracing on with the given ring configuration, clearing any
+/// previously recorded events.
+pub fn enable(config: EventConfig) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        *ring = Ring {
+            config,
+            pending: vec![None; N_KINDS],
+            ..Ring::default()
+        };
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Turns tracing off and discards the ring.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+    RING.with(|r| *r.borrow_mut() = Ring::default());
+}
+
+/// Records an IO-shaped event: `bytes` moved with a modelled service
+/// weight of `weight` seconds (advances the work clock). No-op when
+/// tracing is disabled.
+pub fn emit(kind: EventKind, bytes: u64, weight: f64) {
+    if !trace_enabled() {
+        return;
+    }
+    record(kind, String::new(), bytes, weight);
+}
+
+/// Records a labelled event (phase transitions, snapshot names). No-op
+/// when tracing is disabled.
+pub fn emit_labeled(kind: EventKind, label: &str, bytes: u64, weight: f64) {
+    if !trace_enabled() {
+        return;
+    }
+    record(kind, label.to_string(), bytes, weight);
+}
+
+fn record(kind: EventKind, label: String, bytes: u64, weight: f64) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.work += weight;
+        let work = ring.work;
+        let span = ring.span_stack.last().copied();
+        let stream = ring.stream;
+        if kind.coalesces() && label.is_empty() {
+            let slot = kind as usize;
+            let coalesce_bytes = ring.config.coalesce_bytes;
+            match &mut ring.pending[slot] {
+                Some(ev) if ev.span == span && ev.stream == stream => {
+                    ev.bytes += bytes;
+                    ev.ops += 1;
+                    ev.work = work;
+                    if ev.bytes >= coalesce_bytes {
+                        let full = ring.pending[slot].take();
+                        if let Some(full) = full {
+                            push(&mut ring, full);
+                        }
+                    }
+                    return;
+                }
+                stale @ Some(_) => {
+                    let old = stale.take();
+                    if let Some(old) = old {
+                        push(&mut ring, old);
+                    }
+                }
+                None => {}
+            }
+            let seq = next_seq(&mut ring);
+            let ev = Event {
+                seq,
+                kind,
+                label,
+                span,
+                stream,
+                bytes,
+                ops: 1,
+                work,
+            };
+            if bytes >= coalesce_bytes {
+                // Already past the threshold: no point holding it.
+                push(&mut ring, ev);
+            } else {
+                ring.pending[slot] = Some(ev);
+            }
+        } else {
+            flush_pending(&mut ring);
+            let seq = next_seq(&mut ring);
+            let ev = Event {
+                seq,
+                kind,
+                label,
+                span,
+                stream,
+                bytes,
+                ops: 1,
+                work,
+            };
+            push(&mut ring, ev);
+        }
+    });
+}
+
+fn next_seq(ring: &mut Ring) -> u64 {
+    let s = ring.seq;
+    ring.seq += 1;
+    s
+}
+
+fn push(ring: &mut Ring, ev: Event) {
+    if ring.events.len() < ring.config.capacity {
+        ring.events.push(ev);
+    } else {
+        ring.dropped += 1;
+    }
+}
+
+fn flush_pending(ring: &mut Ring) {
+    let mut held: Vec<Event> = ring.pending.iter_mut().filter_map(|s| s.take()).collect();
+    held.sort_by_key(|e| e.seq);
+    for ev in held {
+        push(ring, ev);
+    }
+}
+
+/// Takes every recorded event (flushing coalescing slots) plus the
+/// dropped count, emptying the ring. Returns an empty drain when
+/// tracing is disabled.
+pub fn drain() -> Drained {
+    if !trace_enabled() {
+        return Drained::default();
+    }
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        flush_pending(&mut ring);
+        Drained {
+            events: std::mem::take(&mut ring.events),
+            dropped: std::mem::take(&mut ring.dropped),
+        }
+    })
+}
+
+/// Tags subsequent events with a backup stream id (parallel experiments).
+pub fn set_stream(stream: u32) {
+    if !trace_enabled() {
+        return;
+    }
+    RING.with(|r| r.borrow_mut().stream = stream);
+}
+
+/// Called by [`crate::span::SpanRecorder::enter`] while tracing: makes
+/// `id` the innermost span events attribute themselves to. Flushes
+/// coalescing so IO runs do not straddle a span boundary in ring order.
+pub(crate) fn span_entered(id: SpanId) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        flush_pending(&mut ring);
+        ring.span_stack.push(id);
+    });
+}
+
+/// Counterpart of [`span_entered`]: pops the span stack down through
+/// `id` (defensive against out-of-order exits, mirroring the recorder).
+pub(crate) fn span_exited(id: SpanId) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        flush_pending(&mut ring);
+        while let Some(top) = ring.span_stack.pop() {
+            if top == id {
+                break;
+            }
+        }
+    });
+}
+
+/// Maps drained events onto simulated time using their spans' solved
+/// windows.
+///
+/// Within each span, events are placed by linear interpolation of their
+/// work coordinates over `[t0, t1]` (a span's first event sits at its
+/// start, its last at its end), clamped to the window — so an event's
+/// sim-time always lies inside its span's solved interval. Events with
+/// no span, or with a span id outside `spans`, have no window to land
+/// in and are dropped. `spans` is indexed by the events' span ids, so
+/// pass the same forest the recorder produced (or the per-operation
+/// slice of an assembled artifact).
+pub fn assign_times(spans: &[crate::span::Span], events: &[Event]) -> Vec<TimedEvent> {
+    // Work-coordinate range per referenced span.
+    let mut range: Vec<Option<(f64, f64)>> = vec![None; spans.len()];
+    for ev in events {
+        let Some(id) = ev.span else { continue };
+        if id >= spans.len() {
+            continue;
+        }
+        range[id] = Some(match range[id] {
+            Some((lo, hi)) => (lo.min(ev.work), hi.max(ev.work)),
+            None => (ev.work, ev.work),
+        });
+    }
+    events
+        .iter()
+        .filter_map(|ev| {
+            let id = ev.span?;
+            let (lo, hi) = range.get(id).copied().flatten()?;
+            let span = &spans[id];
+            let frac = if hi > lo {
+                (ev.work - lo) / (hi - lo)
+            } else {
+                0.0
+            };
+            let t = simkit::fluid::work_fraction_time(span.t0, span.t1, frac);
+            Some(TimedEvent {
+                t: t.clamp(span.t0.min(span.t1), span.t1.max(span.t0)),
+                event: ev.clone(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn fresh(config: EventConfig) {
+        disable();
+        enable(config);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        disable();
+        assert!(!trace_enabled());
+        emit(EventKind::BlockRead, 4096, 0.001);
+        emit_labeled(EventKind::PhaseBegin, "stage", 0, 0.0);
+        assert_eq!(drain(), Drained::default());
+    }
+
+    #[test]
+    fn markers_record_in_order_with_monotone_work() {
+        fresh(EventConfig::default());
+        emit_labeled(EventKind::SnapshotCreate, "nightly", 0, 0.0);
+        emit(EventKind::TapeMark, 0, 60.0);
+        emit_labeled(EventKind::SnapshotDelete, "nightly", 0, 0.0);
+        let d = drain();
+        assert_eq!(d.dropped, 0);
+        let kinds: Vec<EventKind> = d.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SnapshotCreate,
+                EventKind::TapeMark,
+                EventKind::SnapshotDelete
+            ]
+        );
+        assert_eq!(d.events[0].label, "nightly");
+        assert!(d.events[0].work <= d.events[1].work);
+        assert!(d.events[1].work <= d.events[2].work);
+        assert!(d.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn io_events_coalesce_until_the_byte_threshold() {
+        fresh(EventConfig {
+            capacity: 1024,
+            coalesce_bytes: 10_000,
+        });
+        for _ in 0..6 {
+            emit(EventKind::BlockRead, 4096, 0.001);
+        }
+        let d = drain();
+        // 4096*3 >= 10_000 flushes, so six reads fold into two events.
+        assert_eq!(d.events.len(), 2);
+        assert!(d.events.iter().all(|e| e.kind == EventKind::BlockRead));
+        assert_eq!(d.events.iter().map(|e| e.bytes).sum::<u64>(), 6 * 4096);
+        assert_eq!(d.events.iter().map(|e| e.ops).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn markers_flush_pending_io_to_preserve_ordering() {
+        fresh(EventConfig::default());
+        emit(EventKind::BlockRead, 4096, 0.001);
+        emit_labeled(EventKind::PhaseEnd, "reading", 0, 0.0);
+        let d = drain();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].kind, EventKind::BlockRead);
+        assert_eq!(d.events[1].kind, EventKind::PhaseEnd);
+    }
+
+    #[test]
+    fn capacity_bound_counts_drops() {
+        fresh(EventConfig {
+            capacity: 2,
+            coalesce_bytes: 1,
+        });
+        for _ in 0..5 {
+            emit(EventKind::TapeWrite, 100, 0.0);
+        }
+        let d = drain();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.dropped, 3);
+    }
+
+    #[test]
+    fn events_attribute_to_the_innermost_span() {
+        fresh(EventConfig::default());
+        let mut rec = crate::span::SpanRecorder::new();
+        let root = rec.enter("op", crate::metrics::MetricsSnapshot::default());
+        emit(EventKind::BlockWrite, 4096, 0.0);
+        let child = rec.enter("stage", crate::metrics::MetricsSnapshot::default());
+        emit(EventKind::TapeWrite, 512, 0.0);
+        rec.exit(child, crate::metrics::MetricsSnapshot::default(), 0.0);
+        emit(EventKind::BlockWrite, 4096, 0.0);
+        rec.exit(root, crate::metrics::MetricsSnapshot::default(), 0.0);
+        let d = drain();
+        let by_kind = |k: EventKind| -> Vec<Option<SpanId>> {
+            d.events
+                .iter()
+                .filter(|e| e.kind == k)
+                .map(|e| e.span)
+                .collect()
+        };
+        assert_eq!(by_kind(EventKind::TapeWrite), vec![Some(child)]);
+        assert_eq!(by_kind(EventKind::BlockWrite), vec![Some(root), Some(root)]);
+    }
+
+    #[test]
+    fn assign_times_interpolates_within_the_span_window() {
+        let spans = vec![Span {
+            name: "stage".into(),
+            t0: 100.0,
+            t1: 200.0,
+            ..Span::default()
+        }];
+        let ev = |work: f64| Event {
+            seq: 0,
+            kind: EventKind::BlockRead,
+            label: String::new(),
+            span: Some(0),
+            stream: 0,
+            bytes: 4096,
+            ops: 1,
+            work,
+        };
+        let timed = assign_times(&spans, &[ev(10.0), ev(15.0), ev(20.0)]);
+        let ts: Vec<f64> = timed.iter().map(|t| t.t).collect();
+        assert_eq!(ts, vec![100.0, 150.0, 200.0]);
+        for t in &timed {
+            assert!(t.t >= 100.0 && t.t <= 200.0);
+        }
+    }
+
+    #[test]
+    fn assign_times_drops_unresolvable_spans() {
+        let spans = vec![Span::default()];
+        let mut orphan = Event {
+            seq: 0,
+            kind: EventKind::TapeMark,
+            label: String::new(),
+            span: None,
+            stream: 0,
+            bytes: 0,
+            ops: 1,
+            work: 1.0,
+        };
+        assert!(assign_times(&spans, &[orphan.clone()]).is_empty());
+        orphan.span = Some(7); // out of range
+        assert!(assign_times(&spans, &[orphan]).is_empty());
+    }
+
+    #[test]
+    fn single_event_spans_sit_at_the_window_start() {
+        let spans = vec![Span {
+            t0: 5.0,
+            t1: 9.0,
+            ..Span::default()
+        }];
+        let timed = assign_times(
+            &spans,
+            &[Event {
+                seq: 0,
+                kind: EventKind::SnapshotCreate,
+                label: "s".into(),
+                span: Some(0),
+                stream: 0,
+                bytes: 0,
+                ops: 1,
+                work: 3.0,
+            }],
+        );
+        assert_eq!(timed[0].t, 5.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Chrome trace-event exporter (the `trace.json` Perfetto loads).
+//!
+//! Layout: one process (pid 1) named after the experiment. Each root
+//! span — one backup operation / stream — becomes a thread track whose
+//! `X` (complete) events are the stage spans beneath it. Timed events
+//! land on their root's track as `i` (instant) events. Each resource's
+//! utilization timeline becomes a `C` (counter) track, which Perfetto
+//! draws as a step chart. All timestamps are microseconds of simulated
+//! time, so a 7-hour dump reads as 7 "hours" on the trace clock.
+
+use crate::event::TimedEvent;
+use crate::json::Json;
+use crate::span::Span;
+use crate::timeline::UtilizationTimeline;
+
+/// Simulated seconds → integer trace microseconds.
+///
+/// Rounding to whole microseconds keeps the output stable under tiny
+/// float differences and is far below the solver's resolution.
+fn usecs(t: f64) -> f64 {
+    (t * 1e6).round()
+}
+
+/// Index of each span's root ancestor, or `None` for orphaned parents.
+fn root_of(spans: &[Span]) -> Vec<Option<usize>> {
+    let mut root: Vec<Option<usize>> = vec![None; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        root[i] = match s.parent {
+            None => Some(i),
+            Some(p) if p < i => root[p],
+            Some(_) => None, // forward parent: malformed, skip
+        };
+    }
+    root
+}
+
+/// Builds the trace document from an experiment's spans, timed events,
+/// and utilization timelines.
+pub fn chrome_trace(
+    experiment: &str,
+    spans: &[Span],
+    events: &[TimedEvent],
+    timelines: &[UtilizationTimeline],
+) -> Json {
+    let root = root_of(spans);
+    let roots: Vec<usize> = (0..spans.len())
+        .filter(|&i| spans[i].parent.is_none())
+        .collect();
+    // tid 1.. per root span, in creation order.
+    let tid_of = |span_idx: usize| -> Option<f64> {
+        let r = root[span_idx]?;
+        roots.iter().position(|&x| x == r).map(|p| (p + 1) as f64)
+    };
+
+    let mut out: Vec<Json> = Vec::new();
+    out.push(Json::obj(vec![
+        ("name", Json::Str("process_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::Num(1.0)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str(experiment.to_string()))]),
+        ),
+    ]));
+    for (p, &r) in roots.iter().enumerate() {
+        out.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num((p + 1) as f64)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(spans[r].name.clone()))]),
+            ),
+        ]));
+    }
+
+    // Stage spans as complete events.
+    for (i, s) in spans.iter().enumerate() {
+        let Some(tid) = tid_of(i) else { continue };
+        let mut args = vec![("cpu_secs".to_string(), Json::Num(s.cpu_secs))];
+        args.extend(
+            s.annotations
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v))),
+        );
+        out.push(Json::obj(vec![
+            ("name", Json::Str(s.name.clone())),
+            ("cat", Json::Str("stage".into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::Num(usecs(s.t0))),
+            ("dur", Json::Num(usecs(s.t1) - usecs(s.t0))),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(tid)),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+
+    // Timed events as instants on their root's track.
+    for te in events {
+        let Some(span) = te.event.span else { continue };
+        if span >= spans.len() {
+            continue;
+        }
+        let Some(tid) = tid_of(span) else { continue };
+        let ev = &te.event;
+        let name = if ev.label.is_empty() {
+            ev.kind.name().to_string()
+        } else {
+            format!("{}: {}", ev.kind.name(), ev.label)
+        };
+        let cat = if ev.kind.is_marker() { "marker" } else { "io" };
+        out.push(Json::obj(vec![
+            ("name", Json::Str(name)),
+            ("cat", Json::Str(cat.into())),
+            ("ph", Json::Str("i".into())),
+            ("ts", Json::Num(usecs(te.t))),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(tid)),
+            ("s", Json::Str("t".into())),
+            (
+                "args",
+                Json::obj(vec![
+                    ("bytes", Json::Num(ev.bytes as f64)),
+                    ("ops", Json::Num(ev.ops as f64)),
+                    ("stream", Json::Num(ev.stream as f64)),
+                ]),
+            ),
+        ]));
+    }
+
+    // Utilization as counter tracks (Perfetto step charts).
+    for tl in timelines {
+        let name = format!("util:{}", tl.resource);
+        let counter = |ts: f64, value: f64| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::Num(ts)),
+                ("pid", Json::Num(1.0)),
+                ("args", Json::obj(vec![("utilization", Json::Num(value))])),
+            ])
+        };
+        for s in &tl.samples {
+            out.push(counter(usecs(s.t0), s.utilization));
+        }
+        if let Some(last) = tl.samples.last() {
+            out.push(counter(usecs(last.t1), 0.0));
+        }
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::event::EventKind;
+    use crate::timeline::TimelineSample;
+
+    fn fixture_spans() -> Vec<Span> {
+        vec![
+            Span {
+                name: "dump".into(),
+                parent: None,
+                depth: 0,
+                t0: 0.0,
+                t1: 10.0,
+                cpu_secs: 2.0,
+                ..Span::default()
+            },
+            Span {
+                name: "dumping files".into(),
+                parent: Some(0),
+                depth: 1,
+                t0: 1.0,
+                t1: 10.0,
+                cpu_secs: 1.5,
+                annotations: vec![("files".into(), 3.0)],
+                ..Span::default()
+            },
+            Span {
+                name: "restore".into(),
+                parent: None,
+                depth: 0,
+                t0: 0.0,
+                t1: 8.0,
+                ..Span::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn tracks_follow_root_spans() {
+        let doc = chrome_trace("unit", &fixture_spans(), &[], &[]);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 thread_name + 3 X events.
+        assert_eq!(evs.len(), 6);
+        let x: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 3);
+        // The child stage rides its root's track.
+        assert_eq!(
+            x[1].get("name").and_then(Json::as_str),
+            Some("dumping files")
+        );
+        assert_eq!(x[1].get("tid").and_then(Json::as_num), Some(1.0));
+        assert_eq!(x[2].get("tid").and_then(Json::as_num), Some(2.0));
+        // µs timestamps.
+        assert_eq!(x[1].get("ts").and_then(Json::as_num), Some(1e6));
+        assert_eq!(x[1].get("dur").and_then(Json::as_num), Some(9e6));
+    }
+
+    #[test]
+    fn instants_and_counters_render() {
+        let events = vec![TimedEvent {
+            t: 2.5,
+            event: Event {
+                seq: 0,
+                kind: EventKind::SnapshotCreate,
+                label: "nightly".into(),
+                span: Some(1),
+                stream: 0,
+                bytes: 0,
+                ops: 1,
+                work: 0.0,
+            },
+        }];
+        let timelines = vec![UtilizationTimeline {
+            resource: "tape0".into(),
+            capacity: 1.0,
+            samples: vec![TimelineSample {
+                t0: 0.0,
+                t1: 10.0,
+                utilization: 0.75,
+            }],
+        }];
+        let doc = chrome_trace("unit", &fixture_spans(), &events, &timelines);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let inst = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .unwrap();
+        assert_eq!(
+            inst.get("name").and_then(Json::as_str),
+            Some("snapshot_create: nightly")
+        );
+        assert_eq!(inst.get("ts").and_then(Json::as_num), Some(2.5e6));
+        assert_eq!(inst.get("tid").and_then(Json::as_num), Some(1.0));
+        let counters: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2); // sample start + closing zero
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("utilization"))
+                .and_then(Json::as_num),
+            Some(0.75)
+        );
+        // The document parses back — structurally valid JSON.
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn events_with_bad_spans_are_skipped() {
+        let events = vec![TimedEvent {
+            t: 1.0,
+            event: Event {
+                seq: 0,
+                kind: EventKind::TapeMark,
+                label: String::new(),
+                span: Some(99),
+                stream: 0,
+                bytes: 0,
+                ops: 1,
+                work: 0.0,
+            },
+        }];
+        let doc = chrome_trace("unit", &fixture_spans(), &events, &[]);
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(evs
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("i")));
+    }
+}

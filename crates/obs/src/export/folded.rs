@@ -1,0 +1,119 @@
+//! Collapsed-stack ("folded") exporter for flamegraph tooling.
+//!
+//! One line per span: its ancestry joined with `;`, a space, and the
+//! span's *exclusive* simulated time in whole microseconds — elapsed
+//! minus the elapsed of its direct children, clamped at zero (children
+//! of a pipelined stage can overlap their parent's window edges).
+//! Feed the output straight to `flamegraph.pl` or any compatible
+//! renderer.
+
+use std::fmt::Write as _;
+
+use crate::span::Span;
+
+/// Renders the span forest as collapsed-stack lines.
+pub fn folded(spans: &[Span]) -> String {
+    let elapsed: Vec<f64> = spans.iter().map(|s| (s.t1 - s.t0).max(0.0)).collect();
+    let mut child_total = vec![0.0f64; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            if p < spans.len() {
+                child_total[p] += elapsed[i];
+            }
+        }
+    }
+    let mut out = String::new();
+    for i in 0..spans.len() {
+        let mut stack: Vec<&str> = Vec::new();
+        let mut cur = Some(i);
+        let mut hops = 0;
+        while let Some(c) = cur {
+            stack.push(&spans[c].name);
+            cur = spans[c].parent.filter(|&p| p < c);
+            hops += 1;
+            if hops > spans.len() {
+                break; // malformed parent links; bail rather than loop
+            }
+        }
+        stack.reverse();
+        let exclusive = (elapsed[i] - child_total[i]).max(0.0);
+        let _ = writeln!(
+            out,
+            "{} {}",
+            stack.join(";"),
+            (exclusive * 1e6).round() as u64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let spans = vec![
+            Span {
+                name: "dump".into(),
+                parent: None,
+                t0: 0.0,
+                t1: 10.0,
+                ..Span::default()
+            },
+            Span {
+                name: "snap".into(),
+                parent: Some(0),
+                depth: 1,
+                t0: 0.0,
+                t1: 2.0,
+                ..Span::default()
+            },
+            Span {
+                name: "files".into(),
+                parent: Some(0),
+                depth: 1,
+                t0: 2.0,
+                t1: 10.0,
+                ..Span::default()
+            },
+        ];
+        let text = folded(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["dump 0", "dump;snap 2000000", "dump;files 8000000"]
+        );
+    }
+
+    #[test]
+    fn overlapping_children_clamp_to_zero() {
+        let spans = vec![
+            Span {
+                name: "op".into(),
+                parent: None,
+                t0: 0.0,
+                t1: 4.0,
+                ..Span::default()
+            },
+            Span {
+                name: "a".into(),
+                parent: Some(0),
+                depth: 1,
+                t0: 0.0,
+                t1: 3.0,
+                ..Span::default()
+            },
+            Span {
+                name: "b".into(),
+                parent: Some(0),
+                depth: 1,
+                t0: 1.0,
+                t1: 4.0,
+                ..Span::default()
+            },
+        ];
+        let text = folded(&spans);
+        assert!(text.starts_with("op 0\n"), "got: {text}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Exporters: turn recorded spans, events, and timelines into formats
+//! external tools read.
+//!
+//! - [`chrome_trace`] emits the Chrome trace-event JSON that Perfetto
+//!   (<https://ui.perfetto.dev>) and `chrome://tracing` load: one track
+//!   per backup stream (root span) carrying the stage spans and event
+//!   instants, plus one counter track per resource carrying utilization.
+//! - [`folded`] emits collapsed-stack lines (`a;b;c 1234`) for
+//!   flamegraph tooling, weighted by each span's exclusive sim-time.
+
+pub mod chrome_trace;
+pub mod folded;
+
+pub use chrome_trace::chrome_trace;
+pub use folded::folded;

@@ -329,19 +329,31 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
-                            );
+                            let code = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            let ch = match code {
+                                // High surrogate: JSON encodes non-BMP
+                                // characters as a \u pair.
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(&b"\\u"[..])
+                                    {
+                                        return Err(self.err("high surrogate without a pair"));
+                                    }
+                                    let low = self.hex4(self.pos + 3)?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(self.err("high surrogate without a pair"));
+                                    }
+                                    self.pos += 6;
+                                    let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("bad surrogate pair"))?
+                                }
+                                0xdc00..=0xdfff => return Err(self.err("unpaired low surrogate")),
+                                c => char::from_u32(c)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            };
+                            out.push(ch);
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -350,6 +362,16 @@ impl<'a> Parser<'a> {
                 _ => return Err(self.err("unterminated string")),
             }
         }
+    }
+
+    /// Four hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, JsonError> {
+        self.bytes
+            .get(at..at + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -420,6 +442,79 @@ mod tests {
             let text = Json::Num(v).render();
             let back = Json::parse(&text).unwrap().as_num().unwrap();
             assert_eq!(back, v, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn control_characters_render_as_u_escapes() {
+        assert_eq!(
+            Json::Str("\u{1}\u{1f}".into()).render(),
+            r#""\u0001\u001f""#
+        );
+        // \b and \f have no short form here; they take the generic path.
+        assert_eq!(Json::Str("\u{8}\u{c}".into()).render(), r#""\u0008\u000c""#);
+    }
+
+    #[test]
+    fn tricky_strings_and_numbers_round_trip() {
+        // Property-style sweep: every value here must survive
+        // render → parse unchanged, so Perfetto (a strict JSON
+        // consumer) accepts any artifact we emit.
+        let strings = [
+            "",
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\nand\ttab\rand\u{0}nul",
+            "all controls: \u{1}\u{2}\u{3}\u{b}\u{e}\u{1f}",
+            "π ≈ 3.14159, naïve café",
+            "emoji \u{1f600} and astral \u{10348} chars",
+            "mixed \u{7f}\u{80}\u{7ff}\u{800}\u{ffff}",
+            "/forward/slashes/ and <html> & such",
+        ];
+        let numbers = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            9.007199254740991e15,
+            1e-300,
+            6.02e23,
+            123456789.000001,
+        ];
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        for (i, s) in strings.iter().enumerate() {
+            fields.push((format!("s{i}"), Json::Str(s.to_string())));
+        }
+        for (i, n) in numbers.iter().enumerate() {
+            fields.push((format!("n{i}"), Json::Num(*n)));
+        }
+        // Keys get escaped too — use a tricky one.
+        fields.push(("key\nwith\u{1}controls".into(), Json::Bool(false)));
+        let doc = Json::Obj(fields);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc, "text was: {text}");
+    }
+
+    #[test]
+    fn surrogate_pairs_parse_and_lone_surrogates_are_rejected() {
+        // U+1F600 as an escaped surrogate pair (how other JSON writers
+        // encode astral characters).
+        let doc = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1f600}"));
+        for bad in [
+            r#""\ud83d""#,       // high surrogate, nothing after
+            r#""\ud83d\u0041""#, // high surrogate, non-surrogate after
+            r#""\ude00""#,       // lone low surrogate
+            r#""\ud83dx""#,      // high surrogate, plain char after
+            r#""\uZZZZ""#,       // not hex
+            r#""\u+123""#,       // sign is not a hex digit
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
         }
     }
 

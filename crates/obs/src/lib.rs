@@ -12,26 +12,39 @@
 //!   snapshot at entry and exit and keeps the *deltas* — what the stage
 //!   consumed — plus the modelled CPU seconds. Sim-times are assigned
 //!   after the fluid solve.
+//! - [`event`] is a bounded, thread-local ring of typed trace events
+//!   (block IO, tape records, RAID faults, snapshots, phase changes),
+//!   recorded with a work coordinate and mapped to sim-time after the
+//!   fluid solve. Off by default; [`trace_enabled`] is the guard every
+//!   instrumentation site checks first.
 //! - [`timeline`] reshapes a solved [`simkit::fluid::Trace`] into
 //!   per-resource utilization histories.
 //! - [`json`] is a dependency-free JSON document model (render + parse).
-//! - [`artifact`] assembles spans + metrics + timelines into
-//!   `results/obs_<experiment>.json`.
+//! - [`artifact`] assembles spans + metrics + histograms + timelines
+//!   into `results/obs_<experiment>.json`.
+//! - [`export`] renders Chrome/Perfetto `trace.json` and collapsed-stack
+//!   flamegraph lines.
 //!
 //! This crate deliberately depends only on `simkit`, so every other crate
 //! in the workspace can depend on it without cycles.
 
 pub mod artifact;
+pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod timeline;
 
 pub use artifact::Artifact;
+pub use event::trace_enabled;
+pub use event::TimedEvent;
 pub use json::Json;
 pub use metrics::counter;
 pub use metrics::gauge;
+pub use metrics::histogram;
 pub use metrics::snapshot;
+pub use metrics::HistogramSnapshot;
 pub use metrics::MetricsSnapshot;
 pub use span::Span;
 pub use span::SpanId;

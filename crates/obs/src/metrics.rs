@@ -16,6 +16,15 @@ use std::collections::BTreeMap;
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, HistData>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct HistData {
+    count: u64,
+    sum: f64,
+    /// Bucket exponent `e` → samples with `2^e <= v < 2^(e+1)`.
+    buckets: BTreeMap<i32, u64>,
 }
 
 thread_local! {
@@ -88,6 +97,124 @@ pub fn counter(name: &'static str) -> Counter {
 /// Returns the gauge named `name`, creating it lazily on first use.
 pub fn gauge(name: &'static str) -> Gauge {
     Gauge(name)
+}
+
+/// Handle to a named log₂-bucketed histogram (IO sizes, modelled
+/// service latencies).
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram(&'static str);
+
+impl Histogram {
+    /// Records one sample. Non-positive and non-finite values all land
+    /// in the lowest bucket (they carry no magnitude to classify).
+    pub fn record(&self, v: f64) {
+        REGISTRY.with(|r| {
+            let mut r = r.borrow_mut();
+            let h = r.histograms.entry(self.0).or_default();
+            h.count += 1;
+            h.sum += if v.is_finite() { v } else { 0.0 };
+            *h.buckets.entry(log2_bucket(v)).or_insert(0) += 1;
+        });
+    }
+
+    /// The registry key.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+/// Returns the histogram named `name`, creating it lazily on first use.
+pub fn histogram(name: &'static str) -> Histogram {
+    Histogram(name)
+}
+
+/// Floor of log₂(v) for positive finite `v`, computed from the IEEE 754
+/// exponent bits so the answer is exact and identical on every platform
+/// (no libm). Everything without a usable magnitude — zero, negatives,
+/// subnormals, NaN, infinities — collapses to the minimum bucket.
+fn log2_bucket(v: f64) -> i32 {
+    const MIN_BUCKET: i32 = -1023;
+    if !v.is_finite() || v < f64::MIN_POSITIVE {
+        return MIN_BUCKET;
+    }
+    ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registry key.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (finite ones).
+    pub sum: f64,
+    /// `(bucket exponent e, samples)` pairs, ascending: samples with
+    /// `2^e <= v < 2^(e+1)`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Upper edge (`2^(e+1)`) of the bucket containing the `q`-quantile
+    /// sample, 0.0 when empty. An upper bound, as bucketed quantiles
+    /// always are.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(e, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return (2.0f64).powi(e + 1);
+            }
+        }
+        self.buckets
+            .last()
+            .map(|&(e, _)| (2.0f64).powi(e + 1))
+            .unwrap_or(0.0)
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Captures every histogram currently in the registry, sorted by name.
+pub fn histogram_snapshots() -> Vec<HistogramSnapshot> {
+    REGISTRY.with(|r| {
+        r.borrow()
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.to_string(),
+                count: h.count,
+                sum: h.sum,
+                buckets: h.buckets.iter().map(|(e, n)| (*e, *n)).collect(),
+            })
+            .collect()
+    })
 }
 
 /// A point-in-time copy of every metric, as uniform `f64` readings.
@@ -183,8 +310,59 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         counter("x").inc();
+        histogram("h").record(1.0);
         reset();
         assert_eq!(counter("x").get(), 0);
         assert!(snapshot().readings.is_empty());
+        assert!(histogram_snapshots().is_empty());
+    }
+
+    #[test]
+    fn log2_buckets_use_exact_exponents() {
+        assert_eq!(log2_bucket(1.0), 0);
+        assert_eq!(log2_bucket(1.5), 0);
+        assert_eq!(log2_bucket(2.0), 1);
+        assert_eq!(log2_bucket(4095.0), 11);
+        assert_eq!(log2_bucket(4096.0), 12);
+        assert_eq!(log2_bucket(0.25), -2);
+        assert_eq!(log2_bucket(0.0), -1023);
+        assert_eq!(log2_bucket(-3.0), -1023);
+        assert_eq!(log2_bucket(f64::NAN), -1023);
+        assert_eq!(log2_bucket(f64::INFINITY), -1023);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        reset();
+        let h = histogram("svc");
+        // 90 fast samples around 1e-3, 10 slow around 1e-2.
+        for _ in 0..90 {
+            h.record(0.001);
+        }
+        for _ in 0..10 {
+            h.record(0.012);
+        }
+        let snaps = histogram_snapshots();
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(s.name, "svc");
+        assert_eq!(s.count, 100);
+        assert!((s.mean() - (90.0 * 0.001 + 10.0 * 0.012) / 100.0).abs() < 1e-12);
+        // p50 bounds the fast cohort, p99 the slow one, and every
+        // quantile upper bound is >= the value it covers.
+        assert!(s.p50() >= 0.001 && s.p50() < 0.012);
+        assert!(s.p95() >= 0.012);
+        assert!(s.p99() >= 0.012);
+        assert!(s.p99() <= 0.012 * 2.0);
+        // The bucket list is ascending and totals the count.
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(s.buckets.iter().map(|(_, n)| n).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
     }
 }

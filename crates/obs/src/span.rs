@@ -91,6 +91,9 @@ impl SpanRecorder {
         });
         self.open.push(Some(OpenState { entry }));
         self.stack.push(id);
+        if crate::event::trace_enabled() {
+            crate::event::span_entered(id);
+        }
         id
     }
 
@@ -100,6 +103,9 @@ impl SpanRecorder {
     /// Spans must close innermost-first; closing out of order also closes
     /// any children still open (defensive — guards make this unreachable).
     pub fn exit(&mut self, id: SpanId, exit: MetricsSnapshot, cpu_secs: f64) {
+        if crate::event::trace_enabled() {
+            crate::event::span_exited(id);
+        }
         while let Some(&top) = self.stack.last() {
             self.stack.pop();
             if top == id {

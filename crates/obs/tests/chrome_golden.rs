@@ -1,0 +1,138 @@
+//! Golden test: the Chrome/Perfetto exporter's exact output on a tiny
+//! fixture. Guards the trace schema — track layout, event phases, counter
+//! names — against accidental drift; Perfetto is an external consumer, so
+//! a diff here is a compatibility break until proven otherwise.
+//!
+//! To accept an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p obs --test chrome_golden`.
+
+use obs::event::Event;
+use obs::event::EventKind;
+use obs::timeline::TimelineSample;
+use obs::Span;
+use obs::TimedEvent;
+use obs::UtilizationTimeline;
+
+fn fixture() -> (Vec<Span>, Vec<TimedEvent>, Vec<UtilizationTimeline>) {
+    let spans = vec![
+        Span {
+            name: "logical dump".into(),
+            parent: None,
+            depth: 0,
+            t0: 0.0,
+            t1: 10.0,
+            cpu_secs: 2.5,
+            ..Span::default()
+        },
+        Span {
+            name: "dumping files".into(),
+            parent: Some(0),
+            depth: 1,
+            t0: 1.0,
+            t1: 10.0,
+            cpu_secs: 2.0,
+            annotations: vec![("files".into(), 42.0)],
+            ..Span::default()
+        },
+        Span {
+            name: "image restore".into(),
+            parent: None,
+            depth: 0,
+            t0: 10.0,
+            t1: 16.0,
+            cpu_secs: 0.5,
+            ..Span::default()
+        },
+    ];
+    let events = vec![
+        TimedEvent {
+            t: 2.5,
+            event: Event {
+                seq: 0,
+                kind: EventKind::TapeWrite,
+                label: String::new(),
+                span: Some(1),
+                stream: 0,
+                bytes: 1 << 20,
+                ops: 16,
+                work: 0.0,
+            },
+        },
+        TimedEvent {
+            t: 4.0,
+            event: Event {
+                seq: 1,
+                kind: EventKind::TapeMark,
+                label: "media change".into(),
+                span: Some(1),
+                stream: 0,
+                bytes: 0,
+                ops: 1,
+                work: 0.0,
+            },
+        },
+        TimedEvent {
+            t: 12.0,
+            event: Event {
+                seq: 2,
+                kind: EventKind::BlockWrite,
+                label: String::new(),
+                span: Some(2),
+                stream: 1,
+                bytes: 4096,
+                ops: 1,
+                work: 0.0,
+            },
+        },
+    ];
+    let timelines = vec![UtilizationTimeline {
+        resource: "tape0".into(),
+        capacity: 5e6,
+        samples: vec![
+            TimelineSample {
+                t0: 0.0,
+                t1: 10.0,
+                utilization: 0.75,
+            },
+            TimelineSample {
+                t0: 10.0,
+                t1: 16.0,
+                utilization: 0.25,
+            },
+        ],
+    }];
+    (spans, events, timelines)
+}
+
+#[test]
+fn tiny_fixture_matches_the_committed_golden() {
+    let (spans, events, timelines) = fixture();
+    let doc = obs::export::chrome_trace("tiny", &spans, &events, &timelines);
+    let mut rendered = doc.render();
+    rendered.push('\n');
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("trace_tiny.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path).expect("read committed golden");
+    assert_eq!(
+        rendered, golden,
+        "chrome trace drifted from the golden; if intentional, re-run with UPDATE_GOLDEN=1"
+    );
+
+    // The golden itself must stay a valid Chrome trace document.
+    let parsed = obs::Json::parse(&golden).expect("golden parses");
+    let top_events = parsed
+        .get("traceEvents")
+        .and_then(obs::Json::as_arr)
+        .expect("traceEvents array");
+    assert!(top_events.len() > spans.len());
+    for e in top_events {
+        let ph = e.get("ph").and_then(obs::Json::as_str).expect("phase");
+        assert!(matches!(ph, "M" | "X" | "i" | "C"), "unknown phase {ph}");
+    }
+}

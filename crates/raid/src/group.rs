@@ -98,6 +98,12 @@ impl Raid4Group {
             Ok(b) => Ok(b),
             Err(DevError::Offline) => {
                 obs::counter("raid.degraded_reads").inc();
+                // Weight 0: the member reads below emit their own service.
+                obs::event::emit(
+                    obs::event::EventKind::RaidDegradedRead,
+                    blockdev::BLOCK_SIZE as u64,
+                    0.0,
+                );
                 self.reconstruct_block(disk, offset)
             }
             Err(e) => Err(e.into()),
@@ -116,6 +122,11 @@ impl Raid4Group {
             Ok(b) => b,
             Err(DevError::Offline) => {
                 obs::counter("raid.degraded_reads").inc();
+                obs::event::emit(
+                    obs::event::EventKind::RaidDegradedRead,
+                    blockdev::BLOCK_SIZE as u64,
+                    0.0,
+                );
                 self.reconstruct_block(disk, offset)?
             }
             Err(e) => return Err(e.into()),
@@ -155,6 +166,12 @@ impl Raid4Group {
     /// Flushes the cached parity block to the parity spindle.
     pub fn flush(&mut self) -> Result<(), RaidError> {
         if let Some(p) = self.pending.take() {
+            // Weight 0: the spindle write below carries the service time.
+            obs::event::emit(
+                obs::event::EventKind::RaidParity,
+                blockdev::BLOCK_SIZE as u64,
+                0.0,
+            );
             match self.parity.write(p.stripe, p.parity) {
                 Ok(()) | Err(DevError::Offline) => Ok(()),
                 Err(e) => Err(e.into()),
@@ -208,6 +225,14 @@ impl Raid4Group {
         }
         self.failed = Some(disk);
         obs::counter("raid.disk_failures").inc();
+        if obs::trace_enabled() {
+            let label = if disk == self.data.len() {
+                "parity".to_string()
+            } else {
+                format!("disk {disk}")
+            };
+            obs::event::emit_labeled(obs::event::EventKind::RaidFault, &label, 0, 0.0);
+        }
         if disk == self.data.len() {
             // Cached parity would be written to a dead spindle anyway.
             self.pending = None;
@@ -230,6 +255,19 @@ impl Raid4Group {
         self.flush()?;
         obs::counter("raid.reconstructions").inc();
         obs::counter("raid.reconstructed_blocks").add(self.blocks_per_disk);
+        if obs::trace_enabled() {
+            let label = if disk == self.data.len() {
+                "parity".to_string()
+            } else {
+                format!("disk {disk}")
+            };
+            obs::event::emit_labeled(
+                obs::event::EventKind::RaidReconstruct,
+                &label,
+                self.blocks_per_disk * blockdev::BLOCK_SIZE as u64,
+                0.0,
+            );
+        }
         if disk == self.data.len() {
             self.parity.replace();
             for offset in 0..self.blocks_per_disk {

@@ -247,6 +247,20 @@ impl Trace {
         &self.stream_names[stream.0]
     }
 
+    /// The window `(t0, t1)` covered by every stage named `name`, across
+    /// all streams: earliest start to latest end. `None` when no stream
+    /// ran such a stage. This is what report layers stamp onto measured
+    /// spans after the solve.
+    pub fn window(&self, name: &str) -> Option<(f64, f64)> {
+        let mut t0 = f64::INFINITY;
+        let mut t1 = f64::NEG_INFINITY;
+        for s in self.stages.iter().filter(|s| s.name == name) {
+            t0 = t0.min(s.t0);
+            t1 = t1.max(s.t1);
+        }
+        (t1 >= t0).then_some((t0, t1))
+    }
+
     /// Mean utilization of each resource over each stream's own active span,
     /// as `(resource name, utilization summary)` pairs. Used for debugging.
     pub fn utilization_summaries(&self) -> Vec<(String, Summary)> {
@@ -262,6 +276,20 @@ impl Trace {
             })
             .collect()
     }
+}
+
+/// Places a work fraction within a solved stage window: the time at
+/// which a stage running over `[t0, t1]` has completed `frac` of the
+/// work coordinate range observed inside it.
+///
+/// This is the trace→event seam: the functional layer records events
+/// against a monotone work clock, the solver produces the window, and
+/// this mapping joins them (linear within the window — the fluid model
+/// has no finer-grained rate structure per event source). `frac` is
+/// clamped to `[0, 1]` so callers cannot place an event outside its
+/// stage.
+pub fn work_fraction_time(t0: f64, t1: f64, frac: f64) -> f64 {
+    t0 + (t1 - t0) * frac.clamp(0.0, 1.0)
 }
 
 /// The simulation builder and engine.
@@ -615,6 +643,35 @@ mod tests {
         let mut sim = FluidSim::new();
         let r = sim.add_resource("r", cap);
         (sim, r)
+    }
+
+    #[test]
+    fn work_fraction_time_is_linear_and_clamped() {
+        assert_eq!(work_fraction_time(10.0, 20.0, 0.0), 10.0);
+        assert_eq!(work_fraction_time(10.0, 20.0, 0.5), 15.0);
+        assert_eq!(work_fraction_time(10.0, 20.0, 1.0), 20.0);
+        assert_eq!(work_fraction_time(10.0, 20.0, -3.0), 10.0);
+        assert_eq!(work_fraction_time(10.0, 20.0, 7.0), 20.0);
+    }
+
+    #[test]
+    fn window_spans_all_streams_running_a_stage() {
+        let (mut sim, r) = one_resource_sim(1.0);
+        sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("move", 5.0, vec![(r, 1.0)])],
+        });
+        sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("move", 5.0, vec![(r, 1.0)])],
+        });
+        let trace = sim.run().unwrap();
+        let (t0, t1) = trace.window("move").unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - trace.makespan()).abs() < 1e-9);
+        assert!(trace.window("absent").is_none());
     }
 
     #[test]

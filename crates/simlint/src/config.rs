@@ -17,6 +17,9 @@ pub struct Config {
     /// D05 (`unwrap`/`expect`, `#[non_exhaustive]` error enums) applies to
     /// these.
     pub library: Vec<String>,
+    /// Crates allowed to call `obs::event::emit` directly; D06 reports
+    /// emission anywhere else.
+    pub events: Vec<String>,
 }
 
 impl Config {
@@ -38,6 +41,15 @@ impl Config {
                 "wafl-backup",
             ]),
             metered: v(&["blockdev", "raid", "tape", "nvram", "wafl", "backup-core"]),
+            events: v(&[
+                "blockdev",
+                "raid",
+                "tape",
+                "nvram",
+                "wafl",
+                "backup-core",
+                "obs",
+            ]),
             library: v(&[
                 "simkit",
                 "blockdev",
@@ -79,12 +91,14 @@ impl Config {
 /// simulation = ["simkit", "wafl"]
 /// metered = ["wafl"]
 /// library = ["wafl"]
+/// events = ["wafl", "obs"]
 /// ```
 fn parse(text: &str) -> Result<Config, String> {
     let mut config = Config {
         simulation: Vec::new(),
         metered: Vec::new(),
         library: Vec::new(),
+        events: Vec::new(),
     };
     let mut section = String::new();
     for (i, raw) in text.lines().enumerate() {
@@ -115,6 +129,7 @@ fn parse(text: &str) -> Result<Config, String> {
             "simulation" => config.simulation = list,
             "metered" => config.metered = list,
             "library" => config.library = list,
+            "events" => config.events = list,
             other => return Err(format!("line {lineno}: unknown key `{other}`")),
         }
     }
@@ -155,12 +170,13 @@ mod tests {
     #[test]
     fn parses_the_recognized_shape() {
         let c = parse(
-            "# policy\n[crates]\nsimulation = [\"simkit\", \"wafl\"] # trailing\nmetered = [\"wafl\"]\nlibrary = [\"wafl\",]\n",
+            "# policy\n[crates]\nsimulation = [\"simkit\", \"wafl\"] # trailing\nmetered = [\"wafl\"]\nlibrary = [\"wafl\",]\nevents = [\"wafl\", \"obs\"]\n",
         )
         .unwrap();
         assert_eq!(c.simulation, vec!["simkit", "wafl"]);
         assert_eq!(c.metered, vec!["wafl"]);
         assert_eq!(c.library, vec!["wafl"]);
+        assert_eq!(c.events, vec!["wafl", "obs"]);
     }
 
     #[test]
@@ -176,5 +192,7 @@ mod tests {
         assert!(c.simulation.iter().any(|n| n == "wafl"));
         assert!(c.metered.iter().any(|n| n == "backup-core"));
         assert!(c.library.iter().any(|n| n == "simlint"));
+        assert!(c.events.iter().any(|n| n == "obs"));
+        assert!(!c.events.iter().any(|n| n == "bench"));
     }
 }

@@ -284,9 +284,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError>
 }
 
 fn sort_diags(diags: &mut [Diagnostic]) {
-    diags.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-    });
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
 }
 
 /// `file:line [RULE] message` lines with the offending snippet.

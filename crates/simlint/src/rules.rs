@@ -1,4 +1,4 @@
-//! The rule set: D01–D05 pattern checks over sanitized source lines.
+//! The rule set: D01–D06 pattern checks over sanitized source lines.
 
 use crate::config::Config;
 use crate::scan::ScannedFile;
@@ -17,7 +17,7 @@ pub struct FileCtx<'a> {
 }
 
 /// Rule ids, in the order they are checked.
-pub const RULE_IDS: [&str; 6] = ["D01", "D02", "D03", "D04", "D05", "S00"];
+pub const RULE_IDS: [&str; 7] = ["D01", "D02", "D03", "D04", "D05", "D06", "S00"];
 
 /// One token-level pattern a rule fires on.
 struct Pattern {
@@ -99,6 +99,17 @@ const D04_PATTERNS: &[Pattern] = &[
     },
 ];
 
+const D06_PATTERNS: &[Pattern] = &[
+    Pattern {
+        needle: "event::emit",
+        hint: "obs::event::emit belongs in the device layer",
+    },
+    Pattern {
+        needle: "event::emit_labeled",
+        hint: "obs::event::emit_labeled belongs in the device layer",
+    },
+];
+
 /// Runs every applicable rule over one scanned file.
 pub fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
@@ -129,6 +140,14 @@ pub fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<
         unwrap_rule(&mut diags, ctx, file);
         error_enum_rule(&mut diags, ctx, file);
     }
+    // D06 covers every file kind: a bin or test emitting raw trace events
+    // would pollute per-operation drains just as surely as lib code.
+    if !in_list(&config.events) {
+        pattern_rule(
+            &mut diags, ctx, file, "D06", D06_PATTERNS,
+            "direct trace-event emission outside a metered crate; let the instrumented device layer emit so events stay attributable to real work",
+        );
+    }
     suppression_hygiene(&mut diags, ctx, file);
     diags
 }
@@ -149,7 +168,13 @@ fn pattern_rule(
         let lineno = idx + 1;
         for p in patterns {
             if find_token(line, p.needle).is_some() && !file.suppressed(rule, lineno) {
-                diags.push(diag(ctx, rule, lineno, file, format!("{message} ({})", p.hint)));
+                diags.push(diag(
+                    ctx,
+                    rule,
+                    lineno,
+                    file,
+                    format!("{message} ({})", p.hint),
+                ));
                 break; // one diagnostic per line per rule
             }
         }
@@ -320,7 +345,9 @@ mod tests {
         let d = check("let t = Instant::now();\n");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "D01");
-        assert!(check("std::thread::sleep(d);\n").iter().any(|d| d.rule == "D01"));
+        assert!(check("std::thread::sleep(d);\n")
+            .iter()
+            .any(|d| d.rule == "D01"));
         // An identifier merely containing the word does not fire.
         assert!(check("let InstantaneousRate = 3;\n").is_empty());
     }
@@ -379,14 +406,46 @@ mod tests {
     }
 
     #[test]
+    fn d06_fires_on_event_emission_outside_metered_crates() {
+        let c = FileCtx {
+            crate_name: "bench",
+            kind: FileKind::Bin,
+            rel_path: "crates/bench/src/bin/x.rs",
+        };
+        let src = "obs::event::emit(obs::event::EventKind::BlockRead, 4096, 0.0);\n";
+        let d = check_file(c, &scan(src), &Config::workspace_default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D06");
+        let labeled = "obs::event::emit_labeled(kind, \"x\", 0, 0.0);\n";
+        let d = check_file(c, &scan(labeled), &Config::workspace_default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "D06");
+        // Draining, enabling, and time assignment are fine anywhere.
+        let harness = "obs::event::enable(cfg);\nlet e = obs::event::drain();\nobs::event::assign_times(&spans, &e.events);\n";
+        assert!(check_file(c, &scan(harness), &Config::workspace_default()).is_empty());
+    }
+
+    #[test]
+    fn d06_allows_the_instrumented_device_layer() {
+        let c = FileCtx {
+            crate_name: "tape",
+            ..ctx()
+        };
+        let src = "obs::event::emit(obs::event::EventKind::TapeWrite, len, secs);\n";
+        assert!(check_file(c, &scan(src), &Config::workspace_default()).is_empty());
+    }
+
+    #[test]
     fn cfg_test_code_is_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); let t = Instant::now(); }\n}\n";
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); let t = Instant::now(); }\n}\n";
         assert!(check(src).is_empty());
     }
 
     #[test]
     fn justified_suppression_silences_unjustified_fires() {
-        let justified = "// simlint: allow(D05) -- infallible: length checked above\nlet v = x.unwrap();\n";
+        let justified =
+            "// simlint: allow(D05) -- infallible: length checked above\nlet v = x.unwrap();\n";
         assert!(check(justified).is_empty());
         let unjustified = "// simlint: allow(D05)\nlet v = x.unwrap();\n";
         let d = check(unjustified);

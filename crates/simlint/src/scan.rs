@@ -126,9 +126,7 @@ fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
                     // Possible raw/byte string prefix.
                     if let Some((hashes, skip)) = raw_string_open(&bytes[i..]) {
                         state = State::RawStr(hashes);
-                        for _ in 0..skip {
-                            out.push(b' ');
-                        }
+                        out.extend(std::iter::repeat_n(b' ', skip));
                         out.push(b'"');
                         i += skip + 1; // prefix + opening quote
                     } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
@@ -200,14 +198,13 @@ fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
                 }
             }
             State::RawStr(hashes) => {
-                if b == b'"' && bytes[i + 1..].len() >= hashes
+                if b == b'"'
+                    && bytes[i + 1..].len() >= hashes
                     && bytes[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
                 {
                     state = State::Code;
                     out.push(b'"');
-                    for _ in 0..hashes {
-                        out.push(b' ');
-                    }
+                    out.extend(std::iter::repeat_n(b' ', hashes));
                     i += 1 + hashes;
                 } else {
                     out.push(b' ');
@@ -242,7 +239,7 @@ fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
 /// before the opening quote.
 fn raw_string_open(bytes: &[u8]) -> Option<(usize, usize)> {
     let mut j = 0;
-    if bytes.get(0) == Some(&b'b') {
+    if bytes.first() == Some(&b'b') {
         j = 1;
     }
     if bytes.get(j) != Some(&b'r') {

@@ -48,7 +48,9 @@ fn deliberate_wall_clock_violation_fails_the_pass() {
     );
     let diags = simlint::lint_workspace(&dir).unwrap();
     assert!(
-        diags.iter().any(|d| d.rule == "D01" && d.path.contains("wafl")),
+        diags
+            .iter()
+            .any(|d| d.rule == "D01" && d.path.contains("wafl")),
         "expected a D01 diagnostic, got:\n{}",
         simlint::render_human(&diags)
     );

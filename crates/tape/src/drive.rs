@@ -98,10 +98,15 @@ impl TapeDrive {
                     self.stats.written.record(len);
                     obs::counter("tape.write.bytes").add(len);
                     obs::counter("tape.write.records").inc();
+                    let mut secs = 0.0;
                     if self.perf.stream_bytes_per_s.is_finite() {
-                        let secs = len as f64 / self.perf.stream_bytes_per_s;
+                        secs = len as f64 / self.perf.stream_bytes_per_s;
                         self.stats.busy_secs += secs;
                         obs::gauge("tape.stream_secs").add(secs);
+                    }
+                    if obs::trace_enabled() {
+                        obs::event::emit(obs::event::EventKind::TapeWrite, len, secs);
+                        obs::histogram("tape.record.bytes").record(len as f64);
                     }
                     return Ok(());
                 }
@@ -124,6 +129,14 @@ impl TapeDrive {
         self.stats.busy_secs += self.perf.media_change_s;
         obs::counter("tape.media_changes").inc();
         obs::gauge("tape.reposition_secs").add(self.perf.media_change_s);
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(
+                obs::event::EventKind::TapeMark,
+                "media change",
+                0,
+                self.perf.media_change_s,
+            );
+        }
     }
 
     /// Rewinds to the first record of the first cartridge.
@@ -133,6 +146,14 @@ impl TapeDrive {
         self.stats.busy_secs += self.perf.rewind_s;
         obs::counter("tape.rewinds").inc();
         obs::gauge("tape.reposition_secs").add(self.perf.rewind_s);
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(
+                obs::event::EventKind::TapeMark,
+                "rewind",
+                0,
+                self.perf.rewind_s,
+            );
+        }
     }
 
     /// Reads the next record in magazine order.
@@ -150,6 +171,14 @@ impl TapeDrive {
                     self.stats.busy_secs += self.perf.media_change_s;
                     obs::counter("tape.media_changes").inc();
                     obs::gauge("tape.reposition_secs").add(self.perf.media_change_s);
+                    if obs::trace_enabled() {
+                        obs::event::emit_labeled(
+                            obs::event::EventKind::TapeMark,
+                            "media change",
+                            0,
+                            self.perf.media_change_s,
+                        );
+                    }
                 }
                 continue;
             }
@@ -161,10 +190,14 @@ impl TapeDrive {
                     self.stats.read.record(rec.len());
                     obs::counter("tape.read.bytes").add(rec.len());
                     obs::counter("tape.read.records").inc();
+                    let mut secs = 0.0;
                     if self.perf.stream_bytes_per_s.is_finite() {
-                        let secs = rec.len() as f64 / self.perf.stream_bytes_per_s;
+                        secs = rec.len() as f64 / self.perf.stream_bytes_per_s;
                         self.stats.busy_secs += secs;
                         obs::gauge("tape.stream_secs").add(secs);
+                    }
+                    if obs::trace_enabled() {
+                        obs::event::emit(obs::event::EventKind::TapeRead, rec.len(), secs);
                     }
                     return Ok(rec);
                 }

@@ -997,7 +997,9 @@ impl Wafl {
         // Shrink: free homes beyond the needed count.
         let mut dind_dirty = false;
         while meta.l1_homes.len() > need {
-            let Some(old) = meta.l1_homes.pop() else { break };
+            let Some(old) = meta.l1_homes.pop() else {
+                break;
+            };
             if old != 0 {
                 self.free_block(old as u64);
             }

@@ -68,7 +68,9 @@ impl SnapshotSchedule {
             if gen + 1 >= keep {
                 let id = fs
                     .snapshot_by_name(name)
-                    .ok_or_else(|| WaflError::NotFound { what: format!("snapshot {name:?}") })?
+                    .ok_or_else(|| WaflError::NotFound {
+                        what: format!("snapshot {name:?}"),
+                    })?
                     .id;
                 fs.snapshot_delete(id)?;
                 deleted.push(name.clone());
@@ -84,7 +86,9 @@ impl SnapshotSchedule {
         for (gen, name) in survivors.into_iter().rev() {
             let id = fs
                 .snapshot_by_name(&name)
-                .ok_or_else(|| WaflError::NotFound { what: format!("snapshot {name:?}") })?
+                .ok_or_else(|| WaflError::NotFound {
+                    what: format!("snapshot {name:?}"),
+                })?
                 .id;
             fs.snapshot_rename(id, &format!("{class}.{}", gen + 1))?;
         }

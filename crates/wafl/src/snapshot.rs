@@ -36,6 +36,9 @@ impl Wafl {
         // Make the on-disk image current, then capture it.
         self.cp()?;
         obs::counter("wafl.snapshot.creates").inc();
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(obs::event::EventKind::SnapshotCreate, name, 0, 0.0);
+        }
         let nwords = self.blkmap.nblocks();
         self.blkmap.snap_create(id);
         self.meter
@@ -70,6 +73,10 @@ impl Wafl {
             .filter(|&b| self.blkmap.word(b) == (1u32 << id))
             .collect();
         obs::counter("wafl.snapshot.deletes").inc();
+        if obs::trace_enabled() {
+            let name = self.snapshots[idx].name.clone();
+            obs::event::emit_labeled(obs::event::EventKind::SnapshotDelete, &name, 0, 0.0);
+        }
         let nwords = self.blkmap.nblocks();
         self.blkmap.snap_delete(id);
         self.meter
