@@ -170,7 +170,7 @@ pub fn stage_to_fluid(
     kind: OpKind,
 ) -> Stage {
     let ovh = model.cpu_overhead(nstreams);
-    match p.name.as_str() {
+    let mut stage = match p.name.as_str() {
         // The paper reports snapshot create/delete as fixed-cost
         // operations; the dominant term (whole-bitmap rewrite) does not
         // scale with our functional run size, so these are modelled as
@@ -243,7 +243,18 @@ pub fn stage_to_fluid(
                 (ids.tape, model.tape_secs(p, kind, nstreams)),
             ],
         ),
+    };
+    // Retry backoff holds the media pipeline idle-but-busy: charge the
+    // stage's accumulated delay as extra tape demand so injected faults
+    // stretch elapsed time and show in the utilization timeline. Exactly
+    // zero when fault injection is off, so calibrated tables are
+    // untouched.
+    if p.delay_secs > 0.0 {
+        stage
+            .demands
+            .push((ids.tape, p.delay_secs / stage.work.max(1e-9)));
     }
+    stage
 }
 
 #[cfg(test)]

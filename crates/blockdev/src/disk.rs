@@ -6,6 +6,7 @@ use crate::block::Bno;
 use crate::block::BLOCK_SIZE;
 use crate::device::BlockDevice;
 use crate::error::DevError;
+use crate::faults::FaultOutcome;
 use crate::faults::FaultPlan;
 use crate::stats::DeviceStats;
 
@@ -125,6 +126,22 @@ impl SimDisk {
         self.online
     }
 
+    /// Charges extra busy time to this spindle (retry backoff, recovery
+    /// delays) so it shows up in the device's utilization accounting.
+    pub fn add_busy(&mut self, secs: f64) {
+        self.stats.busy_secs += secs;
+        obs::gauge("disk.busy_secs").add(secs);
+    }
+
+    /// Records an injected fault in the observability layer: counted
+    /// always, traced (as a `fault_inject` marker) when tracing is on.
+    fn note_fault(&self, what: &'static str) {
+        obs::counter("disk.soft_faults").inc();
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(obs::event::EventKind::FaultInject, what, 0, 0.0);
+        }
+    }
+
     /// The performance model in force.
     pub fn perf(&self) -> DiskPerf {
         self.perf
@@ -160,8 +177,13 @@ impl BlockDevice for SimDisk {
 
     fn read(&mut self, bno: Bno) -> Result<Block, DevError> {
         self.check(bno)?;
-        if self.faults.read_fails(bno) {
-            return Err(DevError::Io { bno });
+        match self.faults.read_outcome(bno) {
+            FaultOutcome::Clean => {}
+            FaultOutcome::Hard => return Err(DevError::Io { bno }),
+            FaultOutcome::Soft => {
+                self.note_fault("disk.read_soft");
+                return Err(DevError::Busy { bno });
+            }
         }
         let sequential = Self::classify(&mut self.last_read, bno);
         let bytes = BLOCK_SIZE as u64;
@@ -187,8 +209,13 @@ impl BlockDevice for SimDisk {
 
     fn write(&mut self, bno: Bno, block: Block) -> Result<(), DevError> {
         self.check(bno)?;
-        if self.faults.write_fails(bno) {
-            return Err(DevError::Io { bno });
+        match self.faults.write_outcome(bno) {
+            FaultOutcome::Clean => {}
+            FaultOutcome::Hard => return Err(DevError::Io { bno }),
+            FaultOutcome::Soft => {
+                self.note_fault("disk.write_soft");
+                return Err(DevError::Busy { bno });
+            }
         }
         let sequential = Self::classify(&mut self.last_write, bno);
         let bytes = BLOCK_SIZE as u64;

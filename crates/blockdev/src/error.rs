@@ -21,6 +21,20 @@ pub enum DevError {
     },
     /// The whole device has failed (simulated disk death).
     Offline,
+    /// A transient fault at the given block: the access may succeed if
+    /// retried after a short backoff (recovered-seek, thermal recal).
+    Busy {
+        /// The affected block number.
+        bno: Bno,
+    },
+}
+
+impl DevError {
+    /// Whether retrying the same access may succeed (the retry layer only
+    /// backs off and retries transient errors; permanent ones propagate).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DevError::Busy { .. })
+    }
 }
 
 impl std::fmt::Display for DevError {
@@ -31,6 +45,7 @@ impl std::fmt::Display for DevError {
             }
             DevError::Io { bno } => write!(f, "I/O error at block {bno}"),
             DevError::Offline => write!(f, "device offline"),
+            DevError::Busy { bno } => write!(f, "transient fault at block {bno}"),
         }
     }
 }

@@ -3,12 +3,41 @@
 //! The paper argues (§3/§4) that logical backup tolerates localized media
 //! corruption while physical backup does not; the integration tests inject
 //! faults here and on tape records to demonstrate exactly that asymmetry.
+//!
+//! A plan carries two layers. *Targeted* faults pin a permanent failure or
+//! silent corruption to specific block numbers. *Armed* faults come from a
+//! [`simkit::faults::DiskFaults`] section of the unified `FaultSpec` and
+//! draw per-IO through a seeded [`SimRng`], producing transient
+//! ([`crate::error::DevError::Busy`]) errors that the retry layer absorbs —
+//! so chaos runs replay bit-for-bit from the seed. When nothing is armed
+//! and no target is set, the per-IO check is two empty-set probes.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
+use simkit::faults::DiskFaults;
+use simkit::rng::SimRng;
+
 use crate::block::Block;
 use crate::block::Bno;
+
+/// What the fault layer decided about one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// No fault: the access proceeds normally.
+    Clean,
+    /// Permanent failure: surface an I/O error, retries will not help.
+    Hard,
+    /// Transient failure: surface a busy error, a retry may succeed.
+    Soft,
+}
+
+#[derive(Debug)]
+struct Armed {
+    rng: SimRng,
+    read_soft: f64,
+    write_soft: f64,
+}
 
 /// Programmed faults for one device.
 #[derive(Debug, Default)]
@@ -16,40 +45,90 @@ pub struct FaultPlan {
     read_errors: BTreeSet<Bno>,
     write_errors: BTreeSet<Bno>,
     corruptions: BTreeMap<Bno, u64>,
+    armed: Option<Armed>,
 }
 
 impl FaultPlan {
+    /// Installs the disk section of a unified fault spec: targeted
+    /// permanent faults plus seeded probabilistic transient faults. This
+    /// replaces any previously programmed faults.
+    pub fn arm(&mut self, spec: &DiskFaults, rng: SimRng) {
+        self.clear();
+        self.read_errors.extend(spec.fail_reads.iter().copied());
+        self.write_errors.extend(spec.fail_writes.iter().copied());
+        self.corruptions.extend(spec.corrupt.iter().copied());
+        if spec.read_soft > 0.0 || spec.write_soft > 0.0 {
+            self.armed = Some(Armed {
+                rng,
+                read_soft: spec.read_soft,
+                write_soft: spec.write_soft,
+            });
+        }
+    }
+
     /// Makes every future read of `bno` fail with an I/O error.
+    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
     pub fn fail_read(&mut self, bno: Bno) {
         self.read_errors.insert(bno);
     }
 
     /// Makes every future write of `bno` fail with an I/O error.
+    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
     pub fn fail_write(&mut self, bno: Bno) {
         self.write_errors.insert(bno);
     }
 
     /// Makes future reads of `bno` return silently corrupted data (the
     /// payload is replaced by a synthetic block derived from `salt`).
+    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
     pub fn corrupt(&mut self, bno: Bno, salt: u64) {
         self.corruptions.insert(bno, salt);
     }
 
-    /// Clears all programmed faults.
+    /// Clears all programmed faults and disarms probabilistic injection.
     pub fn clear(&mut self) {
         self.read_errors.clear();
         self.write_errors.clear();
         self.corruptions.clear();
+        self.armed = None;
     }
 
-    /// Whether a read of `bno` should fail.
+    /// Whether a read of `bno` should fail permanently.
     pub fn read_fails(&self, bno: Bno) -> bool {
         self.read_errors.contains(&bno)
     }
 
-    /// Whether a write of `bno` should fail.
+    /// Whether a write of `bno` should fail permanently.
     pub fn write_fails(&self, bno: Bno) -> bool {
         self.write_errors.contains(&bno)
+    }
+
+    /// Decides the fate of a read of `bno`, drawing the armed RNG for the
+    /// transient-fault chance.
+    pub fn read_outcome(&mut self, bno: Bno) -> FaultOutcome {
+        if self.read_errors.contains(&bno) {
+            return FaultOutcome::Hard;
+        }
+        if let Some(armed) = &mut self.armed {
+            if armed.read_soft > 0.0 && armed.rng.chance(armed.read_soft) {
+                return FaultOutcome::Soft;
+            }
+        }
+        FaultOutcome::Clean
+    }
+
+    /// Decides the fate of a write of `bno`, drawing the armed RNG for the
+    /// transient-fault chance.
+    pub fn write_outcome(&mut self, bno: Bno) -> FaultOutcome {
+        if self.write_errors.contains(&bno) {
+            return FaultOutcome::Hard;
+        }
+        if let Some(armed) = &mut self.armed {
+            if armed.write_soft > 0.0 && armed.rng.chance(armed.write_soft) {
+                return FaultOutcome::Soft;
+            }
+        }
+        FaultOutcome::Clean
     }
 
     /// Applies silent corruption to a block being returned from `bno`.
@@ -60,14 +139,19 @@ impl FaultPlan {
         }
     }
 
-    /// True if no faults are programmed.
+    /// True if no faults are programmed or armed.
     pub fn is_empty(&self) -> bool {
-        self.read_errors.is_empty() && self.write_errors.is_empty() && self.corruptions.is_empty()
+        self.read_errors.is_empty()
+            && self.write_errors.is_empty()
+            && self.corruptions.is_empty()
+            && self.armed.is_none()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::device::BlockDevice;
     use crate::disk::DiskPerf;
@@ -109,5 +193,59 @@ mod tests {
         plan.clear();
         assert!(plan.is_empty());
         assert!(!plan.read_fails(1));
+    }
+
+    #[test]
+    fn armed_spec_installs_targeted_faults() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_fail_read(2)
+            .disk_fail_write(3)
+            .disk_corrupt(1, 999)
+            .build();
+        let mut d = SimDisk::new(8, DiskPerf::ideal());
+        d.write(1, Block::Synthetic(5)).unwrap();
+        d.faults_mut().arm(&spec.disk, SimRng::seed_from_u64(1));
+        assert_eq!(d.read(2), Err(DevError::Io { bno: 2 }));
+        assert_eq!(d.write(3, Block::Zero), Err(DevError::Io { bno: 3 }));
+        assert!(!d.read(1).unwrap().same_content(&Block::Synthetic(5)));
+    }
+
+    #[test]
+    fn soft_faults_are_transient_and_deterministic() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_read_soft(0.5)
+            .build();
+        let run = |seed: u64| -> Vec<bool> {
+            let mut d = SimDisk::new(8, DiskPerf::ideal());
+            d.faults_mut().arm(&spec.disk, SimRng::seed_from_u64(seed));
+            (0..32).map(|_| d.read(0).is_err()).collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay identically");
+        assert!(a.iter().any(|&e| e), "p=0.5 over 32 draws should fault");
+        assert!(!a.iter().all(|&e| e), "soft faults must not be permanent");
+
+        let mut d = SimDisk::new(8, DiskPerf::ideal());
+        d.faults_mut().arm(&spec.disk, SimRng::seed_from_u64(7));
+        loop {
+            match d.read(0) {
+                Ok(_) => continue,
+                Err(e) => {
+                    assert_eq!(e, DevError::Busy { bno: 0 });
+                    assert!(e.is_transient());
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_spec_arms_nothing() {
+        let mut plan = FaultPlan::default();
+        plan.arm(
+            &simkit::faults::DiskFaults::default(),
+            SimRng::seed_from_u64(0),
+        );
+        assert!(plan.is_empty());
     }
 }

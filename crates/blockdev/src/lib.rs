@@ -29,4 +29,6 @@ pub use device::BlockDevice;
 pub use disk::DiskPerf;
 pub use disk::SimDisk;
 pub use error::DevError;
+pub use faults::FaultOutcome;
+pub use faults::FaultPlan;
 pub use stats::DeviceStats;

@@ -14,12 +14,20 @@
 //! let restored = engine.restore(&mut target, &mut drive)?;
 //! ```
 //!
+//! Engines write through [`tape::Media`] rather than a concrete drive, so
+//! the same dump can target one [`tape::TapeDrive`], a [`tape::DrivePool`]
+//! striping four, or a chaos stack ([`tape::RetryMedia`] over
+//! [`tape::FaultProxy`]) injecting and absorbing deterministic faults.
+//! `&mut TapeDrive` coerces to `&mut dyn Media`, so plain-drive call sites
+//! read the same as before.
+//!
 //! The free functions ([`crate::logical::dump::dump`],
 //! [`crate::physical::dump::image_dump_full`], ...) remain the low-level
 //! entry points; the engines delegate to them and translate their
 //! per-strategy error types into one [`BackupError`].
 
-use tape::TapeDrive;
+use raid::RaidError;
+use tape::Media;
 use tape::TapeError;
 use wafl::Wafl;
 
@@ -54,6 +62,19 @@ pub enum BackupErrorKind {
     Physical(ImageError),
     /// The tape drive itself failed.
     Media(TapeError),
+    /// Every retry of a transient media fault failed: the default
+    /// [`simkit::retry::RetryPolicy`] backed off, re-drove the operation,
+    /// and gave up. Permanent by construction.
+    Exhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The transient error observed on the final attempt.
+        last: TapeError,
+    },
+    /// The RAID layer under the dump lost more redundancy than parity can
+    /// cover (or exhausted its own member retries) — the volume itself is
+    /// degraded past what a backup can mask.
+    Degraded(RaidError),
 }
 
 impl BackupError {
@@ -63,6 +84,19 @@ impl BackupError {
         self.op = op;
         self
     }
+
+    /// Whether retrying the whole operation may succeed. Exhausted retries
+    /// and degraded-volume failures are permanent; a bare transient media
+    /// error (surfaced without a retry layer in the stack) is not.
+    pub fn is_transient(&self) -> bool {
+        match &self.kind {
+            BackupErrorKind::Media(e) => e.is_transient(),
+            BackupErrorKind::Logical(DumpError::Media(e)) => e.is_transient(),
+            BackupErrorKind::Physical(ImageError::Media(e)) => e.is_transient(),
+            BackupErrorKind::Physical(ImageError::Raid(e)) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for BackupError {
@@ -71,6 +105,12 @@ impl std::fmt::Display for BackupError {
             BackupErrorKind::Logical(e) => write!(f, "{} failed: {e}", self.op),
             BackupErrorKind::Physical(e) => write!(f, "{} failed: {e}", self.op),
             BackupErrorKind::Media(e) => write!(f, "{} failed: {e}", self.op),
+            BackupErrorKind::Exhausted { attempts, last } => {
+                write!(f, "{} failed after {attempts} attempts: {last}", self.op)
+            }
+            BackupErrorKind::Degraded(e) => {
+                write!(f, "{} failed on a degraded volume: {e}", self.op)
+            }
         }
     }
 }
@@ -81,25 +121,32 @@ impl std::error::Error for BackupError {
             BackupErrorKind::Logical(e) => Some(e),
             BackupErrorKind::Physical(e) => Some(e),
             BackupErrorKind::Media(e) => Some(e),
+            BackupErrorKind::Exhausted { last, .. } => Some(last),
+            BackupErrorKind::Degraded(e) => Some(e),
         }
     }
 }
 
 impl From<DumpError> for BackupError {
     fn from(e: DumpError) -> BackupError {
-        BackupError {
-            op: "backup",
-            kind: BackupErrorKind::Logical(e),
-        }
+        let kind = match e {
+            DumpError::Media(m) => media_kind(m),
+            other => BackupErrorKind::Logical(other),
+        };
+        BackupError { op: "backup", kind }
     }
 }
 
 impl From<ImageError> for BackupError {
     fn from(e: ImageError) -> BackupError {
-        BackupError {
-            op: "backup",
-            kind: BackupErrorKind::Physical(e),
-        }
+        let kind = match e {
+            ImageError::Media(m) => media_kind(m),
+            ImageError::Raid(
+                r @ (RaidError::TooManyFailures { .. } | RaidError::Exhausted { .. }),
+            ) => BackupErrorKind::Degraded(r),
+            other => BackupErrorKind::Physical(other),
+        };
+        BackupError { op: "backup", kind }
     }
 }
 
@@ -107,8 +154,20 @@ impl From<TapeError> for BackupError {
     fn from(e: TapeError) -> BackupError {
         BackupError {
             op: "backup",
-            kind: BackupErrorKind::Media(e),
+            kind: media_kind(e),
         }
+    }
+}
+
+/// Classifies a tape error: exhausted retry stacks get their own kind so
+/// callers can match on permanence without unwrapping the tape layer.
+fn media_kind(e: TapeError) -> BackupErrorKind {
+    match e {
+        TapeError::Exhausted { attempts, last } => BackupErrorKind::Exhausted {
+            attempts,
+            last: *last,
+        },
+        other => BackupErrorKind::Media(other),
     }
 }
 
@@ -147,6 +206,30 @@ pub struct Outcome {
     pub blocks: u64,
     /// Bytes that crossed the tape interface.
     pub tape_bytes: u64,
+    /// Media retries the retry layer absorbed during the operation (0
+    /// unless fault injection was armed and a [`tape::RetryMedia`] or a
+    /// RAID retry policy was in the stack).
+    pub retries: u64,
+    /// Whether the RAID layer served any reads in degraded mode (parity
+    /// reconstruction standing in for a failed or faulting member).
+    pub degraded: bool,
+}
+
+/// Reading of the process-wide retry/degradation counters, taken before
+/// and after an operation so the [`Outcome`] can report the deltas.
+#[derive(Debug, Clone, Copy)]
+struct FaultCounters {
+    retries: u64,
+    degraded_reads: u64,
+}
+
+impl FaultCounters {
+    fn read() -> FaultCounters {
+        FaultCounters {
+            retries: obs::counter("media.retries").get() + obs::counter("raid.retries").get(),
+            degraded_reads: obs::counter("raid.degraded_reads").get(),
+        }
+    }
 }
 
 /// A backup strategy that can plan, dump, and restore.
@@ -157,17 +240,17 @@ pub trait BackupEngine {
     /// Computes what a dump would move, without touching the tape.
     fn plan(&self, fs: &Wafl) -> BackupPlan;
 
-    /// Dumps from `fs` to `drive`.
-    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError>;
+    /// Dumps from `fs` to `media` (a drive, a pool, or a chaos stack).
+    fn dump(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError>;
 
-    /// Restores from `drive` into `fs`.
+    /// Restores from `media` into `fs`.
     ///
     /// Logical restore rebuilds files through the file system; physical
     /// restore writes raw blocks onto the volume underneath `fs`, so the
     /// caller must remount (crash + mount) before using the file system —
     /// mirroring the real procedure, where an image restore happens on an
     /// unmounted volume.
-    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError>;
+    fn restore(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError>;
 }
 
 /// The logical (file-based) strategy: BSD-style dump/restore through the
@@ -227,21 +310,27 @@ impl BackupEngine for LogicalEngine {
         }
     }
 
-    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
-        let out = crate::logical::dump::dump(fs, drive, &mut self.catalog, &self.opts)
+    fn dump(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError> {
+        let before = FaultCounters::read();
+        let out = crate::logical::dump::dump(fs, media, &mut self.catalog, &self.opts)
             .map_err(|e| BackupError::from(e).during("logical dump"))?;
+        let after = FaultCounters::read();
         Ok(Outcome {
             profiler: out.profiler,
             files: out.files,
             dirs: out.dirs,
             blocks: out.data_blocks,
             tape_bytes: out.tape_bytes,
+            retries: after.retries - before.retries,
+            degraded: after.degraded_reads > before.degraded_reads,
         })
     }
 
-    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
-        let out = crate::logical::restore::restore(fs, drive, &self.restore_target)
+    fn restore(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError> {
+        let before = FaultCounters::read();
+        let out = crate::logical::restore::restore(fs, media, &self.restore_target)
             .map_err(|e| BackupError::from(e).during("logical restore"))?;
+        let after = FaultCounters::read();
         let tape_bytes = out.profiler.total_tape_bytes();
         Ok(Outcome {
             profiler: out.profiler,
@@ -249,6 +338,8 @@ impl BackupEngine for LogicalEngine {
             dirs: out.dirs,
             blocks: out.data_blocks,
             tape_bytes,
+            retries: after.retries - before.retries,
+            degraded: after.degraded_reads > before.degraded_reads,
         })
     }
 }
@@ -293,23 +384,29 @@ impl BackupEngine for PhysicalEngine {
         }
     }
 
-    fn dump(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
-        let out = crate::physical::dump::image_dump_full(fs, drive, &self.snapshot_name)
+    fn dump(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError> {
+        let before = FaultCounters::read();
+        let out = crate::physical::dump::image_dump_full(fs, media, &self.snapshot_name)
             .map_err(|e| BackupError::from(e).during("image dump"))?;
+        let after = FaultCounters::read();
         Ok(Outcome {
             profiler: out.profiler,
             files: 0,
             dirs: 0,
             blocks: out.blocks,
             tape_bytes: out.tape_bytes,
+            retries: after.retries - before.retries,
+            degraded: after.degraded_reads > before.degraded_reads,
         })
     }
 
-    fn restore(&mut self, fs: &mut Wafl, drive: &mut TapeDrive) -> Result<Outcome, BackupError> {
+    fn restore(&mut self, fs: &mut Wafl, media: &mut dyn Media) -> Result<Outcome, BackupError> {
         let meter = fs.meter();
         let costs = *fs.costs();
-        let out = crate::physical::restore::image_restore(drive, fs.volume_mut(), &meter, &costs)
+        let before = FaultCounters::read();
+        let out = crate::physical::restore::image_restore(media, fs.volume_mut(), &meter, &costs)
             .map_err(|e| BackupError::from(e).during("image restore"))?;
+        let after = FaultCounters::read();
         let tape_bytes = out.profiler.total_tape_bytes();
         Ok(Outcome {
             profiler: out.profiler,
@@ -317,6 +414,8 @@ impl BackupEngine for PhysicalEngine {
             dirs: 0,
             blocks: out.blocks,
             tape_bytes,
+            retries: after.retries - before.retries,
+            degraded: after.degraded_reads > before.degraded_reads,
         })
     }
 }
@@ -345,5 +444,39 @@ mod tests {
         let e = BackupError::from(TapeError::EndOfData);
         assert!(matches!(e.kind, BackupErrorKind::Media(_)));
         assert_eq!(e.op, "backup");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_their_own_kind() {
+        let e = BackupError::from(TapeError::Exhausted {
+            attempts: 4,
+            last: Box::new(TapeError::DriveOffline),
+        })
+        .during("logical dump");
+        assert!(matches!(
+            e.kind,
+            BackupErrorKind::Exhausted { attempts: 4, .. }
+        ));
+        // Exhaustion is the retry layer giving up: permanent by definition.
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("after 4 attempts"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn unrecoverable_raid_errors_surface_as_degraded() {
+        let e = BackupError::from(crate::physical::format::ImageError::Raid(
+            RaidError::TooManyFailures { group: 0 },
+        ));
+        assert!(matches!(e.kind, BackupErrorKind::Degraded(_)));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn transient_classification_lifts_through_the_engine_error() {
+        let soft = BackupError::from(TapeError::MediaSoft { index: 7 });
+        assert!(soft.is_transient());
+        let hard = BackupError::from(TapeError::MediaHard { index: 7 });
+        assert!(!hard.is_transient());
     }
 }

@@ -33,9 +33,15 @@ pub mod verify;
 
 pub use engine::BackupEngine;
 pub use engine::BackupError;
+pub use engine::BackupErrorKind;
 pub use engine::BackupPlan;
 pub use engine::LogicalEngine;
+pub use engine::Outcome;
 pub use engine::PhysicalEngine;
+pub use logical::dump::LogicalCheckpoint;
+pub use logical::dump::RestartableLogicalDump;
+pub use physical::dump::ImageCheckpoint;
+pub use physical::dump::RestartableImageDump;
 pub use report::Profiler;
 pub use report::StageProfile;
 pub use report::StageSpan;

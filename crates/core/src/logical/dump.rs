@@ -12,7 +12,8 @@
 //! inode-order file pass turns into scattered reads — the effect the
 //! paper blames for logical dump's poor scaling.
 
-use tape::TapeDrive;
+use nvram::NvScratch;
+use tape::Media;
 use wafl::ondisk::DiskInode;
 use wafl::types::FileType;
 use wafl::types::Ino;
@@ -290,194 +291,434 @@ fn map_phase(
     Ok(state)
 }
 
-/// Runs a dump of `opts.subtree` at `opts.level` to `drive`, recording it
+/// Restart state for an interrupted logical dump, as stashed in NVRAM.
+///
+/// Logical dump's restart is deliberately *coarser* than image dump's:
+/// the checkpoint records only a per-phase inode watermark, and a resume
+/// must re-run the whole mapping pass (phases I & II) against the still
+/// existing dump snapshot before it can skip anything — the
+/// tree-structured stream has no cheap positional state the way the flat
+/// block list does. The re-mapping cost shows up in the resumed run's
+/// "mapping files and directories" stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalCheckpoint {
+    /// The phase in progress when the checkpoint was taken: 3 = dumping
+    /// directories, 4 = dumping files.
+    pub phase: u8,
+    /// Highest inode fully written in that phase (0 = none yet).
+    pub last_ino: Ino,
+    /// Complete records on the media through the watermark.
+    pub records: u64,
+    /// Data blocks on the media through the watermark.
+    pub data_blocks: u64,
+    /// Name of the dump snapshot (must still exist to resume).
+    pub snapshot: String,
+    /// The dump date the stream header carries.
+    pub dump_date: u64,
+    /// The incremental base date the stream header carries.
+    pub base_date: u64,
+}
+
+impl LogicalCheckpoint {
+    /// Serializes for an [`NvScratch`] slot.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(39 + self.snapshot.len());
+        out.push(self.phase);
+        out.extend_from_slice(&self.last_ino.to_le_bytes());
+        out.extend_from_slice(&self.records.to_le_bytes());
+        out.extend_from_slice(&self.data_blocks.to_le_bytes());
+        out.extend_from_slice(&self.dump_date.to_le_bytes());
+        out.extend_from_slice(&self.base_date.to_le_bytes());
+        out.extend_from_slice(&(self.snapshot.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.snapshot.as_bytes());
+        out
+    }
+
+    /// Deserializes a scratch slot; `None` on any structural damage.
+    pub fn from_bytes(bytes: &[u8]) -> Option<LogicalCheckpoint> {
+        let fixed: &[u8; 39] = bytes.get(..39)?.try_into().ok()?;
+        let name_len = u16::from_le_bytes([fixed[37], fixed[38]]) as usize;
+        let name = bytes.get(39..39 + name_len)?;
+        let u64_at = |off: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(
+                fixed.get(off..off + 8)?.try_into().ok()?,
+            ))
+        };
+        Some(LogicalCheckpoint {
+            phase: fixed[0],
+            last_ino: u32::from_le_bytes(fixed[1..5].try_into().ok()?),
+            records: u64_at(5)?,
+            data_blocks: u64_at(13)?,
+            dump_date: u64_at(21)?,
+            base_date: u64_at(29)?,
+            snapshot: String::from_utf8(name.to_vec()).ok()?,
+        })
+    }
+}
+
+/// Default checkpoint cadence for logical dumps: every 16 records.
+pub const LOGICAL_CHECKPOINT_EVERY: u64 = 16;
+
+/// A logical dump that can survive interruption.
+///
+/// [`dump`] delegates here with checkpointing off, so the plain path is
+/// unchanged; harnesses that want restartability construct this directly
+/// with a checkpoint interval and a persistent [`NvScratch`]. On error the
+/// dump snapshot is *kept* (the checkpoint needs it); a successful run
+/// retires both snapshot (per [`DumpOptions::keep_snapshot`]) and
+/// checkpoint.
+#[derive(Debug, Clone)]
+pub struct RestartableLogicalDump {
+    opts: DumpOptions,
+    every: u64,
+}
+
+impl RestartableLogicalDump {
+    /// A restartable dump with the given options, checkpointing every
+    /// [`LOGICAL_CHECKPOINT_EVERY`] records.
+    pub fn new(opts: DumpOptions) -> RestartableLogicalDump {
+        RestartableLogicalDump {
+            opts,
+            every: LOGICAL_CHECKPOINT_EVERY,
+        }
+    }
+
+    /// Changes the checkpoint cadence (`u64::MAX` disables checkpointing).
+    pub fn checkpoint_every(mut self, records: u64) -> RestartableLogicalDump {
+        self.every = records.max(1);
+        self
+    }
+
+    /// The scratch slot key this dump checkpoints under.
+    pub fn scratch_key(&self) -> String {
+        format!("ckpt.logical.{}", self.opts.subtree)
+    }
+
+    /// Runs the dump, resuming from `scratch` if it holds a checkpoint
+    /// whose dump snapshot still exists.
+    pub fn run(
+        &self,
+        fs: &mut Wafl,
+        media: &mut dyn Media,
+        catalog: &mut DumpCatalog,
+        scratch: &mut NvScratch,
+    ) -> Result<DumpOutcome, DumpError> {
+        let opts = &self.opts;
+        let key = self.scratch_key();
+        let resume = scratch
+            .load(&key)
+            .and_then(LogicalCheckpoint::from_bytes)
+            .filter(|c| fs.snapshot_by_name(&c.snapshot).is_some());
+        let checkpoints_on = self.every != u64::MAX;
+
+        let profiler = Profiler::new();
+        let meter = fs.meter();
+        let costs = *fs.costs();
+        let op_span = profiler.stage("logical dump", fs);
+
+        // Stage: create the snapshot the dump reads from — or, on resume,
+        // re-anchor to the one the interrupted attempt left behind.
+        let (snap_id, snapshot_name, dump_date, base_date) = match &resume {
+            Some(c) => {
+                let snap_id = fs
+                    .snapshot_by_name(&c.snapshot)
+                    .map(|e| e.id)
+                    .ok_or_else(|| DumpError::BadStream {
+                        reason: format!("dump snapshot {} vanished before resume", c.snapshot),
+                    })?;
+                obs::counter("backup.resumes").inc();
+                (snap_id, c.snapshot.clone(), c.dump_date, c.base_date)
+            }
+            None => {
+                let base_date = if opts.level == 0 {
+                    0
+                } else {
+                    catalog
+                        .base_for(&opts.subtree, opts.level)
+                        .map(|e| e.date)
+                        .unwrap_or(0)
+                };
+                let _span = profiler.stage("creating snapshot", fs);
+                let snapshot_name = format!("dump.{}", fs.now() + 1);
+                let snap_id = fs.snapshot_create(&snapshot_name)?;
+                (snap_id, snapshot_name, fs.now(), base_date)
+            }
+        };
+
+        // Phases I & II: map files and directories. A resume re-runs this
+        // in full — the coarse part of logical restartability.
+        let (state, root_ino, max_ino) = {
+            let mut span = profiler.stage("mapping files and directories", fs);
+            let (state, root_ino, max_ino) = {
+                let mut view = fs.snap_view(snap_id)?;
+                let root_ino = view.namei(&opts.subtree)?;
+                view.read_inode(root_ino)?
+                    .ok_or_else(|| DumpError::NotInDump {
+                        path: opts.subtree.clone(),
+                    })?;
+                let max_ino = view.max_ino();
+                let state = map_phase(&mut view, root_ino, base_date, opts.level, opts)?;
+                (state, root_ino, max_ino)
+            };
+            meter.charge_cpu(costs.dump_inode * (state.used.count() as f64));
+            span.counts(
+                state.files.len() as u64,
+                state.dirs.len() as u64,
+                state.used.count(),
+            );
+            (state, root_ino, max_ino)
+        };
+
+        // Watermarks derived from the checkpoint: directories/files at or
+        // below these inodes are already on the media.
+        let (dirs_done_through, files_done_through, mut data_blocks) = match &resume {
+            Some(c) => {
+                media.truncate_records(c.records);
+                match c.phase {
+                    4 => (Ino::MAX, c.last_ino, c.data_blocks),
+                    _ => (c.last_ino, 0, 0),
+                }
+            }
+            None => (0, 0, 0u64),
+        };
+        let mut records_since_ckpt = 0u64;
+
+        // Phase III: header, maps, directories (in inode order).
+        let mut dir_span = profiler.stage("dumping directories", fs);
+        if resume.is_none() {
+            media.write_record(
+                DumpRecord::Tape {
+                    level: opts.level,
+                    dump_date,
+                    base_date,
+                    volume: opts.volume_name.clone(),
+                    root_ino,
+                    max_ino,
+                }
+                .to_record(),
+            )?;
+            media.write_record(
+                DumpRecord::Bits {
+                    which: WhichMap::Used,
+                    bits: state.used.as_bytes().to_vec(),
+                }
+                .to_record(),
+            )?;
+            media.write_record(
+                DumpRecord::Bits {
+                    which: WhichMap::Dumped,
+                    bits: state.dump.as_bytes().to_vec(),
+                }
+                .to_record(),
+            )?;
+            if checkpoints_on {
+                // The head is down; from here a restart can be surgical.
+                let _ = scratch.store(
+                    &key,
+                    LogicalCheckpoint {
+                        phase: 3,
+                        last_ino: 0,
+                        records: media.total_records(),
+                        data_blocks: 0,
+                        snapshot: snapshot_name.clone(),
+                        dump_date,
+                        base_date,
+                    }
+                    .to_bytes(),
+                );
+            }
+        }
+        {
+            let mut view = fs.snap_view(snap_id)?;
+            for &dir_ino in &state.dirs {
+                if dir_ino <= dirs_done_through {
+                    continue;
+                }
+                let di = view
+                    .read_inode(dir_ino)?
+                    .ok_or_else(|| DumpError::BadStream {
+                        reason: format!("mapped dir {dir_ino} vanished from snapshot"),
+                    })?;
+                let entries = view
+                    .read_dir(&di)?
+                    .into_iter()
+                    .map(|(name, child)| crate::logical::format::DirEntry {
+                        name,
+                        kind: state.kinds.get(&child).copied().unwrap_or(FileType::File),
+                        ino: child,
+                    })
+                    .collect();
+                meter.charge_cpu(costs.dump_dir);
+                media.write_record(
+                    DumpRecord::Dir {
+                        ino: dir_ino,
+                        attrs: di.attrs,
+                        entries,
+                    }
+                    .to_record(),
+                )?;
+                records_since_ckpt += 1;
+                if checkpoints_on && records_since_ckpt >= self.every {
+                    records_since_ckpt = 0;
+                    let _ = scratch.store(
+                        &key,
+                        LogicalCheckpoint {
+                            phase: 3,
+                            last_ino: dir_ino,
+                            records: media.total_records(),
+                            data_blocks: 0,
+                            snapshot: snapshot_name.clone(),
+                            dump_date,
+                            base_date,
+                        }
+                        .to_bytes(),
+                    );
+                }
+            }
+        }
+        dir_span.counts(0, state.dirs.len() as u64, 0);
+        drop(dir_span);
+
+        // Phase IV: files, in inode order, with dump's own read-ahead
+        // (`read_chain`-block chains, 64 KiB by default). Checkpoints land
+        // only on file boundaries, so a resumed stream never carries a
+        // half-written file.
+        let mut file_span = profiler.stage("dumping files", fs);
+        {
+            let mut view = fs.snap_view(snap_id)?;
+            for &file_ino in &state.files {
+                if file_ino <= files_done_through {
+                    continue;
+                }
+                let di = view
+                    .read_inode(file_ino)?
+                    .ok_or_else(|| DumpError::BadStream {
+                        reason: format!("mapped file {file_ino} vanished from snapshot"),
+                    })?;
+                let slots = view.file_slots(&di)?;
+                let present: Vec<u64> = (0..slots.len() as u64)
+                    .filter(|&fbn| slots[fbn as usize] != 0)
+                    .collect();
+                meter.charge_cpu(costs.dump_inode);
+                media.write_record(
+                    DumpRecord::Inode {
+                        ino: file_ino,
+                        size: di.root.size,
+                        nblocks: present.len() as u64,
+                        kind: di.ftype.unwrap_or(FileType::File),
+                        attrs: di.attrs,
+                    }
+                    .to_record(),
+                )?;
+                records_since_ckpt += 1;
+                for run in present.chunks(opts.read_chain.max(1)) {
+                    let mut blocks = Vec::with_capacity(run.len());
+                    for &fbn in run {
+                        blocks.push(view.read_file_block(&slots, fbn)?);
+                    }
+                    meter.charge_cpu(costs.dump_format_block * run.len() as f64);
+                    data_blocks += run.len() as u64;
+                    media.write_record(
+                        DumpRecord::Data {
+                            ino: file_ino,
+                            fbns: run.to_vec(),
+                            blocks,
+                        }
+                        .to_record(),
+                    )?;
+                    records_since_ckpt += 1;
+                }
+                if checkpoints_on && records_since_ckpt >= self.every {
+                    records_since_ckpt = 0;
+                    let _ = scratch.store(
+                        &key,
+                        LogicalCheckpoint {
+                            phase: 4,
+                            last_ino: file_ino,
+                            records: media.total_records(),
+                            data_blocks,
+                            snapshot: snapshot_name.clone(),
+                            dump_date,
+                            base_date,
+                        }
+                        .to_bytes(),
+                    );
+                }
+            }
+        }
+        media.write_record(
+            DumpRecord::End {
+                files: state.files.len() as u64,
+                dirs: state.dirs.len() as u64,
+                data_blocks,
+            }
+            .to_record(),
+        )?;
+        file_span.counts(state.files.len() as u64, 0, data_blocks);
+        drop(file_span);
+
+        // Stage: delete the snapshot (only a *complete* dump retires it).
+        if !opts.keep_snapshot {
+            let _span = profiler.stage("deleting snapshot", fs);
+            fs.snapshot_delete(snap_id)?;
+        }
+        scratch.clear(&key);
+
+        catalog.record(&opts.subtree, opts.level, dump_date);
+        drop(op_span);
+        let tape_bytes = profiler.total_tape_bytes();
+        Ok(DumpOutcome {
+            profiler,
+            files: state.files.len() as u64,
+            dirs: state.dirs.len() as u64,
+            data_blocks,
+            tape_bytes,
+            dump_date,
+            level: opts.level,
+            snapshot_name,
+        })
+    }
+}
+
+/// Runs a dump of `opts.subtree` at `opts.level` to `media`, recording it
 /// in `catalog`.
 ///
 /// Prefer [`crate::engine::BackupEngine`] (via [`crate::engine::LogicalEngine`])
 /// for new callers; this free function remains as the low-level entry point
-/// the engine delegates to.
+/// the engine delegates to. For a dump that survives interruption, use
+/// [`RestartableLogicalDump`] with a persistent [`NvScratch`].
 pub fn dump(
     fs: &mut Wafl,
-    drive: &mut TapeDrive,
+    media: &mut dyn Media,
     catalog: &mut DumpCatalog,
     opts: &DumpOptions,
 ) -> Result<DumpOutcome, DumpError> {
-    let profiler = Profiler::new();
-    let meter = fs.meter();
-    let costs = *fs.costs();
-    let op_span = profiler.stage("logical dump", fs, drive);
+    let mut scratch = NvScratch::new();
+    RestartableLogicalDump::new(opts.clone())
+        .checkpoint_every(u64::MAX)
+        .run(fs, media, catalog, &mut scratch)
+}
 
-    let base_date = if opts.level == 0 {
-        0
-    } else {
-        catalog
-            .base_for(&opts.subtree, opts.level)
-            .map(|e| e.date)
-            .unwrap_or(0)
-    };
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-    // Stage: create the snapshot the dump reads from.
-    let (snap_id, snapshot_name, dump_date) = {
-        let _span = profiler.stage("creating snapshot", fs, drive);
-        let snapshot_name = format!("dump.{}", fs.now() + 1);
-        let snap_id = fs.snapshot_create(&snapshot_name)?;
-        (snap_id, snapshot_name, fs.now())
-    };
-
-    // Phases I & II: map files and directories.
-    let (state, root_ino, max_ino) = {
-        let mut span = profiler.stage("mapping files and directories", fs, drive);
-        let (state, root_ino, max_ino) = {
-            let mut view = fs.snap_view(snap_id)?;
-            let root_ino = view.namei(&opts.subtree)?;
-            view.read_inode(root_ino)?
-                .ok_or_else(|| DumpError::NotInDump {
-                    path: opts.subtree.clone(),
-                })?;
-            let max_ino = view.max_ino();
-            let state = map_phase(&mut view, root_ino, base_date, opts.level, opts)?;
-            (state, root_ino, max_ino)
+    #[test]
+    fn logical_checkpoint_round_trips() {
+        let c = LogicalCheckpoint {
+            phase: 4,
+            last_ino: 77,
+            records: 123,
+            data_blocks: 456,
+            snapshot: "dump.9".into(),
+            dump_date: 9,
+            base_date: 2,
         };
-        meter.charge_cpu(costs.dump_inode * (state.used.count() as f64));
-        span.counts(
-            state.files.len() as u64,
-            state.dirs.len() as u64,
-            state.used.count(),
+        assert_eq!(
+            LogicalCheckpoint::from_bytes(&c.to_bytes()),
+            Some(c.clone())
         );
-        (state, root_ino, max_ino)
-    };
-
-    // Phase III: header, maps, directories (in inode order).
-    let mut dir_span = profiler.stage("dumping directories", fs, drive);
-    drive.write_record(
-        DumpRecord::Tape {
-            level: opts.level,
-            dump_date,
-            base_date,
-            volume: opts.volume_name.clone(),
-            root_ino,
-            max_ino,
-        }
-        .to_record(),
-    )?;
-    drive.write_record(
-        DumpRecord::Bits {
-            which: WhichMap::Used,
-            bits: state.used.as_bytes().to_vec(),
-        }
-        .to_record(),
-    )?;
-    drive.write_record(
-        DumpRecord::Bits {
-            which: WhichMap::Dumped,
-            bits: state.dump.as_bytes().to_vec(),
-        }
-        .to_record(),
-    )?;
-    {
-        let mut view = fs.snap_view(snap_id)?;
-        for &dir_ino in &state.dirs {
-            let di = view
-                .read_inode(dir_ino)?
-                .ok_or_else(|| DumpError::BadStream {
-                    reason: format!("mapped dir {dir_ino} vanished from snapshot"),
-                })?;
-            let entries = view
-                .read_dir(&di)?
-                .into_iter()
-                .map(|(name, child)| crate::logical::format::DirEntry {
-                    name,
-                    kind: state.kinds.get(&child).copied().unwrap_or(FileType::File),
-                    ino: child,
-                })
-                .collect();
-            meter.charge_cpu(costs.dump_dir);
-            drive.write_record(
-                DumpRecord::Dir {
-                    ino: dir_ino,
-                    attrs: di.attrs,
-                    entries,
-                }
-                .to_record(),
-            )?;
-        }
+        assert_eq!(LogicalCheckpoint::from_bytes(&[]), None);
+        assert_eq!(LogicalCheckpoint::from_bytes(&c.to_bytes()[..20]), None);
     }
-    dir_span.counts(0, state.dirs.len() as u64, 0);
-    drop(dir_span);
-
-    // Phase IV: files, in inode order, with dump's own read-ahead
-    // (`read_chain`-block chains, 64 KiB by default).
-    let mut file_span = profiler.stage("dumping files", fs, drive);
-    let mut data_blocks = 0u64;
-    {
-        let mut view = fs.snap_view(snap_id)?;
-        for &file_ino in &state.files {
-            let di = view
-                .read_inode(file_ino)?
-                .ok_or_else(|| DumpError::BadStream {
-                    reason: format!("mapped file {file_ino} vanished from snapshot"),
-                })?;
-            let slots = view.file_slots(&di)?;
-            let present: Vec<u64> = (0..slots.len() as u64)
-                .filter(|&fbn| slots[fbn as usize] != 0)
-                .collect();
-            meter.charge_cpu(costs.dump_inode);
-            drive.write_record(
-                DumpRecord::Inode {
-                    ino: file_ino,
-                    size: di.root.size,
-                    nblocks: present.len() as u64,
-                    kind: di.ftype.unwrap_or(FileType::File),
-                    attrs: di.attrs,
-                }
-                .to_record(),
-            )?;
-            for run in present.chunks(opts.read_chain.max(1)) {
-                let mut blocks = Vec::with_capacity(run.len());
-                for &fbn in run {
-                    blocks.push(view.read_file_block(&slots, fbn)?);
-                }
-                meter.charge_cpu(costs.dump_format_block * run.len() as f64);
-                data_blocks += run.len() as u64;
-                drive.write_record(
-                    DumpRecord::Data {
-                        ino: file_ino,
-                        fbns: run.to_vec(),
-                        blocks,
-                    }
-                    .to_record(),
-                )?;
-            }
-        }
-    }
-    drive.write_record(
-        DumpRecord::End {
-            files: state.files.len() as u64,
-            dirs: state.dirs.len() as u64,
-            data_blocks,
-        }
-        .to_record(),
-    )?;
-    file_span.counts(state.files.len() as u64, 0, data_blocks);
-    drop(file_span);
-
-    // Stage: delete the snapshot.
-    if !opts.keep_snapshot {
-        let _span = profiler.stage("deleting snapshot", fs, drive);
-        fs.snapshot_delete(snap_id)?;
-    }
-
-    catalog.record(&opts.subtree, opts.level, dump_date);
-    drop(op_span);
-    let tape_bytes = profiler.total_tape_bytes();
-    Ok(DumpOutcome {
-        profiler,
-        files: state.files.len() as u64,
-        dirs: state.dirs.len() as u64,
-        data_blocks,
-        tape_bytes,
-        dump_date,
-        level: opts.level,
-        snapshot_name,
-    })
 }

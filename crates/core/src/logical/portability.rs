@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use blockdev::Block;
-use tape::TapeDrive;
+use tape::Media;
 use wafl::types::Ino;
 
 use crate::logical::format::DumpError;
@@ -95,7 +95,7 @@ pub struct ForeignRestore {
 }
 
 /// Restores a dump stream onto a foreign (non-WAFL) file system.
-pub fn restore_to_foreign(drive: &mut TapeDrive) -> Result<ForeignRestore, DumpError> {
+pub fn restore_to_foreign(drive: &mut dyn Media) -> Result<ForeignRestore, DumpError> {
     let head = read_stream_head(drive)?;
     let mut warnings = head.warnings.clone();
 

@@ -22,7 +22,7 @@
 
 use std::collections::BTreeMap;
 
-use tape::TapeDrive;
+use tape::Media;
 use tape::TapeError;
 use wafl::types::Attrs;
 use wafl::types::FileType;
@@ -74,7 +74,7 @@ pub(crate) struct StreamHead {
 
 /// Reads the stream head: tape header, bitmaps, and every directory
 /// record.
-pub(crate) fn read_stream_head(drive: &mut TapeDrive) -> Result<StreamHead, DumpError> {
+pub(crate) fn read_stream_head(drive: &mut dyn Media) -> Result<StreamHead, DumpError> {
     drive.rewind();
     let first = next_record(drive, &mut Vec::new())?.ok_or(DumpError::BadStream {
         reason: "empty tape".into(),
@@ -126,7 +126,7 @@ pub(crate) fn read_stream_head(drive: &mut TapeDrive) -> Result<StreamHead, Dump
 
 /// Reads the next parseable record, skipping damaged ones with a warning.
 pub(crate) fn next_record(
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     warnings: &mut Vec<String>,
 ) -> Result<Option<DumpRecord>, DumpError> {
     loop {
@@ -154,16 +154,16 @@ pub(crate) fn next_record(
 /// the engine delegates to.
 pub fn restore(
     fs: &mut Wafl,
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     target: &str,
 ) -> Result<RestoreOutcome, DumpError> {
     let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
-    let op_span = profiler.stage("logical restore", fs, drive);
+    let op_span = profiler.stage("logical restore", fs);
 
     // ---- Stage: read directories + create the tree ("creating files").
-    let mut create_span = profiler.stage("creating files", fs, drive);
+    let mut create_span = profiler.stage("creating files", fs);
     let mut head = read_stream_head(drive)?;
     let mut warnings = std::mem::take(&mut head.warnings);
 
@@ -249,7 +249,7 @@ pub fn restore(
     drop(create_span);
 
     // ---- Stage: stream the file contents ("filling in data").
-    let mut fill_span = profiler.stage("filling in data", fs, drive);
+    let mut fill_span = profiler.stage("filling in data", fs);
     let mut data_blocks = 0u64;
     let mut current: Option<(Ino, u64)> = None; // (new ino, final size)
     let mut end_seen = false;

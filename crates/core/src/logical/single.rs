@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use tape::TapeDrive;
+use tape::Media;
 use wafl::types::Attrs;
 use wafl::types::FileType;
 use wafl::types::Ino;
@@ -56,7 +56,7 @@ fn dump_namei(head: &StreamHead, path: &str) -> Result<Ino, DumpError> {
 /// the existing directory `target_dir`, keeping its base name.
 pub fn restore_single(
     fs: &mut Wafl,
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     dump_path: &str,
     target_dir: &str,
 ) -> Result<SingleRestoreOutcome, DumpError> {
@@ -66,7 +66,7 @@ pub fn restore_single(
 /// Restores the file **or subtree** at `dump_path` into `target_dir`.
 pub fn restore_subtree(
     fs: &mut Wafl,
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     dump_path: &str,
     target_dir: &str,
 ) -> Result<SingleRestoreOutcome, DumpError> {

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use tape::TapeDrive;
+use tape::Media;
 use wafl::types::FileType;
 use wafl::types::Ino;
 
@@ -40,7 +40,7 @@ pub struct TocEntry {
 /// Entries are returned sorted by path. Files that exist in directory
 /// listings but were not dumped (excluded, or unchanged in an
 /// incremental) are omitted — the list shows what this tape can restore.
-pub fn list_contents(drive: &mut TapeDrive) -> Result<Vec<TocEntry>, DumpError> {
+pub fn list_contents(drive: &mut dyn Media) -> Result<Vec<TocEntry>, DumpError> {
     let head = read_stream_head(drive)?;
     let mut out = Vec::new();
     // Walk the directory tree breadth-first building paths.
@@ -98,7 +98,7 @@ impl StreamCheck {
 
 /// Reads the whole stream, cross-checking structure, the dumped-inode
 /// bitmap, per-file block counts, and the trailer totals.
-pub fn verify_stream(drive: &mut TapeDrive) -> Result<StreamCheck, DumpError> {
+pub fn verify_stream(drive: &mut dyn Media) -> Result<StreamCheck, DumpError> {
     let head = read_stream_head(drive)?;
     let mut out = StreamCheck {
         dirs_seen: head.dirs.len() as u64,
@@ -228,6 +228,7 @@ mod tests {
     use blockdev::DiskPerf;
     use raid::Volume;
     use raid::VolumeGeometry;
+    use tape::TapeDrive;
     use tape::TapePerf;
     use wafl::types::Attrs;
     use wafl::types::WaflConfig;

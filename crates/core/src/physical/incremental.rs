@@ -10,7 +10,7 @@
 //! metadata blocks, without which the restored fsinfo would point at
 //! blocks the stream never carried.
 
-use tape::TapeDrive;
+use tape::Media;
 use wafl::Wafl;
 
 use crate::physical::dump::ImageOutcome;
@@ -23,7 +23,7 @@ use crate::report::Profiler;
 /// newly created snapshot `snap_name`.
 pub fn image_dump_incremental(
     fs: &mut Wafl,
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     base_name: &str,
     snap_name: &str,
 ) -> Result<ImageOutcome, ImageError> {
@@ -37,11 +37,11 @@ pub fn image_dump_incremental(
     let profiler = Profiler::new();
     let meter = fs.meter();
     let costs = *fs.costs();
-    let op_span = profiler.stage("image dump incremental", fs, drive);
+    let op_span = profiler.stage("image dump incremental", fs);
 
     // Stage: create snapshot B.
     {
-        let _span = profiler.stage("creating snapshot", fs, drive);
+        let _span = profiler.stage("creating snapshot", fs);
         fs.snapshot_create(snap_name)?;
     }
 
@@ -49,7 +49,7 @@ pub fn image_dump_incremental(
     // in-place-overwritten blocks in the system, so plane arithmetic can
     // never classify them as "new" — they are always included explicitly
     // (without them the restored volume would mount as of the base).
-    let mut block_span = profiler.stage("dumping blocks", fs, drive);
+    let mut block_span = profiler.stage("dumping blocks", fs);
     let mut diff: Vec<u64> = wafl::ondisk::FSINFO_BLOCKS.to_vec();
     diff.extend((0..fs.blkmap().nblocks()).filter(|&b| {
         !wafl::ondisk::FSINFO_BLOCKS.contains(&b)
@@ -93,5 +93,6 @@ pub fn image_dump_incremental(
         blocks: blocks_written,
         tape_bytes,
         snapshot_name: snap_name.into(),
+        resumed: false,
     })
 }

@@ -15,7 +15,7 @@
 
 use raid::Volume;
 use simkit::meter::Meter;
-use tape::TapeDrive;
+use tape::Media;
 use wafl::cost::CostModel;
 
 use crate::physical::format::ImageError;
@@ -45,7 +45,7 @@ pub struct ImageRestoreOutcome {
 /// for new callers; this free function remains as the low-level entry point
 /// the engine delegates to.
 pub fn image_restore(
-    drive: &mut TapeDrive,
+    drive: &mut dyn Media,
     vol: &mut Volume,
     meter: &Meter,
     costs: &CostModel,

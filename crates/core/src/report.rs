@@ -27,7 +27,6 @@ use obs::SpanId;
 use obs::SpanRecorder;
 use simkit::meter::Meter;
 use simkit::meter::MeterSnapshot;
-use tape::TapeDrive;
 use wafl::Wafl;
 
 /// Resource demands one stage generated.
@@ -47,6 +46,9 @@ pub struct StageProfile {
     pub disk_rand_write: u64,
     /// Bytes moved to/from tape.
     pub tape_bytes: u64,
+    /// Simulated seconds the stage spent waiting on media retries and
+    /// degraded-member backoff (zero unless fault injection is armed).
+    pub delay_secs: f64,
     /// Files processed (for per-file extrapolation).
     pub files: u64,
     /// Directories processed.
@@ -72,6 +74,7 @@ impl StageProfile {
             disk_seq_write: s(self.disk_seq_write),
             disk_rand_write: s(self.disk_rand_write),
             tape_bytes: s(self.tape_bytes),
+            delay_secs: self.delay_secs * factor,
             files: s(self.files),
             dirs: s(self.dirs),
             blocks: s(self.blocks),
@@ -90,6 +93,7 @@ impl StageProfile {
             disk_seq_write: b("disk.seq_write.bytes"),
             disk_rand_write: b("disk.rand_write.bytes"),
             tape_bytes: b("tape.write.bytes") + b("tape.read.bytes"),
+            delay_secs: s.delta("media.delay_secs"),
             files: a("files"),
             dirs: a("dirs"),
             blocks: a("blocks"),
@@ -183,11 +187,11 @@ impl Profiler {
         Profiler::default()
     }
 
-    /// Opens a stage span against `fs`'s meter. The `_drive` parameter
-    /// names the tape drive the stage runs against for call-site clarity;
-    /// device deltas are captured through the process-wide [`obs`]
-    /// registry, which mirrors both the volume's and the drive's counters.
-    pub fn stage(&self, name: &str, fs: &Wafl, _drive: &TapeDrive) -> StageSpan<'static> {
+    /// Opens a stage span against `fs`'s meter. Device deltas are captured
+    /// through the process-wide [`obs`] registry, which mirrors the
+    /// volume's, the drive's, and the retry layer's counters — the stage
+    /// body is free to mutate the file system and whatever media it writes.
+    pub fn stage(&self, name: &str, fs: &Wafl) -> StageSpan<'static> {
         self.open(name, MeterHandle::Shared(fs.meter()))
     }
 

@@ -13,7 +13,14 @@
 //! defines its own entries; this crate provides the mechanics: a byte
 //! budget, the half-full watermark that triggers a consistency point, a
 //! survive-crash drain, and the bypass switch that image restore uses.
+//!
+//! Alongside the operation log, [`NvScratch`] models the small keyed
+//! scratch region real filers keep in the same battery-backed part: the
+//! restartable dump/restore paths stash their checkpoints there so an
+//! interrupted backup survives a reboot and resumes from its last
+//! completed segment.
 
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Sizing for logged operations (how much NVRAM an entry consumes).
@@ -166,6 +173,84 @@ impl<Op: NvSized> NvramLog<Op> {
     }
 }
 
+/// A keyed battery-backed scratch region for restart checkpoints.
+///
+/// Each slot holds one opaque byte blob under a string key (e.g.
+/// `"ckpt.image./vol0"`). Slots survive "crashes" by construction — the
+/// struct is plain memory here, but callers treat it with NVRAM
+/// discipline: store only what a restart needs, clear on completion.
+#[derive(Debug, Default, Clone)]
+pub struct NvScratch {
+    slots: BTreeMap<String, Vec<u8>>,
+    capacity_bytes: u64,
+}
+
+impl NvScratch {
+    /// An empty scratch region with no byte budget.
+    pub fn new() -> NvScratch {
+        NvScratch::default()
+    }
+
+    /// An empty scratch region refusing to grow past `capacity_bytes`.
+    pub fn with_capacity(capacity_bytes: u64) -> NvScratch {
+        NvScratch {
+            slots: BTreeMap::new(),
+            capacity_bytes,
+        }
+    }
+
+    /// Stores (or replaces) a slot. Returns [`NvramError::Full`] when a
+    /// byte budget is set and the write would exceed it.
+    pub fn store(&mut self, key: &str, bytes: Vec<u8>) -> Result<(), NvramError> {
+        if self.capacity_bytes > 0 {
+            let others: u64 = self
+                .slots
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .map(|(_, v)| v.len() as u64)
+                .sum();
+            if others + bytes.len() as u64 > self.capacity_bytes {
+                return Err(NvramError::Full);
+            }
+        }
+        if obs::trace_enabled() {
+            obs::event::emit(obs::event::EventKind::NvramLog, bytes.len() as u64, 0.0);
+        }
+        self.slots.insert(key.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Reads a slot without consuming it.
+    pub fn load(&self, key: &str) -> Option<&[u8]> {
+        self.slots.get(key).map(Vec::as_slice)
+    }
+
+    /// Removes a slot, returning its contents if it existed.
+    pub fn take(&mut self, key: &str) -> Option<Vec<u8>> {
+        self.slots.remove(key)
+    }
+
+    /// Removes a slot (a completed operation retiring its checkpoint).
+    pub fn clear(&mut self, key: &str) {
+        self.slots.remove(key);
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Bytes currently stored across all slots.
+    pub fn used_bytes(&self) -> u64 {
+        self.slots.values().map(|v| v.len() as u64).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +310,33 @@ mod tests {
         assert_eq!(log.append(FakeOp(1)), Err(NvramError::Disabled));
         log.enable();
         assert!(log.append(FakeOp(1)).is_ok());
+    }
+
+    #[test]
+    fn scratch_slots_round_trip() {
+        let mut s = NvScratch::new();
+        assert!(s.is_empty());
+        s.store("ckpt.image", vec![1, 2, 3]).unwrap();
+        s.store("ckpt.logical", vec![9]).unwrap();
+        assert_eq!(s.load("ckpt.image"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.used_bytes(), 4);
+        // Replace, then retire.
+        s.store("ckpt.image", vec![7]).unwrap();
+        assert_eq!(s.take("ckpt.image"), Some(vec![7]));
+        s.clear("ckpt.logical");
+        assert!(s.is_empty());
+        assert_eq!(s.load("ckpt.image"), None);
+    }
+
+    #[test]
+    fn scratch_budget_is_enforced() {
+        let mut s = NvScratch::with_capacity(8);
+        s.store("a", vec![0; 6]).unwrap();
+        assert_eq!(s.store("b", vec![0; 4]), Err(NvramError::Full));
+        // Replacing the slot that holds the bytes is allowed.
+        s.store("a", vec![0; 8]).unwrap();
+        assert_eq!(s.used_bytes(), 8);
     }
 
     #[test]

@@ -58,10 +58,14 @@ pub enum EventKind {
     PhaseBegin,
     /// A dump/restore stage ended.
     PhaseEnd,
+    /// A transient media/device fault was retried after backoff.
+    MediaRetry,
+    /// The chaos layer injected a fault (label says which).
+    FaultInject,
 }
 
 /// Number of [`EventKind`] variants (sizes the coalescing slots).
-const N_KINDS: usize = 15;
+const N_KINDS: usize = 17;
 
 impl EventKind {
     /// Stable lowercase name used by the exporters.
@@ -82,6 +86,8 @@ impl EventKind {
             EventKind::NvramFlush => "nvram_flush",
             EventKind::PhaseBegin => "phase_begin",
             EventKind::PhaseEnd => "phase_end",
+            EventKind::MediaRetry => "media_retry",
+            EventKind::FaultInject => "fault_inject",
         }
     }
 
@@ -110,6 +116,8 @@ impl EventKind {
                 | EventKind::SnapshotCreate
                 | EventKind::SnapshotDelete
                 | EventKind::NvramFlush
+                | EventKind::MediaRetry
+                | EventKind::FaultInject
         )
     }
 }

@@ -25,6 +25,21 @@ pub enum RaidError {
         /// Requested member index (data disks, then parity).
         disk: usize,
     },
+    /// Every retry of a transiently failing member access failed.
+    Exhausted {
+        /// The logical block being accessed.
+        bno: u64,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+}
+
+impl RaidError {
+    /// Whether retrying the operation may succeed (the retry layer only
+    /// backs off and retries transient errors).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RaidError::Dev(d) if d.is_transient())
+    }
 }
 
 impl std::fmt::Display for RaidError {
@@ -38,6 +53,9 @@ impl std::fmt::Display for RaidError {
             }
             RaidError::Dev(e) => write!(f, "device error: {e}"),
             RaidError::NoSuchDisk { disk } => write!(f, "no such disk {disk}"),
+            RaidError::Exhausted { bno, attempts } => {
+                write!(f, "block {bno}: gave up after {attempts} attempts")
+            }
         }
     }
 }

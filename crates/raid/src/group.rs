@@ -6,6 +6,7 @@ use blockdev::DevError;
 use blockdev::DeviceStats;
 use blockdev::DiskPerf;
 use blockdev::SimDisk;
+use simkit::retry::RetryPolicy;
 
 use crate::error::RaidError;
 
@@ -14,6 +15,64 @@ use crate::error::RaidError;
 struct PendingParity {
     stripe: u64,
     parity: Block,
+}
+
+/// Books a retry of a transient member fault: the backoff becomes spindle
+/// busy time (and media-delay demand), the retry is counted and traced.
+fn note_retry(d: &mut SimDisk, backoff: f64) {
+    d.add_busy(backoff);
+    obs::gauge("media.delay_secs").add(backoff);
+    obs::counter("raid.retries").inc();
+    if obs::trace_enabled() {
+        obs::event::emit_labeled(obs::event::EventKind::MediaRetry, "member io", 0, backoff);
+    }
+}
+
+/// Member read under an optional retry policy. Transient faults are
+/// retried with metered backoff; the last one propagates if the policy
+/// runs out (callers decide whether parity can still serve the request).
+fn read_member(
+    d: &mut SimDisk,
+    offset: u64,
+    policy: Option<RetryPolicy>,
+) -> Result<Block, DevError> {
+    let Some(policy) = policy else {
+        return d.read(offset);
+    };
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match d.read(offset) {
+            Err(e) if e.is_transient() && attempt < attempts => {
+                note_retry(d, policy.backoff_before(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Member write under an optional retry policy; see [`read_member`].
+fn write_member(
+    d: &mut SimDisk,
+    offset: u64,
+    block: Block,
+    policy: Option<RetryPolicy>,
+) -> Result<(), DevError> {
+    let Some(policy) = policy else {
+        return d.write(offset, block);
+    };
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match d.write(offset, block.clone()) {
+            Err(e) if e.is_transient() && attempt < attempts => {
+                note_retry(d, policy.backoff_before(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 /// A RAID-4 group.
@@ -30,6 +89,8 @@ pub struct Raid4Group {
     failed: Option<usize>,
     /// True after a second failure: data is unrecoverable.
     lost: bool,
+    /// Retry policy for transient member faults (None = no retries).
+    retry: Option<RetryPolicy>,
 }
 
 impl Raid4Group {
@@ -50,7 +111,16 @@ impl Raid4Group {
             pending: None,
             failed: None,
             lost: false,
+            retry: None,
         }
+    }
+
+    /// Installs a retry policy for transient member faults. Reads that
+    /// stay transient after every attempt fall back to reconstruction
+    /// (parity can still serve them); writes surface
+    /// [`RaidError::Exhausted`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
     }
 
     /// Usable capacity in blocks (parity excluded).
@@ -94,9 +164,11 @@ impl Raid4Group {
             return Err(RaidError::TooManyFailures { group: 0 });
         }
         let (disk, offset) = self.locate(bno)?;
-        match self.data[disk].read(offset) {
+        match read_member(&mut self.data[disk], offset, self.retry) {
             Ok(b) => Ok(b),
-            Err(DevError::Offline) => {
+            // Member down — or transiently failing past the whole retry
+            // budget: either way parity can still serve the read.
+            Err(DevError::Offline) | Err(DevError::Busy { .. }) => {
                 obs::counter("raid.degraded_reads").inc();
                 // Weight 0: the member reads below emit their own service.
                 obs::event::emit(
@@ -118,9 +190,9 @@ impl Raid4Group {
         let (disk, offset) = self.locate(bno)?;
 
         // Old data: direct read, or reconstruction if this member is down.
-        let old = match self.data[disk].read(offset) {
+        let old = match read_member(&mut self.data[disk], offset, self.retry) {
             Ok(b) => b,
-            Err(DevError::Offline) => {
+            Err(DevError::Offline) | Err(DevError::Busy { .. }) => {
                 obs::counter("raid.degraded_reads").inc();
                 obs::event::emit(
                     obs::event::EventKind::RaidDegradedRead,
@@ -157,8 +229,12 @@ impl Raid4Group {
             p.parity = p.parity.xor(&old).xor(&block);
         }
 
-        match self.data[disk].write(offset, block) {
+        match write_member(&mut self.data[disk], offset, block, self.retry) {
             Ok(()) | Err(DevError::Offline) => Ok(()),
+            Err(DevError::Busy { .. }) => Err(RaidError::Exhausted {
+                bno,
+                attempts: self.retry.map(|p| p.attempts).unwrap_or(1),
+            }),
             Err(e) => Err(e.into()),
         }
     }
@@ -172,8 +248,12 @@ impl Raid4Group {
                 blockdev::BLOCK_SIZE as u64,
                 0.0,
             );
-            match self.parity.write(p.stripe, p.parity) {
+            match write_member(&mut self.parity, p.stripe, p.parity, self.retry) {
                 Ok(()) | Err(DevError::Offline) => Ok(()),
+                Err(DevError::Busy { .. }) => Err(RaidError::Exhausted {
+                    bno: p.stripe,
+                    attempts: self.retry.map(|q| q.attempts).unwrap_or(1),
+                }),
                 Err(e) => Err(e.into()),
             }
         } else {
@@ -193,7 +273,8 @@ impl Raid4Group {
         {
             self.flush()?;
         }
-        let mut acc = match self.parity.read(offset) {
+        let retry = self.retry;
+        let mut acc = match read_member(&mut self.parity, offset, retry) {
             Ok(b) => b,
             Err(DevError::Offline) => return Err(RaidError::TooManyFailures { group: 0 }),
             Err(e) => return Err(e.into()),
@@ -202,7 +283,7 @@ impl Raid4Group {
             if i == disk {
                 continue;
             }
-            let b = match d.read(offset) {
+            let b = match read_member(d, offset, retry) {
                 Ok(b) => b,
                 Err(DevError::Offline) => return Err(RaidError::TooManyFailures { group: 0 }),
                 Err(e) => return Err(e.into()),
@@ -463,6 +544,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn scrub_detects_silent_corruption() {
         let mut g = group();
         for bno in 0..16 {
@@ -471,6 +553,51 @@ mod tests {
         g.flush().unwrap();
         g.disk_mut(1).unwrap().faults_mut().corrupt(0, 0xbad);
         assert!(g.scrub().unwrap() > 0);
+    }
+
+    #[test]
+    fn transient_member_read_faults_retry_to_success() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_read_soft(0.2)
+            .build();
+        let mut g = group();
+        for bno in 0..g.capacity() {
+            g.write(bno, Block::Synthetic(bno + 3)).unwrap();
+        }
+        g.flush().unwrap();
+        for i in 0..g.ndisks() {
+            let rng = simkit::rng::SimRng::seed_from_u64(40 + i as u64);
+            g.disk_mut(i).unwrap().faults_mut().arm(&spec.disk, rng);
+        }
+        g.set_retry_policy(RetryPolicy::media_default());
+        // Every read still returns correct data despite the soft faults.
+        for bno in 0..g.capacity() {
+            assert!(g
+                .read(bno)
+                .unwrap()
+                .same_content(&Block::Synthetic(bno + 3)));
+        }
+        let busy = g.stats().busy_secs;
+        assert!(busy > 0.0, "retry backoff must surface as busy time");
+    }
+
+    #[test]
+    fn exhausted_write_surfaces_typed_error() {
+        // Certain transient write failure: the retry budget runs dry.
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_write_soft(1.0)
+            .build();
+        let mut g = group();
+        let rng = simkit::rng::SimRng::seed_from_u64(1);
+        g.disk_mut(0).unwrap().faults_mut().arm(&spec.disk, rng);
+        g.set_retry_policy(RetryPolicy::media_default());
+        match g.write(0, Block::Synthetic(1)) {
+            Err(RaidError::Exhausted {
+                bno: 0,
+                attempts: 4,
+            }) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,9 +5,27 @@ use blockdev::BlockDevice;
 use blockdev::DevError;
 use blockdev::DeviceStats;
 use blockdev::DiskPerf;
+use simkit::faults::FaultSpec;
+use simkit::retry::RetryPolicy;
+use simkit::rng::SimRng;
 
 use crate::error::RaidError;
 use crate::group::Raid4Group;
+
+/// Armed RAID chaos: a countdown to a member failure (and optionally to
+/// its background reconstruction), ticked once per volume block IO.
+#[derive(Debug)]
+struct RaidChaos {
+    rng: SimRng,
+    /// Member counts per group, captured at arm time so the tick can pick
+    /// a victim without borrowing the groups.
+    ndisks: Vec<u64>,
+    fail_after: u64,
+    reconstruct_after: Option<u64>,
+    ios: u64,
+    failed_group: Option<usize>,
+    rebuilt: bool,
+}
 
 /// Shape of a volume: one entry per RAID group.
 #[derive(Debug, Clone)]
@@ -50,6 +68,8 @@ pub struct Volume {
     /// Cumulative capacity boundaries for group lookup.
     bounds: Vec<u64>,
     geometry: VolumeGeometry,
+    /// Armed chaos countdown (None = zero-cost, nothing injected).
+    chaos: Option<RaidChaos>,
 }
 
 impl Volume {
@@ -70,12 +90,86 @@ impl Volume {
             groups,
             bounds,
             geometry,
+            chaos: None,
         }
     }
 
     /// The geometry this volume was built from.
     pub fn geometry(&self) -> &VolumeGeometry {
         &self.geometry
+    }
+
+    /// Arms the disk and RAID sections of a unified fault spec against
+    /// this volume: every member spindle gets the disk section with a
+    /// forked seeded RNG, and `[raid] fail_disk_after`/`reconstruct_after`
+    /// install a countdown that fails one randomly chosen member (and
+    /// later rebuilds it) while IO is running. Deterministic per
+    /// `spec.seed`; a spec with empty sections arms nothing.
+    pub fn arm_faults(&mut self, spec: &FaultSpec) {
+        let mut rng = SimRng::seed_from_u64(spec.seed);
+        if !spec.disk.is_empty() {
+            let mut label = 0u64;
+            for g in &mut self.groups {
+                for i in 0..g.ndisks() {
+                    let fork = rng.fork(label);
+                    label += 1;
+                    if let Ok(d) = g.disk_mut(i) {
+                        d.faults_mut().arm(&spec.disk, fork);
+                    }
+                }
+            }
+        }
+        if let Some(fail_after) = spec.raid.fail_disk_after {
+            self.chaos = Some(RaidChaos {
+                rng: rng.fork(u64::MAX),
+                ndisks: self.groups.iter().map(|g| g.ndisks() as u64).collect(),
+                fail_after,
+                reconstruct_after: spec.raid.reconstruct_after,
+                ios: 0,
+                failed_group: None,
+                rebuilt: false,
+            });
+        }
+    }
+
+    /// Installs a retry policy for transient member faults in every group.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for g in &mut self.groups {
+            g.set_retry_policy(policy);
+        }
+    }
+
+    /// Advances the armed chaos countdown by one IO, firing the member
+    /// failure / reconstruction when their thresholds pass.
+    fn tick_chaos(&mut self) -> Result<(), RaidError> {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return Ok(());
+        };
+        chaos.ios += 1;
+        let mut fail: Option<(usize, usize)> = None;
+        let mut rebuild: Option<usize> = None;
+        if chaos.failed_group.is_none() && chaos.ios >= chaos.fail_after {
+            let gi = chaos.rng.range(0, chaos.ndisks.len() as u64) as usize;
+            let member = chaos.rng.range(0, chaos.ndisks[gi]) as usize;
+            chaos.failed_group = Some(gi);
+            fail = Some((gi, member));
+        }
+        if let (Some(gi), Some(after)) = (chaos.failed_group, chaos.reconstruct_after) {
+            if fail.is_none()
+                && !chaos.rebuilt
+                && chaos.ios >= chaos.fail_after.saturating_add(after)
+            {
+                chaos.rebuilt = true;
+                rebuild = Some(gi);
+            }
+        }
+        if let Some((gi, member)) = fail {
+            self.groups[gi].fail_disk(member)?;
+        }
+        if let Some(gi) = rebuild {
+            self.groups[gi].reconstruct()?;
+        }
+        Ok(())
     }
 
     /// Usable capacity in blocks.
@@ -97,12 +191,14 @@ impl Volume {
 
     /// Reads one volume block.
     pub fn read_block(&mut self, bno: u64) -> Result<Block, RaidError> {
+        self.tick_chaos()?;
         let (gi, rel) = self.locate(bno)?;
         self.groups[gi].read(rel)
     }
 
     /// Writes one volume block.
     pub fn write_block(&mut self, bno: u64, block: Block) -> Result<(), RaidError> {
+        self.tick_chaos()?;
         let (gi, rel) = self.locate(bno)?;
         self.groups[gi].write(rel, block)
     }
@@ -255,6 +351,65 @@ mod tests {
         assert!(BlockDevice::read(&mut v, 0)
             .unwrap()
             .same_content(&Block::Synthetic(5)));
+    }
+
+    #[test]
+    fn armed_chaos_fails_one_disk_mid_stream_and_rebuilds() {
+        let spec = FaultSpec::builder()
+            .seed(99)
+            .raid_fail_disk_after(20)
+            .raid_reconstruct_after(40)
+            .build();
+        let mut v = volume();
+        for bno in 0..v.capacity() {
+            v.write_block(bno, Block::Synthetic(bno + 1)).unwrap();
+        }
+        v.sync().unwrap();
+        v.arm_faults(&spec);
+        v.set_retry_policy(RetryPolicy::media_default());
+        let mut unhealthy_seen = false;
+        // Stream reads: the failure fires mid-stream, reads keep working
+        // in degraded mode, and the rebuild brings the volume back.
+        for pass in 0..3 {
+            for bno in 0..v.capacity() {
+                let b = v.read_block(bno).unwrap();
+                assert!(
+                    b.same_content(&Block::Synthetic(bno + 1)),
+                    "pass {pass} bno {bno} wrong"
+                );
+                unhealthy_seen |= !v.is_healthy();
+            }
+        }
+        assert!(unhealthy_seen, "the armed failure must have fired");
+        assert!(v.is_healthy(), "reconstruction must have completed");
+    }
+
+    #[test]
+    fn armed_chaos_is_deterministic_per_seed() {
+        let spec = FaultSpec::builder().seed(7).raid_fail_disk_after(5).build();
+        let run = |spec: &FaultSpec| -> Vec<bool> {
+            let mut v = volume();
+            for bno in 0..v.capacity() {
+                v.write_block(bno, Block::Synthetic(bno)).unwrap();
+            }
+            v.sync().unwrap();
+            v.arm_faults(spec);
+            (0..v.capacity())
+                .map(|bno| {
+                    v.read_block(bno).unwrap();
+                    v.is_healthy()
+                })
+                .collect()
+        };
+        assert_eq!(run(&spec), run(&spec));
+    }
+
+    #[test]
+    fn empty_spec_arms_nothing() {
+        let mut v = volume();
+        v.arm_faults(&FaultSpec::default());
+        v.write_block(0, Block::Synthetic(1)).unwrap();
+        assert!(v.is_healthy());
     }
 
     #[test]

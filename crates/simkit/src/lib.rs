@@ -16,9 +16,15 @@
 //! - [`meter`] — a shared CPU/work meter that functional code charges costs to.
 //! - [`fluid`] — a max-min fair fluid-flow solver that computes stage elapsed
 //!   times and per-resource utilization for concurrent jobs.
+//! - [`faults`] — the unified [`faults::FaultSpec`] fault configuration that
+//!   blockdev/tape/raid arm their deterministic chaos injection from.
+//! - [`retry`] — the [`retry::RetryPolicy`] attempts/backoff schedule that
+//!   device-layer wrappers meter retries with.
 
+pub mod faults;
 pub mod fluid;
 pub mod meter;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod units;

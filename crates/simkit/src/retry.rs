@@ -1,0 +1,85 @@
+//! Retry/backoff policy for media IO.
+//!
+//! A [`RetryPolicy`] is pure data plus arithmetic: it decides how many
+//! attempts a transient fault deserves and how long (in **sim-time**
+//! seconds) to back off before each retry. It deliberately performs no
+//! metering or event emission itself — the device-layer wrappers
+//! (`tape::RetryMedia`, the raid member-IO path) charge the backoff to
+//! their own busy-time accounting and emit `media_retry` events, keeping
+//! simkit free of obs calls (simlint D06).
+
+/// How many attempts a media operation gets and how retries back off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `attempts = 1` means no
+    /// retries at all).
+    pub attempts: u32,
+    /// Sim-time backoff before the first retry, in seconds.
+    pub first_backoff_s: f64,
+    /// Multiplier applied to the backoff for each further retry.
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Default policy for tape/media IO: 4 attempts, 0.5 s first backoff,
+    /// doubling — worst case ~3.5 s of sim-time spent waiting before a
+    /// transient fault is declared exhausted.
+    pub fn media_default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            first_backoff_s: 0.5,
+            multiplier: 2.0,
+        }
+    }
+
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            first_backoff_s: 0.0,
+            multiplier: 1.0,
+        }
+    }
+
+    /// Sim-time backoff before retry number `retry` (1-based: the first
+    /// retry is `retry = 1`). Returns 0.0 for `retry = 0`.
+    pub fn backoff_before(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        self.first_backoff_s * self.multiplier.powi(retry as i32 - 1)
+    }
+
+    /// Total sim-time spent backing off if every attempt fails.
+    pub fn total_backoff(&self) -> f64 {
+        (1..self.attempts).map(|r| self.backoff_before(r)).sum()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::media_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RetryPolicy::media_default();
+        assert_eq!(p.backoff_before(0), 0.0);
+        assert_eq!(p.backoff_before(1), 0.5);
+        assert_eq!(p.backoff_before(2), 1.0);
+        assert_eq!(p.backoff_before(3), 2.0);
+        assert_eq!(p.total_backoff(), 3.5);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.total_backoff(), 0.0);
+    }
+}

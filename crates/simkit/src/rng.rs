@@ -11,6 +11,7 @@
 /// A xoshiro256** generator with the handful of draws the workload
 /// generator needs (uniform ranges, biased coins, log-normal sizes, Zipf
 /// ranks).
+#[derive(Debug, Clone)]
 pub struct SimRng {
     state: [u64; 4],
 }

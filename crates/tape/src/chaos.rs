@@ -1,0 +1,411 @@
+//! Deterministic media chaos and the retry layer that absorbs it.
+//!
+//! [`FaultProxy`] wraps any [`Media`] and injects the tape section of a
+//! unified [`simkit::faults::FaultSpec`]: probabilistic transient faults
+//! (soft media errors, drive-offline episodes, stacker jams) drawn through
+//! a seeded [`SimRng`], plus targeted permanent faults pinned to specific
+//! record positions. [`RetryMedia`] wraps any [`Media`] and applies a
+//! [`RetryPolicy`]: transient errors are retried after a sim-time backoff
+//! charged to the medium via [`Media::note_delay`] (so retries surface in
+//! busy time, the fluid solver's media-delay demand, and the obs trace);
+//! exhausted retries surface as the permanent
+//! [`TapeError::Exhausted`]. Stacked as
+//! `RetryMedia<FaultProxy<TapeDrive>>`, the pair turns injected chaos into
+//! bounded slowdown — or a typed permanent error.
+
+use simkit::faults::TapeFaults;
+use simkit::retry::RetryPolicy;
+use simkit::rng::SimRng;
+
+use crate::drive::TapeStats;
+use crate::error::TapeError;
+use crate::io::Media;
+use crate::record::Record;
+
+fn note_inject(what: &'static str) {
+    obs::counter("tape.injected_faults").inc();
+    if obs::trace_enabled() {
+        obs::event::emit_labeled(obs::event::EventKind::FaultInject, what, 0, 0.0);
+    }
+}
+
+/// Injects the tape section of a fault spec into an inner medium.
+pub struct FaultProxy<M> {
+    inner: M,
+    spec: TapeFaults,
+    rng: SimRng,
+    offline_remaining: u32,
+    /// Stream position the next read/skip will target.
+    read_cursor: u64,
+    armed: bool,
+}
+
+impl<M: Media> FaultProxy<M> {
+    /// Wraps `inner`, drawing probabilistic faults from `rng`.
+    pub fn new(inner: M, spec: &TapeFaults, rng: SimRng) -> FaultProxy<M> {
+        let armed = !spec.is_empty();
+        FaultProxy {
+            inner,
+            spec: spec.clone(),
+            rng,
+            offline_remaining: 0,
+            read_cursor: 0,
+            armed,
+        }
+    }
+
+    /// Stops injecting (restart tests: clear the fault, resume the dump).
+    pub fn disarm(&mut self) {
+        self.armed = false;
+        self.offline_remaining = 0;
+    }
+
+    /// Consumes the proxy, returning the wrapped medium.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Read access to the wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Faults shared by reads and writes: offline episodes, stacker jams,
+    /// soft media errors. Returns the error to surface, if any.
+    fn common_fault(&mut self, index: u64) -> Option<TapeError> {
+        if self.offline_remaining > 0 {
+            self.offline_remaining -= 1;
+            note_inject("tape.drive_offline");
+            return Some(TapeError::DriveOffline);
+        }
+        if self.spec.drive_offline > 0.0 && self.rng.chance(self.spec.drive_offline) {
+            self.offline_remaining = self.spec.offline_ops.saturating_sub(1);
+            note_inject("tape.drive_offline");
+            return Some(TapeError::DriveOffline);
+        }
+        if self.spec.stacker_jam > 0.0 && self.rng.chance(self.spec.stacker_jam) {
+            note_inject("tape.stacker_jam");
+            return Some(TapeError::StackerJam);
+        }
+        if self.spec.media_soft > 0.0 && self.rng.chance(self.spec.media_soft) {
+            note_inject("tape.media_soft");
+            return Some(TapeError::MediaSoft { index });
+        }
+        None
+    }
+}
+
+impl<M: Media> Media for FaultProxy<M> {
+    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
+        if self.armed {
+            let pos = self.inner.total_records();
+            // Position-based, so a retry of the same append hits the same
+            // defect again and the retry layer correctly gives up.
+            if self.spec.hard_write_records.contains(&pos) {
+                note_inject("tape.media_hard");
+                return Err(TapeError::MediaHard { index: pos });
+            }
+            if let Some(e) = self.common_fault(pos) {
+                return Err(e);
+            }
+        }
+        self.inner.write_record(record)
+    }
+
+    fn read_record(&mut self) -> Result<Record, TapeError> {
+        if self.armed {
+            let pos = self.read_cursor;
+            if self.spec.bad_read_records.contains(&pos) {
+                note_inject("tape.bad_record");
+                return Err(TapeError::BadRecord { index: pos });
+            }
+            if let Some(e) = self.common_fault(pos) {
+                return Err(e);
+            }
+        }
+        let rec = self.inner.read_record()?;
+        self.read_cursor += 1;
+        Ok(rec)
+    }
+
+    fn skip_record(&mut self) -> Result<(), TapeError> {
+        self.inner.skip_record()?;
+        self.read_cursor += 1;
+        Ok(())
+    }
+
+    fn rewind(&mut self) {
+        self.inner.rewind();
+        self.read_cursor = 0;
+    }
+
+    fn truncate_records(&mut self, keep: u64) {
+        self.inner.truncate_records(keep);
+        self.read_cursor = 0;
+    }
+
+    fn total_records(&self) -> u64 {
+        self.inner.total_records()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn stats(&self) -> TapeStats {
+        self.inner.stats()
+    }
+
+    fn note_delay(&mut self, secs: f64) {
+        self.inner.note_delay(secs)
+    }
+}
+
+/// Retries transient faults of an inner medium under a [`RetryPolicy`].
+pub struct RetryMedia<M> {
+    inner: M,
+    policy: RetryPolicy,
+    retries: u64,
+}
+
+enum Op {
+    Write,
+    Read,
+    Skip,
+}
+
+impl Op {
+    fn label(&self) -> &'static str {
+        match self {
+            Op::Write => "write",
+            Op::Read => "read",
+            Op::Skip => "skip",
+        }
+    }
+}
+
+impl<M: Media> RetryMedia<M> {
+    /// Wraps `inner` under the given policy.
+    pub fn new(inner: M, policy: RetryPolicy) -> RetryMedia<M> {
+        RetryMedia {
+            inner,
+            policy,
+            retries: 0,
+        }
+    }
+
+    /// Total retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Consumes the wrapper, returning the wrapped medium.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Read access to the wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped medium (e.g. to disarm a fault proxy
+    /// between a crashed run and its resume).
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    fn run<T>(
+        &mut self,
+        op: Op,
+        mut f: impl FnMut(&mut M) -> Result<T, TapeError>,
+    ) -> Result<T, TapeError> {
+        let attempts = self.policy.attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match f(&mut self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => {
+                    if attempt >= attempts {
+                        return Err(TapeError::Exhausted {
+                            attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    let backoff = self.policy.backoff_before(attempt);
+                    self.inner.note_delay(backoff);
+                    self.retries += 1;
+                    obs::counter("media.retries").inc();
+                    if obs::trace_enabled() {
+                        obs::event::emit_labeled(
+                            obs::event::EventKind::MediaRetry,
+                            op.label(),
+                            0,
+                            backoff,
+                        );
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<M: Media> Media for RetryMedia<M> {
+    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
+        self.run(Op::Write, |m| m.write_record(record.clone()))
+    }
+
+    fn read_record(&mut self) -> Result<Record, TapeError> {
+        self.run(Op::Read, Media::read_record)
+    }
+
+    fn skip_record(&mut self) -> Result<(), TapeError> {
+        self.run(Op::Skip, Media::skip_record)
+    }
+
+    fn rewind(&mut self) {
+        self.inner.rewind()
+    }
+
+    fn truncate_records(&mut self, keep: u64) {
+        self.inner.truncate_records(keep)
+    }
+
+    fn total_records(&self) -> u64 {
+        self.inner.total_records()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn stats(&self) -> TapeStats {
+        self.inner.stats()
+    }
+
+    fn note_delay(&mut self, secs: f64) {
+        self.inner.note_delay(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::TapeDrive;
+    use crate::drive::TapePerf;
+    use simkit::faults::FaultSpec;
+
+    fn rec(fill: u8) -> Record {
+        Record::from_bytes(vec![fill; 16])
+    }
+
+    fn drive() -> TapeDrive {
+        TapeDrive::new(TapePerf::ideal(), 1 << 20)
+    }
+
+    #[test]
+    fn unarmed_proxy_is_transparent() {
+        let spec = FaultSpec::default();
+        let mut m = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(0));
+        for i in 0..8u8 {
+            m.write_record(rec(i)).unwrap();
+        }
+        m.rewind();
+        for i in 0..8u8 {
+            assert_eq!(m.read_record().unwrap(), rec(i));
+        }
+    }
+
+    #[test]
+    fn hard_write_fault_persists_until_exhaustion() {
+        let spec = FaultSpec::builder().tape_hard_write_record(2).build();
+        let proxy = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(1));
+        let mut m = RetryMedia::new(proxy, RetryPolicy::media_default());
+        m.write_record(rec(0)).unwrap();
+        m.write_record(rec(1)).unwrap();
+        // Hard faults are not transient, so they surface directly.
+        assert_eq!(
+            m.write_record(rec(2)),
+            Err(TapeError::MediaHard { index: 2 })
+        );
+        assert_eq!(m.retries(), 0);
+    }
+
+    #[test]
+    fn soft_faults_retry_to_success_and_charge_backoff() {
+        let spec = FaultSpec::builder().tape_media_soft(0.15).build();
+        let proxy = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(3));
+        let mut m = RetryMedia::new(proxy, RetryPolicy::media_default());
+        for i in 0..64u8 {
+            m.write_record(rec(i)).unwrap();
+        }
+        assert!(m.retries() > 0, "p=0.15 over 64 writes must retry");
+        let busy = Media::stats(&m).busy_secs;
+        assert!(busy > 0.0, "backoff must surface as busy time: {busy}");
+        m.rewind();
+        for i in 0..64u8 {
+            assert_eq!(m.read_record().unwrap(), rec(i));
+        }
+    }
+
+    #[test]
+    fn offline_episode_outlasting_the_policy_exhausts() {
+        // Every op goes offline for 10 ops; 4 attempts cannot get through.
+        let spec = FaultSpec::builder().tape_drive_offline(1.0, 10).build();
+        let proxy = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(5));
+        let mut m = RetryMedia::new(proxy, RetryPolicy::media_default());
+        match m.write_record(rec(0)) {
+            Err(TapeError::Exhausted { attempts: 4, last }) => {
+                assert_eq!(*last, TapeError::DriveOffline);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_read_records_surface_and_skip_recovers() {
+        let spec = FaultSpec::builder().tape_bad_read_record(1).build();
+        let mut m = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(7));
+        for i in 0..3u8 {
+            m.write_record(rec(i)).unwrap();
+        }
+        m.rewind();
+        assert_eq!(m.read_record().unwrap(), rec(0));
+        assert_eq!(m.read_record(), Err(TapeError::BadRecord { index: 1 }));
+        m.skip_record().unwrap();
+        assert_eq!(m.read_record().unwrap(), rec(2));
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let spec = FaultSpec::builder()
+            .tape_media_soft(0.2)
+            .tape_stacker_jam(0.05)
+            .build();
+        let run = |seed: u64| -> (u64, Vec<u8>) {
+            let proxy = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(seed));
+            let mut m = RetryMedia::new(proxy, RetryPolicy::media_default());
+            for i in 0..40u8 {
+                m.write_record(rec(i)).unwrap();
+            }
+            m.rewind();
+            let mut out = Vec::new();
+            while let Ok(r) = m.read_record() {
+                out.push(r.len() as u8);
+            }
+            (m.retries(), out)
+        };
+        assert_eq!(run(11), run(11), "same seed, same chaos");
+    }
+
+    #[test]
+    fn disarm_stops_injection() {
+        let spec = FaultSpec::builder().tape_hard_write_record(0).build();
+        let mut m = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(0));
+        assert!(m.write_record(rec(0)).is_err());
+        m.disarm();
+        m.write_record(rec(0)).unwrap();
+    }
+}

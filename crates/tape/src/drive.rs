@@ -247,6 +247,58 @@ impl TapeDrive {
         self.magazine.len()
     }
 
+    /// Discards everything after the first `keep` records, repositioning
+    /// the heads so the next write appends at the cut (restart support:
+    /// a resumed dump overwrites from its last checkpoint). Cartridges
+    /// past the cut go back to the scratch pool. Charges one reposition
+    /// (rewind-class) when anything is actually discarded.
+    pub fn truncate_records(&mut self, keep: u64) {
+        if keep >= self.total_records() {
+            return;
+        }
+        let mut remaining = keep;
+        let mut write_tape = 0usize;
+        for (i, t) in self.magazine.iter_mut().enumerate() {
+            let n = t.nrecords() as u64;
+            if n > 0 && remaining >= n {
+                remaining -= n;
+                write_tape = i;
+            } else if remaining > 0 {
+                t.truncate(remaining as usize);
+                write_tape = i;
+                remaining = 0;
+            } else {
+                t.truncate(0);
+            }
+        }
+        self.magazine.truncate(write_tape + 1);
+        self.write_tape = write_tape;
+        self.read_tape = 0;
+        self.read_pos = 0;
+        self.stats.busy_secs += self.perf.rewind_s;
+        obs::counter("tape.truncates").inc();
+        obs::gauge("tape.reposition_secs").add(self.perf.rewind_s);
+        if obs::trace_enabled() {
+            obs::event::emit_labeled(
+                obs::event::EventKind::TapeMark,
+                "truncate",
+                0,
+                self.perf.rewind_s,
+            );
+        }
+    }
+
+    /// Charges extra busy time to the drive (retry backoff, recovery
+    /// pauses) so it shows up in the drive's utilization accounting and
+    /// the fluid solver's media-delay demand.
+    pub fn note_delay(&mut self, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        self.stats.busy_secs += secs;
+        obs::gauge("media.delay_secs").add(secs);
+    }
+
     /// Damages the record with the given global index.
     ///
     /// Returns false if no such record exists.

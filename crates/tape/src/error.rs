@@ -15,6 +15,42 @@ pub enum TapeError {
         /// Global record index across the magazine.
         index: u64,
     },
+    /// A transient media error (dust, recoverable servo fault): retrying
+    /// the same operation may succeed.
+    MediaSoft {
+        /// Global record index the operation targeted.
+        index: u64,
+    },
+    /// A permanent media defect at this position: retries will not help.
+    MediaHard {
+        /// Global record index the operation targeted.
+        index: u64,
+    },
+    /// The drive dropped offline (bus reset, power hiccup); it comes back
+    /// after a bounded number of operations, so retrying makes sense.
+    DriveOffline,
+    /// The stacker jammed during a cartridge change; an operator-assisted
+    /// retry clears it.
+    StackerJam,
+    /// The retry layer gave up: every attempt failed transiently.
+    Exhausted {
+        /// How many attempts were made (including the first).
+        attempts: u32,
+        /// The last transient error observed.
+        last: Box<TapeError>,
+    },
+}
+
+impl TapeError {
+    /// Whether retrying the same operation may succeed. The retry layer
+    /// only backs off and retries transient errors; permanent ones (and
+    /// stream-shape conditions like end-of-data) propagate immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TapeError::MediaSoft { .. } | TapeError::DriveOffline | TapeError::StackerJam
+        )
+    }
 }
 
 impl std::fmt::Display for TapeError {
@@ -24,6 +60,17 @@ impl std::fmt::Display for TapeError {
             TapeError::EndOfMedia => write!(f, "end of media (magazine exhausted)"),
             TapeError::EndOfData => write!(f, "end of recorded data"),
             TapeError::BadRecord { index } => write!(f, "unreadable record {index}"),
+            TapeError::MediaSoft { index } => {
+                write!(f, "transient media error at record {index}")
+            }
+            TapeError::MediaHard { index } => {
+                write!(f, "permanent media error at record {index}")
+            }
+            TapeError::DriveOffline => write!(f, "drive offline"),
+            TapeError::StackerJam => write!(f, "stacker jammed"),
+            TapeError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -38,5 +85,26 @@ mod tests {
     fn display_is_informative() {
         assert!(TapeError::BadRecord { index: 7 }.to_string().contains("7"));
         assert!(TapeError::NoMedia.to_string().contains("no tape"));
+        let e = TapeError::Exhausted {
+            attempts: 4,
+            last: Box::new(TapeError::DriveOffline),
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(e.to_string().contains("offline"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(TapeError::MediaSoft { index: 0 }.is_transient());
+        assert!(TapeError::DriveOffline.is_transient());
+        assert!(TapeError::StackerJam.is_transient());
+        assert!(!TapeError::MediaHard { index: 0 }.is_transient());
+        assert!(!TapeError::BadRecord { index: 0 }.is_transient());
+        assert!(!TapeError::EndOfData.is_transient());
+        let ex = TapeError::Exhausted {
+            attempts: 4,
+            last: Box::new(TapeError::MediaSoft { index: 0 }),
+        };
+        assert!(!ex.is_transient(), "exhaustion is final");
     }
 }

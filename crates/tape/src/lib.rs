@@ -20,15 +20,28 @@
 //! restore loses only the affected file(s) while physical restore is
 //! poisoned.
 
+//!
+//! The engines write through the [`io::Media`] trait rather than a
+//! concrete drive, so the same dump can run against one drive, a
+//! [`io::DrivePool`] striping four, or a chaos stack
+//! ([`chaos::RetryMedia`] over [`chaos::FaultProxy`]) that injects and
+//! absorbs deterministic faults.
+
+pub mod chaos;
 pub mod drive;
 pub mod error;
+pub mod io;
 pub mod media;
 pub mod record;
 
+pub use chaos::FaultProxy;
+pub use chaos::RetryMedia;
 pub use drive::TapeDrive;
 pub use drive::TapePerf;
 pub use drive::TapeStats;
 pub use error::TapeError;
+pub use io::DrivePool;
+pub use io::Media;
 pub use media::Tape;
 pub use record::Chunk;
 pub use record::Record;

@@ -75,6 +75,17 @@ impl Tape {
         Ok(&self.records[index])
     }
 
+    /// Truncates the cartridge to its first `keep` records (restart
+    /// support: overwrite from a checkpoint). No-op if fewer exist.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.records.len() {
+            return;
+        }
+        self.records.truncate(keep);
+        self.bad.truncate(keep);
+        self.written_bytes = self.records.iter().map(Record::len).sum();
+    }
+
     /// Marks a record as damaged; future reads of it fail.
     ///
     /// Returns false if the index does not exist.

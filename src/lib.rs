@@ -63,16 +63,19 @@ pub use workload;
 pub mod prelude {
     pub use backup_core::engine::BackupEngine;
     pub use backup_core::engine::BackupError;
+    pub use backup_core::engine::BackupErrorKind;
     pub use backup_core::engine::BackupPlan;
     pub use backup_core::engine::LogicalEngine;
     pub use backup_core::engine::PhysicalEngine;
     pub use backup_core::logical::catalog::DumpCatalog;
     pub use backup_core::logical::dump::dump;
     pub use backup_core::logical::dump::DumpOptions;
+    pub use backup_core::logical::dump::RestartableLogicalDump;
     pub use backup_core::logical::restore::restore;
     pub use backup_core::logical::single::restore_single;
     pub use backup_core::logical::single::restore_subtree;
     pub use backup_core::physical::dump::image_dump_full;
+    pub use backup_core::physical::dump::RestartableImageDump;
     pub use backup_core::physical::incremental::image_dump_incremental;
     pub use backup_core::physical::mirror::Mirror;
     pub use backup_core::physical::restore::image_restore;
@@ -80,9 +83,16 @@ pub mod prelude {
     pub use backup_core::verify::compare_trees;
     pub use blockdev::Block;
     pub use blockdev::DiskPerf;
+    pub use nvram::NvScratch;
     pub use raid::Volume;
     pub use raid::VolumeGeometry;
+    pub use simkit::faults::FaultSpec;
     pub use simkit::meter::Meter;
+    pub use simkit::retry::RetryPolicy;
+    pub use tape::DrivePool;
+    pub use tape::FaultProxy;
+    pub use tape::Media;
+    pub use tape::RetryMedia;
     pub use tape::TapeDrive;
     pub use tape::TapePerf;
     pub use wafl::cost::CostModel;

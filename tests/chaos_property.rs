@@ -1,0 +1,268 @@
+//! Chaos properties: any single injected fault under the default
+//! [`RetryPolicy`] either retries through to a byte-identical verified
+//! restore, or surfaces as a typed *permanent* [`BackupError`] — never a
+//! silent corruption, never an unclassified failure. Plus the restart
+//! discipline: an interrupted image dump resumes from its checkpoint
+//! without re-reading a single finished block, while an interrupted
+//! logical dump pays the paper's coarser restart (the map phases re-run).
+
+use wafl_backup::backup_core::engine::BackupEngine;
+use wafl_backup::backup_core::engine::LogicalEngine;
+use wafl_backup::backup_core::engine::PhysicalEngine;
+use wafl_backup::backup_core::physical::format::ImageError;
+use wafl_backup::backup_core::verify::compare_used_blocks;
+use wafl_backup::backup_core::ImageCheckpoint;
+use wafl_backup::backup_core::LogicalCheckpoint;
+use wafl_backup::prelude::*;
+use wafl_backup::simkit::rng::SimRng;
+use wafl_backup::tape::TapeError;
+
+fn geometry() -> VolumeGeometry {
+    VolumeGeometry::uniform(2, 4, 4096, DiskPerf::ideal())
+}
+
+fn populated() -> Wafl {
+    let mut fs = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    let d = fs
+        .create(INO_ROOT, "work", FileType::Dir, Attrs::default())
+        .unwrap();
+    for i in 0..20u64 {
+        let f = fs
+            .create(d, &format!("f{i}"), FileType::File, Attrs::default())
+            .unwrap();
+        for b in 0..12 {
+            fs.write_fbn(f, b, Block::Synthetic(i * 31 + b)).unwrap();
+        }
+    }
+    fs.cp().unwrap();
+    fs
+}
+
+fn chaos_media(seed: u64, spec: &FaultSpec) -> RetryMedia<FaultProxy<TapeDrive>> {
+    let proxy = FaultProxy::new(
+        TapeDrive::new(TapePerf::ideal(), u64::MAX),
+        &spec.tape,
+        SimRng::seed_from_u64(seed),
+    );
+    RetryMedia::new(proxy, RetryPolicy::media_default())
+}
+
+/// The single-fault property over a seed matrix, for both strategies
+/// driven through `Box<dyn BackupEngine>` (the trait stays object-safe
+/// with `&mut dyn Media` operands).
+#[test]
+fn injected_faults_retry_to_verified_restore_or_fail_permanent() {
+    for seed in 0..6u64 {
+        let spec = FaultSpec::builder()
+            .seed(seed)
+            .tape_media_soft(0.05)
+            .tape_stacker_jam(0.01)
+            .tape_drive_offline(0.005, 2)
+            .build();
+
+        // Logical.
+        let mut fs = populated();
+        let mut media = chaos_media(seed, &spec);
+        let mut engine: Box<dyn BackupEngine> =
+            Box::new(LogicalEngine::new(DumpOptions::default()));
+        match engine.dump(&mut fs, &mut media) {
+            Ok(out) => {
+                assert_eq!(out.files, 20);
+                let mut target =
+                    Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+                match engine.restore(&mut target, &mut media) {
+                    Ok(_) => {
+                        let diffs = compare_trees(&mut fs, &mut target).unwrap();
+                        assert!(diffs.is_empty(), "seed {seed}: diffs {diffs:?}");
+                    }
+                    Err(e) => assert!(!e.is_transient(), "seed {seed}: {e}"),
+                }
+            }
+            Err(e) => assert!(!e.is_transient(), "seed {seed}: {e}"),
+        }
+
+        // Physical.
+        let mut fs = populated();
+        let mut media = chaos_media(seed ^ 0xdead, &spec);
+        let mut engine: Box<dyn BackupEngine> = Box::new(PhysicalEngine::new("chaos"));
+        match engine.dump(&mut fs, &mut media) {
+            Ok(_) => {
+                let mut target =
+                    Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+                match engine.restore(&mut target, &mut media) {
+                    Ok(_) => {
+                        let diffs = compare_used_blocks(&mut fs, target.volume_mut()).unwrap();
+                        assert!(diffs.is_empty(), "seed {seed}: {} block diffs", diffs.len());
+                    }
+                    Err(e) => assert!(!e.is_transient(), "seed {seed}: {e}"),
+                }
+            }
+            Err(e) => assert!(!e.is_transient(), "seed {seed}: {e}"),
+        }
+    }
+}
+
+/// Same seed and spec ⇒ identical retries, identical stream, identical
+/// outcome. The whole chaos pipeline is a pure function of the seed.
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    let spec = FaultSpec::builder()
+        .seed(17)
+        .tape_media_soft(0.08)
+        .tape_stacker_jam(0.02)
+        .build();
+    let run = || {
+        let mut fs = populated();
+        let mut media = chaos_media(17, &spec);
+        let mut engine = LogicalEngine::new(DumpOptions::default());
+        let out = engine.dump(&mut fs, &mut media).expect("dump under chaos");
+        (
+            out.retries,
+            out.tape_bytes,
+            media.retries(),
+            media.total_records(),
+            media.total_bytes(),
+        )
+    };
+    assert_eq!(run(), run(), "same seed must replay bit-for-bit");
+}
+
+/// A RAID member dies *while the dump is running*: degraded reads keep
+/// the dump alive, the outcome is flagged, and the restore verifies.
+#[test]
+fn raid_member_failure_mid_dump_degrades_but_completes() {
+    let mut fs = populated();
+    let spec = FaultSpec::builder()
+        .seed(9)
+        .raid_fail_disk_after(200)
+        .build();
+    fs.volume_mut().arm_faults(&spec);
+    fs.volume_mut()
+        .set_retry_policy(RetryPolicy::media_default());
+
+    let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+    let mut engine = PhysicalEngine::new("deg");
+    let out = engine.dump(&mut fs, &mut tape).expect("degraded dump");
+    assert!(out.degraded, "a member failed mid-dump");
+    assert!(
+        obs::counter("raid.degraded_reads").get() > 0,
+        "degraded reads must be visible in obs"
+    );
+    assert!(!fs.volume().is_healthy());
+
+    let mut target = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    engine
+        .restore(&mut target, &mut tape)
+        .expect("restore from degraded dump");
+    let diffs = compare_used_blocks(&mut fs, target.volume_mut()).unwrap();
+    assert!(diffs.is_empty(), "{} block diffs", diffs.len());
+}
+
+/// The image restart contract: resume re-reads **zero** completed blocks
+/// (flat positional checkpoint) and the restored volume is byte-identical
+/// to an uninterrupted dump's.
+#[test]
+fn interrupted_image_dump_resumes_without_rereading_finished_blocks() {
+    let mut fs = populated();
+    let total_used: u64 = (0..fs.blkmap().nblocks())
+        .filter(|&b| !fs.blkmap().is_free(b))
+        .count() as u64;
+
+    // A permanent write defect mid-stream kills the first attempt.
+    let spec = FaultSpec::builder().tape_hard_write_record(6).build();
+    let mut media = FaultProxy::new(
+        TapeDrive::new(TapePerf::ideal(), u64::MAX),
+        &spec.tape,
+        SimRng::seed_from_u64(1),
+    );
+    let mut scratch = NvScratch::new();
+    let job = RestartableImageDump::new("ckpt").checkpoint_every(2);
+    let err = job.run(&mut fs, &mut media, &mut scratch).unwrap_err();
+    assert!(
+        matches!(err, ImageError::Media(TapeError::MediaHard { .. })),
+        "typed permanent media error, got {err:?}"
+    );
+
+    // The checkpoint survived the failure and points mid-stream.
+    let c = ImageCheckpoint::from_bytes(scratch.load(job.scratch_key()).unwrap()).unwrap();
+    assert!(c.next_block > 0 && c.next_block < total_used);
+    assert_eq!(c.snapshot, "ckpt");
+
+    // Swap the defective cartridge (clear the fault) and resume.
+    media.disarm();
+    let reads_before = fs.volume().data_stats().reads().ops;
+    let out = job.run(&mut fs, &mut media, &mut scratch).unwrap();
+    assert!(out.resumed);
+    // Every block the resume shipped was read exactly once: zero re-reads
+    // of blocks completed before the checkpoint.
+    let resume_reads = fs.volume().data_stats().reads().ops - reads_before;
+    assert_eq!(
+        resume_reads, out.blocks,
+        "resume must not re-read finished blocks"
+    );
+    assert!(
+        out.blocks < total_used,
+        "resume skipped the finished prefix"
+    );
+    assert!(
+        scratch.load(job.scratch_key()).is_none(),
+        "checkpoint retires on success"
+    );
+
+    // The resumed stream restores a byte-identical volume.
+    let mut raw = Volume::new(geometry());
+    image_restore(
+        &mut media,
+        &mut raw,
+        &Meter::new_shared(),
+        &CostModel::zero(),
+    )
+    .unwrap();
+    let diffs = compare_used_blocks(&mut fs, &mut raw).unwrap();
+    assert!(diffs.is_empty(), "{} block diffs after resume", diffs.len());
+}
+
+/// The logical restart contract (the paper's coarser one): the resume
+/// re-runs the map phases, skips completed files by inode watermark, and
+/// still produces a stream that restores identically.
+#[test]
+fn interrupted_logical_dump_resumes_and_rereads_map_phases() {
+    let mut fs = populated();
+    let spec = FaultSpec::builder().tape_hard_write_record(30).build();
+    let mut media = FaultProxy::new(
+        TapeDrive::new(TapePerf::ideal(), u64::MAX),
+        &spec.tape,
+        SimRng::seed_from_u64(2),
+    );
+    let mut catalog = DumpCatalog::new();
+    let mut scratch = NvScratch::new();
+    let job = RestartableLogicalDump::new(DumpOptions::default());
+    job.run(&mut fs, &mut media, &mut catalog, &mut scratch)
+        .unwrap_err();
+
+    let c = LogicalCheckpoint::from_bytes(scratch.load(&job.scratch_key()).unwrap()).unwrap();
+    assert!(c.phase == 3 || c.phase == 4, "phase {}", c.phase);
+
+    media.disarm();
+    let out = job
+        .run(&mut fs, &mut media, &mut catalog, &mut scratch)
+        .unwrap();
+    assert_eq!(obs::counter("backup.resumes").get(), 1);
+    // The coarse restart re-runs the map phases every time.
+    assert!(
+        out.profiler
+            .stages()
+            .iter()
+            .any(|s| s.name == "mapping files and directories"),
+        "resume must re-run the map phases"
+    );
+    assert!(
+        scratch.load(&job.scratch_key()).is_none(),
+        "checkpoint retires on success"
+    );
+
+    let mut target = Wafl::format(Volume::new(geometry()), WaflConfig::default()).unwrap();
+    restore(&mut target, &mut media, "/").unwrap();
+    let diffs = compare_trees(&mut fs, &mut target).unwrap();
+    assert!(diffs.is_empty(), "diffs after logical resume: {diffs:?}");
+}
