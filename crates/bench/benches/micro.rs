@@ -12,9 +12,9 @@ use blockdev::DiskPerf;
 use raid::Raid4Group;
 use raid::Volume;
 use raid::VolumeGeometry;
-use simkit::fluid::FluidSim;
-use simkit::fluid::Stage;
-use simkit::fluid::Stream;
+use simkit::prelude::FluidSim;
+use simkit::prelude::Stage;
+use simkit::prelude::Stream;
 use wafl::blkmap::BlkMap;
 use wafl::types::Attrs;
 use wafl::types::FileType;

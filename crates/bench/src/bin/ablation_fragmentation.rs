@@ -1,97 +1,5 @@
-//! Ablation: what fragmentation (file system maturity) costs logical dump.
-//!
-//! The paper's footnote 1: "A mature data set is typically slower to
-//! backup than a newly created one because of fragmentation." This study
-//! dumps the same data set fresh and after increasing amounts of aging,
-//! and projects the single-drive and 4-drive file-pass times.
-//!
-//! Usage: `ablation_fragmentation [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench ablation_fragmentation`. See [`bench::runners::ablation_fragmentation`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use bench::calibrate::FilerModel;
-use bench::calibrate::OpKind;
-use bench::experiments::simulate_op;
-use simkit::meter::Meter;
-use simkit::units::fmt_duration;
-use tape::TapeDrive;
-use tape::TapePerf;
-use wafl::cost::CostModel;
-use workload::age::age;
-use workload::age::AgingOptions;
-use workload::frag::fragmentation;
-use workload::populate::populate;
-use workload::profile::VolumeProfile;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 128.0);
-    let model = FilerModel::f630();
-    let factor = 1.0 / scale;
-
-    println!("\nAblation: fragmentation vs. logical dump performance");
-    println!("{}", "-".repeat(96));
-    println!(
-        "{:<22} {:>8} {:>12} {:>14} {:>16} {:>16}",
-        "volume state", "frag", "rand-read %", "1-drive files", "4-drive files", "4-drive GB/h"
-    );
-    println!("{}", "-".repeat(96));
-
-    for rounds in [0u32, 1, 3, 6] {
-        let profile = VolumeProfile::home(scale);
-        let (mut fs, _) =
-            populate(&profile, seed, Meter::new_shared(), CostModel::f630()).expect("populate");
-        if rounds > 0 {
-            let opts = AgingOptions {
-                rounds,
-                delete_fraction: profile.aging_delete_fraction,
-                overwrite_fraction: 0.35,
-                overwrite_blocks: 0.5,
-            };
-            age(&mut fs, &profile, &opts, seed ^ 0xfa6).expect("age");
-        }
-        let frag = fragmentation(&fs, 2000).expect("frag");
-
-        let mut tape = TapeDrive::new(TapePerf::dlt7000(), 64 << 30);
-        let mut catalog = DumpCatalog::new();
-        let out = dump(&mut fs, &mut tape, &mut catalog, &DumpOptions::default()).expect("dump");
-        let files_stage = out
-            .profiler
-            .stage_named("dumping files")
-            .expect("files stage")
-            .scaled(factor);
-        let rand_pct = files_stage.disk_rand_read as f64
-            / (files_stage.disk_rand_read + files_stage.disk_seq_read).max(1) as f64
-            * 100.0;
-
-        let arms = profile.geometry.total_disks() as f64;
-        let one = simulate_op(
-            "dump",
-            &[vec![files_stage.clone()]],
-            arms,
-            OpKind::LogicalDump,
-            &model,
-        );
-        let four_streams: Vec<_> = (0..4).map(|_| vec![files_stage.scaled(0.25)]).collect();
-        let four = simulate_op("dump4", &four_streams, arms, OpKind::LogicalDump, &model);
-        let gb = files_stage.tape_bytes as f64 / (1 << 30) as f64;
-        println!(
-            "{:<22} {:>8.3} {:>11.1}% {:>14} {:>16} {:>16.1}",
-            if rounds == 0 {
-                "fresh".to_string()
-            } else {
-                format!("aged {rounds} rounds")
-            },
-            frag,
-            rand_pct,
-            fmt_duration(one.elapsed),
-            fmt_duration(four.elapsed),
-            gb / (four.elapsed / 3600.0),
-        );
-    }
-    println!("{}", "-".repeat(96));
-    println!(
-        "paper: a mature 188 GB volume dumped at 25.4 GB/h on one drive and ~70 GB/h on four;"
-    );
-    println!("the fresher the volume, the closer 4-drive logical dump gets to tape speed.");
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("ablation_fragmentation")
 }

@@ -1,81 +1,5 @@
-//! Ablation: the dump's private read-ahead policy.
-//!
-//! Paper §3: "Network Appliance's dump generates its own read-ahead
-//! policy" because the file system's default policy serves dump poorly.
-//! This study varies the phase-IV read chain (blocks fetched per file
-//! read burst) and projects the single-drive file-pass time.
-//!
-//! Usage: `ablation_readahead [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench ablation_readahead`. See [`bench::runners::ablation_readahead`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use bench::build::build_home;
-use bench::calibrate::FilerModel;
-use bench::calibrate::OpKind;
-use bench::experiments::simulate_op;
-use simkit::units::fmt_duration;
-use tape::TapeDrive;
-use tape::TapePerf;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 128.0);
-    let model = FilerModel::f630();
-    let mut home = build_home(scale, seed);
-    let factor = home.paper_factor();
-    let arms = home.profile.geometry.total_disks() as f64;
-
-    println!("\nAblation: dump read-ahead chain length (phase IV)");
-    println!("{}", "-".repeat(78));
-    println!(
-        "{:<18} {:>14} {:>14} {:>16} {:>12}",
-        "chain (blocks)", "seq reads", "rand reads", "1-drive files", "vs 64 KiB"
-    );
-    println!("{}", "-".repeat(78));
-
-    let mut baseline = None;
-    for chain in [1usize, 4, 16, 64] {
-        let mut tape = TapeDrive::new(TapePerf::dlt7000(), 64 << 30);
-        let mut catalog = DumpCatalog::new();
-        let out = dump(
-            &mut home.fs,
-            &mut tape,
-            &mut catalog,
-            &DumpOptions {
-                read_chain: chain,
-                ..DumpOptions::default()
-            },
-        )
-        .expect("dump");
-        let files = out
-            .profiler
-            .stage_named("dumping files")
-            .expect("files stage")
-            .scaled(factor);
-        let sim = simulate_op(
-            "dump",
-            &[vec![files.clone()]],
-            arms,
-            OpKind::LogicalDump,
-            &model,
-        );
-        if chain == 16 {
-            baseline = Some(sim.elapsed);
-        }
-        let rel = baseline
-            .map(|b| format!("{:+.0}%", (sim.elapsed / b - 1.0) * 100.0))
-            .unwrap_or_else(|| "-".into());
-        println!(
-            "{:<18} {:>13.1}G {:>13.1}G {:>16} {:>12}",
-            format!("{chain} ({} KiB)", chain * 4),
-            files.disk_seq_read as f64 / (1u64 << 30) as f64,
-            files.disk_rand_read as f64 / (1u64 << 30) as f64,
-            fmt_duration(sim.elapsed),
-            rel
-        );
-    }
-    println!("{}", "-".repeat(78));
-    println!("note: chains only batch reads *within* a file; on this workload most files are");
-    println!("smaller than one 64 KiB chain, so the paper's read-ahead win comes mainly from");
-    println!("keeping the tape streaming, which the timing model's efficiency factor covers.");
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("ablation_readahead")
 }

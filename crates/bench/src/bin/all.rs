@@ -1,55 +1,5 @@
-//! Runs every table/figure regeneration in one pass (one volume build).
-//!
-//! Usage: `all [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench tables`. The historical `all` binary is the shared-build tables suite; `bench all` now runs the full experiment matrix.
 
-use bench::calibrate::FilerModel;
-use bench::experiments::prepare;
-use bench::experiments::run_basic;
-use bench::experiments::run_parallel;
-use bench::experiments::run_scaling;
-use bench::tables::print_parallel_summary;
-use bench::tables::print_scaling;
-use bench::tables::print_stage_table;
-use bench::tables::print_table2;
-use bench::tables::PAPER_TABLE3;
-use bench::tables::PAPER_TABLE4;
-use bench::tables::PAPER_TABLE5;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
-    let model = FilerModel::f630();
-    let (mut home, runs) = prepare(scale, seed);
-
-    let basic = run_basic(&mut home, &runs, &model);
-    print_table2(&basic);
-    print_stage_table(
-        "Table 3: Dump and Restore Details (188 GB home, 1 DLT drive)",
-        &basic.table3,
-        PAPER_TABLE3,
-        false,
-    );
-    let mut artifact = basic.obs.clone();
-    artifact.experiment = "all".into();
-    bench::obsout::emit(&artifact);
-
-    let t4 = run_parallel(&mut home, &runs, &model, 2);
-    print_stage_table(
-        "Table 4: Parallel Backup and Restore Performance on 2 tape drives",
-        &t4.rows,
-        PAPER_TABLE4,
-        true,
-    );
-    print_parallel_summary(&t4);
-
-    let t5 = run_parallel(&mut home, &runs, &model, 4);
-    print_stage_table(
-        "Table 5: Parallel Backup and Restore Performance on 4 tape drives",
-        &t5.rows,
-        PAPER_TABLE5,
-        true,
-    );
-    print_parallel_summary(&t5);
-
-    let points = run_scaling(&mut home, &runs, &model);
-    print_scaling(&points);
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("tables")
 }

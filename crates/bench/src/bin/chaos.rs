@@ -1,279 +1,5 @@
-//! Deterministic chaos runs: inject a seeded [`FaultSpec`] into both
-//! backup engines and report whether the recovery machinery held.
-//!
-//! Usage: `chaos [--seed N] [--scale F] [--spec FILE]`
-//!
-//! Each run arms the tape section of the spec through a
-//! `RetryMedia<FaultProxy<TapeDrive>>` stack and the disk/raid sections
-//! against the volume, then executes a full logical and physical
-//! dump/restore/verify cycle through the unified [`BackupEngine`] API.
-//! The printed report (also written to `results/chaos_seed<N>.txt`) is a
-//! pure function of `--seed`, `--scale`, and the spec: the CI chaos job
-//! runs it twice and diffs the bytes. The output file deliberately avoids
-//! the `BENCH_` prefix so `benchdiff` never treats it as a baseline.
+//! Thin shim: forwards to `bench chaos`. See [`bench::runners::chaos`].
 
-use std::fmt::Write as _;
-
-use backup_core::engine::BackupEngine;
-use backup_core::engine::LogicalEngine;
-use backup_core::engine::PhysicalEngine;
-use backup_core::logical::dump::DumpOptions;
-use backup_core::verify::compare_trees;
-use backup_core::verify::compare_used_blocks;
-use bench::build::build_home;
-use raid::Volume;
-use simkit::faults::FaultSpec;
-use simkit::retry::RetryPolicy;
-use simkit::rng::SimRng;
-use tape::FaultProxy;
-use tape::RetryMedia;
-use tape::TapeDrive;
-use tape::TapePerf;
-use wafl::cost::CostModel;
-use wafl::types::WaflConfig;
-use wafl::Wafl;
-
-/// The default chaos mix: frequent-enough transient faults that every
-/// run exercises the retry path, plus a mid-dump RAID member failure.
-fn default_spec(seed: u64) -> FaultSpec {
-    FaultSpec::builder()
-        .seed(seed)
-        .tape_media_soft(0.01)
-        .tape_stacker_jam(0.002)
-        .tape_drive_offline(0.001, 2)
-        .raid_fail_disk_after(2000)
-        .raid_reconstruct_after(20000)
-        .build()
-}
-
-/// FNV-1a over the drained obs events: a compact determinism witness for
-/// the whole trace (kind, label, stream, bytes, ops of every event).
-fn event_digest() -> (usize, u64) {
-    let drained = obs::event::drain();
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut fold = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
-    for e in &drained.events {
-        fold(e.kind.name().as_bytes());
-        fold(e.label.as_bytes());
-        fold(&e.stream.to_le_bytes());
-        fold(&e.bytes.to_le_bytes());
-        fold(&e.ops.to_le_bytes());
-    }
-    (drained.events.len(), h)
-}
-
-fn counters() -> (u64, u64, u64, u64) {
-    (
-        obs::counter("media.retries").get(),
-        obs::counter("tape.injected_faults").get(),
-        obs::counter("raid.retries").get(),
-        obs::counter("raid.degraded_reads").get(),
-    )
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut seed = 1999u64;
-    let mut scale = 1.0 / 1024.0;
-    let mut spec_path: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" if i + 1 < args.len() => {
-                seed = args[i + 1].parse().expect("--seed takes an integer");
-                i += 2;
-            }
-            "--scale" if i + 1 < args.len() => {
-                scale = args[i + 1].parse().expect("--scale takes a number");
-                i += 2;
-            }
-            "--spec" if i + 1 < args.len() => {
-                spec_path = Some(args[i + 1].clone());
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
-    let spec = match &spec_path {
-        Some(p) => {
-            let text = std::fs::read_to_string(p).expect("read --spec file");
-            let mut s = FaultSpec::from_toml(&text).expect("parse --spec file");
-            if s.seed == 0 {
-                s.seed = seed;
-            }
-            s
-        }
-        None => default_spec(seed),
-    };
-
-    obs::event::enable(obs::event::EventConfig::default());
-    let mut report = String::new();
-    let w = &mut report;
-    writeln!(w, "chaos report (seed={seed} scale={scale})").unwrap();
-    writeln!(
-        w,
-        "spec: tape(media_soft={} jam={} offline={}/{}) raid(fail_after={:?} rebuild_after={:?})",
-        spec.tape.media_soft,
-        spec.tape.stacker_jam,
-        spec.tape.drive_offline,
-        spec.tape.offline_ops,
-        spec.raid.fail_disk_after,
-        spec.raid.reconstruct_after,
-    )
-    .unwrap();
-
-    eprintln!("[chaos] building volume at scale {scale}...");
-    let mut home = build_home(scale, seed);
-    let geometry = home.profile.geometry.clone();
-    home.fs.volume_mut().arm_faults(&spec);
-    home.fs
-        .volume_mut()
-        .set_retry_policy(RetryPolicy::media_default());
-    let _ = obs::event::drain(); // shed build-phase events
-
-    let tape_blank = 64 * (1u64 << 30);
-    let policy = RetryPolicy::media_default();
-
-    // ---- Logical roundtrip under chaos ----------------------------------
-    eprintln!("[chaos] logical dump/restore under injection...");
-    let proxy = FaultProxy::new(
-        TapeDrive::new(TapePerf::dlt7000(), tape_blank),
-        &spec.tape,
-        SimRng::seed_from_u64(spec.seed),
-    );
-    let mut media = RetryMedia::new(proxy, policy);
-    let mut logical = LogicalEngine::new(DumpOptions::default());
-    let (r0, f0, rr0, dg0) = counters();
-    match logical.dump(&mut home.fs, &mut media) {
-        Ok(out) => {
-            writeln!(
-                w,
-                "logical dump: ok files={} dirs={} blocks={} retries={} degraded={}",
-                out.files, out.dirs, out.blocks, out.retries, out.degraded
-            )
-            .unwrap();
-            let mut target = Wafl::format_with(
-                Volume::new(geometry.clone()),
-                WaflConfig::default(),
-                home.fs.meter(),
-                CostModel::f630(),
-            )
-            .expect("format restore target");
-            match logical.restore(&mut target, &mut media) {
-                Ok(rout) => {
-                    let diffs = compare_trees(&mut home.fs, &mut target).expect("compare");
-                    writeln!(
-                        w,
-                        "logical restore: ok files={} retries={} verify_diffs={}",
-                        rout.files,
-                        rout.retries,
-                        diffs.len()
-                    )
-                    .unwrap();
-                    assert!(diffs.is_empty(), "logical verify failed: {diffs:?}");
-                }
-                Err(e) => {
-                    assert!(!e.is_transient(), "surfaced error must be permanent: {e}");
-                    writeln!(w, "logical restore: permanent error: {e}").unwrap();
-                }
-            }
-        }
-        Err(e) => {
-            assert!(!e.is_transient(), "surfaced error must be permanent: {e}");
-            writeln!(w, "logical dump: permanent error: {e}").unwrap();
-        }
-    }
-    let (r1, f1, rr1, dg1) = counters();
-    let (lg_events, lg_digest) = event_digest();
-    writeln!(
-        w,
-        "logical counters: media_retries={} injected={} raid_retries={} degraded_reads={}",
-        r1 - r0,
-        f1 - f0,
-        rr1 - rr0,
-        dg1 - dg0
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "logical trace: events={lg_events} digest={lg_digest:016x}"
-    )
-    .unwrap();
-
-    // ---- Physical roundtrip under chaos ---------------------------------
-    eprintln!("[chaos] physical dump/restore under injection...");
-    let proxy = FaultProxy::new(
-        TapeDrive::new(TapePerf::dlt7000(), tape_blank),
-        &spec.tape,
-        SimRng::seed_from_u64(spec.seed ^ 0x9e3779b97f4a7c15),
-    );
-    let mut media = RetryMedia::new(proxy, policy);
-    let mut physical = PhysicalEngine::new("chaos.base");
-    match physical.dump(&mut home.fs, &mut media) {
-        Ok(out) => {
-            writeln!(
-                w,
-                "physical dump: ok blocks={} retries={} degraded={}",
-                out.blocks, out.retries, out.degraded
-            )
-            .unwrap();
-            let mut target = Wafl::format_with(
-                Volume::new(geometry),
-                WaflConfig::default(),
-                home.fs.meter(),
-                CostModel::f630(),
-            )
-            .expect("format image target");
-            match physical.restore(&mut target, &mut media) {
-                Ok(rout) => {
-                    let diffs = compare_used_blocks(&mut home.fs, target.volume_mut())
-                        .expect("compare blocks");
-                    writeln!(
-                        w,
-                        "physical restore: ok blocks={} retries={} verify_diffs={}",
-                        rout.blocks,
-                        rout.retries,
-                        diffs.len()
-                    )
-                    .unwrap();
-                    assert!(diffs.is_empty(), "physical verify failed: {diffs:?}");
-                }
-                Err(e) => {
-                    assert!(!e.is_transient(), "surfaced error must be permanent: {e}");
-                    writeln!(w, "physical restore: permanent error: {e}").unwrap();
-                }
-            }
-        }
-        Err(e) => {
-            assert!(!e.is_transient(), "surfaced error must be permanent: {e}");
-            writeln!(w, "physical dump: permanent error: {e}").unwrap();
-        }
-    }
-    let (r2, f2, rr2, dg2) = counters();
-    let (ph_events, ph_digest) = event_digest();
-    writeln!(
-        w,
-        "physical counters: media_retries={} injected={} raid_retries={} degraded_reads={}",
-        r2 - r1,
-        f2 - f1,
-        rr2 - rr1,
-        dg2 - dg1
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "physical trace: events={ph_events} digest={ph_digest:016x}"
-    )
-    .unwrap();
-
-    print!("{report}");
-    let _ = std::fs::create_dir_all("results");
-    let path = format!("results/chaos_seed{seed}.txt");
-    std::fs::write(&path, &report).expect("write chaos report");
-    eprintln!("[chaos] report written to {path}");
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("chaos")
 }

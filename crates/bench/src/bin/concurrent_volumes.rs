@@ -1,143 +1,5 @@
-//! Reproduces the §5.1 claim: "concurrent backups of the home and rlse
-//! volumes did not interfere with each other at all; each executed in
-//! exactly the same amount of time as they had when executing in
-//! isolation."
-//!
-//! Usage: `concurrent_volumes [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench concurrent_volumes`. See [`bench::runners::concurrent_volumes`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use bench::build::build_home;
-use bench::build::build_rlse;
-use bench::calibrate::stage_to_fluid;
-use bench::calibrate::FilerModel;
-use bench::calibrate::OpKind;
-use bench::calibrate::ResourceIds;
-use simkit::fluid::FluidSim;
-use simkit::fluid::Stream;
-use simkit::units::fmt_duration;
-use tape::TapeDrive;
-use tape::TapePerf;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 64.0);
-    let model = FilerModel::f630();
-
-    let mut home = build_home(scale, seed);
-    let mut rlse = build_rlse(scale, seed + 1);
-
-    // Functional dumps of both volumes.
-    let mut catalog = DumpCatalog::new();
-    let mut run_dump = |vol: &mut bench::BuiltVolume| {
-        let mut tape = TapeDrive::new(TapePerf::dlt7000(), 64 * (1 << 30));
-        let out = dump(
-            &mut vol.fs,
-            &mut tape,
-            &mut catalog,
-            &DumpOptions {
-                volume_name: vol.profile.name.clone(),
-                ..DumpOptions::default()
-            },
-        )
-        .expect("dump");
-        let factor = vol.paper_factor();
-        out.profiler
-            .stages()
-            .iter()
-            .map(|p| p.scaled(factor))
-            .collect::<Vec<_>>()
-    };
-    let home_stages = run_dump(&mut home);
-    let rlse_stages = run_dump(&mut rlse);
-
-    // Isolated and concurrent fluid runs.
-    let solo = |stages: &[backup_core::StageProfile], arms: f64, n: usize| -> f64 {
-        let mut sim = FluidSim::new();
-        let ids = ResourceIds {
-            cpu: sim.add_resource("cpu", 1.0),
-            disk: sim.add_resource("disk", arms),
-            tape: sim.add_resource("tape", 1.0),
-            meta: sim.add_resource("meta", 1.0),
-        };
-        let s = sim.add_stream(Stream {
-            name: "dump".into(),
-            start_at: 0.0,
-            stages: stages
-                .iter()
-                .map(|p| stage_to_fluid(p, &model, &ids, n, OpKind::LogicalDump))
-                .collect(),
-        });
-        let trace = sim.run().expect("solvable");
-        let (t0, t1) = trace.stream_span(s).expect("ran");
-        t1 - t0
-    };
-    let home_arms = home.profile.geometry.total_disks() as f64;
-    let rlse_arms = rlse.profile.geometry.total_disks() as f64;
-    let home_alone = solo(&home_stages, home_arms, 1);
-    let rlse_alone = solo(&rlse_stages, rlse_arms, 1);
-
-    // Concurrent: shared CPU, independent disk arrays and drives.
-    let mut sim = FluidSim::new();
-    let cpu = sim.add_resource("cpu", 1.0);
-    let disk_home = sim.add_resource("disk:home", home_arms);
-    let disk_rlse = sim.add_resource("disk:rlse", rlse_arms);
-    let tape0 = sim.add_resource("tape0", 1.0);
-    let tape1 = sim.add_resource("tape1", 1.0);
-    let meta = sim.add_resource("meta", 1.0);
-    let ids_h = ResourceIds {
-        cpu,
-        disk: disk_home,
-        tape: tape0,
-        meta,
-    };
-    let ids_r = ResourceIds {
-        cpu,
-        disk: disk_rlse,
-        tape: tape1,
-        meta,
-    };
-    let sh = sim.add_stream(Stream {
-        name: "home".into(),
-        start_at: 0.0,
-        stages: home_stages
-            .iter()
-            .map(|p| stage_to_fluid(p, &model, &ids_h, 2, OpKind::LogicalDump))
-            .collect(),
-    });
-    let sr = sim.add_stream(Stream {
-        name: "rlse".into(),
-        start_at: 0.0,
-        stages: rlse_stages
-            .iter()
-            .map(|p| stage_to_fluid(p, &model, &ids_r, 2, OpKind::LogicalDump))
-            .collect(),
-    });
-    let trace = sim.run().expect("solvable");
-    let home_conc = {
-        let (t0, t1) = trace.stream_span(sh).unwrap();
-        t1 - t0
-    };
-    let rlse_conc = {
-        let (t0, t1) = trace.stream_span(sr).unwrap();
-        t1 - t0
-    };
-
-    println!("\nConcurrent logical backups of home (188 GB) and rlse (129 GB):");
-    println!("------------------------------------------------------------------");
-    println!(
-        "home:  alone {:>12}   concurrent {:>12}   slowdown {:+.1}%",
-        fmt_duration(home_alone),
-        fmt_duration(home_conc),
-        (home_conc / home_alone - 1.0) * 100.0
-    );
-    println!(
-        "rlse:  alone {:>12}   concurrent {:>12}   slowdown {:+.1}%",
-        fmt_duration(rlse_alone),
-        fmt_duration(rlse_conc),
-        (rlse_conc / rlse_alone - 1.0) * 100.0
-    );
-    println!(
-        "paper: \"each executed in exactly the same amount of time as they had in isolation\""
-    );
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("concurrent_volumes")
 }

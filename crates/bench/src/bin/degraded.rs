@@ -1,112 +1,5 @@
-//! Degraded-mode table: dump elapsed time with 0 vs 1 failed disks per
-//! RAID group. Degraded reads reconstruct from parity, multiplying disk
-//! traffic; the slowdown shows up in solved elapsed time and disk
-//! utilization while the dump still completes and verifies.
-//!
-//! Usage: `degraded [--scale F] [--seed N]`
+//! Thin shim: forwards to `bench degraded`. See [`bench::runners::degraded`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use backup_core::physical::dump::image_dump_full;
-use bench::build::build_home;
-use bench::calibrate::FilerModel;
-use bench::calibrate::OpKind;
-use bench::experiments::simulate_op;
-use tape::TapeDrive;
-use tape::TapePerf;
-
-struct Row {
-    op: &'static str,
-    failed: usize,
-    elapsed_h: f64,
-    disk_util: f64,
-}
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 1024.0);
-    let model = FilerModel::f630();
-    let mut rows = Vec::new();
-
-    for failed in [0usize, 1] {
-        eprintln!("[degraded] building volume ({failed} failed disks per group)...");
-        let mut home = build_home(scale, seed);
-        if failed > 0 {
-            let ngroups = home.fs.volume().ngroups();
-            for g in 0..ngroups {
-                home.fs
-                    .volume_mut()
-                    .group_mut(g)
-                    .expect("group index")
-                    .fail_disk(1)
-                    .expect("fail member");
-            }
-            assert!(!home.fs.volume().is_healthy());
-        }
-        let factor = home.paper_factor();
-        let arms =
-            (home.profile.geometry.total_disks() - failed * home.fs.volume().ngroups()) as f64;
-        let tape_blank = 64 * (1u64 << 30);
-
-        eprintln!("[degraded] logical dump...");
-        let mut tape = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
-        let mut catalog = DumpCatalog::new();
-        let ld = dump(
-            &mut home.fs,
-            &mut tape,
-            &mut catalog,
-            &DumpOptions::default(),
-        )
-        .expect("logical dump");
-
-        eprintln!("[degraded] image dump...");
-        let mut tape = TapeDrive::new(TapePerf::dlt7000(), tape_blank);
-        let pd = image_dump_full(&mut home.fs, &mut tape, "deg.base").expect("image dump");
-
-        for (op, kind, stages) in [
-            ("Logical Dump", OpKind::LogicalDump, ld.profiler.stages()),
-            ("Physical Dump", OpKind::PhysicalDump, pd.profiler.stages()),
-        ] {
-            let scaled: Vec<_> = stages.iter().map(|p| p.scaled(factor)).collect();
-            let sim = simulate_op(op, &[scaled], arms, kind, &model);
-            let disk_util = sim
-                .timelines
-                .iter()
-                .find(|t| t.resource == "disk")
-                .map(|t| t.mean())
-                .unwrap_or(0.0);
-            rows.push(Row {
-                op,
-                failed,
-                elapsed_h: sim.elapsed / 3600.0,
-                disk_util,
-            });
-        }
-    }
-
-    println!("Degraded-mode dump performance (1 failed disk per RAID group)");
-    println!(
-        "{:<16} {:>14} {:>12} {:>10}",
-        "operation", "failed disks", "elapsed (h)", "disk util"
-    );
-    for r in &rows {
-        println!(
-            "{:<16} {:>14} {:>12.2} {:>10.2}",
-            r.op, r.failed, r.elapsed_h, r.disk_util
-        );
-    }
-    for op in ["Logical Dump", "Physical Dump"] {
-        let healthy = rows
-            .iter()
-            .find(|r| r.op == op && r.failed == 0)
-            .expect("healthy row");
-        let degraded = rows
-            .iter()
-            .find(|r| r.op == op && r.failed == 1)
-            .expect("degraded row");
-        println!(
-            "{op}: degraded/healthy elapsed = {:.2}x",
-            degraded.elapsed_h / healthy.elapsed_h
-        );
-    }
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("degraded")
 }

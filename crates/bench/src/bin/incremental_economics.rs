@@ -1,89 +1,5 @@
-//! Study: incremental dump economics vs. churn rate (motivates §6).
-//!
-//! Logical incrementals are file-granular — one changed block re-dumps
-//! the whole file. Physical incrementals from snapshot bit planes are
-//! block-granular — they ship exactly the changed blocks (plus fixed
-//! metadata). This sweep varies the nightly modification rate and compares
-//! both strategies' incremental sizes.
-//!
-//! Usage: `incremental_economics [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench incremental_economics`. See [`bench::runners::incremental_economics`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use backup_core::physical::dump::image_dump_full;
-use backup_core::physical::incremental::image_dump_incremental;
-use simkit::meter::Meter;
-use tape::TapeDrive;
-use tape::TapePerf;
-use wafl::cost::CostModel;
-use workload::churn::churn;
-use workload::churn::ChurnOptions;
-use workload::populate::populate;
-use workload::profile::VolumeProfile;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 128.0);
-
-    println!("\nIncremental dump size vs. nightly churn (fraction of files modified)");
-    println!("{}", "-".repeat(92));
-    println!(
-        "{:<10} {:>14} {:>18} {:>18} {:>14}",
-        "churn", "blocks written", "logical incr (blk)", "physical incr (blk)", "log/phys"
-    );
-    println!("{}", "-".repeat(92));
-
-    for modify in [0.01f64, 0.05, 0.15, 0.40] {
-        let profile = VolumeProfile::home(scale);
-        let (mut fs, _) =
-            populate(&profile, seed, Meter::new_shared(), CostModel::zero()).expect("populate");
-
-        // Baselines: full dumps of both kinds.
-        let mut catalog = DumpCatalog::new();
-        let mut tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
-        dump(&mut fs, &mut tape, &mut catalog, &DumpOptions::default()).expect("full dump");
-        let mut img_tape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
-        image_dump_full(&mut fs, &mut img_tape, "base").expect("full image");
-
-        // One night of churn.
-        let c = churn(
-            &mut fs,
-            &profile,
-            &ChurnOptions {
-                modify_fraction: modify,
-                delete_fraction: modify / 5.0,
-                create_fraction: modify / 2.0,
-            },
-            seed ^ 77,
-        )
-        .expect("churn");
-
-        // Both incrementals.
-        let mut ltape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
-        let lout = dump(
-            &mut fs,
-            &mut ltape,
-            &mut catalog,
-            &DumpOptions {
-                level: 1,
-                ..DumpOptions::default()
-            },
-        )
-        .expect("logical incremental");
-        let mut ptape = TapeDrive::new(TapePerf::ideal(), u64::MAX);
-        let pout =
-            image_dump_incremental(&mut fs, &mut ptape, "base", "incr").expect("image incremental");
-
-        println!(
-            "{:<10} {:>14} {:>18} {:>18} {:>13.1}x",
-            format!("{:.0}%", modify * 100.0),
-            c.blocks_written,
-            lout.data_blocks,
-            pout.blocks,
-            lout.data_blocks as f64 / pout.blocks.max(1) as f64,
-        );
-    }
-    println!("{}", "-".repeat(92));
-    println!("logical incrementals re-dump whole changed files; physical incrementals ship the");
-    println!("changed blocks (plus fixed metadata) — the gap widens as big files see small edits.");
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("incremental_economics")
 }

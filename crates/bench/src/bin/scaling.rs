@@ -1,16 +1,5 @@
-//! Regenerates the §5.3 scaling comparison: backup throughput vs. number
-//! of tape drives for both strategies.
-//!
-//! Usage: `scaling [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench scaling`. See [`bench::runners::scaling`].
 
-use bench::calibrate::FilerModel;
-use bench::experiments::prepare;
-use bench::experiments::run_scaling;
-use bench::tables::print_scaling;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
-    let (mut home, runs) = prepare(scale, seed);
-    let points = run_scaling(&mut home, &runs, &FilerModel::f630());
-    print_scaling(&points);
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("scaling")
 }

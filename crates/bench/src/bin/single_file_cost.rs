@@ -1,81 +1,5 @@
-//! Extension study: what "stupidity recovery" costs under each strategy.
-//!
-//! The paper (§4): "restoring a subset of the file system (for example, a
-//! single file which was accidently deleted) is not very practical. The
-//! entire file system must be recreated before the individual disk blocks
-//! that make up the file being requested can be identified." This study
-//! quantifies that asymmetry: recovering one file from a logical tape
-//! costs a stream-head read plus a scan to the file's position; from a
-//! physical tape it costs the whole-volume restore.
-//!
-//! Usage: `single_file_cost [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench single_file_cost`. See [`bench::runners::single_file_cost`].
 
-use backup_core::logical::catalog::DumpCatalog;
-use backup_core::logical::dump::dump;
-use backup_core::logical::dump::DumpOptions;
-use backup_core::physical::dump::image_dump_full;
-use bench::build::build_home;
-use bench::calibrate::FilerModel;
-use simkit::units::fmt_duration;
-use tape::TapeDrive;
-use tape::TapePerf;
-
-fn main() {
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 128.0);
-    let model = FilerModel::f630();
-    let mut home = build_home(scale, seed);
-    let factor = home.paper_factor();
-
-    // Functional dumps to measure stream sizes.
-    let mut ltape = TapeDrive::new(TapePerf::dlt7000(), 64 << 30);
-    let mut catalog = DumpCatalog::new();
-    let lout = dump(
-        &mut home.fs,
-        &mut ltape,
-        &mut catalog,
-        &DumpOptions::default(),
-    )
-    .expect("logical dump");
-    let mut ptape = TapeDrive::new(TapePerf::dlt7000(), 64 << 30);
-    let pout = image_dump_full(&mut home.fs, &mut ptape, "snap").expect("image dump");
-
-    let logical_bytes = lout.tape_bytes as f64 * factor;
-    let physical_bytes = pout.tape_bytes as f64 * factor;
-    // Head (maps + directories) is everything before the first file.
-    let head_bytes = lout
-        .profiler
-        .stage_named("dumping directories")
-        .map(|s| (s.tape_bytes as f64) * factor)
-        .unwrap_or(0.0);
-
-    println!("\nSingle-file (\"stupidity\") recovery cost, 188 GB home volume, 1 drive");
-    println!("{}", "-".repeat(86));
-    println!(
-        "{:<44} {:>18} {:>18}",
-        "file position on tape", "logical restore", "physical restore"
-    );
-    println!("{}", "-".repeat(86));
-    // Physical: the whole volume must come back first (tape-bound), no
-    // matter which file is wanted.
-    let physical_secs = physical_bytes / model.tape_rate;
-    for (label, frac) in [
-        ("first file after the directories", 0.0),
-        ("middle of the tape", 0.5),
-        ("last file on the tape", 1.0),
-    ] {
-        // Logical: read the head (maps + dirs), then scan forward to the
-        // file. Tape scan-at-speed; the extract itself is negligible.
-        let logical_secs = (head_bytes + frac * (logical_bytes - head_bytes)) / model.tape_rate;
-        println!(
-            "{:<44} {:>18} {:>18}",
-            label,
-            fmt_duration(logical_secs.max(30.0)),
-            fmt_duration(physical_secs)
-        );
-    }
-    println!("{}", "-".repeat(86));
-    println!(
-        "average asymmetry: {:.0}x — and snapshots (free, online) beat both for recent files",
-        physical_secs / ((head_bytes + 0.5 * (logical_bytes - head_bytes)) / model.tape_rate)
-    );
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("single_file_cost")
 }

@@ -1,108 +1,5 @@
-//! Demonstrates Table 1: block states for incremental image dump.
-//!
-//! Builds a small volume, takes snapshot A, churns, takes snapshot B,
-//! classifies every block per the paper's truth table, and verifies that
-//! the incremental dump set is exactly the "newly written" class.
+//! Thin shim: forwards to `bench table1`. See [`bench::runners::table1`].
 
-use blockdev::Block;
-use blockdev::DiskPerf;
-use raid::Volume;
-use raid::VolumeGeometry;
-use wafl::blkmap::Table1State;
-use wafl::types::Attrs;
-use wafl::types::FileType;
-use wafl::types::WaflConfig;
-use wafl::types::INO_ROOT;
-use wafl::Wafl;
-
-fn main() {
-    let vol = Volume::new(VolumeGeometry::uniform(1, 4, 8192, DiskPerf::ideal()));
-    let mut fs = Wafl::format(vol, WaflConfig::default()).expect("format");
-
-    // A dataset, then snapshot A (the full dump's anchor).
-    let d = fs
-        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
-        .unwrap();
-    let mut files = Vec::new();
-    for i in 0..40u64 {
-        let ino = fs
-            .create(d, &format!("f{i}"), FileType::File, Attrs::default())
-            .unwrap();
-        for b in 0..10 {
-            fs.write_fbn(ino, b, Block::Synthetic(i * 100 + b)).unwrap();
-        }
-        files.push(ino);
-    }
-    let a = fs.snapshot_create("A").unwrap();
-
-    // Churn: delete some, overwrite some, create some. Then snapshot B.
-    for &ino in &files[..10] {
-        let name = fs
-            .readdir(d)
-            .unwrap()
-            .into_iter()
-            .find(|(_, i)| *i == ino)
-            .map(|(n, _)| n)
-            .unwrap();
-        fs.remove(d, &name).unwrap();
-    }
-    for &ino in &files[10..20] {
-        for b in 0..5 {
-            fs.write_fbn(ino, b, Block::Synthetic(999_000 + ino as u64 * 10 + b))
-                .unwrap();
-        }
-    }
-    for i in 0..10u64 {
-        let ino = fs
-            .create(d, &format!("new{i}"), FileType::File, Attrs::default())
-            .unwrap();
-        for b in 0..10 {
-            fs.write_fbn(ino, b, Block::Synthetic(555_000 + i * 100 + b))
-                .unwrap();
-        }
-    }
-    let b = fs.snapshot_create("B").unwrap();
-
-    // Classify every block.
-    let map = fs.blkmap();
-    let mut counts = [0u64; 4];
-    for bno in 0..map.nblocks() {
-        let idx = match map.table1_state(bno, a, b) {
-            Table1State::NotInEither => 0,
-            Table1State::NewlyWritten => 1,
-            Table1State::Deleted => 2,
-            Table1State::Unchanged => 3,
-        };
-        counts[idx] += 1;
-    }
-
-    println!("Table 1: Block states for incremental image dump (A = full dump, B = incremental)");
-    println!("--------------------------------------------------------------------------------");
-    println!("Bit plane A  Bit plane B  Block state                                       count");
-    println!("--------------------------------------------------------------------------------");
-    println!(
-        "     0            0       not in either snapshot                        {:>10}",
-        counts[0]
-    );
-    println!(
-        "     0            1       newly written - include in incremental        {:>10}",
-        counts[1]
-    );
-    println!(
-        "     1            0       deleted, no need to include                   {:>10}",
-        counts[2]
-    );
-    println!(
-        "     1            1       needed, but not changed since full dump       {:>10}",
-        counts[3]
-    );
-    println!("--------------------------------------------------------------------------------");
-
-    // The incremental set must be exactly the NewlyWritten class.
-    let diff: Vec<u64> = map.iter_diff(b, a).collect();
-    assert_eq!(diff.len() as u64, counts[1], "B - A == newly written");
-    println!(
-        "verified: |B - A| = {} blocks = the 'newly written' class exactly",
-        diff.len()
-    );
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("table1")
 }

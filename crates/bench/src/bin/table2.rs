@@ -1,20 +1,5 @@
-//! Regenerates Table 2: basic backup/restore performance on one drive.
-//!
-//! Usage: `table2 [--scale F] [--seed N]` (scale 1.0 = the paper's 188 GB).
+//! Thin shim: forwards to `bench table2`. See [`bench::runners::table2`].
 
-use bench::calibrate::FilerModel;
-use bench::experiments::prepare;
-use bench::experiments::run_basic;
-use bench::tables::print_table2;
-
-fn main() {
-    obs::event::enable(obs::event::EventConfig::default());
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
-    let (mut home, runs) = prepare(scale, seed);
-    let basic = run_basic(&mut home, &runs, &FilerModel::f630());
-    print_table2(&basic);
-    let mut artifact = basic.obs;
-    artifact.experiment = "table2".into();
-    bench::obsout::emit(&artifact);
-    bench::obsout::emit_trace(&artifact, &basic.trace_events);
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("table2")
 }

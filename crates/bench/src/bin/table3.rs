@@ -1,26 +1,5 @@
-//! Regenerates Table 3: dump and restore stage details on one drive.
-//!
-//! Usage: `table3 [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench table3`. See [`bench::runners::table3`].
 
-use bench::calibrate::FilerModel;
-use bench::experiments::prepare;
-use bench::experiments::run_basic;
-use bench::tables::print_stage_table;
-use bench::tables::PAPER_TABLE3;
-
-fn main() {
-    obs::event::enable(obs::event::EventConfig::default());
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
-    let (mut home, runs) = prepare(scale, seed);
-    let basic = run_basic(&mut home, &runs, &FilerModel::f630());
-    print_stage_table(
-        "Table 3: Dump and Restore Details (188 GB home, 1 DLT drive)",
-        &basic.table3,
-        PAPER_TABLE3,
-        false,
-    );
-    let mut artifact = basic.obs;
-    artifact.experiment = "table3".into();
-    bench::obsout::emit(&artifact);
-    bench::obsout::emit_trace(&artifact, &basic.trace_events);
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("table3")
 }

@@ -1,27 +1,5 @@
-//! Regenerates Table 5: parallel backup/restore on 4 tape drives.
-//!
-//! Usage: `table5 [--scale F] [--seed N]`.
+//! Thin shim: forwards to `bench table5`. See [`bench::runners::table5`].
 
-use bench::calibrate::FilerModel;
-use bench::experiments::prepare;
-use bench::experiments::run_parallel;
-use bench::tables::print_parallel_summary;
-use bench::tables::print_stage_table;
-use bench::tables::PAPER_TABLE5;
-
-fn main() {
-    obs::event::enable(obs::event::EventConfig::default());
-    let (scale, seed) = bench::build::cli_scale_seed(1.0 / 32.0);
-    let (mut home, runs) = prepare(scale, seed);
-    let r = run_parallel(&mut home, &runs, &FilerModel::f630(), 4);
-    print_stage_table(
-        "Table 5: Parallel Backup and Restore Performance on 4 tape drives",
-        &r.rows,
-        PAPER_TABLE5,
-        true,
-    );
-    print_parallel_summary(&r);
-    let mut artifact = r.obs;
-    artifact.experiment = "table5".into();
-    bench::obsout::emit(&artifact);
+fn main() -> std::process::ExitCode {
+    bench::cli::shim("table5")
 }

@@ -8,8 +8,8 @@
 //! ratios, crossovers, scaling behaviour — must *emerge* from the solver.
 
 use backup_core::report::StageProfile;
-use simkit::fluid::ResourceId;
-use simkit::fluid::Stage;
+use simkit::prelude::ResourceId;
+use simkit::prelude::Stage;
 
 /// Bytes per MiB.
 const MIB: f64 = 1024.0 * 1024.0;
@@ -260,8 +260,8 @@ pub fn stage_to_fluid(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::fluid::FluidSim;
-    use simkit::fluid::Stream;
+    use simkit::prelude::FluidSim;
+    use simkit::prelude::Stream;
 
     /// Standard single-stream resource setup for these tests.
     fn ids(sim: &mut FluidSim, arms: f64) -> ResourceIds {

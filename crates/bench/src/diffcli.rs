@@ -1,0 +1,177 @@
+//! The perf-regression gate's command line: diffs observability
+//! artifacts against committed baselines (see [`crate::diff`]).
+//!
+//! ```text
+//! benchdiff [OPTIONS] NEW BASELINE      compare two artifact files
+//! benchdiff [OPTIONS] --dir DIR         compare every obs_<name>.json in
+//!                                       DIR against its BENCH_<name>.json
+//!
+//! --tolerance PCT   per-stage relative tolerance in percent (default 1.0)
+//! --bless           accept the drift: copy NEW over BASELINE and exit 0
+//! --json PATH       also write the report(s) as JSON (CI artifact)
+//! ```
+//!
+//! Exit status: 0 within tolerance (or blessed), 1 drift detected,
+//! 2 usage or I/O error.
+
+use std::path::Path;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use obs::Artifact;
+use obs::Json;
+
+use crate::diff::diff;
+use crate::diff::DiffOptions;
+use crate::diff::DiffReport;
+
+struct Cli {
+    tolerance_pct: f64,
+    bless: bool,
+    json_path: Option<PathBuf>,
+    dir: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        tolerance_pct: 1.0,
+        bless: false,
+        json_path: None,
+        dir: None,
+        files: Vec::new(),
+    };
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                cli.tolerance_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --tolerance value: {v}"))?;
+                if !cli.tolerance_pct.is_finite() || cli.tolerance_pct < 0.0 {
+                    return Err(format!("bad --tolerance value: {v}"));
+                }
+            }
+            "--bless" => cli.bless = true,
+            "--json" => {
+                let v = args.next().ok_or("--json needs a path")?;
+                cli.json_path = Some(PathBuf::from(v));
+            }
+            "--dir" => {
+                let v = args.next().ok_or("--dir needs a path")?;
+                cli.dir = Some(PathBuf::from(v));
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            other => cli.files.push(PathBuf::from(other)),
+        }
+    }
+    match (&cli.dir, cli.files.len()) {
+        (Some(_), 0) | (None, 2) => Ok(cli),
+        _ => Err("expected either NEW BASELINE or --dir DIR".into()),
+    }
+}
+
+fn load(path: &Path) -> Result<Artifact, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc =
+        Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    Artifact::from_json(&doc).map_err(|e| format!("{} is not an artifact: {e}", path.display()))
+}
+
+/// Compares one (new, baseline) pair; on `--bless` copies new over the
+/// baseline instead of judging. Returns the report unless blessed away.
+fn run_pair(
+    new_path: &Path,
+    base_path: &Path,
+    options: DiffOptions,
+    bless: bool,
+) -> Result<Option<DiffReport>, String> {
+    if bless {
+        std::fs::copy(new_path, base_path).map_err(|e| {
+            format!(
+                "cannot bless {} -> {}: {e}",
+                new_path.display(),
+                base_path.display()
+            )
+        })?;
+        eprintln!(
+            "[benchdiff] blessed {} from {}",
+            base_path.display(),
+            new_path.display()
+        );
+        return Ok(None);
+    }
+    let new = load(new_path)?;
+    let base = load(base_path)?;
+    let report = diff(&new, &base, options);
+    print!("{}", report.render());
+    Ok(Some(report))
+}
+
+/// `BENCH_<name>.json` baselines in `dir`, each paired with its
+/// `obs_<name>.json` sibling. `BENCH_wallclock.json` is the wall-clock
+/// trajectory record the timed CI job appends to, not an artifact
+/// baseline — skip it.
+fn dir_pairs(dir: &Path) -> Result<Vec<(PathBuf, PathBuf)>, String> {
+    let mut pairs = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix("BENCH_") {
+            if rest == "wallclock.json" {
+                continue;
+            }
+            pairs.push((dir.join(format!("obs_{rest}")), entry.path()));
+        }
+    }
+    pairs.sort();
+    if pairs.is_empty() {
+        return Err(format!("no BENCH_*.json baselines under {}", dir.display()));
+    }
+    Ok(pairs)
+}
+
+fn run_inner(args: &[String]) -> Result<bool, String> {
+    let cli = parse_cli(args)?;
+    let options = DiffOptions {
+        tolerance: cli.tolerance_pct / 100.0,
+        ..DiffOptions::default()
+    };
+    let pairs = match &cli.dir {
+        Some(dir) => dir_pairs(dir)?,
+        None => vec![(cli.files[0].clone(), cli.files[1].clone())],
+    };
+    let mut reports = Vec::new();
+    for (new_path, base_path) in &pairs {
+        if let Some(report) = run_pair(new_path, base_path, options, cli.bless)? {
+            reports.push(report);
+        }
+    }
+    let all_ok = reports.iter().all(DiffReport::ok);
+    if let Some(path) = &cli.json_path {
+        let doc = Json::Arr(reports.iter().map(DiffReport::to_json).collect());
+        let mut text = doc.render();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("[benchdiff] wrote {}", path.display());
+    }
+    Ok(all_ok)
+}
+
+/// Runs benchdiff on pre-split arguments, returning the process exit code.
+pub fn run(args: &[String]) -> ExitCode {
+    match run_inner(args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            eprintln!("usage: benchdiff [--tolerance PCT] [--bless] [--json PATH] (NEW BASELINE | --dir DIR)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -13,8 +13,8 @@ use backup_core::physical::dump::image_dump_full;
 use backup_core::physical::restore::image_restore;
 use backup_core::report::StageProfile;
 use raid::Volume;
-use simkit::fluid::FluidSim;
-use simkit::fluid::Stream;
+use simkit::prelude::FluidSim;
+use simkit::prelude::Stream;
 use simkit::units::MIB;
 use tape::TapeDrive;
 use tape::TapePerf;

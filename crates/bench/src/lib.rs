@@ -18,13 +18,22 @@
 //!    [`tables`] prints rows in the paper's format next to the paper's own
 //!    numbers.
 //!
-//! Binaries: `table1` … `table5`, `scaling`, `concurrent_volumes`, `all`.
+//! One binary drives everything: `bench <experiment>` (see [`cli`]),
+//! with `bench all --jobs N` running the whole matrix on a deterministic
+//! thread pool ([`pool`]) — every experiment on a fresh thread with
+//! virgin thread-local obs state, outputs printed in submission order,
+//! so parallel artifacts are byte-identical to serial ones. The old
+//! per-experiment binaries (`table2`, `chaos`, ...) remain as shims.
 
 pub mod build;
 pub mod calibrate;
+pub mod cli;
 pub mod diff;
+pub mod diffcli;
 pub mod experiments;
 pub mod obsout;
+pub mod pool;
+pub mod runners;
 pub mod tables;
 
 pub use build::BuiltVolume;

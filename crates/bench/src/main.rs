@@ -1,0 +1,7 @@
+//! The unified `bench` CLI: `bench <experiment>` subcommands, a parallel
+//! `bench all --jobs N`, a `bench chaos --seeds` matrix, and the
+//! `bench benchdiff` perf gate. See [`bench::cli`] for flags.
+
+fn main() -> std::process::ExitCode {
+    bench::cli::main_with_args(std::env::args().skip(1).collect())
+}

@@ -163,29 +163,39 @@ pub fn assemble_sim_only(experiment: &str, ops: &[(&'static str, &SimOp)]) -> ob
     }
 }
 
-/// Writes the artifact under `results/`, logging to stderr only (stdout is
+/// Writes the artifact under `dir`, logging to stderr only (stdout is
 /// reserved for the table text the acceptance checks diff).
-pub fn emit(artifact: &obs::Artifact) {
-    match artifact.write("results") {
+pub fn emit_to(dir: &std::path::Path, artifact: &obs::Artifact) {
+    match artifact.write(dir) {
         Ok(path) => eprintln!("[obs] wrote {}", path.display()),
         Err(e) => eprintln!("[obs] could not write artifact: {e}"),
     }
 }
 
-/// Writes `results/trace_<experiment>.json` — the Chrome/Perfetto trace
+/// Writes the artifact under `results/` (the default output directory).
+pub fn emit(artifact: &obs::Artifact) {
+    emit_to(std::path::Path::new("results"), artifact);
+}
+
+/// Writes `<dir>/trace_<experiment>.json` — the Chrome/Perfetto trace
 /// for the artifact plus its timed events.
-pub fn emit_trace(artifact: &obs::Artifact, events: &[TimedEvent]) {
+pub fn emit_trace_to(dir: &std::path::Path, artifact: &obs::Artifact, events: &[TimedEvent]) {
     let doc = obs::export::chrome_trace(
         &artifact.experiment,
         &artifact.spans,
         events,
         &artifact.timelines,
     );
-    let path = std::path::Path::new("results").join(format!("trace_{}.json", artifact.experiment));
+    let path = dir.join(format!("trace_{}.json", artifact.experiment));
     let mut text = doc.render();
     text.push('\n');
-    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, text)) {
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text)) {
         Ok(()) => eprintln!("[obs] wrote {}", path.display()),
         Err(e) => eprintln!("[obs] could not write trace: {e}"),
     }
+}
+
+/// Writes `results/trace_<experiment>.json` (the default output directory).
+pub fn emit_trace(artifact: &obs::Artifact, events: &[TimedEvent]) {
+    emit_trace_to(std::path::Path::new("results"), artifact, events);
 }

@@ -1,0 +1,99 @@
+//! A deterministic job pool for independent experiments.
+//!
+//! Every job runs on a **fresh** OS thread, never a recycled worker: the
+//! observability layer (event ring, metrics registry) is thread-local, so
+//! a fresh thread gives each experiment exactly the virgin obs state a
+//! standalone binary would see. Concurrency is capped by a counting
+//! semaphore; results come back in **submission order** regardless of the
+//! interleaving, so `--jobs 8` output is byte-identical to `--jobs 1`.
+
+use std::sync::Arc;
+use std::sync::Condvar;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One experiment to run: a display label plus the closure that produces
+/// its stdout text (artifacts are written by the closure itself).
+pub struct Job {
+    /// Subcommand-style label ("tables", "chaos seed=7", ...).
+    pub label: String,
+    /// The experiment body; runs on its own thread.
+    pub run: Box<dyn FnOnce() -> String + Send + 'static>,
+}
+
+/// One finished job, in submission order.
+pub struct JobResult {
+    /// The job's label, copied through.
+    pub label: String,
+    /// Everything the job would have printed to stdout.
+    pub output: String,
+    /// Wall-clock seconds the job took (measurement only — never part of
+    /// the deterministic output).
+    pub wall_secs: f64,
+}
+
+/// A counting semaphore (std has none): `acquire` blocks while the count
+/// is zero.
+struct Gate {
+    slots: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn acquire(&self) {
+        let mut slots = self.slots.lock().unwrap();
+        while *slots == 0 {
+            slots = self.cv.wait(slots).unwrap();
+        }
+        *slots -= 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Runs `jobs` with at most `njobs` in flight, returning results in
+/// submission order. Panics in a job propagate after all threads finish.
+pub fn run_jobs(jobs: Vec<Job>, njobs: usize) -> Vec<JobResult> {
+    let gate = Arc::new(Gate {
+        slots: Mutex::new(njobs.max(1)),
+        cv: Condvar::new(),
+    });
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .map(|job| {
+            let gate = Arc::clone(&gate);
+            let label = job.label;
+            let run = job.run;
+            let thread_label = label.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bench-{thread_label}"))
+                // Experiments recurse through real file-system code; give
+                // them the main thread's headroom, not the 2 MiB default.
+                .stack_size(8 << 20)
+                .spawn(move || {
+                    gate.acquire();
+                    let t0 = Instant::now();
+                    let output = run();
+                    let wall_secs = t0.elapsed().as_secs_f64();
+                    gate.release();
+                    (output, wall_secs)
+                })
+                .expect("spawn bench job");
+            (label, handle)
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|(label, handle)| {
+            let (output, wall_secs) = handle.join().expect("bench job panicked");
+            JobResult {
+                label,
+                output,
+                wall_secs,
+            }
+        })
+        .collect()
+}

@@ -71,8 +71,9 @@ pub const PAPER_TABLE2: &[(&str, f64)] = &[
     ("Physical Restore", 5.9 * HOUR),
 ];
 
-fn hline(width: usize) {
-    println!("{}", "-".repeat(width));
+fn hline(out: &mut String, width: usize) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", "-".repeat(width));
 }
 
 /// Renders Table 2 with measured and paper columns. Separated from the
@@ -131,18 +132,22 @@ pub fn print_table2(basic: &BasicResults) {
     print!("{}", render_table2(basic));
 }
 
-/// Prints a stage table (Tables 3–5) with the paper's numbers alongside.
-pub fn print_stage_table(
+/// Renders a stage table (Tables 3–5) with the paper's numbers alongside.
+pub fn render_stage_table(
     title: &str,
     rows: &[StageRow],
     paper: &[(&str, &str, f64, f64)],
     show_rates: bool,
-) {
-    println!("\n{title}");
+) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
     let width = if show_rates { 118 } else { 96 };
-    hline(width);
+    hline(&mut out, width);
     if show_rates {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:<30} {:>12} {:>6} {:>9} {:>9}   {:>12} {:>6}",
             "Operation",
             "Stage",
@@ -154,16 +159,17 @@ pub fn print_stage_table(
             "CPU"
         );
     } else {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:<30} {:>12} {:>6}   {:>12} {:>6}",
             "Operation", "Stage", "Elapsed", "CPU", "paper:Elapsed", "CPU"
         );
     }
-    hline(width);
+    hline(&mut out, width);
     let mut last_op = "";
     for row in rows {
         if row.op != last_op && !last_op.is_empty() {
-            println!();
+            let _ = writeln!(out);
         }
         last_op = row.op;
         let paper_cell = paper
@@ -174,7 +180,8 @@ pub fn print_stage_table(
             None => ("-".into(), "-".into()),
         };
         if show_rates {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:<18} {:<30} {:>12} {:>6} {:>9.1} {:>9.1}   {:>12} {:>6}",
                 row.op,
                 row.stage,
@@ -186,7 +193,8 @@ pub fn print_stage_table(
                 pc
             );
         } else {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:<18} {:<30} {:>12} {:>6}   {:>12} {:>6}",
                 row.op,
                 row.stage,
@@ -197,12 +205,27 @@ pub fn print_stage_table(
             );
         }
     }
-    hline(width);
+    hline(&mut out, width);
+    out
 }
 
-/// Prints the parallel summary line (the §5.2 totals).
-pub fn print_parallel_summary(r: &ParallelResults) {
-    println!(
+/// Prints a stage table (Tables 3–5) with the paper's numbers alongside.
+pub fn print_stage_table(
+    title: &str,
+    rows: &[StageRow],
+    paper: &[(&str, &str, f64, f64)],
+    show_rates: bool,
+) {
+    print!("{}", render_stage_table(title, rows, paper, show_rates));
+}
+
+/// Renders the parallel summary line (the §5.2 totals).
+pub fn render_parallel_summary(r: &ParallelResults) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "\nSummary ({} drives): logical backup {:.1} GB/h ({:.1}/tape), physical backup {:.1} GB/h ({:.1}/tape)",
         r.n_drives,
         r.logical_gb_h,
@@ -211,32 +234,59 @@ pub fn print_parallel_summary(r: &ParallelResults) {
         r.physical_gb_h / r.n_drives as f64
     );
     if r.n_drives == 4 {
-        println!("paper: logical 69.6 GB/h (17.4/tape), physical 110 GB/h (27.6/tape)");
+        let _ = writeln!(
+            out,
+            "paper: logical 69.6 GB/h (17.4/tape), physical 110 GB/h (27.6/tape)"
+        );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "restores: logical {} / physical {}",
         fmt_duration(r.logical_restore_elapsed),
         fmt_duration(r.physical_restore_elapsed)
     );
+    out
 }
 
-/// Prints the scaling sweep (§5.3 / the summary "figure").
-pub fn print_scaling(points: &[ScalePoint]) {
-    println!("\nScaling of backup throughput with tape drives (the §5.3 comparison)");
-    hline(64);
-    println!(
+/// Prints the parallel summary line (the §5.2 totals).
+pub fn print_parallel_summary(r: &ParallelResults) {
+    print!("{}", render_parallel_summary(r));
+}
+
+/// Renders the scaling sweep (§5.3 / the summary "figure").
+pub fn render_scaling(points: &[ScalePoint]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\nScaling of backup throughput with tape drives (the §5.3 comparison)"
+    );
+    hline(&mut out, 64);
+    let _ = writeln!(
+        out,
         "{:<10} {:>7} {:>12} {:>14}",
         "strategy", "drives", "GB/hour", "GB/hour/tape"
     );
-    hline(64);
+    hline(&mut out, 64);
     for p in points {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<10} {:>7} {:>12.1} {:>14.1}",
             p.strategy, p.drives, p.gb_h, p.per_tape
         );
     }
-    hline(64);
-    println!("paper anchors: physical 30.3 GB/h @1 drive -> 110 @4; logical 25.4 @1 -> 69.6 @4");
+    hline(&mut out, 64);
+    let _ = writeln!(
+        out,
+        "paper anchors: physical 30.3 GB/h @1 drive -> 110 @4; logical 25.4 @1 -> 69.6 @4"
+    );
+    out
+}
+
+/// Prints the scaling sweep (§5.3 / the summary "figure").
+pub fn print_scaling(points: &[ScalePoint]) {
+    print!("{}", render_scaling(points));
 }
 
 #[cfg(test)]

@@ -60,6 +60,29 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Toggles `seed`'s membership in a sorted odd-count seed list (XOR in the
+/// seed algebra: a second contribution cancels the first).
+fn toggle_seed(seeds: &mut Vec<u64>, seed: u64) {
+    match seeds.binary_search(&seed) {
+        Ok(i) => {
+            seeds.remove(i);
+        }
+        Err(i) => seeds.insert(i, seed),
+    }
+}
+
+/// XORs `src` into the literal residue, materializing it on first use.
+fn xor_literal(dst: &mut Option<Box<[u8; BLOCK_SIZE]>>, src: &[u8; BLOCK_SIZE]) {
+    match dst {
+        Some(d) => {
+            for (a, b) in d.iter_mut().zip(src.iter()) {
+                *a ^= b;
+            }
+        }
+        None => *dst = Some(Box::new(*src)),
+    }
+}
+
 /// SplitMix64 step, used to expand synthetic seeds.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -120,54 +143,51 @@ impl Block {
     /// (so `a.xor(&a)` is [`Block::Zero`] without touching bytes); literal
     /// contributions accumulate into the residue.
     pub fn xor(&self, other: &Block) -> Block {
-        let (mut seeds, lit_a) = self.decompose();
-        let (seeds_b, lit_b) = other.decompose();
-        seeds.extend(seeds_b);
-        seeds.sort_unstable();
-        // Keep seeds that appear an odd number of times.
-        let mut odd: Vec<u64> = Vec::with_capacity(seeds.len());
-        let mut i = 0;
-        while i < seeds.len() {
-            let mut j = i;
-            while j < seeds.len() && seeds[j] == seeds[i] {
-                j += 1;
-            }
-            if (j - i) % 2 == 1 {
-                odd.push(seeds[i]);
-            }
-            i = j;
-        }
-        let literal = match (lit_a, lit_b) {
-            (None, None) => None,
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (Some(mut a), Some(b)) => {
-                for (dst, src) in a.iter_mut().zip(b.iter()) {
-                    *dst ^= src;
-                }
-                Some(a)
-            }
-        };
-        let literal = literal.filter(|l| l.iter().any(|&x| x != 0));
-        match (odd.len(), literal) {
-            (0, None) => Block::Zero,
-            (1, None) => Block::Synthetic(odd[0]),
-            (0, Some(l)) => Block::Bytes(l),
-            (_, literal) => Block::Xor(Box::new(XorRep {
-                seeds: odd,
-                literal,
-            })),
-        }
+        let mut out = self.clone();
+        out.xor_in_place(other);
+        out
     }
 
-    /// Splits a block into (seed multiset, literal residue).
-    fn decompose(&self) -> (Vec<u64>, Option<Box<[u8; BLOCK_SIZE]>>) {
-        match self {
-            Block::Zero => (Vec::new(), None),
-            Block::Synthetic(seed) => (vec![*seed], None),
-            Block::Bytes(b) => (Vec::new(), Some(b.clone())),
-            Block::Xor(rep) => (rep.seeds.clone(), rep.literal.clone()),
+    /// XORs `other` into `self`, reusing `self`'s literal residue buffer.
+    ///
+    /// Semantically identical to `*self = self.xor(other)`, but a parity
+    /// accumulator that is already `Bytes` (or `Xor` with a residue) keeps
+    /// its 4 KiB allocation hot instead of cloning both operands' literals
+    /// on every update — the dominant cost of the RAID write path. The
+    /// result is canonical exactly as [`Block::xor`] produces.
+    pub fn xor_in_place(&mut self, other: &Block) {
+        if matches!(other, Block::Zero) {
+            return;
         }
+        // Take self apart without copying its literal.
+        let (mut seeds, mut literal) = match std::mem::replace(self, Block::Zero) {
+            Block::Zero => (Vec::new(), None),
+            Block::Synthetic(seed) => (vec![seed], None),
+            Block::Bytes(b) => (Vec::new(), Some(b)),
+            Block::Xor(rep) => (rep.seeds, rep.literal),
+        };
+        // Fold `other` in. Both operands are canonical (seeds sorted,
+        // odd-count only), so per-seed toggling preserves that invariant.
+        match other {
+            Block::Zero => {}
+            Block::Synthetic(seed) => toggle_seed(&mut seeds, *seed),
+            Block::Bytes(b) => xor_literal(&mut literal, b),
+            Block::Xor(rep) => {
+                for &seed in &rep.seeds {
+                    toggle_seed(&mut seeds, seed);
+                }
+                if let Some(lit) = &rep.literal {
+                    xor_literal(&mut literal, lit);
+                }
+            }
+        }
+        let literal = literal.filter(|l| l.iter().any(|&x| x != 0));
+        *self = match (seeds.len(), literal) {
+            (0, None) => Block::Zero,
+            (1, None) => Block::Synthetic(seeds[0]),
+            (0, Some(l)) => Block::Bytes(l),
+            (_, literal) => Block::Xor(Box::new(XorRep { seeds, literal })),
+        };
     }
 
     /// FNV-1a digest of the materialized content.

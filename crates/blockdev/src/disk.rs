@@ -104,6 +104,19 @@ impl SimDisk {
         &mut self.faults
     }
 
+    /// Representation-level access to a stored block: no service-time
+    /// model, no fault injection, no stats. For maintenance passes that
+    /// fix up *how* content is stored (e.g. the RAID layer materializing
+    /// lazily-kept parity), never for simulated IO.
+    pub fn peek(&self, bno: Bno) -> &Block {
+        &self.blocks[bno as usize]
+    }
+
+    /// Representation-level store; see [`SimDisk::peek`].
+    pub fn poke(&mut self, bno: Bno, block: Block) {
+        self.blocks[bno as usize] = block;
+    }
+
     /// Simulates whole-device failure: every subsequent access returns
     /// [`DevError::Offline`]. The payloads are destroyed, as when swapping
     /// in a replacement drive.

@@ -66,25 +66,6 @@ impl FaultPlan {
         }
     }
 
-    /// Makes every future read of `bno` fail with an I/O error.
-    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
-    pub fn fail_read(&mut self, bno: Bno) {
-        self.read_errors.insert(bno);
-    }
-
-    /// Makes every future write of `bno` fail with an I/O error.
-    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
-    pub fn fail_write(&mut self, bno: Bno) {
-        self.write_errors.insert(bno);
-    }
-
-    /// Makes future reads of `bno` return silently corrupted data (the
-    /// payload is replaced by a synthetic block derived from `salt`).
-    #[deprecated(note = "program faults through FaultPlan::arm with a simkit::faults::FaultSpec")]
-    pub fn corrupt(&mut self, bno: Bno, salt: u64) {
-        self.corruptions.insert(bno, salt);
-    }
-
     /// Clears all programmed faults and disarms probabilistic injection.
     pub fn clear(&mut self) {
         self.read_errors.clear();
@@ -150,45 +131,59 @@ impl FaultPlan {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
     use crate::device::BlockDevice;
     use crate::disk::DiskPerf;
     use crate::disk::SimDisk;
     use crate::error::DevError;
 
+    fn arm_spec(plan: &mut FaultPlan, spec: &simkit::faults::FaultSpec, seed: u64) {
+        plan.arm(&spec.disk, SimRng::seed_from_u64(seed));
+    }
+
     #[test]
     fn read_fault_surfaces_as_io_error() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_fail_read(2)
+            .build();
         let mut d = SimDisk::new(4, DiskPerf::ideal());
-        d.faults_mut().fail_read(2);
+        arm_spec(d.faults_mut(), &spec, 0);
         assert_eq!(d.read(2), Err(DevError::Io { bno: 2 }));
         assert!(d.read(1).is_ok());
     }
 
     #[test]
     fn write_fault_surfaces_as_io_error() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_fail_write(3)
+            .build();
         let mut d = SimDisk::new(4, DiskPerf::ideal());
-        d.faults_mut().fail_write(3);
+        arm_spec(d.faults_mut(), &spec, 0);
         assert_eq!(d.write(3, Block::Zero), Err(DevError::Io { bno: 3 }));
         assert!(d.write(0, Block::Zero).is_ok());
     }
 
     #[test]
     fn silent_corruption_changes_content() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_corrupt(1, 999)
+            .build();
         let mut d = SimDisk::new(4, DiskPerf::ideal());
         d.write(1, Block::Synthetic(10)).unwrap();
-        d.faults_mut().corrupt(1, 999);
+        arm_spec(d.faults_mut(), &spec, 0);
         let got = d.read(1).unwrap();
         assert!(!got.same_content(&Block::Synthetic(10)));
     }
 
     #[test]
     fn clear_removes_all_faults() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_fail_read(1)
+            .disk_fail_write(2)
+            .disk_corrupt(3, 4)
+            .build();
         let mut plan = FaultPlan::default();
-        plan.fail_read(1);
-        plan.fail_write(2);
-        plan.corrupt(3, 4);
+        arm_spec(&mut plan, &spec, 0);
         assert!(!plan.is_empty());
         plan.clear();
         assert!(plan.is_empty());

@@ -154,9 +154,7 @@ impl RestartableImageDump {
         // The list is deterministic given the snapshot, so a resume
         // recomputes it identically and skips the finished prefix.
         let mut block_span = profiler.stage("dumping blocks", fs);
-        let used: Vec<u64> = (0..fs.blkmap().nblocks())
-            .filter(|&b| !fs.blkmap().is_free(b))
-            .collect();
+        let used: Vec<u64> = fs.blkmap().iter_used().collect();
         let resumed = resume.is_some();
         let (start, mut blocks_written) = match resume {
             Some(c) => {

@@ -51,11 +51,11 @@ pub fn image_dump_incremental(
     // (without them the restored volume would mount as of the base).
     let mut block_span = profiler.stage("dumping blocks", fs);
     let mut diff: Vec<u64> = wafl::ondisk::FSINFO_BLOCKS.to_vec();
-    diff.extend((0..fs.blkmap().nblocks()).filter(|&b| {
-        !wafl::ondisk::FSINFO_BLOCKS.contains(&b)
-            && !fs.blkmap().is_free(b)
-            && !fs.blkmap().in_snapshot(b, base_id)
-    }));
+    diff.extend(
+        fs.blkmap()
+            .iter_used_not_in(base_id)
+            .filter(|b| !wafl::ondisk::FSINFO_BLOCKS.contains(b)),
+    );
     drive.write_record(
         ImageRecord::Header {
             incremental: true,

@@ -6,7 +6,7 @@
 //! all intervals" — the form a plotting script or the JSON artifact wants —
 //! and normalizes usage to utilization (fraction of capacity).
 
-use simkit::fluid::Trace;
+use simkit::prelude::Trace;
 
 /// One constant-utilization segment.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,9 +93,9 @@ pub fn timelines_from_trace(trace: &Trace) -> Vec<UtilizationTimeline> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::fluid::FluidSim;
-    use simkit::fluid::Stage;
-    use simkit::fluid::Stream;
+    use simkit::prelude::FluidSim;
+    use simkit::prelude::Stage;
+    use simkit::prelude::Stream;
 
     #[test]
     fn timelines_match_trace_utilization() {

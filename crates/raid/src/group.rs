@@ -91,6 +91,18 @@ pub struct Raid4Group {
     lost: bool,
     /// Retry policy for transient member faults (None = no retries).
     retry: Option<RetryPolicy>,
+    /// While true, parity *content* is not maintained — only the parity
+    /// IO traffic is simulated. A healthy, un-faulted group's parity is a
+    /// pure function of its data members (XOR), so the bytes can be
+    /// recomputed on demand; skipping the upkeep avoids materializing a
+    /// 4 KiB XOR residue for every stripe that ever hosted a literal
+    /// (metadata) block, which dominated host memory at paper scales.
+    /// Any path that can observe parity content or break the invariant
+    /// (fault arming via [`Raid4Group::disk_mut`], member failure, scrub,
+    /// reconstruction) first calls [`Raid4Group::materialize_parity`],
+    /// which rebuilds the exact bytes eager upkeep would have produced
+    /// and drops to eager mode for the rest of the group's life.
+    lazy_parity: bool,
 }
 
 impl Raid4Group {
@@ -112,6 +124,35 @@ impl Raid4Group {
             failed: None,
             lost: false,
             retry: None,
+            lazy_parity: true,
+        }
+    }
+
+    /// Switches from lazy to eager parity, first rebuilding every stripe's
+    /// parity bytes from the raw data-member state. Representation-level
+    /// only (peek/poke): no service time, no events, no stats — in eager
+    /// mode this content would already be present, so the catch-up must be
+    /// invisible to every meter. The cached write-back slot is fixed up
+    /// too, since all its stripe's data writes have already landed.
+    fn materialize_parity(&mut self) {
+        if !self.lazy_parity {
+            return;
+        }
+        self.lazy_parity = false;
+        for offset in 0..self.blocks_per_disk {
+            let mut acc = Block::Zero;
+            for d in &self.data {
+                acc.xor_in_place(d.peek(offset));
+            }
+            if let Some(p) = &self.pending {
+                if p.stripe == offset {
+                    self.pending = Some(PendingParity {
+                        stripe: offset,
+                        parity: acc.clone(),
+                    });
+                }
+            }
+            self.parity.poke(offset, acc);
         }
     }
 
@@ -225,8 +266,13 @@ impl Raid4Group {
                 parity,
             });
         }
-        if let Some(p) = self.pending.as_mut() {
-            p.parity = p.parity.xor(&old).xor(&block);
+        // Parity content upkeep (skipped while lazy: the traffic above is
+        // still simulated, the bytes are recomputable on demand).
+        if !self.lazy_parity {
+            if let Some(p) = self.pending.as_mut() {
+                p.parity.xor_in_place(&old);
+                p.parity.xor_in_place(&block);
+            }
         }
 
         match write_member(&mut self.data[disk], offset, block, self.retry) {
@@ -264,6 +310,7 @@ impl Raid4Group {
     /// Reconstructs the content of (`disk`, `offset`) from parity and the
     /// surviving members.
     fn reconstruct_block(&mut self, disk: usize, offset: u64) -> Result<Block, RaidError> {
+        self.materialize_parity();
         // The cached parity must be on the spindle before we trust it.
         if self
             .pending
@@ -299,6 +346,7 @@ impl Raid4Group {
         if disk > self.data.len() {
             return Err(RaidError::NoSuchDisk { disk });
         }
+        self.materialize_parity();
         if let Some(already) = self.failed {
             if already != disk {
                 self.lost = true;
@@ -330,6 +378,7 @@ impl Raid4Group {
         if self.lost {
             return Err(RaidError::TooManyFailures { group: 0 });
         }
+        self.materialize_parity();
         let Some(disk) = self.failed else {
             return Ok(());
         };
@@ -371,6 +420,7 @@ impl Raid4Group {
 
     /// Verifies parity for every stripe; returns the number of bad stripes.
     pub fn scrub(&mut self) -> Result<u64, RaidError> {
+        self.materialize_parity();
         self.flush()?;
         obs::counter("raid.scrubs").inc();
         let mut bad = 0;
@@ -411,7 +461,11 @@ impl Raid4Group {
     }
 
     /// Fault-injection access to a member (data disks first, parity last).
+    /// Handing out a member implies faults may be armed on it, after which
+    /// the lazy-parity invariant (content ≡ raw XOR of members) can break
+    /// — so parity goes eager first.
     pub fn disk_mut(&mut self, disk: usize) -> Result<&mut SimDisk, RaidError> {
+        self.materialize_parity();
         if disk < self.data.len() {
             Ok(&mut self.data[disk])
         } else if disk == self.data.len() {
@@ -544,14 +598,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn scrub_detects_silent_corruption() {
+        let spec = simkit::faults::FaultSpec::builder()
+            .disk_corrupt(0, 0xbad)
+            .build();
         let mut g = group();
         for bno in 0..16 {
             g.write(bno, Block::Synthetic(bno)).unwrap();
         }
         g.flush().unwrap();
-        g.disk_mut(1).unwrap().faults_mut().corrupt(0, 0xbad);
+        g.disk_mut(1)
+            .unwrap()
+            .faults_mut()
+            .arm(&spec.disk, simkit::rng::SimRng::seed_from_u64(0));
         assert!(g.scrub().unwrap() > 0);
     }
 

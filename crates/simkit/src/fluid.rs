@@ -293,7 +293,7 @@ pub fn work_fraction_time(t0: f64, t1: f64, frac: f64) -> f64 {
 }
 
 /// The simulation builder and engine.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FluidSim {
     resources: Vec<Resource>,
     streams: Vec<Stream>,
@@ -301,6 +301,50 @@ pub struct FluidSim {
 
 /// Relative tolerance for capacity exhaustion and completion tests.
 const EPS: f64 = 1e-9;
+
+/// Bit-exact signature of one active stage's rate-relevant inputs: its
+/// demand vector and rate cap. Work amounts are deliberately absent —
+/// the fair-share allocation does not depend on how much work is left,
+/// only on who is demanding what.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct StageSig {
+    demands: Vec<(usize, u64)>,
+    cap: Option<u64>,
+}
+
+impl StageSig {
+    fn of(stage: &Stage) -> StageSig {
+        StageSig {
+            demands: stage
+                .demands
+                .iter()
+                .map(|&(rid, d)| (rid.0, d.to_bits()))
+                .collect(),
+            cap: stage.rate_cap.map(f64::to_bits),
+        }
+    }
+}
+
+/// Cache of solved rate allocations, keyed by the active streams' demand
+/// signatures (in active order). Two solver steps whose active stages
+/// carry bit-identical demand vectors receive bit-identical rates, so a
+/// hit returns exactly what a fresh progressive-filling solve would.
+#[derive(Debug, Default)]
+struct RateCache {
+    map: std::collections::BTreeMap<Vec<StageSig>, Vec<f64>>,
+}
+
+/// Counters describing how much solving the incremental [`Solver`]
+/// avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Event-loop steps that needed a rate allocation.
+    pub steps: u64,
+    /// Full progressive-filling solves performed.
+    pub solves: u64,
+    /// Steps served from the rate cache without re-solving.
+    pub reused: u64,
+}
 
 impl FluidSim {
     /// Creates an empty simulation.
@@ -323,11 +367,46 @@ impl FluidSim {
         StreamId(self.streams.len() - 1)
     }
 
+    /// Replaces the work amount of one stage. No-op when the stream or
+    /// stage index is out of range.
+    pub fn set_stage_work(&mut self, stream: StreamId, stage: usize, work: f64) {
+        if let Some(st) = self
+            .streams
+            .get_mut(stream.0)
+            .and_then(|s| s.stages.get_mut(stage))
+        {
+            st.work = work;
+        }
+    }
+
     /// Runs the simulation to completion.
     ///
     /// Returns the full [`Trace`], or an error if some stage can never make
-    /// progress.
+    /// progress. Thin compatibility wrapper over [`Solver`]: one-shot
+    /// callers get from-scratch behaviour, callers that re-solve the same
+    /// model (calibration sweeps, what-if scans) should hold a `Solver`
+    /// and let its rate cache absorb the repeated work.
     pub fn run(&self) -> Result<Trace, FluidError> {
+        let mut cache = RateCache::default();
+        let mut stats = SolverStats::default();
+        self.solve_with(&mut cache, &mut stats, false)
+    }
+
+    /// Moves the model into an incremental [`Solver`] handle.
+    pub fn into_solver(self) -> Solver {
+        Solver::new(self)
+    }
+
+    /// The event loop shared by [`FluidSim::run`] and [`Solver::solve`]:
+    /// advances from stage boundary to stage boundary, asking `cache` (when
+    /// `caching`) or a fresh progressive-filling solve for the rate
+    /// allocation of each constant-rate interval.
+    fn solve_with(
+        &self,
+        cache: &mut RateCache,
+        stats: &mut SolverStats,
+        caching: bool,
+    ) -> Result<Trace, FluidError> {
         // Validate demands refer to known resources.
         for stream in &self.streams {
             for stage in &stream.stages {
@@ -411,8 +490,33 @@ impl FluidSim {
                 continue;
             }
 
-            // Compute max-min fair rates for active streams.
-            let rates = self.fair_rates(&active, &stage_idx, n_res)?;
+            // Compute max-min fair rates for active streams: from the
+            // cache when an identical demand vector was already solved,
+            // from scratch otherwise. `fair_rates` is a pure function of
+            // the active demand signatures and the resource table, so a
+            // cache hit is bit-identical to re-solving.
+            stats.steps += 1;
+            let key: Vec<StageSig> = active
+                .iter()
+                .map(|&i| StageSig::of(&self.streams[i].stages[stage_idx[i]]))
+                .collect();
+            let rates = if caching {
+                match cache.map.get(&key) {
+                    Some(r) => {
+                        stats.reused += 1;
+                        r.clone()
+                    }
+                    None => {
+                        stats.solves += 1;
+                        let r = self.fair_rates(&active, &stage_idx, n_res)?;
+                        cache.map.insert(key, r.clone());
+                        r
+                    }
+                }
+            } else {
+                stats.solves += 1;
+                self.fair_rates(&active, &stage_idx, n_res)?
+            };
 
             // Time to next event: earliest stage completion or arrival.
             let mut dt = f64::INFINITY;
@@ -632,6 +736,95 @@ impl FluidSim {
             }
         }
         Ok(rate)
+    }
+}
+
+/// Incremental solver handle: owns the model plus the rate state solved
+/// so far, and only re-solves when the demand vector actually changes.
+///
+/// [`FluidSim::run`] rebuilds every rate allocation from scratch on every
+/// call. A `Solver` keeps the progressive-filling results keyed by the
+/// active demand signatures, so repeated solves of the same model — or of
+/// variants that only change *work amounts* (calibration sweeps, what-if
+/// scans over volume sizes) — skip straight to the cached rates. Cache
+/// hits are bit-identical to fresh solves: the allocation depends only on
+/// who demands what, never on how much work remains.
+#[derive(Debug)]
+pub struct Solver {
+    sim: FluidSim,
+    cache: RateCache,
+    stats: SolverStats,
+    caching: bool,
+}
+
+impl Solver {
+    /// Wraps a model in a solver with rate caching enabled.
+    pub fn new(sim: FluidSim) -> Solver {
+        Solver {
+            sim,
+            cache: RateCache::default(),
+            stats: SolverStats::default(),
+            caching: true,
+        }
+    }
+
+    /// Turns rate caching on or off (on by default). Off makes every
+    /// [`Solver::solve`] behave exactly like [`FluidSim::run`].
+    pub fn set_caching(&mut self, on: bool) {
+        self.caching = on;
+    }
+
+    /// Read access to the wrapped model.
+    pub fn sim(&self) -> &FluidSim {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped model for arbitrary edits. Drops the
+    /// whole rate cache, because demands or capacities may change under
+    /// it; prefer the targeted mutators when they fit.
+    pub fn sim_mut(&mut self) -> &mut FluidSim {
+        self.cache.map.clear();
+        &mut self.sim
+    }
+
+    /// Registers a new stream. Keeps the cache: solved rate allocations
+    /// are keyed by demand signature, and a new stream only introduces new
+    /// signatures.
+    pub fn push_stream(&mut self, stream: Stream) -> StreamId {
+        self.sim.add_stream(stream)
+    }
+
+    /// Registers a new resource. Keeps the cache: existing demand vectors
+    /// cannot reference a resource that did not exist when they were
+    /// solved, and the allocation for them is unaffected by idle capacity.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        self.sim.add_resource(name, capacity)
+    }
+
+    /// Replaces the work amount of one stage without touching the rate
+    /// cache — work only changes *when* stage boundaries happen, not the
+    /// rates between them. This is the cheap edit for calibration loops.
+    ///
+    /// No-op if the stream or stage index is out of range.
+    pub fn set_stage_work(&mut self, stream: StreamId, stage: usize, work: f64) {
+        self.sim.set_stage_work(stream, stage, work);
+    }
+
+    /// Runs the model to completion, reusing every rate allocation whose
+    /// demand vector was already solved by this handle.
+    pub fn solve(&mut self) -> Result<Trace, FluidError> {
+        let Solver {
+            sim,
+            cache,
+            stats,
+            caching,
+        } = self;
+        sim.solve_with(cache, stats, *caching)
+    }
+
+    /// Counters of solves performed and avoided since construction.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -918,6 +1111,123 @@ mod tests {
         let trace = sim.run().unwrap();
         assert!((trace.stage(s, "empty").unwrap().elapsed()).abs() < 1e-9);
         assert!((trace.stage(s, "real").unwrap().t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_matches_run_and_reuses_rates() {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let tape = sim.add_resource("tape", 8.0);
+        for i in 0..4 {
+            sim.add_stream(Stream {
+                name: format!("s{i}"),
+                start_at: i as f64 * 0.5,
+                stages: vec![
+                    Stage::new("a", 30.0, vec![(tape, 1.0), (cpu, 0.02)]),
+                    Stage::new("b", 10.0, vec![(cpu, 0.08)]),
+                ],
+            });
+        }
+        let fresh = sim.run().unwrap();
+        let mut solver = sim.into_solver();
+        let first = solver.solve().unwrap();
+        let after_first = solver.stats();
+        let second = solver.solve().unwrap();
+        // Bit-identical traces, whether solved from scratch or cached.
+        for (x, y) in [(&fresh, &first), (&first, &second)] {
+            assert_eq!(x.intervals.len(), y.intervals.len());
+            for (a, b) in x.intervals.iter().zip(&y.intervals) {
+                assert_eq!(a.t0.to_bits(), b.t0.to_bits());
+                assert_eq!(a.t1.to_bits(), b.t1.to_bits());
+                let same = a
+                    .usage
+                    .iter()
+                    .zip(&b.usage)
+                    .all(|(u, v)| u.to_bits() == v.to_bits());
+                assert!(same, "usage vectors diverged");
+            }
+            assert_eq!(x.stages.len(), y.stages.len());
+            for (a, b) in x.stages.iter().zip(&y.stages) {
+                assert_eq!(a.t0.to_bits(), b.t0.to_bits());
+                assert_eq!(a.t1.to_bits(), b.t1.to_bits());
+            }
+        }
+        // The second solve re-used every allocation: not one new solve.
+        let stats = solver.stats();
+        assert_eq!(stats.solves, after_first.solves);
+        assert_eq!(
+            stats.reused - after_first.reused,
+            stats.steps - after_first.steps
+        );
+    }
+
+    #[test]
+    fn solver_work_edit_keeps_cache_and_stays_correct() {
+        let (mut sim, r) = one_resource_sim(10.0);
+        let a = sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(r, 1.0)])],
+        });
+        let b = sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 100.0, vec![(r, 1.0)])],
+        });
+        let mut solver = sim.into_solver();
+        solver.solve().unwrap();
+        let solves_before = solver.stats().solves;
+        // Double a's work: rates are unchanged, only boundaries move.
+        solver.set_stage_work(a, 0, 100.0);
+        let trace = solver.solve().unwrap();
+        assert_eq!(solver.stats().solves, solves_before, "work edit re-solved");
+        // Equal works now: both share 5/s and finish together at t=20.
+        assert!((trace.stage(a, "w").unwrap().t1 - 20.0).abs() < 1e-6);
+        assert!((trace.stage(b, "w").unwrap().t1 - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_push_stream_solves_only_new_demand_vectors() {
+        let (mut sim, r) = one_resource_sim(10.0);
+        sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(r, 1.0)])],
+        });
+        let mut solver = sim.into_solver();
+        solver.solve().unwrap();
+        // An identical second stream arriving later: the solo allocation
+        // is already cached, only the shared configuration is new.
+        solver.push_stream(Stream {
+            name: "b".into(),
+            start_at: 1.0,
+            stages: vec![Stage::new("w", 50.0, vec![(r, 1.0)])],
+        });
+        let before = solver.stats();
+        let trace = solver.solve().unwrap();
+        let after = solver.stats();
+        assert!(after.reused > before.reused, "solo rates were not reused");
+        assert_eq!(after.solves - before.solves, 1, "expected one new solve");
+        // a: 1 s alone (10 done) then 8 s at 5/s -> t=9; b finishes its
+        // last 10 units alone at 10/s -> t=10.
+        assert!((trace.makespan() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_caching_toggle_disables_reuse() {
+        let (mut sim, r) = one_resource_sim(1.0);
+        sim.add_stream(Stream {
+            name: "s".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 2.0, vec![(r, 1.0)])],
+        });
+        let mut solver = sim.into_solver();
+        solver.set_caching(false);
+        solver.solve().unwrap();
+        solver.solve().unwrap();
+        let stats = solver.stats();
+        assert_eq!(stats.reused, 0);
+        assert_eq!(stats.solves, stats.steps);
     }
 
     #[test]

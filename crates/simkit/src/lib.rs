@@ -28,3 +28,19 @@ pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod units;
+
+/// The names almost every consumer of the toolkit wants in scope: the
+/// fluid model types and the deterministic RNG. `use simkit::prelude::*;`
+/// replaces the half-dozen `use simkit::fluid::...` lines that repeated
+/// across the workspace.
+pub mod prelude {
+    pub use crate::fluid::FluidSim;
+    pub use crate::fluid::ResourceId;
+    pub use crate::fluid::Solver;
+    pub use crate::fluid::SolverStats;
+    pub use crate::fluid::Stage;
+    pub use crate::fluid::Stream;
+    pub use crate::fluid::StreamId;
+    pub use crate::fluid::Trace;
+    pub use crate::rng::SimRng;
+}

@@ -1,10 +1,11 @@
 //! Randomized tests for the fluid solver: conservation laws that must hold
 //! for every random workload, driven by a deterministic seeded generator.
 
-use simkit::fluid::FluidSim;
-use simkit::fluid::Stage;
-use simkit::fluid::Stream;
-use simkit::rng::SimRng;
+use simkit::prelude::FluidSim;
+use simkit::prelude::SimRng;
+use simkit::prelude::Stage;
+use simkit::prelude::Stream;
+use simkit::prelude::Trace;
 
 /// A random stage over up to three resources: (work, demands).
 type StageSpec = (f64, Vec<(usize, f64)>);
@@ -108,4 +109,119 @@ fn conservation_laws_hold() {
         let last = trace.stages.iter().map(|s| s.t1).fold(0.0, f64::max);
         assert!((trace.makespan() - last).abs() < 1e-9, "case {case}");
     }
+}
+
+/// Asserts two traces are bit-for-bit identical: every interval boundary,
+/// usage vector, and stage record down to the f64 bit patterns.
+fn assert_traces_bit_identical(a: &Trace, b: &Trace, ctx: &str) {
+    assert_eq!(
+        a.intervals.len(),
+        b.intervals.len(),
+        "{ctx}: interval count"
+    );
+    for (x, y) in a.intervals.iter().zip(&b.intervals) {
+        assert_eq!(x.t0.to_bits(), y.t0.to_bits(), "{ctx}: interval t0");
+        assert_eq!(x.t1.to_bits(), y.t1.to_bits(), "{ctx}: interval t1");
+        assert_eq!(x.usage.len(), y.usage.len(), "{ctx}: usage width");
+        for (u, v) in x.usage.iter().zip(&y.usage) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{ctx}: usage value");
+        }
+    }
+    assert_eq!(a.stages.len(), b.stages.len(), "{ctx}: stage count");
+    for (x, y) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(x.stream, y.stream, "{ctx}: stage stream");
+        assert_eq!(x.stage_index, y.stage_index, "{ctx}: stage index");
+        assert_eq!(x.name, y.name, "{ctx}: stage name");
+        assert_eq!(x.t0.to_bits(), y.t0.to_bits(), "{ctx}: stage t0");
+        assert_eq!(x.t1.to_bits(), y.t1.to_bits(), "{ctx}: stage t1");
+        assert_eq!(x.work.to_bits(), y.work.to_bits(), "{ctx}: stage work");
+    }
+}
+
+/// The incremental solver must be bit-identical to solving from scratch
+/// across randomized sequences of demand changes: new streams arriving,
+/// work amounts rescaled, repeated re-solves. Caching must also actually
+/// fire — a solver that re-solves everything would pass the identity
+/// check trivially.
+#[test]
+fn incremental_solver_is_bit_identical_to_scratch() {
+    let mut rng = SimRng::seed_from_u64(0x501_e55);
+    let mut total_steps = 0u64;
+    let mut total_solves = 0u64;
+    for case in 0..60 {
+        let specs = arb_streams(&mut rng);
+        let caps: Vec<f64> = (0..3).map(|_| 0.5 + rng.unit() * 9.5).collect();
+
+        let mut sim = FluidSim::new();
+        let rids: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
+            .collect();
+        let mut ids = Vec::new();
+        for (start_at, stages) in &specs {
+            let fluid_stages: Vec<Stage> = stages
+                .iter()
+                .enumerate()
+                .map(|(si, (work, demands))| {
+                    Stage::new(
+                        format!("s{si}"),
+                        *work,
+                        demands.iter().map(|(r, d)| (rids[*r], *d)).collect(),
+                    )
+                })
+                .collect();
+            ids.push(sim.add_stream(Stream {
+                name: "s".into(),
+                start_at: *start_at,
+                stages: fluid_stages,
+            }));
+        }
+
+        let mut solver = sim.clone().into_solver();
+
+        // A randomized sequence of demand changes: each round optionally
+        // pushes a new stream and/or rescales one stage's work, then both
+        // the incremental solver and a from-scratch run solve the same
+        // model.
+        for round in 0..4 {
+            if rng.unit() < 0.5 {
+                let work = 0.1 + rng.unit() * 49.9;
+                let r = rng.range(0, 3) as usize;
+                let stream = Stream {
+                    name: format!("late{round}"),
+                    start_at: rng.unit() * 5.0,
+                    stages: vec![Stage::new(
+                        "w",
+                        work,
+                        vec![(rids[r], 0.01 + rng.unit() * 1.99)],
+                    )],
+                };
+                sim.add_stream(stream.clone());
+                solver.push_stream(stream);
+            }
+            if rng.unit() < 0.5 {
+                // Rescale one existing stage's work through the cheap
+                // cache-preserving edit; mirror it in the scratch model.
+                let id = ids[rng.range(0, ids.len() as u64) as usize];
+                let new_work = 0.1 + rng.unit() * 49.9;
+                solver.set_stage_work(id, 0, new_work);
+                sim.set_stage_work(id, 0, new_work);
+            }
+            let scratch = sim.run().expect("scratch solvable");
+            let incremental = solver.solve().expect("incremental solvable");
+            assert_traces_bit_identical(
+                &scratch,
+                &incremental,
+                &format!("case {case} round {round}"),
+            );
+        }
+        let stats = solver.stats();
+        total_steps += stats.steps;
+        total_solves += stats.solves;
+    }
+    assert!(
+        total_solves < total_steps,
+        "caching never fired: {total_solves} solves over {total_steps} steps"
+    );
 }

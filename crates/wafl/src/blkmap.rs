@@ -8,16 +8,27 @@
 //! Plane 0 is the active file system; planes 1..=20 are snapshots. The
 //! set-difference iterators implement the paper's incremental image dump
 //! arithmetic (`B − A`, Table 1).
+//!
+//! The map is stored plane-major: each plane is a `u64` bitset over block
+//! numbers, so snapshot creation, Table 1 set arithmetic, and free-block
+//! census all run 64 blocks per machine op. The on-disk format is unchanged
+//! (one little-endian `u32` of plane bits per block, 1024 words per 4 KiB
+//! chunk); [`BlkMap::chunk_words`] gathers the planes back into that layout
+//! and [`BlkMap::from_words`] scatters it out again on mount.
 
 use std::collections::BTreeSet;
 
 use crate::types::SnapId;
+use crate::types::MAX_SNAPSHOTS;
 
 /// Block-map words per 4 KiB block when serialized.
 pub const WORDS_PER_BLOCK: u64 = 1024;
 
 /// The bit used by the active file system.
 pub const ACTIVE_PLANE: u8 = 0;
+
+/// Number of bit planes (active + snapshots).
+const NPLANES: usize = MAX_SNAPSHOTS as usize + 1;
 
 /// Table 1 of the paper: the four states a block can be in with respect to
 /// a full-dump snapshot `A` and an incremental-dump snapshot `B`.
@@ -33,72 +44,187 @@ pub enum Table1State {
     Unchanged,
 }
 
+/// A plain `u64` bitset over block numbers, used for the frozen-block set
+/// and as scratch in word-level scans. Grows on demand; absent words read
+/// as zero.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// An empty set.
+    pub fn new() -> BlockSet {
+        BlockSet::default()
+    }
+
+    /// Inserts `bno`.
+    pub fn insert(&mut self, bno: u64) {
+        let w = (bno / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (bno % 64);
+    }
+
+    /// Whether `bno` is in the set.
+    pub fn contains(&self, bno: u64) -> bool {
+        let w = (bno / 64) as usize;
+        w < self.words.len() && self.words[w] >> (bno % 64) & 1 != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Inserts every block from `iter`.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = u64>) {
+        for bno in iter {
+            self.insert(bno);
+        }
+    }
+
+    /// The backing word at index `w` (zero if beyond the allocated tail).
+    fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        iter_bits(&self.words)
+    }
+}
+
+/// Iterates the set bit positions of a word slice in ascending order.
+fn iter_bits(words: &[u64]) -> impl Iterator<Item = u64> + '_ {
+    words.iter().enumerate().flat_map(|(i, &w)| {
+        let base = i as u64 * 64;
+        std::iter::successors(if w == 0 { None } else { Some(w) }, |&rest| {
+            let rest = rest & (rest - 1);
+            if rest == 0 {
+                None
+            } else {
+                Some(rest)
+            }
+        })
+        .map(move |rest| base + rest.trailing_zeros() as u64)
+    })
+}
+
 /// The in-memory block map (mirrors what the next consistency point will
 /// serialize into the block-map file).
 #[derive(Debug, Clone)]
 pub struct BlkMap {
-    words: Vec<u32>,
+    nblocks: u64,
+    /// One bitset per plane: `planes[0]` is the active file system,
+    /// `planes[1..=20]` are snapshots.
+    planes: Vec<Vec<u64>>,
+    /// Maintained OR of every snapshot plane, so `is_free` is two loads.
+    /// Recomputed on snapshot deletion.
+    snap_union: Vec<u64>,
     /// Serialized chunks (of [`WORDS_PER_BLOCK`] words) changed since the
-    /// last consistency point.
-    dirty: BTreeSet<u64>,
+    /// last consistency point, as a bitset over chunk indices.
+    dirty: Vec<u64>,
+    /// Blocks whose serialized word set bits above the last legal plane
+    /// (recorded at mount so `wafl::check` can still report corruption
+    /// that the plane-major layout cannot represent).
+    undefined: Vec<(u64, u32)>,
 }
 
 impl BlkMap {
     /// An all-free map for `nblocks` blocks.
     pub fn new(nblocks: u64) -> BlkMap {
+        let nwords = nblocks.div_ceil(64) as usize;
+        let nchunks = nblocks.div_ceil(WORDS_PER_BLOCK);
         BlkMap {
-            words: vec![0; nblocks as usize],
-            dirty: BTreeSet::new(),
+            nblocks,
+            planes: vec![vec![0u64; nwords]; NPLANES],
+            snap_union: vec![0u64; nwords],
+            dirty: vec![0u64; (nchunks.div_ceil(64)) as usize],
+            undefined: Vec::new(),
         }
     }
 
     /// Rebuilds a map from parsed words (mount path).
     pub fn from_words(words: Vec<u32>) -> BlkMap {
-        BlkMap {
-            words,
-            dirty: BTreeSet::new(),
+        let legal: u32 = (1u32 << NPLANES) - 1;
+        let mut m = BlkMap::new(words.len() as u64);
+        for (bno, &w) in words.iter().enumerate() {
+            if w & !legal != 0 {
+                m.undefined.push((bno as u64, w));
+            }
+            let mut rest = w & legal;
+            while rest != 0 {
+                let p = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                m.planes[p][bno / 64] |= 1u64 << (bno % 64);
+            }
         }
+        for p in 1..NPLANES {
+            for (u, &w) in m.snap_union.iter_mut().zip(&m.planes[p]) {
+                *u |= w;
+            }
+        }
+        m
     }
 
     /// Number of blocks tracked.
     pub fn nblocks(&self) -> u64 {
-        self.words.len() as u64
+        self.nblocks
     }
 
-    /// The raw 32-bit word for a block.
+    /// The raw 32-bit word for a block (plane bits gathered).
     pub fn word(&self, bno: u64) -> u32 {
-        self.words[bno as usize]
+        let (w, bit) = (bno as usize / 64, bno % 64);
+        let mut out = 0u32;
+        for (p, plane) in self.planes.iter().enumerate() {
+            out |= ((plane[w] >> bit & 1) as u32) << p;
+        }
+        out
     }
 
     fn mark_dirty(&mut self, bno: u64) {
-        self.dirty.insert(bno / WORDS_PER_BLOCK);
+        let chunk = bno / WORDS_PER_BLOCK;
+        self.dirty[(chunk / 64) as usize] |= 1u64 << (chunk % 64);
     }
 
     /// Whether the block is completely unreferenced.
     pub fn is_free(&self, bno: u64) -> bool {
-        self.words[bno as usize] == 0
+        let (w, bit) = (bno as usize / 64, bno % 64);
+        (self.planes[0][w] | self.snap_union[w]) >> bit & 1 == 0
     }
 
     /// Whether the active file system references the block.
     pub fn is_active(&self, bno: u64) -> bool {
-        self.words[bno as usize] & 1 != 0
+        self.planes[0][bno as usize / 64] >> (bno % 64) & 1 != 0
     }
 
     /// Whether snapshot `id` references the block.
     pub fn in_snapshot(&self, bno: u64, id: SnapId) -> bool {
-        debug_assert!((1..=20).contains(&id));
-        self.words[bno as usize] & (1 << id) != 0
+        debug_assert!((1..=MAX_SNAPSHOTS).contains(&id));
+        self.planes[id as usize][bno as usize / 64] >> (bno % 64) & 1 != 0
     }
 
     /// Marks a block as used by the active file system.
     pub fn set_active(&mut self, bno: u64) {
-        self.words[bno as usize] |= 1;
+        self.planes[0][bno as usize / 64] |= 1u64 << (bno % 64);
         self.mark_dirty(bno);
     }
 
     /// Clears the active bit.
     pub fn clear_active(&mut self, bno: u64) {
-        self.words[bno as usize] &= !1;
+        self.planes[0][bno as usize / 64] &= !(1u64 << (bno % 64));
         self.mark_dirty(bno);
     }
 
@@ -106,63 +232,149 @@ impl BlkMap {
     /// (the paper's "duplicate copy of the root data structure ... block
     /// allocation information"). Returns the number of blocks captured.
     pub fn snap_create(&mut self, id: SnapId) -> u64 {
-        debug_assert!((1..=20).contains(&id));
-        let bit = 1u32 << id;
-        let mut captured = 0;
-        for w in self.words.iter_mut() {
-            if *w & 1 != 0 {
-                *w |= bit;
-                captured += 1;
-            } else {
-                *w &= !bit;
-            }
-        }
-        self.dirty.extend(0..self.nchunks());
+        debug_assert!((1..=MAX_SNAPSHOTS).contains(&id));
+        let (active, rest) = self.planes.split_at_mut(1);
+        let plane = &mut rest[id as usize - 1];
+        plane.copy_from_slice(&active[0]);
+        let captured: u64 = active[0].iter().map(|w| w.count_ones() as u64).sum();
+        // Plane reuse may have cleared stale bits, so the union is rebuilt.
+        self.recompute_snap_union();
+        self.mark_all_dirty();
         captured
     }
 
     /// Deletes snapshot `id` by clearing its plane; blocks held only by it
     /// become free.
     pub fn snap_delete(&mut self, id: SnapId) {
-        debug_assert!((1..=20).contains(&id));
-        let bit = !(1u32 << id);
-        for w in self.words.iter_mut() {
-            *w &= bit;
+        debug_assert!((1..=MAX_SNAPSHOTS).contains(&id));
+        self.planes[id as usize].iter_mut().for_each(|w| *w = 0);
+        self.recompute_snap_union();
+        self.mark_all_dirty();
+    }
+
+    fn recompute_snap_union(&mut self) {
+        self.snap_union.iter_mut().for_each(|w| *w = 0);
+        for p in 1..NPLANES {
+            for (u, &w) in self.snap_union.iter_mut().zip(&self.planes[p]) {
+                *u |= w;
+            }
         }
-        self.dirty.extend(0..self.nchunks());
     }
 
     /// Blocks referenced by plane `plane` (0 = active).
     pub fn count_plane(&self, plane: u8) -> u64 {
-        let bit = 1u32 << plane;
-        self.words.iter().filter(|&&w| w & bit != 0).count() as u64
+        self.planes[plane as usize]
+            .iter()
+            .map(|w| w.count_ones() as u64)
+            .sum()
     }
 
     /// Completely free blocks.
     pub fn count_free(&self) -> u64 {
-        self.words.iter().filter(|&&w| w == 0).count() as u64
+        let used: u64 = self.planes[0]
+            .iter()
+            .zip(&self.snap_union)
+            .map(|(&a, &u)| (a | u).count_ones() as u64)
+            .sum();
+        self.nblocks - used
     }
 
     /// Iterates blocks in plane `plane`.
     pub fn iter_plane(&self, plane: u8) -> impl Iterator<Item = u64> + '_ {
-        let bit = 1u32 << plane;
-        self.words
+        iter_bits(&self.planes[plane as usize])
+    }
+
+    /// Iterates blocks referenced by any plane (the image-dump used set).
+    pub fn iter_used(&self) -> impl Iterator<Item = u64> + '_ {
+        self.planes[0]
             .iter()
+            .zip(&self.snap_union)
+            .map(|(&a, &u)| a | u)
+            .collect::<Vec<u64>>()
+            .into_iter()
             .enumerate()
-            .filter(move |(_, &w)| w & bit != 0)
-            .map(|(i, _)| i as u64)
+            .flat_map(|(i, w)| OneBits::new(i as u64 * 64, w))
+    }
+
+    /// Iterates used blocks that are *not* in snapshot `base` (the
+    /// incremental image-dump set before Table 1 bookkeeping).
+    pub fn iter_used_not_in(&self, base: SnapId) -> impl Iterator<Item = u64> + '_ {
+        debug_assert!((1..=MAX_SNAPSHOTS).contains(&base));
+        self.planes[0]
+            .iter()
+            .zip(&self.snap_union)
+            .zip(&self.planes[base as usize])
+            .map(|((&a, &u), &b)| (a | u) & !b)
+            .collect::<Vec<u64>>()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, w)| OneBits::new(i as u64 * 64, w))
+    }
+
+    /// Iterates blocks whose *only* reference is snapshot `id` (the blocks
+    /// that become free when it is deleted).
+    pub fn iter_exclusive(&self, id: SnapId) -> impl Iterator<Item = u64> + '_ {
+        debug_assert!((1..=MAX_SNAPSHOTS).contains(&id));
+        let id = id as usize;
+        (0..self.planes[0].len())
+            .map(|w| {
+                let mut others = self.planes[0][w];
+                for (p, plane) in self.planes.iter().enumerate().skip(1) {
+                    if p != id {
+                        others |= plane[w];
+                    }
+                }
+                self.planes[id][w] & !others
+            })
+            .collect::<Vec<u64>>()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, w)| OneBits::new(i as u64 * 64, w))
+    }
+
+    /// Finds the lowest free, un-frozen block in `[lo, hi)`, scanning a
+    /// word (64 blocks) at a time.
+    pub fn find_free(&self, lo: u64, hi: u64, frozen: &BlockSet) -> Option<u64> {
+        if lo >= hi {
+            return None;
+        }
+        let first = (lo / 64) as usize;
+        let last = (hi.div_ceil(64) as usize).min(self.planes[0].len());
+        for w in first..last {
+            let mut mask = !(self.planes[0][w] | self.snap_union[w]) & !frozen.word(w);
+            if w == first {
+                mask &= !0u64 << (lo % 64);
+            }
+            if mask != 0 {
+                let bno = w as u64 * 64 + mask.trailing_zeros() as u64;
+                if bno < hi {
+                    return Some(bno);
+                }
+            }
+        }
+        None
     }
 
     /// Iterates the incremental dump set: blocks in plane `b` but not in
     /// plane `a` (the paper's `B − A`).
     pub fn iter_diff(&self, b: u8, a: u8) -> impl Iterator<Item = u64> + '_ {
-        let bit_b = 1u32 << b;
-        let bit_a = 1u32 << a;
-        self.words
+        self.planes[b as usize]
             .iter()
+            .zip(&self.planes[a as usize])
+            .map(|(&wb, &wa)| wb & !wa)
+            .collect::<Vec<u64>>()
+            .into_iter()
             .enumerate()
-            .filter(move |(_, &w)| w & bit_b != 0 && w & bit_a == 0)
-            .map(|(i, _)| i as u64)
+            .flat_map(|(i, w)| OneBits::new(i as u64 * 64, w))
+    }
+
+    /// Cardinality of the paper's `B − A` without materializing it.
+    pub fn count_diff(&self, b: u8, a: u8) -> u64 {
+        self.planes[b as usize]
+            .iter()
+            .zip(&self.planes[a as usize])
+            .map(|(&wb, &wa)| (wb & !wa).count_ones() as u64)
+            .sum()
     }
 
     /// Classifies a block per Table 1 with respect to full-dump snapshot
@@ -178,24 +390,91 @@ impl BlkMap {
 
     /// Number of serialized 4 KiB chunks.
     pub fn nchunks(&self) -> u64 {
-        self.nblocks().div_ceil(WORDS_PER_BLOCK)
+        self.nblocks.div_ceil(WORDS_PER_BLOCK)
     }
 
-    /// The words of serialized chunk `chunk` (zero-padded at the tail).
+    /// The words of serialized chunk `chunk` (zero-padded at the tail),
+    /// gathered from the bit planes.
     pub fn chunk_words(&self, chunk: u64) -> Vec<u32> {
-        let start = (chunk * WORDS_PER_BLOCK) as usize;
-        let end = ((chunk + 1) * WORDS_PER_BLOCK).min(self.nblocks()) as usize;
-        self.words[start..end].to_vec()
+        let start = chunk * WORDS_PER_BLOCK;
+        let end = ((chunk + 1) * WORDS_PER_BLOCK).min(self.nblocks);
+        let mut out = vec![0u32; (end - start) as usize];
+        for (p, plane) in self.planes.iter().enumerate() {
+            let pbit = 1u32 << p;
+            // The chunk spans whole u64 words: 1024 blocks = 16 words.
+            let w0 = (start / 64) as usize;
+            let w1 = (end.div_ceil(64) as usize).min(plane.len());
+            for (w, &word) in plane.iter().enumerate().take(w1).skip(w0) {
+                let mut rest = word;
+                while rest != 0 {
+                    let bno = w as u64 * 64 + rest.trailing_zeros() as u64;
+                    rest &= rest - 1;
+                    if bno >= end {
+                        break;
+                    }
+                    out[(bno - start) as usize] |= pbit;
+                }
+            }
+        }
+        out
     }
 
     /// Takes the set of dirty chunk indices, clearing it.
     pub fn take_dirty(&mut self) -> BTreeSet<u64> {
-        std::mem::take(&mut self.dirty)
+        let mut out = BTreeSet::new();
+        for (i, w) in self.dirty.iter_mut().enumerate() {
+            let mut rest = *w;
+            *w = 0;
+            while rest != 0 {
+                out.insert(i as u64 * 64 + rest.trailing_zeros() as u64);
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
+
+    /// Blocks whose serialized word carried bits above the last legal
+    /// plane when the map was mounted (corruption evidence for `check`).
+    pub fn undefined_bits(&self) -> &[(u64, u32)] {
+        &self.undefined
+    }
+
+    /// The backing bitset words of `plane` (64 blocks per word).
+    pub fn plane_words(&self, plane: u8) -> &[u64] {
+        &self.planes[plane as usize]
     }
 
     /// Marks every chunk dirty (used by whole-map rewrites in tests).
     pub fn mark_all_dirty(&mut self) {
-        self.dirty.extend(0..self.nchunks());
+        let nchunks = self.nchunks();
+        for chunk in 0..nchunks {
+            self.dirty[(chunk / 64) as usize] |= 1u64 << (chunk % 64);
+        }
+    }
+}
+
+/// Iterator over the set bits of one word, offset by a base block number.
+struct OneBits {
+    base: u64,
+    rest: u64,
+}
+
+impl OneBits {
+    fn new(base: u64, word: u64) -> OneBits {
+        OneBits { base, rest: word }
+    }
+}
+
+impl Iterator for OneBits {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.rest == 0 {
+            return None;
+        }
+        let bit = self.rest.trailing_zeros() as u64;
+        self.rest &= self.rest - 1;
+        Some(self.base + bit)
     }
 }
 
@@ -267,6 +546,7 @@ mod tests {
         m.snap_create(2);
         let diff: Vec<u64> = m.iter_diff(2, 1).collect();
         assert_eq!(diff, vec![2, 3]);
+        assert_eq!(m.count_diff(2, 1), 2);
     }
 
     #[test]
@@ -334,5 +614,66 @@ mod tests {
             assert!(back.in_snapshot(b, 4));
         }
         assert_eq!(back.count_plane(0), 5);
+    }
+
+    #[test]
+    fn word_gathers_plane_bits() {
+        let mut m = BlkMap::new(100);
+        m.set_active(65);
+        m.snap_create(3);
+        assert_eq!(m.word(65), 1 | (1 << 3));
+        assert_eq!(m.word(64), 0);
+    }
+
+    #[test]
+    fn word_level_iterators_match_scalar_filters() {
+        let mut m = BlkMap::new(300);
+        for b in [2u64, 63, 64, 130, 299] {
+            m.set_active(b);
+        }
+        m.snap_create(1);
+        m.clear_active(63);
+        m.set_active(200);
+        let used: Vec<u64> = m.iter_used().collect();
+        let scalar_used: Vec<u64> = (0..300).filter(|&b| !m.is_free(b)).collect();
+        assert_eq!(used, scalar_used);
+        let not_in: Vec<u64> = m.iter_used_not_in(1).collect();
+        let scalar: Vec<u64> = (0..300)
+            .filter(|&b| !m.is_free(b) && !m.in_snapshot(b, 1))
+            .collect();
+        assert_eq!(not_in, scalar);
+        let excl: Vec<u64> = m.iter_exclusive(1).collect();
+        let scalar_excl: Vec<u64> = (0..300).filter(|&b| m.word(b) == 1 << 1).collect();
+        assert_eq!(excl, scalar_excl);
+    }
+
+    #[test]
+    fn find_free_skips_used_and_frozen() {
+        let mut m = BlkMap::new(200);
+        for b in 0..66 {
+            m.set_active(b);
+        }
+        let mut frozen = BlockSet::new();
+        frozen.insert(66);
+        frozen.insert(67);
+        assert_eq!(m.find_free(0, 200, &frozen), Some(68));
+        assert_eq!(m.find_free(100, 200, &BlockSet::new()), Some(100));
+        assert_eq!(m.find_free(199, 200, &BlockSet::new()), Some(199));
+        m.set_active(199);
+        assert_eq!(m.find_free(199, 200, &BlockSet::new()), None);
+        assert_eq!(m.find_free(150, 120, &BlockSet::new()), None);
+    }
+
+    #[test]
+    fn blockset_basics() {
+        let mut s = BlockSet::new();
+        assert!(s.is_empty());
+        s.extend([3u64, 64, 1000]);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 1000]);
+        s.clear();
+        assert!(s.is_empty());
     }
 }

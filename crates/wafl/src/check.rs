@@ -238,23 +238,18 @@ fn check_snapshot_planes(fs: &Wafl, report: &mut CheckReport) {
         }
     }
 
-    let legal: u32 = (1u32 << (MAX_SNAPSHOTS + 1)) - 1;
-    let mut bad_bits = 0u64;
-    for bno in 0..bm.nblocks() {
-        if bm.word(bno) & !legal != 0 {
-            bad_bits += 1;
-            if bad_bits <= 5 {
-                report.problems.push(format!(
-                    "block {bno}: block-map word {:#010x} sets bits above plane {MAX_SNAPSHOTS}",
-                    bm.word(bno)
-                ));
-            }
-        }
+    // In-memory mutations are plane-bounded, so undefined bits can only
+    // enter through a corrupted on-disk image; mount records them.
+    let bad = bm.undefined_bits();
+    for &(bno, word) in bad.iter().take(5) {
+        report.problems.push(format!(
+            "block {bno}: block-map word {word:#010x} sets bits above plane {MAX_SNAPSHOTS}"
+        ));
     }
-    if bad_bits > 5 {
+    if bad.len() > 5 {
         report.problems.push(format!(
             "... and {} more blocks with undefined plane bits",
-            bad_bits - 5
+            bad.len() - 5
         ));
     }
 
@@ -268,39 +263,54 @@ fn check_snapshot_planes(fs: &Wafl, report: &mut CheckReport) {
     for &id in &registered {
         pairs.push((id, ACTIVE_PLANE));
     }
-    let in_plane = |bno: u64, p: u8| {
-        if p == ACTIVE_PLANE {
-            bm.is_active(bno)
-        } else {
-            bm.in_snapshot(bno, p)
-        }
-    };
     for (a, b) in pairs {
-        let b_minus_a = bm.iter_diff(b, a).count() as u64;
-        let a_minus_b = bm.iter_diff(a, b).count() as u64;
+        // Word-level Table 1 census: 64 blocks per op over the two plane
+        // bitsets (B−A = newly written, A−B = deleted).
         let (mut newly, mut deleted) = (0u64, 0u64);
-        for bno in 0..bm.nblocks() {
-            // Table 1 classification (via `table1_state` when both planes
-            // are snapshots; the active plane classifies the same way).
-            let state = match (in_plane(bno, a), in_plane(bno, b)) {
-                (false, false) => Table1State::NotInEither,
-                (false, true) => Table1State::NewlyWritten,
-                (true, false) => Table1State::Deleted,
-                (true, true) => Table1State::Unchanged,
+        for (&wa, &wb) in bm.plane_words(a).iter().zip(bm.plane_words(b)) {
+            newly += (wb & !wa).count_ones() as u64;
+            deleted += (wa & !wb).count_ones() as u64;
+        }
+        let b_minus_a = bm.count_diff(b, a);
+        let a_minus_b = bm.count_diff(a, b);
+        // Per-block classification cross-check, kept for test (debug)
+        // builds where a word-level bug would otherwise self-agree.
+        if cfg!(debug_assertions) {
+            let in_plane = |bno: u64, p: u8| {
+                if p == ACTIVE_PLANE {
+                    bm.is_active(bno)
+                } else {
+                    bm.in_snapshot(bno, p)
+                }
             };
-            debug_assert!(
-                a == ACTIVE_PLANE || b == ACTIVE_PLANE || state == bm.table1_state(bno, a, b)
-            );
-            match state {
-                Table1State::NewlyWritten => newly += 1,
-                Table1State::Deleted => deleted += 1,
-                Table1State::NotInEither | Table1State::Unchanged => {}
+            let (mut slow_newly, mut slow_deleted) = (0u64, 0u64);
+            for bno in 0..bm.nblocks() {
+                let state = match (in_plane(bno, a), in_plane(bno, b)) {
+                    (false, false) => Table1State::NotInEither,
+                    (false, true) => Table1State::NewlyWritten,
+                    (true, false) => Table1State::Deleted,
+                    (true, true) => Table1State::Unchanged,
+                };
+                debug_assert!(
+                    a == ACTIVE_PLANE || b == ACTIVE_PLANE || state == bm.table1_state(bno, a, b)
+                );
+                match state {
+                    Table1State::NewlyWritten => slow_newly += 1,
+                    Table1State::Deleted => slow_deleted += 1,
+                    Table1State::NotInEither | Table1State::Unchanged => {}
+                }
+            }
+            if slow_newly != b_minus_a || slow_deleted != a_minus_b {
+                report.problems.push(format!(
+                    "planes ({a},{b}): iter_diff says B−A={b_minus_a}, A−B={a_minus_b} \
+                     but Table 1 classification says {slow_newly}, {slow_deleted}"
+                ));
             }
         }
         if newly != b_minus_a || deleted != a_minus_b {
             report.problems.push(format!(
-                "planes ({a},{b}): iter_diff says B−A={b_minus_a}, A−B={a_minus_b} \
-                 but Table 1 classification says {newly}, {deleted}"
+                "planes ({a},{b}): count_diff says B−A={b_minus_a}, A−B={a_minus_b} \
+                 but the word census says {newly}, {deleted}"
             ));
         }
         let na = bm.count_plane(a);

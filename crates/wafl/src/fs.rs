@@ -25,6 +25,7 @@ use raid::Volume;
 use simkit::meter::Meter;
 
 use crate::blkmap::BlkMap;
+use crate::blkmap::BlockSet;
 use crate::cost::CostModel;
 use crate::error::WaflError;
 use crate::ondisk;
@@ -341,7 +342,7 @@ pub struct Wafl {
     pub(crate) snaptable_bno: u32,
     pub(crate) qtree_bno: u32,
     pub(crate) dirty_inodes: BTreeSet<Ino>,
-    pub(crate) frozen: BTreeSet<u64>,
+    pub(crate) frozen: BlockSet,
     pub(crate) alloc_cursor: u64,
     pub(crate) replaying: bool,
     /// Roots as of the last completed CP (captured by snapshots).
@@ -390,7 +391,7 @@ impl Wafl {
             snaptable_bno: 0,
             qtree_bno: 0,
             dirty_inodes: BTreeSet::new(),
-            frozen: BTreeSet::new(),
+            frozen: BlockSet::new(),
             alloc_cursor: 2,
             replaying: false,
             last_inofile_root: TreeRoot::default(),
@@ -565,7 +566,7 @@ impl Wafl {
             snaptable_bno: fi.snaptable_bno,
             qtree_bno: fi.qtree_bno,
             dirty_inodes: BTreeSet::new(),
-            frozen: BTreeSet::new(),
+            frozen: BlockSet::new(),
             alloc_cursor: 2,
             replaying: false,
             last_inofile_root: fi.inofile.clone(),
@@ -670,18 +671,24 @@ impl Wafl {
     /// the moving cursor).
     pub(crate) fn alloc_block(&mut self) -> Result<u64, WaflError> {
         let n = self.blkmap.nblocks();
-        for _ in 0..n {
-            if self.alloc_cursor >= n {
-                self.alloc_cursor = 2;
-            }
-            let bno = self.alloc_cursor;
-            self.alloc_cursor += 1;
-            if self.blkmap.is_free(bno) && !self.frozen.contains(&bno) {
+        let cursor = if self.alloc_cursor >= n {
+            2
+        } else {
+            self.alloc_cursor
+        };
+        // Scan [cursor, n) then wrap to [2, cursor), a word at a time.
+        let found = self
+            .blkmap
+            .find_free(cursor, n, &self.frozen)
+            .or_else(|| self.blkmap.find_free(2, cursor, &self.frozen));
+        match found {
+            Some(bno) => {
+                self.alloc_cursor = bno + 1;
                 self.blkmap.set_active(bno);
-                return Ok(bno);
+                Ok(bno)
             }
+            None => Err(WaflError::NoSpace),
         }
-        Err(WaflError::NoSpace)
     }
 
     /// Releases a block from the active file system. It stays unavailable

@@ -67,11 +67,7 @@ impl Wafl {
         // Blocks whose only reference is this snapshot become free, but —
         // as with any free — they must not be reused until the CP commits,
         // because the on-disk snapshot table still references them.
-        let newly_free: Vec<u64> = self
-            .blkmap
-            .iter_plane(id)
-            .filter(|&b| self.blkmap.word(b) == (1u32 << id))
-            .collect();
+        let newly_free: Vec<u64> = self.blkmap.iter_exclusive(id).collect();
         obs::counter("wafl.snapshot.deletes").inc();
         if obs::trace_enabled() {
             let name = self.snapshots[idx].name.clone();
