@@ -6,6 +6,12 @@
 //! standalone binary would see. Concurrency is capped by a counting
 //! semaphore; results come back in **submission order** regardless of the
 //! interleaving, so `--jobs 8` output is byte-identical to `--jobs 1`.
+//!
+//! That identity holds only while nothing in the job cone keeps
+//! process-wide mutable state: simlint rule D08 enforces it statically by
+//! flagging any non-`thread_local!` mutable static in `bench`'s
+//! dependency cone (the `Gate` here is a struct field shared by design —
+//! it carries no experiment state, only the concurrency cap).
 
 use std::sync::Arc;
 use std::sync::Condvar;

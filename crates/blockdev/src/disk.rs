@@ -107,12 +107,16 @@ impl SimDisk {
     /// Representation-level access to a stored block: no service-time
     /// model, no fault injection, no stats. For maintenance passes that
     /// fix up *how* content is stored (e.g. the RAID layer materializing
-    /// lazily-kept parity), never for simulated IO.
+    /// lazily-kept parity), never for simulated IO. Call sites are
+    /// audited by simlint rule D07 against the `[escape_hatch]` allowlist
+    /// in `simlint.toml`.
+    // simlint: unmetered
     pub fn peek(&self, bno: Bno) -> &Block {
         &self.blocks[bno as usize]
     }
 
     /// Representation-level store; see [`SimDisk::peek`].
+    // simlint: unmetered
     pub fn poke(&mut self, bno: Bno, block: Block) {
         self.blocks[bno as usize] = block;
     }

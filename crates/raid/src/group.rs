@@ -134,6 +134,11 @@ impl Raid4Group {
     /// mode this content would already be present, so the catch-up must be
     /// invisible to every meter. The cached write-back slot is fixed up
     /// too, since all its stripe's data writes have already landed.
+    ///
+    /// This is the one function allowed to call the unmetered escape
+    /// hatches: simlint rule D07 audits every `SimDisk::peek`/`poke` call
+    /// site against the `[escape_hatch]` allowlist in `simlint.toml`,
+    /// which names exactly this fn.
     fn materialize_parity(&mut self) {
         if !self.lazy_parity {
             return;

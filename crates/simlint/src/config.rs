@@ -20,6 +20,23 @@ pub struct Config {
     /// Crates allowed to call `obs::event::emit` directly; D06 reports
     /// emission anywhere else.
     pub events: Vec<String>,
+    /// Report/table crates: D09 flags hash-ordered types flowing through
+    /// pub fn signatures or struct fields of any crate these (transitively)
+    /// depend on — hash order leaking across a crate boundary into a table
+    /// is exactly the nondeterminism D03 exists to stop, one hop removed.
+    pub report: Vec<String>,
+    /// Crates whose library code runs experiments on a thread pool
+    /// (`bench::pool`): D08 flags thread-shared mutable statics anywhere
+    /// reachable from these through `[dependencies]`, because `--jobs N`
+    /// byte-identity relies on every job seeing virgin per-thread state.
+    pub jobs: Vec<String>,
+    /// Unmetered escape-hatch fns (`Type::name`), audited by D07: calling
+    /// one outside [`Config::unmetered_allow`] is a diagnostic. Fns tagged
+    /// `// simlint: unmetered` at their definition are audited too.
+    pub unmetered: Vec<String>,
+    /// D07 allowlist entries, `<workspace-relative-path>::<fn-name>`: the
+    /// functions permitted to call the escape hatches.
+    pub unmetered_allow: Vec<String>,
 }
 
 impl Config {
@@ -63,6 +80,10 @@ impl Config {
                 "wafl-backup",
                 "simlint",
             ]),
+            report: v(&["bench"]),
+            jobs: v(&["bench"]),
+            unmetered: v(&["SimDisk::peek", "SimDisk::poke"]),
+            unmetered_allow: v(&["crates/raid/src/group.rs::materialize_parity"]),
         }
     }
 
@@ -92,6 +113,12 @@ impl Config {
 /// metered = ["wafl"]
 /// library = ["wafl"]
 /// events = ["wafl", "obs"]
+/// report = ["bench"]
+/// jobs = ["bench"]
+///
+/// [escape_hatch]
+/// unmetered = ["SimDisk::peek"]
+/// allow = ["crates/raid/src/group.rs::materialize_parity"]
 /// ```
 fn parse(text: &str) -> Result<Config, String> {
     let mut config = Config {
@@ -99,6 +126,10 @@ fn parse(text: &str) -> Result<Config, String> {
         metered: Vec::new(),
         library: Vec::new(),
         events: Vec::new(),
+        report: Vec::new(),
+        jobs: Vec::new(),
+        unmetered: Vec::new(),
+        unmetered_allow: Vec::new(),
     };
     let mut section = String::new();
     for (i, raw) in text.lines().enumerate() {
@@ -118,19 +149,23 @@ fn parse(text: &str) -> Result<Config, String> {
         let (key, value) = line
             .split_once('=')
             .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
-        if section != "crates" {
+        if section != "crates" && section != "escape_hatch" {
             return Err(format!(
-                "line {lineno}: unknown section [{section}] (only [crates] is recognized)"
+                "line {lineno}: unknown section [{section}] (only [crates] and [escape_hatch] are recognized)"
             ));
         }
         let list = parse_string_array(value.trim())
             .ok_or_else(|| format!("line {lineno}: expected a single-line string array"))?;
-        match key.trim() {
-            "simulation" => config.simulation = list,
-            "metered" => config.metered = list,
-            "library" => config.library = list,
-            "events" => config.events = list,
-            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        match (section.as_str(), key.trim()) {
+            ("crates", "simulation") => config.simulation = list,
+            ("crates", "metered") => config.metered = list,
+            ("crates", "library") => config.library = list,
+            ("crates", "events") => config.events = list,
+            ("crates", "report") => config.report = list,
+            ("crates", "jobs") => config.jobs = list,
+            ("escape_hatch", "unmetered") => config.unmetered = list,
+            ("escape_hatch", "allow") => config.unmetered_allow = list,
+            (_, other) => return Err(format!("line {lineno}: unknown key `{other}`")),
         }
     }
     Ok(config)
@@ -170,13 +205,20 @@ mod tests {
     #[test]
     fn parses_the_recognized_shape() {
         let c = parse(
-            "# policy\n[crates]\nsimulation = [\"simkit\", \"wafl\"] # trailing\nmetered = [\"wafl\"]\nlibrary = [\"wafl\",]\nevents = [\"wafl\", \"obs\"]\n",
+            "# policy\n[crates]\nsimulation = [\"simkit\", \"wafl\"] # trailing\nmetered = [\"wafl\"]\nlibrary = [\"wafl\",]\nevents = [\"wafl\", \"obs\"]\nreport = [\"bench\"]\njobs = [\"bench\"]\n\n[escape_hatch]\nunmetered = [\"SimDisk::peek\"]\nallow = [\"crates/raid/src/group.rs::materialize_parity\"]\n",
         )
         .unwrap();
         assert_eq!(c.simulation, vec!["simkit", "wafl"]);
         assert_eq!(c.metered, vec!["wafl"]);
         assert_eq!(c.library, vec!["wafl"]);
         assert_eq!(c.events, vec!["wafl", "obs"]);
+        assert_eq!(c.report, vec!["bench"]);
+        assert_eq!(c.jobs, vec!["bench"]);
+        assert_eq!(c.unmetered, vec!["SimDisk::peek"]);
+        assert_eq!(
+            c.unmetered_allow,
+            vec!["crates/raid/src/group.rs::materialize_parity"]
+        );
     }
 
     #[test]
@@ -194,5 +236,9 @@ mod tests {
         assert!(c.library.iter().any(|n| n == "simlint"));
         assert!(c.events.iter().any(|n| n == "obs"));
         assert!(!c.events.iter().any(|n| n == "bench"));
+        assert_eq!(c.report, vec!["bench"]);
+        assert_eq!(c.jobs, vec!["bench"]);
+        assert!(c.unmetered.iter().any(|n| n == "SimDisk::poke"));
+        assert_eq!(c.unmetered_allow.len(), 1);
     }
 }

@@ -1,0 +1,189 @@
+//! `--fix`: applies the mechanical fixes attached to diagnostics.
+//!
+//! Fixes are applied per file, bottom-up (so earlier edits never shift the
+//! line numbers of later ones), with at most one edit per line: when a line
+//! carries several candidate fixes (a suppression can be both unjustified
+//! and stale), the most resolving one wins — deleting a stale comment also
+//! resolves its missing justification. The pass is idempotent: a second
+//! `--fix` run finds nothing left to do and changes no bytes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Diagnostic;
+use crate::Fix;
+use crate::LintError;
+
+/// Placeholder justification the S00 fix writes; it deliberately reads as
+/// unfinished so review catches it, while satisfying the syntax.
+const JUSTIFY_PLACEHOLDER: &str = "TODO: justify this suppression";
+
+/// Applies every fixable diagnostic under `root`. Returns
+/// `(workspace-relative path, fixes applied)` per changed file, sorted.
+pub fn apply_fixes(root: &Path, diags: &[Diagnostic]) -> Result<Vec<(String, usize)>, LintError> {
+    let mut by_file: BTreeMap<&str, Vec<&Diagnostic>> = BTreeMap::new();
+    for d in diags.iter().filter(|d| d.fix.is_some()) {
+        by_file.entry(d.path.as_str()).or_default().push(d);
+    }
+    let mut summary = Vec::new();
+    for (rel, file_diags) in by_file {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path).map_err(|e| LintError::io(&path, e))?;
+        let edits: Vec<(usize, &Fix)> = file_diags
+            .iter()
+            .filter_map(|d| d.fix.as_ref().map(|f| (d.line, f)))
+            .collect();
+        let (fixed, applied) = apply_edits(&text, &edits);
+        if applied > 0 && fixed != text {
+            std::fs::write(&path, &fixed).map_err(|e| LintError::io(&path, e))?;
+            summary.push((rel.to_string(), applied));
+        }
+    }
+    Ok(summary)
+}
+
+/// The conflict rank of a fix; lower wins when several target one line.
+fn rank(fix: &Fix) -> u8 {
+    match fix {
+        Fix::DeleteComment { .. } => 0,
+        Fix::InsertLineAbove { .. } => 1,
+        Fix::JustifySuppression { .. } => 2,
+    }
+}
+
+/// Applies `edits` (`(1-based line, fix)`) to `text`, returning the new
+/// text and how many edits were applied. Pure, for testability.
+pub fn apply_edits(text: &str, edits: &[(usize, &Fix)]) -> (String, usize) {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    // One edit per line: keep the best-ranked.
+    let mut chosen: BTreeMap<usize, &Fix> = BTreeMap::new();
+    for (line, fix) in edits {
+        match chosen.get(line) {
+            Some(existing) if rank(existing) <= rank(fix) => {}
+            _ => {
+                chosen.insert(*line, fix);
+            }
+        }
+    }
+    let mut applied = 0usize;
+    // Bottom-up so removals and insertions never shift pending targets.
+    for (&lineno, fix) in chosen.iter().rev() {
+        let idx = lineno - 1;
+        if idx >= lines.len() {
+            continue;
+        }
+        match fix {
+            Fix::InsertLineAbove { text } => {
+                let indent: String = lines[idx]
+                    .chars()
+                    .take_while(|c| c.is_whitespace())
+                    .collect();
+                lines.insert(idx, format!("{indent}{text}"));
+                applied += 1;
+            }
+            Fix::JustifySuppression { col } => {
+                let line = &lines[idx];
+                if *col >= line.len() {
+                    continue;
+                }
+                let mut base = line.trim_end().to_string();
+                if let Some(stripped) = base.strip_suffix("--") {
+                    base = stripped.trim_end().to_string();
+                }
+                lines[idx] = format!("{base} -- {JUSTIFY_PLACEHOLDER}");
+                applied += 1;
+            }
+            Fix::DeleteComment { col } => {
+                let line = &lines[idx];
+                if *col > line.len() {
+                    continue;
+                }
+                let rest = line[..*col].trim_end().to_string();
+                if rest.is_empty() {
+                    lines.remove(idx);
+                } else {
+                    lines[idx] = rest;
+                }
+                applied += 1;
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') && !out.is_empty() {
+        out.push('\n');
+    }
+    (out, applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_line_above_matches_indentation() {
+        let src = "mod m {\n    pub enum FooError {\n        A,\n    }\n}\n";
+        let fix = Fix::InsertLineAbove {
+            text: "#[non_exhaustive]".to_string(),
+        };
+        let (out, n) = apply_edits(src, &[(2, &fix)]);
+        assert_eq!(n, 1);
+        assert_eq!(
+            out,
+            "mod m {\n    #[non_exhaustive]\n    pub enum FooError {\n        A,\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn justify_rewrites_in_place_and_handles_dangling_dashes() {
+        let src = "let x = 1; // simlint: allow(D05)\n";
+        let fix = Fix::JustifySuppression { col: 11 };
+        let (out, n) = apply_edits(src, &[(1, &fix)]);
+        assert_eq!(n, 1);
+        assert_eq!(
+            out,
+            "let x = 1; // simlint: allow(D05) -- TODO: justify this suppression\n"
+        );
+        let dangling = "let x = 1; // simlint: allow(D05) --\n";
+        let (out, _) = apply_edits(dangling, &[(1, &fix)]);
+        assert_eq!(
+            out,
+            "let x = 1; // simlint: allow(D05) -- TODO: justify this suppression\n"
+        );
+    }
+
+    #[test]
+    fn delete_comment_trims_or_removes_the_line() {
+        let trailing = "let x = 1; // simlint: allow(D03) -- stale\n";
+        let fix = Fix::DeleteComment { col: 11 };
+        let (out, _) = apply_edits(trailing, &[(1, &fix)]);
+        assert_eq!(out, "let x = 1;\n");
+        let standalone = "// simlint: allow(D03) -- stale\nlet x = 1;\n";
+        let fix0 = Fix::DeleteComment { col: 0 };
+        let (out, _) = apply_edits(standalone, &[(1, &fix0)]);
+        assert_eq!(out, "let x = 1;\n");
+    }
+
+    #[test]
+    fn delete_wins_over_justify_on_the_same_line() {
+        let src = "// simlint: allow(D03)\nlet x = 1;\n";
+        let del = Fix::DeleteComment { col: 0 };
+        let just = Fix::JustifySuppression { col: 0 };
+        let (out, n) = apply_edits(src, &[(1, &just), (1, &del)]);
+        assert_eq!(n, 1);
+        assert_eq!(out, "let x = 1;\n");
+    }
+
+    #[test]
+    fn multiple_edits_apply_bottom_up_without_shifting() {
+        let src = "pub enum AError {\n    A,\n}\npub enum BError {\n    B,\n}\n";
+        let fix = Fix::InsertLineAbove {
+            text: "#[non_exhaustive]".to_string(),
+        };
+        let (out, n) = apply_edits(src, &[(1, &fix), (4, &fix)]);
+        assert_eq!(n, 2);
+        assert_eq!(
+            out,
+            "#[non_exhaustive]\npub enum AError {\n    A,\n}\n#[non_exhaustive]\npub enum BError {\n    B,\n}\n"
+        );
+    }
+}

@@ -1,0 +1,812 @@
+//! Pass 1 of the workspace analyzer: a token-level symbol index over the
+//! sanitized source of every crate, plus the workspace-internal dependency
+//! graph parsed out of each crate's `Cargo.toml`.
+//!
+//! The index deliberately stops short of type inference: it records fn
+//! definitions with their `impl` owner, struct fields with their spelled
+//! types, statics (with `thread_local!` membership), and call sites with
+//! receiver hints (the token before `.name(` or the `Type` in
+//! `Type::name(`). That is enough for the cross-file rules — D07 resolves
+//! escape-hatch calls through the dependency graph plus local-definition
+//! shadowing, D08 walks reachability from the job-pool crates, D09 closes
+//! hash-ordered types over struct fields — while keeping the crate a
+//! dependency-free line-oriented pass, like the scanner it builds on.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::scan::ScannedFile;
+use crate::FileKind;
+use crate::SourceFile;
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Package name of the defining crate.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// The `impl` type the fn is a method of, if any.
+    pub owner: Option<String>,
+    /// The fn's name.
+    pub name: String,
+    /// Whether the decl carries `pub` (any visibility restriction counts:
+    /// D09 cares about signatures reachable from other crates, and
+    /// `pub(crate)` never is, but the distinction is not worth a parser).
+    pub is_pub: bool,
+    /// Whether the decl carries `unsafe`.
+    pub is_unsafe: bool,
+    /// The declaration text from `fn` to the body `{` (or `;`), sanitized.
+    pub signature: String,
+    /// Whether a `// simlint: unmetered` tag sits on or directly above the
+    /// decl: the fn is an audited escape hatch (D07).
+    pub unmetered: bool,
+    /// Where the defining file lives in its crate.
+    pub kind: FileKind,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Package name of the defining crate.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the field.
+    pub line: usize,
+    /// The struct the field belongs to.
+    pub struct_name: String,
+    /// Whether the struct decl carries `pub`.
+    pub struct_is_pub: bool,
+    /// The field's name.
+    pub name: String,
+    /// The field's spelled type, sanitized and trimmed.
+    pub ty: String,
+    /// Where the defining file lives in its crate.
+    pub kind: FileKind,
+    /// Whether the field sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One call site, with receiver hints.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Package name of the calling crate.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// The called name (`peek` in both `d.peek(..)` and `SimDisk::peek(..)`).
+    pub callee: String,
+    /// For method calls, the token directly before the dot (`d`, `self`,
+    /// `parity` in `self.parity.poke(..)`).
+    pub receiver: Option<String>,
+    /// For path calls, the segment before `::`.
+    pub qualifier: Option<String>,
+    /// Name of the enclosing fn, if the call sits inside one.
+    pub caller: Option<String>,
+    /// Where the calling file lives in its crate.
+    pub kind: FileKind,
+    /// Whether the call sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One `static` item.
+#[derive(Debug, Clone)]
+pub struct StaticDef {
+    /// Package name of the defining crate.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the item.
+    pub line: usize,
+    /// The static's name.
+    pub name: String,
+    /// The spelled type, sanitized and trimmed.
+    pub ty: String,
+    /// Whether the item is `static mut`.
+    pub is_mut: bool,
+    /// Whether the item sits inside a `thread_local! { ... }` block
+    /// (per-thread, so not shared state).
+    pub in_thread_local: bool,
+    /// Where the defining file lives in its crate.
+    pub kind: FileKind,
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// The symbol index over one workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Every fn definition.
+    pub fns: Vec<FnDef>,
+    /// Every named struct field.
+    pub fields: Vec<FieldDef>,
+    /// Every call site.
+    pub calls: Vec<CallSite>,
+    /// Every `static` item.
+    pub statics: Vec<StaticDef>,
+    /// Direct workspace-internal `[dependencies]` per crate (dev-deps are
+    /// excluded: they are not part of the simulated-run dependency cone).
+    pub deps: BTreeMap<String, Vec<String>>,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index from scanned files plus each crate's raw
+    /// `Cargo.toml` text (`manifests` maps package name to manifest text).
+    pub fn build(files: &[SourceFile], manifests: &BTreeMap<String, String>) -> WorkspaceIndex {
+        let names: BTreeSet<&str> = manifests.keys().map(String::as_str).collect();
+        let mut index = WorkspaceIndex::default();
+        for file in files {
+            index_file(&mut index, file);
+        }
+        for (name, text) in manifests {
+            index.deps.insert(name.clone(), parse_deps(text, &names));
+        }
+        index
+    }
+
+    /// The transitive `[dependencies]` closure of `roots`, roots included.
+    pub fn reachable_from(&self, roots: &[String]) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut work: Vec<&str> = roots.iter().map(String::as_str).collect();
+        while let Some(name) = work.pop() {
+            if !seen.insert(name.to_string()) {
+                continue;
+            }
+            if let Some(deps) = self.deps.get(name) {
+                work.extend(deps.iter().map(String::as_str));
+            }
+        }
+        seen
+    }
+
+    /// Whether `user` can see items from `definer`: same crate, or
+    /// `definer` in `user`'s transitive dependency cone.
+    pub fn depends_on(&self, user: &str, definer: &str) -> bool {
+        user == definer || self.reachable_from(&[user.to_string()]).contains(definer)
+    }
+
+    /// Crates that define a plain fn or method named `name` outside any
+    /// `#[cfg(test)]` region — used to resolve `self.name(..)` calls to a
+    /// local definition rather than an escape hatch of the same name.
+    pub fn local_definers(&self, name: &str) -> BTreeSet<&str> {
+        self.fns
+            .iter()
+            .filter(|f| f.name == name)
+            .map(|f| f.crate_name.as_str())
+            .collect()
+    }
+
+    /// The crate defining `Type::name`, if the index has seen it.
+    pub fn method_definer(&self, owner: &str, name: &str) -> Option<&FnDef> {
+        self.fns
+            .iter()
+            .find(|f| f.name == name && f.owner.as_deref() == Some(owner))
+    }
+
+    /// Names of hash-ordered types: `HashMap`/`HashSet` plus every struct
+    /// that transitively embeds one in a named field.
+    pub fn hash_ordered_types(&self) -> BTreeSet<String> {
+        let mut tainted: BTreeSet<String> = ["HashMap", "HashSet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        loop {
+            let mut grew = false;
+            for field in &self.fields {
+                if field.in_test || tainted.contains(&field.struct_name) {
+                    continue;
+                }
+                if tainted.iter().any(|t| find_token(&field.ty, t).is_some()) {
+                    tainted.insert(field.struct_name.clone());
+                    grew = true;
+                }
+            }
+            if !grew {
+                return tainted;
+            }
+        }
+    }
+}
+
+/// Keywords that look like `ident(` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "else", "let",
+    "pub", "unsafe", "impl", "where", "dyn", "ref", "mut", "box", "await",
+];
+
+/// Indexes one scanned file into `index`.
+fn index_file(index: &mut WorkspaceIndex, file: &SourceFile) {
+    let scanned = &file.scanned;
+    let mut depth: i64 = 0;
+    // (open-line depth, impl type) for the innermost `impl` block.
+    let mut impl_stack: Vec<(i64, Option<String>)> = Vec::new();
+    // (open-line depth, fn name) for the innermost fn with an open body.
+    let mut fn_stack: Vec<(i64, String)> = Vec::new();
+    // (open-line depth, struct name, is_pub) for the innermost struct.
+    let mut struct_stack: Vec<(i64, String, bool)> = Vec::new();
+    // A fn decl whose body `{` has not opened yet.
+    let mut pending_fn: Option<PendingFn> = None;
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = scanned.in_test.get(idx).copied().unwrap_or(false);
+        let trimmed = line.trim();
+
+        // Finish a multi-line fn signature before anything else on this
+        // line is interpreted.
+        if let Some(pending) = pending_fn.as_mut() {
+            if !pending.done {
+                pending.signature.push(' ');
+                pending
+                    .signature
+                    .push_str(trimmed.split('{').next().unwrap_or(trimmed).trim_end());
+                if line.contains('{') {
+                    pending.done = true;
+                } else if line.contains(';') {
+                    // Bodyless decl (trait method): record and drop.
+                    push_fn(index, file, pending_fn.take(), &impl_stack, scanned);
+                }
+            }
+        }
+
+        // New item decls are recognized at the line's starting depth.
+        if let Some(rest) = item_after_vis(trimmed, "fn ") {
+            let name = leading_ident(rest);
+            if !name.is_empty() {
+                // A previous pending fn that never opened (shouldn't
+                // happen in well-formed code) is flushed first.
+                if pending_fn.is_some() {
+                    push_fn(index, file, pending_fn.take(), &impl_stack, scanned);
+                }
+                let is_pub = trimmed.starts_with("pub");
+                let is_unsafe = trimmed.split("fn ").next().unwrap_or("").contains("unsafe");
+                let unmetered = (lineno.saturating_sub(3)..=lineno)
+                    .any(|l| scanned.unmetered_tags.contains(&l));
+                pending_fn = Some(PendingFn {
+                    line: lineno,
+                    depth,
+                    name,
+                    is_pub,
+                    is_unsafe,
+                    unmetered,
+                    in_test,
+                    signature: trimmed
+                        .split('{')
+                        .next()
+                        .unwrap_or(trimmed)
+                        .trim_end()
+                        .to_string(),
+                    done: line.contains('{'),
+                });
+                if line.contains(';') && !line.contains('{') {
+                    push_fn(index, file, pending_fn.take(), &impl_stack, scanned);
+                }
+            }
+        } else if let Some(rest) = item_after_vis(trimmed, "struct ") {
+            let name = leading_ident(rest);
+            if !name.is_empty() && line.contains('{') {
+                struct_stack.push((depth, name, trimmed.starts_with("pub")));
+            }
+        } else if trimmed.starts_with("impl ") || trimmed.starts_with("impl<") {
+            impl_stack.push((depth, impl_type(trimmed)));
+        } else if let Some(rest) = item_after_vis(trimmed, "static ") {
+            let (is_mut, rest) = match rest.strip_prefix("mut ") {
+                Some(r) => (true, r),
+                None => (false, rest),
+            };
+            let name = leading_ident(rest);
+            if let Some((_, after)) = rest.split_once(':') {
+                let ty = after
+                    .split(&['=', ';'][..])
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                index.statics.push(StaticDef {
+                    crate_name: file.crate_name.clone(),
+                    path: file.rel_path.clone(),
+                    line: lineno,
+                    name,
+                    ty,
+                    is_mut,
+                    in_thread_local: scanned.in_thread_local.get(idx).copied().unwrap_or(false),
+                    kind: file.kind,
+                    in_test,
+                });
+            }
+        } else if let Some((_, struct_name, struct_is_pub)) = struct_stack.last() {
+            // A field line inside the innermost struct body.
+            if let Some((name, ty)) = field_decl(trimmed) {
+                index.fields.push(FieldDef {
+                    crate_name: file.crate_name.clone(),
+                    path: file.rel_path.clone(),
+                    line: lineno,
+                    struct_name: struct_name.clone(),
+                    struct_is_pub: *struct_is_pub,
+                    name,
+                    ty,
+                    kind: file.kind,
+                    in_test,
+                });
+            }
+        }
+
+        // Call sites. The enclosing fn is whichever is innermost: a
+        // pending decl on this very line, or the top of the open-fn stack.
+        let caller = pending_fn
+            .as_ref()
+            .map(|p| p.name.clone())
+            .or_else(|| fn_stack.last().map(|(_, n)| n.clone()));
+        collect_calls(index, file, lineno, line, caller.as_deref(), in_test);
+
+        // Depth bookkeeping at end of line.
+        let opens = line.bytes().filter(|&b| b == b'{').count() as i64;
+        let closes = line.bytes().filter(|&b| b == b'}').count() as i64;
+        if opens > 0 {
+            if let Some(pending) = pending_fn.take() {
+                if pending.done {
+                    fn_stack.push((pending.depth, pending.name.clone()));
+                    push_fn(index, file, Some(pending), &impl_stack, scanned);
+                } else {
+                    pending_fn = Some(pending);
+                }
+            }
+        }
+        depth += opens - closes;
+        while fn_stack.last().map(|(d, _)| depth <= *d).unwrap_or(false) {
+            fn_stack.pop();
+        }
+        while impl_stack.last().map(|(d, _)| depth <= *d).unwrap_or(false) {
+            impl_stack.pop();
+        }
+        while struct_stack
+            .last()
+            .map(|(d, _, _)| depth <= *d)
+            .unwrap_or(false)
+        {
+            struct_stack.pop();
+        }
+    }
+    if pending_fn.is_some() {
+        push_fn(index, file, pending_fn.take(), &impl_stack, scanned);
+    }
+}
+
+/// A fn decl seen but whose record is not yet pushed.
+struct PendingFn {
+    line: usize,
+    depth: i64,
+    name: String,
+    is_pub: bool,
+    is_unsafe: bool,
+    unmetered: bool,
+    in_test: bool,
+    signature: String,
+    done: bool,
+}
+
+fn push_fn(
+    index: &mut WorkspaceIndex,
+    file: &SourceFile,
+    pending: Option<PendingFn>,
+    impl_stack: &[(i64, Option<String>)],
+    scanned: &ScannedFile,
+) {
+    let Some(p) = pending else { return };
+    // Fns inside #[cfg(test)] regions are invisible to every rule; keep
+    // them out so local-definition resolution is not fooled by helpers.
+    if p.in_test || scanned.in_test.get(p.line - 1).copied().unwrap_or(false) {
+        return;
+    }
+    index.fns.push(FnDef {
+        crate_name: file.crate_name.clone(),
+        path: file.rel_path.clone(),
+        line: p.line,
+        owner: impl_stack.last().and_then(|(_, t)| t.clone()),
+        name: p.name,
+        is_pub: p.is_pub,
+        is_unsafe: p.is_unsafe,
+        signature: p.signature,
+        unmetered: p.unmetered,
+        kind: file.kind,
+    });
+}
+
+/// Strips an optional visibility prefix and matches `item` ("fn ",
+/// "struct ", "static "), returning the text after the keyword.
+fn item_after_vis<'a>(trimmed: &'a str, item: &str) -> Option<&'a str> {
+    let mut rest = trimmed;
+    if let Some(r) = rest.strip_prefix("pub") {
+        // `pub`, `pub(crate)`, `pub(super)`, ...
+        rest = match r.strip_prefix('(') {
+            Some(r2) => r2.split_once(')')?.1,
+            None => r,
+        }
+        .trim_start();
+    }
+    for prefix in ["const ", "unsafe ", "extern \"C\" ", "async "] {
+        if let Some(r) = rest.strip_prefix(prefix) {
+            rest = r;
+        }
+    }
+    rest.strip_prefix(item).map(str::trim_start)
+}
+
+/// The leading identifier of `s`.
+fn leading_ident(s: &str) -> String {
+    s.chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Extracts the implemented type name out of an `impl` header line:
+/// `impl SimDisk {`, `impl<'a> Foo<'a> {`, `impl BlockDevice for SimDisk {`.
+fn impl_type(trimmed: &str) -> Option<String> {
+    let body = trimmed.strip_prefix("impl")?;
+    // Skip generic params on the impl itself.
+    let body = if let Some(rest) = body.strip_prefix('<') {
+        skip_generics(rest)
+    } else {
+        body
+    };
+    let body = body.trim_start();
+    let target = match body.split(" for ").nth(1) {
+        Some(t) => t,
+        None => body,
+    };
+    let name = leading_ident(target.trim_start());
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Skips a balanced `<...>` run whose opening `<` was already consumed.
+fn skip_generics(s: &str) -> &str {
+    let mut depth = 1usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &s[i + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    ""
+}
+
+/// Parses `name: Type,` field lines (an optional `pub` prefix allowed).
+fn field_decl(trimmed: &str) -> Option<(String, String)> {
+    let rest = match item_after_vis(trimmed, "") {
+        Some(r) => r,
+        None => trimmed,
+    };
+    let name = leading_ident(rest);
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name.len()..].trim_start();
+    let ty = after.strip_prefix(':')?;
+    // Exclude statement-looking lines (`let x: u32 = ...`) — a `=` in a
+    // struct field position is not valid Rust.
+    if ty.contains('=') {
+        return None;
+    }
+    Some((name, ty.trim().trim_end_matches(',').trim().to_string()))
+}
+
+/// Records every `ident(`-shaped call on `line` with receiver hints.
+fn collect_calls(
+    index: &mut WorkspaceIndex,
+    file: &SourceFile,
+    lineno: usize,
+    line: &str,
+    caller: Option<&str>,
+    in_test: bool,
+) {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        let name = &line[start..i];
+        // Must be directly followed by `(` (no turbofish handling: none of
+        // the audited escape hatches are generic).
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        if name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(true)
+        {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `fn name(` is a decl, `name!(` is a macro — neither is a call;
+        // macros are excluded by the direct-`(` requirement above.
+        let before = &line[..start];
+        let before_trim = before.trim_end();
+        if before_trim.ends_with("fn") {
+            continue;
+        }
+        let (receiver, qualifier) = if let Some(head) = before.strip_suffix('.') {
+            let recv = trailing_ident(head);
+            (if recv.is_empty() { None } else { Some(recv) }, None)
+        } else if let Some(head) = before.strip_suffix("::") {
+            let qual = trailing_ident(head);
+            (None, if qual.is_empty() { None } else { Some(qual) })
+        } else {
+            (None, None)
+        };
+        index.calls.push(CallSite {
+            crate_name: file.crate_name.clone(),
+            path: file.rel_path.clone(),
+            line: lineno,
+            callee: name.to_string(),
+            receiver,
+            qualifier,
+            caller: caller.map(str::to_string),
+            kind: file.kind,
+            in_test,
+        });
+    }
+}
+
+/// The trailing identifier of `s`.
+fn trailing_ident(s: &str) -> String {
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    tail.chars().rev().collect()
+}
+
+/// Extracts workspace-internal dependency names out of a `Cargo.toml`'s
+/// `[dependencies]` section (exactly that section: `[dev-dependencies]`
+/// and `[workspace.dependencies]` do not count).
+pub fn parse_deps(manifest: &str, workspace_names: &BTreeSet<&str>) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name.workspace = true`, `name = { ... }`, `name = "1.0"`.
+        let key: String = line
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+            .collect();
+        if !key.is_empty() && workspace_names.contains(key.as_str()) && !deps.contains(&key) {
+            deps.push(key);
+        }
+    }
+    deps
+}
+
+/// Finds `needle` in `line` with identifier-boundary checks on whichever
+/// ends of the needle are identifier characters.
+pub fn find_token(line: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let start = from + rel;
+        let end = start + needle.len();
+        let head_ok = match (needle.chars().next(), line[..start].chars().next_back()) {
+            (Some(n), Some(prev)) if is_ident(n) => !is_ident(prev),
+            _ => true,
+        };
+        let tail_ok = match (needle.chars().next_back(), line[end..].chars().next()) {
+            (Some(n), Some(next)) if is_ident(n) => !is_ident(next),
+            _ => true,
+        };
+        if head_ok && tail_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn file(crate_name: &str, kind: FileKind, src: &str) -> SourceFile {
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            kind,
+            rel_path: format!("crates/{crate_name}/src/lib.rs"),
+            scanned: scan(src),
+        }
+    }
+
+    fn build(files: &[SourceFile]) -> WorkspaceIndex {
+        WorkspaceIndex::build(files, &BTreeMap::new())
+    }
+
+    #[test]
+    fn fns_record_owner_visibility_and_unmetered_tag() {
+        let src = "\
+pub struct SimDisk;
+impl SimDisk {
+    /// Representation-level access.
+    // simlint: unmetered
+    pub fn peek(&self, bno: u64) -> &Block {
+        &self.blocks[bno as usize]
+    }
+    fn check(&self) {}
+}
+pub fn free_standing(x: u64) -> u64 { x }
+";
+        let index = build(&[file("blockdev", FileKind::Lib, src)]);
+        let peek = index.method_definer("SimDisk", "peek").unwrap();
+        assert!(peek.is_pub);
+        assert!(peek.unmetered);
+        assert_eq!(peek.line, 5);
+        assert!(peek.signature.contains("fn peek(&self, bno: u64)"));
+        let check = index.method_definer("SimDisk", "check").unwrap();
+        assert!(!check.is_pub);
+        assert!(!check.unmetered);
+        let free = index
+            .fns
+            .iter()
+            .find(|f| f.name == "free_standing")
+            .unwrap();
+        assert_eq!(free.owner, None);
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_methods_to_the_type() {
+        let src = "\
+impl BlockDevice for SimDisk {
+    fn read(&mut self, bno: u64) -> Result<Block, DevError> {
+        Ok(Block::Zero)
+    }
+}
+";
+        let index = build(&[file("blockdev", FileKind::Lib, src)]);
+        assert!(index.method_definer("SimDisk", "read").is_some());
+    }
+
+    #[test]
+    fn struct_fields_and_hash_order_closure() {
+        let src = "\
+pub struct Inner {
+    pub map: std::collections::HashMap<u64, u64>,
+}
+pub struct Outer {
+    inner: Inner,
+    count: u64,
+}
+pub struct Clean {
+    total: u64,
+}
+";
+        let index = build(&[file("bench", FileKind::Lib, src)]);
+        let tainted = index.hash_ordered_types();
+        assert!(tainted.contains("Inner"));
+        assert!(tainted.contains("Outer"));
+        assert!(!tainted.contains("Clean"));
+    }
+
+    #[test]
+    fn calls_carry_receiver_and_qualifier_hints() {
+        let src = "\
+impl G {
+    fn fixup(&mut self) {
+        let b = d.peek(offset);
+        self.parity.poke(offset, acc);
+        let c = SimDisk::peek(&d, 0);
+    }
+}
+";
+        let index = build(&[file("raid", FileKind::Lib, src)]);
+        let peek = index
+            .calls
+            .iter()
+            .find(|c| c.callee == "peek" && c.receiver.is_some())
+            .unwrap();
+        assert_eq!(peek.receiver.as_deref(), Some("d"));
+        assert_eq!(peek.caller.as_deref(), Some("fixup"));
+        let poke = index.calls.iter().find(|c| c.callee == "poke").unwrap();
+        assert_eq!(poke.receiver.as_deref(), Some("parity"));
+        let qualified = index
+            .calls
+            .iter()
+            .find(|c| c.callee == "peek" && c.qualifier.is_some())
+            .unwrap();
+        assert_eq!(qualified.qualifier.as_deref(), Some("SimDisk"));
+    }
+
+    #[test]
+    fn statics_record_mutability_and_thread_local_membership() {
+        let src = "\
+static SHARED: AtomicU64 = AtomicU64::new(0);
+static mut RAW: u64 = 0;
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring::default());
+}
+";
+        let index = build(&[file("obs", FileKind::Lib, src)]);
+        assert_eq!(index.statics.len(), 3);
+        assert!(!index.statics[0].is_mut);
+        assert!(index.statics[0].ty.contains("AtomicU64"));
+        assert!(index.statics[1].is_mut);
+        assert!(!index.statics[0].in_thread_local);
+        assert!(index.statics[2].in_thread_local);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_indexed() {
+        let src = "\
+pub fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let index = build(&[file("wafl", FileKind::Lib, src)]);
+        assert!(index.fns.iter().any(|f| f.name == "real"));
+        assert!(!index.fns.iter().any(|f| f.name == "helper"));
+    }
+
+    #[test]
+    fn dependency_graph_and_reachability() {
+        let names: BTreeSet<&str> = ["bench", "raid", "blockdev", "obs"].into_iter().collect();
+        let bench = "[package]\nname = \"bench\"\n[dependencies]\nraid.workspace = true\n[dev-dependencies]\nsimlint.workspace = true\n";
+        let raid =
+            "[package]\nname = \"raid\"\n[dependencies]\nblockdev = { path = \"../blockdev\" }\n";
+        assert_eq!(parse_deps(bench, &names), vec!["raid"]);
+        assert_eq!(parse_deps(raid, &names), vec!["blockdev"]);
+        let mut manifests = BTreeMap::new();
+        manifests.insert("bench".to_string(), bench.to_string());
+        manifests.insert("raid".to_string(), raid.to_string());
+        manifests.insert(
+            "blockdev".to_string(),
+            "[package]\nname = \"blockdev\"\n".to_string(),
+        );
+        let index = WorkspaceIndex::build(&[], &manifests);
+        let reach = index.reachable_from(&["bench".to_string()]);
+        assert!(reach.contains("bench"));
+        assert!(reach.contains("raid"));
+        assert!(reach.contains("blockdev"));
+        assert!(!reach.contains("obs"));
+        assert!(index.depends_on("bench", "blockdev"));
+        assert!(!index.depends_on("blockdev", "bench"));
+    }
+
+    #[test]
+    fn workspace_dependencies_section_does_not_count() {
+        let names: BTreeSet<&str> = ["simkit"].into_iter().collect();
+        let root = "[workspace]\nmembers = [\"crates/*\"]\n[workspace.dependencies]\nsimkit = { path = \"crates/simkit\" }\n[package]\nname = \"root\"\n";
+        assert!(parse_deps(root, &names).is_empty());
+    }
+}

@@ -4,8 +4,11 @@
 //! The reproduction's numbers are only credible if every modelled IO flows
 //! through the metered device layers and every result is a deterministic
 //! function of the experiment seed. The Rust compiler cannot check either,
-//! so this crate does, with five token-level rules over the whole
-//! workspace (see `DESIGN.md` § "Simulation invariants"):
+//! so this crate does, with a two-pass workspace analyzer (see `DESIGN.md`
+//! § "Simulation invariants"): pass 1 ([`index`]) builds a token-level
+//! symbol index — fn definitions with `impl` owners, struct fields and
+//! their types, statics, call sites with receiver hints, and the
+//! workspace-internal dependency graph — and pass 2 runs the rules:
 //!
 //! - **D01** — no wall-clock (`Instant`, `SystemTime`, `thread::sleep`) in
 //!   simulation crates; all time flows through `simkit`'s meter and the
@@ -20,30 +23,48 @@
 //! - **D05** — no `unwrap`/`expect` in library crates (panics are for
 //!   bench, tests, and examples) and public error enums are
 //!   `#[non_exhaustive]`.
+//! - **D06** — no direct `obs::event::emit` outside the metered crates.
+//! - **D07** — calls to unmetered escape hatches (`SimDisk::peek`/`poke`
+//!   and any fn tagged `// simlint: unmetered`) only from the
+//!   `[escape_hatch] allow` list in `simlint.toml`.
+//! - **D08** — no thread-shared mutable statics in crates reachable from
+//!   the `bench::pool` job crates; `--jobs N` byte-identity relies on
+//!   per-thread state.
+//! - **D09** — no hash-ordered types crossing a crate boundary through pub
+//!   signatures or pub struct fields into report/table code.
 //!
 //! Violations are silenced per line with
 //! `// simlint: allow(RULE) -- justification`; a suppression without a
-//! justification is itself a diagnostic (**S00**).
+//! justification is itself a diagnostic (**S00**), and a suppression whose
+//! rules no longer fire at the covered site is stale (**S01**).
 //!
-//! Run it three ways: `cargo run -p simlint` (human diagnostics),
-//! `cargo run -p simlint -- --json` (CI), or via the `tests/simlint.rs`
-//! test every crate carries.
+//! Run it four ways: `cargo run -p simlint` (human diagnostics),
+//! `-- --json` (CI gate), `-- --sarif` (code-scanning upload), or
+//! `-- --fix` (apply the mechanical fixes). Every crate also carries a
+//! `tests/simlint.rs` tier-1 hook.
 
 pub mod config;
+pub mod fix;
+pub mod index;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::path::PathBuf;
 
 pub use config::Config;
+use index::WorkspaceIndex;
 use rules::FileCtx;
+use scan::ScannedFile;
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id ("D01".."D05", "S00").
+    /// Rule id ("D01".."D09", "S00", "S01").
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -53,9 +74,37 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// A mechanical fix `--fix` can apply, when one exists.
+    pub fix: Option<Fix>,
 }
 
-/// Where a file lives within its crate; rules only apply to library code.
+/// A mechanical edit that resolves a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// Insert `text` on its own line directly above the diagnostic's line,
+    /// matching that line's indentation (the `#[non_exhaustive]` fix).
+    InsertLineAbove {
+        /// The line to insert, without indentation.
+        text: String,
+    },
+    /// Rewrite the suppression comment starting at byte `col` on the
+    /// diagnostic's line to carry a justification placeholder (the S00
+    /// fix; the placeholder itself demands human text, keeping the edit
+    /// honest).
+    JustifySuppression {
+        /// 0-based byte column of the `//` opening the comment.
+        col: usize,
+    },
+    /// Delete the comment starting at byte `col` on the diagnostic's line
+    /// (the S01 stale-suppression fix); a line left empty is removed.
+    DeleteComment {
+        /// 0-based byte column of the `//` opening the comment.
+        col: usize,
+    },
+}
+
+/// Where a file lives within its crate; most rules only apply to library
+/// code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileKind {
     /// Under `src/` (excluding `src/bin/`).
@@ -68,6 +117,19 @@ pub enum FileKind {
     Example,
     /// Under `benches/`.
     Bench,
+}
+
+/// One loaded-and-scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Package name of the owning crate.
+    pub crate_name: String,
+    /// Where the file lives in its crate.
+    pub kind: FileKind,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// The sanitized scan.
+    pub scanned: ScannedFile,
 }
 
 /// A failure of the pass itself (not a rule violation).
@@ -118,6 +180,89 @@ impl std::fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
+/// The fully loaded workspace: config, every scanned source file, and the
+/// pass-1 symbol index. Loading once and linting from it keeps `--fix`
+/// (which needs file contents) and the per-crate test hooks (which need
+/// cross-file context) on the same pipeline.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The workspace root directory.
+    pub root: PathBuf,
+    /// The effective rule policy.
+    pub config: Config,
+    /// Every `.rs` file under the standard source roots, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// The pass-1 symbol index.
+    pub index: WorkspaceIndex,
+}
+
+impl Workspace {
+    /// Loads and scans every crate under `root` and builds the index.
+    pub fn load(root: &Path) -> Result<Workspace, LintError> {
+        let config = Config::load(root)?;
+        let mut files = Vec::new();
+        let mut manifests = BTreeMap::new();
+        for (name, dir) in workspace_crates(root)? {
+            let manifest = dir.join("Cargo.toml");
+            let text =
+                std::fs::read_to_string(&manifest).map_err(|e| LintError::io(&manifest, e))?;
+            manifests.insert(name.clone(), text);
+            load_crate_files(root, &name, &dir, &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        let index = WorkspaceIndex::build(&files, &manifests);
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            config,
+            files,
+            index,
+        })
+    }
+
+    /// Runs both passes. Diagnostics come back sorted by path, line, and
+    /// rule — the pass's own output must be deterministic.
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        let ws_raw = rules::workspace_candidates(&self.files, &self.index, &self.config);
+        let mut diags = Vec::new();
+        for file in &self.files {
+            let ctx = FileCtx {
+                crate_name: &file.crate_name,
+                kind: file.kind,
+                rel_path: &file.rel_path,
+            };
+            let raw = rules::file_candidates(ctx, &file.scanned, &self.config);
+            // S01 judges staleness against the *raw* candidate set — both
+            // per-file and cross-file — because a suppression's job is to
+            // silence a rule that would otherwise fire.
+            let mut raw_pairs: Vec<(&str, usize)> = raw.iter().map(|d| (d.rule, d.line)).collect();
+            raw_pairs.extend(
+                ws_raw
+                    .iter()
+                    .filter(|d| d.path == file.rel_path)
+                    .map(|d| (d.rule, d.line)),
+            );
+            diags.extend(
+                raw.into_iter()
+                    .filter(|d| !file.scanned.suppressed(d.rule, d.line)),
+            );
+            diags.extend(rules::suppression_diags(ctx, &file.scanned, &raw_pairs));
+        }
+        for d in ws_raw {
+            let suppressed = self
+                .files
+                .iter()
+                .find(|f| f.rel_path == d.path)
+                .map(|f| f.scanned.suppressed(d.rule, d.line))
+                .unwrap_or(false);
+            if !suppressed {
+                diags.push(d);
+            }
+        }
+        sort_diags(&mut diags);
+        diags
+    }
+}
+
 /// Walks upward from `start` to the directory holding the workspace
 /// `Cargo.toml` (the one with a `[workspace]` table).
 pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
@@ -155,29 +300,30 @@ fn package_name(manifest: &Path) -> Result<String, LintError> {
     })
 }
 
-/// Lints every crate in the workspace rooted at `root`. Diagnostics come
-/// back sorted by path, line, and rule — the pass's own output must be
-/// deterministic.
+/// Lints every crate in the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
-    let config = Config::load(root)?;
-    let mut diags = Vec::new();
-    for (name, dir) in workspace_crates(root)? {
-        diags.extend(lint_crate_dir(root, &config, &name, &dir)?);
-    }
-    sort_diags(&mut diags);
-    Ok(diags)
+    Ok(Workspace::load(root)?.lint())
 }
 
-/// Lints a single crate directory (used by each crate's tier-1 test).
-/// Locates the workspace root above `manifest_dir` for config and
-/// relative paths.
+/// Lints a single crate (used by each crate's tier-1 test). The whole
+/// workspace is loaded — the cross-file rules need the full index — and
+/// the diagnostics are filtered down to files owned by the crate at
+/// `manifest_dir`.
 pub fn lint_crate(manifest_dir: &Path) -> Result<Vec<Diagnostic>, LintError> {
     let root = find_workspace_root(manifest_dir)?;
-    let config = Config::load(&root)?;
     let name = package_name(&manifest_dir.join("Cargo.toml"))?;
-    let mut diags = lint_crate_dir(&root, &config, &name, manifest_dir)?;
-    sort_diags(&mut diags);
-    Ok(diags)
+    let ws = Workspace::load(&root)?;
+    let owned: BTreeSet<&str> = ws
+        .files
+        .iter()
+        .filter(|f| f.crate_name == name)
+        .map(|f| f.rel_path.as_str())
+        .collect();
+    Ok(ws
+        .lint()
+        .into_iter()
+        .filter(|d| owned.contains(d.path.as_str()))
+        .collect())
 }
 
 /// Test-suite entry point: panics with rendered diagnostics when the crate
@@ -215,14 +361,13 @@ fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
     Ok(crates)
 }
 
-/// Lints the standard source roots of one crate directory.
-fn lint_crate_dir(
+/// Loads and scans the standard source roots of one crate directory.
+fn load_crate_files(
     root: &Path,
-    config: &Config,
     crate_name: &str,
     dir: &Path,
-) -> Result<Vec<Diagnostic>, LintError> {
-    let mut diags = Vec::new();
+    out: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
     let roots: [(&str, FileKind); 4] = [
         ("src", FileKind::Lib),
         ("tests", FileKind::Test),
@@ -249,16 +394,15 @@ fn lint_crate_dir(
                 .unwrap_or(file.as_path())
                 .display()
                 .to_string();
-            let scanned = scan::scan(&text);
-            let ctx = FileCtx {
-                crate_name,
+            out.push(SourceFile {
+                crate_name: crate_name.to_string(),
                 kind,
-                rel_path: &rel,
-            };
-            diags.extend(rules::check_file(ctx, &scanned, config));
+                rel_path: rel,
+                scanned: scan::scan(&text),
+            });
         }
     }
-    Ok(diags)
+    Ok(())
 }
 
 /// Whether `file` sits under `<src>/bin/`.
@@ -326,7 +470,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn json_str(out: &mut String, s: &str) {
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -356,6 +500,7 @@ mod tests {
             line: 3,
             message: "say \"no\"".into(),
             snippet: "let t = Instant::now();".into(),
+            fix: None,
         }];
         let json = render_json(&diags);
         assert!(json.contains("\"count\": 1"));
@@ -372,6 +517,7 @@ mod tests {
             line: 9,
             message: "m".into(),
             snippet: "x.unwrap();".into(),
+            fix: None,
         }];
         let text = render_human(&diags);
         assert!(text.contains("crates/x/src/lib.rs:9 [D05] m"));

@@ -1,19 +1,31 @@
-//! CLI entry: `cargo run -p simlint [-- --json] [-- --root DIR]`.
+//! CLI entry: `cargo run -p simlint [-- --json|--sarif|--fix] [-- --root DIR]`.
 //!
 //! Prints diagnostics (human-readable by default, a JSON document with
-//! `--json` for CI) and exits non-zero when any unsuppressed diagnostic
-//! remains.
+//! `--json` for the CI gate, SARIF 2.1.0 with `--sarif` for code-scanning
+//! upload) and exits non-zero when any unsuppressed diagnostic remains.
+//! `--fix` applies the mechanical fixes (missing `#[non_exhaustive]`,
+//! suppression rewrites) in place, then reports what is left.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut output = Output::Human;
+    let mut fix = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => output = Output::Json,
+            "--sarif" => output = Output::Sarif,
+            "--fix" => fix = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -22,7 +34,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: simlint [--json] [--root DIR]");
+                eprintln!("usage: simlint [--json | --sarif] [--fix] [--root DIR]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -49,25 +61,52 @@ fn main() -> ExitCode {
         }
     };
 
-    match simlint::lint_workspace(&root) {
-        Ok(diags) => {
-            if json {
-                print!("{}", simlint::render_json(&diags));
-            } else if diags.is_empty() {
+    let mut diags = match simlint::lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fix {
+        let applied = match simlint::fix::apply_fixes(&root, &diags) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (path, count) in &applied {
+            eprintln!("simlint: fixed {count} in {path}");
+        }
+        let total: usize = applied.iter().map(|(_, n)| n).sum();
+        eprintln!("simlint: applied {total} fix(es)");
+        // Report what the fixes did not resolve.
+        diags = match simlint::lint_workspace(&root) {
+            Ok(diags) => diags,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    match output {
+        Output::Json => print!("{}", simlint::render_json(&diags)),
+        Output::Sarif => print!("{}", simlint::sarif::render_sarif(&diags)),
+        Output::Human => {
+            if diags.is_empty() {
                 eprintln!("simlint: workspace clean");
             } else {
                 print!("{}", simlint::render_human(&diags));
                 eprintln!("simlint: {} violation(s)", diags.len());
             }
-            if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
         }
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::from(2)
-        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,9 +1,19 @@
-//! The rule set: D01–D06 pattern checks over sanitized source lines.
+//! The rule set: per-file pattern checks (D01–D06), cross-file workspace
+//! rules over the symbol index (D07–D09), and suppression hygiene
+//! (S00 unjustified / S01 stale).
+//!
+//! Rules here produce *raw candidates* — suppression filtering happens in
+//! the driver (`lib.rs`), which needs the unfiltered set anyway to detect
+//! stale suppressions.
 
 use crate::config::Config;
+use crate::index::find_token;
+use crate::index::WorkspaceIndex;
 use crate::scan::ScannedFile;
 use crate::Diagnostic;
 use crate::FileKind;
+use crate::Fix;
+use crate::SourceFile;
 
 /// Everything a rule needs to know about the file being linted.
 #[derive(Debug, Clone, Copy)]
@@ -17,7 +27,9 @@ pub struct FileCtx<'a> {
 }
 
 /// Rule ids, in the order they are checked.
-pub const RULE_IDS: [&str; 7] = ["D01", "D02", "D03", "D04", "D05", "D06", "S00"];
+pub const RULE_IDS: [&str; 11] = [
+    "D01", "D02", "D03", "D04", "D05", "D06", "D07", "D08", "D09", "S00", "S01",
+];
 
 /// One token-level pattern a rule fires on.
 struct Pattern {
@@ -110,8 +122,22 @@ const D06_PATTERNS: &[Pattern] = &[
     },
 ];
 
-/// Runs every applicable rule over one scanned file.
-pub fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<Diagnostic> {
+/// Type names whose presence in a `static` makes it shared mutable state
+/// (interior mutability or lock-guarded globals).
+const D08_SHARED_TYPES: &[&str] = &[
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+];
+
+/// Runs the per-file rules (D01–D06) over one scanned file, returning raw
+/// candidates (suppressions not yet applied).
+pub fn file_candidates(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let in_list = |list: &[String]| list.iter().any(|n| n == ctx.crate_name);
     let lib_code = ctx.kind == FileKind::Lib;
@@ -148,7 +174,329 @@ pub fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<
             "direct trace-event emission outside a metered crate; let the instrumented device layer emit so events stay attributable to real work",
         );
     }
-    suppression_hygiene(&mut diags, ctx, file);
+    diags
+}
+
+/// Runs the cross-file rules (D07–D09) over the whole workspace index,
+/// returning raw candidates.
+pub fn workspace_candidates(
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    escape_hatch_rule(&mut diags, files, index, config);
+    shared_state_rule(&mut diags, files, index, config);
+    hash_dataflow_rule(&mut diags, files, index, config);
+    diags
+}
+
+/// An audited escape hatch: a method name plus (optionally) the type and
+/// crate that define it.
+struct Hatch {
+    owner: Option<String>,
+    name: String,
+    def_crate: Option<String>,
+}
+
+/// D07 — unmetered escape-hatch audit. `SimDisk::peek`/`poke` (and any fn
+/// tagged `// simlint: unmetered`) bypass the service-time model, fault
+/// injection, and obs counters by design; a call site outside the
+/// `[escape_hatch] allow` list is a hole in the metering story.
+fn escape_hatch_rule(
+    diags: &mut Vec<Diagnostic>,
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    config: &Config,
+) {
+    let mut hatches: Vec<Hatch> = Vec::new();
+    for entry in &config.unmetered {
+        let (owner, name) = match entry.split_once("::") {
+            Some((t, n)) => (Some(t.to_string()), n.to_string()),
+            None => (None, entry.clone()),
+        };
+        let def_crate = owner
+            .as_deref()
+            .and_then(|t| index.method_definer(t, &name))
+            .map(|f| f.crate_name.clone());
+        hatches.push(Hatch {
+            owner,
+            name,
+            def_crate,
+        });
+    }
+    for f in &index.fns {
+        if f.unmetered
+            && !hatches
+                .iter()
+                .any(|h| h.name == f.name && h.owner == f.owner)
+        {
+            hatches.push(Hatch {
+                owner: f.owner.clone(),
+                name: f.name.clone(),
+                def_crate: Some(f.crate_name.clone()),
+            });
+        }
+    }
+    if hatches.is_empty() {
+        return;
+    }
+
+    for call in &index.calls {
+        if call.in_test || !matches!(call.kind, FileKind::Lib | FileKind::Bin) {
+            continue;
+        }
+        let Some(hatch) = hatches.iter().find(|h| h.name == call.callee) else {
+            continue;
+        };
+        // A qualified call names its type; it must match the hatch's.
+        if let (Some(qual), Some(owner)) = (&call.qualifier, &hatch.owner) {
+            if qual != owner {
+                continue;
+            }
+        }
+        // The calling crate must be able to see the hatch at all.
+        if let Some(def_crate) = &hatch.def_crate {
+            if !index.depends_on(&call.crate_name, def_crate) {
+                continue;
+            }
+        }
+        // `self.name(..)` binds to a local method when the crate defines
+        // one that is not itself the hatch.
+        if call.receiver.as_deref() == Some("self") {
+            let local = index.fns.iter().any(|f| {
+                f.crate_name == call.crate_name
+                    && f.name == call.callee
+                    && (f.owner != hatch.owner || Some(&f.crate_name) != hatch.def_crate.as_ref())
+            });
+            if local {
+                continue;
+            }
+        }
+        // The hatch's own definition body may compose other hatches.
+        if let Some(caller) = &call.caller {
+            if hatches.iter().any(|h| &h.name == caller) {
+                continue;
+            }
+            let allow_key = format!("{}::{}", call.path, caller);
+            if config.unmetered_allow.iter().any(|a| a == &allow_key) {
+                continue;
+            }
+        }
+        let shown = match &hatch.owner {
+            Some(t) => format!("{t}::{}", hatch.name),
+            None => hatch.name.clone(),
+        };
+        push_diag(
+            diags,
+            files,
+            "D07",
+            &call.path,
+            call.line,
+            format!(
+                "call to unmetered escape hatch `{shown}` outside the allowlist; \
+                 it skips the service-time model, fault injection, and obs counters — \
+                 route through the metered device API, or add \
+                 `{}::<fn>` to [escape_hatch] allow in simlint.toml with a review",
+                call.path
+            ),
+        );
+    }
+}
+
+/// D08 — thread-shared mutable state reachable from the bench job pool.
+/// Every pool job runs on a fresh thread so thread-local obs state starts
+/// virgin; a process-wide mutable static would couple jobs and break
+/// `--jobs N` byte-identity with `--jobs 1`.
+fn shared_state_rule(
+    diags: &mut Vec<Diagnostic>,
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    config: &Config,
+) {
+    if config.jobs.is_empty() {
+        return;
+    }
+    let audited = index.reachable_from(&config.jobs);
+    for s in &index.statics {
+        if s.in_test || s.in_thread_local || !matches!(s.kind, FileKind::Lib | FileKind::Bin) {
+            continue;
+        }
+        if !audited.contains(&s.crate_name) {
+            continue;
+        }
+        let shared = s.is_mut
+            || D08_SHARED_TYPES
+                .iter()
+                .any(|t| find_token(&s.ty, t).is_some())
+            || s.ty.contains("Atomic");
+        if !shared {
+            continue;
+        }
+        let what = if s.is_mut {
+            "`static mut`".to_string()
+        } else {
+            format!("shared-mutable static (`{}`)", s.ty)
+        };
+        push_diag(
+            diags,
+            files,
+            "D08",
+            &s.path,
+            s.line,
+            format!(
+                "{what} `{}` is reachable from bench::pool jobs; process-wide mutable \
+                 state couples parallel experiments and breaks --jobs N byte-identity — \
+                 use thread_local! (like obs) or pass state through the job closure",
+                s.name
+            ),
+        );
+    }
+}
+
+/// D09 — cross-file hash-order dataflow. D03 bans `HashMap`/`HashSet`
+/// inside simulation crates line by line; D09 closes the gap one hop out:
+/// a hash-ordered type (directly, or a struct transitively embedding one)
+/// flowing through a pub fn signature or pub struct field of any crate the
+/// report/table crates depend on carries nondeterministic iteration order
+/// across a crate boundary into the tables.
+fn hash_dataflow_rule(
+    diags: &mut Vec<Diagnostic>,
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    config: &Config,
+) {
+    if config.report.is_empty() {
+        return;
+    }
+    let tainted = index.hash_ordered_types();
+    let in_simulation = |name: &str| config.simulation.iter().any(|n| n == name);
+    // Simulation crates are D03's jurisdiction; D09 audits everything else
+    // in the report crates' dependency cone (the report crates included).
+    let audited: Vec<String> = index
+        .reachable_from(&config.report)
+        .into_iter()
+        .filter(|c| !in_simulation(c))
+        .collect();
+    let is_audited = |name: &str| audited.iter().any(|n| n == name);
+
+    for f in &index.fns {
+        if f.kind != FileKind::Lib || !f.is_pub || !is_audited(&f.crate_name) {
+            continue;
+        }
+        if let Some(t) = tainted
+            .iter()
+            .find(|t| find_token(&f.signature, t).is_some())
+        {
+            push_diag(
+                diags,
+                files,
+                "D09",
+                &f.path,
+                f.line,
+                format!(
+                    "pub fn `{}` carries hash-ordered type `{t}` across a crate boundary \
+                     into report/table code; hash iteration order is nondeterministic — \
+                     convert to BTreeMap/BTreeSet or a sorted Vec at the boundary",
+                    f.name
+                ),
+            );
+        }
+    }
+    for fd in &index.fields {
+        if fd.in_test
+            || fd.kind != FileKind::Lib
+            || !fd.struct_is_pub
+            || !is_audited(&fd.crate_name)
+        {
+            continue;
+        }
+        if let Some(t) = tainted.iter().find(|t| find_token(&fd.ty, t).is_some()) {
+            // The closure already taints the struct itself; only report the
+            // root embeddings (fields of literal HashMap/HashSet) to keep
+            // one actionable diagnostic per leak instead of a cascade.
+            if *t != "HashMap" && *t != "HashSet" {
+                continue;
+            }
+            push_diag(
+                diags,
+                files,
+                "D09",
+                &fd.path,
+                fd.line,
+                format!(
+                    "field `{}` of pub struct `{}` embeds hash-ordered `{t}` in a crate \
+                     feeding report/table code; anything iterating it inherits \
+                     nondeterministic order — use BTreeMap/BTreeSet",
+                    fd.name, fd.struct_name
+                ),
+            );
+        }
+    }
+}
+
+/// S00 (unjustified/unknown suppression) and S01 (stale suppression: no
+/// raw diagnostic of the named rule fires at the covered site).
+pub fn suppression_diags(
+    ctx: FileCtx<'_>,
+    file: &ScannedFile,
+    raw: &[(&str, usize)],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for s in &file.suppressions {
+        if !s.justified {
+            let mut d = diag(
+                ctx,
+                "S00",
+                s.line,
+                file,
+                "suppression without justification; write `// simlint: allow(RULE) -- why`"
+                    .to_string(),
+            );
+            d.fix = Some(Fix::JustifySuppression { col: s.col });
+            diags.push(d);
+        }
+        let mut stale: Vec<&str> = Vec::new();
+        let mut known = 0usize;
+        for rule in &s.rules {
+            if !RULE_IDS.contains(&rule.as_str()) {
+                diags.push(diag(
+                    ctx,
+                    "S00",
+                    s.line,
+                    file,
+                    format!("suppression names unknown rule `{rule}`"),
+                ));
+                continue;
+            }
+            known += 1;
+            let fires = raw
+                .iter()
+                .any(|(r, line)| *r == rule.as_str() && s.covers(r, *line));
+            if !fires {
+                stale.push(rule);
+            }
+        }
+        if !stale.is_empty() && known > 0 {
+            let mut d = diag(
+                ctx,
+                "S01",
+                s.line,
+                file,
+                format!(
+                    "stale suppression: {} no longer fire{} here; delete the comment \
+                     (or narrow it) so silenced rules stay meaningful",
+                    stale.join(", "),
+                    if stale.len() == 1 { "s" } else { "" },
+                ),
+            );
+            // Deleting is only safe when every named rule is stale.
+            if stale.len() == known {
+                d.fix = Some(Fix::DeleteComment { col: s.col });
+            }
+            diags.push(d);
+        }
+    }
     diags
 }
 
@@ -167,7 +515,7 @@ fn pattern_rule(
         }
         let lineno = idx + 1;
         for p in patterns {
-            if find_token(line, p.needle).is_some() && !file.suppressed(rule, lineno) {
+            if find_token(line, p.needle).is_some() {
                 diags.push(diag(
                     ctx,
                     rule,
@@ -196,18 +544,16 @@ fn unwrap_rule(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &ScannedFile
             None
         };
         if let Some(what) = hit {
-            if !file.suppressed("D05", lineno) {
-                diags.push(diag(
-                    ctx,
-                    "D05",
-                    lineno,
-                    file,
-                    format!(
-                        "{what} in a library crate; propagate through the crate's error type \
-                         (panics are reserved for bench, tests, and examples)"
-                    ),
-                ));
-            }
+            diags.push(diag(
+                ctx,
+                "D05",
+                lineno,
+                file,
+                format!(
+                    "{what} in a library crate; propagate through the crate's error type \
+                     (panics are reserved for bench, tests, and examples)"
+                ),
+            ));
         }
     }
 }
@@ -236,8 +582,8 @@ fn error_enum_rule(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &Scanned
         let annotated = file.lines[window_start..idx]
             .iter()
             .any(|l| l.contains("non_exhaustive"));
-        if !annotated && !file.suppressed("D05", lineno) {
-            diags.push(diag(
+        if !annotated {
+            let mut d = diag(
                 ctx,
                 "D05",
                 lineno,
@@ -246,37 +592,38 @@ fn error_enum_rule(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &Scanned
                     "public error enum `{name}` is not #[non_exhaustive]; \
                      adding a variant would be a breaking change"
                 ),
-            ));
+            );
+            d.fix = Some(Fix::InsertLineAbove {
+                text: "#[non_exhaustive]".to_string(),
+            });
+            diags.push(d);
         }
     }
 }
 
-/// S00: every suppression must carry a `-- justification`, and must name
-/// known rules.
-fn suppression_hygiene(diags: &mut Vec<Diagnostic>, ctx: FileCtx<'_>, file: &ScannedFile) {
-    for s in &file.suppressions {
-        if !s.justified {
-            diags.push(diag(
-                ctx,
-                "S00",
-                s.line,
-                file,
-                "suppression without justification; write `// simlint: allow(RULE) -- why`"
-                    .to_string(),
-            ));
-        }
-        for rule in &s.rules {
-            if !RULE_IDS.contains(&rule.as_str()) {
-                diags.push(diag(
-                    ctx,
-                    "S00",
-                    s.line,
-                    file,
-                    format!("suppression names unknown rule `{rule}`"),
-                ));
-            }
-        }
-    }
+/// Builds a cross-file diagnostic, pulling the snippet out of `files`.
+fn push_diag(
+    diags: &mut Vec<Diagnostic>,
+    files: &[SourceFile],
+    rule: &'static str,
+    path: &str,
+    line: usize,
+    message: String,
+) {
+    let snippet = files
+        .iter()
+        .find(|f| f.rel_path == path)
+        .and_then(|f| f.scanned.raw_lines.get(line - 1))
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    diags.push(Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+        snippet,
+        fix: None,
+    });
 }
 
 fn diag(
@@ -296,31 +643,8 @@ fn diag(
             .get(lineno - 1)
             .map(|l| l.trim().to_string())
             .unwrap_or_default(),
+        fix: None,
     }
-}
-
-/// Finds `needle` in `line` with identifier-boundary checks on whichever
-/// ends of the needle are identifier characters.
-fn find_token(line: &str, needle: &str) -> Option<usize> {
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    let mut from = 0;
-    while let Some(rel) = line[from..].find(needle) {
-        let start = from + rel;
-        let end = start + needle.len();
-        let head_ok = match (needle.chars().next(), line[..start].chars().next_back()) {
-            (Some(n), Some(prev)) if is_ident(n) => !is_ident(prev),
-            _ => true,
-        };
-        let tail_ok = match (needle.chars().next_back(), line[end..].chars().next()) {
-            (Some(n), Some(next)) if is_ident(n) => !is_ident(next),
-            _ => true,
-        };
-        if head_ok && tail_ok {
-            return Some(start);
-        }
-        from = start + 1;
-    }
-    None
 }
 
 #[cfg(test)]
@@ -334,6 +658,20 @@ mod tests {
             kind: FileKind::Lib,
             rel_path: "crates/wafl/src/x.rs",
         }
+    }
+
+    /// Composes the per-file pipeline the driver runs: raw candidates,
+    /// suppression filtering, then S00/S01 hygiene.
+    fn check_file(ctx: FileCtx<'_>, file: &ScannedFile, config: &Config) -> Vec<Diagnostic> {
+        let raw = file_candidates(ctx, file, config);
+        let raw_pairs: Vec<(&str, usize)> = raw.iter().map(|d| (d.rule, d.line)).collect();
+        let mut out: Vec<Diagnostic> = raw
+            .iter()
+            .filter(|d| !file.suppressed(d.rule, d.line))
+            .cloned()
+            .collect();
+        out.extend(suppression_diags(ctx, file, &raw_pairs));
+        out
     }
 
     fn check(src: &str) -> Vec<Diagnostic> {
@@ -399,6 +737,12 @@ mod tests {
         let d = check(bad);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("FooError"));
+        assert_eq!(
+            d[0].fix,
+            Some(Fix::InsertLineAbove {
+                text: "#[non_exhaustive]".to_string()
+            })
+        );
         let good = "#[non_exhaustive]\npub enum FooError {\n    A,\n}\n";
         assert!(check(good).is_empty());
         // Non-error enums are not held to it.
@@ -451,8 +795,28 @@ mod tests {
         let d = check(unjustified);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "S00");
+        assert!(matches!(d[0].fix, Some(Fix::JustifySuppression { .. })));
         let unknown = "// simlint: allow(D99) -- what\nlet v = 3;\n";
         assert_eq!(check(unknown)[0].rule, "S00");
+    }
+
+    #[test]
+    fn stale_suppression_is_reported_with_a_delete_fix() {
+        let stale = "// simlint: allow(D03) -- was a HashMap once\nlet v = 3;\n";
+        let d = check(stale);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "S01");
+        assert_eq!(d[0].fix, Some(Fix::DeleteComment { col: 0 }));
+        // A suppression covering a live rule is not stale.
+        let live = "// simlint: allow(D05) -- infallible\nlet v = x.unwrap();\n";
+        assert!(check(live).is_empty());
+        // A half-stale multi-rule suppression is reported without a fix.
+        let half = "// simlint: allow(D05, D03) -- both\nlet v = x.unwrap();\n";
+        let d = check(half);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "S01");
+        assert!(d[0].message.contains("D03"));
+        assert_eq!(d[0].fix, None);
     }
 
     #[test]

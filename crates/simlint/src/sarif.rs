@@ -1,0 +1,151 @@
+//! SARIF 2.1.0 output — the static-analysis interchange format GitHub
+//! code scanning and most SARIF viewers ingest. Hand-rolled like the rest
+//! of the crate (no serde in the hermetic build environment); the writer
+//! emits a fixed key order so the document is byte-deterministic for the
+//! same diagnostics.
+
+use std::fmt::Write as _;
+
+use crate::json_str;
+use crate::rules::RULE_IDS;
+use crate::Diagnostic;
+
+/// One-line rule descriptions, embedded as the driver's rule metadata so a
+/// SARIF viewer can explain a result without the repo checked out.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "D01" => "No wall-clock time in simulation crates; time flows through simkit's meter.",
+        "D02" => "No unseeded randomness; every stochastic choice draws from the experiment seed.",
+        "D03" => {
+            "No HashMap/HashSet in simulation crates; hash iteration order is nondeterministic."
+        }
+        "D04" => "No raw std::fs access in metered crates; IO goes through the device traits.",
+        "D05" => "No unwrap/expect in library crates; public error enums are #[non_exhaustive].",
+        "D06" => "No direct obs::event::emit outside the instrumented device crates.",
+        "D07" => "Unmetered escape hatches (SimDisk::peek/poke) only from the audited allowlist.",
+        "D08" => "No thread-shared mutable statics reachable from the bench job pool.",
+        "D09" => "No hash-ordered types crossing crate boundaries into report/table code.",
+        "S00" => "Every suppression names a known rule and carries a justification.",
+        "S01" => "No stale suppressions: every silenced rule still fires at the covered site.",
+        _ => "Unknown rule.",
+    }
+}
+
+/// Renders `diags` as a single-run SARIF 2.1.0 document.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"simlint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": {:?},",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"informationUri\": \"https://github.com/example/wafl-backup\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RULE_IDS.iter().enumerate() {
+        out.push_str("            {\"id\": ");
+        json_str(&mut out, rule);
+        out.push_str(", \"shortDescription\": {\"text\": ");
+        json_str(&mut out, rule_description(rule));
+        out.push_str("}}");
+        if i + 1 < RULE_IDS.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {\"ruleId\": ");
+        json_str(&mut out, d.rule);
+        // Suppression hygiene is a warning; determinism/metering holes are
+        // errors — they invalidate results.
+        let level = if d.rule.starts_with('S') {
+            "warning"
+        } else {
+            "error"
+        };
+        out.push_str(", \"level\": ");
+        json_str(&mut out, level);
+        out.push_str(", \"message\": {\"text\": ");
+        json_str(&mut out, &d.message);
+        out.push_str("}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+        json_str(&mut out, &d.path);
+        let _ = write!(
+            out,
+            "}}, \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": ",
+            d.line
+        );
+        json_str(&mut out, &d.snippet);
+        out.push_str("}}}}]}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "D07",
+                path: "crates/x/src/lib.rs".into(),
+                line: 12,
+                message: "call to unmetered escape hatch".into(),
+                snippet: "d.peek(0);".into(),
+                fix: None,
+            },
+            Diagnostic {
+                rule: "S00",
+                path: "crates/x/src/lib.rs".into(),
+                line: 40,
+                message: "suppression without justification".into(),
+                snippet: "// simlint: allow(D05)".into(),
+                fix: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn document_carries_schema_rules_and_results() {
+        let doc = render_sarif(&sample());
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("sarif-2.1.0.json"));
+        // All rule metadata is present regardless of which rules fired.
+        for rule in RULE_IDS {
+            assert!(doc.contains(&format!("{{\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(doc.contains("\"ruleId\": \"D07\""));
+        assert!(doc.contains("\"startLine\": 12"));
+        assert!(doc.contains("\"uri\": \"crates/x/src/lib.rs\""));
+    }
+
+    #[test]
+    fn levels_split_determinism_errors_from_hygiene_warnings() {
+        let doc = render_sarif(&sample());
+        assert!(doc.contains("\"ruleId\": \"D07\", \"level\": \"error\""));
+        assert!(doc.contains("\"ruleId\": \"S00\", \"level\": \"warning\""));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_valid_for_empty_input() {
+        let a = render_sarif(&sample());
+        let b = render_sarif(&sample());
+        assert_eq!(a, b);
+        let empty = render_sarif(&[]);
+        assert!(empty.contains("\"results\": []"));
+    }
+}

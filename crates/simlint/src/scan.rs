@@ -14,6 +14,9 @@ pub struct Suppression {
     /// 1-based line the comment sits on. The suppression covers this line
     /// and, when the comment stands alone, the line directly below it.
     pub line: usize,
+    /// 0-based byte column of the `//` that opens the comment (for the
+    /// stale-suppression autofix, which deletes or rewrites the comment).
+    pub col: usize,
     /// Upper-cased rule ids named in `allow(...)`.
     pub rules: Vec<String>,
     /// Whether a non-empty justification followed `--`.
@@ -37,9 +40,16 @@ pub struct ScannedFile {
     pub raw_lines: Vec<String>,
     /// Collected suppression comments.
     pub suppressions: Vec<Suppression>,
+    /// 1-based lines carrying a `// simlint: unmetered` tag; a fn defined
+    /// on or directly under such a line is an audited escape hatch (D07).
+    pub unmetered_tags: Vec<usize>,
     /// `in_test[i]` is true when 0-based line `i` falls inside a
     /// `#[cfg(test)]` item (typically the trailing `mod tests { ... }`).
     pub in_test: Vec<bool>,
+    /// `in_thread_local[i]` is true when 0-based line `i` falls inside a
+    /// `thread_local! { ... }` block (such statics are per-thread and
+    /// exempt from the shared-mutable-state rule D08).
+    pub in_thread_local: Vec<bool>,
 }
 
 impl ScannedFile {
@@ -64,43 +74,70 @@ enum State {
     CharLit,
 }
 
-/// Scans `text` into sanitized lines, suppressions, and test-region marks.
+/// Scans `text` into sanitized lines, suppressions, tag comments, and
+/// test/thread-local region marks.
 pub fn scan(text: &str) -> ScannedFile {
     let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
     let (sanitized, comments) = sanitize(text);
     let lines: Vec<String> = sanitized.lines().map(str::to_string).collect();
     let suppressions = comments
         .iter()
-        .filter_map(|(line, c)| parse_suppression(*line, c))
+        .filter_map(|c| parse_suppression(c.line, c.col, &c.text))
         .collect();
-    let in_test = mark_test_regions(&sanitized, lines.len());
+    let unmetered_tags = comments
+        .iter()
+        .filter(|c| c.text.trim().starts_with("simlint: unmetered"))
+        .map(|c| c.line)
+        .collect();
+    let in_test = mark_item_regions(&sanitized, "#[cfg(test)]", lines.len());
+    let in_thread_local = mark_item_regions(&sanitized, "thread_local!", lines.len());
     ScannedFile {
         lines,
         raw_lines,
         suppressions,
+        unmetered_tags,
         in_test,
+        in_thread_local,
     }
 }
 
+/// One line comment's text, keyed by position (for suppression and tag
+/// parsing).
+struct Comment {
+    /// 1-based line.
+    line: usize,
+    /// 0-based byte column of the opening `//`.
+    col: usize,
+    /// Everything after the `//`.
+    text: String,
+}
+
 /// Returns `text` with comment and literal contents blanked, plus every
-/// line comment's text keyed by 1-based line (for suppression parsing).
-fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
+/// line comment's text keyed by position (for suppression parsing).
+fn sanitize(text: &str) -> (String, Vec<Comment>) {
     let bytes = text.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
     let mut state = State::Code;
     let mut line = 1usize;
+    let mut line_start = 0usize;
     let mut comment_buf = String::new();
+    let mut comment_col = 0usize;
     let mut i = 0;
     while i < bytes.len() {
         let b = bytes[i];
         if b == b'\n' {
             if state == State::LineComment {
-                comments.push((line, std::mem::take(&mut comment_buf)));
+                comments.push(Comment {
+                    line,
+                    col: comment_col,
+                    text: std::mem::take(&mut comment_buf),
+                });
                 state = State::Code;
             }
             out.push(b'\n');
             line += 1;
+            line_start = out.len();
             i += 1;
             continue;
         }
@@ -109,6 +146,7 @@ fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
                 if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
                     state = State::LineComment;
                     comment_buf.clear();
+                    comment_col = out.len() - line_start;
                     out.extend_from_slice(b"  ");
                     i += 2;
                 } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
@@ -227,7 +265,11 @@ fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
         }
     }
     if state == State::LineComment {
-        comments.push((line, comment_buf));
+        comments.push(Comment {
+            line,
+            col: comment_col,
+            text: comment_buf,
+        });
     }
     // The scanner only ever replaces ASCII bytes with ASCII spaces and
     // copies other bytes through, so the output is valid UTF-8.
@@ -269,7 +311,7 @@ fn char_literal_opens(bytes: &[u8]) -> bool {
 }
 
 /// Parses a `simlint: allow(...)` suppression out of one line comment.
-fn parse_suppression(line: usize, comment: &str) -> Option<Suppression> {
+fn parse_suppression(line: usize, col: usize, comment: &str) -> Option<Suppression> {
     let body = comment.trim();
     let rest = body.strip_prefix("simlint:")?.trim_start();
     let rest = rest.strip_prefix("allow(")?;
@@ -285,21 +327,23 @@ fn parse_suppression(line: usize, comment: &str) -> Option<Suppression> {
     };
     Some(Suppression {
         line,
+        col,
         rules,
         justified,
     })
 }
 
-/// Marks the line spans of `#[cfg(test)]` items in sanitized `text`.
+/// Marks the line spans of items opened by `needle` in sanitized `text`
+/// (`#[cfg(test)]` attributes, `thread_local!` blocks).
 ///
-/// From each `#[cfg(test)]`, the scanner walks to the first `{` or `;`
-/// and, for a brace, to its matching close — which covers the idiomatic
+/// From each occurrence, the scanner walks to the first `{` or `;` and,
+/// for a brace, to its matching close — which covers the idiomatic
 /// trailing `mod tests { ... }` as well as single attributed items.
-fn mark_test_regions(text: &str, nlines: usize) -> Vec<bool> {
+fn mark_item_regions(text: &str, needle: &str, nlines: usize) -> Vec<bool> {
     let mut in_test = vec![false; nlines];
     let bytes = text.as_bytes();
     let mut search_from = 0;
-    while let Some(rel) = text[search_from..].find("#[cfg(test)]") {
+    while let Some(rel) = text[search_from..].find(needle) {
         let start = search_from + rel;
         let mut i = start;
         let mut depth = 0usize;
@@ -408,6 +452,36 @@ fn also_real() {}
         assert!(s.in_test[3]);
         assert!(s.in_test[4]);
         assert!(!s.in_test[5]);
+    }
+
+    #[test]
+    fn unmetered_tags_and_comment_columns_are_collected() {
+        let s = scan(
+            "/// Representation-level access.\n\
+             // simlint: unmetered\n\
+             pub fn peek(&self) {}\n\
+             let x = 1; // simlint: allow(D03) -- bounded\n",
+        );
+        assert_eq!(s.unmetered_tags, vec![2]);
+        assert_eq!(s.suppressions.len(), 1);
+        assert_eq!(s.suppressions[0].col, 11);
+    }
+
+    #[test]
+    fn thread_local_regions_are_marked() {
+        let src = "\
+static GLOBAL: u64 = 0;
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring::default());
+}
+static AFTER: u64 = 1;
+";
+        let s = scan(src);
+        assert!(!s.in_thread_local[0]);
+        assert!(s.in_thread_local[1]);
+        assert!(s.in_thread_local[2]);
+        assert!(s.in_thread_local[3]);
+        assert!(!s.in_thread_local[4]);
     }
 
     #[test]

@@ -1,0 +1,8 @@
+//! simlint lints itself: the analyzer is in the `library` class of its own
+//! policy (no unwrap/expect, #[non_exhaustive] error enums), so a rule the
+//! workspace must live by, the linter's own source must live by too.
+
+#[test]
+fn simlint_is_clean() {
+    simlint::assert_crate_clean(env!("CARGO_MANIFEST_DIR"));
+}
