@@ -6,6 +6,7 @@
 //! bench all   [--jobs N] [shared flags]     the full experiment matrix
 //! bench chaos [--seeds A,B,C] [--jobs N] [--spec FILE] [shared flags]
 //! bench benchdiff ...                       the perf-regression gate
+//! bench explain <table> [--check FILE]      bottleneck attribution + claims gate
 //! ```
 //!
 //! Experiments: `tables` (tables 2–5 + scaling off one volume build),
@@ -316,7 +317,7 @@ fn write_wallclock(path: &std::path::Path, jobs: usize, results: &[JobResult], t
     }
 }
 
-const USAGE: &str = "usage: bench <experiment|all|chaos|benchdiff> \
+const USAGE: &str = "usage: bench <experiment|all|chaos|benchdiff|explain> \
 [--scale F] [--seed N] [--seeds A,B,C] [--jobs N] [--out-dir DIR] [--json PATH] [--spec FILE]";
 
 /// Entry point shared by the `bench` binary and the legacy bin shims.
@@ -328,6 +329,9 @@ pub fn main_with_args(args: Vec<String>) -> ExitCode {
     let cmd = cmd.replace('-', "_");
     if cmd == "benchdiff" {
         return crate::diffcli::run(&args[1..]);
+    }
+    if cmd == "explain" {
+        return crate::explain::run(&args[1..]);
     }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,

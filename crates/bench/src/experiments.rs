@@ -84,6 +84,9 @@ pub struct BasicResults {
     /// Trace events mapped onto the artifact's time axis (empty unless
     /// tracing was enabled for the functional pass).
     pub trace_events: Vec<obs::TimedEvent>,
+    /// Per-operation bottleneck attribution, in table order (Logical
+    /// Dump, Logical Restore, Physical Dump, Physical Restore).
+    pub attribs: Vec<obs::OpAttribution>,
 }
 
 /// Result of simulating one operation (one or more concurrent streams).
@@ -96,6 +99,8 @@ pub struct SimOp {
     pub windows: Vec<(String, f64, f64)>,
     /// Per-resource utilization timelines from the solve.
     pub timelines: Vec<obs::UtilizationTimeline>,
+    /// Bottleneck attribution folded from the solver's binding records.
+    pub attribution: obs::OpAttribution,
     /// Makespan in seconds.
     pub elapsed: f64,
 }
@@ -199,6 +204,7 @@ pub fn simulate_op(
         rows,
         windows,
         timelines: obs::timelines_from_trace(&trace),
+        attribution: obs::attribute(op, &trace),
         elapsed: trace.makespan(),
     }
 }
@@ -426,6 +432,13 @@ pub fn run_basic(
         ],
     );
 
+    let attribs = vec![
+        ld.attribution.clone(),
+        lr.attribution.clone(),
+        pd.attribution.clone(),
+        pr.attribution.clone(),
+    ];
+
     let logical_bytes = (runs.logical_blocks as f64 * 4096.0 * factor) as u64;
     let physical_bytes = (runs.image_blocks as f64 * 4096.0 * factor) as u64;
     let summary = |name, elapsed, bytes: u64| OpSummary {
@@ -455,6 +468,7 @@ pub fn run_basic(
         frag: home.frag,
         obs,
         trace_events,
+        attribs,
     }
 }
 
@@ -476,6 +490,9 @@ pub struct ParallelResults {
     /// Spans-only observability artifact (operation roots with their
     /// solved stage windows; the binaries rename and write it).
     pub obs: obs::Artifact,
+    /// Per-operation bottleneck attribution, in table order (Logical
+    /// Backup, Logical Restore, Physical Backup, Physical Restore).
+    pub attribs: Vec<obs::OpAttribution>,
 }
 
 /// Distributes `parts` (per-qtree stage lists) over `n` streams, merging
@@ -596,6 +613,12 @@ pub fn run_parallel(
             ("Physical Restore", &pr),
         ],
     );
+    let attribs = vec![
+        ld.attribution.clone(),
+        lr.attribution.clone(),
+        pd.attribution.clone(),
+        pr.attribution.clone(),
+    ];
     rows.extend(ld.rows);
     rows.extend(lr.rows);
     rows.extend(pd.rows);
@@ -609,6 +632,7 @@ pub fn run_parallel(
         logical_restore_elapsed: lr_elapsed,
         physical_restore_elapsed: pr_elapsed,
         obs,
+        attribs,
     }
 }
 

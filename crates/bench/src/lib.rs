@@ -27,10 +27,12 @@
 
 pub mod build;
 pub mod calibrate;
+pub mod claims;
 pub mod cli;
 pub mod diff;
 pub mod diffcli;
 pub mod experiments;
+pub mod explain;
 pub mod obsout;
 pub mod pool;
 pub mod runners;

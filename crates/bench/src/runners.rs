@@ -123,6 +123,7 @@ pub fn table4(cfg: &RunCfg) -> String {
     let mut artifact = r.obs;
     artifact.experiment = "table4".into();
     obsout::emit_to(&cfg.out_dir, &artifact);
+    obsout::emit_trace_to(&cfg.out_dir, &artifact, &[]);
     out
 }
 
@@ -136,6 +137,7 @@ pub fn table5(cfg: &RunCfg) -> String {
     let mut artifact = r.obs;
     artifact.experiment = "table5".into();
     obsout::emit_to(&cfg.out_dir, &artifact);
+    obsout::emit_trace_to(&cfg.out_dir, &artifact, &[]);
     out
 }
 
@@ -178,6 +180,7 @@ pub fn tables(cfg: &RunCfg) -> String {
     let mut artifact = t4.obs;
     artifact.experiment = "table4".into();
     obsout::emit_to(&cfg.out_dir, &artifact);
+    obsout::emit_trace_to(&cfg.out_dir, &artifact, &[]);
 
     let t5 = run_parallel(&mut home, &runs, &model, 4);
     out.push_str(&render_stage_table(
@@ -190,9 +193,48 @@ pub fn tables(cfg: &RunCfg) -> String {
     let mut artifact = t5.obs;
     artifact.experiment = "table5".into();
     obsout::emit_to(&cfg.out_dir, &artifact);
+    obsout::emit_trace_to(&cfg.out_dir, &artifact, &[]);
 
     let points = run_scaling(&mut home, &runs, &model);
     out.push_str(&render_scaling(&points));
+
+    // Attribution artifacts, uniformly with the obs artifacts above:
+    // the same `ATTRIB_*.json` reports `bench explain` writes, emitted
+    // here too so the parallel-determinism net covers them on every
+    // `bench all`. Extra sims only — attribution never touches obs
+    // state, so the tables and artifacts above are unaffected.
+    let mut attrib_tables = std::collections::BTreeMap::new();
+    for name in ["table2", "table3"] {
+        attrib_tables.insert(
+            name.to_string(),
+            obs::AttribReport {
+                experiment: name.to_string(),
+                ops: basic.attribs.clone(),
+            },
+        );
+    }
+    attrib_tables.insert(
+        "table4".to_string(),
+        obs::AttribReport {
+            experiment: "table4".to_string(),
+            ops: t4.attribs,
+        },
+    );
+    attrib_tables.insert(
+        "table5".to_string(),
+        obs::AttribReport {
+            experiment: "table5".to_string(),
+            ops: t5.attribs,
+        },
+    );
+    let sweep = crate::explain::sweep(&mut home, &runs, &model);
+    crate::explain::emit(
+        &cfg.out_dir,
+        &crate::explain::Reports {
+            tables: attrib_tables,
+            sweep: Some(sweep),
+        },
+    );
     out
 }
 

@@ -65,6 +65,25 @@ fn all_matrix_is_byte_identical_serial_vs_parallel() {
         serial_files.contains_key("obs_table2.json"),
         "expected table artifacts in {serial_names:?}"
     );
+    // The tables job emits trace and attribution artifacts uniformly for
+    // every table (plus the drive-count sweep); their byte-identity
+    // across --jobs is asserted by the loop below like any other file.
+    for name in [
+        "trace_table2.json",
+        "trace_table3.json",
+        "trace_table4.json",
+        "trace_table5.json",
+        "ATTRIB_table2.json",
+        "ATTRIB_table3.json",
+        "ATTRIB_table4.json",
+        "ATTRIB_table5.json",
+        "ATTRIB_sweep.json",
+    ] {
+        assert!(
+            serial_files.contains_key(name),
+            "missing {name} in {serial_names:?}"
+        );
+    }
     for (name, bytes) in &serial_files {
         assert_eq!(
             Some(bytes),

@@ -1,0 +1,641 @@
+//! Bottleneck attribution over a solved fluid trace.
+//!
+//! The paper's argument is about *which resource saturates*: physical dump
+//! wins while tape is the bottleneck, and the winner flips as drives are
+//! added and the CPU or disks become binding. The solver records exactly
+//! that — every [`simkit::fluid::Interval`] carries the saturated set and
+//! each stream's freeze reason — and this module folds it into the three
+//! report shapes the experiments need:
+//!
+//! - a **piecewise bottleneck timeline** per stream: adjacent intervals
+//!   with the same binding merged into segments ("0–412 s: tape0 binding,
+//!   cpu at 31 %"),
+//! - a **critical-path share** per binding: the fraction of the makespan
+//!   during which that constraint froze at least one active stream,
+//! - **crossover detection** across a parameter sweep: the drive count or
+//!   bandwidth at which the dominant binding changes.
+//!
+//! Everything here is read-only over the [`Trace`]: attribution never
+//! touches the solver, so emitting it cannot perturb a single simulated
+//! number.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::path::PathBuf;
+
+use simkit::fluid::Binding;
+use simkit::fluid::Trace;
+
+use crate::json::Json;
+
+/// The constraint a merged timeline segment is attributed to, with the
+/// solver's resource id resolved to a name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentBinding {
+    /// A named resource ("tape0", "cpu", "disk") was exhausted.
+    Resource(String),
+    /// The stage's own rate cap bound before any resource ran out.
+    RateCap,
+    /// Nothing constrained the stream.
+    Unconstrained,
+}
+
+impl SegmentBinding {
+    fn of(trace: &Trace, b: Binding) -> SegmentBinding {
+        match b {
+            Binding::Resource(rid) => {
+                let name = trace
+                    .resources()
+                    .get(rid.index())
+                    .map(|r| r.name.clone())
+                    .unwrap_or_default();
+                SegmentBinding::Resource(name)
+            }
+            Binding::RateCap => SegmentBinding::RateCap,
+            _ => SegmentBinding::Unconstrained,
+        }
+    }
+
+    /// Short display label: the resource name, `"cap"`, or `"none"`.
+    pub fn label(&self) -> &str {
+        match self {
+            SegmentBinding::Resource(name) => name,
+            SegmentBinding::RateCap => "cap",
+            SegmentBinding::Unconstrained => "none",
+        }
+    }
+
+    /// Aggregation class for crossover comparisons: the resource name
+    /// with any trailing digits stripped, so "tape0".."tape3" all fold
+    /// into "tape" while "cpu" and "disk" stay themselves.
+    pub fn class(&self) -> String {
+        let label = self.label();
+        let trimmed = label.trim_end_matches(|c: char| c.is_ascii_digit());
+        if trimmed.is_empty() {
+            label.to_string()
+        } else {
+            trimmed.to_string()
+        }
+    }
+}
+
+/// One merged constant-binding slice of a stream's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Segment start (simulated seconds).
+    pub t0: f64,
+    /// Segment end.
+    pub t1: f64,
+    /// What froze the stream's rate throughout `[t0, t1]`.
+    pub binding: SegmentBinding,
+    /// Mean utilization of every resource over the segment, in trace
+    /// resource order (`(name, fraction of capacity)`).
+    pub utils: Vec<(String, f64)>,
+}
+
+impl Segment {
+    /// Segment length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// The bottleneck timeline of a single stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamTimeline {
+    /// Stream name from the solver ("Physical Backup #0").
+    pub stream: String,
+    /// Merged segments in time order; they tile the stream's active span.
+    pub segments: Vec<Segment>,
+}
+
+/// Attribution report for one simulated operation (one solved trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpAttribution {
+    /// Operation label ("Physical Backup").
+    pub op: String,
+    /// Makespan of the solve in seconds.
+    pub makespan: f64,
+    /// Critical-path share per exact binding label: fraction of the
+    /// makespan during which that constraint froze at least one active
+    /// stream. Sorted by label; overlapping streams count once.
+    pub shares: Vec<(String, f64)>,
+    /// Same shares aggregated by [`SegmentBinding::class`] ("tape0" and
+    /// "tape1" fold into "tape"); the basis for dominance and crossover
+    /// comparisons.
+    pub class_shares: Vec<(String, f64)>,
+    /// Per-stream bottleneck timelines, in stream registration order.
+    pub streams: Vec<StreamTimeline>,
+}
+
+impl OpAttribution {
+    /// The class with the largest critical-path share, ignoring
+    /// `"none"`; ties break to the lexicographically smallest class so
+    /// the answer is deterministic. `"none"` when nothing ever bound.
+    pub fn dominant(&self) -> String {
+        let mut best: Option<(&str, f64)> = None;
+        for (class, share) in &self.class_shares {
+            if class == "none" {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bc, bs)) => *share > bs || (*share == bs && class.as_str() < bc),
+            };
+            if better {
+                best = Some((class, *share));
+            }
+        }
+        best.map(|(c, _)| c.to_string())
+            .unwrap_or_else(|| "none".to_string())
+    }
+
+    /// Critical-path share of the binding classes matching `pattern`.
+    ///
+    /// `pattern` is a `|`-separated list of class names, each optionally
+    /// ending in `*` (prefix match): `"tape*"` matches the "tape" class,
+    /// `"cpu|disk"` matches either. Because matching happens on classes
+    /// (whose shares are already union times), a multi-drive op reports
+    /// "tape*" as the fraction of time *any* tape was binding, not the
+    /// sum over drives.
+    pub fn share_of(&self, pattern: &str) -> f64 {
+        self.class_shares
+            .iter()
+            .filter(|(class, _)| class_matches(pattern, class))
+            .map(|(_, share)| *share)
+            .sum()
+    }
+}
+
+/// Whether `class` matches a `|`-separated, `*`-suffixed pattern list.
+pub fn class_matches(pattern: &str, class: &str) -> bool {
+    pattern.split('|').map(str::trim).any(|alt| {
+        match alt.strip_suffix('*') {
+            Some(prefix) => class.starts_with(prefix),
+            // Exact classes also accept exact resource labels that only
+            // differ by a trailing index ("tape0" ~ "tape").
+            None => class == alt || alt.trim_end_matches(|c: char| c.is_ascii_digit()) == class,
+        }
+    })
+}
+
+/// Builds the attribution report for one solved trace.
+///
+/// Pure function of the trace: segments are merged per stream, segment
+/// utilizations come from [`Trace::utilization`], and shares are union
+/// times over the solver's per-interval binding records.
+pub fn attribute(op: &str, trace: &Trace) -> OpAttribution {
+    let makespan = trace.makespan();
+    let resource_ids: Vec<_> = trace.resource_ids().collect();
+
+    let mut streams = Vec::new();
+    for sid in trace.stream_ids() {
+        let mut merged: Vec<(f64, f64, SegmentBinding)> = Vec::new();
+        for iv in &trace.intervals {
+            if let Some(b) = iv.binding_of(sid) {
+                let sb = SegmentBinding::of(trace, b);
+                match merged.last_mut() {
+                    Some(last) if last.1 == iv.t0 && last.2 == sb => last.1 = iv.t1,
+                    _ => merged.push((iv.t0, iv.t1, sb)),
+                }
+            }
+        }
+        let segments = merged
+            .into_iter()
+            .map(|(t0, t1, binding)| {
+                let utils = resource_ids
+                    .iter()
+                    .zip(trace.resources())
+                    .map(|(&rid, r)| (r.name.clone(), trace.utilization(rid, t0, t1)))
+                    .collect();
+                Segment {
+                    t0,
+                    t1,
+                    binding,
+                    utils,
+                }
+            })
+            .collect();
+        streams.push(StreamTimeline {
+            stream: trace.stream_name(sid).to_string(),
+            segments,
+        });
+    }
+
+    // Union time per binding label and per class: within one interval a
+    // label counts once no matter how many streams froze on it, and the
+    // intervals are disjoint, so summing durations gives the union.
+    let mut label_secs: BTreeMap<String, f64> = BTreeMap::new();
+    let mut class_secs: BTreeMap<String, f64> = BTreeMap::new();
+    for iv in &trace.intervals {
+        let mut labels: Vec<String> = Vec::new();
+        let mut classes: Vec<String> = Vec::new();
+        for &(_, b) in &iv.bindings {
+            let sb = SegmentBinding::of(trace, b);
+            let label = sb.label().to_string();
+            if !labels.contains(&label) {
+                labels.push(label);
+            }
+            let class = sb.class();
+            if !classes.contains(&class) {
+                classes.push(class);
+            }
+        }
+        for label in labels {
+            *label_secs.entry(label).or_insert(0.0) += iv.duration();
+        }
+        for class in classes {
+            *class_secs.entry(class).or_insert(0.0) += iv.duration();
+        }
+    }
+    let to_shares = |secs: BTreeMap<String, f64>| -> Vec<(String, f64)> {
+        secs.into_iter()
+            .map(|(label, t)| {
+                let share = if makespan > 0.0 { t / makespan } else { 0.0 };
+                (label, share)
+            })
+            .collect()
+    };
+
+    OpAttribution {
+        op: op.to_string(),
+        makespan,
+        shares: to_shares(label_secs),
+        class_shares: to_shares(class_secs),
+        streams,
+    }
+}
+
+/// A dominant-binding flip detected between two sweep points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossover {
+    /// Last parameter value with the old dominant binding.
+    pub param_lo: f64,
+    /// First parameter value with the new dominant binding.
+    pub param_hi: f64,
+    /// Dominant class at `param_lo`.
+    pub from: String,
+    /// Dominant class at `param_hi`.
+    pub to: String,
+}
+
+/// Finds every dominant-binding flip across sweep points ordered by
+/// parameter value. The caller supplies the points sorted.
+pub fn crossovers(points: &[(f64, &OpAttribution)]) -> Vec<Crossover> {
+    points
+        .windows(2)
+        .filter_map(|pair| {
+            let (p0, a0) = &pair[0];
+            let (p1, a1) = &pair[1];
+            let from = a0.dominant();
+            let to = a1.dominant();
+            (from != to).then_some(Crossover {
+                param_lo: *p0,
+                param_hi: *p1,
+                from,
+                to,
+            })
+        })
+        .collect()
+}
+
+/// Attribution reports for every operation of one experiment, plus the
+/// JSON artifact (`results/ATTRIB_<experiment>.json`) they serialize to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttribReport {
+    /// Experiment name ("table2").
+    pub experiment: String,
+    /// One attribution per simulated operation.
+    pub ops: Vec<OpAttribution>,
+}
+
+impl AttribReport {
+    /// The attribution for the operation labelled `op`, if present.
+    pub fn op(&self, op: &str) -> Option<&OpAttribution> {
+        self.ops.iter().find(|a| a.op == op)
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("ops", Json::Arr(self.ops.iter().map(op_to_json).collect())),
+        ])
+    }
+
+    /// Writes `ATTRIB_<experiment>.json` under `results_dir`.
+    pub fn write(&self, results_dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = results_dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("ATTRIB_{}.json", self.experiment));
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// One point of a parameter sweep: the swept value and the attribution
+/// of every operation simulated at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Swept parameter value (e.g. drive count).
+    pub param: f64,
+    /// Attribution per operation at this point.
+    pub ops: Vec<OpAttribution>,
+}
+
+/// A crossover-detection sweep over one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Experiment name ("sweep").
+    pub experiment: String,
+    /// Name of the swept parameter ("drives").
+    pub param: String,
+    /// Points in ascending parameter order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Crossovers of the dominant binding for the operation labelled
+    /// `op` across the sweep.
+    pub fn crossovers(&self, op: &str) -> Vec<Crossover> {
+        let points: Vec<(f64, &OpAttribution)> = self
+            .points
+            .iter()
+            .filter_map(|p| p.ops.iter().find(|a| a.op == op).map(|a| (p.param, a)))
+            .collect();
+        crossovers(&points)
+    }
+
+    /// Operation labels present at any point, in first-seen order.
+    pub fn op_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for p in &self.points {
+            for a in &p.ops {
+                if !names.contains(&a.op) {
+                    names.push(a.op.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Serializes the sweep, embedding the detected crossovers per op.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("param", Json::Num(p.param)),
+                    ("ops", Json::Arr(p.ops.iter().map(op_to_json).collect())),
+                ])
+            })
+            .collect();
+        let crossings = self
+            .op_names()
+            .iter()
+            .map(|op| {
+                Json::obj(vec![
+                    ("op", Json::Str(op.clone())),
+                    (
+                        "crossovers",
+                        Json::Arr(
+                            self.crossovers(op)
+                                .iter()
+                                .map(|c| {
+                                    Json::obj(vec![
+                                        ("param_lo", Json::Num(c.param_lo)),
+                                        ("param_hi", Json::Num(c.param_hi)),
+                                        ("from", Json::Str(c.from.clone())),
+                                        ("to", Json::Str(c.to.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("param", Json::Str(self.param.clone())),
+            ("points", Json::Arr(points)),
+            ("crossovers", Json::Arr(crossings)),
+        ])
+    }
+
+    /// Writes `ATTRIB_<experiment>.json` under `results_dir`.
+    pub fn write(&self, results_dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = results_dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("ATTRIB_{}.json", self.experiment));
+        let mut text = self.to_json().render();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+fn op_to_json(a: &OpAttribution) -> Json {
+    let shares = |pairs: &[(String, f64)]| {
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|(label, share)| (label.clone(), Json::Num(*share)))
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("op", Json::Str(a.op.clone())),
+        ("makespan_secs", Json::Num(a.makespan)),
+        ("dominant", Json::Str(a.dominant())),
+        ("shares", shares(&a.shares)),
+        ("class_shares", shares(&a.class_shares)),
+        (
+            "streams",
+            Json::Arr(
+                a.streams
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("stream", Json::Str(s.stream.clone())),
+                            (
+                                "segments",
+                                Json::Arr(
+                                    s.segments
+                                        .iter()
+                                        .map(|seg| {
+                                            Json::obj(vec![
+                                                ("t0", Json::Num(seg.t0)),
+                                                ("t1", Json::Num(seg.t1)),
+                                                (
+                                                    "binding",
+                                                    Json::Str(seg.binding.label().to_string()),
+                                                ),
+                                                ("utils", shares(&seg.utils)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::prelude::FluidSim;
+    use simkit::prelude::Stage;
+    use simkit::prelude::Stream;
+
+    fn two_stage_trace() -> Trace {
+        let mut sim = FluidSim::new();
+        let cpu = sim.add_resource("cpu", 1.0);
+        let tape = sim.add_resource("tape0", 8.0);
+        sim.add_stream(Stream {
+            name: "dump".into(),
+            start_at: 0.0,
+            stages: vec![
+                Stage::new("map", 10.0, vec![(cpu, 0.1)]).with_rate_cap(2.0),
+                Stage::new("blocks", 80.0, vec![(tape, 1.0), (cpu, 0.05)]),
+            ],
+        });
+        sim.run().expect("solvable")
+    }
+
+    #[test]
+    fn segments_tile_the_makespan_and_name_the_bottleneck() {
+        let trace = two_stage_trace();
+        let a = attribute("dump", &trace);
+        assert_eq!(a.streams.len(), 1);
+        let segs = &a.streams[0].segments;
+        // Cap-bound map phase, then tape-bound block phase.
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].binding, SegmentBinding::RateCap);
+        assert_eq!(
+            segs[1].binding,
+            SegmentBinding::Resource("tape0".to_string())
+        );
+        // Tiling: starts at 0, ends at makespan, no gaps.
+        assert_eq!(segs[0].t0, 0.0);
+        assert!((segs.last().map(|s| s.t1).unwrap_or(0.0) - a.makespan).abs() < 1e-9);
+        for pair in segs.windows(2) {
+            assert!((pair[0].t1 - pair[1].t0).abs() < 1e-12);
+        }
+        // Shares: cap for 5 s, tape for 10 s, makespan 15 s.
+        assert!((a.makespan - 15.0).abs() < 1e-6);
+        assert!((a.share_of("cap") - 5.0 / 15.0).abs() < 1e-6);
+        assert!((a.share_of("tape*") - 10.0 / 15.0).abs() < 1e-6);
+        assert_eq!(a.dominant(), "tape");
+    }
+
+    #[test]
+    fn segment_utils_match_trace_utilization() {
+        let trace = two_stage_trace();
+        let a = attribute("dump", &trace);
+        let blocks = &a.streams[0].segments[1];
+        // Tape runs flat out, cpu at 8 * 0.05 = 40 %.
+        let tape_util = blocks
+            .utils
+            .iter()
+            .find(|(n, _)| n == "tape0")
+            .map(|(_, u)| *u)
+            .unwrap_or(0.0);
+        let cpu_util = blocks
+            .utils
+            .iter()
+            .find(|(n, _)| n == "cpu")
+            .map(|(_, u)| *u)
+            .unwrap_or(0.0);
+        assert!((tape_util - 1.0).abs() < 1e-6);
+        assert!((cpu_util - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shares_union_concurrent_streams() {
+        // Two streams on dedicated tapes: each binds "its" tape the whole
+        // time, so the per-class share is 1.0, not 2.0.
+        let mut sim = FluidSim::new();
+        let t0 = sim.add_resource("tape0", 5.0);
+        let t1 = sim.add_resource("tape1", 5.0);
+        sim.add_stream(Stream {
+            name: "a".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(t0, 1.0)])],
+        });
+        sim.add_stream(Stream {
+            name: "b".into(),
+            start_at: 0.0,
+            stages: vec![Stage::new("w", 50.0, vec![(t1, 1.0)])],
+        });
+        let trace = sim.run().expect("solvable");
+        let a = attribute("par", &trace);
+        assert!((a.share_of("tape*") - 1.0).abs() < 1e-9);
+        // Exact labels each carry their own full share too.
+        let tape0 = a
+            .shares
+            .iter()
+            .find(|(l, _)| l == "tape0")
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
+        assert!((tape0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_detection_finds_the_flip() {
+        let mk = |dominant_class: &str| OpAttribution {
+            op: "op".into(),
+            makespan: 1.0,
+            shares: vec![(dominant_class.to_string(), 0.9)],
+            class_shares: vec![(dominant_class.to_string(), 0.9)],
+            streams: vec![],
+        };
+        let a1 = mk("tape");
+        let a2 = mk("tape");
+        let a4 = mk("cpu");
+        let points = vec![(1.0, &a1), (2.0, &a2), (4.0, &a4)];
+        let xs = crossovers(&points);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].from, "tape");
+        assert_eq!(xs[0].to, "cpu");
+        assert_eq!(xs[0].param_lo, 2.0);
+        assert_eq!(xs[0].param_hi, 4.0);
+    }
+
+    #[test]
+    fn class_matching_handles_wildcards_and_alternation() {
+        assert!(class_matches("tape*", "tape"));
+        assert!(class_matches("tape0", "tape"));
+        assert!(class_matches("cpu|disk", "disk"));
+        assert!(!class_matches("cpu|disk", "tape"));
+        assert!(class_matches("cap", "cap"));
+        assert!(!class_matches("tape*", "cpu"));
+    }
+
+    #[test]
+    fn report_json_round_trips_key_fields() {
+        let trace = two_stage_trace();
+        let report = AttribReport {
+            experiment: "t".into(),
+            ops: vec![attribute("dump", &trace)],
+        };
+        let text = report.to_json().render();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(
+            parsed.get("experiment").and_then(Json::as_str),
+            Some("t"),
+            "experiment survives"
+        );
+        let ops = parsed.get("ops").and_then(Json::as_arr).unwrap_or(&[]);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].get("dominant").and_then(Json::as_str), Some("tape"));
+    }
+}

@@ -19,6 +19,11 @@
 //!   instrumentation site checks first.
 //! - [`timeline`] reshapes a solved [`simkit::fluid::Trace`] into
 //!   per-resource utilization histories.
+//! - [`attrib`] folds the solver's per-interval binding records into
+//!   bottleneck timelines, critical-path shares, and sweep crossovers
+//!   (`results/ATTRIB_<experiment>.json`).
+//! - [`openmetrics`] renders the registry plus attribution gauges in the
+//!   OpenMetrics text exposition format.
 //! - [`json`] is a dependency-free JSON document model (render + parse).
 //! - [`artifact`] assembles spans + metrics + histograms + timelines
 //!   into `results/obs_<experiment>.json`.
@@ -29,14 +34,20 @@
 //! in the workspace can depend on it without cycles.
 
 pub mod artifact;
+pub mod attrib;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod span;
 pub mod timeline;
 
 pub use artifact::Artifact;
+pub use attrib::attribute;
+pub use attrib::AttribReport;
+pub use attrib::OpAttribution;
+pub use attrib::SweepReport;
 pub use event::trace_enabled;
 pub use event::TimedEvent;
 pub use json::Json;

@@ -262,6 +262,34 @@ impl From<Vec<(String, f64)>> for MetricsSnapshot {
     }
 }
 
+/// A point-in-time copy of every metric with counters and gauges kept
+/// apart. [`MetricsSnapshot`] deliberately flattens the two kinds into
+/// one reading vector; exporters that speak a typed wire format (the
+/// OpenMetrics text exposition in [`crate::openmetrics`]) need the kind
+/// preserved, because counters and gauges serialize differently.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypedSnapshot {
+    /// `(name, value)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// Captures every counter and gauge with their kinds intact.
+pub fn typed_snapshot() -> TypedSnapshot {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        TypedSnapshot {
+            counters: r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    })
+}
+
 /// Clears every metric on this thread (test isolation).
 pub fn reset() {
     REGISTRY.with(|r| *r.borrow_mut() = Registry::default());

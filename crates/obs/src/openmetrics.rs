@@ -1,0 +1,256 @@
+//! OpenMetrics text exposition for the metrics registry and attribution
+//! gauges.
+//!
+//! Renders counters, gauges, and log₂-bucketed histograms — plus the
+//! attribution gauges derived from an [`AttribReport`] — in the
+//! OpenMetrics text format, so everything the simulator measures leaves
+//! the process in a form standard scrapers and dashboards already parse:
+//!
+//! - counters keep their monotone kind and gain the mandated `_total`
+//!   suffix (`disk.seq_read.bytes` → `disk_seq_read_bytes_total`),
+//! - gauges pass through as-is,
+//! - histograms become cumulative `_bucket{le="..."}` series (bucket
+//!   exponent `e` exposes upper edge `2^(e+1)`) with `_sum`/`_count`,
+//! - attribution becomes labelled gauges:
+//!   `sim_attrib_binding_share{experiment="table2",op="Physical Backup",binding="tape0"}`.
+//!
+//! The output is deterministic: metric families are emitted in sorted
+//! registry order, numbers use the same shortest-round-trip formatting as
+//! the JSON artifacts, and the exposition ends with the required `# EOF`.
+
+use crate::attrib::AttribReport;
+use crate::metrics::HistogramSnapshot;
+use crate::metrics::TypedSnapshot;
+
+/// A gauge with attached labels, for metrics that exist per experiment /
+/// op / binding rather than as process-wide scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledGauge {
+    /// Metric family name (sanitized on render).
+    pub name: String,
+    /// `(label, value)` pairs, emitted in the given order.
+    pub labels: Vec<(String, String)>,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// Rewrites a registry key into a legal OpenMetrics metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other byte mapped to `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Shortest-round-trip number formatting, matching the JSON artifacts:
+/// integers without a decimal point, non-finite values spelled the way
+/// OpenMetrics expects.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize(k));
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Renders a full OpenMetrics exposition: typed registry metrics,
+/// histograms, and any extra labelled gauges, terminated by `# EOF`.
+pub fn render(
+    metrics: &TypedSnapshot,
+    histograms: &[HistogramSnapshot],
+    extra: &[LabeledGauge],
+) -> String {
+    let mut out = String::new();
+
+    for (name, value) in &metrics.counters {
+        let base = sanitize(name);
+        out.push_str(&format!("# TYPE {base} counter\n"));
+        out.push_str(&format!("{base}_total {value}\n"));
+    }
+
+    for (name, value) in &metrics.gauges {
+        let base = sanitize(name);
+        out.push_str(&format!("# TYPE {base} gauge\n"));
+        out.push_str(&format!("{base} {}\n", fmt_value(*value)));
+    }
+
+    for h in histograms {
+        let base = sanitize(&h.name);
+        out.push_str(&format!("# TYPE {base} histogram\n"));
+        // Buckets are exclusive per-exponent counts; OpenMetrics wants
+        // cumulative counts with an explicit upper edge.
+        let mut cumulative = 0u64;
+        for &(e, n) in &h.buckets {
+            cumulative += n;
+            let edge = fmt_value((2.0f64).powi(e + 1));
+            out.push_str(&format!("{base}_bucket{{le=\"{edge}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{base}_sum {}\n", fmt_value(h.sum)));
+        out.push_str(&format!("{base}_count {}\n", h.count));
+    }
+
+    // Group extra gauges into families so each # TYPE line appears once.
+    let mut seen: Vec<&str> = Vec::new();
+    for g in extra {
+        let base = sanitize(&g.name);
+        if !seen.contains(&g.name.as_str()) {
+            seen.push(&g.name);
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+        }
+        out.push_str(&base);
+        push_labels(&mut out, &g.labels);
+        out.push_str(&format!(" {}\n", fmt_value(g.value)));
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Derives the attribution gauge family from a report: one
+/// `sim_attrib_binding_share` series per (op, binding label), one
+/// `sim_attrib_makespan_secs` per op, and one `sim_attrib_dominant`
+/// marker series (value 1) naming each op's dominant class.
+pub fn attrib_gauges(report: &AttribReport) -> Vec<LabeledGauge> {
+    let mut out = Vec::new();
+    for a in &report.ops {
+        let base_labels = |extra: Vec<(String, String)>| {
+            let mut l = vec![
+                ("experiment".to_string(), report.experiment.clone()),
+                ("op".to_string(), a.op.clone()),
+            ];
+            l.extend(extra);
+            l
+        };
+        out.push(LabeledGauge {
+            name: "sim_attrib_makespan_secs".to_string(),
+            labels: base_labels(vec![]),
+            value: a.makespan,
+        });
+        out.push(LabeledGauge {
+            name: "sim_attrib_dominant".to_string(),
+            labels: base_labels(vec![("binding".to_string(), a.dominant())]),
+            value: 1.0,
+        });
+        for (label, share) in &a.shares {
+            out.push(LabeledGauge {
+                name: "sim_attrib_binding_share".to_string(),
+                labels: base_labels(vec![("binding".to_string(), label.clone())]),
+                value: *share,
+            });
+        }
+    }
+    // One family at a time keeps each # TYPE header contiguous.
+    out.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::OpAttribution;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("disk.seq_read.bytes"), "disk_seq_read_bytes");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn render_emits_typed_families_and_eof() {
+        let metrics = TypedSnapshot {
+            counters: vec![("disk.reads".to_string(), 42)],
+            gauges: vec![("media.delay_secs".to_string(), 1.5)],
+        };
+        let hist = HistogramSnapshot {
+            name: "svc.secs".to_string(),
+            count: 3,
+            sum: 0.75,
+            buckets: vec![(-3, 2), (-2, 1)],
+        };
+        let text = render(&metrics, &[hist], &[]);
+        assert!(text.contains("# TYPE disk_reads counter\n"));
+        assert!(text.contains("disk_reads_total 42\n"));
+        assert!(text.contains("# TYPE media_delay_secs gauge\n"));
+        assert!(text.contains("media_delay_secs 1.5\n"));
+        // Cumulative buckets: 2 then 3, +Inf carries the full count.
+        assert!(text.contains("svc_secs_bucket{le=\"0.25\"} 2\n"));
+        assert!(text.contains("svc_secs_bucket{le=\"0.5\"} 3\n"));
+        assert!(text.contains("svc_secs_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("svc_secs_sum 0.75\n"));
+        assert!(text.contains("svc_secs_count 3\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn attrib_gauges_carry_labels() {
+        let report = AttribReport {
+            experiment: "table2".to_string(),
+            ops: vec![OpAttribution {
+                op: "Physical Backup".to_string(),
+                makespan: 100.0,
+                shares: vec![("tape0".to_string(), 0.93)],
+                class_shares: vec![("tape".to_string(), 0.93)],
+                streams: vec![],
+            }],
+        };
+        let gauges = attrib_gauges(&report);
+        let text = render(&TypedSnapshot::default(), &[], &gauges);
+        assert!(text.contains(
+            "sim_attrib_binding_share{experiment=\"table2\",op=\"Physical Backup\",binding=\"tape0\"} 0.93\n"
+        ));
+        assert!(text.contains(
+            "sim_attrib_makespan_secs{experiment=\"table2\",op=\"Physical Backup\"} 100\n"
+        ));
+        assert!(text.contains("binding=\"tape\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let g = LabeledGauge {
+            name: "g".to_string(),
+            labels: vec![("k".to_string(), "a\"b\\c".to_string())],
+            value: 0.0,
+        };
+        let text = render(&TypedSnapshot::default(), &[], &[g]);
+        assert!(text.contains("g{k=\"a\\\"b\\\\c\"} 0\n"));
+    }
+}

@@ -32,13 +32,33 @@ pub struct UtilizationTimeline {
 }
 
 impl UtilizationTimeline {
-    /// Time-weighted mean utilization over the whole timeline.
-    pub fn mean(&self) -> f64 {
+    /// Time-weighted accumulation shared by [`mean`](Self::mean) and the
+    /// attribution math: total utilization-seconds (`busy`) and total
+    /// covered seconds (`span`).
+    fn accumulate(&self) -> (f64, f64) {
         let (mut busy, mut span) = (0.0, 0.0);
         for s in &self.samples {
             busy += s.utilization * (s.t1 - s.t0);
             span += s.t1 - s.t0;
         }
+        (busy, span)
+    }
+
+    /// Equivalent busy seconds: utilization-seconds summed over the
+    /// timeline (the time the resource would have needed at 100 %
+    /// utilization to deliver the same service).
+    pub fn busy_secs(&self) -> f64 {
+        self.accumulate().0
+    }
+
+    /// Total seconds covered by the samples.
+    pub fn span_secs(&self) -> f64 {
+        self.accumulate().1
+    }
+
+    /// Time-weighted mean utilization over the whole timeline.
+    pub fn mean(&self) -> f64 {
+        let (busy, span) = self.accumulate();
         if span > 0.0 {
             busy / span
         } else {

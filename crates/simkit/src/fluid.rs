@@ -28,9 +28,48 @@ use crate::stats::Summary;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(usize);
 
+impl ResourceId {
+    /// Position of this resource in [`Trace::resources`] and in the
+    /// per-interval `usage`/`slack` vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Identifies a stream registered with [`FluidSim::add_stream`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(usize);
+
+impl StreamId {
+    /// Registration order of this stream (the index reported by
+    /// [`Trace::n_streams`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What stopped a stream's rate from growing during progressive filling.
+///
+/// Recorded per active stream in every [`Interval`]: the constraint that
+/// froze the stream's rate — its bottleneck for that slice of time. This
+/// is the attribution seam the paper's argument rests on ("physical dump
+/// wins *while tape is the bottleneck*"); `obs::attrib` folds these into
+/// per-stream bottleneck timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Binding {
+    /// The stream froze because this resource's capacity was exhausted.
+    /// When several demanded resources saturate in the same fill step, the
+    /// one with the largest per-unit pressure (`demand / capacity`) is
+    /// attributed; ties break to the lowest [`ResourceId`].
+    Resource(ResourceId),
+    /// The stream reached its stage's own `rate_cap` before any resource
+    /// ran out (fixed-latency stages, per-op pipeline limits).
+    RateCap,
+    /// Nothing constrained the stream (zero-demand stage, or the fill
+    /// terminated without a binding constraint).
+    Unconstrained,
+}
 
 /// A shared resource with a fixed service capacity.
 #[derive(Debug, Clone)]
@@ -151,7 +190,8 @@ impl StageRecord {
 }
 
 /// One constant-rate interval of the execution, with the service rate each
-/// resource was delivering during it.
+/// resource was delivering during it and the solver's attribution of why
+/// each stream ran no faster.
 #[derive(Debug, Clone)]
 pub struct Interval {
     /// Interval start.
@@ -161,6 +201,38 @@ pub struct Interval {
     /// Service-seconds per second consumed on each resource (indexed by
     /// `ResourceId`).
     pub usage: Vec<f64>,
+    /// Unallocated capacity of each resource (indexed by `ResourceId`,
+    /// clamped at zero): how much headroom was left once every active
+    /// stream froze.
+    pub slack: Vec<f64>,
+    /// Resources whose capacity was exhausted during this interval, in
+    /// `ResourceId` order. A resource is saturated when its slack fell
+    /// within solver tolerance of zero while carrying load.
+    pub saturated: Vec<ResourceId>,
+    /// The constraint that froze each active stream's rate, in active-set
+    /// order (streams not yet started or already finished are absent).
+    pub bindings: Vec<(StreamId, Binding)>,
+}
+
+impl Interval {
+    /// Length of the interval in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// The binding constraint of `stream` during this interval, or `None`
+    /// when the stream was not active.
+    pub fn binding_of(&self, stream: StreamId) -> Option<Binding> {
+        self.bindings
+            .iter()
+            .find(|&&(s, _)| s == stream)
+            .map(|&(_, b)| b)
+    }
+
+    /// Whether `resource` was saturated during this interval.
+    pub fn is_saturated(&self, resource: ResourceId) -> bool {
+        self.saturated.contains(&resource)
+    }
 }
 
 /// Full timeline produced by [`FluidSim::run`].
@@ -247,6 +319,22 @@ impl Trace {
         &self.stream_names[stream.0]
     }
 
+    /// Number of streams in the model; `StreamId`s index `0..n_streams()`
+    /// in registration order.
+    pub fn n_streams(&self) -> usize {
+        self.stream_names.len()
+    }
+
+    /// All stream ids in registration order.
+    pub fn stream_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        (0..self.stream_names.len()).map(StreamId)
+    }
+
+    /// All resource ids, in the order of [`Trace::resources`].
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.resources.len()).map(ResourceId)
+    }
+
     /// The window `(t0, t1)` covered by every stage named `name`, across
     /// all streams: earliest start to latest end. `None` when no stream
     /// ran such a stage. This is what report layers stamp onto measured
@@ -325,13 +413,29 @@ impl StageSig {
     }
 }
 
+/// One solved rate allocation plus the attribution bookkeeping that fell
+/// out of the progressive fill. Everything here is a pure function of the
+/// active demand signatures and the resource table, so an `Alloc` caches
+/// as safely as the bare rate vector did.
+#[derive(Debug, Clone)]
+struct Alloc {
+    /// Work rate per active stream, in active-set order.
+    rates: Vec<f64>,
+    /// Why each active stream's rate stopped growing.
+    bindings: Vec<Binding>,
+    /// Leftover capacity per resource (clamped at zero).
+    slack: Vec<f64>,
+    /// Resources exhausted by this allocation, in `ResourceId` order.
+    saturated: Vec<ResourceId>,
+}
+
 /// Cache of solved rate allocations, keyed by the active streams' demand
 /// signatures (in active order). Two solver steps whose active stages
 /// carry bit-identical demand vectors receive bit-identical rates, so a
 /// hit returns exactly what a fresh progressive-filling solve would.
 #[derive(Debug, Default)]
 struct RateCache {
-    map: std::collections::BTreeMap<Vec<StageSig>, Vec<f64>>,
+    map: std::collections::BTreeMap<Vec<StageSig>, Alloc>,
 }
 
 /// Counters describing how much solving the incremental [`Solver`]
@@ -500,23 +604,24 @@ impl FluidSim {
                 .iter()
                 .map(|&i| StageSig::of(&self.streams[i].stages[stage_idx[i]]))
                 .collect();
-            let rates = if caching {
+            let alloc = if caching {
                 match cache.map.get(&key) {
-                    Some(r) => {
+                    Some(a) => {
                         stats.reused += 1;
-                        r.clone()
+                        a.clone()
                     }
                     None => {
                         stats.solves += 1;
-                        let r = self.fair_rates(&active, &stage_idx, n_res)?;
-                        cache.map.insert(key, r.clone());
-                        r
+                        let a = self.fair_rates(&active, &stage_idx, n_res)?;
+                        cache.map.insert(key, a.clone());
+                        a
                     }
                 }
             } else {
                 stats.solves += 1;
                 self.fair_rates(&active, &stage_idx, n_res)?
             };
+            let rates = &alloc.rates;
 
             // Time to next event: earliest stage completion or arrival.
             let mut dt = f64::INFINITY;
@@ -548,6 +653,13 @@ impl FluidSim {
                 t0: now,
                 t1: now + dt,
                 usage,
+                slack: alloc.slack.clone(),
+                saturated: alloc.saturated.clone(),
+                bindings: active
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| (StreamId(i), alloc.bindings[k]))
+                    .collect(),
             });
 
             // Advance work and the clock.
@@ -618,15 +730,22 @@ impl FluidSim {
     /// vector), so one "step" grants every stream an equal slice of its
     /// bottleneck resource. For identical streams this is exactly
     /// classic max-min on rates.
+    ///
+    /// Besides the rates, the returned [`Alloc`] records *why* each stream
+    /// froze, the final slack vector, and the saturated set. That
+    /// bookkeeping reads solver state but never feeds back into it, so the
+    /// rate arithmetic — and therefore every downstream table — is
+    /// bit-identical to the pre-attribution solver.
     fn fair_rates(
         &self,
         active: &[usize],
         stage_idx: &[usize],
         n_res: usize,
-    ) -> Result<Vec<f64>, FluidError> {
+    ) -> Result<Alloc, FluidError> {
         let n = active.len();
         let mut rate = vec![0.0f64; n];
         let mut frozen = vec![false; n];
+        let mut binding = vec![Binding::Unconstrained; n];
         let mut left: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
 
         // Per-stream dominant per-unit demand (share consumed per unit of
@@ -726,16 +845,65 @@ impl FluidSim {
                 if capped || saturated {
                     frozen[k] = true;
                     newly_frozen = true;
+                    // Attribute the freeze. An exhausted resource is the
+                    // physical bottleneck even when the cap bound in the
+                    // same fill step; among several saturated resources
+                    // pick the one this stream presses hardest per unit
+                    // of work (ties to the lowest id). Comparison-only:
+                    // no solver float is touched.
+                    binding[k] = if saturated {
+                        let mut best: Option<(f64, usize)> = None;
+                        for &(rid, d) in &stage.demands {
+                            let cap_r = self.resources[rid.0].capacity;
+                            if d > 0.0 && left[rid.0] <= EPS * cap_r.max(1.0) {
+                                let pressure = d / cap_r;
+                                let better = match best {
+                                    None => true,
+                                    Some((bp, bid)) => {
+                                        pressure > bp || (pressure == bp && rid.0 < bid)
+                                    }
+                                };
+                                if better {
+                                    best = Some((pressure, rid.0));
+                                }
+                            }
+                        }
+                        match best {
+                            Some((_, rid)) => Binding::Resource(ResourceId(rid)),
+                            None => Binding::RateCap,
+                        }
+                    } else {
+                        Binding::RateCap
+                    };
                 }
             }
             if !newly_frozen && delta <= 0.0 {
                 // No progress possible; freeze everything to terminate.
+                // Streams frozen here keep `Binding::Unconstrained` — the
+                // fill found no constraint for them.
                 for f in frozen.iter_mut() {
                     *f = true;
                 }
             }
         }
-        Ok(rate)
+        // Final attribution snapshot: slack per resource and the saturated
+        // set, using the same tolerance the freeze test applied. A
+        // resource must actually carry load (`left < capacity`) to count
+        // as saturated, so idle zero-ish-capacity resources never appear.
+        let slack: Vec<f64> = left.iter().map(|&l| l.max(0.0)).collect();
+        let saturated: Vec<ResourceId> = (0..n_res)
+            .filter(|&j| {
+                let cap_r = self.resources[j].capacity;
+                cap_r > 0.0 && left[j] < cap_r && left[j] <= EPS * cap_r.max(1.0)
+            })
+            .map(ResourceId)
+            .collect();
+        Ok(Alloc {
+            rates: rate,
+            bindings: binding,
+            slack,
+            saturated,
+        })
     }
 }
 

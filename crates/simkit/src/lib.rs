@@ -34,7 +34,9 @@ pub mod units;
 /// replaces the half-dozen `use simkit::fluid::...` lines that repeated
 /// across the workspace.
 pub mod prelude {
+    pub use crate::fluid::Binding;
     pub use crate::fluid::FluidSim;
+    pub use crate::fluid::Interval;
     pub use crate::fluid::ResourceId;
     pub use crate::fluid::Solver;
     pub use crate::fluid::SolverStats;

@@ -111,6 +111,120 @@ fn conservation_laws_hold() {
     }
 }
 
+/// The solver's attribution records must be consistent with the physics
+/// it already exposes: per-interval slack mirrors leftover capacity,
+/// every resource in the saturated set really is out of slack, a
+/// stream's binding resource always comes from that interval's
+/// saturated set, and the interval sequence tiles the busy time up to
+/// the makespan — gaps are allowed only where no stream is active.
+#[test]
+fn attribution_records_are_consistent() {
+    use simkit::prelude::Binding;
+    let mut rng = SimRng::seed_from_u64(0xa77_21b5);
+    for case in 0..200 {
+        let specs = arb_streams(&mut rng);
+        let caps: Vec<f64> = (0..3).map(|_| 0.5 + rng.unit() * 9.5).collect();
+
+        let mut sim = FluidSim::new();
+        let rids: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
+            .collect();
+        for (start_at, stages) in &specs {
+            let fluid_stages: Vec<Stage> = stages
+                .iter()
+                .enumerate()
+                .map(|(si, (work, demands))| {
+                    Stage::new(
+                        format!("s{si}"),
+                        *work,
+                        demands.iter().map(|(r, d)| (rids[*r], *d)).collect(),
+                    )
+                })
+                .collect();
+            sim.add_stream(Stream {
+                name: "s".into(),
+                start_at: *start_at,
+                stages: fluid_stages,
+            });
+        }
+        let trace = sim.run().expect("solvable");
+
+        // Intervals are ordered and non-overlapping, any gap between
+        // them is genuinely idle (no stage runs inside it), and the
+        // last one ends at the makespan.
+        for pair in trace.intervals.windows(2) {
+            assert!(
+                pair[1].t0 >= pair[0].t1 - 1e-12,
+                "case {case}: intervals overlap: {} > {}",
+                pair[0].t1,
+                pair[1].t0
+            );
+            if pair[1].t0 > pair[0].t1 {
+                let (gap0, gap1) = (pair[0].t1, pair[1].t0);
+                for s in &trace.stages {
+                    assert!(
+                        s.t1 <= gap0 + 1e-9 || s.t0 >= gap1 - 1e-9,
+                        "case {case}: stage {} runs [{}, {}] inside the \
+                         interval gap [{gap0}, {gap1}]",
+                        s.name,
+                        s.t0,
+                        s.t1
+                    );
+                }
+            }
+        }
+        if let Some(last) = trace.intervals.last() {
+            assert!(
+                (last.t1 - trace.makespan()).abs() < 1e-9,
+                "case {case}: intervals stop at {} before makespan {}",
+                last.t1,
+                trace.makespan()
+            );
+        }
+
+        for iv in &trace.intervals {
+            assert_eq!(iv.slack.len(), caps.len(), "case {case}: slack width");
+            for (j, &cap) in caps.iter().enumerate() {
+                let slack = iv.slack[j];
+                assert!(slack >= 0.0, "case {case}: negative slack {slack}");
+                let leftover = (cap - iv.usage[j]).max(0.0);
+                assert!(
+                    (slack - leftover).abs() <= 1e-6 * cap.max(1.0),
+                    "case {case}: resource {j} slack {slack} vs capacity {cap} - usage {}",
+                    iv.usage[j]
+                );
+            }
+            for &rid in &iv.saturated {
+                let j = rid.index();
+                assert!(
+                    iv.slack[j] <= 1e-9 * caps[j].max(1.0) + 1e-12,
+                    "case {case}: saturated resource {j} has slack {}",
+                    iv.slack[j]
+                );
+                assert!(iv.is_saturated(rid), "case {case}: is_saturated disagrees");
+            }
+            for &(_, b) in &iv.bindings {
+                match b {
+                    Binding::Resource(rid) => assert!(
+                        iv.saturated.contains(&rid),
+                        "case {case}: binding resource {} not in saturated set",
+                        rid.index()
+                    ),
+                    // No stage in this model declares a rate cap, so the
+                    // solver must never attribute a freeze to one.
+                    Binding::RateCap => {
+                        panic!("case {case}: RateCap binding without a rate cap")
+                    }
+                    Binding::Unconstrained => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
 /// Asserts two traces are bit-for-bit identical: every interval boundary,
 /// usage vector, and stage record down to the f64 bit patterns.
 fn assert_traces_bit_identical(a: &Trace, b: &Trace, ctx: &str) {
