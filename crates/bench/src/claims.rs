@@ -23,7 +23,7 @@
 //! note = "§5.2: the dump streams the tape"
 //!
 //! [[claim]]
-//! table = "sweep"
+//! table = "sweep"              # any sweep report: "sweep", "net_sweep"
 //! op = "Logical Backup"
 //! kind = "crossover"           # dominant binding flips along the sweep
 //! from = "tape*"
@@ -44,7 +44,8 @@ use obs::SweepReport;
 /// One qualitative claim from `claims.toml`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Claim {
-    /// Which report the claim is about ("table2".."table5", "sweep").
+    /// Which report the claim is about ("table2".."table5", "table_net",
+    /// or a sweep name like "sweep" / "net_sweep").
     pub table: String,
     /// Operation label inside the report ("Physical Dump").
     pub op: String,
@@ -77,8 +78,8 @@ pub enum ClaimKind {
         resource: String,
     },
     /// Somewhere along the sweep the op's dominant binding flips from a
-    /// class matching `from` to one matching `to` (only meaningful for
-    /// `table = "sweep"`).
+    /// class matching `from` to one matching `to` (only meaningful
+    /// against a sweep report — a `table` name ending in "sweep").
     Crossover {
         /// Pattern for the old dominant class.
         from: String,
@@ -207,10 +208,13 @@ impl RawClaim {
             }
         };
         if let ClaimKind::Crossover { .. } = kind {
-            if table != "sweep" {
+            if !table.ends_with("sweep") {
                 return Err(ClaimsError::Parse {
                     line: self.line,
-                    reason: format!("crossover claims need table = \"sweep\", got {table:?}"),
+                    reason: format!(
+                        "crossover claims need a sweep table (name ending in \"sweep\"), \
+                         got {table:?}"
+                    ),
                 });
             }
         }
@@ -294,18 +298,19 @@ pub struct ClaimResult {
 
 /// Evaluates claims against the reports the runner produced.
 ///
-/// `tables` maps report names ("table2") to attribution reports; `sweep`
-/// is the drive-count sweep when one was run. Claims naming a missing
-/// table or op fail — the gate treats "not evaluated" as "not proven".
+/// `tables` maps report names ("table2") to attribution reports;
+/// `sweeps` maps sweep names ("sweep", "net_sweep") to the sweeps that
+/// ran. Claims naming a missing table, sweep, or op fail — the gate
+/// treats "not evaluated" as "not proven".
 pub fn evaluate(
     claims: &[Claim],
     tables: &BTreeMap<String, AttribReport>,
-    sweep: Option<&SweepReport>,
+    sweeps: &BTreeMap<String, SweepReport>,
 ) -> Vec<ClaimResult> {
     claims
         .iter()
         .map(|claim| {
-            let (pass, detail) = check(claim, tables, sweep);
+            let (pass, detail) = check(claim, tables, sweeps);
             ClaimResult {
                 claim: claim.clone(),
                 pass,
@@ -318,11 +323,11 @@ pub fn evaluate(
 fn check(
     claim: &Claim,
     tables: &BTreeMap<String, AttribReport>,
-    sweep: Option<&SweepReport>,
+    sweeps: &BTreeMap<String, SweepReport>,
 ) -> (bool, String) {
     if let ClaimKind::Crossover { from, to, by } = &claim.kind {
-        let Some(sweep) = sweep else {
-            return (false, "sweep was not evaluated".into());
+        let Some(sweep) = sweeps.get(&claim.table) else {
+            return (false, format!("{} was not evaluated", claim.table));
         };
         let xs = sweep.crossovers(&claim.op);
         if !sweep.op_names().iter().any(|o| o == &claim.op) {
@@ -516,7 +521,7 @@ by = 4
                 note: String::new(),
             },
         ];
-        let results = evaluate(&claims, &tables, None);
+        let results = evaluate(&claims, &tables, &BTreeMap::new());
         assert!(results[0].pass, "{}", results[0].detail);
         assert!(!results[1].pass, "{}", results[1].detail);
         assert!(results[2].pass, "{}", results[2].detail);
@@ -546,7 +551,7 @@ by = 4
             },
             note: String::new(),
         };
-        let results = evaluate(&[missing_table, missing_op], &tables, None);
+        let results = evaluate(&[missing_table, missing_op], &tables, &BTreeMap::new());
         assert!(!results[0].pass && results[0].detail.contains("not evaluated"));
         assert!(!results[1].pass && results[1].detail.contains("not in"));
     }
@@ -581,7 +586,9 @@ by = 4
             },
             note: String::new(),
         };
-        let results = evaluate(&[base.clone()], &BTreeMap::new(), Some(&sweep));
+        let mut sweeps = BTreeMap::new();
+        sweeps.insert("sweep".to_string(), sweep);
+        let results = evaluate(std::slice::from_ref(&base), &BTreeMap::new(), &sweeps);
         assert!(results[0].pass, "{}", results[0].detail);
 
         // Tightening `by` below the flip point fails it.
@@ -591,11 +598,17 @@ by = 4
             to: "cpu|disk".into(),
             by: Some(2.0),
         };
-        let results = evaluate(&[early], &BTreeMap::new(), Some(&sweep));
+        let results = evaluate(&[early], &BTreeMap::new(), &sweeps);
         assert!(!results[0].pass, "{}", results[0].detail);
 
-        // No sweep at all: the gate fails closed.
-        let results = evaluate(&[base], &BTreeMap::new(), None);
+        // A claim against a sweep that never ran fails closed.
+        let mut other = base.clone();
+        other.table = "net_sweep".into();
+        let results = evaluate(&[other], &BTreeMap::new(), &sweeps);
+        assert!(!results[0].pass && results[0].detail.contains("not evaluated"));
+
+        // No sweeps at all: same.
+        let results = evaluate(&[base], &BTreeMap::new(), &BTreeMap::new());
         assert!(!results[0].pass && results[0].detail.contains("not evaluated"));
     }
 }

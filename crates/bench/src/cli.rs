@@ -4,15 +4,20 @@
 //! ```text
 //! bench <experiment> [--scale F] [--seed N] [--out-dir DIR] [--json PATH]
 //! bench all   [--jobs N] [shared flags]     the full experiment matrix
-//! bench chaos [--seeds A,B,C] [--jobs N] [--spec FILE] [shared flags]
+//! bench chaos [--seeds A,B,C] [--jobs N] [--spec FILE] [--target T] [shared flags]
 //! bench benchdiff ...                       the perf-regression gate
 //! bench explain <table> [--check FILE]      bottleneck attribution + claims gate
 //! ```
 //!
 //! Experiments: `tables` (tables 2–5 + scaling off one volume build),
-//! `table1` … `table5`, `scaling`, `chaos`, `degraded`,
-//! `concurrent_volumes`, `single_file_cost`, `incremental_economics`,
-//! `ablation_fragmentation`, `ablation_readahead`.
+//! `table1` … `table5`, `net` (tape-vs-network crossover), `scaling`,
+//! `chaos`, `degraded`, `concurrent_volumes`, `single_file_cost`,
+//! `incremental_economics`, `ablation_fragmentation`,
+//! `ablation_readahead`.
+//!
+//! `--target <tape|100mbit|1gbit|10gbit>` selects the medium for the
+//! experiments that open one (currently `chaos`), replacing the
+//! per-subcommand drive construction.
 //!
 //! Every job — even a single subcommand — runs on a fresh thread through
 //! [`crate::pool`], so thread-local obs state is always virgin and a
@@ -41,6 +46,7 @@ struct Flags {
     json: Option<PathBuf>,
     spec: Option<String>,
     seeds: Option<Vec<u64>>,
+    target: Option<backup_core::Target>,
 }
 
 impl Default for Flags {
@@ -53,6 +59,7 @@ impl Default for Flags {
             json: None,
             spec: None,
             seeds: None,
+            target: None,
         }
     }
 }
@@ -112,6 +119,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.spec = Some(need(i)?.clone());
                 i += 2;
             }
+            "--target" => {
+                let name = need(i)?;
+                f.target = Some(backup_core::Target::parse(name).ok_or_else(|| {
+                    format!("--target takes tape, 100mbit, 1gbit, or 10gbit (got {name:?})")
+                })?);
+                i += 2;
+            }
             other => {
                 eprintln!("ignoring unknown argument {other:?}");
                 i += 1;
@@ -125,6 +139,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 /// scale (`None` = the experiment takes no scale).
 const ALL_MATRIX: &[(&str, Option<f64>)] = &[
     ("tables", Some(1.0 / 32.0)),
+    ("net", Some(1.0 / 32.0)),
     ("table1", None),
     ("chaos", Some(1.0 / 1024.0)),
     ("degraded", Some(1.0 / 1024.0)),
@@ -171,6 +186,10 @@ fn experiment_job(name: &str, flags: &Flags) -> Option<Job> {
         "table5" => {
             let cfg = run_cfg(flags, 1.0 / 32.0);
             job("table5", Box::new(move || runners::table5(&cfg)))
+        }
+        "net" => {
+            let cfg = run_cfg(flags, 1.0 / 32.0);
+            job("net", Box::new(move || runners::net(&cfg)))
         }
         "scaling" => {
             let cfg = run_cfg(flags, 1.0 / 32.0);
@@ -220,6 +239,7 @@ fn experiment_job(name: &str, flags: &Flags) -> Option<Job> {
                 seed: flags.seed.unwrap_or(1999),
                 scale: flags.scale.unwrap_or(1.0 / 1024.0),
                 spec_path: flags.spec.clone(),
+                target: flags.target.unwrap_or_default(),
                 out_dir: flags.out_dir.clone(),
             };
             let label = format!("chaos seed={}", cfg.seed);
@@ -242,6 +262,7 @@ fn chaos_jobs(flags: &Flags) -> Vec<Job> {
                 seed,
                 scale: flags.scale.unwrap_or(1.0 / 1024.0),
                 spec_path: flags.spec.clone(),
+                target: flags.target.unwrap_or_default(),
                 out_dir: flags.out_dir.clone(),
             };
             Job {
@@ -318,9 +339,10 @@ fn write_wallclock(path: &std::path::Path, jobs: usize, results: &[JobResult], t
 }
 
 const USAGE: &str = "usage: bench <experiment|all|chaos|benchdiff|explain> \
-[--scale F] [--seed N] [--seeds A,B,C] [--jobs N] [--out-dir DIR] [--json PATH] [--spec FILE]";
+[--scale F] [--seed N] [--seeds A,B,C] [--jobs N] [--out-dir DIR] [--json PATH] [--spec FILE] \
+[--target tape|100mbit|1gbit|10gbit]";
 
-/// Entry point shared by the `bench` binary and the legacy bin shims.
+/// Entry point for the `bench` binary.
 pub fn main_with_args(args: Vec<String>) -> ExitCode {
     let Some(cmd) = args.first().cloned() else {
         eprintln!("{USAGE}");
@@ -362,11 +384,4 @@ pub fn main_with_args(args: Vec<String>) -> ExitCode {
         write_wallclock(path, njobs, &results, total);
     }
     ExitCode::SUCCESS
-}
-
-/// Legacy bin shim: behaves as `bench <name> <argv[1..]>`.
-pub fn shim(name: &str) -> ExitCode {
-    let mut args = vec![name.to_string()];
-    args.extend(std::env::args().skip(1));
-    main_with_args(args)
 }

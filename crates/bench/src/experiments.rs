@@ -12,8 +12,12 @@ use backup_core::logical::restore::restore;
 use backup_core::physical::dump::image_dump_full;
 use backup_core::physical::restore::image_restore;
 use backup_core::report::StageProfile;
+use net::LinkSpec;
+use obs::attrib::SweepPoint;
 use raid::Volume;
+use simkit::fluid::Trace;
 use simkit::prelude::FluidSim;
+use simkit::prelude::ResourceId;
 use simkit::prelude::Stream;
 use simkit::units::MIB;
 use tape::TapeDrive;
@@ -163,7 +167,18 @@ pub fn simulate_op(
         }));
     }
     let trace = sim.run().expect("fluid model solvable");
+    fold_trace(op, streams, &trace, cpu)
+}
 
+/// Folds one solved trace into a [`SimOp`]: per-stage aggregation,
+/// windows, timelines, and attribution. Shared by the tape and network
+/// solver paths so they bin and report identically.
+fn fold_trace(
+    op: &'static str,
+    streams: &[Vec<StageProfile>],
+    trace: &Trace,
+    cpu: ResourceId,
+) -> SimOp {
     // Aggregate per stage name, preserving first-appearance order.
     let mut order: Vec<String> = Vec::new();
     for s in streams.iter().flatten() {
@@ -203,10 +218,72 @@ pub fn simulate_op(
     SimOp {
         rows,
         windows,
-        timelines: obs::timelines_from_trace(&trace),
-        attribution: obs::attribute(op, &trace),
+        timelines: obs::timelines_from_trace(trace),
+        attribution: obs::attribute(op, trace),
         elapsed: trace.makespan(),
     }
+}
+
+/// Bytes per framed wire record the net time model charges: 64 blocks
+/// (256 KiB), so every record pays the link's per-message latency on
+/// top of serialization. Matches the dump engines' data-run framing.
+pub const NET_RECORD_BYTES: u64 = 64 * 4096;
+
+/// The filer model rebased onto a replication link: the "tape" pipeline
+/// becomes the wire. The effective rate folds per-record latency into
+/// bandwidth ([`LinkSpec::transfer_secs`] over [`NET_RECORD_BYTES`]);
+/// a link has no start/stop streaming loss and no striping loss — those
+/// are tape-mechanism artifacts.
+fn net_model(model: &FilerModel, link: &LinkSpec) -> FilerModel {
+    let mut m = *model;
+    m.tape_rate = NET_RECORD_BYTES as f64 / link.transfer_secs(NET_RECORD_BYTES);
+    m.logical_tape_eff = 1.0;
+    m.stripe_loss_per_drive = 0.0;
+    m
+}
+
+/// Solves the fluid model for one operation whose stream lands on a
+/// network link instead of tape drives.
+///
+/// The resource layout is the one structural difference from
+/// [`simulate_op`]: all streams share **one** `net` resource (a link is
+/// a shared channel, dslab-style), where the tape path gives every
+/// stream its own drive. Stage demands charged to the "tape" slot land
+/// on the link at the link's effective rate.
+pub fn simulate_op_net(
+    op: &'static str,
+    streams: &[Vec<StageProfile>],
+    arms: f64,
+    kind: OpKind,
+    model: &FilerModel,
+    link: &LinkSpec,
+) -> SimOp {
+    let n = streams.len();
+    let m = net_model(model, link);
+    let mut sim = FluidSim::new();
+    let cpu = sim.add_resource("cpu", 1.0);
+    let disk = sim.add_resource("disk", arms);
+    let meta = sim.add_resource("meta", 1.0);
+    let net = sim.add_resource("net", 1.0);
+    for (i, stages) in streams.iter().enumerate() {
+        let ids = ResourceIds {
+            cpu,
+            disk,
+            tape: net,
+            meta,
+        };
+        let fluid_stages = stages
+            .iter()
+            .map(|p| stage_to_fluid(p, &m, &ids, n, kind))
+            .collect();
+        sim.add_stream(Stream {
+            name: format!("{op} #{i}"),
+            start_at: 0.0,
+            stages: fluid_stages,
+        });
+    }
+    let trace = sim.run().expect("fluid model solvable");
+    fold_trace(op, streams, &trace, cpu)
 }
 
 /// Scales a profiler's stages to paper size.
@@ -683,6 +760,145 @@ pub fn prepare(scale: f64, seed: u64) -> (BuiltVolume, FunctionalRuns) {
     let mut home = build_home(scale, seed);
     let runs = functional_runs(&mut home);
     (home, runs)
+}
+
+/// The network links the crossover table and sweep evaluate, as
+/// `(target label, decimal Mbit/s)`. Labels are the same names
+/// [`backup_core::Target::parse`] accepts.
+pub const NET_LINKS: &[(&str, f64)] =
+    &[("100mbit", 100.0), ("1gbit", 1000.0), ("10gbit", 10_000.0)];
+
+/// The preset [`LinkSpec`] behind one of the [`NET_LINKS`] labels.
+fn link_for(label: &str) -> LinkSpec {
+    match backup_core::Target::parse(label) {
+        Some(backup_core::Target::Net(spec)) => spec,
+        _ => unreachable!("NET_LINKS entries are net targets"),
+    }
+}
+
+/// One row of the tape-vs-network crossover table.
+#[derive(Debug, Clone)]
+pub struct NetRow {
+    /// Operation name.
+    pub op: &'static str,
+    /// Target label ("tape", "100mbit", "1gbit", "10gbit").
+    pub target: String,
+    /// Makespan, seconds.
+    pub elapsed: f64,
+    /// Data moved / elapsed, MB/s.
+    pub mb_s: f64,
+    /// Dominant binding class over the run ("tape", "net", "disk", ...).
+    pub dominant: String,
+    /// Class critical-path shares, for the per-cell attribution column.
+    pub class_shares: Vec<(String, f64)>,
+}
+
+/// Results of the tape-vs-network experiment (`bench net`).
+#[derive(Debug)]
+pub struct NetResults {
+    /// Crossover-table rows, operation-major then target in
+    /// tape-first, ascending-bandwidth order.
+    pub rows: Vec<NetRow>,
+    /// Per-cell attribution under the "table_net" name; ops are
+    /// labelled `"<op> @ <target>"` so a claim can pin one cell.
+    pub table: obs::AttribReport,
+    /// The link-bandwidth sweep (param = decimal Mbit/s, base op
+    /// labels) driving crossover detection and the claims gate.
+    pub sweep: obs::SweepReport,
+    /// Spans-only obs artifact ("table_net"), one root span per cell.
+    pub obs: obs::Artifact,
+}
+
+/// Runs every operation against tape and each [`NET_LINKS`] link off
+/// the same functional pass the other tables use: the tape cells are
+/// the exact single-drive solves of [`run_basic`], the net cells swap
+/// the drive for a shared link via [`simulate_op_net`].
+pub fn run_net(home: &mut BuiltVolume, runs: &FunctionalRuns, model: &FilerModel) -> NetResults {
+    let factor = home.paper_factor();
+    let arms = home.profile.geometry.total_disks() as f64;
+    let logical_bytes = (runs.logical_blocks as f64 * 4096.0 * factor) as u64;
+    let physical_bytes = (runs.image_blocks as f64 * 4096.0 * factor) as u64;
+
+    let ops: [(&'static str, &[StageProfile], OpKind, u64); 4] = [
+        (
+            "Logical Backup",
+            &runs.logical_dump,
+            OpKind::LogicalDump,
+            logical_bytes,
+        ),
+        (
+            "Logical Restore",
+            &runs.logical_restore,
+            OpKind::LogicalRestore,
+            logical_bytes,
+        ),
+        (
+            "Physical Backup",
+            &runs.image_dump,
+            OpKind::PhysicalDump,
+            physical_bytes,
+        ),
+        (
+            "Physical Restore",
+            &runs.image_restore,
+            OpKind::PhysicalRestore,
+            physical_bytes,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut sims: Vec<(String, SimOp)> = Vec::new();
+    let mut sweep_ops: Vec<Vec<obs::OpAttribution>> = vec![Vec::new(); NET_LINKS.len()];
+    for (op, stages, kind, bytes) in ops {
+        let streams = [scaled_stages(stages, factor)];
+        let row = |sim: &SimOp, target: &str| NetRow {
+            op,
+            target: target.to_string(),
+            elapsed: sim.elapsed,
+            mb_s: simkit::units::mib_per_sec(bytes, sim.elapsed),
+            dominant: sim.attribution.dominant(),
+            class_shares: sim.attribution.class_shares.clone(),
+        };
+        let tape_sim = simulate_op(op, &streams, arms, kind, model);
+        rows.push(row(&tape_sim, "tape"));
+        sims.push((format!("{op} @ tape"), tape_sim));
+        for (li, (label, _)) in NET_LINKS.iter().enumerate() {
+            let sim = simulate_op_net(op, &streams, arms, kind, model, &link_for(label));
+            rows.push(row(&sim, label));
+            sweep_ops[li].push(sim.attribution.clone());
+            sims.push((format!("{op} @ {label}"), sim));
+        }
+    }
+
+    let table = obs::AttribReport {
+        experiment: "table_net".to_string(),
+        ops: sims
+            .iter()
+            .map(|(label, sim)| {
+                let mut a = sim.attribution.clone();
+                a.op = label.clone();
+                a
+            })
+            .collect(),
+    };
+    let sweep = obs::SweepReport {
+        experiment: "net_sweep".to_string(),
+        param: "link_mbit".to_string(),
+        points: NET_LINKS
+            .iter()
+            .zip(sweep_ops)
+            .map(|((_, mbit), ops)| SweepPoint { param: *mbit, ops })
+            .collect(),
+    };
+    let named: Vec<(&str, &SimOp)> = sims.iter().map(|(l, s)| (l.as_str(), s)).collect();
+    let obs = crate::obsout::assemble_sim_only("table_net", &named);
+
+    NetResults {
+        rows,
+        table,
+        sweep,
+        obs,
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! run the machine-checked claims gate.
 //!
 //! ```text
-//! bench explain <table2|table3|table4|table5|sweep|all>
+//! bench explain <table2|table3|table4|table5|net|sweep|all>
 //!               [--check FILE] [--scale F] [--seed N] [--out-dir DIR]
 //! ```
 //!
@@ -12,8 +12,10 @@
 //! per-stream bottleneck timelines, and writes the machine-readable
 //! artifacts:
 //!
-//! - `results/ATTRIB_<table>.json` per requested table,
-//! - `results/ATTRIB_sweep.json` for the drive-count sweep,
+//! - `results/ATTRIB_<table>.json` per requested table (the `net`
+//!   target produces "table_net", per-cell `"<op> @ <target>"` labels),
+//! - `results/ATTRIB_<name>.json` per computed sweep — the drive-count
+//!   sweep ("sweep") and the link-bandwidth sweep ("net_sweep"),
 //! - `results/metrics_explain.om` — the OpenMetrics exposition of the
 //!   registry plus the attribution gauges.
 //!
@@ -41,6 +43,7 @@ use crate::calibrate::FilerModel;
 use crate::claims;
 use crate::experiments::prepare;
 use crate::experiments::run_basic;
+use crate::experiments::run_net;
 use crate::experiments::run_parallel;
 use crate::experiments::FunctionalRuns;
 use crate::runners::RunCfg;
@@ -60,12 +63,15 @@ pub struct Targets {
     pub table4: bool,
     /// 4-drive parallel attribution.
     pub table5: bool,
+    /// Tape-vs-network attribution ("table_net") plus the
+    /// link-bandwidth sweep ("net_sweep").
+    pub net: bool,
     /// The drive-count sweep with crossover detection.
     pub sweep: bool,
 }
 
 impl Targets {
-    /// Parses a target name (`table2`..`table5`, `sweep`, `all`).
+    /// Parses a target name (`table2`..`table5`, `net`, `sweep`, `all`).
     pub fn parse(name: &str) -> Option<Targets> {
         let mut t = Targets::default();
         match name {
@@ -73,6 +79,7 @@ impl Targets {
             "table3" => t.table3 = true,
             "table4" => t.table4 = true,
             "table5" => t.table5 = true,
+            "net" => t.net = true,
             "sweep" => t.sweep = true,
             "all" => {
                 t = Targets {
@@ -80,6 +87,7 @@ impl Targets {
                     table3: true,
                     table4: true,
                     table5: true,
+                    net: true,
                     sweep: true,
                 }
             }
@@ -90,13 +98,14 @@ impl Targets {
 }
 
 /// Everything `bench explain` computes: attribution reports keyed by
-/// table name, plus the optional sweep.
-#[derive(Debug, Clone, PartialEq)]
+/// table name, plus the sweeps keyed by sweep name.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Reports {
-    /// Per-table attribution ("table2" .. "table5").
+    /// Per-table attribution ("table2" .. "table5", "table_net").
     pub tables: BTreeMap<String, AttribReport>,
-    /// The drive-count sweep, when requested.
-    pub sweep: Option<SweepReport>,
+    /// Computed sweeps by name ("sweep" = drive count, "net_sweep" =
+    /// link bandwidth).
+    pub sweeps: BTreeMap<String, SweepReport>,
 }
 
 fn report(name: &str, ops: &[OpAttribution]) -> AttribReport {
@@ -147,8 +156,16 @@ pub fn compute(cfg: &RunCfg, want: Targets) -> Reports {
         let r = run_parallel(&mut home, &runs, &model, 4);
         tables.insert("table5".to_string(), report("table5", &r.attribs));
     }
-    let sweep = want.sweep.then(|| sweep(&mut home, &runs, &model));
-    Reports { tables, sweep }
+    let mut sweeps = BTreeMap::new();
+    if want.net {
+        let r = run_net(&mut home, &runs, &model);
+        tables.insert("table_net".to_string(), r.table);
+        sweeps.insert("net_sweep".to_string(), r.sweep);
+    }
+    if want.sweep {
+        sweeps.insert("sweep".to_string(), sweep(&mut home, &runs, &model));
+    }
+    Reports { tables, sweeps }
 }
 
 fn fmt_utils(utils: &[(String, f64)]) -> String {
@@ -255,13 +272,13 @@ pub fn render_sweep(s: &SweepReport) -> String {
 }
 
 /// Renders every computed report, tables first (sorted by name), then
-/// the sweep.
+/// the sweeps (sorted by name).
 pub fn render(reports: &Reports) -> String {
     let mut out = String::new();
     for r in reports.tables.values() {
         out.push_str(&render_report(r));
     }
-    if let Some(s) = &reports.sweep {
+    for s in reports.sweeps.values() {
         out.push_str(&render_sweep(s));
     }
     out
@@ -276,7 +293,7 @@ pub fn emit(out_dir: &Path, reports: &Reports) {
     for r in reports.tables.values() {
         emitted(r.write(out_dir));
     }
-    if let Some(s) = &reports.sweep {
+    for s in reports.sweeps.values() {
         emitted(s.write(out_dir));
     }
 }
@@ -302,7 +319,7 @@ fn emit_openmetrics(out_dir: &Path, reports: &Reports) {
     }
 }
 
-const USAGE: &str = "usage: bench explain <table2|table3|table4|table5|sweep|all> \
+const USAGE: &str = "usage: bench explain <table2|table3|table4|table5|net|sweep|all> \
 [--check FILE] [--scale F] [--seed N] [--out-dir DIR]";
 
 /// CLI entry point for `bench explain`. Exit codes: 0 = rendered (and
@@ -418,7 +435,7 @@ pub fn run(args: &[String]) -> ExitCode {
     emit_openmetrics(&cfg.out_dir, &reports);
 
     if let Some(cs) = parsed_claims {
-        let results = claims::evaluate(&cs, &reports.tables, reports.sweep.as_ref());
+        let results = claims::evaluate(&cs, &reports.tables, &reports.sweeps);
         let (text, failed) = claims::render(&results);
         println!(
             "\nclaims gate ({}):",

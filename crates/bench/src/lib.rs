@@ -22,8 +22,8 @@
 //! with `bench all --jobs N` running the whole matrix on a deterministic
 //! thread pool ([`pool`]) — every experiment on a fresh thread with
 //! virgin thread-local obs state, outputs printed in submission order,
-//! so parallel artifacts are byte-identical to serial ones. The old
-//! per-experiment binaries (`table2`, `chaos`, ...) remain as shims.
+//! so parallel artifacts are byte-identical to serial ones. (The old
+//! per-experiment binaries are gone; `bench <name>` is the only entry.)
 
 pub mod build;
 pub mod calibrate;

@@ -113,7 +113,7 @@ pub fn assemble(
 /// parallel tables, whose measured per-qtree spans do not map onto the
 /// merged streams): each operation becomes a root span with its stage
 /// windows as children.
-pub fn assemble_sim_only(experiment: &str, ops: &[(&'static str, &SimOp)]) -> obs::Artifact {
+pub fn assemble_sim_only(experiment: &str, ops: &[(&str, &SimOp)]) -> obs::Artifact {
     let mut spans: Vec<Span> = Vec::new();
     let mut timelines: Vec<UtilizationTimeline> = Vec::new();
     let mut offset = 0.0;

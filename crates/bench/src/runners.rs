@@ -60,9 +60,11 @@ use crate::calibrate::OpKind;
 use crate::calibrate::ResourceIds;
 use crate::experiments::prepare;
 use crate::experiments::run_basic;
+use crate::experiments::run_net;
 use crate::experiments::run_parallel;
 use crate::experiments::run_scaling;
 use crate::experiments::simulate_op;
+use crate::experiments::NetResults;
 use crate::obsout;
 use crate::tables::render_parallel_summary;
 use crate::tables::render_scaling;
@@ -232,9 +234,84 @@ pub fn tables(cfg: &RunCfg) -> String {
         &cfg.out_dir,
         &crate::explain::Reports {
             tables: attrib_tables,
-            sweep: Some(sweep),
+            sweeps: [("sweep".to_string(), sweep)].into_iter().collect(),
         },
     );
+    out
+}
+
+/// The tape-vs-network crossover table: every operation against a DLT
+/// drive and each preset link, with per-cell bottleneck attribution and
+/// the link-bandwidth sweep's detected crossovers.
+pub fn net(cfg: &RunCfg) -> String {
+    obs::event::enable(obs::event::EventConfig::default());
+    let (mut home, runs) = prepare(cfg.scale, cfg.seed);
+    let r = run_net(&mut home, &runs, &FilerModel::f630());
+    let out = render_net(&r);
+    obsout::emit_to(&cfg.out_dir, &r.obs);
+    for w in [r.table.write(&cfg.out_dir), r.sweep.write(&cfg.out_dir)] {
+        match w {
+            Ok(p) => eprintln!("[bench] wrote {}", p.display()),
+            Err(e) => eprintln!("[bench] could not write attribution artifact: {e}"),
+        }
+    }
+    out
+}
+
+fn render_net(r: &NetResults) -> String {
+    let fmt_bound = |dominant: &str, shares: &[(String, f64)]| {
+        let detail = shares
+            .iter()
+            .filter(|(_, s)| *s >= 0.005)
+            .map(|(c, s)| format!("{c} {:.0}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join("  ");
+        format!("{dominant:<6} ({detail})")
+    };
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(
+        w,
+        "\nBackup and restore to tape vs. network replication (188 GB home volume)"
+    );
+    let _ = writeln!(w, "{}", "-".repeat(92));
+    let _ = writeln!(
+        w,
+        "{:<18} {:>8} {:>12} {:>8}   bound by",
+        "operation", "target", "elapsed", "MB/s"
+    );
+    let _ = writeln!(w, "{}", "-".repeat(92));
+    let mut last_op = "";
+    for row in &r.rows {
+        if row.op != last_op && !last_op.is_empty() {
+            let _ = writeln!(w);
+        }
+        last_op = row.op;
+        let _ = writeln!(
+            w,
+            "{:<18} {:>8} {:>12} {:>8.1}   {}",
+            row.op,
+            row.target,
+            fmt_duration(row.elapsed),
+            row.mb_s,
+            fmt_bound(&row.dominant, &row.class_shares)
+        );
+    }
+    let _ = writeln!(w, "{}", "-".repeat(92));
+    let mut any = false;
+    for op in r.sweep.op_names() {
+        for x in r.sweep.crossovers(&op) {
+            any = true;
+            let _ = writeln!(
+                w,
+                "crossover: {op}: {} -> {} between {}={} and {}",
+                x.from, x.to, r.sweep.param, x.param_lo, x.param_hi
+            );
+        }
+    }
+    if !any {
+        let _ = writeln!(w, "no crossovers detected along the link sweep");
+    }
     out
 }
 
@@ -906,6 +983,9 @@ pub struct ChaosCfg {
     pub scale: f64,
     /// Optional TOML fault-spec override.
     pub spec_path: Option<String>,
+    /// The medium faults are injected in front of (tape or a network
+    /// link).
+    pub target: backup_core::Target,
     /// Where `chaos_seed<N>.txt` lands.
     pub out_dir: PathBuf,
 }
@@ -975,7 +1055,12 @@ pub fn chaos(cfg: &ChaosCfg) -> String {
     obs::event::enable(obs::event::EventConfig::default());
     let mut report = String::new();
     let w = &mut report;
-    writeln!(w, "chaos report (seed={seed} scale={scale})").unwrap();
+    writeln!(
+        w,
+        "chaos report (seed={seed} scale={scale} target={})",
+        cfg.target.label()
+    )
+    .unwrap();
     writeln!(
         w,
         "spec: tape(media_soft={} jam={} offline={}/{}) raid(fail_after={:?} rebuild_after={:?})",
@@ -997,13 +1082,12 @@ pub fn chaos(cfg: &ChaosCfg) -> String {
         .set_retry_policy(RetryPolicy::media_default());
     let _ = obs::event::drain(); // shed build-phase events
 
-    let tape_blank = 64 * (1u64 << 30);
     let policy = RetryPolicy::media_default();
 
     // ---- Logical roundtrip under chaos ----------------------------------
     eprintln!("[chaos] logical dump/restore under injection...");
     let proxy = FaultProxy::new(
-        TapeDrive::new(TapePerf::dlt7000(), tape_blank),
+        cfg.target.open(),
         &spec.tape,
         SimRng::seed_from_u64(spec.seed),
     );
@@ -1069,7 +1153,7 @@ pub fn chaos(cfg: &ChaosCfg) -> String {
     // ---- Physical roundtrip under chaos ---------------------------------
     eprintln!("[chaos] physical dump/restore under injection...");
     let proxy = FaultProxy::new(
-        TapeDrive::new(TapePerf::dlt7000(), tape_blank),
+        cfg.target.open(),
         &spec.tape,
         SimRng::seed_from_u64(spec.seed ^ 0x9e3779b97f4a7c15),
     );

@@ -58,11 +58,27 @@ fn explain_matches_the_paper_and_the_claims_gate() {
     }
 
     // The sweep sees logical backup leave the tapes by 4 drives.
-    let sweep = reports.sweep.as_ref().expect("sweep computed");
+    let sweep = reports.sweeps.get("sweep").expect("sweep computed");
     let xs = sweep.crossovers("Logical Backup");
     assert!(
         xs.iter().any(|x| x.from == "tape" && x.param_hi <= 4.0),
         "no tape crossover by 4 drives: {xs:?}"
+    );
+
+    // The network table: replication to a 100 Mbit link waits on the
+    // wire (slower than a DLT drive), and the link sweep sees physical
+    // backup stay net-bound past 1 Gbit.
+    let tn = reports.tables.get("table_net").expect("table_net computed");
+    let pb = tn
+        .op("Physical Backup @ 100mbit")
+        .expect("net cell attributed");
+    assert_eq!(pb.dominant(), "net", "shares: {:?}", pb.class_shares);
+    let net_sweep = reports.sweeps.get("net_sweep").expect("net sweep computed");
+    let xs = net_sweep.crossovers("Physical Backup");
+    assert!(
+        xs.iter()
+            .any(|x| x.from == "net" && x.param_lo >= 1000.0 - 1e-9),
+        "physical backup should leave the wire only past 1 Gbit: {xs:?}"
     );
 
     // The checked-in claims file parses and passes against this run —
@@ -70,8 +86,8 @@ fn explain_matches_the_paper_and_the_claims_gate() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../claims.toml");
     let text = std::fs::read_to_string(path).expect("read claims.toml");
     let cs = claims::parse(&text).expect("claims.toml parses");
-    assert!(cs.len() >= 10, "only {} claims", cs.len());
-    let results = claims::evaluate(&cs, &reports.tables, reports.sweep.as_ref());
+    assert!(cs.len() >= 15, "only {} claims", cs.len());
+    let results = claims::evaluate(&cs, &reports.tables, &reports.sweeps);
     let (rendered, failed) = claims::render(&results);
     assert_eq!(failed, 0, "claims failed at test scale:\n{rendered}");
 }

@@ -78,6 +78,9 @@ fn all_matrix_is_byte_identical_serial_vs_parallel() {
         "ATTRIB_table4.json",
         "ATTRIB_table5.json",
         "ATTRIB_sweep.json",
+        "obs_table_net.json",
+        "ATTRIB_table_net.json",
+        "ATTRIB_net_sweep.json",
     ] {
         assert!(
             serial_files.contains_key(name),

@@ -14,12 +14,14 @@
 //! let restored = engine.restore(&mut target, &mut drive)?;
 //! ```
 //!
-//! Engines write through [`tape::Media`] rather than a concrete drive, so
-//! the same dump can target one [`tape::TapeDrive`], a [`tape::DrivePool`]
-//! striping four, or a chaos stack ([`tape::RetryMedia`] over
+//! Engines write through the medium-agnostic [`simkit::media::Media`]
+//! trait rather than a concrete drive, so the same dump can target one
+//! [`tape::TapeDrive`], a [`tape::DrivePool`] striping four, a network
+//! replication target, or a chaos stack ([`tape::RetryMedia`] over
 //! [`tape::FaultProxy`]) injecting and absorbing deterministic faults.
 //! `&mut TapeDrive` coerces to `&mut dyn Media`, so plain-drive call sites
-//! read the same as before.
+//! read the same as before. Media failures surface uniformly as
+//! [`simkit::media::MediaError`], whatever carried the bytes.
 //!
 //! The free functions ([`crate::logical::dump::dump`],
 //! [`crate::physical::dump::image_dump_full`], ...) remain the low-level
@@ -27,8 +29,8 @@
 //! per-strategy error types into one [`BackupError`].
 
 use raid::RaidError;
-use tape::Media;
-use tape::TapeError;
+use simkit::media::Media;
+use simkit::media::MediaError;
 use wafl::Wafl;
 
 use crate::logical::catalog::DumpCatalog;
@@ -60,8 +62,8 @@ pub enum BackupErrorKind {
     Logical(DumpError),
     /// The physical image path failed.
     Physical(ImageError),
-    /// The tape drive itself failed.
-    Media(TapeError),
+    /// The backup medium itself (tape drive, network link) failed.
+    Media(MediaError),
     /// Every retry of a transient media fault failed: the default
     /// [`simkit::retry::RetryPolicy`] backed off, re-drove the operation,
     /// and gave up. Permanent by construction.
@@ -69,7 +71,7 @@ pub enum BackupErrorKind {
         /// Attempts made (including the first).
         attempts: u32,
         /// The transient error observed on the final attempt.
-        last: TapeError,
+        last: MediaError,
     },
     /// The RAID layer under the dump lost more redundancy than parity can
     /// cover (or exhausted its own member retries) — the volume itself is
@@ -150,8 +152,8 @@ impl From<ImageError> for BackupError {
     }
 }
 
-impl From<TapeError> for BackupError {
-    fn from(e: TapeError) -> BackupError {
+impl From<MediaError> for BackupError {
+    fn from(e: MediaError) -> BackupError {
         BackupError {
             op: "backup",
             kind: media_kind(e),
@@ -159,11 +161,11 @@ impl From<TapeError> for BackupError {
     }
 }
 
-/// Classifies a tape error: exhausted retry stacks get their own kind so
-/// callers can match on permanence without unwrapping the tape layer.
-fn media_kind(e: TapeError) -> BackupErrorKind {
+/// Classifies a media error: exhausted retry stacks get their own kind so
+/// callers can match on permanence without unwrapping the media layer.
+fn media_kind(e: MediaError) -> BackupErrorKind {
     match e {
-        TapeError::Exhausted { attempts, last } => BackupErrorKind::Exhausted {
+        MediaError::Exhausted { attempts, last } => BackupErrorKind::Exhausted {
             attempts,
             last: *last,
         },
@@ -440,17 +442,24 @@ mod tests {
     }
 
     #[test]
-    fn tape_errors_convert() {
-        let e = BackupError::from(TapeError::EndOfData);
+    fn media_errors_convert() {
+        let e = BackupError::from(MediaError::EndOfData);
         assert!(matches!(e.kind, BackupErrorKind::Media(_)));
         assert_eq!(e.op, "backup");
+        // Tape-specific errors reach the same place through the
+        // medium-agnostic conversion chain.
+        let e = BackupError::from(MediaError::from(tape::TapeError::EndOfData));
+        assert!(matches!(
+            e.kind,
+            BackupErrorKind::Media(MediaError::EndOfData)
+        ));
     }
 
     #[test]
     fn exhausted_retries_surface_as_their_own_kind() {
-        let e = BackupError::from(TapeError::Exhausted {
+        let e = BackupError::from(MediaError::Exhausted {
             attempts: 4,
-            last: Box::new(TapeError::DriveOffline),
+            last: Box::new(MediaError::Offline),
         })
         .during("logical dump");
         assert!(matches!(
@@ -474,9 +483,9 @@ mod tests {
 
     #[test]
     fn transient_classification_lifts_through_the_engine_error() {
-        let soft = BackupError::from(TapeError::MediaSoft { index: 7 });
+        let soft = BackupError::from(MediaError::Soft { index: 7 });
         assert!(soft.is_transient());
-        let hard = BackupError::from(TapeError::MediaHard { index: 7 });
+        let hard = BackupError::from(MediaError::Hard { index: 7 });
         assert!(!hard.is_transient());
     }
 }

@@ -18,6 +18,9 @@
 //! - [`engine`] — the unified [`engine::BackupEngine`] trait: both
 //!   strategies behind one `plan`/`dump`/`restore` interface with a shared
 //!   [`engine::BackupError`].
+//! - [`target`] — medium selection: [`target::Target`] names where the
+//!   stream lands (DLT drive or network link) and opens it, so the same
+//!   engines dump to tape or replicate over the wire unchanged.
 //! - [`report`] — stage profiles: each backup/restore stage records the CPU
 //!   seconds and device traffic it generated (as [`obs`] spans), which the
 //!   benchmark harness feeds to the fluid solver to produce the paper's
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod logical;
 pub mod physical;
 pub mod report;
+pub mod target;
 pub mod verify;
 
 pub use engine::BackupEngine;
@@ -45,3 +49,4 @@ pub use physical::dump::RestartableImageDump;
 pub use report::Profiler;
 pub use report::StageProfile;
 pub use report::StageSpan;
+pub use target::Target;

@@ -13,7 +13,7 @@
 //! paper blames for logical dump's poor scaling.
 
 use nvram::NvScratch;
-use tape::Media;
+use simkit::media::Media;
 use wafl::ondisk::DiskInode;
 use wafl::types::FileType;
 use wafl::types::Ino;
@@ -49,6 +49,10 @@ pub struct DumpOptions {
     /// policy; default [`DATA_RUN`] = 64 KiB chains). The readahead
     /// ablation benchmark varies this.
     pub read_chain: usize,
+    /// Where the stream lands (tape drive or network link). The dump
+    /// itself writes whatever `&mut dyn Media` it is handed; this names
+    /// the medium the orchestration layer should open for it.
+    pub target: crate::target::Target,
 }
 
 impl Default for DumpOptions {
@@ -61,6 +65,7 @@ impl Default for DumpOptions {
             exclude_names: Vec::new(),
             exclude_suffixes: Vec::new(),
             read_chain: DATA_RUN,
+            target: crate::target::Target::default(),
         }
     }
 }
@@ -121,6 +126,13 @@ impl DumpOptionsBuilder {
     /// Blocks per phase-IV read-ahead chain.
     pub fn read_chain(mut self, blocks: usize) -> Self {
         self.opts.read_chain = blocks;
+        self
+    }
+
+    /// Where the stream lands: `Target::Tape { .. }` or
+    /// `Target::Net(link)`.
+    pub fn target(mut self, target: crate::target::Target) -> Self {
+        self.opts.target = target;
         self
     }
 

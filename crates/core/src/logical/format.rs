@@ -20,8 +20,8 @@
 //! | `TS_END`   | trailer with totals for verification |
 
 use blockdev::Block;
-use tape::Chunk;
-use tape::Record;
+use simkit::media::Chunk;
+use simkit::media::Record;
 use wafl::types::Attrs;
 use wafl::types::FileType;
 use wafl::types::Ino;
@@ -49,8 +49,9 @@ pub enum DumpError {
         /// What was expected.
         reason: String,
     },
-    /// An unreadable tape record was encountered (media corruption).
-    Media(tape::TapeError),
+    /// An unreadable media record was encountered (tape corruption, a
+    /// poisoned network stream, ...).
+    Media(simkit::media::MediaError),
     /// A file system error during dump or restore.
     Fs(wafl::WaflError),
     /// The requested path does not exist in the dump.
@@ -80,8 +81,8 @@ impl From<wafl::WaflError> for DumpError {
     }
 }
 
-impl From<tape::TapeError> for DumpError {
-    fn from(e: tape::TapeError) -> Self {
+impl From<simkit::media::MediaError> for DumpError {
+    fn from(e: simkit::media::MediaError) -> Self {
         DumpError::Media(e)
     }
 }

@@ -21,6 +21,7 @@ pub mod format;
 pub mod portability;
 pub mod restore;
 pub mod single;
+pub mod sync;
 pub mod toc;
 
 pub use catalog::DumpCatalog;
@@ -32,5 +33,7 @@ pub use restore::restore;
 pub use restore::RestoreOutcome;
 pub use single::restore_single;
 pub use single::restore_subtree;
+pub use sync::logical_sync;
+pub use sync::LogicalSyncStats;
 pub use toc::list_contents;
 pub use toc::verify_stream;

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use blockdev::Block;
-use tape::Media;
+use simkit::media::Media;
 use wafl::types::Ino;
 
 use crate::logical::format::DumpError;

@@ -22,8 +22,8 @@
 
 use std::collections::BTreeMap;
 
-use tape::Media;
-use tape::TapeError;
+use simkit::media::Media;
+use simkit::media::MediaError;
 use wafl::types::Attrs;
 use wafl::types::FileType;
 use wafl::types::Ino;
@@ -135,8 +135,8 @@ pub(crate) fn next_record(
                 Ok(parsed) => return Ok(Some(parsed)),
                 Err(e) => warnings.push(format!("skipped unparseable record: {e}")),
             },
-            Err(TapeError::EndOfData) => return Ok(None),
-            Err(TapeError::BadRecord { index }) => {
+            Err(MediaError::EndOfData) => return Ok(None),
+            Err(MediaError::BadRecord { index }) => {
                 warnings.push(format!("skipped damaged tape record {index}"));
                 drive.skip_record()?;
             }

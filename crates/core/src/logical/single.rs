@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use tape::Media;
+use simkit::media::Media;
 use wafl::types::Attrs;
 use wafl::types::FileType;
 use wafl::types::Ino;

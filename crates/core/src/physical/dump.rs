@@ -10,7 +10,7 @@
 //! first attempt computed.
 
 use nvram::NvScratch;
-use tape::Media;
+use simkit::media::Media;
 use wafl::Wafl;
 
 use crate::physical::format::ImageError;

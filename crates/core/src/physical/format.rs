@@ -7,8 +7,8 @@
 //! which [`crate::physical::restore::image_restore`] enforces.
 
 use blockdev::Block;
-use tape::Chunk;
-use tape::Record;
+use simkit::media::Chunk;
+use simkit::media::Record;
 
 use crate::logical::format::block_to_chunk;
 use crate::logical::format::chunk_to_block;
@@ -43,7 +43,7 @@ pub enum ImageError {
         actual: u64,
     },
     /// Media failure — fatal for physical restore (unlike logical).
-    Media(tape::TapeError),
+    Media(simkit::media::MediaError),
     /// File system error while anchoring the dump snapshot.
     Fs(wafl::WaflError),
     /// RAID/device error on the bypass path.
@@ -86,8 +86,8 @@ impl From<raid::RaidError> for ImageError {
     }
 }
 
-impl From<tape::TapeError> for ImageError {
-    fn from(e: tape::TapeError) -> Self {
+impl From<simkit::media::MediaError> for ImageError {
+    fn from(e: simkit::media::MediaError) -> Self {
         ImageError::Media(e)
     }
 }

@@ -10,7 +10,7 @@
 //! metadata blocks, without which the restored fsinfo would point at
 //! blocks the stream never carried.
 
-use tape::Media;
+use simkit::media::Media;
 use wafl::Wafl;
 
 use crate::physical::dump::ImageOutcome;

@@ -4,11 +4,20 @@
 //!
 //! The mirror keeps one anchoring snapshot on the source. `sync` creates a
 //! new snapshot, ships the incremental against the previous anchor through
-//! an (ideal) in-memory channel, applies it to the target volume, and
-//! retires the old anchor. After every sync the target volume mounts
-//! read-only as an exact replica — snapshots included.
+//! a channel, applies it to the target volume, and retires the old anchor.
+//! After every sync the target volume mounts read-only as an exact replica
+//! — snapshots included.
+//!
+//! The channel is any [`Media`]: [`Mirror::sync`] uses an ideal in-memory
+//! one (service time is not the question), while [`Mirror::sync_via`]
+//! takes the caller's — a `net::NetTarget` behind a real link spec for
+//! SnapMirror-style replication, or a chaos stack for robustness tests.
+//! The shipped set is the snapshot bit-plane difference `B − A`, computed
+//! word-at-a-time from the block map, so an incremental transfer costs
+//! the changed blocks plus framing — not a volume scan.
 
 use raid::Volume;
+use simkit::media::Media;
 use simkit::meter::Meter;
 use tape::TapeDrive;
 use tape::TapePerf;
@@ -59,8 +68,9 @@ impl Mirror {
         self.anchor.as_deref()
     }
 
-    /// Performs the next transfer: full if uninitialized, incremental
-    /// otherwise. The target volume must have the source's geometry.
+    /// Performs the next transfer through an ideal in-memory channel:
+    /// full if uninitialized, incremental otherwise. The target volume
+    /// must have the source's geometry.
     pub fn sync(
         &mut self,
         src: &mut Wafl,
@@ -68,24 +78,39 @@ impl Mirror {
         meter: &Meter,
         costs: &CostModel,
     ) -> Result<MirrorStats, ImageError> {
+        let mut channel = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+        self.sync_via(src, dst, meter, costs, &mut channel)
+    }
+
+    /// Performs the next transfer through the caller's channel — a
+    /// network link, a drive, or a chaos stack over either. Any records
+    /// from a previous transfer are truncated away first (each sync is
+    /// its own replication session); the transfer then appends its
+    /// record stream and replays it onto `dst` from the start.
+    pub fn sync_via(
+        &mut self,
+        src: &mut Wafl,
+        dst: &mut Volume,
+        meter: &Meter,
+        costs: &CostModel,
+        channel: &mut dyn Media,
+    ) -> Result<MirrorStats, ImageError> {
         self.counter += 1;
         let snap_name = format!("mirror.{}", self.counter);
-        // The channel: an ideal drive with effectively unbounded media —
-        // a stand-in for a network pipe.
-        let mut channel = TapeDrive::new(TapePerf::ideal(), u64::MAX);
+        channel.truncate_records(0);
 
         let (blocks, initial) = match &self.anchor {
             None => {
-                let out = image_dump_full(src, &mut channel, &snap_name)?;
+                let out = image_dump_full(src, channel, &snap_name)?;
                 (out.blocks, true)
             }
             Some(base) => {
-                let out = image_dump_incremental(src, &mut channel, base, &snap_name)?;
+                let out = image_dump_incremental(src, channel, base, &snap_name)?;
                 (out.blocks, false)
             }
         };
         let bytes = channel.total_bytes();
-        image_restore(&mut channel, dst, meter, costs)?;
+        image_restore(channel, dst, meter, costs)?;
 
         // Retire the previous anchor.
         if let Some(old) = self.anchor.take() {

@@ -14,8 +14,8 @@
 //! logical backup's resilience).
 
 use raid::Volume;
+use simkit::media::Media;
 use simkit::meter::Meter;
-use tape::Media;
 use wafl::cost::CostModel;
 
 use crate::physical::format::ImageError;
@@ -82,7 +82,7 @@ pub fn image_restore(
     loop {
         let rec = match drive.read_record() {
             Ok(r) => r,
-            Err(tape::TapeError::EndOfData) => break,
+            Err(simkit::media::MediaError::EndOfData) => break,
             // Fatal: no structure to resynchronize on.
             Err(e) => return Err(ImageError::Media(e)),
         };

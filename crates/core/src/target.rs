@@ -1,0 +1,120 @@
+//! Where a backup stream lands: medium selection and the factory that
+//! opens it.
+//!
+//! The engines only ever see `&mut dyn Media`, so "dump to tape" vs
+//! "replicate over the wire" is purely a question of which medium the
+//! orchestration layer opens. [`Target`] names that choice as data —
+//! options structs and command lines carry it, and [`Target::open`]
+//! turns it into a live medium — replacing the per-call-site drive
+//! construction the bench subcommands used to do.
+
+use simkit::media::Media;
+
+pub use net::LinkSpec;
+
+/// Default blank-cartridge capacity handed out by the stacker: 64 GiB,
+/// comfortably above a DLT-7000 cartridge so paper-scale runs don't
+/// spend their time on media changes unless an experiment asks for it.
+pub const DEFAULT_CARTRIDGE_BYTES: u64 = 64 << 30;
+
+/// The medium a backup writes to (or restores from).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// A DLT-7000-class drive with a stacker magazine.
+    Tape {
+        /// Blank cartridge capacity the stacker hands out.
+        cartridge_bytes: u64,
+    },
+    /// A network replication link to a remote image.
+    Net(LinkSpec),
+}
+
+impl Default for Target {
+    fn default() -> Target {
+        Target::Tape {
+            cartridge_bytes: DEFAULT_CARTRIDGE_BYTES,
+        }
+    }
+}
+
+impl Target {
+    /// Parses a command-line target name: `tape`, `100mbit`, `1gbit`,
+    /// or `10gbit`.
+    pub fn parse(name: &str) -> Option<Target> {
+        match name {
+            "tape" => Some(Target::default()),
+            "100mbit" => Some(Target::Net(LinkSpec::mbit100())),
+            "1gbit" => Some(Target::Net(LinkSpec::gbit1())),
+            "10gbit" => Some(Target::Net(LinkSpec::gbit10())),
+            _ => None,
+        }
+    }
+
+    /// A short display name (the inverse of [`Target::parse`] for the
+    /// preset links).
+    pub fn label(&self) -> String {
+        match self {
+            Target::Tape { .. } => "tape".into(),
+            Target::Net(spec) => {
+                let mbit = spec.mbit();
+                if mbit.is_finite() && mbit >= 1000.0 {
+                    format!("{}gbit", (mbit / 1000.0).round() as u64)
+                } else if mbit.is_finite() {
+                    format!("{}mbit", mbit.round() as u64)
+                } else {
+                    "net".into()
+                }
+            }
+        }
+    }
+
+    /// Opens a live medium for this target: a [`tape::TapeDrive`] at
+    /// DLT-7000 rates or a [`net::NetTarget`] behind the chosen link.
+    pub fn open(&self) -> Box<dyn Media> {
+        match *self {
+            Target::Tape { cartridge_bytes } => Box::new(tape::TapeDrive::new(
+                tape::TapePerf::dlt7000(),
+                cartridge_bytes,
+            )),
+            Target::Net(spec) => Box::new(net::NetTarget::new(spec)),
+        }
+    }
+
+    /// Opens an idealized (zero-latency, infinite-rate) medium of the
+    /// same kind, for functional tests and verification passes where
+    /// service time would only be noise.
+    pub fn open_ideal(&self) -> Box<dyn Media> {
+        match *self {
+            Target::Tape { cartridge_bytes } => Box::new(tape::TapeDrive::new(
+                tape::TapePerf::ideal(),
+                cartridge_bytes,
+            )),
+            Target::Net(_) => Box::new(net::NetTarget::new(LinkSpec::ideal())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::media::Record;
+
+    #[test]
+    fn parse_and_label_round_trip() {
+        for name in ["tape", "100mbit", "1gbit", "10gbit"] {
+            let t = Target::parse(name).unwrap();
+            assert_eq!(t.label(), name);
+        }
+        assert_eq!(Target::parse("carrier-pigeon"), None);
+    }
+
+    #[test]
+    fn open_yields_a_working_medium_for_both_kinds() {
+        for t in [Target::default(), Target::Net(LinkSpec::mbit100())] {
+            let mut m = t.open_ideal();
+            m.write_record(Record::from_bytes(vec![1, 2, 3])).unwrap();
+            m.rewind();
+            assert_eq!(m.read_record().unwrap().len(), 3);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Tier-1 hook: this crate must satisfy the workspace's simulation
+//! invariants (see simlint.toml and DESIGN.md). Fails with `file:line`
+//! diagnostics when a rule is violated without a justified suppression.
+
+#[test]
+fn simlint_clean() {
+    simlint::assert_crate_clean(env!("CARGO_MANIFEST_DIR"));
+}

@@ -62,10 +62,14 @@ pub enum EventKind {
     MediaRetry,
     /// The chaos layer injected a fault (label says which).
     FaultInject,
+    /// A record sent over a network link (coalesced).
+    NetSend,
+    /// A record received over a network link (coalesced).
+    NetRecv,
 }
 
 /// Number of [`EventKind`] variants (sizes the coalescing slots).
-const N_KINDS: usize = 17;
+const N_KINDS: usize = 19;
 
 impl EventKind {
     /// Stable lowercase name used by the exporters.
@@ -88,6 +92,8 @@ impl EventKind {
             EventKind::PhaseEnd => "phase_end",
             EventKind::MediaRetry => "media_retry",
             EventKind::FaultInject => "fault_inject",
+            EventKind::NetSend => "net_send",
+            EventKind::NetRecv => "net_recv",
         }
     }
 
@@ -102,6 +108,8 @@ impl EventKind {
                 | EventKind::RaidParity
                 | EventKind::RaidDegradedRead
                 | EventKind::NvramLog
+                | EventKind::NetSend
+                | EventKind::NetRecv
         )
     }
 

@@ -20,9 +20,13 @@
 //!   blockdev/tape/raid arm their deterministic chaos injection from.
 //! - [`retry`] — the [`retry::RetryPolicy`] attempts/backoff schedule that
 //!   device-layer wrappers meter retries with.
+//! - [`media`] — the medium-agnostic [`media::Media`] record-stream trait
+//!   (with [`media::Record`] and [`media::MediaError`]) the backup engines
+//!   write through; tape and net both implement it.
 
 pub mod faults;
 pub mod fluid;
+pub mod media;
 pub mod meter;
 pub mod retry;
 pub mod rng;

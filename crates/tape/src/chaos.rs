@@ -2,25 +2,28 @@
 //!
 //! [`FaultProxy`] wraps any [`Media`] and injects the tape section of a
 //! unified [`simkit::faults::FaultSpec`]: probabilistic transient faults
-//! (soft media errors, drive-offline episodes, stacker jams) drawn through
+//! (soft media errors, offline episodes, stacker jams) drawn through
 //! a seeded [`SimRng`], plus targeted permanent faults pinned to specific
 //! record positions. [`RetryMedia`] wraps any [`Media`] and applies a
 //! [`RetryPolicy`]: transient errors are retried after a sim-time backoff
 //! charged to the medium via [`Media::note_delay`] (so retries surface in
 //! busy time, the fluid solver's media-delay demand, and the obs trace);
 //! exhausted retries surface as the permanent
-//! [`TapeError::Exhausted`]. Stacked as
+//! [`MediaError::Exhausted`]. Stacked as
 //! `RetryMedia<FaultProxy<TapeDrive>>`, the pair turns injected chaos into
 //! bounded slowdown — or a typed permanent error.
+//!
+//! Both wrappers are generic over the medium-agnostic
+//! [`simkit::media::Media`], so the same stack wraps a `net::NetTarget`
+//! replication channel unchanged.
 
 use simkit::faults::TapeFaults;
+use simkit::media::Media;
+use simkit::media::MediaError;
+use simkit::media::MediaStats;
+use simkit::media::Record;
 use simkit::retry::RetryPolicy;
 use simkit::rng::SimRng;
-
-use crate::drive::TapeStats;
-use crate::error::TapeError;
-use crate::io::Media;
-use crate::record::Record;
 
 fn note_inject(what: &'static str) {
     obs::counter("tape.injected_faults").inc();
@@ -72,38 +75,38 @@ impl<M: Media> FaultProxy<M> {
 
     /// Faults shared by reads and writes: offline episodes, stacker jams,
     /// soft media errors. Returns the error to surface, if any.
-    fn common_fault(&mut self, index: u64) -> Option<TapeError> {
+    fn common_fault(&mut self, index: u64) -> Option<MediaError> {
         if self.offline_remaining > 0 {
             self.offline_remaining -= 1;
             note_inject("tape.drive_offline");
-            return Some(TapeError::DriveOffline);
+            return Some(MediaError::Offline);
         }
         if self.spec.drive_offline > 0.0 && self.rng.chance(self.spec.drive_offline) {
             self.offline_remaining = self.spec.offline_ops.saturating_sub(1);
             note_inject("tape.drive_offline");
-            return Some(TapeError::DriveOffline);
+            return Some(MediaError::Offline);
         }
         if self.spec.stacker_jam > 0.0 && self.rng.chance(self.spec.stacker_jam) {
             note_inject("tape.stacker_jam");
-            return Some(TapeError::StackerJam);
+            return Some(MediaError::OperatorFault);
         }
         if self.spec.media_soft > 0.0 && self.rng.chance(self.spec.media_soft) {
             note_inject("tape.media_soft");
-            return Some(TapeError::MediaSoft { index });
+            return Some(MediaError::Soft { index });
         }
         None
     }
 }
 
 impl<M: Media> Media for FaultProxy<M> {
-    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
+    fn write_record(&mut self, record: Record) -> Result<(), MediaError> {
         if self.armed {
             let pos = self.inner.total_records();
             // Position-based, so a retry of the same append hits the same
             // defect again and the retry layer correctly gives up.
             if self.spec.hard_write_records.contains(&pos) {
                 note_inject("tape.media_hard");
-                return Err(TapeError::MediaHard { index: pos });
+                return Err(MediaError::Hard { index: pos });
             }
             if let Some(e) = self.common_fault(pos) {
                 return Err(e);
@@ -112,12 +115,12 @@ impl<M: Media> Media for FaultProxy<M> {
         self.inner.write_record(record)
     }
 
-    fn read_record(&mut self) -> Result<Record, TapeError> {
+    fn read_record(&mut self) -> Result<Record, MediaError> {
         if self.armed {
             let pos = self.read_cursor;
             if self.spec.bad_read_records.contains(&pos) {
                 note_inject("tape.bad_record");
-                return Err(TapeError::BadRecord { index: pos });
+                return Err(MediaError::BadRecord { index: pos });
             }
             if let Some(e) = self.common_fault(pos) {
                 return Err(e);
@@ -128,7 +131,7 @@ impl<M: Media> Media for FaultProxy<M> {
         Ok(rec)
     }
 
-    fn skip_record(&mut self) -> Result<(), TapeError> {
+    fn skip_record(&mut self) -> Result<(), MediaError> {
         self.inner.skip_record()?;
         self.read_cursor += 1;
         Ok(())
@@ -152,7 +155,7 @@ impl<M: Media> Media for FaultProxy<M> {
         self.inner.total_bytes()
     }
 
-    fn stats(&self) -> TapeStats {
+    fn stats(&self) -> MediaStats {
         self.inner.stats()
     }
 
@@ -218,8 +221,8 @@ impl<M: Media> RetryMedia<M> {
     fn run<T>(
         &mut self,
         op: Op,
-        mut f: impl FnMut(&mut M) -> Result<T, TapeError>,
-    ) -> Result<T, TapeError> {
+        mut f: impl FnMut(&mut M) -> Result<T, MediaError>,
+    ) -> Result<T, MediaError> {
         let attempts = self.policy.attempts.max(1);
         let mut attempt = 1;
         loop {
@@ -227,7 +230,7 @@ impl<M: Media> RetryMedia<M> {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() => {
                     if attempt >= attempts {
-                        return Err(TapeError::Exhausted {
+                        return Err(MediaError::Exhausted {
                             attempts,
                             last: Box::new(e),
                         });
@@ -253,15 +256,15 @@ impl<M: Media> RetryMedia<M> {
 }
 
 impl<M: Media> Media for RetryMedia<M> {
-    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
+    fn write_record(&mut self, record: Record) -> Result<(), MediaError> {
         self.run(Op::Write, |m| m.write_record(record.clone()))
     }
 
-    fn read_record(&mut self) -> Result<Record, TapeError> {
+    fn read_record(&mut self) -> Result<Record, MediaError> {
         self.run(Op::Read, Media::read_record)
     }
 
-    fn skip_record(&mut self) -> Result<(), TapeError> {
+    fn skip_record(&mut self) -> Result<(), MediaError> {
         self.run(Op::Skip, Media::skip_record)
     }
 
@@ -281,7 +284,7 @@ impl<M: Media> Media for RetryMedia<M> {
         self.inner.total_bytes()
     }
 
-    fn stats(&self) -> TapeStats {
+    fn stats(&self) -> MediaStats {
         self.inner.stats()
     }
 
@@ -326,10 +329,7 @@ mod tests {
         m.write_record(rec(0)).unwrap();
         m.write_record(rec(1)).unwrap();
         // Hard faults are not transient, so they surface directly.
-        assert_eq!(
-            m.write_record(rec(2)),
-            Err(TapeError::MediaHard { index: 2 })
-        );
+        assert_eq!(m.write_record(rec(2)), Err(MediaError::Hard { index: 2 }));
         assert_eq!(m.retries(), 0);
     }
 
@@ -357,8 +357,8 @@ mod tests {
         let proxy = FaultProxy::new(drive(), &spec.tape, SimRng::seed_from_u64(5));
         let mut m = RetryMedia::new(proxy, RetryPolicy::media_default());
         match m.write_record(rec(0)) {
-            Err(TapeError::Exhausted { attempts: 4, last }) => {
-                assert_eq!(*last, TapeError::DriveOffline);
+            Err(MediaError::Exhausted { attempts: 4, last }) => {
+                assert_eq!(*last, MediaError::Offline);
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
@@ -373,7 +373,7 @@ mod tests {
         }
         m.rewind();
         assert_eq!(m.read_record().unwrap(), rec(0));
-        assert_eq!(m.read_record(), Err(TapeError::BadRecord { index: 1 }));
+        assert_eq!(m.read_record(), Err(MediaError::BadRecord { index: 1 }));
         m.skip_record().unwrap();
         assert_eq!(m.read_record().unwrap(), rec(2));
     }

@@ -1,7 +1,5 @@
 //! The tape drive and its auto-changer magazine.
 
-use simkit::stats::Counter;
-
 use crate::error::TapeError;
 use crate::media::Tape;
 use crate::record::Record;
@@ -39,18 +37,10 @@ impl TapePerf {
     }
 }
 
-/// Traffic counters for one drive.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct TapeStats {
-    /// Records/bytes written.
-    pub written: Counter,
-    /// Records/bytes read.
-    pub read: Counter,
-    /// Cartridge changes performed by the stacker.
-    pub media_changes: u64,
-    /// Modelled drive-busy seconds (transfer + changes + rewinds).
-    pub busy_secs: f64,
-}
+/// Traffic counters for one drive: the medium-agnostic
+/// [`simkit::media::MediaStats`] under its historical tape name
+/// (`media_changes` counts cartridge changes here).
+pub type TapeStats = simkit::media::MediaStats;
 
 /// A drive with a stacker magazine.
 ///

@@ -77,6 +77,31 @@ impl std::fmt::Display for TapeError {
 
 impl std::error::Error for TapeError {}
 
+impl From<TapeError> for simkit::media::MediaError {
+    /// Maps tape failures onto the medium-agnostic classes the engines
+    /// consume. The mapping preserves [`TapeError::is_transient`]: soft
+    /// media errors, offline episodes and stacker jams land on the three
+    /// transient [`simkit::media::MediaError`] variants; everything else
+    /// stays permanent.
+    fn from(e: TapeError) -> simkit::media::MediaError {
+        use simkit::media::MediaError;
+        match e {
+            TapeError::NoMedia => MediaError::NoMedia,
+            TapeError::EndOfMedia => MediaError::EndOfMedia,
+            TapeError::EndOfData => MediaError::EndOfData,
+            TapeError::BadRecord { index } => MediaError::BadRecord { index },
+            TapeError::MediaSoft { index } => MediaError::Soft { index },
+            TapeError::MediaHard { index } => MediaError::Hard { index },
+            TapeError::DriveOffline => MediaError::Offline,
+            TapeError::StackerJam => MediaError::OperatorFault,
+            TapeError::Exhausted { attempts, last } => MediaError::Exhausted {
+                attempts,
+                last: Box::new((*last).into()),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +131,42 @@ mod tests {
             last: Box::new(TapeError::MediaSoft { index: 0 }),
         };
         assert!(!ex.is_transient(), "exhaustion is final");
+    }
+
+    #[test]
+    fn conversion_preserves_transience() {
+        use simkit::media::MediaError;
+        let all = [
+            TapeError::NoMedia,
+            TapeError::EndOfMedia,
+            TapeError::EndOfData,
+            TapeError::BadRecord { index: 3 },
+            TapeError::MediaSoft { index: 4 },
+            TapeError::MediaHard { index: 5 },
+            TapeError::DriveOffline,
+            TapeError::StackerJam,
+            TapeError::Exhausted {
+                attempts: 4,
+                last: Box::new(TapeError::StackerJam),
+            },
+        ];
+        for e in all {
+            let transient = e.is_transient();
+            let m = MediaError::from(e);
+            assert_eq!(m.is_transient(), transient, "{m}");
+        }
+        assert_eq!(
+            MediaError::from(TapeError::MediaSoft { index: 9 }),
+            MediaError::Soft { index: 9 }
+        );
+        match MediaError::from(TapeError::Exhausted {
+            attempts: 2,
+            last: Box::new(TapeError::DriveOffline),
+        }) {
+            MediaError::Exhausted { attempts: 2, last } => {
+                assert_eq!(*last, MediaError::Offline);
+            }
+            other => panic!("wrong mapping: {other:?}"),
+        }
     }
 }

@@ -1,62 +1,41 @@
-//! The [`Media`] abstraction the backup engines write through.
+//! Tape-side [`Media`] implementations.
 //!
-//! The engines used to take a concrete `&mut TapeDrive`; they now take
-//! `&mut dyn Media`, which [`crate::drive::TapeDrive`] implements directly
-//! (call sites passing `&mut drive` coerce unchanged), the chaos wrappers
-//! ([`crate::chaos::FaultProxy`], [`crate::chaos::RetryMedia`]) implement
-//! by delegation, and [`DrivePool`] implements by striping records
-//! round-robin across several drives — the paper's 4-DLT parallel runs.
+//! The [`Media`] trait itself now lives in [`simkit::media`] (the `net`
+//! crate implements the same trait for network replication targets);
+//! this module keeps the tape implementations: [`crate::drive::TapeDrive`]
+//! directly (call sites passing `&mut drive` coerce unchanged), the chaos
+//! wrappers ([`crate::chaos::FaultProxy`], [`crate::chaos::RetryMedia`])
+//! by delegation, and [`DrivePool`] by striping records round-robin
+//! across several drives — the paper's 4-DLT parallel runs.
+//!
+//! Trait methods return the medium-agnostic
+//! [`simkit::media::MediaError`]; the drive's inherent methods keep the
+//! richer [`crate::error::TapeError`] and convert at the trait boundary
+//! via `From`.
+
+use simkit::media::MediaError;
+use simkit::media::MediaStats;
 
 use crate::drive::TapeDrive;
 use crate::drive::TapePerf;
-use crate::drive::TapeStats;
-use crate::error::TapeError;
 use crate::record::Record;
 
-/// A sequential backup medium: what the engines actually require from
-/// "the tape". Object-safe so `Box<dyn BackupEngine>` stays object-safe
-/// while taking `&mut dyn Media`.
-pub trait Media {
-    /// Appends one record to the stream.
-    fn write_record(&mut self, record: Record) -> Result<(), TapeError>;
+/// The hoisted trait under its historical path. New code should import
+/// [`simkit::media::Media`] directly.
+#[deprecated(note = "the Media trait moved to simkit::media; import it from there")]
+pub use simkit::media::Media;
 
-    /// Reads the next record in stream order.
-    fn read_record(&mut self) -> Result<Record, TapeError>;
-
-    /// Skips the next record without reading it (resync after damage).
-    fn skip_record(&mut self) -> Result<(), TapeError>;
-
-    /// Repositions to the first record.
-    fn rewind(&mut self);
-
-    /// Discards everything after the first `keep` records so the next
-    /// write appends at the cut (checkpoint restart).
-    fn truncate_records(&mut self, keep: u64);
-
-    /// Records currently in the stream.
-    fn total_records(&self) -> u64;
-
-    /// Bytes currently in the stream.
-    fn total_bytes(&self) -> u64;
-
-    /// Merged traffic counters.
-    fn stats(&self) -> TapeStats;
-
-    /// Charges extra busy time (retry backoff) to the medium.
-    fn note_delay(&mut self, secs: f64);
-}
-
-impl Media for TapeDrive {
-    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
-        TapeDrive::write_record(self, record)
+impl simkit::media::Media for TapeDrive {
+    fn write_record(&mut self, record: Record) -> Result<(), MediaError> {
+        Ok(TapeDrive::write_record(self, record)?)
     }
 
-    fn read_record(&mut self) -> Result<Record, TapeError> {
-        TapeDrive::read_record(self)
+    fn read_record(&mut self) -> Result<Record, MediaError> {
+        Ok(TapeDrive::read_record(self)?)
     }
 
-    fn skip_record(&mut self) -> Result<(), TapeError> {
-        TapeDrive::skip_record(self)
+    fn skip_record(&mut self) -> Result<(), MediaError> {
+        Ok(TapeDrive::skip_record(self)?)
     }
 
     fn rewind(&mut self) {
@@ -75,7 +54,7 @@ impl Media for TapeDrive {
         TapeDrive::total_bytes(self)
     }
 
-    fn stats(&self) -> TapeStats {
+    fn stats(&self) -> MediaStats {
         TapeDrive::stats(self)
     }
 
@@ -121,22 +100,22 @@ impl DrivePool {
     }
 }
 
-impl Media for DrivePool {
-    fn write_record(&mut self, record: Record) -> Result<(), TapeError> {
+impl simkit::media::Media for DrivePool {
+    fn write_record(&mut self, record: Record) -> Result<(), MediaError> {
         let i = self.next_write;
         self.drives[i].write_record(record)?;
         self.next_write = (i + 1) % self.drives.len();
         Ok(())
     }
 
-    fn read_record(&mut self) -> Result<Record, TapeError> {
+    fn read_record(&mut self) -> Result<Record, MediaError> {
         let i = self.next_read;
         let rec = self.drives[i].read_record()?;
         self.next_read = (i + 1) % self.drives.len();
         Ok(rec)
     }
 
-    fn skip_record(&mut self) -> Result<(), TapeError> {
+    fn skip_record(&mut self) -> Result<(), MediaError> {
         let i = self.next_read;
         self.drives[i].skip_record()?;
         self.next_read = (i + 1) % self.drives.len();
@@ -170,8 +149,8 @@ impl Media for DrivePool {
         self.drives.iter().map(TapeDrive::total_bytes).sum()
     }
 
-    fn stats(&self) -> TapeStats {
-        let mut merged = TapeStats::default();
+    fn stats(&self) -> MediaStats {
+        let mut merged = MediaStats::default();
         for d in &self.drives {
             let s = d.stats();
             merged.written.bytes += s.written.bytes;
@@ -195,6 +174,7 @@ impl Media for DrivePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkit::media::Media;
 
     fn rec(n: usize, fill: u8) -> Record {
         Record::from_bytes(vec![fill; n])
@@ -213,6 +193,17 @@ mod tests {
     }
 
     #[test]
+    fn trait_errors_carry_the_media_classes() {
+        let mut d = TapeDrive::new(TapePerf::ideal(), 100);
+        let m: &mut dyn Media = &mut d;
+        assert_eq!(
+            m.write_record(rec(200, 0)).err(),
+            Some(MediaError::EndOfMedia)
+        );
+        assert_eq!(m.read_record().err(), Some(MediaError::EndOfData));
+    }
+
+    #[test]
     fn pool_round_trips_in_write_order() {
         let mut p = DrivePool::new(4, TapePerf::ideal(), 1 << 20);
         for i in 0..10u8 {
@@ -228,7 +219,7 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(p.read_record().unwrap(), rec(8, i));
         }
-        assert_eq!(p.read_record().err(), Some(TapeError::EndOfData));
+        assert_eq!(p.read_record().err(), Some(MediaError::EndOfData));
     }
 
     #[test]

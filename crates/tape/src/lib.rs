@@ -21,11 +21,13 @@
 //! poisoned.
 
 //!
-//! The engines write through the [`io::Media`] trait rather than a
-//! concrete drive, so the same dump can run against one drive, a
-//! [`io::DrivePool`] striping four, or a chaos stack
-//! ([`chaos::RetryMedia`] over [`chaos::FaultProxy`]) that injects and
-//! absorbs deterministic faults.
+//! The engines write through the [`simkit::media::Media`] trait rather
+//! than a concrete drive, so the same dump can run against one drive, a
+//! [`io::DrivePool`] striping four, a network replication target, or a
+//! chaos stack ([`chaos::RetryMedia`] over [`chaos::FaultProxy`]) that
+//! injects and absorbs deterministic faults. The trait (and the
+//! [`record::Record`] frames it moves) lived here until the `net` crate
+//! arrived; both are now hoisted to `simkit::media` and re-exported.
 
 pub mod chaos;
 pub mod drive;
@@ -41,7 +43,8 @@ pub use drive::TapePerf;
 pub use drive::TapeStats;
 pub use error::TapeError;
 pub use io::DrivePool;
-pub use io::Media;
 pub use media::Tape;
-pub use record::Chunk;
-pub use record::Record;
+pub use simkit::media::Chunk;
+pub use simkit::media::Media;
+pub use simkit::media::MediaError;
+pub use simkit::media::Record;

@@ -1,140 +1,9 @@
 //! Tape records and chunks.
+//!
+//! [`Chunk`] and [`Record`] were hoisted to [`simkit::media`] once the
+//! same frames started travelling over non-tape media (the `net`
+//! replication target); they are re-exported here so historical
+//! `tape::record::Record` paths keep resolving.
 
-/// One span of payload inside a record.
-///
-/// `Synthetic` carries a deterministic expansion seed instead of literal
-/// bytes so that paper-scale streams stay compact in host memory; its
-/// logical length still counts fully toward tape capacity and transfer
-/// time.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Chunk {
-    /// Literal bytes.
-    Bytes(Vec<u8>),
-    /// `len` bytes defined by the deterministic expansion of `seed`.
-    Synthetic {
-        /// Expansion seed.
-        seed: u64,
-        /// Logical length in bytes.
-        len: u32,
-    },
-}
-
-impl Chunk {
-    /// Logical length in bytes.
-    pub fn len(&self) -> u64 {
-        match self {
-            Chunk::Bytes(b) => b.len() as u64,
-            Chunk::Synthetic { len, .. } => *len as u64,
-        }
-    }
-
-    /// True for a zero-length chunk.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// A framed tape record: what one `write_record` call put on the medium.
-///
-/// Both backup formats frame their streams into records; the drive treats
-/// them opaquely.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Record {
-    chunks: Vec<Chunk>,
-}
-
-impl Record {
-    /// An empty record (a file mark, in tape terms).
-    pub fn empty() -> Record {
-        Record { chunks: Vec::new() }
-    }
-
-    /// A record with a single literal-bytes chunk.
-    pub fn from_bytes(bytes: Vec<u8>) -> Record {
-        Record {
-            chunks: vec![Chunk::Bytes(bytes)],
-        }
-    }
-
-    /// A record from parts.
-    pub fn from_chunks(chunks: Vec<Chunk>) -> Record {
-        Record { chunks }
-    }
-
-    /// Appends a chunk.
-    pub fn push(&mut self, chunk: Chunk) {
-        self.chunks.push(chunk);
-    }
-
-    /// The chunks in order.
-    pub fn chunks(&self) -> &[Chunk] {
-        &self.chunks
-    }
-
-    /// Logical length in bytes.
-    pub fn len(&self) -> u64 {
-        self.chunks.iter().map(Chunk::len).sum()
-    }
-
-    /// True when the record carries no payload.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Concatenates all literal byte chunks, erroring if any chunk is
-    /// synthetic. Format parsers use this for header records, which are
-    /// always literal.
-    pub fn literal_bytes(&self) -> Option<Vec<u8>> {
-        let mut out = Vec::with_capacity(self.len() as usize);
-        for c in &self.chunks {
-            match c {
-                Chunk::Bytes(b) => out.extend_from_slice(b),
-                Chunk::Synthetic { .. } => return None,
-            }
-        }
-        Some(out)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lengths_sum_across_chunks() {
-        let r = Record::from_chunks(vec![
-            Chunk::Bytes(vec![0; 10]),
-            Chunk::Synthetic { seed: 1, len: 4086 },
-        ]);
-        assert_eq!(r.len(), 4096);
-        assert!(!r.is_empty());
-        assert_eq!(r.chunks().len(), 2);
-    }
-
-    #[test]
-    fn empty_record_is_a_file_mark() {
-        let r = Record::empty();
-        assert!(r.is_empty());
-        assert_eq!(r.len(), 0);
-    }
-
-    #[test]
-    fn literal_bytes_concatenates() {
-        let mut r = Record::from_bytes(vec![1, 2]);
-        r.push(Chunk::Bytes(vec![3]));
-        assert_eq!(r.literal_bytes(), Some(vec![1, 2, 3]));
-    }
-
-    #[test]
-    fn literal_bytes_refuses_synthetic() {
-        let r = Record::from_chunks(vec![Chunk::Synthetic { seed: 0, len: 8 }]);
-        assert_eq!(r.literal_bytes(), None);
-    }
-
-    #[test]
-    fn chunk_len_and_empty() {
-        assert_eq!(Chunk::Bytes(vec![]).len(), 0);
-        assert!(Chunk::Bytes(vec![]).is_empty());
-        assert_eq!(Chunk::Synthetic { seed: 9, len: 100 }.len(), 100);
-    }
-}
+pub use simkit::media::Chunk;
+pub use simkit::media::Record;

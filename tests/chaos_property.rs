@@ -14,8 +14,8 @@ use wafl_backup::backup_core::verify::compare_used_blocks;
 use wafl_backup::backup_core::ImageCheckpoint;
 use wafl_backup::backup_core::LogicalCheckpoint;
 use wafl_backup::prelude::*;
+use wafl_backup::simkit::media::MediaError;
 use wafl_backup::simkit::rng::SimRng;
-use wafl_backup::tape::TapeError;
 
 fn geometry() -> VolumeGeometry {
     VolumeGeometry::uniform(2, 4, 4096, DiskPerf::ideal())
@@ -179,7 +179,7 @@ fn interrupted_image_dump_resumes_without_rereading_finished_blocks() {
     let job = RestartableImageDump::new("ckpt").checkpoint_every(2);
     let err = job.run(&mut fs, &mut media, &mut scratch).unwrap_err();
     assert!(
-        matches!(err, ImageError::Media(TapeError::MediaHard { .. })),
+        matches!(err, ImageError::Media(MediaError::Hard { .. })),
         "typed permanent media error, got {err:?}"
     );
 
