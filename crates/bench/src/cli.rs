@@ -5,13 +5,14 @@
 //! bench <experiment> [--scale F] [--seed N] [--out-dir DIR] [--json PATH]
 //! bench all   [--jobs N] [shared flags]     the full experiment matrix
 //! bench chaos [--seeds A,B,C] [--jobs N] [--spec FILE] [--target T] [shared flags]
+//! bench crash [--seeds A,B,C] [--jobs N] [shared flags]
 //! bench benchdiff ...                       the perf-regression gate
 //! bench explain <table> [--check FILE]      bottleneck attribution + claims gate
 //! ```
 //!
 //! Experiments: `tables` (tables 2–5 + scaling off one volume build),
 //! `table1` … `table5`, `net` (tape-vs-network crossover), `scaling`,
-//! `chaos`, `degraded`, `concurrent_volumes`, `single_file_cost`,
+//! `chaos`, `crash`, `degraded`, `concurrent_volumes`, `single_file_cost`,
 //! `incremental_economics`, `ablation_fragmentation`,
 //! `ablation_readahead`.
 //!
@@ -34,6 +35,7 @@ use crate::pool::Job;
 use crate::pool::JobResult;
 use crate::runners;
 use crate::runners::ChaosCfg;
+use crate::runners::CrashCfg;
 use crate::runners::RunCfg;
 
 /// Parsed shared flags.
@@ -142,6 +144,7 @@ const ALL_MATRIX: &[(&str, Option<f64>)] = &[
     ("net", Some(1.0 / 32.0)),
     ("table1", None),
     ("chaos", Some(1.0 / 1024.0)),
+    ("crash", None),
     ("degraded", Some(1.0 / 1024.0)),
     ("concurrent_volumes", Some(1.0 / 64.0)),
     ("single_file_cost", Some(1.0 / 128.0)),
@@ -245,6 +248,14 @@ fn experiment_job(name: &str, flags: &Flags) -> Option<Job> {
             let label = format!("chaos seed={}", cfg.seed);
             job(&label, Box::new(move || runners::chaos(&cfg)))
         }
+        "crash" => {
+            let cfg = CrashCfg {
+                seed: flags.seed.unwrap_or(1999),
+                out_dir: flags.out_dir.clone(),
+            };
+            let label = format!("crash seed={}", cfg.seed);
+            job(&label, Box::new(move || runners::crash_consistency(&cfg)))
+        }
         _ => return None,
     })
 }
@@ -268,6 +279,27 @@ fn chaos_jobs(flags: &Flags) -> Vec<Job> {
             Job {
                 label: format!("chaos seed={seed}"),
                 run: Box::new(move || runners::chaos(&cfg)),
+            }
+        })
+        .collect()
+}
+
+/// One crash-consistency job per seed (the `bench crash --seeds` matrix).
+fn crash_jobs(flags: &Flags) -> Vec<Job> {
+    let seeds = match &flags.seeds {
+        Some(s) => s.clone(),
+        None => vec![flags.seed.unwrap_or(1999)],
+    };
+    seeds
+        .into_iter()
+        .map(|seed| {
+            let cfg = CrashCfg {
+                seed,
+                out_dir: flags.out_dir.clone(),
+            };
+            Job {
+                label: format!("crash seed={seed}"),
+                run: Box::new(move || runners::crash_consistency(&cfg)),
             }
         })
         .collect()
@@ -338,7 +370,7 @@ fn write_wallclock(path: &std::path::Path, jobs: usize, results: &[JobResult], t
     }
 }
 
-const USAGE: &str = "usage: bench <experiment|all|chaos|benchdiff|explain> \
+const USAGE: &str = "usage: bench <experiment|all|chaos|crash|benchdiff|explain> \
 [--scale F] [--seed N] [--seeds A,B,C] [--jobs N] [--out-dir DIR] [--json PATH] [--spec FILE] \
 [--target tape|100mbit|1gbit|10gbit]";
 
@@ -366,6 +398,7 @@ pub fn main_with_args(args: Vec<String>) -> ExitCode {
     let jobs = match cmd.as_str() {
         "all" => all_jobs(flags.scale, flags.seed, &flags.out_dir),
         "chaos" => chaos_jobs(&flags),
+        "crash" => crash_jobs(&flags),
         name => match experiment_job(name, &flags) {
             Some(job) => vec![job],
             None => {

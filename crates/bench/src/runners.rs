@@ -18,15 +18,21 @@ use backup_core::engine::PhysicalEngine;
 use backup_core::logical::catalog::DumpCatalog;
 use backup_core::logical::dump::dump;
 use backup_core::logical::dump::DumpOptions;
+use backup_core::logical::restore::restore as logical_restore;
 use backup_core::physical::dump::image_dump_full;
 use backup_core::physical::incremental::image_dump_incremental;
+use backup_core::physical::restore::image_restore;
 use backup_core::verify::compare_trees;
 use backup_core::verify::compare_used_blocks;
+use backup_core::RestartableImageDump;
+use backup_core::RestartableLogicalDump;
 use blockdev::Block;
 use blockdev::DiskPerf;
+use nvram::NvScratch;
 use raid::Volume;
 use raid::VolumeGeometry;
 use simkit::faults::FaultSpec;
+use simkit::media::Media;
 use simkit::meter::Meter;
 use simkit::prelude::FluidSim;
 use simkit::prelude::SimRng;
@@ -1220,6 +1226,326 @@ pub fn chaos(cfg: &ChaosCfg) -> String {
     let path = cfg.out_dir.join(format!("chaos_seed{seed}.txt"));
     std::fs::write(&path, &report).expect("write chaos report");
     eprintln!("[chaos] report written to {}", path.display());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistency runner (`bench crash`)
+// ---------------------------------------------------------------------------
+
+/// Config for the crash-consistency runner.
+#[derive(Debug, Clone)]
+pub struct CrashCfg {
+    /// Crash-plan + workload seed.
+    pub seed: u64,
+    /// Where `crash_seed<N>.txt` lands.
+    pub out_dir: PathBuf,
+}
+
+const CRASH_FILES: u64 = 8;
+const CRASH_OPS: usize = 16;
+const CRASH_CP_EVERY: usize = 4;
+
+fn crash_geometry() -> VolumeGeometry {
+    VolumeGeometry::uniform(2, 4, 4096, DiskPerf::ideal())
+}
+
+/// A small seeded volume for the crash scenarios: /data with a handful of
+/// files plus one multi-record file, committed.
+fn crash_base(seed: u64) -> Wafl {
+    let mut fs =
+        Wafl::format(Volume::new(crash_geometry()), WaflConfig::default()).expect("format");
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(0xbace));
+    let data = fs
+        .create(INO_ROOT, "data", FileType::Dir, Attrs::default())
+        .expect("mkdir /data");
+    for i in 0..CRASH_FILES {
+        let f = fs
+            .create(data, &format!("f{i:02}"), FileType::File, Attrs::default())
+            .expect("create");
+        for fbn in 0..4 + rng.range(0, 4) {
+            fs.write_fbn(f, fbn, Block::Synthetic(rng.range(0, u64::MAX)))
+                .expect("write");
+        }
+    }
+    let big = fs
+        .create(data, "big", FileType::File, Attrs::default())
+        .expect("create big");
+    for fbn in 0..24 {
+        fs.write_fbn(big, fbn, Block::Synthetic(rng.range(0, u64::MAX)))
+            .expect("write big");
+    }
+    fs.cp().expect("base cp");
+    fs
+}
+
+/// Mutation `i` of the seeded op stream (deterministic given `(seed, i)`).
+fn crash_apply(fs: &mut Wafl, seed: u64, i: usize) -> Result<(), wafl::WaflError> {
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(1_000_003).wrapping_add(i as u64));
+    let target = format!("/data/f{:02}", rng.range(0, CRASH_FILES));
+    match i % 3 {
+        0 => {
+            let ino = fs.namei(&target)?;
+            fs.write_fbn(
+                ino,
+                rng.range(0, 4),
+                Block::Synthetic(rng.range(0, u64::MAX)),
+            )?;
+        }
+        1 => {
+            let data = fs.namei("/data")?;
+            let ino = fs.create(data, &format!("op{i:02}"), FileType::File, Attrs::default())?;
+            fs.write_fbn(ino, 0, Block::Synthetic(rng.range(0, u64::MAX)))?;
+        }
+        _ => {
+            let ino = fs.namei(&target)?;
+            fs.write_fbn(
+                ino,
+                4 + rng.range(0, 3),
+                Block::Synthetic(rng.range(0, u64::MAX)),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// The fully mutated, committed state the dump/restore scenarios use.
+fn crash_finished(seed: u64) -> Wafl {
+    let mut fs = crash_base(seed);
+    for i in 0..CRASH_OPS {
+        crash_apply(&mut fs, seed, i).expect("mutation");
+        if (i + 1) % CRASH_CP_EVERY == 0 {
+            fs.cp().expect("cp");
+        }
+    }
+    fs.cp().expect("final cp");
+    fs
+}
+
+/// Reboots a crashed filer and requires a clean invariant check.
+fn crash_reboot(fs: Wafl) -> Wafl {
+    simkit::crash::disarm();
+    let (vol, nv) = fs.crash();
+    let fs = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .expect("remount after power loss");
+    let report = wafl::check::check(&fs).expect("checker runs");
+    assert!(
+        report.is_clean(),
+        "post-crash inconsistency: {:?}",
+        report.problems
+    );
+    fs
+}
+
+fn crash_counter_state() -> (u64, u64, u64, u64) {
+    (
+        obs::counter("crash.trips").get(),
+        obs::counter("crash.replays").get(),
+        obs::counter("crash.replayed_ops").get(),
+        obs::counter("backup.resumes").get(),
+    )
+}
+
+/// One deterministic crash-consistency run: for every enumerated crash
+/// point, kill the machine mid-operation, reboot, recover (NVRAM replay,
+/// checkpoint resume, or rerun), verify the result bit-exactly, and
+/// report the crash/replay counters. The report — returned and written
+/// to `out_dir/crash_seed<N>.txt` — is a pure function of the seed.
+pub fn crash_consistency(cfg: &CrashCfg) -> String {
+    use simkit::crash;
+    use simkit::crash::CrashPlan;
+    use simkit::crash::CrashPoint;
+
+    let seed = cfg.seed;
+    obs::event::enable(obs::event::EventConfig::default());
+    let mut report = String::new();
+    let w = &mut report;
+    writeln!(w, "crash report (seed={seed})").unwrap();
+
+    // ---- Mutation-phase points: CP commit and NVRAM flush ---------------
+    for point in [CrashPoint::CpCommit, CrashPoint::NvramFlush] {
+        let mut rng = SimRng::seed_from_u64(
+            seed.wrapping_mul(31)
+                .wrapping_add(point.name().len() as u64),
+        );
+        let plan = match point {
+            CrashPoint::CpCommit => CrashPlan::new().trip_within(point, 12, &mut rng),
+            _ => CrashPlan::new().trip_within(point, 4, &mut rng),
+        };
+        let (t0, r0, o0, _) = crash_counter_state();
+        let mut fs = crash_base(seed);
+        crash::arm(plan);
+        let mut acked = 0usize;
+        let mut died = false;
+        for i in 0..CRASH_OPS {
+            if crash_apply(&mut fs, seed, i).is_err() {
+                died = true;
+                break;
+            }
+            acked = i + 1;
+            if (i + 1) % CRASH_CP_EVERY == 0 && fs.cp().is_err() {
+                died = true;
+                break;
+            }
+        }
+        if !died {
+            died = fs.cp().is_err();
+        }
+        assert!(died, "armed mutation run must lose power");
+        assert_eq!(crash::tripped(), Some(point), "wrong point tripped");
+        let hits = crash::hits(point);
+        drop(crash_reboot(fs));
+        let (t1, r1, o1, _) = crash_counter_state();
+        writeln!(
+            w,
+            "{point}: tripped hits={hits} acked={acked}; reboot clean; \
+             trips=+{} replays=+{} replayed_ops=+{}",
+            t1 - t0,
+            r1 - r0,
+            o1 - o0
+        )
+        .unwrap();
+    }
+
+    // ---- Dump-phase and restore points, per engine ----------------------
+    for image in [false, true] {
+        let kind = if image { "physical" } else { "logical" };
+        eprintln!("[crash] {kind} dump/restore scenarios...");
+        for point in [
+            CrashPoint::DumpRecord,
+            CrashPoint::DumpCheckpoint,
+            CrashPoint::NetTransfer,
+        ] {
+            let mut rng = SimRng::seed_from_u64(
+                seed.wrapping_mul(0x9e37_79b9)
+                    ^ ((point.name().len() as u64) << 8 | kind.len() as u64),
+            );
+            // Lower bounds keep the first NVRAM checkpoint stored before
+            // the power dies, so the second attempt resumes.
+            let nth = match point {
+                CrashPoint::DumpRecord => 3 + rng.range(0, 3),
+                CrashPoint::DumpCheckpoint => 2 + rng.range(0, 2),
+                _ => 4 + rng.range(0, 3),
+            };
+            let mut fs = crash_finished(seed);
+            let mut media: Box<dyn Media> = if point == CrashPoint::NetTransfer {
+                backup_core::Target::Net(backup_core::target::LinkSpec::gbit1()).open()
+            } else {
+                Box::new(TapeDrive::new(TapePerf::ideal(), 1 << 30))
+            };
+            let mut scratch = NvScratch::new();
+            let (t0, _, _, s0) = crash_counter_state();
+            crash::arm(CrashPlan::new().trip_at(point, nth));
+            let diffs = if image {
+                let job = RestartableImageDump::new("m").checkpoint_every(2);
+                assert!(
+                    job.run(&mut fs, &mut media, &mut scratch).is_err(),
+                    "armed dump must fail"
+                );
+                assert_eq!(crash::tripped(), Some(point), "wrong point tripped");
+                let mut fs = crash_reboot(fs);
+                let out = job
+                    .run(&mut fs, &mut media, &mut scratch)
+                    .expect("resumed image dump");
+                assert!(out.resumed, "second attempt must resume");
+                let mut raw = Volume::new(crash_geometry());
+                image_restore(&mut media, &mut raw, &fs.meter(), fs.costs())
+                    .expect("image restore");
+                compare_used_blocks(&mut fs, &mut raw)
+                    .expect("block compare")
+                    .len()
+            } else {
+                let job = RestartableLogicalDump::new(DumpOptions::default()).checkpoint_every(2);
+                let mut catalog = DumpCatalog::new();
+                assert!(
+                    job.run(&mut fs, &mut media, &mut catalog, &mut scratch)
+                        .is_err(),
+                    "armed dump must fail"
+                );
+                assert_eq!(crash::tripped(), Some(point), "wrong point tripped");
+                let mut fs = crash_reboot(fs);
+                job.run(&mut fs, &mut media, &mut catalog, &mut scratch)
+                    .expect("resumed logical dump");
+                let mut target = Wafl::format(Volume::new(crash_geometry()), WaflConfig::default())
+                    .expect("format restore target");
+                logical_restore(&mut target, &mut media, "/").expect("logical restore");
+                compare_trees(&mut fs, &mut target).expect("compare").len()
+            };
+            assert_eq!(diffs, 0, "resumed stream must restore bit-exactly");
+            let (t1, _, _, s1) = crash_counter_state();
+            writeln!(
+                w,
+                "[{kind}] {point}: tripped nth={nth}; resumed; records={} \
+                 verify_diffs={diffs} trips=+{} resumes=+{}",
+                media.total_records(),
+                t1 - t0,
+                s1 - s0
+            )
+            .unwrap();
+        }
+
+        // Restore: recovery is rerunning the restore (paper footnote 2).
+        let mut rng = SimRng::seed_from_u64(
+            seed.wrapping_mul(0x51_7c_c1)
+                .wrapping_add(kind.len() as u64),
+        );
+        let nth = 1 + rng.range(0, 5);
+        let mut fs = crash_finished(seed);
+        let mut media = TapeDrive::new(TapePerf::ideal(), 1 << 30);
+        let (t0, _, _, _) = crash_counter_state();
+        let diffs = if image {
+            image_dump_full(&mut fs, &mut media, "m").expect("image dump");
+            let mut raw = Volume::new(crash_geometry());
+            crash::arm(CrashPlan::new().trip_at(CrashPoint::Restore, nth));
+            assert!(
+                image_restore(&mut media, &mut raw, &fs.meter(), fs.costs()).is_err(),
+                "armed restore must fail"
+            );
+            assert_eq!(crash::tripped(), Some(CrashPoint::Restore));
+            crash::disarm();
+            image_restore(&mut media, &mut raw, &fs.meter(), fs.costs()).expect("rerun");
+            compare_used_blocks(&mut fs, &mut raw)
+                .expect("block compare")
+                .len()
+        } else {
+            let mut catalog = DumpCatalog::new();
+            dump(&mut fs, &mut media, &mut catalog, &DumpOptions::default()).expect("dump");
+            let mut target = Wafl::format(Volume::new(crash_geometry()), WaflConfig::default())
+                .expect("format restore target");
+            crash::arm(CrashPlan::new().trip_at(CrashPoint::Restore, nth));
+            assert!(
+                logical_restore(&mut target, &mut media, "/").is_err(),
+                "armed restore must fail"
+            );
+            assert_eq!(crash::tripped(), Some(CrashPoint::Restore));
+            let mut target = crash_reboot(target);
+            logical_restore(&mut target, &mut media, "/").expect("rerun");
+            compare_trees(&mut fs, &mut target).expect("compare").len()
+        };
+        assert_eq!(diffs, 0, "rerun restore must converge bit-exactly");
+        let (t1, _, _, _) = crash_counter_state();
+        writeln!(
+            w,
+            "[{kind}] restore: tripped nth={nth}; rerun converged; \
+             verify_diffs={diffs} trips=+{}",
+            t1 - t0
+        )
+        .unwrap();
+    }
+
+    let (events, digest) = event_digest();
+    writeln!(w, "trace: events={events} digest={digest:016x}").unwrap();
+
+    let _ = std::fs::create_dir_all(&cfg.out_dir);
+    let path = cfg.out_dir.join(format!("crash_seed{seed}.txt"));
+    std::fs::write(&path, &report).expect("write crash report");
+    eprintln!("[crash] report written to {}", path.display());
     report
 }
 

@@ -1,0 +1,22 @@
+//! Crash-point plumbing shared by the dump/restore engines.
+//!
+//! One helper: ask the armed [`simkit::crash::CrashPlan`] (if any)
+//! whether the power dies at `point`, counting a *fresh* trip once on
+//! the `crash.trips` obs counter. Call sites wrap a `true` into their
+//! layer's power-loss error (`ImageError::Interrupted`,
+//! `DumpError::Interrupted`). With nothing armed this is a thread-local
+//! read — zero metered cost, zero behavior change.
+
+use simkit::crash::CrashPoint;
+
+/// True when the power dies *now*, at `point`.
+pub(crate) fn power_fire(point: CrashPoint) -> bool {
+    let was_alive = simkit::crash::tripped().is_none();
+    if simkit::crash::fire(point) {
+        if was_alive {
+            obs::counter("crash.trips").inc();
+        }
+        return true;
+    }
+    false
+}

@@ -28,6 +28,7 @@
 //! - [`verify`] — end-to-end verification: tree/content comparison between
 //!   live file systems and block-level comparison between volumes.
 
+mod crashpoint;
 pub mod engine;
 pub mod logical;
 pub mod physical;

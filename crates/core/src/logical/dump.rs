@@ -13,6 +13,7 @@
 //! paper blames for logical dump's poor scaling.
 
 use nvram::NvScratch;
+use simkit::crash::CrashPoint;
 use simkit::media::Media;
 use wafl::ondisk::DiskInode;
 use wafl::types::FileType;
@@ -20,6 +21,7 @@ use wafl::types::Ino;
 use wafl::SnapView;
 use wafl::Wafl;
 
+use crate::crashpoint::power_fire;
 use crate::logical::catalog::DumpCatalog;
 use crate::logical::format::DumpError;
 use crate::logical::format::DumpRecord;
@@ -417,6 +419,14 @@ impl RestartableLogicalDump {
     ) -> Result<DumpOutcome, DumpError> {
         let opts = &self.opts;
         let key = self.scratch_key();
+        // Crash-point shim: power loss surfaces as the dump's own error so
+        // the harness reboots and resumes instead of retrying the medium.
+        let interrupted = |point: CrashPoint| -> Result<(), DumpError> {
+            if power_fire(point) {
+                return Err(DumpError::Interrupted { point });
+            }
+            Ok(())
+        };
         let resume = scratch
             .load(&key)
             .and_then(LogicalCheckpoint::from_bytes)
@@ -524,6 +534,7 @@ impl RestartableLogicalDump {
                 .to_record(),
             )?;
             if checkpoints_on {
+                interrupted(CrashPoint::DumpCheckpoint)?;
                 // The head is down; from here a restart can be surgical.
                 let _ = scratch.store(
                     &key,
@@ -561,6 +572,7 @@ impl RestartableLogicalDump {
                     })
                     .collect();
                 meter.charge_cpu(costs.dump_dir);
+                interrupted(CrashPoint::DumpRecord)?;
                 media.write_record(
                     DumpRecord::Dir {
                         ino: dir_ino,
@@ -572,6 +584,7 @@ impl RestartableLogicalDump {
                 records_since_ckpt += 1;
                 if checkpoints_on && records_since_ckpt >= self.every {
                     records_since_ckpt = 0;
+                    interrupted(CrashPoint::DumpCheckpoint)?;
                     let _ = scratch.store(
                         &key,
                         LogicalCheckpoint {
@@ -612,6 +625,7 @@ impl RestartableLogicalDump {
                     .filter(|&fbn| slots[fbn as usize] != 0)
                     .collect();
                 meter.charge_cpu(costs.dump_inode);
+                interrupted(CrashPoint::DumpRecord)?;
                 media.write_record(
                     DumpRecord::Inode {
                         ino: file_ino,
@@ -630,6 +644,7 @@ impl RestartableLogicalDump {
                     }
                     meter.charge_cpu(costs.dump_format_block * run.len() as f64);
                     data_blocks += run.len() as u64;
+                    interrupted(CrashPoint::DumpRecord)?;
                     media.write_record(
                         DumpRecord::Data {
                             ino: file_ino,
@@ -642,6 +657,7 @@ impl RestartableLogicalDump {
                 }
                 if checkpoints_on && records_since_ckpt >= self.every {
                     records_since_ckpt = 0;
+                    interrupted(CrashPoint::DumpCheckpoint)?;
                     let _ = scratch.store(
                         &key,
                         LogicalCheckpoint {

@@ -59,6 +59,14 @@ pub enum DumpError {
         /// The path looked for.
         path: String,
     },
+    /// The machine lost power mid-operation (an armed
+    /// [`simkit::crash::CrashPlan`] tripped). Recovery is a reboot:
+    /// remount the file system and resume from the NVRAM checkpoint
+    /// (dump) or rerun from the start (restore).
+    Interrupted {
+        /// The crash point that tripped.
+        point: simkit::crash::CrashPoint,
+    },
 }
 
 impl std::fmt::Display for DumpError {
@@ -69,6 +77,7 @@ impl std::fmt::Display for DumpError {
             DumpError::Media(e) => write!(f, "media error: {e}"),
             DumpError::Fs(e) => write!(f, "file system error: {e}"),
             DumpError::NotInDump { path } => write!(f, "not in dump: {path}"),
+            DumpError::Interrupted { point } => write!(f, "power loss at {point}"),
         }
     }
 }

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 
+use simkit::crash::CrashPoint;
 use simkit::media::Media;
 use simkit::media::MediaError;
 use wafl::types::Attrs;
@@ -30,6 +31,7 @@ use wafl::types::Ino;
 use wafl::Wafl;
 use wafl::WaflError;
 
+use crate::crashpoint::power_fire;
 use crate::logical::format::DumpError;
 use crate::logical::format::DumpRecord;
 use crate::logical::format::InoMap;
@@ -255,6 +257,16 @@ pub fn restore(
     let mut end_seen = false;
     let mut rec = head.pending.take();
     loop {
+        // Crash point: power loss mid-restore. A logical restore goes
+        // through the file system, so a reboot replays NVRAM and the
+        // recovery procedure is simply rerunning the restore (paper
+        // footnote 2: restores legitimately bypass logging because an
+        // interrupted restore just restarts).
+        if power_fire(CrashPoint::Restore) {
+            return Err(DumpError::Interrupted {
+                point: CrashPoint::Restore,
+            });
+        }
         let record = match rec.take() {
             Some(r) => r,
             None => match next_record(drive, &mut warnings)? {

@@ -10,8 +10,11 @@
 //! first attempt computed.
 
 use nvram::NvScratch;
+use simkit::crash::CrashPoint;
 use simkit::media::Media;
 use wafl::Wafl;
+
+use crate::crashpoint::power_fire;
 
 use crate::physical::format::ImageError;
 use crate::physical::format::ImageRecord;
@@ -188,6 +191,14 @@ impl RestartableImageDump {
             meter.charge_cpu(costs.bypass_block * run.len() as f64);
             blocks_written += run.len() as u64;
             index += run.len();
+            // Crash point: power loss between two record writes. The media
+            // holds only complete records; the last stored checkpoint (if
+            // any) is where the resume truncates back to.
+            if power_fire(CrashPoint::DumpRecord) {
+                return Err(ImageError::Interrupted {
+                    point: CrashPoint::DumpRecord,
+                });
+            }
             media.write_record(
                 ImageRecord::Blocks {
                     bnos: run.to_vec(),
@@ -204,6 +215,14 @@ impl RestartableImageDump {
                     records: media.total_records(),
                     blocks_written,
                 };
+                // Crash point: power loss mid-checkpoint. NVRAM slot
+                // updates are atomic, so the *previous* checkpoint stays
+                // intact and the resume is merely coarser.
+                if power_fire(CrashPoint::DumpCheckpoint) {
+                    return Err(ImageError::Interrupted {
+                        point: CrashPoint::DumpCheckpoint,
+                    });
+                }
                 // Best-effort: a full scratch region only coarsens the
                 // restart, it does not fail the dump.
                 let _ = scratch.store(&self.key, ckpt.to_bytes());

@@ -53,6 +53,13 @@ pub enum ImageError {
         /// The missing snapshot name.
         name: String,
     },
+    /// The machine lost power mid-operation (an armed
+    /// [`simkit::crash::CrashPlan`] tripped). Recovery is a reboot:
+    /// remount the file system and resume from the NVRAM checkpoint.
+    Interrupted {
+        /// The crash point that tripped.
+        point: simkit::crash::CrashPoint,
+    },
 }
 
 impl std::fmt::Display for ImageError {
@@ -68,6 +75,7 @@ impl std::fmt::Display for ImageError {
             ImageError::Fs(e) => write!(f, "file system error: {e}"),
             ImageError::Raid(e) => write!(f, "raid error: {e}"),
             ImageError::NoSuchBase { name } => write!(f, "no such base snapshot: {name}"),
+            ImageError::Interrupted { point } => write!(f, "power loss at {point}"),
         }
     }
 }

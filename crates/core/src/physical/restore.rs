@@ -14,10 +14,12 @@
 //! logical backup's resilience).
 
 use raid::Volume;
+use simkit::crash::CrashPoint;
 use simkit::media::Media;
 use simkit::meter::Meter;
 use wafl::cost::CostModel;
 
+use crate::crashpoint::power_fire;
 use crate::physical::format::ImageError;
 use crate::physical::format::ImageRecord;
 use crate::report::Profiler;
@@ -80,6 +82,14 @@ pub fn image_restore(
     let mut blocks_written = 0u64;
     let mut end_seen = false;
     loop {
+        // Crash point: power loss mid-restore. The target volume is
+        // partially overwritten — an image restore has no checkpoint, so
+        // recovery is rerunning the whole restore onto the same volume.
+        if power_fire(CrashPoint::Restore) {
+            return Err(ImageError::Interrupted {
+                point: CrashPoint::Restore,
+            });
+        }
         let rec = match drive.read_record() {
             Ok(r) => r,
             Err(simkit::media::MediaError::EndOfData) => break,

@@ -116,6 +116,11 @@ pub enum NetError {
     },
     /// Attempt to read past the last record replicated so far.
     EndOfStream,
+    /// The *sending* machine lost power mid-transfer (an armed
+    /// [`simkit::crash::CrashPlan`] tripped). The record never left the
+    /// host, and no retry layer runs — the host is dead. Recovery is a
+    /// reboot and a rerun of the replication pass.
+    Interrupted,
 }
 
 impl From<NetError> for MediaError {
@@ -125,6 +130,7 @@ impl From<NetError> for MediaError {
             NetError::Dropped { index } => MediaError::Soft { index },
             NetError::Corrupt { index } => MediaError::BadRecord { index },
             NetError::EndOfStream => MediaError::EndOfData,
+            NetError::Interrupted => MediaError::Interrupted,
         }
     }
 }
@@ -136,6 +142,7 @@ impl std::fmt::Display for NetError {
             NetError::Dropped { index } => write!(f, "frame dropped sending record {index}"),
             NetError::Corrupt { index } => write!(f, "remote record {index} corrupt"),
             NetError::EndOfStream => write!(f, "end of replicated stream"),
+            NetError::Interrupted => write!(f, "transfer interrupted by power loss"),
         }
     }
 }
@@ -191,6 +198,19 @@ impl NetTarget {
 
     /// Sends one record to the remote image.
     pub fn send_record(&mut self, record: Record) -> Result<(), NetError> {
+        // Crash point: the sending host dies mid-transfer. Nothing
+        // reaches the remote image; the stream stays at its last
+        // complete record, exactly like a truncated tape.
+        {
+            use simkit::crash::CrashPoint;
+            let was_alive = simkit::crash::tripped().is_none();
+            if simkit::crash::fire(CrashPoint::NetTransfer) {
+                if was_alive {
+                    obs::counter("crash.trips").inc();
+                }
+                return Err(NetError::Interrupted);
+            }
+        }
         let len = record.len();
         self.records.push(record);
         self.stats.written.record(len);

@@ -118,12 +118,25 @@ impl<Op: NvSized> NvramLog<Op> {
     }
 
     /// Clears the log (a consistency point made everything durable).
-    pub fn commit(&mut self) {
+    ///
+    /// This is the mid-NVRAM-flush crash point
+    /// ([`simkit::crash::CrashPoint::NvramFlush`]): if an armed
+    /// [`simkit::crash::CrashPlan`] trips here the power died *after*
+    /// the consistency point reached disk but *before* the log was
+    /// cleared — the entries stay in NVRAM and `false` is returned, so
+    /// reboot replays operations the on-disk image already contains
+    /// (replay must be idempotent, which the crash matrix proves).
+    /// Returns `true` when the flush completed.
+    pub fn commit(&mut self) -> bool {
+        if simkit::crash::fire(simkit::crash::CrashPoint::NvramFlush) {
+            return false;
+        }
         if obs::trace_enabled() {
             obs::event::emit(obs::event::EventKind::NvramFlush, self.used_bytes, 0.0);
         }
         self.entries.clear();
         self.used_bytes = 0;
+        true
     }
 
     /// Takes all logged operations for crash replay, emptying the log.

@@ -1,0 +1,121 @@
+//! Property test for the replay contract of [`NvramLog`]: across any
+//! seeded interleaving of appends, successful commits, power-interrupted
+//! commits, and disable/enable (bypass) cycles, `drain_for_replay`
+//! returns **exactly** the operations acknowledged since the last
+//! successful commit — in order, never duplicated, never dropped.
+
+use nvram::NvSized;
+use nvram::NvramError;
+use nvram::NvramLog;
+use simkit::crash;
+use simkit::crash::CrashPlan;
+use simkit::crash::CrashPoint;
+use simkit::rng::SimRng;
+
+/// A logged operation with a unique identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpId(u64);
+
+const OP_BYTES: u64 = 64;
+
+impl NvSized for OpId {
+    fn nv_bytes(&self) -> u64 {
+        OP_BYTES
+    }
+}
+
+#[test]
+fn drain_for_replay_never_duplicates_and_never_drops() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        // Room for 40 entries, so seeded runs regularly hit `Full` and
+        // must take a "consistency point" (commit) to make space.
+        let mut log: NvramLog<OpId> = NvramLog::new(OP_BYTES * 40);
+        // The model: every acknowledged op since the last successful
+        // commit, in append order.
+        let mut expected: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+
+        for _ in 0..200 {
+            match rng.range(0, 10) {
+                0..=5 => {
+                    let id = next_id;
+                    next_id += 1;
+                    match log.append(OpId(id)) {
+                        Ok(()) => expected.push(id),
+                        Err(NvramError::Full) => {
+                            // The caller's contract: CP, then retry.
+                            assert!(log.commit(), "unarmed commit must succeed");
+                            expected.clear();
+                            log.append(OpId(id)).expect("append after commit");
+                            expected.push(id);
+                        }
+                        Err(NvramError::Disabled) => {
+                            // Bypass mode: the op was never acknowledged
+                            // into the log, so it must NOT replay.
+                            assert!(!log.is_enabled());
+                        }
+                        Err(other) => panic!("unexpected append error: {other}"),
+                    }
+                }
+                6 => {
+                    if log.commit() {
+                        expected.clear();
+                    }
+                }
+                7 => {
+                    // Power loss mid-flush: the commit reports failure and
+                    // the entries must all stay for replay.
+                    crash::arm(CrashPlan::new().trip_at(CrashPoint::NvramFlush, 1));
+                    assert!(!log.commit(), "armed commit must report the trip");
+                    crash::disarm();
+                }
+                8 => log.disable(),
+                _ => log.enable(),
+            }
+            assert_eq!(
+                log.len(),
+                expected.len(),
+                "seed {seed}: log length diverged from the model"
+            );
+        }
+
+        let drained: Vec<u64> = log.drain_for_replay().iter().map(|o| o.0).collect();
+        assert_eq!(
+            drained, expected,
+            "seed {seed}: replay set differs from the acknowledged set"
+        );
+        let mut unique = drained.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            drained.len(),
+            "seed {seed}: an op would replay twice"
+        );
+        // The drain consumed the log: nothing replays a second time.
+        assert!(log.is_empty());
+        assert!(
+            log.drain_for_replay().is_empty(),
+            "seed {seed}: double replay"
+        );
+    }
+}
+
+#[test]
+fn drain_preserves_append_order_across_bypass_cycles() {
+    let mut log: NvramLog<OpId> = NvramLog::new(OP_BYTES * 16);
+    log.append(OpId(1)).unwrap();
+    log.disable();
+    assert_eq!(log.append(OpId(2)), Err(NvramError::Disabled));
+    log.enable();
+    log.append(OpId(3)).unwrap();
+    // A failed flush keeps both acknowledged entries…
+    crash::arm(CrashPlan::new().trip_at(CrashPoint::NvramFlush, 1));
+    assert!(!log.commit());
+    crash::disarm();
+    log.append(OpId(4)).unwrap();
+    // …and replay yields exactly the acknowledged ops, in order.
+    let ids: Vec<u64> = log.drain_for_replay().iter().map(|o| o.0).collect();
+    assert_eq!(ids, vec![1, 3, 4]);
+}

@@ -1,0 +1,300 @@
+//! Enumerable whole-system crash points.
+//!
+//! The paper's reliability story (§2.2) is that WAFL survives power loss
+//! at *any instant*: the NVRAM op log replays on reboot, copy-on-write
+//! consistency points keep the on-disk image self-consistent, and
+//! restartable dumps resume from NVRAM checkpoints. Media faults
+//! ([`crate::faults`]) kill one device; this module kills the whole
+//! system. A [`CrashPlan`] names the instant — one of the enumerated
+//! [`CrashPoint`]s, on its n-th occurrence — and instrumented code asks
+//! [`fire`] at each such instant whether the power just went out.
+//!
+//! The protocol mirrors the fault-injection one:
+//!
+//! 1. A test (or the bench crash runner) builds a [`CrashPlan`] —
+//!    deterministically via [`CrashPlan::trip_at`], or seeded via
+//!    [`CrashPlan::trip_within`] which draws the occurrence from a
+//!    [`crate::rng::SimRng`] — and [`arm`]s it.
+//! 2. Instrumented sites in `wafl` (consistency points), `nvram` (log
+//!    flush), `core` (dump records, dump checkpoints, restore records)
+//!    and `net` (transfer) call [`fire`] with their point. When the
+//!    armed plan's occurrence count is reached, `fire` returns `true`
+//!    and the site aborts with its layer's power-loss error.
+//! 3. Once tripped, **every** subsequent `fire` returns `true` — a dead
+//!    machine executes nothing — until the harness "restores power"
+//!    with [`disarm`] and reboots (remount, replay, resume).
+//!
+//! State is thread-local, like the obs counters: the bench pool runs
+//! every job on a fresh named thread, so armed plans are per-job and
+//! `--jobs N` stays byte-identical to `--jobs 1`. When nothing is
+//! armed, `fire` is a thread-local read returning `false` — it adds no
+//! metered cost and no behavior, keeping the benchmark tables at
+//! +0.0000.
+
+use std::cell::RefCell;
+
+use crate::rng::SimRng;
+
+/// The number of enumerated crash points.
+pub const NPOINTS: usize = 6;
+
+/// A named instant at which the simulated machine can lose power.
+///
+/// `#[non_exhaustive]`: later PRs can enumerate more instants without
+/// breaking downstream matches. [`CrashPoint::ALL`] is the enumeration
+/// order tests and the bench runner iterate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CrashPoint {
+    /// Mid-consistency-point: some of the new CP's blocks are on disk
+    /// but fsinfo still points at the previous CP (`wafl::Wafl::cp`).
+    CpCommit,
+    /// Mid-NVRAM-flush: the CP's fsinfo landed but the op log was not
+    /// yet cleared (`nvram::NvramLog::commit`), so reboot replays ops
+    /// the new CP already contains.
+    NvramFlush,
+    /// Mid-dump-checkpoint: a restartable dump dies while persisting
+    /// its progress to `nvram::NvScratch`, leaving the previous
+    /// checkpoint slot intact.
+    DumpCheckpoint,
+    /// Mid-dump-record: an image or logical dump dies between two
+    /// record writes.
+    DumpRecord,
+    /// Mid-restore: an image or logical restore dies between two
+    /// record reads.
+    Restore,
+    /// Mid-transfer: the network replication path (`net::NetTarget`,
+    /// `Mirror::sync_via`) dies with the stream half-shipped.
+    NetTransfer,
+}
+
+impl CrashPoint {
+    /// Every enumerated point, in matrix order.
+    pub const ALL: [CrashPoint; NPOINTS] = [
+        CrashPoint::CpCommit,
+        CrashPoint::NvramFlush,
+        CrashPoint::DumpCheckpoint,
+        CrashPoint::DumpRecord,
+        CrashPoint::Restore,
+        CrashPoint::NetTransfer,
+    ];
+
+    /// Stable name used in reports, obs counters and CI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::CpCommit => "cp_commit",
+            CrashPoint::NvramFlush => "nvram_flush",
+            CrashPoint::DumpCheckpoint => "dump_checkpoint",
+            CrashPoint::DumpRecord => "dump_record",
+            CrashPoint::Restore => "restore",
+            CrashPoint::NetTransfer => "net_transfer",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            CrashPoint::CpCommit => 0,
+            CrashPoint::NvramFlush => 1,
+            CrashPoint::DumpCheckpoint => 2,
+            CrashPoint::DumpRecord => 3,
+            CrashPoint::Restore => 4,
+            CrashPoint::NetTransfer => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When the power goes out: for each [`CrashPoint`], the 1-based
+/// occurrence count at which [`fire`] trips.
+///
+/// A plan usually names exactly one point; naming several means the
+/// first occurrence threshold reached wins (the machine only dies
+/// once).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// `trip_on[i]` = trip on the n-th `fire` of point `i` (0 = never).
+    trip_on: [u64; NPOINTS],
+}
+
+impl CrashPlan {
+    /// A plan that never trips.
+    pub fn new() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// Trips on the `nth` (1-based) [`fire`] of `point`. `nth == 0`
+    /// clears the point.
+    pub fn trip_at(mut self, point: CrashPoint, nth: u64) -> CrashPlan {
+        self.trip_on[point.index()] = nth;
+        self
+    }
+
+    /// Trips on a seeded occurrence of `point`, drawn uniformly from
+    /// `[1, max_hits]`. Same seed, same instant — the crash matrix uses
+    /// this to vary crash depth per seed while staying replayable.
+    pub fn trip_within(self, point: CrashPoint, max_hits: u64, rng: &mut SimRng) -> CrashPlan {
+        let upper = max_hits.max(1);
+        self.trip_at(point, rng.range(1, upper + 1))
+    }
+
+    /// The 1-based occurrence `point` trips on, if any.
+    pub fn trips_at(&self, point: CrashPoint) -> Option<u64> {
+        match self.trip_on[point.index()] {
+            0 => None,
+            n => Some(n),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    plan: Option<CrashPlan>,
+    hits: [u64; NPOINTS],
+    tripped: Option<CrashPoint>,
+}
+
+thread_local! {
+    static STATE: RefCell<State> = RefCell::new(State::default());
+}
+
+/// Arms `plan` on this thread, resetting hit counters and any previous
+/// trip. Instrumented sites start consulting it on the next [`fire`].
+pub fn arm(plan: CrashPlan) {
+    STATE.with(|s| {
+        *s.borrow_mut() = State {
+            plan: Some(plan),
+            hits: [0; NPOINTS],
+            tripped: None,
+        };
+    });
+}
+
+/// Restores power: clears the plan, hit counters and trip state. After
+/// this, [`fire`] always returns `false` — the reboot path (remount,
+/// replay, resumed dump) runs to completion.
+pub fn disarm() {
+    STATE.with(|s| {
+        *s.borrow_mut() = State::default();
+    });
+}
+
+/// Asks whether the power goes out *now*, at `point`.
+///
+/// With no plan armed this returns `false` and counts nothing. With a
+/// plan armed it increments the point's hit counter and trips when the
+/// planned occurrence is reached; once tripped, every call returns
+/// `true` regardless of point until [`disarm`] or a fresh [`arm`].
+pub fn fire(point: CrashPoint) -> bool {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.tripped.is_some() {
+            return true;
+        }
+        if st.plan.is_none() {
+            return false;
+        }
+        let idx = point.index();
+        st.hits[idx] += 1;
+        let trip_on = st.plan.as_ref().and_then(|p| p.trips_at(point));
+        if trip_on == Some(st.hits[idx]) {
+            st.tripped = Some(point);
+            return true;
+        }
+        false
+    })
+}
+
+/// How many times `point` has fired since the last [`arm`]. Zero when
+/// disarmed (disarmed fires are not counted).
+pub fn hits(point: CrashPoint) -> u64 {
+    STATE.with(|s| s.borrow().hits[point.index()])
+}
+
+/// The point the armed plan tripped at, if the machine is dead.
+pub fn tripped() -> Option<CrashPoint> {
+    STATE.with(|s| s.borrow().tripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_fire_is_inert() {
+        disarm();
+        for p in CrashPoint::ALL {
+            assert!(!fire(p));
+            assert_eq!(hits(p), 0, "disarmed fires must not count");
+        }
+        assert_eq!(tripped(), None);
+    }
+
+    #[test]
+    fn trips_on_exactly_the_nth_occurrence() {
+        arm(CrashPlan::new().trip_at(CrashPoint::DumpRecord, 3));
+        assert!(!fire(CrashPoint::DumpRecord));
+        assert!(!fire(CrashPoint::DumpRecord));
+        // Other points count independently and do not trip.
+        assert!(!fire(CrashPoint::Restore));
+        assert!(fire(CrashPoint::DumpRecord));
+        assert_eq!(tripped(), Some(CrashPoint::DumpRecord));
+        assert_eq!(hits(CrashPoint::DumpRecord), 3);
+        disarm();
+    }
+
+    #[test]
+    fn dead_machines_stay_dead() {
+        arm(CrashPlan::new().trip_at(CrashPoint::CpCommit, 1));
+        assert!(fire(CrashPoint::CpCommit));
+        // Every point now reports the outage, and counters freeze.
+        for p in CrashPoint::ALL {
+            assert!(fire(p));
+        }
+        assert_eq!(hits(CrashPoint::NvramFlush), 0);
+        disarm();
+        assert!(!fire(CrashPoint::CpCommit));
+    }
+
+    #[test]
+    fn rearming_resets_counters_and_trip() {
+        arm(CrashPlan::new().trip_at(CrashPoint::Restore, 1));
+        assert!(fire(CrashPoint::Restore));
+        arm(CrashPlan::new().trip_at(CrashPoint::Restore, 2));
+        assert_eq!(tripped(), None);
+        assert!(!fire(CrashPoint::Restore));
+        assert!(fire(CrashPoint::Restore));
+        disarm();
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..32 {
+            let mut a = SimRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            let pa = CrashPlan::new().trip_within(CrashPoint::DumpRecord, 10, &mut a);
+            let pb = CrashPlan::new().trip_within(CrashPoint::DumpRecord, 10, &mut b);
+            assert_eq!(pa, pb, "same seed, same plan");
+            let n = pa.trips_at(CrashPoint::DumpRecord);
+            assert!(matches!(n, Some(1..=10)), "out of range: {n:?}");
+        }
+        // max_hits == 0 degenerates to the first occurrence.
+        let mut r = SimRng::seed_from_u64(7);
+        let p = CrashPlan::new().trip_within(CrashPoint::CpCommit, 0, &mut r);
+        assert_eq!(p.trips_at(CrashPoint::CpCommit), Some(1));
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in CrashPoint::ALL {
+            assert!(seen.insert(p.name()), "duplicate name {}", p.name());
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(seen.len(), NPOINTS);
+    }
+}

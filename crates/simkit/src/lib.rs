@@ -18,12 +18,17 @@
 //!   times and per-resource utilization for concurrent jobs.
 //! - [`faults`] — the unified [`faults::FaultSpec`] fault configuration that
 //!   blockdev/tape/raid arm their deterministic chaos injection from.
+//! - [`crash`] — enumerable whole-system crash points: a seeded
+//!   [`crash::CrashPlan`] kills the machine mid-operation so recovery
+//!   (NVRAM replay, consistency-point fallback, dump resume) can be
+//!   property-tested.
 //! - [`retry`] — the [`retry::RetryPolicy`] attempts/backoff schedule that
 //!   device-layer wrappers meter retries with.
 //! - [`media`] — the medium-agnostic [`media::Media`] record-stream trait
 //!   (with [`media::Record`] and [`media::MediaError`]) the backup engines
 //!   write through; tape and net both implement it.
 
+pub mod crash;
 pub mod faults;
 pub mod fluid;
 pub mod media;

@@ -147,6 +147,11 @@ pub enum MediaError {
     /// A mechanical/operational hiccup an operator-assisted retry clears
     /// (a jammed stacker, a misrouted cable).
     OperatorFault,
+    /// The *local* machine lost power mid-operation (an armed
+    /// [`crate::crash::CrashPlan`] tripped). Not transient: the host is
+    /// dead, so no retry layer runs — recovery is a reboot (replay the
+    /// NVRAM log, resume the dump from its checkpoint).
+    Interrupted,
     /// The retry layer gave up: every attempt failed transiently.
     Exhausted {
         /// How many attempts were made (including the first).
@@ -183,6 +188,7 @@ impl std::fmt::Display for MediaError {
             }
             MediaError::Offline => write!(f, "medium offline"),
             MediaError::OperatorFault => write!(f, "operator-recoverable media fault"),
+            MediaError::Interrupted => write!(f, "interrupted by power loss"),
             MediaError::Exhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
@@ -326,6 +332,8 @@ mod tests {
         assert!(!MediaError::Hard { index: 0 }.is_transient());
         assert!(!MediaError::BadRecord { index: 0 }.is_transient());
         assert!(!MediaError::EndOfData.is_transient());
+        // Power loss kills the retrying host too: never transient.
+        assert!(!MediaError::Interrupted.is_transient());
         let ex = MediaError::Exhausted {
             attempts: 4,
             last: Box::new(MediaError::Soft { index: 0 }),

@@ -54,6 +54,14 @@ pub enum WaflError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The machine lost power mid-operation (an armed
+    /// [`simkit::crash::CrashPlan`] tripped). The in-memory `Wafl` is
+    /// dead: the only meaningful next call is `Wafl::crash()` to take
+    /// the volume and NVRAM log into a reboot (`Wafl::mount`).
+    PowerLoss {
+        /// The crash point that tripped.
+        point: simkit::crash::CrashPoint,
+    },
 }
 
 impl std::fmt::Display for WaflError {
@@ -70,6 +78,7 @@ impl std::fmt::Display for WaflError {
             WaflError::QuotaExceeded { qtree } => write!(f, "quota exceeded on qtree {qtree}"),
             WaflError::Raid(e) => write!(f, "raid: {e}"),
             WaflError::BadImage { reason } => write!(f, "bad on-disk image: {reason}"),
+            WaflError::PowerLoss { point } => write!(f, "power loss at {point}"),
         }
     }
 }

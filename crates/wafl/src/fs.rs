@@ -22,6 +22,7 @@ use blockdev::Block;
 use nvram::NvSized;
 use nvram::NvramLog;
 use raid::Volume;
+use simkit::crash::CrashPoint;
 use simkit::meter::Meter;
 
 use crate::blkmap::BlkMap;
@@ -577,6 +578,8 @@ impl Wafl {
         // Replay the NVRAM log (the crash-recovery step).
         let ops = fs.nv.drain_for_replay();
         if !ops.is_empty() {
+            obs::counter("crash.replays").inc();
+            obs::counter("crash.replayed_ops").add(ops.len() as u64);
             fs.replaying = true;
             for op in ops {
                 // Replay is best-effort per entry: an op that already
@@ -770,6 +773,21 @@ impl Wafl {
         self.cp_inner(false)
     }
 
+    /// Asks the armed [`simkit::crash::CrashPlan`] (if any) whether the
+    /// power dies *now*, at `point`. A fresh trip counts once on the
+    /// `crash.trips` obs counter; a machine that already died keeps
+    /// failing without recounting. Inert when nothing is armed.
+    fn power_check(point: CrashPoint) -> Result<(), WaflError> {
+        let was_alive = simkit::crash::tripped().is_none();
+        if simkit::crash::fire(point) {
+            if was_alive {
+                obs::counter("crash.trips").inc();
+            }
+            return Err(WaflError::PowerLoss { point });
+        }
+        Ok(())
+    }
+
     fn cp_inner(&mut self, write_fsinfo: bool) -> Result<(), WaflError> {
         obs::counter("wafl.consistency_points").inc();
         self.meter.charge_cpu(self.costs.cp_fixed);
@@ -789,6 +807,10 @@ impl Wafl {
             }
         }
 
+        // Crash depth 1: some new directory blocks are on disk, nothing
+        // points at them yet.
+        Self::power_check(CrashPoint::CpCommit)?;
+
         // 2. Rewrite dirty L1 indirect blocks of every dirty inode.
         for &ino in &dirty {
             if self
@@ -803,6 +825,10 @@ impl Wafl {
 
         // 3. Rewrite the inode-file blocks containing dirty inodes.
         blocks_written += self.rewrite_inofile(&dirty)?;
+
+        // Crash depth 2: the new inode file exists but fsinfo still
+        // points at the previous one.
+        Self::power_check(CrashPoint::CpCommit)?;
 
         // 4. Snapshot and qtree tables.
         {
@@ -899,6 +925,10 @@ impl Wafl {
             return Ok(());
         }
 
+        // Crash depth 3: the entire new tree is on disk — every block of
+        // it unreachable until the fsinfo write below.
+        Self::power_check(CrashPoint::CpCommit)?;
+
         // 6. Commit: the only in-place writes in the system.
         let inofile_root = self.tree_root_of(&self.inofile_tree, &self.inofile_meta, {
             self.next_ino as u64 * INODE_SIZE as u64
@@ -918,16 +948,32 @@ impl Wafl {
             blkmapfile: blkmap_root,
         };
         let block = fi.to_block();
-        for &b in &FSINFO_BLOCKS {
+        for (i, &b) in FSINFO_BLOCKS.iter().enumerate() {
+            if i > 0 {
+                // Crash depth 4: torn commit — one fsinfo copy carries the
+                // new cp_count, the other the old. Mount takes the valid
+                // copy with the highest cp_count, so this lands post-CP.
+                Self::power_check(CrashPoint::CpCommit)?;
+            }
             self.vol.write_block(b, block.clone())?;
         }
         self.vol.sync()?;
         self.last_inofile_root = inofile_root;
 
         // 7. The old image is gone; frozen blocks become reusable and the
-        // log is committed.
+        // log is committed. A crash plan tripping inside `commit` models
+        // power loss after the CP landed but before the NVRAM flush: the
+        // log keeps its (already-applied) entries for reboot to replay.
         self.frozen.clear();
-        self.nv.commit();
+        let was_alive = simkit::crash::tripped().is_none();
+        if !self.nv.commit() {
+            if was_alive {
+                obs::counter("crash.trips").inc();
+            }
+            return Err(WaflError::PowerLoss {
+                point: CrashPoint::NvramFlush,
+            });
+        }
         for &ino in &dirty {
             if let Some(Some(inode)) = self.inodes.get_mut(ino as usize) {
                 inode.dir_dirty = false;

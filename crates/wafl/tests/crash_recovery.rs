@@ -282,3 +282,162 @@ fn mount_rejects_garbage_volume() {
         Ok(_) => panic!("garbage volume must not mount"),
     }
 }
+
+/// Sets up the canonical armed-crash scenario: a committed "pre" file,
+/// then an uncommitted "post" delta sitting in NVRAM.
+fn pre_post_fs() -> wafl::Wafl {
+    let mut fs = Wafl::format(volume(), WaflConfig::default()).unwrap();
+    let f = fs
+        .create(INO_ROOT, "pre", FileType::File, Attrs::default())
+        .unwrap();
+    fs.write_fbn(f, 0, Block::Synthetic(1)).unwrap();
+    fs.cp().unwrap();
+    let g = fs
+        .create(INO_ROOT, "post", FileType::File, Attrs::default())
+        .unwrap();
+    fs.write_fbn(g, 0, Block::Synthetic(2)).unwrap();
+    fs
+}
+
+/// Mounts the on-disk image alone (NVRAM contents discarded), requiring a
+/// clean invariant check — the disk image must stand on its own at every
+/// crash depth.
+fn mount_image_only(fs: wafl::Wafl) -> wafl::Wafl {
+    simkit::crash::disarm();
+    let (vol, mut nv) = fs.crash();
+    nv.drain_for_replay();
+    let fs = Wafl::mount(
+        vol,
+        nv,
+        WaflConfig::default(),
+        Meter::new_shared(),
+        CostModel::zero(),
+    )
+    .expect("image-only mount");
+    let report = wafl::check::check(&fs).expect("checker runs");
+    assert!(
+        report.is_clean(),
+        "post-crash inconsistency: {:?}",
+        report.problems
+    );
+    fs
+}
+
+/// A power loss at *every* enumerated depth inside the consistency point
+/// (after dirty-data flush, after the inode-file rewrite, just before the
+/// fsinfo commit, and between the two fsinfo copies): the disk image
+/// alone must mount to exactly the pre-CP state or exactly the post-CP
+/// state — never a blend.
+#[test]
+fn armed_crash_at_every_cp_depth_leaves_pre_or_post_image() {
+    use simkit::crash::{self, CrashPlan, CrashPoint};
+
+    for depth in 1..=4u64 {
+        let mut fs = pre_post_fs();
+        let committed_cp = fs.cp_count();
+
+        crash::arm(CrashPlan::new().trip_at(CrashPoint::CpCommit, depth));
+        match fs.cp() {
+            Err(wafl::WaflError::PowerLoss { point }) => {
+                assert_eq!(point, CrashPoint::CpCommit)
+            }
+            other => panic!("depth {depth}: expected power loss, got {other:?}"),
+        }
+        assert_eq!(crash::tripped(), Some(CrashPoint::CpCommit));
+
+        let mut fs = mount_image_only(fs);
+        let pre_ino = fs.namei("/pre").expect("committed file must survive");
+        assert!(fs
+            .read_fbn(pre_ino, 0)
+            .unwrap()
+            .same_content(&Block::Synthetic(1)));
+        match fs.namei("/post") {
+            // Pre-CP image: the torn CP is invisible in full.
+            Err(_) => assert_eq!(
+                fs.cp_count(),
+                committed_cp,
+                "depth {depth}: pre-CP image must carry the old cp_count"
+            ),
+            // Post-CP image (a torn fsinfo pair still holds one valid
+            // copy of the *new* fsinfo): the delta is visible in full.
+            Ok(post_ino) => {
+                assert!(
+                    fs.cp_count() > committed_cp,
+                    "depth {depth}: post-CP image must carry the new cp_count"
+                );
+                assert!(fs
+                    .read_fbn(post_ino, 0)
+                    .unwrap()
+                    .same_content(&Block::Synthetic(2)));
+            }
+        }
+    }
+}
+
+/// Depths 1–3 die before any fsinfo write, so the image-only mount must
+/// be exactly pre-CP; with NVRAM intact the same crash must recover to
+/// exactly post-op state via replay.
+#[test]
+fn early_cp_depths_are_pre_cp_on_disk_but_replay_to_post_op() {
+    use simkit::crash::{self, CrashPlan, CrashPoint};
+
+    for depth in 1..=3u64 {
+        // Disk image alone: pre-CP.
+        let mut fs = pre_post_fs();
+        let committed_cp = fs.cp_count();
+        crash::arm(CrashPlan::new().trip_at(CrashPoint::CpCommit, depth));
+        assert!(fs.cp().is_err());
+        let fs = mount_image_only(fs);
+        assert_eq!(fs.cp_count(), committed_cp, "depth {depth}");
+        assert!(fs.namei("/post").is_err(), "depth {depth}");
+
+        // NVRAM intact: replay restores the in-flight delta.
+        let mut fs = pre_post_fs();
+        crash::arm(CrashPlan::new().trip_at(CrashPoint::CpCommit, depth));
+        assert!(fs.cp().is_err());
+        crash::disarm();
+        let mut fs = remount(fs);
+        let post = fs.namei("/post").expect("replay must restore the delta");
+        assert!(fs
+            .read_fbn(post, 0)
+            .unwrap()
+            .same_content(&Block::Synthetic(2)));
+        assert!(fs.nvram().is_empty(), "replay ends with a commit");
+    }
+}
+
+/// A power loss during the NVRAM flush itself (fsinfo already committed,
+/// log never cleared): the log still holds already-applied ops, and the
+/// replay must be idempotent — same final state, no duplicated effects.
+#[test]
+fn crash_during_nvram_flush_replays_idempotently() {
+    use simkit::crash::{self, CrashPlan, CrashPoint};
+
+    let mut fs = pre_post_fs();
+    let committed_cp = fs.cp_count();
+    crash::arm(CrashPlan::new().trip_at(CrashPoint::NvramFlush, 1));
+    match fs.cp() {
+        Err(wafl::WaflError::PowerLoss { point }) => assert_eq!(point, CrashPoint::NvramFlush),
+        other => panic!("expected power loss in the flush, got {other:?}"),
+    }
+    crash::disarm();
+
+    // The CP itself landed: the on-disk image is already post-CP.
+    assert!(
+        !fs.nvram().is_empty(),
+        "the log must survive a failed flush"
+    );
+    let mut fs = remount(fs);
+    assert!(fs.cp_count() > committed_cp);
+    let post = fs.namei("/post").unwrap();
+    assert!(fs
+        .read_fbn(post, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(2)));
+    let pre = fs.namei("/pre").unwrap();
+    assert!(fs
+        .read_fbn(pre, 0)
+        .unwrap()
+        .same_content(&Block::Synthetic(1)));
+    assert!(fs.nvram().is_empty(), "recovery ends with a committed log");
+}
